@@ -1,0 +1,153 @@
+//! Baseline AutoML systems used in the paper's evaluation (§5):
+//!
+//! - [`ausk`] — an auto-sklearn-style system: one joint BO block over the
+//!   whole space, optional meta-learning warm start and ensemble post-pass;
+//! - [`tpot`] — a TPOT-style genetic-programming optimizer over pipeline
+//!   assignments (tournament selection, uniform crossover, neighbor
+//!   mutation);
+//! - [`platforms`] — four anonymized "commercial platform" simulacra with
+//!   heterogeneous strategies (the paper anonymizes the real platforms and
+//!   only uses their time-vs-error curves, so faithful identity is neither
+//!   possible nor needed — see DESIGN.md).
+//!
+//! All systems run through the same [`SearchRun`] result type, which the
+//! bench harness consumes uniformly.
+
+pub mod ausk;
+pub mod platforms;
+pub mod tpot;
+
+use std::collections::HashMap;
+use volcanoml_core::evaluator::refit_assignment;
+use volcanoml_core::{Assignment, SpaceDef};
+use volcanoml_data::{Dataset, Metric};
+
+/// Errors from baseline systems (re-exported core errors).
+pub type Error = volcanoml_core::CoreError;
+/// Convenience alias.
+pub type Result<T> = volcanoml_core::Result<T>;
+
+/// A uniform record of one system's search on one dataset.
+#[derive(Debug, Clone)]
+pub struct SearchRun {
+    /// System display name.
+    pub system: String,
+    /// `(evaluation_index, cumulative_cost_seconds, validation_loss,
+    /// assignment)` at each incumbent change.
+    pub incumbent_steps: Vec<(usize, f64, f64, Assignment)>,
+    /// Total evaluations executed.
+    pub n_evaluations: usize,
+    /// Total evaluation wall time (seconds).
+    pub total_cost: f64,
+    /// Final best assignment.
+    pub best_assignment: Assignment,
+    /// Final best validation loss.
+    pub best_loss: f64,
+}
+
+impl SearchRun {
+    /// Builds a run record from a core [`volcanoml_core::AutoMlReport`].
+    pub fn from_report(system: impl Into<String>, report: &volcanoml_core::AutoMlReport) -> Self {
+        SearchRun {
+            system: system.into(),
+            incumbent_steps: report.incumbent_steps.clone(),
+            n_evaluations: report.n_evaluations,
+            total_cost: report.total_cost,
+            best_assignment: report.best_assignment.clone(),
+            best_loss: report.best_loss,
+        }
+    }
+
+    /// Refits the final best assignment on `train` and scores on `test`.
+    /// Returns the metric *loss* (lower is better).
+    pub fn final_test_loss(
+        &self,
+        space: &SpaceDef,
+        train: &Dataset,
+        test: &Dataset,
+        metric: Metric,
+        seed: u64,
+    ) -> Result<f64> {
+        let (pipeline, model) = refit_assignment(space, &self.best_assignment, train, seed)?;
+        let xt = pipeline
+            .transform(&test.x)
+            .map_err(|e| Error::Substrate(e.to_string()))?;
+        let preds = volcanoml_models::Estimator::predict(&model, &xt)
+            .map_err(|e| Error::Substrate(e.to_string()))?;
+        Ok(metric.loss(&test.y, &preds))
+    }
+
+    /// Test-error-vs-cost curve: each incumbent is refit on `train` and
+    /// scored on `test`, yielding `(cumulative_cost, test_loss)` steps.
+    pub fn test_error_curve(
+        &self,
+        space: &SpaceDef,
+        train: &Dataset,
+        test: &Dataset,
+        metric: Metric,
+        seed: u64,
+    ) -> Vec<(f64, f64)> {
+        let mut out = Vec::with_capacity(self.incumbent_steps.len());
+        for (_, cost, _, assignment) in &self.incumbent_steps {
+            let Ok((pipeline, model)) = refit_assignment(space, assignment, train, seed) else {
+                continue;
+            };
+            let Ok(xt) = pipeline.transform(&test.x) else {
+                continue;
+            };
+            let Ok(preds) = volcanoml_models::Estimator::predict(&model, &xt) else {
+                continue;
+            };
+            out.push((*cost, metric.loss(&test.y, &preds)));
+        }
+        out
+    }
+}
+
+/// Helper shared by the handwritten searchers: track incumbents from a
+/// sequence of `(loss, cost, assignment)` evaluations.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct IncumbentTracker {
+    pub steps: Vec<(usize, f64, f64, Assignment)>,
+    pub best_loss: f64,
+    pub best_assignment: Option<Assignment>,
+    pub cum_cost: f64,
+    pub evals: usize,
+}
+
+impl IncumbentTracker {
+    pub fn new() -> Self {
+        IncumbentTracker {
+            steps: Vec::new(),
+            best_loss: f64::INFINITY,
+            best_assignment: None,
+            cum_cost: 0.0,
+            evals: 0,
+        }
+    }
+
+    pub fn record(&mut self, assignment: &HashMap<String, f64>, loss: f64, cost: f64) {
+        self.evals += 1;
+        self.cum_cost += cost;
+        if loss.is_finite() && loss < self.best_loss {
+            self.best_loss = loss;
+            self.best_assignment = Some(assignment.clone());
+            self.steps
+                .push((self.evals, self.cum_cost, loss, assignment.clone()));
+        }
+    }
+
+    pub fn into_run(self, system: impl Into<String>) -> Result<SearchRun> {
+        let best_assignment = self.best_assignment.ok_or_else(|| {
+            Error::Invalid("search produced no successful evaluation".into())
+        })?;
+        Ok(SearchRun {
+            system: system.into(),
+            incumbent_steps: self.steps,
+            n_evaluations: self.evals,
+            total_cost: self.cum_cost,
+            best_assignment,
+            best_loss: self.best_loss,
+        })
+    }
+}

@@ -1,0 +1,269 @@
+//! TPOT-style genetic programming over pipeline assignments.
+//!
+//! TPOT evolves tree-shaped sklearn pipelines with genetic operators. Our
+//! pipelines have a fixed stage structure, so the genome is the full
+//! variable assignment; evolution uses tournament selection, uniform
+//! crossover (per-variable mixing, re-projected onto the conditional space),
+//! and neighbor mutation. Like TPOT, it requires no surrogate model and
+//! discretizes nothing away — but pays for the large joint genome on big
+//! spaces, which is exactly the scalability contrast the paper draws.
+
+use crate::{IncumbentTracker, Result, SearchRun};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use volcanoml_bo::{ConfigSpace, Configuration};
+use volcanoml_core::{Assignment, Evaluator, SpaceDef};
+use volcanoml_data::rand_util::rng_from_seed;
+use volcanoml_data::{Dataset, Metric};
+
+/// GP hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TpotOptions {
+    /// Maximum pipeline evaluations (generations stop when exhausted).
+    pub max_evaluations: usize,
+    /// Population size.
+    pub population: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Per-offspring crossover probability (otherwise cloning).
+    pub crossover_rate: f64,
+    /// Per-offspring mutation probability.
+    pub mutation_rate: f64,
+    /// Elitism: top-k carried over unchanged.
+    pub elites: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for TpotOptions {
+    fn default() -> Self {
+        TpotOptions {
+            max_evaluations: 60,
+            population: 12,
+            tournament: 3,
+            crossover_rate: 0.7,
+            mutation_rate: 0.6,
+            elites: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// Uniform crossover of two configurations, re-projected onto the space so
+/// conditional activity stays consistent.
+fn crossover(
+    space: &ConfigSpace,
+    a: &Configuration,
+    b: &Configuration,
+    rng: &mut StdRng,
+) -> Configuration {
+    let map_a = space.to_map(a);
+    let map_b = space.to_map(b);
+    let mut child = Assignment::new();
+    for p in space.params() {
+        let pick_a: bool = rng.random::<bool>();
+        let source = if pick_a { &map_a } else { &map_b };
+        let fallback = if pick_a { &map_b } else { &map_a };
+        if let Some(v) = source.get(&p.name).or_else(|| fallback.get(&p.name)) {
+            child.insert(p.name.clone(), *v);
+        }
+    }
+    space.from_map(&child)
+}
+
+/// Runs the TPOT-style baseline.
+pub fn run_tpot(
+    space: &SpaceDef,
+    train: &Dataset,
+    metric: Metric,
+    options: &TpotOptions,
+) -> Result<SearchRun> {
+    let cs = space.compile_subspace(&space.var_names(), &Assignment::new())?;
+    let mut evaluator = Evaluator::new(space.clone(), train, metric, options.seed)?;
+    let mut rng = rng_from_seed(options.seed ^ 0x7907);
+    let mut tracker = IncumbentTracker::new();
+
+    let pop_size = options.population.max(4);
+    let mut population: Vec<(Configuration, f64)> = Vec::with_capacity(pop_size);
+
+    let evaluate = |cfg: &Configuration,
+                        evaluator: &mut Evaluator,
+                        tracker: &mut IncumbentTracker|
+     -> f64 {
+        let assignment = {
+            let own = evaluator.space().compile_first_map(cfg);
+            own
+        };
+        let out = evaluator.evaluate(&assignment, 1.0);
+        tracker.record(&assignment, out.loss, out.cost);
+        out.loss
+    };
+
+    // Initial population: default + random.
+    let mut initial: Vec<Configuration> = vec![cs.default_configuration()];
+    while initial.len() < pop_size {
+        initial.push(cs.sample(&mut rng));
+    }
+    for cfg in initial {
+        if tracker.evals >= options.max_evaluations {
+            break;
+        }
+        let loss = evaluate(&cfg, &mut evaluator, &mut tracker);
+        population.push((cfg, loss));
+    }
+
+    // Generations.
+    while tracker.evals < options.max_evaluations {
+        population.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut next: Vec<(Configuration, f64)> = population
+            .iter()
+            .take(options.elites.min(population.len()))
+            .cloned()
+            .collect();
+        while next.len() < pop_size && tracker.evals < options.max_evaluations {
+            // Tournament selection.
+            let pick = |rng: &mut StdRng| -> &(Configuration, f64) {
+                let mut best: Option<&(Configuration, f64)> = None;
+                for _ in 0..options.tournament.max(1) {
+                    let c = &population[rng.random_range(0..population.len())];
+                    if best.map_or(true, |b| c.1 < b.1) {
+                        best = Some(c);
+                    }
+                }
+                best.expect("non-empty population")
+            };
+            let parent_a = pick(&mut rng).0.clone();
+            let parent_b = pick(&mut rng).0.clone();
+            let mut child = if rng.random::<f64>() < options.crossover_rate {
+                crossover(&cs, &parent_a, &parent_b, &mut rng)
+            } else {
+                parent_a.clone()
+            };
+            if rng.random::<f64>() < options.mutation_rate {
+                child = cs.neighbor(&child, &mut rng);
+            }
+            let loss = evaluate(&child, &mut evaluator, &mut tracker);
+            next.push((child, loss));
+        }
+        population = next;
+    }
+
+    tracker.into_run("TPOT")
+}
+
+/// Extension trait wiring `SpaceDef` + configuration to a full assignment
+/// (the space's map plus the tier defaults for anything inactive is not
+/// needed — the evaluator reads only active prefixes).
+trait SpaceDefExt {
+    fn compile_first_map(&self, cfg: &Configuration) -> Assignment;
+}
+
+impl SpaceDefExt for SpaceDef {
+    fn compile_first_map(&self, cfg: &Configuration) -> Assignment {
+        // The configuration belongs to the full-space compile, whose variable
+        // order matches `self.vars`; rebuild the name→value map directly.
+        let mut out = Assignment::new();
+        for (var, value) in self.vars.iter().zip(cfg.values.iter()) {
+            if let Some(v) = value {
+                out.insert(var.name.clone(), *v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volcanoml_core::SpaceTier;
+    use volcanoml_data::synthetic::{make_classification, ClassificationSpec};
+    use volcanoml_data::Task;
+
+    fn data(seed: u64) -> Dataset {
+        make_classification(
+            &ClassificationSpec {
+                n_samples: 240,
+                n_features: 8,
+                n_informative: 5,
+                n_redundant: 0,
+                n_classes: 2,
+                class_sep: 1.4,
+                flip_y: 0.02,
+                weights: Vec::new(),
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn tpot_runs_within_budget() {
+        let space = SpaceDef::tiered(Task::Classification, SpaceTier::Small);
+        let run = run_tpot(
+            &space,
+            &data(1),
+            Metric::BalancedAccuracy,
+            &TpotOptions {
+                max_evaluations: 25,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(run.system, "TPOT");
+        assert!(run.n_evaluations <= 25);
+        assert!(run.best_loss < 0.5, "loss {}", run.best_loss);
+    }
+
+    #[test]
+    fn tpot_is_deterministic_given_seed() {
+        let space = SpaceDef::tiered(Task::Classification, SpaceTier::Small);
+        let opts = TpotOptions {
+            max_evaluations: 15,
+            ..Default::default()
+        };
+        let a = run_tpot(&space, &data(2), Metric::BalancedAccuracy, &opts).unwrap();
+        let b = run_tpot(&space, &data(2), Metric::BalancedAccuracy, &opts).unwrap();
+        assert_eq!(a.best_loss, b.best_loss);
+        assert_eq!(a.n_evaluations, b.n_evaluations);
+    }
+
+    #[test]
+    fn crossover_produces_valid_configs() {
+        let space = SpaceDef::tiered(Task::Classification, SpaceTier::Medium);
+        let cs = space
+            .compile_subspace(&space.var_names(), &Assignment::new())
+            .unwrap();
+        let mut rng = rng_from_seed(0);
+        for _ in 0..50 {
+            let a = cs.sample(&mut rng);
+            let b = cs.sample(&mut rng);
+            let child = crossover(&cs, &a, &b, &mut rng);
+            cs.validate(&child).unwrap();
+        }
+    }
+
+    #[test]
+    fn tpot_improves_over_generations() {
+        let space = SpaceDef::tiered(Task::Classification, SpaceTier::Small);
+        let short = run_tpot(
+            &space,
+            &data(3),
+            Metric::BalancedAccuracy,
+            &TpotOptions {
+                max_evaluations: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let long = run_tpot(
+            &space,
+            &data(3),
+            Metric::BalancedAccuracy,
+            &TpotOptions {
+                max_evaluations: 40,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(long.best_loss <= short.best_loss + 1e-12);
+    }
+}

@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks for the optimization substrate: configuration
+//! sampling/encoding over the large conditional space, surrogate fit/predict,
+//! and EI maximization — the per-iteration overheads of a joint block.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+use volcanoml_bo::surrogate::RandomForestSurrogate;
+use volcanoml_bo::{acquisition, Smac, Suggest};
+use volcanoml_core::{SpaceDef, SpaceTier};
+use volcanoml_data::rand_util::rng_from_seed;
+use volcanoml_data::Task;
+
+fn large_space() -> volcanoml_bo::ConfigSpace {
+    let def = SpaceDef::tiered(Task::Classification, SpaceTier::Large);
+    def.compile_subspace(&def.var_names(), &HashMap::new())
+        .expect("large space compiles")
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let space = large_space();
+    let mut rng = rng_from_seed(0);
+    c.bench_function("space/sample_large", |b| {
+        b.iter(|| black_box(space.sample(&mut rng)))
+    });
+    let cfg = space.default_configuration();
+    c.bench_function("space/encode_large", |b| {
+        b.iter(|| black_box(space.encode(&cfg)))
+    });
+    c.bench_function("space/neighbor_large", |b| {
+        b.iter(|| black_box(space.neighbor(&cfg, &mut rng)))
+    });
+}
+
+fn bench_surrogate(c: &mut Criterion) {
+    let space = large_space();
+    let mut rng = rng_from_seed(1);
+    let xs: Vec<Vec<f64>> = (0..100).map(|_| space.encode(&space.sample(&mut rng))).collect();
+    let ys: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin().abs()).collect();
+    c.bench_function("surrogate/fit_100x60", |b| {
+        b.iter(|| {
+            let mut s = RandomForestSurrogate::new();
+            s.fit(&xs, &ys, &mut rng);
+            black_box(s)
+        })
+    });
+    let mut fitted = RandomForestSurrogate::new();
+    fitted.fit(&xs, &ys, &mut rng);
+    c.bench_function("surrogate/predict", |b| {
+        b.iter(|| black_box(fitted.predict(&xs[0])))
+    });
+    c.bench_function("surrogate/maximize_ei_300", |b| {
+        b.iter(|| {
+            black_box(acquisition::maximize_ei(
+                &space, &fitted, None, 0.3, 300, 0, &mut rng,
+            ))
+        })
+    });
+}
+
+fn bench_smac_suggest(c: &mut Criterion) {
+    let space = large_space();
+    let mut smac = Smac::new(space, 0);
+    // Warm it with enough observations that suggestions use the surrogate.
+    for i in 0..30 {
+        let (cfg, f) = smac.suggest();
+        smac.observe(cfg, f, (i as f64 * 0.23).sin().abs(), 0.01);
+    }
+    c.bench_function("smac/suggest_after_30_obs", |b| {
+        b.iter(|| {
+            let (cfg, f) = smac.suggest();
+            smac.observe(black_box(cfg), f, 0.4, 0.01);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sampling, bench_surrogate, bench_smac_suggest
+}
+criterion_main!(benches);

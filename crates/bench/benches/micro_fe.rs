@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for feature-engineering operators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use volcanoml_data::synthetic::{make_classification, ClassificationSpec};
+use volcanoml_fe::balance::Smote;
+use volcanoml_fe::Resampler;
+use volcanoml_fe::reduce::{Nystroem, Pca, SelectPercentile, ScoreFunc};
+use volcanoml_fe::scale::{Rescaler, ScaleKind};
+use volcanoml_fe::Transformer;
+
+fn bench_fe(c: &mut Criterion) {
+    let d = make_classification(
+        &ClassificationSpec {
+            n_samples: 500,
+            n_features: 20,
+            n_informative: 8,
+            n_redundant: 4,
+            n_classes: 2,
+            class_sep: 1.0,
+            flip_y: 0.02,
+            weights: vec![0.8, 0.2],
+        },
+        0,
+    );
+    c.bench_function("fe/pca_fit_transform_500x20", |b| {
+        b.iter(|| {
+            let mut p = Pca::new(0.95);
+            black_box(p.fit_transform(&d.x, &d.y).unwrap())
+        })
+    });
+    c.bench_function("fe/nystroem50_500x20", |b| {
+        b.iter(|| {
+            let mut n = Nystroem::new(50, 0.5, 0);
+            black_box(n.fit_transform(&d.x, &d.y).unwrap())
+        })
+    });
+    c.bench_function("fe/quantile_scaler_500x20", |b| {
+        b.iter(|| {
+            let mut s = Rescaler::new(ScaleKind::Quantile { n_quantiles: 50 });
+            black_box(s.fit_transform(&d.x, &d.y).unwrap())
+        })
+    });
+    c.bench_function("fe/select_percentile_500x20", |b| {
+        b.iter(|| {
+            let mut s = SelectPercentile::new(40.0, ScoreFunc::FScore, true);
+            black_box(s.fit_transform(&d.x, &d.y).unwrap())
+        })
+    });
+    c.bench_function("fe/smote_500x20", |b| {
+        b.iter(|| black_box(Smote::new(5).resample(&d.x, &d.y, 0).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fe
+}
+criterion_main!(benches);

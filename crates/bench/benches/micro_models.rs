@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks for the model zoo — per-evaluation training
+//! costs that dominate the AutoML budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use volcanoml_data::synthetic::{make_classification, make_regression, ClassificationSpec, RegressionSpec};
+use volcanoml_models::forest::{ForestClassifier, ForestConfig};
+use volcanoml_models::linear::{LogisticRegression, RidgeRegression};
+use volcanoml_models::tree::{DecisionTreeClassifier, TreeConfig};
+use volcanoml_models::Estimator;
+
+fn bench_models(c: &mut Criterion) {
+    let d = make_classification(
+        &ClassificationSpec {
+            n_samples: 500,
+            n_features: 12,
+            n_informative: 6,
+            n_redundant: 2,
+            n_classes: 3,
+            class_sep: 1.0,
+            flip_y: 0.02,
+            weights: Vec::new(),
+        },
+        0,
+    );
+    c.bench_function("models/tree_fit_500x12", |b| {
+        b.iter(|| {
+            let mut m = DecisionTreeClassifier::new(TreeConfig::classification());
+            m.fit(&d.x, &d.y).unwrap();
+            black_box(m)
+        })
+    });
+    c.bench_function("models/forest50_fit_500x12", |b| {
+        b.iter(|| {
+            let mut m = ForestClassifier::new(ForestConfig::random_forest());
+            m.fit(&d.x, &d.y).unwrap();
+            black_box(m)
+        })
+    });
+    c.bench_function("models/logistic_fit_500x12", |b| {
+        b.iter(|| {
+            let mut m = LogisticRegression::new(1e-4, 0.1, 30, 0);
+            m.fit(&d.x, &d.y).unwrap();
+            black_box(m)
+        })
+    });
+
+    let r = make_regression(
+        &RegressionSpec {
+            n_samples: 500,
+            n_features: 12,
+            n_informative: 6,
+            noise: 0.3,
+            nonlinear: false,
+        },
+        1,
+    );
+    c.bench_function("models/ridge_fit_500x12", |b| {
+        b.iter(|| {
+            let mut m = RidgeRegression::new(1.0);
+            m.fit(&r.x, &r.y).unwrap();
+            black_box(m)
+        })
+    });
+
+    // Prediction throughput.
+    let mut forest = ForestClassifier::new(ForestConfig::random_forest());
+    forest.fit(&d.x, &d.y).unwrap();
+    c.bench_function("models/forest50_predict_500", |b| {
+        b.iter(|| black_box(forest.predict(&d.x).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_models
+}
+criterion_main!(benches);

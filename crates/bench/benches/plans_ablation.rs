@@ -1,0 +1,89 @@
+//! Execution-plan study (§4 "Alternative Execution Plans" + appendix):
+//! compares the five coarse-grained plans on a slice of the classification
+//! suite and reports average ranks — the brute-force "automatic plan
+//! generation" the paper sketches. Expected shape: P3 (the Figure 2 plan)
+//! comes out best, which is why VolcanoML ships it as the default.
+
+use volcanoml_bench::{
+    average_ranks, maybe_truncate, print_table, quick, scaled, split_and_run, write_csv,
+    SystemSpec,
+};
+use volcanoml_core::plans::enumerate_coarse_plans;
+use volcanoml_core::{EngineKind, SpaceDef};
+use volcanoml_data::rand_util::derive_seed;
+use volcanoml_data::repository::medium_classification_suite;
+use volcanoml_data::{Metric, Task};
+
+fn main() {
+    let budget = scaled(25, 10);
+    let datasets = maybe_truncate(
+        medium_classification_suite()
+            .into_iter()
+            .step_by(5)
+            .collect(),
+        3,
+    );
+    let metric = Metric::BalancedAccuracy;
+    let space = SpaceDef::auto_sklearn_equivalent(Task::Classification);
+    let plans = enumerate_coarse_plans(EngineKind::Bo);
+    eprintln!(
+        "Plan ablation: {} datasets x {} plans, budget {budget}, quick={}",
+        datasets.len(),
+        plans.len(),
+        quick()
+    );
+
+    let mut losses: Vec<Vec<f64>> = Vec::new();
+    let mut detail_rows = Vec::new();
+    for (di, dataset) in datasets.iter().enumerate() {
+        let mut per_dataset = Vec::new();
+        for (pi, (name, plan)) in plans.iter().enumerate() {
+            let spec = SystemSpec::Plan {
+                name: name.to_string(),
+                plan: plan.clone(),
+            };
+            let seed = derive_seed(derive_seed(47, di as u64), pi as u64);
+            let loss = match split_and_run(&spec, &space, dataset, metric, budget, seed, None) {
+                Ok(out) => out.test_loss,
+                Err(e) => {
+                    eprintln!("  {name} on {}: {e}", dataset.name);
+                    f64::INFINITY
+                }
+            };
+            per_dataset.push(loss);
+            detail_rows.push(vec![
+                dataset.name.clone(),
+                name.to_string(),
+                format!("{loss:.4}"),
+            ]);
+        }
+        eprintln!("  {} done ({}/{})", dataset.name, di + 1, datasets.len());
+        losses.push(per_dataset);
+    }
+
+    let ranks = average_ranks(&losses);
+    let headers: Vec<String> = std::iter::once("metric".to_string())
+        .chain(plans.iter().map(|(n, _)| n.to_string()))
+        .collect();
+    let mut row = vec!["avg rank".to_string()];
+    row.extend(ranks.iter().map(|r| format!("{r:.2}")));
+    print_table(
+        "Plan study: average ranks of the five coarse-grained plans",
+        &headers,
+        &[row.clone()],
+    );
+    // Plan shapes for the record.
+    for (name, plan) in &plans {
+        println!("  {name}: {}", plan.render());
+    }
+    write_csv("plans_ablation_ranks.csv", &headers, &[row]);
+    write_csv(
+        "plans_ablation_detail.csv",
+        &[
+            "dataset".to_string(),
+            "plan".to_string(),
+            "test_loss".to_string(),
+        ],
+        &detail_rows,
+    );
+}

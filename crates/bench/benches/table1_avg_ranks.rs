@@ -1,0 +1,194 @@
+//! Table 1 reproduction: average ranks of TPOT / AUSK⁻ / AUSK / VolcanoML⁻ /
+//! VolcanoML on the 30-classification and 20-regression suites under three
+//! search-space sizes (small / medium / large).
+//!
+//! Meta-learning variants use a leave-one-out meta-base built from the
+//! corresponding non-meta run's best pipelines, mirroring how auto-sklearn's
+//! shipped meta-base is trained on other datasets.
+//!
+//! Run: `cargo bench --bench table1_avg_ranks` (set `VOLCANO_QUICK=1` for a
+//! smoke run).
+
+use std::collections::HashMap;
+use volcanoml_bench::{
+    average_ranks, build_meta_base, fmt3, maybe_truncate, print_table, quick, scaled,
+    split_and_run, write_csv, SystemSpec,
+};
+use volcanoml_core::{SpaceDef, SpaceTier};
+use volcanoml_data::rand_util::derive_seed;
+use volcanoml_data::repository::{medium_classification_suite, regression_suite};
+use volcanoml_data::{Dataset, Metric, Task};
+
+fn tier_name(tier: SpaceTier) -> &'static str {
+    match tier {
+        SpaceTier::Small => "Small",
+        SpaceTier::Medium => "Medium",
+        SpaceTier::Large => "Large",
+    }
+}
+
+/// Runs the 5-system lineup over one suite and one tier, returning average
+/// ranks in lineup order.
+fn run_grid(datasets: &[Dataset], task: Task, tier: SpaceTier, budget: usize) -> Vec<f64> {
+    let metric = Metric::default_for(task);
+    let space = SpaceDef::tiered(task, tier);
+    let lineup = SystemSpec::table1_lineup();
+
+    // Pass 1: the three non-meta systems; collect VolcanoML⁻ winners for the
+    // meta-base.
+    let mut losses: Vec<Vec<f64>> = vec![vec![f64::INFINITY; lineup.len()]; datasets.len()];
+    let mut winners: HashMap<String, Vec<volcanoml_core::Assignment>> = HashMap::new();
+
+    for (di, dataset) in datasets.iter().enumerate() {
+        for (si, spec) in lineup.iter().enumerate() {
+            let is_meta = matches!(
+                spec,
+                SystemSpec::Ausk { meta: true } | SystemSpec::VolcanoMl { meta: true, .. }
+            );
+            if is_meta {
+                continue; // pass 2
+            }
+            let seed = derive_seed(derive_seed(42, di as u64), si as u64);
+            match split_and_run(spec, &space, dataset, metric, budget, seed, None) {
+                Ok(out) => {
+                    losses[di][si] = out.test_loss;
+                    if matches!(spec, SystemSpec::VolcanoMl { meta: false, .. }) {
+                        let top: Vec<volcanoml_core::Assignment> = out
+                            .run
+                            .incumbent_steps
+                            .iter()
+                            .rev()
+                            .take(3)
+                            .map(|(_, _, _, a)| a.clone())
+                            .collect();
+                        winners.insert(dataset.name.clone(), top);
+                    }
+                }
+                Err(e) => eprintln!("  {} on {}: {e}", spec.name(), dataset.name),
+            }
+        }
+        eprintln!(
+            "  [{}] {}/{} datasets (pass 1)",
+            tier_name(tier),
+            di + 1,
+            datasets.len()
+        );
+    }
+
+    // Pass 2: meta variants with a leave-one-out meta-base.
+    let meta_base = build_meta_base(datasets, &winners);
+    for (di, dataset) in datasets.iter().enumerate() {
+        for (si, spec) in lineup.iter().enumerate() {
+            let is_meta = matches!(
+                spec,
+                SystemSpec::Ausk { meta: true } | SystemSpec::VolcanoMl { meta: true, .. }
+            );
+            if !is_meta {
+                continue;
+            }
+            let seed = derive_seed(derive_seed(42, di as u64), si as u64);
+            match split_and_run(spec, &space, dataset, metric, budget, seed, Some(&meta_base)) {
+                Ok(out) => losses[di][si] = out.test_loss,
+                Err(e) => eprintln!("  {} on {}: {e}", spec.name(), dataset.name),
+            }
+        }
+    }
+
+    average_ranks(&losses)
+}
+
+/// Per-tier budgets mirror the paper's increasing time budgets with space
+/// size (900 s / 1 800 s / 1 800 s, scaled to evaluation counts here — the
+/// large space needs more evaluations per system to leave the warm-up
+/// regime).
+fn tier_budget(tier: SpaceTier) -> usize {
+    match tier {
+        SpaceTier::Small => scaled(20, 8),
+        SpaceTier::Medium => scaled(30, 10),
+        SpaceTier::Large => scaled(45, 12),
+    }
+}
+
+fn main() {
+    // Single-core CI scale: 15 CLS / 10 REG datasets sampled evenly from the
+    // 30/20 suites (raise these two numbers for a paper-scale run).
+    let cls_full: Vec<_> = medium_classification_suite()
+        .into_iter()
+        .step_by(2)
+        .collect();
+    let reg_full: Vec<_> = regression_suite().into_iter().step_by(2).collect();
+    let cls = maybe_truncate(cls_full, 6);
+    let reg = maybe_truncate(reg_full, 4);
+    eprintln!(
+        "Table 1: {} CLS + {} REG datasets, budgets {:?} evals, quick={}",
+        cls.len(),
+        reg.len(),
+        [tier_budget(SpaceTier::Small), tier_budget(SpaceTier::Medium), tier_budget(SpaceTier::Large)],
+        quick()
+    );
+
+    let lineup_names: Vec<String> = SystemSpec::table1_lineup()
+        .iter()
+        .map(|s| s.name())
+        .collect();
+    let mut headers = vec!["Search Space - Task".to_string()];
+    headers.extend(lineup_names.clone());
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for tier in [SpaceTier::Small, SpaceTier::Medium, SpaceTier::Large] {
+        let space = SpaceDef::tiered(Task::Classification, tier);
+        eprintln!(
+            "== {} CLS (|space| = {} hyper-parameters) ==",
+            tier_name(tier),
+            space.len()
+        );
+        let ranks = run_grid(&cls, Task::Classification, tier, tier_budget(tier));
+        let mut row = vec![format!("{} - CLS", tier_name(tier))];
+        row.extend(ranks.iter().map(|r| format!("{r:.2}")));
+        rows.push(row);
+    }
+    for tier in [SpaceTier::Small, SpaceTier::Medium, SpaceTier::Large] {
+        let space = SpaceDef::tiered(Task::Regression, tier);
+        eprintln!(
+            "== {} REG (|space| = {} hyper-parameters) ==",
+            tier_name(tier),
+            space.len()
+        );
+        let ranks = run_grid(&reg, Task::Regression, tier, tier_budget(tier));
+        let mut row = vec![format!("{} - REG", tier_name(tier))];
+        row.extend(ranks.iter().map(|r| format!("{r:.2}")));
+        rows.push(row);
+    }
+
+    print_table(
+        "Table 1: average ranks (lower is better)",
+        &headers,
+        &rows,
+    );
+    write_csv("table1_avg_ranks.csv", &headers, &rows);
+
+    // Space-size sidebar (the paper reports 20/29/100 hyper-parameters).
+    let mut size_rows = Vec::new();
+    for task in [Task::Classification, Task::Regression] {
+        for tier in [SpaceTier::Small, SpaceTier::Medium, SpaceTier::Large] {
+            let space = SpaceDef::tiered(task, tier);
+            size_rows.push(vec![
+                format!("{task:?}"),
+                tier_name(tier).to_string(),
+                space.len().to_string(),
+                space.algorithms.len().to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Search-space sizes",
+        &[
+            "task".to_string(),
+            "tier".to_string(),
+            "hyper-parameters".to_string(),
+            "algorithms".to_string(),
+        ],
+        &size_rows,
+    );
+    let _ = fmt3(0.0);
+}

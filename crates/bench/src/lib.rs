@@ -1,0 +1,407 @@
+//! Experiment harness shared by the table/figure reproduction benches.
+//!
+//! Every bench target in `benches/` (run via `cargo bench`) uses this
+//! library to: run a named AutoML system on a train/test split, compute
+//! average ranks across datasets (the paper's Table 1 methodology), and emit
+//! aligned text tables plus CSV files under `results/`.
+//!
+//! Set `VOLCANO_QUICK=1` for smoke-test runs (fewer datasets, smaller
+//! budgets); the full runs regenerate the paper-scale numbers.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use volcanoml_baselines::ausk::{run_ausk, AuskOptions};
+use volcanoml_baselines::platforms::{run_platform, Platform};
+use volcanoml_baselines::tpot::{run_tpot, TpotOptions};
+use volcanoml_baselines::SearchRun;
+use volcanoml_core::metalearn::MetaBase;
+use volcanoml_core::plans::p3_volcano;
+use volcanoml_core::{
+    EngineKind, PlanSpec, SpaceDef, VolcanoML, VolcanoMlOptions,
+};
+use volcanoml_data::rand_util::derive_seed;
+use volcanoml_data::{train_test_split, Dataset, Metric};
+
+/// Quick-mode flag (smoke runs).
+pub fn quick() -> bool {
+    std::env::var("VOLCANO_QUICK").map_or(false, |v| v != "0" && !v.is_empty())
+}
+
+/// Scales a full-run quantity down in quick mode.
+pub fn scaled(full: usize, quick_value: usize) -> usize {
+    if quick() {
+        quick_value
+    } else {
+        full
+    }
+}
+
+/// Truncates a dataset list in quick mode.
+pub fn maybe_truncate(mut datasets: Vec<Dataset>, quick_len: usize) -> Vec<Dataset> {
+    if quick() {
+        datasets.truncate(quick_len);
+    }
+    datasets
+}
+
+/// The systems compared in Tables 1–2 and Figures 4–5.
+#[derive(Debug, Clone)]
+pub enum SystemSpec {
+    /// VolcanoML with the Figure 2 plan; `meta` adds warm starts.
+    VolcanoMl {
+        /// Meta-learning on/off (`VolcanoML` vs `VolcanoML⁻`).
+        meta: bool,
+        /// Joint-leaf engine (BO for tables, MFES-HB for large datasets).
+        engine: EngineKind,
+    },
+    /// auto-sklearn style joint BO; `meta` adds warm starts.
+    Ausk {
+        /// Meta-learning on/off.
+        meta: bool,
+    },
+    /// TPOT-style genetic programming.
+    Tpot,
+    /// One of the commercial-platform simulacra.
+    Platform(Platform),
+    /// An arbitrary VolcanoML plan under a custom name (plan/blocks
+    /// ablations).
+    Plan {
+        /// Display name.
+        name: String,
+        /// The plan to execute.
+        plan: PlanSpec,
+    },
+}
+
+impl SystemSpec {
+    /// Display name matching the paper's table columns.
+    pub fn name(&self) -> String {
+        match self {
+            SystemSpec::VolcanoMl { meta: true, .. } => "VolcanoML".to_string(),
+            SystemSpec::VolcanoMl { meta: false, .. } => "VolcanoML-".to_string(),
+            SystemSpec::Ausk { meta: true } => "AUSK".to_string(),
+            SystemSpec::Ausk { meta: false } => "AUSK-".to_string(),
+            SystemSpec::Tpot => "TPOT".to_string(),
+            SystemSpec::Platform(p) => p.name().to_string(),
+            SystemSpec::Plan { name, .. } => name.clone(),
+        }
+    }
+
+    /// The five-system lineup of Table 1.
+    pub fn table1_lineup() -> Vec<SystemSpec> {
+        vec![
+            SystemSpec::Tpot,
+            SystemSpec::Ausk { meta: false },
+            SystemSpec::Ausk { meta: true },
+            SystemSpec::VolcanoMl {
+                meta: false,
+                engine: EngineKind::Bo,
+            },
+            SystemSpec::VolcanoMl {
+                meta: true,
+                engine: EngineKind::Bo,
+            },
+        ]
+    }
+}
+
+/// Outcome of one (system, dataset) run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// System name.
+    pub system: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Best validation loss during search.
+    pub valid_loss: f64,
+    /// Test loss of the refit winner.
+    pub test_loss: f64,
+    /// The raw search record.
+    pub run: SearchRun,
+}
+
+/// Runs one system on a pre-split dataset.
+pub fn run_system(
+    spec: &SystemSpec,
+    space: &SpaceDef,
+    train: &Dataset,
+    test: &Dataset,
+    metric: Metric,
+    max_evaluations: usize,
+    seed: u64,
+    meta_base: Option<&MetaBase>,
+) -> volcanoml_core::Result<RunOutcome> {
+    let run = match spec {
+        SystemSpec::VolcanoMl { meta, engine } => {
+            let mut engine_obj = VolcanoML::new(
+                space.clone(),
+                VolcanoMlOptions {
+                    plan: p3_volcano(*engine),
+                    metric: Some(metric),
+                    max_evaluations,
+                    seed,
+                    ..Default::default()
+                },
+            );
+            if *meta {
+                if let Some(base) = meta_base {
+                    engine_obj.warm_start_from(base, train);
+                }
+            }
+            let fitted = engine_obj.fit(train)?;
+            SearchRun::from_report(spec.name(), &fitted.report)
+        }
+        SystemSpec::Ausk { meta } => run_ausk(
+            space,
+            train,
+            metric,
+            &AuskOptions {
+                max_evaluations,
+                meta_learning: *meta,
+                ensemble_size: 1,
+                seed,
+            },
+            meta_base,
+        )?,
+        SystemSpec::Tpot => run_tpot(
+            space,
+            train,
+            metric,
+            &TpotOptions {
+                max_evaluations,
+                seed,
+                ..Default::default()
+            },
+        )?,
+        SystemSpec::Platform(p) => {
+            run_platform(*p, space, train, metric, max_evaluations, seed)?
+        }
+        SystemSpec::Plan { name, plan } => {
+            let engine_obj = VolcanoML::new(
+                space.clone(),
+                VolcanoMlOptions {
+                    plan: plan.clone(),
+                    metric: Some(metric),
+                    max_evaluations,
+                    seed,
+                    ..Default::default()
+                },
+            );
+            let fitted = engine_obj.fit(train)?;
+            SearchRun::from_report(name.clone(), &fitted.report)
+        }
+    };
+    let test_loss = run.final_test_loss(space, train, test, metric, seed)?;
+    Ok(RunOutcome {
+        system: spec.name(),
+        dataset: train.name.clone(),
+        valid_loss: run.best_loss,
+        test_loss,
+        run,
+    })
+}
+
+/// Splits a dataset 80/20 as the paper does (§5.1) and runs one system.
+pub fn split_and_run(
+    spec: &SystemSpec,
+    space: &SpaceDef,
+    dataset: &Dataset,
+    metric: Metric,
+    max_evaluations: usize,
+    seed: u64,
+    meta_base: Option<&MetaBase>,
+) -> volcanoml_core::Result<RunOutcome> {
+    let (train, test) = train_test_split(dataset, 0.2, derive_seed(seed, 0xdead))?;
+    run_system(spec, space, &train, &test, metric, max_evaluations, seed, meta_base)
+}
+
+/// Ranks one dataset's losses (1 = best; ties share the average rank).
+pub fn rank_losses(losses: &[f64]) -> Vec<f64> {
+    let n = losses.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| losses[a].partial_cmp(&losses[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && (losses[idx[j + 1]] - losses[idx[i]]).abs() < 1e-12 {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            ranks[idx[k]] = avg_rank;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Average ranks across datasets: `losses[dataset][system]` → mean rank per
+/// system (the paper's Table 1 metric).
+pub fn average_ranks(losses: &[Vec<f64>]) -> Vec<f64> {
+    if losses.is_empty() {
+        return Vec::new();
+    }
+    let n_systems = losses[0].len();
+    let mut sums = vec![0.0; n_systems];
+    for per_dataset in losses {
+        for (s, r) in sums.iter_mut().zip(rank_losses(per_dataset)) {
+            *s += r;
+        }
+    }
+    for s in &mut sums {
+        *s /= losses.len() as f64;
+    }
+    sums
+}
+
+/// Prints an aligned text table to stdout.
+pub fn print_table(title: &str, headers: &[String], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==");
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:>w$}"))
+        .collect();
+    let _ = writeln!(out, "{}", header_line.join("  "));
+    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", line.join("  "));
+    }
+    println!("{out}");
+}
+
+/// Writes a CSV under `results/` (relative to the workspace root).
+pub fn write_csv(file: &str, headers: &[String], rows: &[Vec<String>]) {
+    let dir = results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(file);
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}
+
+/// `results/` directory at the workspace root.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Builds a leave-one-out meta-base from VolcanoML⁻ runs: used by the
+/// meta-learning variants in Table 1. `top[dataset_name]` are the best
+/// assignments found on that dataset.
+pub fn build_meta_base(
+    datasets: &[Dataset],
+    top: &HashMap<String, Vec<volcanoml_core::Assignment>>,
+) -> MetaBase {
+    let mut base = MetaBase::new();
+    for d in datasets {
+        if let Some(assignments) = top.get(&d.name) {
+            base.record(d, assignments.clone());
+        }
+    }
+    base
+}
+
+/// Formats a float with three decimals for table cells.
+pub fn fmt3(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "inf".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_basic_and_ties() {
+        assert_eq!(rank_losses(&[0.3, 0.1, 0.2]), vec![3.0, 1.0, 2.0]);
+        assert_eq!(rank_losses(&[0.1, 0.1, 0.2]), vec![1.5, 1.5, 3.0]);
+        assert_eq!(rank_losses(&[0.5]), vec![1.0]);
+    }
+
+    #[test]
+    fn average_ranks_over_datasets() {
+        let losses = vec![vec![0.1, 0.2], vec![0.2, 0.1]];
+        assert_eq!(average_ranks(&losses), vec![1.5, 1.5]);
+        let lopsided = vec![vec![0.1, 0.2], vec![0.1, 0.2]];
+        assert_eq!(average_ranks(&lopsided), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn lineup_matches_paper_columns() {
+        let names: Vec<String> = SystemSpec::table1_lineup()
+            .iter()
+            .map(|s| s.name())
+            .collect();
+        assert_eq!(names, vec!["TPOT", "AUSK-", "AUSK", "VolcanoML-", "VolcanoML"]);
+    }
+
+    #[test]
+    fn quick_scaling() {
+        // Cannot set env vars safely in tests; just exercise both branches
+        // of `scaled` through the current environment value.
+        let v = scaled(100, 10);
+        assert!(v == 100 || v == 10);
+    }
+
+    #[test]
+    fn smoke_run_one_system() {
+        let d = volcanoml_data::synthetic::make_classification(
+            &volcanoml_data::synthetic::ClassificationSpec {
+                n_samples: 200,
+                n_features: 6,
+                n_informative: 4,
+                n_redundant: 0,
+                n_classes: 2,
+                class_sep: 1.5,
+                flip_y: 0.02,
+                weights: Vec::new(),
+            },
+            1,
+        );
+        let space = SpaceDef::tiered(volcanoml_data::Task::Classification, volcanoml_core::SpaceTier::Small);
+        let out = split_and_run(
+            &SystemSpec::Tpot,
+            &space,
+            &d,
+            Metric::BalancedAccuracy,
+            8,
+            0,
+            None,
+        )
+        .unwrap();
+        assert!(out.test_loss.is_finite());
+        assert_eq!(out.system, "TPOT");
+    }
+}

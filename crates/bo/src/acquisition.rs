@@ -1,0 +1,132 @@
+//! Expected improvement and its optimization over a configuration space.
+
+use crate::space::{ConfigSpace, Configuration};
+use crate::surrogate::RandomForestSurrogate;
+use rand::rngs::StdRng;
+
+/// Standard normal PDF.
+pub fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Error function (max error ~1.5e-7).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Expected improvement of a (mean, variance) prediction below `best` (we
+/// minimize loss). Returns 0 for vanishing variance at or above the best.
+pub fn expected_improvement(mean: f64, var: f64, best: f64) -> f64 {
+    let std = var.sqrt();
+    if std < 1e-12 {
+        return (best - mean).max(0.0);
+    }
+    let z = (best - mean) / std;
+    (best - mean) * normal_cdf(z) + std * normal_pdf(z)
+}
+
+/// Picks the configuration maximizing EI among random samples plus local
+/// neighbors of the incumbent (SMAC's cheap acquisition optimizer).
+pub fn maximize_ei(
+    space: &ConfigSpace,
+    surrogate: &RandomForestSurrogate,
+    incumbent: Option<&Configuration>,
+    best_loss: f64,
+    n_random: usize,
+    n_local: usize,
+    rng: &mut StdRng,
+) -> Configuration {
+    let mut candidates: Vec<Configuration> = (0..n_random).map(|_| space.sample(rng)).collect();
+    if let Some(inc) = incumbent {
+        let mut cur = inc.clone();
+        for _ in 0..n_local {
+            cur = space.neighbor(&cur, rng);
+            candidates.push(cur.clone());
+        }
+    }
+    let mut best_cfg = None;
+    let mut best_ei = f64::NEG_INFINITY;
+    for c in candidates {
+        let enc = space.encode(&c);
+        let (mean, var) = surrogate.predict(&enc);
+        let ei = expected_improvement(mean, var, best_loss);
+        if ei > best_ei {
+            best_ei = ei;
+            best_cfg = Some(c);
+        }
+    }
+    best_cfg.unwrap_or_else(|| space.default_configuration())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::from_seed;
+    use crate::space::Domain;
+
+    #[test]
+    fn erf_known_values() {
+        assert!(erf(0.0).abs() < 1e-8);
+        assert!((erf(1.0) - 0.8427).abs() < 1e-3);
+        assert!((erf(-1.0) + 0.8427).abs() < 1e-3);
+        assert!((erf(3.0) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_symmetric() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-8);
+        assert!(normal_cdf(1.0) > normal_cdf(0.0));
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ei_prefers_low_mean_and_high_variance() {
+        let best = 0.5;
+        let low_mean = expected_improvement(0.2, 0.01, best);
+        let high_mean = expected_improvement(0.8, 0.01, best);
+        assert!(low_mean > high_mean);
+        let low_var = expected_improvement(0.6, 1e-6, best);
+        let high_var = expected_improvement(0.6, 0.1, best);
+        assert!(high_var > low_var);
+    }
+
+    #[test]
+    fn ei_zero_variance_clamps() {
+        assert_eq!(expected_improvement(0.7, 0.0, 0.5), 0.0);
+        assert!((expected_improvement(0.3, 0.0, 0.5) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maximize_ei_moves_toward_optimum() {
+        // Surrogate trained on a quadratic: EI maximizer should find points
+        // with lower predicted loss than random average.
+        let mut space = ConfigSpace::new();
+        space
+            .add("x", Domain::Float { lo: 0.0, hi: 1.0, log: false }, 0.5)
+            .unwrap();
+        let mut rng = from_seed(0);
+        let xs: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![i as f64 / 199.0])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] - 0.25).powi(2)).collect();
+        let mut surrogate = RandomForestSurrogate::new();
+        surrogate.fit(&xs, &ys, &mut rng);
+        let chosen = maximize_ei(&space, &surrogate, None, 0.2, 200, 0, &mut rng);
+        let x = chosen.get(0).unwrap();
+        assert!((x - 0.25).abs() < 0.2, "chose {x}");
+    }
+}

@@ -1,0 +1,310 @@
+//! Sequential optimizers with an ask/tell interface: random search and a
+//! SMAC-style BO loop (RF surrogate + EI).
+
+use crate::acquisition::maximize_ei;
+use crate::history::{Observation, RunHistory};
+use crate::space::{ConfigSpace, Configuration};
+use crate::surrogate::RandomForestSurrogate;
+use rand::rngs::StdRng;
+
+/// Ask/tell optimizer interface shared by the joint-block engines.
+///
+/// `suggest` returns a configuration and the fidelity (training-set fraction)
+/// it should be evaluated at; `observe` feeds the result back.
+pub trait Suggest {
+    /// Next configuration to evaluate and its fidelity in `(0, 1]`.
+    fn suggest(&mut self) -> (Configuration, f64);
+
+    /// Reports an evaluation result.
+    fn observe(&mut self, config: Configuration, fidelity: f64, loss: f64, cost: f64);
+
+    /// Evaluation record.
+    fn history(&self) -> &RunHistory;
+
+    /// The space being optimized.
+    fn space(&self) -> &ConfigSpace;
+
+    /// Current best configuration (incumbent), default if none evaluated.
+    fn best_config(&self) -> Configuration {
+        self.history()
+            .best()
+            .map(|o| o.config.clone())
+            .unwrap_or_else(|| self.space().default_configuration())
+    }
+
+    /// Warm-starts the optimizer with prior observations (meta-learning).
+    fn warm_start(&mut self, observations: &[Observation]) {
+        for obs in observations {
+            self.observe(obs.config.clone(), obs.fidelity, obs.loss, obs.cost);
+        }
+    }
+}
+
+/// Uniform random search (always full fidelity).
+#[derive(Debug)]
+pub struct RandomSearch {
+    space: ConfigSpace,
+    history: RunHistory,
+    rng: StdRng,
+    evaluated_default: bool,
+}
+
+impl RandomSearch {
+    /// Creates a random-search optimizer.
+    pub fn new(space: ConfigSpace, seed: u64) -> Self {
+        RandomSearch {
+            space,
+            history: RunHistory::new(),
+            rng: crate::rng::from_seed(seed),
+            evaluated_default: false,
+        }
+    }
+}
+
+impl Suggest for RandomSearch {
+    fn suggest(&mut self) -> (Configuration, f64) {
+        if !self.evaluated_default {
+            self.evaluated_default = true;
+            return (self.space.default_configuration(), 1.0);
+        }
+        (self.space.sample(&mut self.rng), 1.0)
+    }
+
+    fn observe(&mut self, config: Configuration, fidelity: f64, loss: f64, cost: f64) {
+        self.history.push(Observation {
+            config,
+            loss,
+            cost,
+            fidelity,
+        });
+    }
+
+    fn history(&self) -> &RunHistory {
+        &self.history
+    }
+
+    fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+}
+
+/// SMAC-style Bayesian optimization: probabilistic random-forest surrogate
+/// over the encoded space, expected-improvement acquisition, interleaved
+/// random exploration.
+#[derive(Debug)]
+pub struct Smac {
+    space: ConfigSpace,
+    history: RunHistory,
+    surrogate: RandomForestSurrogate,
+    rng: StdRng,
+    /// Evaluations before the surrogate turns on.
+    pub n_init: usize,
+    /// Every k-th suggestion is random (SMAC's interleaving).
+    pub random_interleave: usize,
+    suggestions: usize,
+    stale: bool,
+}
+
+impl Smac {
+    /// Creates a SMAC optimizer with standard settings.
+    pub fn new(space: ConfigSpace, seed: u64) -> Self {
+        Smac {
+            space,
+            history: RunHistory::new(),
+            surrogate: RandomForestSurrogate::new(),
+            rng: crate::rng::from_seed(seed),
+            n_init: 6,
+            random_interleave: 5,
+            suggestions: 0,
+            stale: true,
+        }
+    }
+
+    fn refit(&mut self) {
+        let full: Vec<&Observation> = self
+            .history
+            .observations()
+            .iter()
+            .filter(|o| o.loss.is_finite())
+            .collect();
+        if full.is_empty() {
+            return;
+        }
+        let xs: Vec<Vec<f64>> = full.iter().map(|o| self.space.encode(&o.config)).collect();
+        let ys: Vec<f64> = full.iter().map(|o| o.loss).collect();
+        self.surrogate.fit(&xs, &ys, &mut self.rng);
+        self.stale = false;
+    }
+}
+
+impl Suggest for Smac {
+    fn suggest(&mut self) -> (Configuration, f64) {
+        self.suggestions += 1;
+        if self.suggestions == 1 {
+            return (self.space.default_configuration(), 1.0);
+        }
+        if self.history.len() < self.n_init
+            || self.suggestions % self.random_interleave == 0
+        {
+            return (self.space.sample(&mut self.rng), 1.0);
+        }
+        if self.stale {
+            self.refit();
+        }
+        let best_loss = self.history.best_loss().unwrap_or(1.0);
+        let incumbent = self.history.best().map(|o| o.config.clone());
+        let cfg = maximize_ei(
+            &self.space,
+            &self.surrogate,
+            incumbent.as_ref(),
+            best_loss,
+            300,
+            20,
+            &mut self.rng,
+        );
+        (cfg, 1.0)
+    }
+
+    fn observe(&mut self, config: Configuration, fidelity: f64, loss: f64, cost: f64) {
+        self.history.push(Observation {
+            config,
+            loss,
+            cost,
+            fidelity,
+        });
+        self.stale = true;
+    }
+
+    fn history(&self) -> &RunHistory {
+        &self.history
+    }
+
+    fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Domain;
+
+    /// Synthetic objective: conditional quadratic with a categorical branch.
+    fn objective(space: &ConfigSpace, c: &Configuration) -> f64 {
+        let m = space.to_map(c);
+        let branch = *m.get("branch").unwrap_or(&0.0) as usize;
+        match branch {
+            0 => {
+                let x = *m.get("x0").unwrap_or(&0.5);
+                0.3 + (x - 0.2).powi(2) // best 0.3
+            }
+            _ => {
+                let x = *m.get("x1").unwrap_or(&0.5);
+                0.1 + 2.0 * (x - 0.8).powi(2) // best 0.1 — the good branch
+            }
+        }
+    }
+
+    fn branch_space() -> ConfigSpace {
+        let mut s = ConfigSpace::new();
+        let b = s.add("branch", Domain::Cat { n: 2 }, 0.0).unwrap();
+        s.add_conditional(
+            "x0",
+            Domain::Float { lo: 0.0, hi: 1.0, log: false },
+            0.5,
+            Some(crate::space::Condition { parent: b, values: vec![0] }),
+        )
+        .unwrap();
+        s.add_conditional(
+            "x1",
+            Domain::Float { lo: 0.0, hi: 1.0, log: false },
+            0.5,
+            Some(crate::space::Condition { parent: b, values: vec![1] }),
+        )
+        .unwrap();
+        s
+    }
+
+    fn run<S: Suggest>(opt: &mut S, n: usize) -> f64 {
+        for _ in 0..n {
+            let (cfg, fidelity) = opt.suggest();
+            let loss = objective(opt.space(), &cfg);
+            opt.observe(cfg, fidelity, loss, 1.0);
+        }
+        opt.history().best_loss().unwrap()
+    }
+
+    #[test]
+    fn random_search_improves_over_default() {
+        let mut rs = RandomSearch::new(branch_space(), 0);
+        let best = run(&mut rs, 60);
+        assert!(best < 0.35, "best {best}");
+    }
+
+    #[test]
+    fn smac_finds_good_branch() {
+        let mut smac = Smac::new(branch_space(), 0);
+        let best = run(&mut smac, 60);
+        assert!(best < 0.15, "best {best}");
+        // The incumbent should be on branch 1.
+        let inc = smac.best_config();
+        assert_eq!(inc.get(0).map(|v| v as usize), Some(1));
+    }
+
+    #[test]
+    fn smac_beats_random_on_average() {
+        let mut smac_wins = 0;
+        for seed in 0..5 {
+            let mut smac = Smac::new(branch_space(), seed);
+            let s = run(&mut smac, 40);
+            let mut rs = RandomSearch::new(branch_space(), seed);
+            let r = run(&mut rs, 40);
+            if s <= r {
+                smac_wins += 1;
+            }
+        }
+        assert!(smac_wins >= 3, "SMAC won only {smac_wins}/5");
+    }
+
+    #[test]
+    fn first_suggestion_is_default() {
+        let mut smac = Smac::new(branch_space(), 0);
+        let (cfg, f) = smac.suggest();
+        assert_eq!(cfg, smac.space().default_configuration());
+        assert_eq!(f, 1.0);
+    }
+
+    #[test]
+    fn warm_start_sets_incumbent() {
+        let space = branch_space();
+        let good = {
+            let mut m = std::collections::HashMap::new();
+            m.insert("branch".to_string(), 1.0);
+            m.insert("x1".to_string(), 0.8);
+            space.from_map(&m)
+        };
+        let mut smac = Smac::new(space, 0);
+        smac.warm_start(&[Observation {
+            config: good.clone(),
+            loss: 0.1,
+            cost: 1.0,
+            fidelity: 1.0,
+        }]);
+        assert_eq!(smac.best_config(), good);
+    }
+
+    #[test]
+    fn failed_evaluations_do_not_poison_surrogate() {
+        let mut smac = Smac::new(branch_space(), 0);
+        for i in 0..20 {
+            let (cfg, f) = smac.suggest();
+            let loss = if i % 3 == 0 {
+                f64::INFINITY
+            } else {
+                objective(smac.space(), &cfg)
+            };
+            smac.observe(cfg, f, loss, 1.0);
+        }
+        assert!(smac.history().best_loss().unwrap().is_finite());
+    }
+}

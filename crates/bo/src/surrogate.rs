@@ -1,0 +1,277 @@
+//! Probabilistic random-forest surrogate over encoded configurations.
+//!
+//! A compact regression forest specialized for SMAC-style use: inputs are the
+//! unit-cube encodings produced by [`crate::ConfigSpace::encode`] (with `-1`
+//! sentinels for inactive conditional parameters), predictions expose
+//! mean *and* variance across trees. Trees use random split thresholds
+//! (extra-trees style) which is both fast and gives better-calibrated
+//! ensemble variance for acquisition optimization.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// One fitted surrogate tree (flattened node array).
+#[derive(Debug, Clone)]
+struct SurrogateTree {
+    // (feature, threshold, left, right); feature == usize::MAX marks a leaf
+    // whose prediction is stored in threshold.
+    nodes: Vec<(usize, f64, usize, usize)>,
+}
+
+impl SurrogateTree {
+    fn predict(&self, x: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            let (feature, threshold, left, right) = self.nodes[i];
+            if feature == usize::MAX {
+                return threshold;
+            }
+            i = if x[feature] <= threshold { left } else { right };
+        }
+    }
+}
+
+/// Random-forest regression surrogate with predictive variance.
+#[derive(Debug, Clone)]
+pub struct RandomForestSurrogate {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Minimum leaf size.
+    pub min_leaf: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    trees: Vec<SurrogateTree>,
+}
+
+impl RandomForestSurrogate {
+    /// Creates an unfitted surrogate with SMAC-ish defaults.
+    pub fn new() -> Self {
+        RandomForestSurrogate {
+            n_trees: 24,
+            min_leaf: 2,
+            max_depth: 18,
+            trees: Vec::new(),
+        }
+    }
+
+    /// True once `fit` has run on at least one point.
+    pub fn is_fitted(&self) -> bool {
+        !self.trees.is_empty()
+    }
+
+    /// Fits the forest on encoded configurations `xs` and losses `ys`.
+    pub fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64], rng: &mut StdRng) {
+        self.trees.clear();
+        if xs.is_empty() || xs.len() != ys.len() {
+            return;
+        }
+        let n = xs.len();
+        for _ in 0..self.n_trees {
+            // Bootstrap sample.
+            let idx: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
+            let mut nodes = Vec::new();
+            build_tree(
+                xs,
+                ys,
+                &idx,
+                0,
+                self.max_depth,
+                self.min_leaf,
+                rng,
+                &mut nodes,
+            );
+            self.trees.push(SurrogateTree { nodes });
+        }
+    }
+
+    /// Predictive mean and variance at one encoded point.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        if self.trees.is_empty() {
+            return (0.5, 1.0); // uninformed prior
+        }
+        let preds: Vec<f64> = self.trees.iter().map(|t| t.predict(x)).collect();
+        let mean = preds.iter().sum::<f64>() / preds.len() as f64;
+        let var = preds
+            .iter()
+            .map(|p| (p - mean) * (p - mean))
+            .sum::<f64>()
+            / preds.len() as f64;
+        (mean, var)
+    }
+}
+
+impl Default for RandomForestSurrogate {
+    fn default() -> Self {
+        RandomForestSurrogate::new()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_tree(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    indices: &[usize],
+    depth: usize,
+    max_depth: usize,
+    min_leaf: usize,
+    rng: &mut StdRng,
+    nodes: &mut Vec<(usize, f64, usize, usize)>,
+) -> usize {
+    let mean = indices.iter().map(|&i| ys[i]).sum::<f64>() / indices.len().max(1) as f64;
+    let make_leaf = |nodes: &mut Vec<(usize, f64, usize, usize)>| {
+        nodes.push((usize::MAX, mean, 0, 0));
+        nodes.len() - 1
+    };
+    if depth >= max_depth || indices.len() < 2 * min_leaf {
+        return make_leaf(nodes);
+    }
+    // Variance check.
+    let var = indices
+        .iter()
+        .map(|&i| (ys[i] - mean) * (ys[i] - mean))
+        .sum::<f64>()
+        / indices.len() as f64;
+    if var < 1e-14 {
+        return make_leaf(nodes);
+    }
+
+    let d = xs[0].len();
+    // Try a handful of random (feature, threshold) pairs, keep the best.
+    let mut best: Option<(usize, f64, f64)> = None;
+    let tries = (d.max(4)).min(24);
+    for _ in 0..tries {
+        let f = rng.random_range(0..d);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &i in indices {
+            lo = lo.min(xs[i][f]);
+            hi = hi.max(xs[i][f]);
+        }
+        if hi - lo < 1e-12 {
+            continue;
+        }
+        let threshold = lo + rng.random::<f64>() * (hi - lo);
+        let (mut ls, mut lc, mut rs, mut rc) = (0.0, 0usize, 0.0, 0usize);
+        let (mut lq, mut rq) = (0.0, 0.0);
+        for &i in indices {
+            if xs[i][f] <= threshold {
+                ls += ys[i];
+                lq += ys[i] * ys[i];
+                lc += 1;
+            } else {
+                rs += ys[i];
+                rq += ys[i] * ys[i];
+                rc += 1;
+            }
+        }
+        if lc < min_leaf || rc < min_leaf {
+            continue;
+        }
+        let lvar = lq / lc as f64 - (ls / lc as f64).powi(2);
+        let rvar = rq / rc as f64 - (rs / rc as f64).powi(2);
+        let score = (lc as f64 * lvar + rc as f64 * rvar) / indices.len() as f64;
+        if best.map_or(true, |(_, _, b)| score < b) {
+            best = Some((f, threshold, score));
+        }
+    }
+    let Some((f, threshold, _)) = best else {
+        return make_leaf(nodes);
+    };
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+        indices.iter().partition(|&&i| xs[i][f] <= threshold);
+
+    let me = nodes.len();
+    nodes.push((f, threshold, 0, 0));
+    let left = build_tree(xs, ys, &left_idx, depth + 1, max_depth, min_leaf, rng, nodes);
+    let right = build_tree(xs, ys, &right_idx, depth + 1, max_depth, min_leaf, rng, nodes);
+    nodes[me].2 = left;
+    nodes[me].3 = right;
+    me
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::from_seed;
+
+    fn quadratic_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = from_seed(seed);
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| (x[0] - 0.3).powi(2) + 0.5 * (x[1] - 0.7).powi(2))
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn fits_smooth_function() {
+        let (xs, ys) = quadratic_data(300, 0);
+        let mut s = RandomForestSurrogate::new();
+        let mut rng = from_seed(1);
+        s.fit(&xs, &ys, &mut rng);
+        // Predict near the optimum and far from it.
+        let (near, _) = s.predict(&[0.3, 0.7]);
+        let (far, _) = s.predict(&[1.0, 0.0]);
+        assert!(near < far, "near {near} far {far}");
+    }
+
+    #[test]
+    fn unfitted_returns_prior() {
+        let s = RandomForestSurrogate::new();
+        let (m, v) = s.predict(&[0.0]);
+        assert_eq!((m, v), (0.5, 1.0));
+    }
+
+    #[test]
+    fn variance_nonnegative_and_varies() {
+        let (xs, ys) = quadratic_data(100, 2);
+        let mut s = RandomForestSurrogate::new();
+        let mut rng = from_seed(3);
+        s.fit(&xs, &ys, &mut rng);
+        let mut vars = Vec::new();
+        for x in &xs {
+            let (_, v) = s.predict(x);
+            assert!(v >= 0.0);
+            vars.push(v);
+        }
+        assert!(vars.iter().any(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn handles_sentinel_encoding() {
+        // Points where the second slot is -1 (inactive) vs active.
+        let xs = vec![
+            vec![0.1, -1.0],
+            vec![0.9, -1.0],
+            vec![0.1, 0.5],
+            vec![0.9, 0.5],
+        ];
+        let ys = vec![0.0, 0.0, 1.0, 1.0];
+        let mut s = RandomForestSurrogate::new();
+        let mut rng = from_seed(4);
+        s.fit(&xs, &ys, &mut rng);
+        let (inactive, _) = s.predict(&[0.5, -1.0]);
+        let (active, _) = s.predict(&[0.5, 0.5]);
+        assert!(inactive < active, "{inactive} vs {active}");
+    }
+
+    #[test]
+    fn single_point_fit_is_safe() {
+        let mut s = RandomForestSurrogate::new();
+        let mut rng = from_seed(5);
+        s.fit(&[vec![0.5]], &[0.3], &mut rng);
+        let (m, _) = s.predict(&[0.5]);
+        assert!((m - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mismatched_input_is_noop() {
+        let mut s = RandomForestSurrogate::new();
+        let mut rng = from_seed(6);
+        s.fit(&[vec![0.5]], &[0.3, 0.4], &mut rng);
+        assert!(!s.is_fitted());
+    }
+}

@@ -1,0 +1,317 @@
+//! `volcanoml` — command-line front end for the VolcanoML engine.
+//!
+//! ```text
+//! volcanoml fit data.csv [--evals N] [--tier small|medium|large]
+//!                        [--plan p1|p2|p3|p4|p5] [--engine bo|random|sh|hyperband|mfes-hb]
+//!                        [--seed S] [--cv K] [--ensemble N] [--smote]
+//! volcanoml spaces                      # print the tiered search-space sizes
+//! volcanoml plans                       # print the plan catalogue
+//! volcanoml generate <kind> <out.csv>   # emit a synthetic benchmark dataset
+//! ```
+//!
+//! CSV dialect: first line `#types:` declaration, then a header, then rows;
+//! see `volcanoml_data::csv`. `volcanoml generate` produces compliant files.
+
+use std::process::ExitCode;
+use volcanoml_core::plans::enumerate_coarse_plans;
+use volcanoml_core::{
+    EngineKind, PlanSpec, SpaceDef, SpaceTier, ValidationStrategy, VolcanoML, VolcanoMlOptions,
+};
+use volcanoml_data::{train_test_split, Metric, Task};
+use volcanoml_fe::pipeline::FeSpaceOptions;
+
+fn usage() -> &'static str {
+    "usage:\n  volcanoml fit <data.csv> [--evals N] [--tier small|medium|large] \
+     [--plan p1|p2|p3|p4|p5] [--engine bo|random|sh|hyperband|mfes-hb] [--seed S] \
+     [--cv K] [--ensemble N] [--smote]\n  volcanoml spaces\n  volcanoml plans\n  \
+     volcanoml generate <classification|moons|xor|friedman1|imbalanced> <out.csv> [--seed S]"
+}
+
+/// Minimal flag parser: `--key value` pairs after positional arguments.
+struct Flags {
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{a}'"));
+            };
+            // Switch-style flags take no value.
+            if key == "smote" {
+                switches.push(key.to_string());
+                i += 1;
+                continue;
+            }
+            let Some(value) = args.get(i + 1) else {
+                return Err(format!("flag --{key} needs a value"));
+            };
+            pairs.push((key.to_string(), value.clone()));
+            i += 2;
+        }
+        Ok(Flags { pairs, switches })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for --{key}")),
+        }
+    }
+}
+
+fn parse_tier(s: &str) -> Result<SpaceTier, String> {
+    match s {
+        "small" => Ok(SpaceTier::Small),
+        "medium" => Ok(SpaceTier::Medium),
+        "large" => Ok(SpaceTier::Large),
+        other => Err(format!("unknown tier '{other}'")),
+    }
+}
+
+fn parse_engine(s: &str) -> Result<EngineKind, String> {
+    match s {
+        "bo" => Ok(EngineKind::Bo),
+        "random" => Ok(EngineKind::Random),
+        "sh" => Ok(EngineKind::SuccessiveHalving),
+        "hyperband" => Ok(EngineKind::Hyperband),
+        "mfes-hb" => Ok(EngineKind::MfesHb),
+        other => Err(format!("unknown engine '{other}'")),
+    }
+}
+
+fn parse_plan(s: &str, engine: EngineKind) -> Result<PlanSpec, String> {
+    enumerate_coarse_plans(engine)
+        .into_iter()
+        .find(|(name, _)| name.to_lowercase().starts_with(s))
+        .map(|(_, plan)| plan)
+        .ok_or_else(|| format!("unknown plan '{s}' (use p1..p5)"))
+}
+
+fn cmd_fit(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("fit needs a CSV path".to_string());
+    };
+    let flags = Flags::parse(&args[1..])?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let dataset = volcanoml_data::csv::from_csv(path, &text).map_err(|e| e.to_string())?;
+    println!(
+        "loaded {}: {} samples x {} features, task {:?}",
+        path,
+        dataset.n_samples(),
+        dataset.n_features(),
+        dataset.task
+    );
+
+    let evals: usize = flags.get_parsed("evals", 60)?;
+    let seed: u64 = flags.get_parsed("seed", 0)?;
+    let ensemble: usize = flags.get_parsed("ensemble", 1)?;
+    let tier = parse_tier(flags.get("tier").unwrap_or("large"))?;
+    let engine_kind = parse_engine(flags.get("engine").unwrap_or("bo"))?;
+    let plan = match flags.get("plan") {
+        Some(p) => parse_plan(p, engine_kind)?,
+        None => PlanSpec::volcano_default(engine_kind),
+    };
+    let validation = match flags.get("cv") {
+        Some(k) => ValidationStrategy::CrossValidation {
+            folds: k.parse().map_err(|_| "invalid --cv".to_string())?,
+        },
+        None => ValidationStrategy::default(),
+    };
+
+    let space = if flags.has("smote") {
+        if dataset.task != Task::Classification {
+            return Err("--smote only applies to classification".to_string());
+        }
+        SpaceDef::enriched(
+            dataset.task,
+            FeSpaceOptions {
+                include_smote: true,
+                embedding: None,
+            },
+        )
+    } else {
+        SpaceDef::tiered(dataset.task, tier)
+    };
+    println!(
+        "space: {} hyper-parameters over {} algorithms | plan: {}",
+        space.len(),
+        space.algorithms.len(),
+        plan.render()
+    );
+
+    let (train, test) =
+        train_test_split(&dataset, 0.2, seed).map_err(|e| e.to_string())?;
+    let engine = VolcanoML::new(
+        space,
+        VolcanoMlOptions {
+            plan,
+            max_evaluations: evals,
+            seed,
+            ensemble_size: ensemble,
+            validation,
+            ..Default::default()
+        },
+    );
+    let fitted = engine.fit(&train).map_err(|e| e.to_string())?;
+    println!("\nexecution plan after the run:\n{}", fitted.report.plan_explain);
+    println!(
+        "search: {} evaluations in {:.2}s, best validation loss {:.4}",
+        fitted.report.n_evaluations, fitted.report.total_cost, fitted.report.best_loss
+    );
+    let mut best: Vec<_> = fitted.report.best_assignment.iter().collect();
+    best.sort_by(|a, b| a.0.cmp(b.0));
+    println!("\nwinning configuration:");
+    for (k, v) in best {
+        println!("  {k} = {v:.5}");
+    }
+    let metric = Metric::default_for(dataset.task);
+    let score = fitted.score(&test, metric).map_err(|e| e.to_string())?;
+    println!("\nheld-out {}: {score:.4}", metric.name());
+    Ok(())
+}
+
+fn cmd_spaces() {
+    println!("{:<16} {:<8} {:>8} {:>12}", "task", "tier", "vars", "algorithms");
+    for task in [Task::Classification, Task::Regression] {
+        for (tier, name) in [
+            (SpaceTier::Small, "small"),
+            (SpaceTier::Medium, "medium"),
+            (SpaceTier::Large, "large"),
+        ] {
+            let s = SpaceDef::tiered(task, tier);
+            println!(
+                "{:<16} {:<8} {:>8} {:>12}",
+                format!("{task:?}"),
+                name,
+                s.len(),
+                s.algorithms.len()
+            );
+        }
+    }
+}
+
+fn cmd_plans() {
+    for (name, plan) in enumerate_coarse_plans(EngineKind::Bo) {
+        println!("{name:<14} {}", plan.render());
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let (Some(kind), Some(out)) = (args.first(), args.get(1)) else {
+        return Err("generate needs <kind> <out.csv>".to_string());
+    };
+    let flags = Flags::parse(&args[2..])?;
+    let seed: u64 = flags.get_parsed("seed", 0)?;
+    use volcanoml_data::synthetic::*;
+    let dataset = match kind.as_str() {
+        "classification" => make_classification(&ClassificationSpec::default(), seed),
+        "moons" => make_moons(500, 0.15, 2, seed),
+        "xor" => make_xor(500, 2, 8, 0.03, seed),
+        "friedman1" => make_friedman1(500, 4, 0.5, seed),
+        "imbalanced" => make_classification(
+            &ClassificationSpec {
+                weights: vec![0.9, 0.1],
+                ..ClassificationSpec::default()
+            },
+            seed,
+        ),
+        other => return Err(format!("unknown generator '{other}'")),
+    };
+    let text = volcanoml_data::csv::to_csv(&dataset);
+    std::fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {} ({} samples x {} features, {:?})",
+        out,
+        dataset.n_samples(),
+        dataset.n_features(),
+        dataset.task
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("fit") => cmd_fit(&args[1..]),
+        Some("spaces") => {
+            cmd_spaces();
+            Ok(())
+        }
+        Some("plans") => {
+            cmd_plans();
+            Ok(())
+        }
+        Some("generate") => cmd_generate(&args[1..]),
+        _ => Err(usage().to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parser_pairs_and_switches() {
+        let args: Vec<String> = ["--evals", "40", "--smote", "--seed", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = Flags::parse(&args).unwrap();
+        assert_eq!(f.get("evals"), Some("40"));
+        assert_eq!(f.get_parsed("seed", 0u64).unwrap(), 7);
+        assert!(f.has("smote"));
+        assert_eq!(f.get_parsed("missing", 3usize).unwrap(), 3);
+    }
+
+    #[test]
+    fn flag_parser_rejects_bad_input() {
+        let args: Vec<String> = ["positional"].iter().map(|s| s.to_string()).collect();
+        assert!(Flags::parse(&args).is_err());
+        let dangling: Vec<String> = ["--evals"].iter().map(|s| s.to_string()).collect();
+        assert!(Flags::parse(&dangling).is_err());
+    }
+
+    #[test]
+    fn parsers_accept_all_documented_values() {
+        for t in ["small", "medium", "large"] {
+            parse_tier(t).unwrap();
+        }
+        assert!(parse_tier("huge").is_err());
+        for e in ["bo", "random", "sh", "hyperband", "mfes-hb"] {
+            parse_engine(e).unwrap();
+        }
+        assert!(parse_engine("sgd").is_err());
+        for p in ["p1", "p2", "p3", "p4", "p5"] {
+            parse_plan(p, EngineKind::Bo).unwrap();
+        }
+        assert!(parse_plan("p9", EngineKind::Bo).is_err());
+    }
+}

@@ -1,0 +1,356 @@
+//! The alternating block (§3.3.3, Algorithms 2 and 3): splits its space into
+//! two variable sets explored alternately. The first `2L` calls follow
+//! Algorithm 2's round-robin initialization (unrolled to one evaluation per
+//! `do_next`); afterwards, Algorithm 3 plays the child with the larger
+//! expected utility improvement. Before each play, the *other* child's best
+//! assignment is pinned into the played child (`set_var`).
+
+use crate::block::{Assignment, BestSolution, BuildingBlock, LossInterval};
+use crate::eu::{eu_interval, eui};
+use crate::evaluator::Evaluator;
+use crate::Result;
+
+/// One side of the alternation.
+struct Side {
+    block: Box<dyn BuildingBlock>,
+    /// Names of the variables this side owns (pinned into the sibling).
+    vars: Vec<String>,
+}
+
+/// Alternating block over two complementary children.
+pub struct AlternatingBlock {
+    label: String,
+    left: Side,
+    right: Side,
+    /// Round-robin plays per side before EUI scheduling (paper's `L`).
+    pub init_rounds: usize,
+    /// When true, scheduling stays round-robin forever (the ablation
+    /// baseline measured by the blocks-ablation bench).
+    pub round_robin_only: bool,
+    plays: usize,
+    evaluations: usize,
+    defaults: Assignment,
+}
+
+impl AlternatingBlock {
+    /// Creates an alternating block. `defaults` must cover both children's
+    /// variables (used to pin siblings before their first result).
+    pub fn new(
+        label: impl Into<String>,
+        left: Box<dyn BuildingBlock>,
+        left_vars: Vec<String>,
+        right: Box<dyn BuildingBlock>,
+        right_vars: Vec<String>,
+        defaults: Assignment,
+    ) -> AlternatingBlock {
+        let mut block = AlternatingBlock {
+            label: label.into(),
+            left: Side {
+                block: left,
+                vars: left_vars,
+            },
+            right: Side {
+                block: right,
+                vars: right_vars,
+            },
+            // Paper value is L = 5; see ConditioningBlock::warmup_plays for
+            // why the scaled-down default is smaller.
+            init_rounds: 2,
+            round_robin_only: false,
+            plays: 0,
+            evaluations: 0,
+            defaults,
+        };
+        // Algorithm 2 line 1: initialize ȳ and z̄ with defaults.
+        let right_defaults = block.defaults_for(&block.right.vars);
+        block.left.block.set_fixed(&right_defaults);
+        let left_defaults = block.defaults_for(&block.left.vars);
+        block.right.block.set_fixed(&left_defaults);
+        block
+    }
+
+    fn defaults_for(&self, vars: &[String]) -> Assignment {
+        vars.iter()
+            .filter_map(|v| self.defaults.get(v).map(|x| (v.clone(), *x)))
+            .collect()
+    }
+
+    /// Pins the sibling's current best (or defaults) into the side to play.
+    fn sync_from_sibling(&mut self, play_left: bool) {
+        let (sibling, sibling_vars) = if play_left {
+            (&self.right.block, &self.right.vars)
+        } else {
+            (&self.left.block, &self.left.vars)
+        };
+        let mut pinned = self.defaults_for(sibling_vars);
+        if let Some(own) = sibling.own_best() {
+            for (k, v) in own {
+                if sibling_vars.contains(&k) {
+                    pinned.insert(k, v);
+                }
+            }
+        }
+        if play_left {
+            self.left.block.set_fixed(&pinned);
+        } else {
+            self.right.block.set_fixed(&pinned);
+        }
+    }
+
+    /// Which side to play next (Algorithm 2 during init, Algorithm 3 after).
+    fn choose_side(&self) -> bool {
+        if self.round_robin_only || self.plays < 2 * self.init_rounds {
+            self.plays % 2 == 0
+        } else {
+            let left_eui = self.left.block.expected_utility_improvement();
+            let right_eui = self.right.block.expected_utility_improvement();
+            left_eui >= right_eui
+        }
+    }
+
+    /// Plays delivered to the left child.
+    pub fn left_plays(&self) -> usize {
+        self.left.block.evaluations()
+    }
+
+    /// Plays delivered to the right child.
+    pub fn right_plays(&self) -> usize {
+        self.right.block.evaluations()
+    }
+}
+
+impl BuildingBlock for AlternatingBlock {
+    fn do_next(&mut self, evaluator: &mut Evaluator) -> Result<()> {
+        let play_left = self.choose_side();
+        self.sync_from_sibling(play_left);
+        if play_left {
+            self.left.block.do_next(evaluator)?;
+        } else {
+            self.right.block.do_next(evaluator)?;
+        }
+        self.plays += 1;
+        self.evaluations += 1;
+        Ok(())
+    }
+
+    fn current_best(&self) -> Option<BestSolution> {
+        match (
+            self.left.block.current_best(),
+            self.right.block.current_best(),
+        ) {
+            (Some(l), Some(r)) => Some(if l.loss <= r.loss { l } else { r }),
+            (Some(l), None) => Some(l),
+            (None, Some(r)) => Some(r),
+            (None, None) => None,
+        }
+    }
+
+    fn own_best(&self) -> Option<Assignment> {
+        // This block owns both sides' variables: merge the winning side's
+        // own assignment with the other side's contribution.
+        let l = self.left.block.own_best();
+        let r = self.right.block.own_best();
+        match (l, r) {
+            (None, None) => None,
+            (l, r) => {
+                let mut merged = Assignment::new();
+                if let Some(r) = r {
+                    merged.extend(r);
+                }
+                if let Some(l) = l {
+                    merged.extend(l);
+                }
+                Some(merged)
+            }
+        }
+    }
+
+    fn expected_utility(&self, k: usize) -> LossInterval {
+        eu_interval(&self.trajectory(), k, 0.0)
+    }
+
+    fn expected_utility_improvement(&self) -> f64 {
+        eui(&self.trajectory(), 4)
+    }
+
+    fn set_fixed(&mut self, fixed: &Assignment) {
+        self.left.block.set_fixed(fixed);
+        self.right.block.set_fixed(fixed);
+    }
+
+    fn trajectory(&self) -> Vec<f64> {
+        let lt = self.left.block.trajectory();
+        let rt = self.right.block.trajectory();
+        let mut merged = Vec::with_capacity(lt.len() + rt.len());
+        let mut best = f64::INFINITY;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < lt.len() || j < rt.len() {
+            if i < lt.len() {
+                best = best.min(lt[i]);
+                merged.push(best);
+                i += 1;
+            }
+            if j < rt.len() {
+                best = best.min(rt[j]);
+                merged.push(best);
+                j += 1;
+            }
+        }
+        merged
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    fn describe(&self, indent: usize, out: &mut String) {
+        out.push_str(&" ".repeat(indent));
+        out.push_str(&format!(
+            "Alternating[{}] plays(l/r)={}/{}\n",
+            self.label,
+            self.left.block.evaluations(),
+            self.right.block.evaluations()
+        ));
+        self.left.block.describe(indent + 2, out);
+        self.right.block.describe(indent + 2, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::joint::{JointBlock, JointEngine};
+    use crate::spaces::{SpaceDef, SpaceTier, VarGroup};
+    use volcanoml_data::synthetic::{make_classification, ClassificationSpec};
+    use volcanoml_data::{Metric, Task};
+
+    fn setup() -> (Evaluator, SpaceDef) {
+        let space = SpaceDef::tiered(Task::Classification, SpaceTier::Small);
+        let d = make_classification(
+            &ClassificationSpec {
+                n_samples: 240,
+                n_features: 8,
+                n_informative: 5,
+                n_redundant: 0,
+                n_classes: 2,
+                class_sep: 1.3,
+                flip_y: 0.02,
+                weights: Vec::new(),
+            },
+            5,
+        );
+        let ev = Evaluator::new(space.clone(), &d, Metric::BalancedAccuracy, 0).unwrap();
+        (ev, space)
+    }
+
+    /// FE-vs-HP alternating block for a fixed algorithm.
+    fn fe_hp_alternating(space: &SpaceDef, alg: usize) -> AlternatingBlock {
+        let mut ctx = Assignment::new();
+        ctx.insert("algorithm".to_string(), alg as f64);
+        let fe_vars: Vec<String> = space
+            .vars
+            .iter()
+            .filter(|v| v.group == VarGroup::Fe)
+            .map(|v| v.name.clone())
+            .collect();
+        let hp_vars: Vec<String> = space
+            .vars
+            .iter()
+            .filter(|v| v.group == VarGroup::Hp(alg))
+            .map(|v| v.name.clone())
+            .collect();
+        let fe_space = space.compile_subspace(&fe_vars, &ctx).unwrap();
+        let hp_space = space.compile_subspace(&hp_vars, &ctx).unwrap();
+        let left = Box::new(JointBlock::new("fe", fe_space, JointEngine::Bo, ctx.clone(), 1));
+        let right = Box::new(JointBlock::new("hp", hp_space, JointEngine::Bo, ctx.clone(), 2));
+        AlternatingBlock::new("fe-vs-hp", left, fe_vars, right, hp_vars, space.defaults())
+    }
+
+    #[test]
+    fn init_phase_is_round_robin() {
+        let (mut ev, space) = setup();
+        let mut block = fe_hp_alternating(&space, 1);
+        block.init_rounds = 3;
+        for _ in 0..6 {
+            block.do_next(&mut ev).unwrap();
+        }
+        assert_eq!(block.left_plays(), 3);
+        assert_eq!(block.right_plays(), 3);
+    }
+
+    #[test]
+    fn finds_a_finite_best_with_both_sides_contributing() {
+        let (mut ev, space) = setup();
+        let mut block = fe_hp_alternating(&space, 1);
+        for _ in 0..16 {
+            block.do_next(&mut ev).unwrap();
+        }
+        let best = block.current_best().unwrap();
+        assert!(best.loss.is_finite());
+        assert_eq!(best.assignment.get("algorithm"), Some(&1.0));
+        assert!(best.assignment.keys().any(|k| k.starts_with("fe:")));
+        assert!(best.assignment.keys().any(|k| k.starts_with("alg:")));
+    }
+
+    #[test]
+    fn eui_scheduling_plays_both_sides() {
+        let (mut ev, space) = setup();
+        let mut block = fe_hp_alternating(&space, 1);
+        block.init_rounds = 2;
+        for _ in 0..30 {
+            block.do_next(&mut ev).unwrap();
+        }
+        assert_eq!(block.left_plays() + block.right_plays(), 30);
+        assert!(block.left_plays() >= 2);
+        assert!(block.right_plays() >= 2);
+    }
+
+    #[test]
+    fn round_robin_only_splits_evenly() {
+        let (mut ev, space) = setup();
+        let mut block = fe_hp_alternating(&space, 0);
+        block.round_robin_only = true;
+        for _ in 0..20 {
+            block.do_next(&mut ev).unwrap();
+        }
+        assert_eq!(block.left_plays(), 10);
+        assert_eq!(block.right_plays(), 10);
+    }
+
+    #[test]
+    fn trajectory_is_monotone() {
+        let (mut ev, space) = setup();
+        let mut block = fe_hp_alternating(&space, 0);
+        for _ in 0..12 {
+            block.do_next(&mut ev).unwrap();
+        }
+        let t = block.trajectory();
+        assert!(t.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+    }
+
+    #[test]
+    fn own_best_covers_both_sides() {
+        let (mut ev, space) = setup();
+        let mut block = fe_hp_alternating(&space, 1);
+        for _ in 0..12 {
+            block.do_next(&mut ev).unwrap();
+        }
+        let own = block.own_best().unwrap();
+        assert!(own.keys().any(|k| k.starts_with("fe:")));
+        assert!(own.keys().any(|k| k.starts_with("alg:")));
+        assert!(!own.contains_key("algorithm"));
+    }
+
+    #[test]
+    fn set_fixed_propagates_to_both_children() {
+        let (mut ev, space) = setup();
+        let mut block = fe_hp_alternating(&space, 2);
+        let mut extra = Assignment::new();
+        extra.insert("algorithm".to_string(), 2.0);
+        block.set_fixed(&extra);
+        block.do_next(&mut ev).unwrap();
+        block.do_next(&mut ev).unwrap();
+        let best = block.current_best().unwrap();
+        assert_eq!(best.assignment.get("algorithm"), Some(&2.0));
+    }
+}

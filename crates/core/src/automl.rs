@@ -1,0 +1,465 @@
+//! The user-facing AutoML engine: configure a space + plan + budget, call
+//! `fit`, get back a trained pipeline (or ensemble) and a search report.
+
+use crate::block::Assignment;
+use crate::ensemble::Ensemble;
+use crate::evaluator::{Evaluator, ValidationStrategy};
+use crate::metalearn::MetaBase;
+use crate::plan::{EngineKind, PlanSpec};
+use crate::spaces::{SpaceDef, SpaceTier};
+use crate::{CoreError, Result};
+use std::time::{Duration, Instant};
+use volcanoml_data::{train_test_split, Dataset, Metric, Task};
+use volcanoml_fe::FePipeline;
+use volcanoml_linalg::Matrix;
+use volcanoml_models::{Estimator, Model};
+
+/// Engine options.
+#[derive(Clone)]
+pub struct VolcanoMlOptions {
+    /// Execution plan (defaults to the paper's Figure 2 plan with BO leaves).
+    pub plan: PlanSpec,
+    /// Utility metric; `None` uses the paper's defaults (balanced accuracy /
+    /// MSE).
+    pub metric: Option<Metric>,
+    /// Maximum number of pipeline evaluations.
+    pub max_evaluations: usize,
+    /// Optional wall-clock cap checked between evaluations.
+    pub time_budget: Option<Duration>,
+    /// Master seed.
+    pub seed: u64,
+    /// Warm-start assignments evaluated before the plan runs (meta-learning
+    /// initial design).
+    pub warm_start: Vec<Assignment>,
+    /// When > 1, build a greedy ensemble of up to this many distinct members
+    /// instead of refitting only the single best pipeline.
+    pub ensemble_size: usize,
+    /// How pipeline quality is measured during search.
+    pub validation: ValidationStrategy,
+}
+
+impl Default for VolcanoMlOptions {
+    fn default() -> Self {
+        VolcanoMlOptions {
+            plan: PlanSpec::volcano_default(EngineKind::Bo),
+            metric: None,
+            max_evaluations: 60,
+            time_budget: None,
+            seed: 0,
+            warm_start: Vec::new(),
+            ensemble_size: 1,
+            validation: ValidationStrategy::default(),
+        }
+    }
+}
+
+/// The VolcanoML AutoML engine.
+pub struct VolcanoML {
+    space: SpaceDef,
+    options: VolcanoMlOptions,
+}
+
+/// Search statistics returned alongside the fitted model.
+#[derive(Debug, Clone)]
+pub struct AutoMlReport {
+    /// Best validation loss reached.
+    pub best_loss: f64,
+    /// Best assignment.
+    pub best_assignment: Assignment,
+    /// `(evaluation_index, cumulative_cost_seconds, best_loss_so_far)` after
+    /// every full-fidelity evaluation — the raw series behind the paper's
+    /// time-vs-error figures.
+    pub trajectory: Vec<(usize, f64, f64)>,
+    /// `(evaluation_index, cumulative_cost_seconds, loss, assignment)` at
+    /// every incumbent *change* — enough to reconstruct test-error-vs-time
+    /// curves without storing every evaluation.
+    pub incumbent_steps: Vec<(usize, f64, f64, Assignment)>,
+    /// Total pipeline evaluations executed.
+    pub n_evaluations: usize,
+    /// Total evaluation wall-time in seconds.
+    pub total_cost: f64,
+    /// Rendered block tree after the run (the plan "EXPLAIN").
+    pub plan_explain: String,
+    /// Top distinct assignments (best first) — meta-learning records these.
+    pub top_assignments: Vec<(Assignment, f64)>,
+}
+
+/// The fitted artifact: single pipeline or ensemble, plus the report.
+pub struct FittedVolcanoML {
+    single: Option<(FePipeline, Model)>,
+    ensemble: Option<Ensemble>,
+    /// Search report.
+    pub report: AutoMlReport,
+    task: Task,
+}
+
+impl VolcanoML {
+    /// Engine over an explicit space definition.
+    pub fn new(space: SpaceDef, options: VolcanoMlOptions) -> VolcanoML {
+        VolcanoML { space, options }
+    }
+
+    /// Engine over one of the paper's tiered spaces.
+    pub fn with_tier(task: Task, tier: SpaceTier, options: VolcanoMlOptions) -> VolcanoML {
+        VolcanoML::new(SpaceDef::tiered(task, tier), options)
+    }
+
+    /// The space being searched.
+    pub fn space(&self) -> &SpaceDef {
+        &self.space
+    }
+
+    /// Populates `options.warm_start` from a meta-base (k-NN over dataset
+    /// meta-features). Returns the number of configurations added.
+    pub fn warm_start_from(&mut self, meta_base: &MetaBase, dataset: &Dataset) -> usize {
+        let recs = meta_base.recommend(dataset, 3, 5);
+        let n = recs.len();
+        self.options.warm_start.extend(recs);
+        n
+    }
+
+    /// Runs the search and refits the winner on the full training data.
+    pub fn fit(&self, data: &Dataset) -> Result<FittedVolcanoML> {
+        if data.task != self.space.task {
+            return Err(CoreError::Invalid(format!(
+                "dataset task {:?} does not match space task {:?}",
+                data.task, self.space.task
+            )));
+        }
+        let metric = self
+            .options
+            .metric
+            .unwrap_or_else(|| Metric::default_for(data.task));
+        let mut evaluator = Evaluator::with_strategy(
+            self.space.clone(),
+            data,
+            metric,
+            self.options.validation,
+            self.options.seed,
+        )?;
+        let mut root = self.options.plan.compile(&self.space, self.options.seed)?;
+
+        let start = Instant::now();
+        let out_of_budget = |evaluator: &Evaluator| {
+            evaluator.evaluations >= self.options.max_evaluations
+                || self
+                    .options
+                    .time_budget
+                    .map_or(false, |b| start.elapsed() >= b)
+        };
+
+        // Meta-learning initial design: evaluate warm starts first. They both
+        // seed the global best and prime the evaluator cache.
+        for assignment in &self.options.warm_start {
+            if out_of_budget(&evaluator) {
+                break;
+            }
+            // Complete partial assignments with defaults.
+            let mut full = self.space.defaults();
+            for (k, v) in assignment {
+                full.insert(k.clone(), *v);
+            }
+            evaluator.evaluate(&full, 1.0);
+        }
+
+        // The Volcano loop: pull on the root until the budget is gone.
+        while !out_of_budget(&evaluator) {
+            root.do_next(&mut evaluator)?;
+        }
+
+        // Multi-fidelity engines may exhaust a small budget before promoting
+        // anything to full fidelity; promote the best low-fidelity candidate
+        // with one final full evaluation so `fit` always yields a pipeline.
+        let has_full = evaluator
+            .log
+            .iter()
+            .any(|e| e.fidelity >= 1.0 - 1e-9 && e.loss.is_finite());
+        if !has_full {
+            let best_low = evaluator
+                .log
+                .iter()
+                .filter(|e| e.loss.is_finite())
+                .min_by(|a, b| a.loss.partial_cmp(&b.loss).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|e| e.assignment.clone());
+            if let Some(assignment) = best_low {
+                evaluator.evaluate(&assignment, 1.0);
+            }
+        }
+
+        // Collect the global best and trajectory from the evaluator log
+        // (warm starts + all blocks).
+        let mut best_loss = f64::INFINITY;
+        let mut best_assignment: Option<Assignment> = None;
+        let mut trajectory = Vec::new();
+        let mut incumbent_steps = Vec::new();
+        let mut cum_cost = 0.0;
+        for (i, entry) in evaluator.log.iter().enumerate() {
+            cum_cost += entry.cost;
+            if entry.fidelity >= 1.0 - 1e-9 && entry.loss < best_loss {
+                best_loss = entry.loss;
+                best_assignment = Some(entry.assignment.clone());
+                incumbent_steps.push((i + 1, cum_cost, best_loss, entry.assignment.clone()));
+            }
+            if entry.fidelity >= 1.0 - 1e-9 && best_loss.is_finite() {
+                trajectory.push((i + 1, cum_cost, best_loss));
+            }
+        }
+        let best_assignment = best_assignment.ok_or_else(|| {
+            CoreError::Invalid("no successful full-fidelity evaluation within budget".into())
+        })?;
+
+        // Distinct top assignments for ensembling / meta-learning.
+        let mut seen = std::collections::HashSet::new();
+        let mut top: Vec<(Assignment, f64)> = Vec::new();
+        let mut entries: Vec<_> = evaluator
+            .log
+            .iter()
+            .filter(|e| e.fidelity >= 1.0 - 1e-9 && e.loss.is_finite())
+            .collect();
+        entries.sort_by(|a, b| a.loss.partial_cmp(&b.loss).unwrap_or(std::cmp::Ordering::Equal));
+        for e in entries {
+            let key: Vec<(String, u64)> = {
+                let mut kv: Vec<(String, u64)> = e
+                    .assignment
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_bits()))
+                    .collect();
+                kv.sort();
+                kv
+            };
+            if seen.insert(key) {
+                top.push((e.assignment.clone(), e.loss));
+            }
+            if top.len() >= 10 {
+                break;
+            }
+        }
+
+        let report = AutoMlReport {
+            best_loss,
+            best_assignment: best_assignment.clone(),
+            trajectory,
+            incumbent_steps,
+            n_evaluations: evaluator.evaluations,
+            total_cost: evaluator.total_cost,
+            plan_explain: crate::block::explain(root.as_ref()),
+            top_assignments: top.clone(),
+        };
+
+        // Final artifact.
+        if self.options.ensemble_size > 1 && top.len() > 1 {
+            // Internal split for greedy selection.
+            let (ens_train, ens_valid) =
+                train_test_split(data, 0.25, self.options.seed ^ 0xe5e)?;
+            let ensemble = Ensemble::select(
+                &evaluator,
+                &top,
+                &ens_train,
+                &ens_valid,
+                metric,
+                self.options.ensemble_size,
+                self.options.ensemble_size * 2,
+            )?;
+            Ok(FittedVolcanoML {
+                single: None,
+                ensemble: Some(ensemble),
+                report,
+                task: data.task,
+            })
+        } else {
+            let (pipeline, model) = evaluator.refit(&best_assignment, data)?;
+            Ok(FittedVolcanoML {
+                single: Some((pipeline, model)),
+                ensemble: None,
+                report,
+                task: data.task,
+            })
+        }
+    }
+}
+
+impl FittedVolcanoML {
+    /// Predicts targets (class indices or regression values) for new data.
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if let Some((pipeline, model)) = &self.single {
+            let xt = pipeline
+                .transform(x)
+                .map_err(|e| CoreError::Substrate(e.to_string()))?;
+            return model
+                .predict(&xt)
+                .map_err(|e| CoreError::Substrate(e.to_string()));
+        }
+        if let Some(ensemble) = &self.ensemble {
+            return ensemble.predict(x);
+        }
+        Err(CoreError::Invalid("fitted artifact is empty".into()))
+    }
+
+    /// Scores the fitted artifact on a held-out dataset with `metric`.
+    pub fn score(&self, data: &Dataset, metric: Metric) -> Result<f64> {
+        if data.task != self.task {
+            return Err(CoreError::Invalid("task mismatch in score".into()));
+        }
+        let preds = self.predict(&data.x)?;
+        Ok(metric.score(&data.y, &preds))
+    }
+
+    /// Whether the artifact is an ensemble.
+    pub fn is_ensemble(&self) -> bool {
+        self.ensemble.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volcanoml_data::synthetic::{
+        make_classification, make_regression, ClassificationSpec, RegressionSpec,
+    };
+
+    fn cls_data(seed: u64) -> Dataset {
+        make_classification(
+            &ClassificationSpec {
+                n_samples: 300,
+                n_features: 8,
+                n_informative: 5,
+                n_redundant: 1,
+                n_classes: 2,
+                class_sep: 1.2,
+                flip_y: 0.03,
+                weights: Vec::new(),
+            },
+            seed,
+        )
+    }
+
+    fn quick_options(n: usize) -> VolcanoMlOptions {
+        VolcanoMlOptions {
+            max_evaluations: n,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_classification() {
+        let d = cls_data(1);
+        let (train, test) = train_test_split(&d, 0.2, 0).unwrap();
+        let engine =
+            VolcanoML::with_tier(Task::Classification, SpaceTier::Small, quick_options(25));
+        let fitted = engine.fit(&train).unwrap();
+        assert!(fitted.report.best_loss < 0.5);
+        assert!(fitted.report.n_evaluations <= 25);
+        let acc = fitted.score(&test, Metric::BalancedAccuracy).unwrap();
+        assert!(acc > 0.6, "test balanced accuracy {acc}");
+        assert!(fitted.report.plan_explain.contains("Conditioning"));
+    }
+
+    #[test]
+    fn end_to_end_regression() {
+        let d = make_regression(
+            &RegressionSpec {
+                n_samples: 260,
+                n_features: 6,
+                n_informative: 4,
+                noise: 0.3,
+                nonlinear: false,
+            },
+            2,
+        );
+        let (train, test) = train_test_split(&d, 0.2, 0).unwrap();
+        let engine = VolcanoML::with_tier(Task::Regression, SpaceTier::Small, quick_options(20));
+        let fitted = engine.fit(&train).unwrap();
+        let r2 = fitted.score(&test, Metric::R2).unwrap();
+        assert!(r2 > 0.5, "test R² {r2}");
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let d = cls_data(3);
+        let engine =
+            VolcanoML::with_tier(Task::Classification, SpaceTier::Small, quick_options(10));
+        let fitted = engine.fit(&d).unwrap();
+        assert!(fitted.report.n_evaluations <= 10);
+    }
+
+    #[test]
+    fn trajectory_is_monotone_with_increasing_cost() {
+        let d = cls_data(4);
+        let engine =
+            VolcanoML::with_tier(Task::Classification, SpaceTier::Small, quick_options(20));
+        let fitted = engine.fit(&d).unwrap();
+        let t = &fitted.report.trajectory;
+        assert!(!t.is_empty());
+        assert!(t.windows(2).all(|w| w[1].2 <= w[0].2 + 1e-12));
+        assert!(t.windows(2).all(|w| w[1].1 >= w[0].1));
+    }
+
+    #[test]
+    fn warm_start_is_used() {
+        let d = cls_data(5);
+        let mut options = quick_options(8);
+        let mut good = Assignment::new();
+        good.insert("algorithm".to_string(), 1.0);
+        options.warm_start = vec![good];
+        let engine = VolcanoML::with_tier(Task::Classification, SpaceTier::Small, options);
+        let fitted = engine.fit(&d).unwrap();
+        // The warm start counts toward the budget and appears in the log.
+        assert!(fitted.report.n_evaluations >= 1);
+    }
+
+    #[test]
+    fn ensemble_mode_produces_ensemble() {
+        let d = cls_data(6);
+        let mut options = quick_options(20);
+        options.ensemble_size = 3;
+        let engine = VolcanoML::with_tier(Task::Classification, SpaceTier::Small, options);
+        let fitted = engine.fit(&d).unwrap();
+        assert!(fitted.is_ensemble());
+        let preds = fitted.predict(&d.x).unwrap();
+        assert_eq!(preds.len(), d.n_samples());
+    }
+
+    #[test]
+    fn task_mismatch_is_rejected() {
+        let d = cls_data(7);
+        let engine = VolcanoML::with_tier(Task::Regression, SpaceTier::Small, quick_options(5));
+        assert!(engine.fit(&d).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = cls_data(8);
+        let run = || {
+            let engine =
+                VolcanoML::with_tier(Task::Classification, SpaceTier::Small, quick_options(15));
+            engine.fit(&d).unwrap().report.best_loss
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn metalearn_roundtrip_via_engine() {
+        let d1 = cls_data(9);
+        let d2 = cls_data(10);
+        let engine =
+            VolcanoML::with_tier(Task::Classification, SpaceTier::Small, quick_options(12));
+        let fitted = engine.fit(&d1).unwrap();
+        let mut base = MetaBase::new();
+        base.record(
+            &d1,
+            fitted
+                .report
+                .top_assignments
+                .iter()
+                .map(|(a, _)| a.clone())
+                .take(3)
+                .collect(),
+        );
+        let mut engine2 =
+            VolcanoML::with_tier(Task::Classification, SpaceTier::Small, quick_options(12));
+        let added = engine2.warm_start_from(&base, &d2);
+        assert!(added > 0);
+        let fitted2 = engine2.fit(&d2).unwrap();
+        assert!(fitted2.report.best_loss.is_finite());
+    }
+}

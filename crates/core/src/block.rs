@@ -1,0 +1,178 @@
+//! The building-block interface (§3.2 of the paper).
+//!
+//! Blocks form a tree; `do_next` on the root recursively descends to a leaf
+//! and performs (roughly) one pipeline evaluation — the Volcano-style
+//! pull-based execution model. All methods mirror the paper's primitives:
+//!
+//! | paper | here |
+//! |---|---|
+//! | `do_next!(B)` | [`BuildingBlock::do_next`] |
+//! | `get_current_best(B)` | [`BuildingBlock::current_best`] |
+//! | `get_eu(B, K)` | [`BuildingBlock::expected_utility`] |
+//! | `get_eui(B)` | [`BuildingBlock::expected_utility_improvement`] |
+//! | `set_var(B, x̄, c̄)` | [`BuildingBlock::set_fixed`] |
+
+use crate::evaluator::Evaluator;
+use crate::Result;
+use std::collections::HashMap;
+
+pub use crate::eu::LossInterval;
+
+/// A full or partial variable assignment (name → value).
+pub type Assignment = HashMap<String, f64>;
+
+/// The best solution a block has found.
+#[derive(Debug, Clone)]
+pub struct BestSolution {
+    /// Assignment over the block's own variables plus its fixed context.
+    pub assignment: Assignment,
+    /// Loss achieved by that assignment at full fidelity.
+    pub loss: f64,
+}
+
+/// One node of a VolcanoML execution plan.
+pub trait BuildingBlock {
+    /// Advances the optimization by (approximately) one evaluation of the
+    /// underlying objective, recursively delegating to child blocks.
+    fn do_next(&mut self, evaluator: &mut Evaluator) -> Result<()>;
+
+    /// The best full-fidelity solution found so far, if any.
+    fn current_best(&self) -> Option<BestSolution>;
+
+    /// The best assignment restricted to the block's *own* variables
+    /// (excluding pinned context) — what an alternating sibling pins via
+    /// `set_var`. The default returns the full best assignment.
+    fn own_best(&self) -> Option<Assignment> {
+        self.current_best().map(|b| b.assignment)
+    }
+
+    /// Rising-bandit expected-utility interval given `k` more iterations.
+    fn expected_utility(&self, k: usize) -> LossInterval;
+
+    /// Rotting-bandit expected utility improvement (mean recent improvement).
+    fn expected_utility_improvement(&self) -> f64;
+
+    /// Pins context variables (the paper's `set_var`): the block must use
+    /// these values for variables outside its own subspace from now on.
+    fn set_fixed(&mut self, fixed: &Assignment);
+
+    /// Best-so-far loss trajectory (one entry per full-fidelity evaluation
+    /// this block performed) — the raw signal behind EU/EUI.
+    fn trajectory(&self) -> Vec<f64>;
+
+    /// Total evaluations this block (and its children) have triggered.
+    fn evaluations(&self) -> usize;
+
+    /// Human-readable tree rendering for reports (one line per node).
+    fn describe(&self, indent: usize, out: &mut String);
+}
+
+/// Renders a block tree as a string (the "EXPLAIN" of an execution plan).
+pub fn explain(block: &dyn BuildingBlock) -> String {
+    let mut out = String::new();
+    block.describe(0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal in-memory block for interface-level tests.
+    struct StubBlock {
+        losses: Vec<f64>,
+        cursor: usize,
+        best: Option<f64>,
+        fixed: Assignment,
+    }
+
+    impl StubBlock {
+        fn new(losses: Vec<f64>) -> Self {
+            StubBlock {
+                losses,
+                cursor: 0,
+                best: None,
+                fixed: Assignment::new(),
+            }
+        }
+    }
+
+    impl BuildingBlock for StubBlock {
+        fn do_next(&mut self, _evaluator: &mut Evaluator) -> Result<()> {
+            if self.cursor < self.losses.len() {
+                let l = self.losses[self.cursor];
+                self.cursor += 1;
+                self.best = Some(self.best.map_or(l, |b: f64| b.min(l)));
+            }
+            Ok(())
+        }
+
+        fn current_best(&self) -> Option<BestSolution> {
+            self.best.map(|loss| BestSolution {
+                assignment: self.fixed.clone(),
+                loss,
+            })
+        }
+
+        fn expected_utility(&self, k: usize) -> LossInterval {
+            crate::eu::eu_interval(&self.trajectory(), k, 0.0)
+        }
+
+        fn expected_utility_improvement(&self) -> f64 {
+            crate::eu::eui(&self.trajectory(), 4)
+        }
+
+        fn set_fixed(&mut self, fixed: &Assignment) {
+            self.fixed = fixed.clone();
+        }
+
+        fn trajectory(&self) -> Vec<f64> {
+            let mut best = f64::INFINITY;
+            self.losses[..self.cursor]
+                .iter()
+                .map(|&l| {
+                    best = best.min(l);
+                    best
+                })
+                .collect()
+        }
+
+        fn evaluations(&self) -> usize {
+            self.cursor
+        }
+
+        fn describe(&self, indent: usize, out: &mut String) {
+            out.push_str(&" ".repeat(indent));
+            out.push_str("Stub\n");
+        }
+    }
+
+    fn evaluator() -> Evaluator {
+        let space =
+            crate::spaces::SpaceDef::tiered(volcanoml_data::Task::Classification, crate::spaces::SpaceTier::Small);
+        let d = volcanoml_data::synthetic::make_classification(
+            &volcanoml_data::synthetic::ClassificationSpec::default(),
+            0,
+        );
+        Evaluator::new(space, &d, volcanoml_data::Metric::BalancedAccuracy, 0).unwrap()
+    }
+
+    #[test]
+    fn stub_block_tracks_best_and_trajectory() {
+        let mut ev = evaluator();
+        let mut b = StubBlock::new(vec![0.5, 0.3, 0.4]);
+        assert!(b.current_best().is_none());
+        for _ in 0..3 {
+            b.do_next(&mut ev).unwrap();
+        }
+        assert_eq!(b.current_best().unwrap().loss, 0.3);
+        assert_eq!(b.trajectory(), vec![0.5, 0.3, 0.3]);
+        assert_eq!(b.evaluations(), 3);
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let b = StubBlock::new(vec![]);
+        assert_eq!(explain(&b), "Stub\n");
+    }
+}

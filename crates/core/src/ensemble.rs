@@ -1,0 +1,311 @@
+//! Greedy ensemble selection (Caruana et al.) over evaluated pipelines —
+//! the post-search pass auto-sklearn ships, exposed as an option here.
+//!
+//! From the evaluator's log we keep the best distinct assignments, refit them
+//! on the search split, and greedily grow a bag (with replacement) that
+//! minimizes the validation loss of the averaged prediction.
+
+use crate::block::Assignment;
+use crate::evaluator::Evaluator;
+use crate::{CoreError, Result};
+use volcanoml_data::{Dataset, Metric, Task};
+use volcanoml_fe::FePipeline;
+use volcanoml_linalg::Matrix;
+use volcanoml_models::{Estimator, Model};
+
+/// A fitted ensemble member.
+pub struct EnsembleMember {
+    /// The assignment it was built from.
+    pub assignment: Assignment,
+    /// Fitted FE pipeline.
+    pub pipeline: FePipeline,
+    /// Fitted model.
+    pub model: Model,
+    /// How many times greedy selection picked it (its weight).
+    pub weight: usize,
+}
+
+/// A weighted ensemble of pipelines.
+pub struct Ensemble {
+    /// Members with non-zero weight.
+    pub members: Vec<EnsembleMember>,
+    task: Task,
+    n_classes: usize,
+}
+
+impl Ensemble {
+    /// Builds an ensemble by greedy selection.
+    ///
+    /// `candidates` are `(assignment, validation_loss)` pairs (best first is
+    /// not required); `rounds` bounds the bag size. Members are refit on
+    /// `train`; selection optimizes `metric` on `valid`.
+    pub fn select(
+        evaluator: &Evaluator,
+        candidates: &[(Assignment, f64)],
+        train: &Dataset,
+        valid: &Dataset,
+        metric: Metric,
+        max_members: usize,
+        rounds: usize,
+    ) -> Result<Ensemble> {
+        if candidates.is_empty() {
+            return Err(CoreError::Invalid("no ensemble candidates".into()));
+        }
+        // Keep the top `max_members` distinct candidates by loss.
+        let mut sorted: Vec<&(Assignment, f64)> = candidates.iter().collect();
+        sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        sorted.truncate(max_members.max(1));
+
+        // Refit and cache per-candidate validation predictions.
+        let mut fitted: Vec<(Assignment, FePipeline, Model, Vec<f64>, Matrix)> = Vec::new();
+        for (assignment, _) in sorted {
+            let Ok((pipeline, model)) = evaluator.refit(assignment, train) else {
+                continue;
+            };
+            let Ok(xv) = pipeline.transform(&valid.x) else {
+                continue;
+            };
+            let Ok(preds) = model.predict(&xv) else {
+                continue;
+            };
+            let proba = if train.task == Task::Classification {
+                model
+                    .predict_proba(&xv)
+                    .unwrap_or_else(|_| Matrix::zeros(valid.n_samples(), train.n_classes.max(2)))
+            } else {
+                Matrix::zeros(0, 0)
+            };
+            fitted.push((assignment.clone(), pipeline, model, preds, proba));
+        }
+        if fitted.is_empty() {
+            return Err(CoreError::Invalid(
+                "all ensemble candidates failed to refit".into(),
+            ));
+        }
+
+        let n_classes = train.n_classes.max(2);
+        let n_valid = valid.n_samples();
+        // Greedy selection with replacement, optimizing averaged prediction.
+        let mut weights = vec![0usize; fitted.len()];
+        let mut bag_size = 0usize;
+        // Running sums: probability matrix for classification, prediction
+        // vector for regression.
+        let mut proba_sum = Matrix::zeros(n_valid, n_classes);
+        let mut pred_sum = vec![0.0; n_valid];
+
+        for _ in 0..rounds.max(1) {
+            let mut best_idx = None;
+            let mut best_loss = f64::INFINITY;
+            for (i, (_, _, _, preds, proba)) in fitted.iter().enumerate() {
+                let loss = if train.task == Task::Classification {
+                    // Tentatively add member i.
+                    let scale = 1.0 / (bag_size + 1) as f64;
+                    let labels: Vec<f64> = (0..n_valid)
+                        .map(|r| {
+                            let mut best_c = 0usize;
+                            let mut best_v = f64::MIN;
+                            for c in 0..n_classes {
+                                let v = (proba_sum.get(r, c) + proba.get(r, c)) * scale;
+                                if v > best_v {
+                                    best_v = v;
+                                    best_c = c;
+                                }
+                            }
+                            best_c as f64
+                        })
+                        .collect();
+                    metric.loss(&valid.y, &labels)
+                } else {
+                    let scale = 1.0 / (bag_size + 1) as f64;
+                    let avg: Vec<f64> = pred_sum
+                        .iter()
+                        .zip(preds.iter())
+                        .map(|(s, p)| (s + p) * scale)
+                        .collect();
+                    metric.loss(&valid.y, &avg)
+                };
+                if loss < best_loss {
+                    best_loss = loss;
+                    best_idx = Some(i);
+                }
+            }
+            let Some(i) = best_idx else { break };
+            weights[i] += 1;
+            bag_size += 1;
+            let (_, _, _, preds, proba) = &fitted[i];
+            if train.task == Task::Classification {
+                for r in 0..n_valid {
+                    for c in 0..n_classes {
+                        let v = proba_sum.get(r, c) + proba.get(r, c);
+                        proba_sum.set(r, c, v);
+                    }
+                }
+            } else {
+                for (s, p) in pred_sum.iter_mut().zip(preds.iter()) {
+                    *s += p;
+                }
+            }
+        }
+
+        let members: Vec<EnsembleMember> = fitted
+            .into_iter()
+            .zip(weights)
+            .filter(|(_, w)| *w > 0)
+            .map(|((assignment, pipeline, model, _, _), weight)| EnsembleMember {
+                assignment,
+                pipeline,
+                model,
+                weight,
+            })
+            .collect();
+        Ok(Ensemble {
+            members,
+            task: train.task,
+            n_classes,
+        })
+    }
+
+    /// Predicts with the weighted ensemble.
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if self.members.is_empty() {
+            return Err(CoreError::Invalid("empty ensemble".into()));
+        }
+        match self.task {
+            Task::Classification => {
+                let mut proba = Matrix::zeros(x.rows(), self.n_classes);
+                let mut total = 0.0;
+                for m in &self.members {
+                    let xt = m
+                        .pipeline
+                        .transform(x)
+                        .map_err(|e| CoreError::Substrate(e.to_string()))?;
+                    let p = m
+                        .model
+                        .predict_proba(&xt)
+                        .map_err(|e| CoreError::Substrate(e.to_string()))?;
+                    let w = m.weight as f64;
+                    total += w;
+                    for r in 0..x.rows() {
+                        for c in 0..self.n_classes.min(p.cols()) {
+                            let v = proba.get(r, c) + w * p.get(r, c);
+                            proba.set(r, c, v);
+                        }
+                    }
+                }
+                let _ = total;
+                Ok((0..x.rows())
+                    .map(|r| volcanoml_linalg::stats::argmax(proba.row(r)).unwrap_or(0) as f64)
+                    .collect())
+            }
+            Task::Regression => {
+                let mut sum = vec![0.0; x.rows()];
+                let mut total = 0.0;
+                for m in &self.members {
+                    let xt = m
+                        .pipeline
+                        .transform(x)
+                        .map_err(|e| CoreError::Substrate(e.to_string()))?;
+                    let p = m
+                        .model
+                        .predict(&xt)
+                        .map_err(|e| CoreError::Substrate(e.to_string()))?;
+                    let w = m.weight as f64;
+                    total += w;
+                    for (s, v) in sum.iter_mut().zip(p.iter()) {
+                        *s += w * v;
+                    }
+                }
+                for s in &mut sum {
+                    *s /= total;
+                }
+                Ok(sum)
+            }
+        }
+    }
+
+    /// Total bag size (sum of member weights).
+    pub fn bag_size(&self) -> usize {
+        self.members.iter().map(|m| m.weight).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spaces::{SpaceDef, SpaceTier};
+    use volcanoml_data::synthetic::{make_classification, ClassificationSpec};
+    use volcanoml_data::train_test_split;
+
+    fn setup() -> (Evaluator, Dataset, Dataset) {
+        let d = make_classification(
+            &ClassificationSpec {
+                n_samples: 280,
+                n_features: 8,
+                n_informative: 5,
+                n_redundant: 0,
+                n_classes: 2,
+                class_sep: 1.2,
+                flip_y: 0.05,
+                weights: Vec::new(),
+            },
+            21,
+        );
+        let (train, valid) = train_test_split(&d, 0.3, 1).unwrap();
+        let space = SpaceDef::tiered(volcanoml_data::Task::Classification, SpaceTier::Small);
+        let ev = Evaluator::new(space, &train, Metric::BalancedAccuracy, 0).unwrap();
+        (ev, train, valid)
+    }
+
+    fn candidates(ev: &Evaluator) -> Vec<(Assignment, f64)> {
+        // Three default pipelines with different algorithms.
+        (0..3)
+            .map(|i| {
+                let mut a = ev.space().defaults();
+                a.insert("algorithm".to_string(), i as f64);
+                (a, 0.2 + i as f64 * 0.01)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ensemble_builds_and_predicts() {
+        let (ev, train, valid) = setup();
+        let cands = candidates(&ev);
+        let ens =
+            Ensemble::select(&ev, &cands, &train, &valid, Metric::BalancedAccuracy, 3, 6).unwrap();
+        assert!(!ens.members.is_empty());
+        assert_eq!(ens.bag_size(), 6);
+        let preds = ens.predict(&valid.x).unwrap();
+        let acc = volcanoml_data::metrics::balanced_accuracy(&valid.y, &preds);
+        assert!(acc > 0.7, "ensemble balanced accuracy {acc}");
+    }
+
+    #[test]
+    fn ensemble_not_much_worse_than_best_member() {
+        let (ev, train, valid) = setup();
+        let cands = candidates(&ev);
+        let ens =
+            Ensemble::select(&ev, &cands, &train, &valid, Metric::BalancedAccuracy, 3, 8).unwrap();
+        // Best single member on the validation set.
+        let mut best_single = f64::INFINITY;
+        for (a, _) in &cands {
+            let (p, m) = ev.refit(a, &train).unwrap();
+            let xv = p.transform(&valid.x).unwrap();
+            let preds = m.predict(&xv).unwrap();
+            best_single = best_single.min(Metric::BalancedAccuracy.loss(&valid.y, &preds));
+        }
+        let ens_preds = ens.predict(&valid.x).unwrap();
+        let ens_loss = Metric::BalancedAccuracy.loss(&valid.y, &ens_preds);
+        // Greedy selection optimizes this very quantity; tiny tolerance for
+        // the averaged-probability vs majority-argmax difference.
+        assert!(ens_loss <= best_single + 0.05, "{ens_loss} vs {best_single}");
+    }
+
+    #[test]
+    fn empty_candidates_error() {
+        let (ev, train, valid) = setup();
+        assert!(
+            Ensemble::select(&ev, &[], &train, &valid, Metric::BalancedAccuracy, 3, 4).is_err()
+        );
+    }
+}

@@ -1,0 +1,315 @@
+//! The joint block (§3.3.1): optimizes its whole subspace with one engine —
+//! SMAC-style BO by default, random search or MFES-HB/Hyperband/Successive
+//! Halving as alternatives.
+
+use crate::block::{Assignment, BestSolution, BuildingBlock, LossInterval};
+use crate::eu::{eu_interval, eui};
+use crate::evaluator::Evaluator;
+use crate::Result;
+use volcanoml_bo::{
+    ConfigSpace, Configuration, Hyperband, MfesHb, RandomSearch, Smac, SuccessiveHalving, Suggest,
+};
+
+/// Which engine a joint block runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JointEngine {
+    /// SMAC-style Bayesian optimization (the default).
+    Bo,
+    /// Uniform random search.
+    Random,
+    /// Successive Halving over subsampling fidelities.
+    SuccessiveHalving,
+    /// Hyperband.
+    Hyperband,
+    /// MFES-HB (multi-fidelity ensemble surrogate Hyperband).
+    MfesHb,
+}
+
+impl JointEngine {
+    fn build(self, space: ConfigSpace, seed: u64) -> Box<dyn Suggest> {
+        match self {
+            JointEngine::Bo => Box::new(Smac::new(space, seed)),
+            JointEngine::Random => Box::new(RandomSearch::new(space, seed)),
+            JointEngine::SuccessiveHalving => {
+                Box::new(SuccessiveHalving::new(space, 9, 1.0 / 9.0, 3, seed))
+            }
+            JointEngine::Hyperband => Box::new(Hyperband::new(space, 1.0 / 9.0, 3, seed)),
+            JointEngine::MfesHb => Box::new(MfesHb::new(space, 1.0 / 9.0, 3, seed)),
+        }
+    }
+
+    /// Short name for plan rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            JointEngine::Bo => "bo",
+            JointEngine::Random => "random",
+            JointEngine::SuccessiveHalving => "sh",
+            JointEngine::Hyperband => "hyperband",
+            JointEngine::MfesHb => "mfes-hb",
+        }
+    }
+}
+
+/// A leaf block running one optimizer over its own `ConfigSpace`.
+pub struct JointBlock {
+    label: String,
+    engine_kind: JointEngine,
+    engine: Box<dyn Suggest>,
+    /// Variables resolved at plan-compile time (e.g. `algorithm = 3` inside
+    /// a conditioning child). Merged into every evaluation and result.
+    context: Assignment,
+    /// Variables pinned at runtime via `set_fixed` (alternating siblings).
+    fixed: Assignment,
+    /// Meta-learning seed configurations evaluated before the engine runs.
+    seed_queue: Vec<Configuration>,
+    best: Option<BestSolution>,
+    trajectory: Vec<f64>,
+    evaluations: usize,
+}
+
+impl JointBlock {
+    /// Creates a joint block over `space` with pinned `context` variables.
+    pub fn new(
+        label: impl Into<String>,
+        space: ConfigSpace,
+        engine: JointEngine,
+        context: Assignment,
+        seed: u64,
+    ) -> JointBlock {
+        JointBlock {
+            label: label.into(),
+            engine_kind: engine,
+            engine: engine.build(space, seed),
+            context,
+            fixed: Assignment::new(),
+            seed_queue: Vec::new(),
+            best: None,
+            trajectory: Vec::new(),
+            evaluations: 0,
+        }
+    }
+
+    /// Queues warm-start configurations (from meta-learning) that will be
+    /// evaluated before the engine's own suggestions. Assignments may cover
+    /// more variables than this block's space; extras are ignored.
+    pub fn push_seed_assignments(&mut self, assignments: &[Assignment]) {
+        for a in assignments {
+            let cfg = self.engine.space().from_map(a);
+            self.seed_queue.push(cfg);
+        }
+        // Evaluate in push order.
+        self.seed_queue.reverse();
+    }
+
+    /// The block's own search space.
+    pub fn space(&self) -> &ConfigSpace {
+        self.engine.space()
+    }
+
+    fn merged(&self, own: &Assignment) -> Assignment {
+        let mut merged = self.context.clone();
+        for (k, v) in &self.fixed {
+            merged.insert(k.clone(), *v);
+        }
+        for (k, v) in own {
+            merged.insert(k.clone(), *v);
+        }
+        merged
+    }
+}
+
+impl BuildingBlock for JointBlock {
+    fn do_next(&mut self, evaluator: &mut Evaluator) -> Result<()> {
+        let (config, fidelity) = match self.seed_queue.pop() {
+            Some(cfg) => (cfg, 1.0),
+            None => self.engine.suggest(),
+        };
+        let own = self.engine.space().to_map(&config);
+        let assignment = self.merged(&own);
+        let outcome = evaluator.evaluate(&assignment, fidelity);
+        self.engine
+            .observe(config, fidelity, outcome.loss, outcome.cost);
+        self.evaluations += 1;
+        if fidelity >= 1.0 - 1e-9 && outcome.loss.is_finite() {
+            let improved = self.best.as_ref().map_or(true, |b| outcome.loss < b.loss);
+            if improved {
+                self.best = Some(BestSolution {
+                    assignment,
+                    loss: outcome.loss,
+                });
+            }
+            let cur = self.best.as_ref().map(|b| b.loss).unwrap_or(outcome.loss);
+            self.trajectory.push(cur);
+        }
+        Ok(())
+    }
+
+    fn current_best(&self) -> Option<BestSolution> {
+        self.best.clone()
+    }
+
+    fn own_best(&self) -> Option<Assignment> {
+        let best_cfg = self.engine.history().best()?.config.clone();
+        Some(self.engine.space().to_map(&best_cfg))
+    }
+
+    fn expected_utility(&self, k: usize) -> LossInterval {
+        eu_interval(&self.trajectory, k, 0.0)
+    }
+
+    fn expected_utility_improvement(&self) -> f64 {
+        eui(&self.trajectory, 4)
+    }
+
+    fn set_fixed(&mut self, fixed: &Assignment) {
+        for (k, v) in fixed {
+            self.fixed.insert(k.clone(), *v);
+        }
+        // The incumbent's recorded assignment must reflect the new context
+        // for downstream consumers; its loss stays (stale context losses are
+        // the alternating block's accepted approximation).
+        if let Some(best) = &mut self.best {
+            for (k, v) in fixed {
+                best.assignment.insert(k.clone(), *v);
+            }
+        }
+    }
+
+    fn trajectory(&self) -> Vec<f64> {
+        self.trajectory.clone()
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    fn describe(&self, indent: usize, out: &mut String) {
+        out.push_str(&" ".repeat(indent));
+        out.push_str(&format!(
+            "Joint[{}] engine={} vars={} evals={}\n",
+            self.label,
+            self.engine_kind.name(),
+            self.engine.space().len(),
+            self.evaluations
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spaces::{SpaceDef, SpaceTier};
+    use volcanoml_data::synthetic::{make_classification, ClassificationSpec};
+    use volcanoml_data::{Metric, Task};
+
+    fn setup() -> (Evaluator, SpaceDef) {
+        let space = SpaceDef::tiered(Task::Classification, SpaceTier::Small);
+        let d = make_classification(
+            &ClassificationSpec {
+                n_samples: 220,
+                n_features: 6,
+                n_informative: 4,
+                n_redundant: 0,
+                n_classes: 2,
+                class_sep: 1.5,
+                flip_y: 0.02,
+                weights: Vec::new(),
+            },
+            3,
+        );
+        let ev = Evaluator::new(space.clone(), &d, Metric::BalancedAccuracy, 0).unwrap();
+        (ev, space)
+    }
+
+    fn full_joint(space: &SpaceDef, engine: JointEngine) -> JointBlock {
+        let cs = space
+            .compile_subspace(&space.var_names(), &Assignment::new())
+            .unwrap();
+        JointBlock::new("full", cs, engine, Assignment::new(), 0)
+    }
+
+    #[test]
+    fn joint_block_improves_over_iterations() {
+        let (mut ev, space) = setup();
+        let mut block = full_joint(&space, JointEngine::Bo);
+        for _ in 0..12 {
+            block.do_next(&mut ev).unwrap();
+        }
+        let best = block.current_best().expect("has a best");
+        assert!(best.loss < 0.5, "loss {}", best.loss);
+        assert!(best.assignment.contains_key("algorithm"));
+        let traj = block.trajectory();
+        assert!(!traj.is_empty());
+        assert!(traj.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+    }
+
+    #[test]
+    fn context_is_merged_into_results() {
+        let (mut ev, space) = setup();
+        let mut fixed = Assignment::new();
+        fixed.insert("algorithm".to_string(), 1.0);
+        let cs = space.compile_subspace(&space.var_names(), &fixed).unwrap();
+        let mut block = JointBlock::new("rf-only", cs, JointEngine::Bo, fixed, 0);
+        for _ in 0..4 {
+            block.do_next(&mut ev).unwrap();
+        }
+        let best = block.current_best().unwrap();
+        assert_eq!(best.assignment.get("algorithm"), Some(&1.0));
+    }
+
+    #[test]
+    fn set_fixed_updates_future_evaluations() {
+        let (mut ev, space) = setup();
+        // Block over FE vars only; algorithm comes from set_fixed.
+        let fe_vars: Vec<String> = space
+            .vars
+            .iter()
+            .filter(|v| v.group == crate::spaces::VarGroup::Fe)
+            .map(|v| v.name.clone())
+            .collect();
+        let cs = space.compile_subspace(&fe_vars, &Assignment::new()).unwrap();
+        let mut block = JointBlock::new("fe", cs, JointEngine::Random, Assignment::new(), 0);
+        let mut ctx = space.defaults();
+        ctx.insert("algorithm".to_string(), 2.0);
+        block.set_fixed(&ctx);
+        block.do_next(&mut ev).unwrap();
+        let best = block.current_best().unwrap();
+        assert_eq!(best.assignment.get("algorithm"), Some(&2.0));
+    }
+
+    #[test]
+    fn seed_assignments_are_evaluated_first() {
+        let (mut ev, space) = setup();
+        let mut block = full_joint(&space, JointEngine::Bo);
+        let mut seed = space.defaults();
+        seed.insert("algorithm".to_string(), 1.0);
+        block.push_seed_assignments(&[seed]);
+        block.do_next(&mut ev).unwrap();
+        let best = block.current_best().unwrap();
+        assert_eq!(best.assignment.get("algorithm"), Some(&1.0));
+    }
+
+    #[test]
+    fn own_best_excludes_context() {
+        let (mut ev, space) = setup();
+        let mut fixed = Assignment::new();
+        fixed.insert("algorithm".to_string(), 0.0);
+        let cs = space.compile_subspace(&space.var_names(), &fixed).unwrap();
+        let mut block = JointBlock::new("x", cs, JointEngine::Random, fixed, 0);
+        block.do_next(&mut ev).unwrap();
+        let own = block.own_best().unwrap();
+        assert!(!own.contains_key("algorithm"));
+    }
+
+    #[test]
+    fn mfes_engine_runs_mixed_fidelities() {
+        let (mut ev, space) = setup();
+        let mut block = full_joint(&space, JointEngine::MfesHb);
+        for _ in 0..20 {
+            block.do_next(&mut ev).unwrap();
+        }
+        // Trajectory only counts full-fidelity evaluations.
+        assert!(block.trajectory().len() < 20);
+        assert!(block.evaluations() == 20);
+    }
+}

@@ -1,0 +1,251 @@
+//! Meta-learning (§4 "Further Optimization with Meta-learning"): dataset
+//! meta-features plus a k-NN meta-base that recommends warm-start
+//! configurations from previous runs on similar datasets — the same
+//! mechanism auto-sklearn ships.
+
+use crate::block::Assignment;
+use volcanoml_data::{Dataset, Task};
+use volcanoml_linalg::stats;
+
+/// Number of meta-features produced by [`meta_features`].
+pub const N_META_FEATURES: usize = 10;
+
+/// Computes a fixed-length meta-feature vector for a dataset:
+/// `[log n, log d, classes, class entropy, imbalance, mean |skew|,
+///   mean kurtosis, categorical fraction, missing fraction, target spread]`.
+pub fn meta_features(d: &Dataset) -> Vec<f64> {
+    let n = d.n_samples() as f64;
+    let dim = d.n_features() as f64;
+    let counts = d.class_counts();
+    let (classes, entropy, imbalance) = if d.task == Task::Classification {
+        let total: usize = counts.iter().sum();
+        let entropy: f64 = counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / total.max(1) as f64;
+                -p * p.log2()
+            })
+            .sum();
+        let imb = d.imbalance_ratio();
+        (
+            d.n_classes as f64,
+            entropy,
+            if imb.is_finite() { imb.min(100.0) } else { 100.0 },
+        )
+    } else {
+        (0.0, 0.0, 1.0)
+    };
+    let mut skew_sum = 0.0;
+    let mut kurt_sum = 0.0;
+    let mut finite_cols = 0usize;
+    for c in 0..d.n_features() {
+        let col: Vec<f64> = d.x.col(c).into_iter().filter(|v| !v.is_nan()).collect();
+        if col.len() > 3 {
+            skew_sum += stats::skewness(&col).abs();
+            kurt_sum += stats::kurtosis(&col);
+            finite_cols += 1;
+        }
+    }
+    let denom = finite_cols.max(1) as f64;
+    let cat_fraction = d.categorical_columns().len() as f64 / dim.max(1.0);
+    let missing = d.x.data().iter().filter(|v| v.is_nan()).count() as f64
+        / (n * dim).max(1.0);
+    let target_spread = if d.task == Task::Regression {
+        stats::std_dev(&d.y)
+    } else {
+        0.0
+    };
+    vec![
+        n.max(1.0).ln(),
+        dim.max(1.0).ln(),
+        classes,
+        entropy,
+        imbalance,
+        skew_sum / denom,
+        (kurt_sum / denom).clamp(-10.0, 10.0),
+        cat_fraction,
+        missing,
+        target_spread.min(100.0),
+    ]
+}
+
+/// One remembered run: where it happened and what worked.
+#[derive(Debug, Clone)]
+pub struct MetaEntry {
+    /// Dataset name (for reporting).
+    pub dataset: String,
+    /// Meta-feature vector of the dataset.
+    pub features: Vec<f64>,
+    /// Best assignments found there, best first.
+    pub best_assignments: Vec<Assignment>,
+}
+
+/// A collection of remembered runs with k-NN recommendation.
+#[derive(Debug, Clone, Default)]
+pub struct MetaBase {
+    entries: Vec<MetaEntry>,
+}
+
+impl MetaBase {
+    /// Creates an empty meta-base.
+    pub fn new() -> Self {
+        MetaBase::default()
+    }
+
+    /// Records a run's outcome.
+    pub fn record(&mut self, dataset: &Dataset, best_assignments: Vec<Assignment>) {
+        self.entries.push(MetaEntry {
+            dataset: dataset.name.clone(),
+            features: meta_features(dataset),
+            best_assignments,
+        });
+    }
+
+    /// Number of remembered runs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries accessor (reports/tests).
+    pub fn entries(&self) -> &[MetaEntry] {
+        &self.entries
+    }
+
+    /// Recommends up to `max_configs` warm-start assignments from the
+    /// `k` most similar remembered datasets (standardized Euclidean
+    /// distance over meta-features). Entries recorded for the *same* dataset
+    /// name are excluded (leave-one-out semantics for benchmarks).
+    pub fn recommend(&self, dataset: &Dataset, k: usize, max_configs: usize) -> Vec<Assignment> {
+        if self.entries.is_empty() || max_configs == 0 {
+            return Vec::new();
+        }
+        let query = meta_features(dataset);
+        // Standardize each feature across entries + query for a fair metric.
+        let dims = query.len();
+        let mut all: Vec<&[f64]> = self.entries.iter().map(|e| e.features.as_slice()).collect();
+        all.push(&query);
+        let mut means = vec![0.0; dims];
+        let mut stds = vec![0.0; dims];
+        for j in 0..dims {
+            let col: Vec<f64> = all.iter().map(|f| f[j]).collect();
+            means[j] = stats::mean(&col);
+            let s = stats::std_dev(&col);
+            stds[j] = if s < 1e-9 { 1.0 } else { s };
+        }
+        let dist = |f: &[f64]| -> f64 {
+            f.iter()
+                .zip(query.iter())
+                .zip(means.iter().zip(stds.iter()))
+                .map(|((a, b), (m, s))| {
+                    let da = (a - m) / s;
+                    let db = (b - m) / s;
+                    (da - db) * (da - db)
+                })
+                .sum()
+        };
+        let mut scored: Vec<(f64, &MetaEntry)> = self
+            .entries
+            .iter()
+            .filter(|e| e.dataset != dataset.name)
+            .map(|e| (dist(&e.features), e))
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut out = Vec::new();
+        'outer: for (_, entry) in scored.into_iter().take(k.max(1)) {
+            for a in &entry.best_assignments {
+                out.push(a.clone());
+                if out.len() >= max_configs {
+                    break 'outer;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volcanoml_data::synthetic::{
+        make_classification, make_regression, ClassificationSpec, RegressionSpec,
+    };
+
+    fn cls(seed: u64, n: usize, d: usize) -> Dataset {
+        make_classification(
+            &ClassificationSpec {
+                n_samples: n,
+                n_features: d,
+                n_informative: d.min(4),
+                n_redundant: 0,
+                n_classes: 2,
+                class_sep: 1.0,
+                flip_y: 0.0,
+                weights: Vec::new(),
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn meta_features_have_fixed_length() {
+        let d = cls(0, 100, 5);
+        assert_eq!(meta_features(&d).len(), N_META_FEATURES);
+        let r = make_regression(&RegressionSpec::default(), 0);
+        assert_eq!(meta_features(&r).len(), N_META_FEATURES);
+    }
+
+    #[test]
+    fn meta_features_are_finite() {
+        let d = volcanoml_data::synthetic::inject_missing(&cls(1, 150, 6), 0.2, 2);
+        assert!(meta_features(&d).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn similar_datasets_are_closer() {
+        let mut base = MetaBase::new();
+        let small_a = cls(1, 100, 5);
+        let small_b = cls(2, 110, 5);
+        let big = cls(3, 2000, 60);
+        let mut good_small = Assignment::new();
+        good_small.insert("algorithm".to_string(), 1.0);
+        let mut good_big = Assignment::new();
+        good_big.insert("algorithm".to_string(), 2.0);
+        base.record(&small_a, vec![good_small.clone()]);
+        base.record(&big, vec![good_big]);
+        let rec = base.recommend(&small_b, 1, 2);
+        assert_eq!(rec[0].get("algorithm"), Some(&1.0));
+    }
+
+    #[test]
+    fn same_dataset_is_excluded() {
+        let mut base = MetaBase::new();
+        let d = cls(5, 100, 5);
+        base.record(&d, vec![Assignment::new()]);
+        assert!(base.recommend(&d, 3, 5).is_empty());
+    }
+
+    #[test]
+    fn recommendation_respects_limits() {
+        let mut base = MetaBase::new();
+        for seed in 0..4 {
+            let d = cls(seed, 100 + seed as usize, 5);
+            base.record(&d, vec![Assignment::new(), Assignment::new()]);
+        }
+        let query = cls(99, 105, 5);
+        assert_eq!(base.recommend(&query, 2, 3).len(), 3);
+        assert!(base.recommend(&query, 2, 0).is_empty());
+    }
+
+    #[test]
+    fn empty_base_recommends_nothing() {
+        let base = MetaBase::new();
+        assert!(base.recommend(&cls(0, 50, 3), 5, 5).is_empty());
+    }
+}

@@ -1,0 +1,351 @@
+//! Declarative execution plans (§4): a [`PlanSpec`] tree is compiled against
+//! a [`SpaceDef`] into a tree of building blocks, mirroring how a relational
+//! plan is compiled into physical operators.
+
+use crate::alternating::AlternatingBlock;
+use crate::block::{Assignment, BuildingBlock};
+use crate::conditioning::ConditioningBlock;
+use crate::joint::JointBlock;
+use crate::spaces::{SpaceDef, VarDef, VarGroup};
+use crate::{CoreError, Result};
+use volcanoml_bo::Domain;
+use volcanoml_data::rand_util::derive_seed;
+
+pub use crate::joint::JointEngine as EngineKind;
+
+/// Selects which variables go to the *left* child of an alternating split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VarFilter {
+    /// Feature-engineering variables (`fe:*`).
+    Fe,
+    /// Everything that is not FE (algorithm selector + HPs).
+    NonFe,
+    /// Variables whose name starts with the prefix.
+    Prefix(String),
+}
+
+impl VarFilter {
+    /// Whether a variable goes to the left side.
+    pub fn matches(&self, var: &VarDef) -> bool {
+        match self {
+            VarFilter::Fe => var.group == VarGroup::Fe,
+            VarFilter::NonFe => var.group != VarGroup::Fe,
+            VarFilter::Prefix(p) => var.name.starts_with(p.as_str()),
+        }
+    }
+}
+
+/// A declarative execution plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanSpec {
+    /// One joint block over all remaining variables.
+    Joint(EngineKind),
+    /// Condition on a categorical variable; one child per value.
+    Conditioning {
+        /// Conditioned variable name (must be categorical).
+        on: String,
+        /// Template for each child subspace.
+        child: Box<PlanSpec>,
+    },
+    /// Alternate between two variable subsets.
+    Alternating {
+        /// Variables matching this filter go left; the rest go right.
+        left_filter: VarFilter,
+        /// Plan for the left subset.
+        left: Box<PlanSpec>,
+        /// Plan for the right subset.
+        right: Box<PlanSpec>,
+    },
+}
+
+impl PlanSpec {
+    /// The paper's default VolcanoML plan (Figure 2): condition on the
+    /// algorithm, then alternate FE vs HP, with joint leaves.
+    pub fn volcano_default(engine: EngineKind) -> PlanSpec {
+        PlanSpec::Conditioning {
+            on: "algorithm".to_string(),
+            child: Box::new(PlanSpec::Alternating {
+                left_filter: VarFilter::Fe,
+                left: Box::new(PlanSpec::Joint(engine)),
+                right: Box::new(PlanSpec::Joint(engine)),
+            }),
+        }
+    }
+
+    /// The auto-sklearn-style plan: a single joint block (Figure 1, Plan 1).
+    pub fn single_joint(engine: EngineKind) -> PlanSpec {
+        PlanSpec::Joint(engine)
+    }
+
+    /// Compiles the plan against a space into a block tree.
+    pub fn compile(&self, space: &SpaceDef, seed: u64) -> Result<Box<dyn BuildingBlock>> {
+        let vars = space.var_names();
+        self.compile_inner(space, &vars, &Assignment::new(), seed, "root")
+    }
+
+    fn compile_inner(
+        &self,
+        space: &SpaceDef,
+        vars: &[String],
+        context: &Assignment,
+        seed: u64,
+        label: &str,
+    ) -> Result<Box<dyn BuildingBlock>> {
+        // Drop variables that are inactive under the pinned context.
+        let active: Vec<String> = vars
+            .iter()
+            .filter(|name| {
+                let Some(var) = space.var(name) else {
+                    return false;
+                };
+                match &var.condition {
+                    None => true,
+                    Some((parent, values)) => match context.get(parent) {
+                        Some(pv) => values.contains(&(pv.round().max(0.0) as usize)),
+                        None => true,
+                    },
+                }
+            })
+            .cloned()
+            .collect();
+
+        match self {
+            PlanSpec::Joint(engine) => {
+                let cs = space.compile_subspace(&active, context)?;
+                Ok(Box::new(JointBlock::new(
+                    label,
+                    cs,
+                    *engine,
+                    context.clone(),
+                    seed,
+                )))
+            }
+            PlanSpec::Conditioning { on, child } => {
+                if !active.contains(on) {
+                    return Err(CoreError::Invalid(format!(
+                        "conditioning variable {on} not in scope at {label}"
+                    )));
+                }
+                let var = space
+                    .var(on)
+                    .ok_or_else(|| CoreError::Invalid(format!("unknown variable {on}")))?;
+                let Domain::Cat { n } = var.domain else {
+                    return Err(CoreError::Invalid(format!(
+                        "conditioning variable {on} must be categorical"
+                    )));
+                };
+                let remaining: Vec<String> =
+                    active.iter().filter(|v| *v != on).cloned().collect();
+                let mut children: Vec<(usize, Box<dyn BuildingBlock>)> = Vec::with_capacity(n);
+                for value in 0..n {
+                    let mut ctx = context.clone();
+                    ctx.insert(on.clone(), value as f64);
+                    let child_label = format!("{label}/{on}={value}");
+                    let block = child.compile_inner(
+                        space,
+                        &remaining,
+                        &ctx,
+                        derive_seed(seed, value as u64 + 1),
+                        &child_label,
+                    )?;
+                    children.push((value, block));
+                }
+                Ok(Box::new(ConditioningBlock::new(label, on.clone(), children)))
+            }
+            PlanSpec::Alternating {
+                left_filter,
+                left,
+                right,
+            } => {
+                let (left_vars, right_vars): (Vec<String>, Vec<String>) =
+                    active.iter().cloned().partition(|name| {
+                        space.var(name).map_or(false, |v| left_filter.matches(v))
+                    });
+                if left_vars.is_empty() || right_vars.is_empty() {
+                    return Err(CoreError::Invalid(format!(
+                        "alternating split at {label} leaves one side empty \
+                         ({} left / {} right)",
+                        left_vars.len(),
+                        right_vars.len()
+                    )));
+                }
+                let left_block = left.compile_inner(
+                    space,
+                    &left_vars,
+                    context,
+                    derive_seed(seed, 101),
+                    &format!("{label}/left"),
+                )?;
+                let right_block = right.compile_inner(
+                    space,
+                    &right_vars,
+                    context,
+                    derive_seed(seed, 202),
+                    &format!("{label}/right"),
+                )?;
+                Ok(Box::new(AlternatingBlock::new(
+                    label,
+                    left_block,
+                    left_vars,
+                    right_block,
+                    right_vars,
+                    space.defaults(),
+                )))
+            }
+        }
+    }
+
+    /// Short human-readable rendering of the plan shape.
+    pub fn render(&self) -> String {
+        match self {
+            PlanSpec::Joint(e) => format!("Joint({})", e.name()),
+            PlanSpec::Conditioning { on, child } => {
+                format!("Conditioning({on}) -> {}", child.render())
+            }
+            PlanSpec::Alternating { left, right, .. } => {
+                format!("Alternating[{} | {}]", left.render(), right.render())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::Evaluator;
+    use crate::spaces::SpaceTier;
+    use volcanoml_data::synthetic::{make_classification, ClassificationSpec};
+    use volcanoml_data::{Metric, Task};
+
+    fn setup(tier: SpaceTier) -> (Evaluator, SpaceDef) {
+        let space = SpaceDef::tiered(Task::Classification, tier);
+        let d = make_classification(
+            &ClassificationSpec {
+                n_samples: 260,
+                n_features: 8,
+                n_informative: 5,
+                n_redundant: 0,
+                n_classes: 2,
+                class_sep: 1.4,
+                flip_y: 0.02,
+                weights: Vec::new(),
+            },
+            9,
+        );
+        let ev = Evaluator::new(space.clone(), &d, Metric::BalancedAccuracy, 0).unwrap();
+        (ev, space)
+    }
+
+    #[test]
+    fn joint_plan_compiles_and_runs() {
+        let (mut ev, space) = setup(SpaceTier::Small);
+        let mut block = PlanSpec::single_joint(EngineKind::Bo)
+            .compile(&space, 0)
+            .unwrap();
+        for _ in 0..6 {
+            block.do_next(&mut ev).unwrap();
+        }
+        assert!(block.current_best().unwrap().loss.is_finite());
+    }
+
+    #[test]
+    fn volcano_plan_compiles_to_expected_tree() {
+        let (_, space) = setup(SpaceTier::Small);
+        let plan = PlanSpec::volcano_default(EngineKind::Bo);
+        let block = plan.compile(&space, 0).unwrap();
+        let rendered = crate::block::explain(block.as_ref());
+        assert!(rendered.contains("Conditioning[root]"));
+        assert!(rendered.contains("Alternating["));
+        assert!(rendered.contains("Joint["));
+        // One arm per algorithm.
+        assert_eq!(
+            rendered.matches("Alternating[").count(),
+            space.algorithms.len()
+        );
+    }
+
+    #[test]
+    fn volcano_plan_runs_and_improves() {
+        let (mut ev, space) = setup(SpaceTier::Small);
+        let mut block = PlanSpec::volcano_default(EngineKind::Bo)
+            .compile(&space, 0)
+            .unwrap();
+        for _ in 0..20 {
+            block.do_next(&mut ev).unwrap();
+        }
+        let best = block.current_best().unwrap();
+        assert!(best.loss < 0.5, "loss {}", best.loss);
+        assert!(best.assignment.contains_key("algorithm"));
+    }
+
+    #[test]
+    fn conditioning_on_unknown_variable_fails() {
+        let (_, space) = setup(SpaceTier::Small);
+        let plan = PlanSpec::Conditioning {
+            on: "nonexistent".to_string(),
+            child: Box::new(PlanSpec::Joint(EngineKind::Bo)),
+        };
+        assert!(plan.compile(&space, 0).is_err());
+    }
+
+    #[test]
+    fn conditioning_on_non_categorical_fails() {
+        let (_, space) = setup(SpaceTier::Small);
+        let plan = PlanSpec::Conditioning {
+            on: "alg:logistic:alpha".to_string(),
+            child: Box::new(PlanSpec::Joint(EngineKind::Bo)),
+        };
+        assert!(plan.compile(&space, 0).is_err());
+    }
+
+    #[test]
+    fn empty_alternating_side_fails() {
+        let (_, space) = setup(SpaceTier::Small);
+        let plan = PlanSpec::Alternating {
+            left_filter: VarFilter::Prefix("zzz:".to_string()),
+            left: Box::new(PlanSpec::Joint(EngineKind::Bo)),
+            right: Box::new(PlanSpec::Joint(EngineKind::Bo)),
+        };
+        assert!(plan.compile(&space, 0).is_err());
+    }
+
+    #[test]
+    fn nested_alternating_with_conditioning_inside() {
+        // Plan 5 shape: alternate FE against (conditioning on algorithm).
+        let (mut ev, space) = setup(SpaceTier::Small);
+        let plan = PlanSpec::Alternating {
+            left_filter: VarFilter::Fe,
+            left: Box::new(PlanSpec::Joint(EngineKind::Bo)),
+            right: Box::new(PlanSpec::Conditioning {
+                on: "algorithm".to_string(),
+                child: Box::new(PlanSpec::Joint(EngineKind::Bo)),
+            }),
+        };
+        let mut block = plan.compile(&space, 0).unwrap();
+        for _ in 0..15 {
+            block.do_next(&mut ev).unwrap();
+        }
+        assert!(block.current_best().unwrap().loss.is_finite());
+    }
+
+    #[test]
+    fn render_shapes() {
+        let p = PlanSpec::volcano_default(EngineKind::Bo);
+        assert_eq!(
+            p.render(),
+            "Conditioning(algorithm) -> Alternating[Joint(bo) | Joint(bo)]"
+        );
+    }
+
+    #[test]
+    fn medium_tier_volcano_plan_runs() {
+        let (mut ev, space) = setup(SpaceTier::Medium);
+        let mut block = PlanSpec::volcano_default(EngineKind::Bo)
+            .compile(&space, 0)
+            .unwrap();
+        for _ in 0..12 {
+            block.do_next(&mut ev).unwrap();
+        }
+        assert!(block.current_best().is_some());
+    }
+}

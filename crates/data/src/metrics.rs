@@ -1,0 +1,357 @@
+//! Evaluation metrics.
+//!
+//! The paper uses *balanced accuracy* for classification and *MSE* for
+//! regression (§5.1). All metrics here are exposed both directly and through
+//! the [`Metric`] enum used by the AutoML engine; [`Metric::loss`] converts
+//! any metric into a minimization objective, which is what the building
+//! blocks optimize.
+
+use crate::dataset::Task;
+
+/// A named utility metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Fraction of correct predictions.
+    Accuracy,
+    /// Mean of per-class recalls (the paper's classification metric).
+    BalancedAccuracy,
+    /// Macro-averaged F1.
+    F1Macro,
+    /// Mean squared error (the paper's regression metric).
+    Mse,
+    /// Root mean squared error.
+    Rmse,
+    /// Mean absolute error.
+    Mae,
+    /// Coefficient of determination.
+    R2,
+}
+
+impl Metric {
+    /// Default metric for a task, matching the paper's setup.
+    pub fn default_for(task: Task) -> Metric {
+        match task {
+            Task::Classification => Metric::BalancedAccuracy,
+            Task::Regression => Metric::Mse,
+        }
+    }
+
+    /// True when larger values are better.
+    pub fn higher_is_better(&self) -> bool {
+        matches!(
+            self,
+            Metric::Accuracy | Metric::BalancedAccuracy | Metric::F1Macro | Metric::R2
+        )
+    }
+
+    /// Whether the metric applies to the given task.
+    pub fn applies_to(&self, task: Task) -> bool {
+        match task {
+            Task::Classification => matches!(
+                self,
+                Metric::Accuracy | Metric::BalancedAccuracy | Metric::F1Macro
+            ),
+            Task::Regression => {
+                matches!(self, Metric::Mse | Metric::Rmse | Metric::Mae | Metric::R2)
+            }
+        }
+    }
+
+    /// Computes the raw metric value.
+    pub fn score(&self, y_true: &[f64], y_pred: &[f64]) -> f64 {
+        match self {
+            Metric::Accuracy => accuracy(y_true, y_pred),
+            Metric::BalancedAccuracy => balanced_accuracy(y_true, y_pred),
+            Metric::F1Macro => f1_macro(y_true, y_pred),
+            Metric::Mse => mse(y_true, y_pred),
+            Metric::Rmse => mse(y_true, y_pred).sqrt(),
+            Metric::Mae => mae(y_true, y_pred),
+            Metric::R2 => r2(y_true, y_pred),
+        }
+    }
+
+    /// Converts the metric into a loss (lower is better): score-maximizing
+    /// metrics bounded by 1 become `1 - score`; R² becomes `1 - R²`; error
+    /// metrics pass through.
+    pub fn loss(&self, y_true: &[f64], y_pred: &[f64]) -> f64 {
+        let s = self.score(y_true, y_pred);
+        if self.higher_is_better() {
+            1.0 - s
+        } else {
+            s
+        }
+    }
+
+    /// Short display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::Accuracy => "accuracy",
+            Metric::BalancedAccuracy => "balanced_accuracy",
+            Metric::F1Macro => "f1_macro",
+            Metric::Mse => "mse",
+            Metric::Rmse => "rmse",
+            Metric::Mae => "mae",
+            Metric::R2 => "r2",
+        }
+    }
+}
+
+/// Fraction of exact label matches.
+pub fn accuracy(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    debug_assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let correct = y_true
+        .iter()
+        .zip(y_pred.iter())
+        .filter(|(t, p)| (*t - *p).abs() < 0.5)
+        .count();
+    correct as f64 / y_true.len() as f64
+}
+
+fn n_classes_of(y_true: &[f64], y_pred: &[f64]) -> usize {
+    let mut n = 0usize;
+    for &v in y_true.iter().chain(y_pred.iter()) {
+        if v.is_finite() && v >= 0.0 {
+            n = n.max(v as usize + 1);
+        }
+    }
+    n
+}
+
+/// Mean of per-class recalls; classes absent from `y_true` are skipped.
+pub fn balanced_accuracy(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    debug_assert_eq!(y_true.len(), y_pred.len());
+    let k = n_classes_of(y_true, y_pred);
+    if k == 0 || y_true.is_empty() {
+        return 0.0;
+    }
+    let mut support = vec![0usize; k];
+    let mut hits = vec![0usize; k];
+    for (&t, &p) in y_true.iter().zip(y_pred.iter()) {
+        let t = t as usize;
+        support[t] += 1;
+        if (p - t as f64).abs() < 0.5 {
+            hits[t] += 1;
+        }
+    }
+    let mut total = 0.0;
+    let mut present = 0usize;
+    for c in 0..k {
+        if support[c] > 0 {
+            total += hits[c] as f64 / support[c] as f64;
+            present += 1;
+        }
+    }
+    if present == 0 {
+        0.0
+    } else {
+        total / present as f64
+    }
+}
+
+/// Macro-averaged F1 over classes present in `y_true`.
+pub fn f1_macro(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    debug_assert_eq!(y_true.len(), y_pred.len());
+    let k = n_classes_of(y_true, y_pred);
+    if k == 0 || y_true.is_empty() {
+        return 0.0;
+    }
+    let mut tp = vec![0usize; k];
+    let mut fp = vec![0usize; k];
+    let mut fn_ = vec![0usize; k];
+    for (&t, &p) in y_true.iter().zip(y_pred.iter()) {
+        let t = t as usize;
+        let p = p.max(0.0) as usize;
+        if t == p {
+            tp[t] += 1;
+        } else {
+            if p < k {
+                fp[p] += 1;
+            }
+            fn_[t] += 1;
+        }
+    }
+    let mut total = 0.0;
+    let mut present = 0usize;
+    for c in 0..k {
+        if tp[c] + fn_[c] == 0 {
+            continue; // class absent from y_true
+        }
+        present += 1;
+        let denom = 2 * tp[c] + fp[c] + fn_[c];
+        if denom > 0 {
+            total += 2.0 * tp[c] as f64 / denom as f64;
+        }
+    }
+    if present == 0 {
+        0.0
+    } else {
+        total / present as f64
+    }
+}
+
+/// Mean squared error.
+pub fn mse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    debug_assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    y_true
+        .iter()
+        .zip(y_pred.iter())
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Mean absolute error.
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    debug_assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    y_true
+        .iter()
+        .zip(y_pred.iter())
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Coefficient of determination R². Returns 0.0 when `y_true` is constant
+/// and predictions are imperfect (matching scikit-learn's convention of a
+/// non-informative baseline).
+pub fn r2(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    debug_assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let mean = y_true.iter().sum::<f64>() / y_true.len() as f64;
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred.iter())
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum();
+    let ss_tot: f64 = y_true.iter().map(|t| (t - mean) * (t - mean)).sum();
+    if ss_tot < 1e-24 {
+        if ss_res < 1e-24 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// The paper's relative MSE improvement Δ(m1, m2) = (s(m2) − s(m1)) /
+/// max(s(m2), s(m1)), where `s` is the MSE of each system (Figure 4, REG).
+/// Positive values mean system 1 is better (smaller error).
+pub fn relative_mse_improvement(mse_system1: f64, mse_system2: f64) -> f64 {
+    let denom = mse_system1.max(mse_system2);
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    (mse_system2 - mse_system1) / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[0.0, 1.0, 1.0], &[0.0, 1.0, 0.0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn balanced_accuracy_weights_classes_equally() {
+        // 9 of class 0 (all right), 1 of class 1 (wrong): plain accuracy 0.9,
+        // balanced accuracy 0.5.
+        let y_true: Vec<f64> = (0..10).map(|i| if i == 9 { 1.0 } else { 0.0 }).collect();
+        let y_pred = vec![0.0; 10];
+        assert!((accuracy(&y_true, &y_pred) - 0.9).abs() < 1e-12);
+        assert!((balanced_accuracy(&y_true, &y_pred) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_accuracy_perfect_is_one() {
+        let y = vec![0.0, 1.0, 2.0, 0.0];
+        assert_eq!(balanced_accuracy(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn f1_macro_known_case() {
+        // Binary: TP=1, FP=1, FN=1 for class 1 -> F1 = 0.5; class 0: TP=1,
+        // FP=1, FN=1 -> 0.5. Macro = 0.5.
+        let y_true = vec![0.0, 0.0, 1.0, 1.0];
+        let y_pred = vec![0.0, 1.0, 1.0, 0.0];
+        assert!((f1_macro(&y_true, &y_pred) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_mae_rmse() {
+        let t = vec![1.0, 2.0, 3.0];
+        let p = vec![1.0, 3.0, 5.0];
+        assert!((mse(&t, &p) - 5.0 / 3.0).abs() < 1e-12);
+        assert!((mae(&t, &p) - 1.0).abs() < 1e-12);
+        assert!((Metric::Rmse.score(&t, &p) - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_bounds() {
+        let t = vec![1.0, 2.0, 3.0];
+        assert_eq!(r2(&t, &t), 1.0);
+        let mean_pred = vec![2.0, 2.0, 2.0];
+        assert!(r2(&t, &mean_pred).abs() < 1e-12);
+        assert_eq!(r2(&[5.0, 5.0], &[5.0, 5.0]), 1.0);
+        assert_eq!(r2(&[5.0, 5.0], &[4.0, 6.0]), 0.0);
+    }
+
+    #[test]
+    fn loss_flips_score_metrics() {
+        let t = vec![0.0, 1.0];
+        let p = vec![0.0, 1.0];
+        assert_eq!(Metric::BalancedAccuracy.loss(&t, &p), 0.0);
+        assert_eq!(Metric::Mse.loss(&t, &p), 0.0);
+        let bad = vec![1.0, 0.0];
+        assert_eq!(Metric::BalancedAccuracy.loss(&t, &bad), 1.0);
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        assert_eq!(
+            Metric::default_for(Task::Classification),
+            Metric::BalancedAccuracy
+        );
+        assert_eq!(Metric::default_for(Task::Regression), Metric::Mse);
+    }
+
+    #[test]
+    fn applicability() {
+        assert!(Metric::BalancedAccuracy.applies_to(Task::Classification));
+        assert!(!Metric::BalancedAccuracy.applies_to(Task::Regression));
+        assert!(Metric::Mse.applies_to(Task::Regression));
+        assert!(!Metric::Mse.applies_to(Task::Classification));
+    }
+
+    #[test]
+    fn relative_improvement_sign() {
+        // System 1 has smaller MSE => positive improvement.
+        assert!(relative_mse_improvement(1.0, 2.0) > 0.0);
+        assert!(relative_mse_improvement(2.0, 1.0) < 0.0);
+        assert_eq!(relative_mse_improvement(1.0, 2.0), 0.5);
+        assert_eq!(relative_mse_improvement(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn balanced_accuracy_skips_absent_classes() {
+        // Predictions mention class 2 but y_true never does.
+        let y_true = vec![0.0, 1.0];
+        let y_pred = vec![2.0, 1.0];
+        assert!((balanced_accuracy(&y_true, &y_pred) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,316 @@
+//! Train/test splitting and cross-validation iterators.
+
+use crate::dataset::{Dataset, Task};
+use crate::rand_util::{permutation, rng_from_seed};
+use crate::{DataError, Result};
+
+/// Splits a dataset into train and test parts.
+///
+/// `test_fraction` ∈ (0, 1). Classification datasets are split with
+/// stratification so every class keeps (approximately) its base rate in both
+/// parts; regression datasets are split uniformly at random. Deterministic
+/// given `seed`.
+pub fn train_test_split(d: &Dataset, test_fraction: f64, seed: u64) -> Result<(Dataset, Dataset)> {
+    if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+        return Err(DataError::Inconsistent(format!(
+            "test_fraction must be in (0,1), got {test_fraction}"
+        )));
+    }
+    let n = d.n_samples();
+    if n < 2 {
+        return Err(DataError::TooSmall("need at least 2 samples".into()));
+    }
+    let (train_idx, test_idx) = match d.task {
+        Task::Classification => stratified_indices(d, test_fraction, seed),
+        Task::Regression => {
+            let mut rng = rng_from_seed(seed);
+            let perm = permutation(&mut rng, n);
+            let n_test = ((n as f64 * test_fraction).round() as usize).clamp(1, n - 1);
+            (perm[n_test..].to_vec(), perm[..n_test].to_vec())
+        }
+    };
+    Ok((d.subset(&train_idx), d.subset(&test_idx)))
+}
+
+fn stratified_indices(d: &Dataset, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let mut rng = rng_from_seed(seed);
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); d.n_classes.max(1)];
+    for (i, &label) in d.y.iter().enumerate() {
+        by_class[label as usize].push(i);
+    }
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for members in by_class.iter() {
+        if members.is_empty() {
+            continue;
+        }
+        let perm = permutation(&mut rng, members.len());
+        let n_test = ((members.len() as f64 * test_fraction).round() as usize)
+            .min(members.len().saturating_sub(1));
+        for (rank, &p) in perm.iter().enumerate() {
+            if rank < n_test {
+                test.push(members[p]);
+            } else {
+                train.push(members[p]);
+            }
+        }
+    }
+    // Guarantee a non-empty test set even under extreme skew.
+    if test.is_empty() {
+        if let Some(moved) = train.pop() {
+            test.push(moved);
+        }
+    }
+    train.sort_unstable();
+    test.sort_unstable();
+    (train, test)
+}
+
+/// Plain k-fold cross-validation over shuffled indices.
+#[derive(Debug, Clone)]
+pub struct KFold {
+    folds: Vec<Vec<usize>>,
+}
+
+impl KFold {
+    /// Builds `k` folds over `n` samples, shuffled with `seed`.
+    pub fn new(n: usize, k: usize, seed: u64) -> Result<Self> {
+        if k < 2 || k > n {
+            return Err(DataError::TooSmall(format!("k={k} folds over n={n} samples")));
+        }
+        let mut rng = rng_from_seed(seed);
+        let perm = permutation(&mut rng, n);
+        let mut folds: Vec<Vec<usize>> = vec![Vec::with_capacity(n / k + 1); k];
+        for (rank, idx) in perm.into_iter().enumerate() {
+            folds[rank % k].push(idx);
+        }
+        Ok(KFold { folds })
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// Iterator over `(train_indices, validation_indices)` pairs.
+    pub fn splits(&self) -> impl Iterator<Item = (Vec<usize>, Vec<usize>)> + '_ {
+        (0..self.folds.len()).map(move |f| {
+            let valid = self.folds[f].clone();
+            let train: Vec<usize> = self
+                .folds
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != f)
+                .flat_map(|(_, fold)| fold.iter().copied())
+                .collect();
+            (train, valid)
+        })
+    }
+}
+
+/// Stratified k-fold for classification: each fold preserves class
+/// proportions as closely as integer arithmetic allows.
+#[derive(Debug, Clone)]
+pub struct StratifiedKFold {
+    folds: Vec<Vec<usize>>,
+}
+
+impl StratifiedKFold {
+    /// Builds `k` stratified folds over the dataset's labels.
+    pub fn new(d: &Dataset, k: usize, seed: u64) -> Result<Self> {
+        if d.task != Task::Classification {
+            return Err(DataError::Inconsistent(
+                "StratifiedKFold requires a classification dataset".into(),
+            ));
+        }
+        let n = d.n_samples();
+        if k < 2 || k > n {
+            return Err(DataError::TooSmall(format!("k={k} folds over n={n} samples")));
+        }
+        let mut rng = rng_from_seed(seed);
+        let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); d.n_classes.max(1)];
+        for (i, &label) in d.y.iter().enumerate() {
+            by_class[label as usize].push(i);
+        }
+        let mut next_fold = 0usize;
+        for members in by_class.iter() {
+            let perm = permutation(&mut rng, members.len());
+            for &p in &perm {
+                folds[next_fold].push(members[p]);
+                next_fold = (next_fold + 1) % k;
+            }
+        }
+        Ok(StratifiedKFold { folds })
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// Iterator over `(train_indices, validation_indices)` pairs.
+    pub fn splits(&self) -> impl Iterator<Item = (Vec<usize>, Vec<usize>)> + '_ {
+        (0..self.folds.len()).map(move |f| {
+            let valid = self.folds[f].clone();
+            let train: Vec<usize> = self
+                .folds
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != f)
+                .flat_map(|(_, fold)| fold.iter().copied())
+                .collect();
+            (train, valid)
+        })
+    }
+}
+
+/// Subsamples `fraction` of the dataset (at least 2 samples, stratified for
+/// classification). This is the *fidelity axis* used by multi-fidelity
+/// optimizers and by the building blocks' subsampled evaluations.
+pub fn subsample(d: &Dataset, fraction: f64, seed: u64) -> Dataset {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let n = d.n_samples();
+    let target = ((n as f64 * fraction).round() as usize).clamp(2.min(n), n);
+    if target >= n {
+        return d.clone();
+    }
+    match d.task {
+        Task::Classification => {
+            let keep_fraction = target as f64 / n as f64;
+            let (_, test) = stratified_indices(d, 1.0 - keep_fraction, seed);
+            // `test` is the complement of the held-out part; recompute to keep
+            // naming straight: we keep the *train* side of a split whose train
+            // fraction equals the target.
+            let (train, _) = stratified_indices(d, 1.0 - keep_fraction, seed);
+            let chosen = if train.len() >= 2 { train } else { test };
+            d.subset(&chosen)
+        }
+        Task::Regression => {
+            let mut rng = rng_from_seed(seed);
+            let mut idx = permutation(&mut rng, n);
+            idx.truncate(target);
+            idx.sort_unstable();
+            d.subset(&idx)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::FeatureType;
+    use volcanoml_linalg::Matrix;
+
+    fn dataset(n: usize, classes: usize) -> Dataset {
+        let x = Matrix::from_vec(n, 1, (0..n).map(|v| v as f64).collect()).unwrap();
+        let y: Vec<f64> = (0..n).map(|i| (i % classes) as f64).collect();
+        Dataset::classification("t", x, y, vec![FeatureType::Numerical]).unwrap()
+    }
+
+    fn regression(n: usize) -> Dataset {
+        let x = Matrix::from_vec(n, 1, (0..n).map(|v| v as f64).collect()).unwrap();
+        let y: Vec<f64> = (0..n).map(|v| v as f64 * 2.0).collect();
+        Dataset::regression("t", x, y, vec![FeatureType::Numerical]).unwrap()
+    }
+
+    #[test]
+    fn split_partitions_samples() {
+        let d = dataset(100, 2);
+        let (train, test) = train_test_split(&d, 0.2, 0).unwrap();
+        assert_eq!(train.n_samples() + test.n_samples(), 100);
+        assert_eq!(test.n_samples(), 20);
+    }
+
+    #[test]
+    fn split_is_stratified() {
+        let d = dataset(100, 4);
+        let (train, test) = train_test_split(&d, 0.2, 0).unwrap();
+        for counts in [train.class_counts(), test.class_counts()] {
+            let max = *counts.iter().max().unwrap();
+            let min = *counts.iter().min().unwrap();
+            assert!(max - min <= 1, "stratification broken: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = dataset(50, 2);
+        let (a, _) = train_test_split(&d, 0.3, 42).unwrap();
+        let (b, _) = train_test_split(&d, 0.3, 42).unwrap();
+        assert_eq!(a.y, b.y);
+        let (c, _) = train_test_split(&d, 0.3, 43).unwrap();
+        assert_ne!(a.x.data(), c.x.data());
+    }
+
+    #[test]
+    fn split_rejects_bad_fraction() {
+        let d = dataset(10, 2);
+        assert!(train_test_split(&d, 0.0, 0).is_err());
+        assert!(train_test_split(&d, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn regression_split_works() {
+        let d = regression(40);
+        let (train, test) = train_test_split(&d, 0.25, 1).unwrap();
+        assert_eq!(train.n_samples(), 30);
+        assert_eq!(test.n_samples(), 10);
+    }
+
+    #[test]
+    fn kfold_covers_everything_once() {
+        let kf = KFold::new(23, 5, 0).unwrap();
+        let mut seen = vec![0usize; 23];
+        for (train, valid) in kf.splits() {
+            assert_eq!(train.len() + valid.len(), 23);
+            for &v in &valid {
+                seen[v] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn kfold_rejects_degenerate_k() {
+        assert!(KFold::new(10, 1, 0).is_err());
+        assert!(KFold::new(3, 5, 0).is_err());
+    }
+
+    #[test]
+    fn stratified_kfold_preserves_ratios() {
+        let d = dataset(60, 3);
+        let skf = StratifiedKFold::new(&d, 5, 0).unwrap();
+        for (_, valid) in skf.splits() {
+            let mut counts = vec![0usize; 3];
+            for &i in &valid {
+                counts[d.y[i] as usize] += 1;
+            }
+            let max = *counts.iter().max().unwrap();
+            let min = *counts.iter().min().unwrap();
+            assert!(max - min <= 1, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn stratified_kfold_rejects_regression() {
+        let d = regression(30);
+        assert!(StratifiedKFold::new(&d, 3, 0).is_err());
+    }
+
+    #[test]
+    fn subsample_respects_fraction_and_strata() {
+        let d = dataset(100, 2);
+        let s = subsample(&d, 0.3, 7);
+        assert!((s.n_samples() as i64 - 30).abs() <= 2, "{}", s.n_samples());
+        let counts = s.class_counts();
+        assert!((counts[0] as i64 - counts[1] as i64).abs() <= 2);
+    }
+
+    #[test]
+    fn subsample_full_fraction_is_identity() {
+        let d = regression(20);
+        let s = subsample(&d, 1.0, 0);
+        assert_eq!(s.n_samples(), 20);
+    }
+}

@@ -1,0 +1,165 @@
+//! Feature agglomeration — auto-sklearn's `feature_agglomeration` operator:
+//! hierarchically clusters *features* by correlation and replaces each
+//! cluster with its mean, a denoising alternative to PCA that keeps the
+//! output interpretable in terms of input groups.
+
+use crate::{FeError, Result, Transformer};
+use volcanoml_linalg::Matrix;
+
+/// Agglomerative feature clustering (average linkage over the absolute
+/// Pearson correlation), reducing `d` features to `n_clusters` means.
+#[derive(Debug, Clone)]
+pub struct FeatureAgglomeration {
+    /// Target number of output features (clamped to `[1, d]` at fit).
+    pub n_clusters: usize,
+    clusters: Option<Vec<Vec<usize>>>,
+}
+
+impl FeatureAgglomeration {
+    /// Creates an unfitted agglomerator.
+    pub fn new(n_clusters: usize) -> Self {
+        FeatureAgglomeration {
+            n_clusters: n_clusters.max(1),
+            clusters: None,
+        }
+    }
+
+    /// The learned clusters (after fit), each a sorted list of columns.
+    pub fn clusters(&self) -> Option<&[Vec<usize>]> {
+        self.clusters.as_deref()
+    }
+}
+
+impl Transformer for FeatureAgglomeration {
+    fn fit(&mut self, x: &Matrix, _y: &[f64]) -> Result<()> {
+        let d = x.cols();
+        if d == 0 {
+            return Err(FeError::Invalid("no features to agglomerate".into()));
+        }
+        let target = self.n_clusters.clamp(1, d);
+        // Pairwise |corr| similarity.
+        let cols: Vec<Vec<f64>> = (0..d).map(|c| x.col(c)).collect();
+        let mut sim = vec![vec![0.0; d]; d];
+        for i in 0..d {
+            for j in i + 1..d {
+                let s = volcanoml_linalg::stats::pearson(&cols[i], &cols[j]).abs();
+                sim[i][j] = s;
+                sim[j][i] = s;
+            }
+        }
+        // Greedy average-linkage agglomeration.
+        let mut clusters: Vec<Vec<usize>> = (0..d).map(|i| vec![i]).collect();
+        while clusters.len() > target {
+            // Find the pair of clusters with maximal average similarity.
+            let mut best = (0usize, 1usize, f64::NEG_INFINITY);
+            for a in 0..clusters.len() {
+                for b in a + 1..clusters.len() {
+                    let mut total = 0.0;
+                    for &i in &clusters[a] {
+                        for &j in &clusters[b] {
+                            total += sim[i][j];
+                        }
+                    }
+                    let avg = total / (clusters[a].len() * clusters[b].len()) as f64;
+                    if avg > best.2 {
+                        best = (a, b, avg);
+                    }
+                }
+            }
+            let (a, b, _) = best;
+            let merged = clusters.remove(b);
+            clusters[a].extend(merged);
+            clusters[a].sort_unstable();
+        }
+        clusters.sort_by_key(|c| c[0]);
+        self.clusters = Some(clusters);
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        let clusters = self.clusters.as_ref().ok_or(FeError::NotFitted)?;
+        let max_col = clusters.iter().flatten().copied().max().unwrap_or(0);
+        if max_col >= x.cols() {
+            return Err(FeError::Invalid(format!(
+                "agglomeration references column {max_col}, input has {}",
+                x.cols()
+            )));
+        }
+        let mut out = Matrix::zeros(x.rows(), clusters.len());
+        for r in 0..x.rows() {
+            let src = x.row(r);
+            let dst = out.row_mut(r);
+            for (k, cluster) in clusters.iter().enumerate() {
+                dst[k] = cluster.iter().map(|&c| src[c]).sum::<f64>() / cluster.len() as f64;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volcanoml_data::rand_util::{rng_from_seed, standard_normal};
+
+    /// 6 features in 3 perfectly correlated pairs.
+    fn paired_features(n: usize) -> Matrix {
+        let mut rng = rng_from_seed(0);
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = standard_normal(&mut rng);
+            let b = standard_normal(&mut rng);
+            let c = standard_normal(&mut rng);
+            rows.push(vec![a, 2.0 * a, b, -b, c, 0.5 * c]);
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn merges_correlated_pairs() {
+        let x = paired_features(200);
+        let mut agg = FeatureAgglomeration::new(3);
+        agg.fit(&x, &[]).unwrap();
+        let clusters = agg.clusters().unwrap();
+        assert_eq!(clusters.len(), 3);
+        let as_sets: Vec<Vec<usize>> = clusters.to_vec();
+        assert!(as_sets.contains(&vec![0, 1]), "{as_sets:?}");
+        assert!(as_sets.contains(&vec![2, 3]), "{as_sets:?}");
+        assert!(as_sets.contains(&vec![4, 5]), "{as_sets:?}");
+    }
+
+    #[test]
+    fn transform_width_matches_clusters() {
+        let x = paired_features(100);
+        let mut agg = FeatureAgglomeration::new(3);
+        let out = agg.fit_transform(&x, &[]).unwrap();
+        assert_eq!(out.shape(), (100, 3));
+        // Cluster {0,1} mean = (a + 2a)/2 = 1.5a.
+        assert!((out.get(0, 0) - 1.5 * x.get(0, 0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn target_clamped_to_feature_count() {
+        let x = paired_features(50);
+        let mut agg = FeatureAgglomeration::new(100);
+        let out = agg.fit_transform(&x, &[]).unwrap();
+        assert_eq!(out.cols(), 6); // identity grouping
+        let mut one = FeatureAgglomeration::new(1);
+        let out1 = one.fit_transform(&x, &[]).unwrap();
+        assert_eq!(out1.cols(), 1);
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let agg = FeatureAgglomeration::new(2);
+        assert!(agg.transform(&Matrix::zeros(1, 4)).is_err());
+    }
+
+    #[test]
+    fn width_mismatch_errors() {
+        let x = paired_features(50);
+        let mut agg = FeatureAgglomeration::new(2);
+        agg.fit(&x, &[]).unwrap();
+        assert!(agg.transform(&Matrix::zeros(1, 2)).is_err());
+    }
+}

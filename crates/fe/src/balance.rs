@@ -1,0 +1,311 @@
+//! Class-balancing resamplers (the paper's `balancing` FE stage).
+//!
+//! `smote` is the operator added in the Table 2 search-space enrichment
+//! experiment ("smote_balancer"): auto-sklearn cannot accept this
+//! fine-grained addition, VolcanoML can.
+
+use crate::{FeError, Resampler, Result};
+use rand::RngExt;
+use volcanoml_data::rand_util::rng_from_seed;
+use volcanoml_linalg::matrix::squared_distance;
+use volcanoml_linalg::Matrix;
+
+fn class_indices(y: &[f64]) -> Vec<Vec<usize>> {
+    let k = y
+        .iter()
+        .fold(0usize, |m, &v| m.max(v.max(0.0) as usize + 1))
+        .max(1);
+    let mut by_class = vec![Vec::new(); k];
+    for (i, &label) in y.iter().enumerate() {
+        by_class[label as usize].push(i);
+    }
+    by_class
+}
+
+/// No-op balancer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoBalance;
+
+impl Resampler for NoBalance {
+    fn resample(&self, x: &Matrix, y: &[f64], _seed: u64) -> Result<(Matrix, Vec<f64>)> {
+        Ok((x.clone(), y.to_vec()))
+    }
+}
+
+/// Random oversampling: minority classes are resampled with replacement up to
+/// the majority count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomOversample;
+
+impl Resampler for RandomOversample {
+    fn resample(&self, x: &Matrix, y: &[f64], seed: u64) -> Result<(Matrix, Vec<f64>)> {
+        let by_class = class_indices(y);
+        let max = by_class.iter().map(|c| c.len()).max().unwrap_or(0);
+        let mut rng = rng_from_seed(seed);
+        let mut keep: Vec<usize> = (0..y.len()).collect();
+        for members in by_class.iter().filter(|m| !m.is_empty()) {
+            for _ in members.len()..max {
+                keep.push(members[rng.random_range(0..members.len())]);
+            }
+        }
+        Ok((x.select_rows(&keep), keep.iter().map(|&i| y[i]).collect()))
+    }
+}
+
+/// Random undersampling: majority classes are subsampled down to the minority
+/// count (but never below 2 samples per class).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomUndersample;
+
+impl Resampler for RandomUndersample {
+    fn resample(&self, x: &Matrix, y: &[f64], seed: u64) -> Result<(Matrix, Vec<f64>)> {
+        let by_class = class_indices(y);
+        let min = by_class
+            .iter()
+            .filter(|c| !c.is_empty())
+            .map(|c| c.len())
+            .min()
+            .unwrap_or(0)
+            .max(2);
+        let mut rng = rng_from_seed(seed);
+        let mut keep = Vec::new();
+        for members in by_class.iter().filter(|m| !m.is_empty()) {
+            if members.len() <= min {
+                keep.extend_from_slice(members);
+            } else {
+                let chosen = volcanoml_data::rand_util::sample_without_replacement(
+                    &mut rng,
+                    members.len(),
+                    min,
+                );
+                keep.extend(chosen.into_iter().map(|p| members[p]));
+            }
+        }
+        keep.sort_unstable();
+        Ok((x.select_rows(&keep), keep.iter().map(|&i| y[i]).collect()))
+    }
+}
+
+/// SMOTE: synthetic minority oversampling — new minority samples are drawn on
+/// segments between a minority point and one of its `k` nearest minority
+/// neighbors.
+#[derive(Debug, Clone, Copy)]
+pub struct Smote {
+    /// Neighborhood size.
+    pub k_neighbors: usize,
+}
+
+impl Smote {
+    /// Creates a SMOTE balancer.
+    pub fn new(k_neighbors: usize) -> Self {
+        Smote {
+            k_neighbors: k_neighbors.max(1),
+        }
+    }
+}
+
+impl Resampler for Smote {
+    fn resample(&self, x: &Matrix, y: &[f64], seed: u64) -> Result<(Matrix, Vec<f64>)> {
+        if x.data().iter().any(|v| v.is_nan()) {
+            return Err(FeError::Invalid(
+                "SMOTE requires imputed (NaN-free) features".into(),
+            ));
+        }
+        let by_class = class_indices(y);
+        let max = by_class.iter().map(|c| c.len()).max().unwrap_or(0);
+        let mut rng = rng_from_seed(seed);
+
+        let mut rows: Vec<Vec<f64>> = x.iter_rows().map(|r| r.to_vec()).collect();
+        let mut labels = y.to_vec();
+
+        for (class, members) in by_class.iter().enumerate() {
+            if members.is_empty() || members.len() >= max {
+                continue;
+            }
+            if members.len() < 2 {
+                // Cannot interpolate a single point: duplicate it instead.
+                for _ in members.len()..max {
+                    rows.push(x.row(members[0]).to_vec());
+                    labels.push(class as f64);
+                }
+                continue;
+            }
+            let k = self.k_neighbors.min(members.len() - 1);
+            // Precompute k-NN among minority members.
+            let neighbor_lists: Vec<Vec<usize>> = members
+                .iter()
+                .map(|&i| {
+                    let mut dists: Vec<(usize, f64)> = members
+                        .iter()
+                        .filter(|&&j| j != i)
+                        .map(|&j| (j, squared_distance(x.row(i), x.row(j))))
+                        .collect();
+                    dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+                    dists.truncate(k);
+                    dists.into_iter().map(|(j, _)| j).collect()
+                })
+                .collect();
+            for _ in members.len()..max {
+                let pick = rng.random_range(0..members.len());
+                let base = members[pick];
+                let neighbors = &neighbor_lists[pick];
+                let other = neighbors[rng.random_range(0..neighbors.len())];
+                let t: f64 = rng.random();
+                let synth: Vec<f64> = x
+                    .row(base)
+                    .iter()
+                    .zip(x.row(other).iter())
+                    .map(|(a, b)| a + t * (b - a))
+                    .collect();
+                rows.push(synth);
+                labels.push(class as f64);
+            }
+        }
+        let out = Matrix::from_rows(&rows).map_err(FeError::from)?;
+        Ok((out, labels))
+    }
+}
+
+/// Balancer choice used by the pipeline.
+#[derive(Debug, Clone, Copy)]
+pub enum Balancer {
+    /// Identity.
+    None,
+    /// Random oversampling.
+    Oversample,
+    /// Random undersampling.
+    Undersample,
+    /// SMOTE with the given neighborhood (the enrichment operator).
+    Smote {
+        /// Neighborhood size.
+        k_neighbors: usize,
+    },
+}
+
+impl Resampler for Balancer {
+    fn resample(&self, x: &Matrix, y: &[f64], seed: u64) -> Result<(Matrix, Vec<f64>)> {
+        match self {
+            Balancer::None => NoBalance.resample(x, y, seed),
+            Balancer::Oversample => RandomOversample.resample(x, y, seed),
+            Balancer::Undersample => RandomUndersample.resample(x, y, seed),
+            Balancer::Smote { k_neighbors } => Smote::new(*k_neighbors).resample(x, y, seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volcanoml_data::synthetic::{make_classification, ClassificationSpec};
+
+    fn imbalanced() -> (Matrix, Vec<f64>) {
+        let d = make_classification(
+            &ClassificationSpec {
+                n_samples: 200,
+                n_features: 4,
+                n_informative: 3,
+                n_redundant: 0,
+                n_classes: 2,
+                class_sep: 1.5,
+                flip_y: 0.0,
+                weights: vec![0.9, 0.1],
+            },
+            3,
+        );
+        (d.x, d.y)
+    }
+
+    fn counts(y: &[f64]) -> Vec<usize> {
+        let mut c = vec![0usize; 2];
+        for &v in y {
+            c[v as usize] += 1;
+        }
+        c
+    }
+
+    #[test]
+    fn oversample_balances_counts() {
+        let (x, y) = imbalanced();
+        let (nx, ny) = RandomOversample.resample(&x, &y, 0).unwrap();
+        let c = counts(&ny);
+        assert_eq!(c[0], c[1]);
+        assert_eq!(nx.rows(), ny.len());
+        assert!(ny.len() > y.len());
+    }
+
+    #[test]
+    fn undersample_balances_counts() {
+        let (x, y) = imbalanced();
+        let (nx, ny) = RandomUndersample.resample(&x, &y, 0).unwrap();
+        let c = counts(&ny);
+        assert_eq!(c[0], c[1]);
+        assert!(ny.len() < y.len());
+        assert_eq!(nx.rows(), ny.len());
+    }
+
+    #[test]
+    fn smote_balances_and_synthesizes() {
+        let (x, y) = imbalanced();
+        let before = counts(&y);
+        let (nx, ny) = Smote::new(5).resample(&x, &y, 0).unwrap();
+        let after = counts(&ny);
+        assert_eq!(after[0], after[1]);
+        // Synthetic rows exist beyond the originals.
+        assert_eq!(nx.rows(), y.len() + (before[0] - before[1]));
+    }
+
+    #[test]
+    fn smote_synthetic_points_are_interpolations() {
+        // Minority points on a line: synthetic points must stay on it.
+        let x = Matrix::from_vec(
+            6,
+            1,
+            vec![0.0, 10.0, 20.0, 100.0, 101.0, 102.0],
+        )
+        .unwrap();
+        let y = vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0];
+        // Already balanced: nothing to do.
+        let (_, ny) = Smote::new(2).resample(&x, &y, 0).unwrap();
+        assert_eq!(ny.len(), 6);
+
+        let x2 = Matrix::from_vec(5, 1, vec![0.0, 10.0, 100.0, 101.0, 102.0]).unwrap();
+        let y2 = vec![1.0, 1.0, 0.0, 0.0, 0.0];
+        let (nx2, ny2) = Smote::new(1).resample(&x2, &y2, 1).unwrap();
+        assert_eq!(ny2.len(), 6);
+        // The synthetic minority point lies between 0 and 10.
+        let v = nx2.get(5, 0);
+        assert!((0.0..=10.0).contains(&v), "synthetic {v}");
+    }
+
+    #[test]
+    fn smote_single_minority_point_duplicates() {
+        let x = Matrix::from_vec(4, 1, vec![0.0, 5.0, 6.0, 7.0]).unwrap();
+        let y = vec![1.0, 0.0, 0.0, 0.0];
+        let (nx, ny) = Smote::new(3).resample(&x, &y, 0).unwrap();
+        assert_eq!(counts(&ny), vec![3, 3]);
+        assert_eq!(nx.get(4, 0), 0.0);
+        assert_eq!(nx.get(5, 0), 0.0);
+    }
+
+    #[test]
+    fn smote_rejects_nan() {
+        let x = Matrix::from_vec(2, 1, vec![f64::NAN, 1.0]).unwrap();
+        assert!(Smote::new(1).resample(&x, &[0.0, 1.0], 0).is_err());
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let (x, y) = imbalanced();
+        let (nx, ny) = NoBalance.resample(&x, &y, 0).unwrap();
+        assert_eq!(nx.data(), x.data());
+        assert_eq!(ny, y);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = imbalanced();
+        let (a, _) = Smote::new(5).resample(&x, &y, 42).unwrap();
+        let (b, _) = Smote::new(5).resample(&x, &y, 42).unwrap();
+        assert_eq!(a.data(), b.data());
+    }
+}

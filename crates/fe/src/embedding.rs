@@ -1,0 +1,260 @@
+//! Simulated pre-trained embedding extractors — the stand-in for
+//! TensorFlow-Hub models in the paper's embedding-selection enrichment
+//! (§5.3, Figure 3).
+//!
+//! The vision-like generator (`volcanoml_data::synthetic::make_embedded_images`)
+//! renders latent factors `z` into "pixels" `p = tanh(s (W z + b)) + ε`
+//! (`s` = `RENDER_TANH_SCALE`)
+//! with `(W, b)` drawn from a *rendering seed*. Two extractors are provided:
+//!
+//! - [`PretrainedEmbedding::matched`] — "pre-trained on the right domain":
+//!   it knows the rendering convention and inverts it (`atanh` + ridge
+//!   least-squares onto `W`), recovering the latent factors. Equivalent to a
+//!   pre-trained backbone whose features align with the task.
+//! - [`PretrainedEmbedding::generic`] — a fixed random nonlinear projection
+//!   (random ReLU features), the "wrong-domain backbone": generic but far
+//!   less informative.
+//!
+//! Only a system that can *search* the enriched stage discovers that the
+//! matched extractor plus a simple classifier dominates raw pixels — which is
+//! precisely the experiment the paper runs against auto-sklearn.
+
+use crate::{FeError, Result, Transformer};
+use volcanoml_data::rand_util::{rng_from_seed, standard_normal};
+use volcanoml_linalg::{solve_spd, Matrix};
+
+/// Which simulated backbone to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmbeddingKind {
+    /// Domain-matched extractor: inverts the rendering of the paired
+    /// dataset (constructed from the same rendering seed).
+    Matched,
+    /// Generic random-feature extractor.
+    Generic,
+}
+
+/// A fixed ("pre-trained") embedding extractor.
+#[derive(Debug, Clone)]
+pub struct PretrainedEmbedding {
+    /// Backbone type.
+    pub kind: EmbeddingKind,
+    /// Rendering seed of the paired dataset (Matched) or projection seed
+    /// (Generic).
+    pub seed: u64,
+    /// Output embedding width.
+    pub n_outputs: usize,
+    // Matched: the rendering weights, regenerated from the seed at fit time.
+    w: Option<Matrix>, // n_pixels x n_latent
+    b: Vec<f64>,
+    gram_chol_rhs: Option<Matrix>, // cached (WᵀW + λI)⁻¹ Wᵀ as a matrix
+    // Generic: random projection weights.
+    proj: Option<Matrix>, // n_pixels x n_outputs
+}
+
+impl PretrainedEmbedding {
+    /// Creates the domain-matched extractor for a dataset generated with
+    /// `dataset_seed` and `n_latent` latent factors. `dataset_seed` must be
+    /// the seed passed to `make_embedded_images`.
+    pub fn matched(dataset_seed: u64, n_latent: usize) -> Self {
+        PretrainedEmbedding {
+            kind: EmbeddingKind::Matched,
+            seed: volcanoml_data::synthetic::rendering_seed(dataset_seed),
+            n_outputs: n_latent,
+            w: None,
+            b: Vec::new(),
+            gram_chol_rhs: None,
+            proj: None,
+        }
+    }
+
+    /// Creates a generic random-feature extractor.
+    pub fn generic(seed: u64, n_outputs: usize) -> Self {
+        PretrainedEmbedding {
+            kind: EmbeddingKind::Generic,
+            seed,
+            n_outputs: n_outputs.max(1),
+            w: None,
+            b: Vec::new(),
+            gram_chol_rhs: None,
+            proj: None,
+        }
+    }
+}
+
+impl Transformer for PretrainedEmbedding {
+    fn fit(&mut self, x: &Matrix, _y: &[f64]) -> Result<()> {
+        let n_pixels = x.cols();
+        match self.kind {
+            EmbeddingKind::Matched => {
+                // Regenerate the rendering parameters from the seed, exactly
+                // as the generator drew them.
+                let mut rng = rng_from_seed(self.seed);
+                let n_latent = self.n_outputs;
+                let mut w = Matrix::zeros(n_pixels, n_latent);
+                for p in 0..n_pixels {
+                    let row = w.row_mut(p);
+                    for v in row.iter_mut() {
+                        *v = standard_normal(&mut rng);
+                    }
+                }
+                let b: Vec<f64> = (0..n_pixels).map(|_| standard_normal(&mut rng)).collect();
+                // Precompute the ridge pseudo-inverse (WᵀW + λI)⁻¹ Wᵀ.
+                let gram = w.gram();
+                let wt = w.transpose();
+                let mut pinv = Matrix::zeros(n_latent, n_pixels);
+                for col in 0..n_pixels {
+                    let rhs = wt.col(col);
+                    let solved = solve_spd(&gram, &rhs, 1e-3).map_err(FeError::from)?;
+                    for (r, v) in solved.into_iter().enumerate() {
+                        pinv.set(r, col, v);
+                    }
+                }
+                self.w = Some(w);
+                self.b = b;
+                self.gram_chol_rhs = Some(pinv);
+            }
+            EmbeddingKind::Generic => {
+                let mut rng = rng_from_seed(self.seed);
+                let mut proj = Matrix::zeros(n_pixels, self.n_outputs);
+                for p in 0..n_pixels {
+                    let row = proj.row_mut(p);
+                    for v in row.iter_mut() {
+                        *v = standard_normal(&mut rng) / (n_pixels as f64).sqrt();
+                    }
+                }
+                self.proj = Some(proj);
+            }
+        }
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        match self.kind {
+            EmbeddingKind::Matched => {
+                let pinv = self.gram_chol_rhs.as_ref().ok_or(FeError::NotFitted)?;
+                if x.cols() != pinv.cols() {
+                    return Err(FeError::Invalid(format!(
+                        "embedding fitted on {} pixels, got {}",
+                        pinv.cols(),
+                        x.cols()
+                    )));
+                }
+                // Invert the rendering: pre = atanh(clamp(p)) / scale − b,
+                // then ẑ = pinv · pre.
+                let mut out = Matrix::zeros(x.rows(), self.n_outputs);
+                let mut pre = vec![0.0; x.cols()];
+                for r in 0..x.rows() {
+                    for ((p, &v), &bias) in
+                        pre.iter_mut().zip(x.row(r).iter()).zip(self.b.iter())
+                    {
+                        let clamped = v.clamp(-0.999, 0.999);
+                        *p = clamped.atanh()
+                            / volcanoml_data::synthetic::RENDER_TANH_SCALE
+                            - bias;
+                    }
+                    let out_row = out.row_mut(r);
+                    for (c, o) in out_row.iter_mut().enumerate() {
+                        *o = volcanoml_linalg::matrix::dot(pinv.row(c), &pre);
+                    }
+                }
+                Ok(out)
+            }
+            EmbeddingKind::Generic => {
+                let proj = self.proj.as_ref().ok_or(FeError::NotFitted)?;
+                if x.cols() != proj.rows() {
+                    return Err(FeError::Invalid(format!(
+                        "embedding fitted on {} pixels, got {}",
+                        proj.rows(),
+                        x.cols()
+                    )));
+                }
+                let mut out = x.matmul(proj).map_err(FeError::from)?;
+                for v in out.data_mut().iter_mut() {
+                    *v = v.max(0.0); // random ReLU features
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volcanoml_data::synthetic::make_embedded_images;
+
+    /// Accuracy of the latent decision rule sign(z0 * z1 * z2).
+    fn product_rule_accuracy(z: &Matrix, y: &[f64]) -> f64 {
+        let mut hits = 0usize;
+        for (i, &label) in y.iter().enumerate() {
+            let pred = if z.get(i, 0) * z.get(i, 1) * z.get(i, 2) < 0.0 {
+                1.0
+            } else {
+                0.0
+            };
+            if (pred - label).abs() < 0.5 {
+                hits += 1;
+            }
+        }
+        hits as f64 / y.len() as f64
+    }
+
+    #[test]
+    fn matched_embedding_recovers_latent_interaction() {
+        let seed = 42u64;
+        let d = make_embedded_images(300, 4, 64, 2, 0.1, seed);
+        let mut emb = PretrainedEmbedding::matched(seed, 4);
+        let z = emb.fit_transform(&d.x, &d.y).unwrap();
+        assert_eq!(z.shape(), (300, 4));
+        let acc = product_rule_accuracy(&z, &d.y);
+        assert!(acc > 0.85, "product-rule accuracy on recovered latents: {acc}");
+    }
+
+    #[test]
+    fn raw_pixels_hide_the_interaction_from_linear_rules() {
+        // The same decision rule applied to the first two *pixels* is at
+        // chance — the signal only appears after inversion.
+        let seed = 42u64;
+        let d = make_embedded_images(300, 4, 64, 2, 0.1, seed);
+        let acc = product_rule_accuracy(&d.x, &d.y);
+        assert!((0.3..0.7).contains(&acc), "raw-pixel rule accuracy: {acc}");
+    }
+
+    #[test]
+    fn generic_embedding_has_requested_width() {
+        let d = make_embedded_images(60, 4, 32, 2, 0.05, 7);
+        let mut emb = PretrainedEmbedding::generic(1, 16);
+        let z = emb.fit_transform(&d.x, &d.y).unwrap();
+        assert_eq!(z.shape(), (60, 16));
+        assert!(z.data().iter().all(|&v| v >= 0.0)); // ReLU features
+    }
+
+    #[test]
+    fn matched_beats_generic_on_the_latent_rule() {
+        let seed = 9u64;
+        let d = make_embedded_images(300, 4, 64, 2, 0.1, seed);
+        let mut matched = PretrainedEmbedding::matched(seed, 4);
+        let zm = matched.fit_transform(&d.x, &d.y).unwrap();
+        let mut generic = PretrainedEmbedding::generic(1, 4);
+        let zg = generic.fit_transform(&d.x, &d.y).unwrap();
+        let am = product_rule_accuracy(&zm, &d.y);
+        let ag = product_rule_accuracy(&zg, &d.y);
+        assert!(am > ag + 0.15, "matched {am} vs generic {ag}");
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let e = PretrainedEmbedding::matched(0, 4);
+        assert!(e.transform(&Matrix::zeros(1, 8)).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = make_embedded_images(40, 4, 32, 2, 0.05, 3);
+        let mut a = PretrainedEmbedding::matched(3, 4);
+        let za = a.fit_transform(&d.x, &d.y).unwrap();
+        let mut b = PretrainedEmbedding::matched(3, 4);
+        let zb = b.fit_transform(&d.x, &d.y).unwrap();
+        assert_eq!(za.data(), zb.data());
+    }
+}

@@ -1,0 +1,129 @@
+//! One-hot encoding of categorical columns.
+
+use crate::{FeError, Result};
+use volcanoml_data::FeatureType;
+use volcanoml_linalg::Matrix;
+
+/// One-hot encoder driven by declared feature types: categorical columns are
+/// expanded to indicator columns, numerical columns pass through (order:
+/// numerical first, then the expanded categoricals).
+#[derive(Debug, Clone)]
+pub struct OneHotEncoder {
+    numerical: Vec<usize>,
+    categorical: Vec<(usize, usize)>, // (column, cardinality)
+    fitted: bool,
+}
+
+impl OneHotEncoder {
+    /// Builds an encoder from declared feature types.
+    pub fn from_feature_types(types: &[FeatureType]) -> Self {
+        let mut numerical = Vec::new();
+        let mut categorical = Vec::new();
+        for (i, t) in types.iter().enumerate() {
+            match t {
+                FeatureType::Numerical => numerical.push(i),
+                FeatureType::Categorical(card) => categorical.push((i, (*card).max(1))),
+            }
+        }
+        OneHotEncoder {
+            numerical,
+            categorical,
+            fitted: true,
+        }
+    }
+
+    /// Output width after encoding.
+    pub fn output_width(&self) -> usize {
+        self.numerical.len() + self.categorical.iter().map(|&(_, c)| c).sum::<usize>()
+    }
+
+    /// True when no column needs encoding (transform is then a copy).
+    pub fn is_identity(&self) -> bool {
+        self.categorical.is_empty()
+    }
+
+    /// Applies the encoding. Out-of-range category codes activate no
+    /// indicator (all-zero block), which is the robust choice for unseen
+    /// categories at test time.
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        if !self.fitted {
+            return Err(FeError::NotFitted);
+        }
+        let expected = self.numerical.len() + self.categorical.len();
+        if x.cols() != expected {
+            return Err(FeError::Invalid(format!(
+                "encoder expects {expected} columns, got {}",
+                x.cols()
+            )));
+        }
+        if self.is_identity() {
+            return Ok(x.clone());
+        }
+        let width = self.output_width();
+        let mut out = Matrix::zeros(x.rows(), width);
+        for r in 0..x.rows() {
+            let src = x.row(r);
+            let dst = out.row_mut(r);
+            for (j, &c) in self.numerical.iter().enumerate() {
+                dst[j] = src[c];
+            }
+            let mut offset = self.numerical.len();
+            for &(c, card) in &self.categorical {
+                let v = src[c];
+                if v.is_finite() && v >= 0.0 {
+                    let code = v.round() as usize;
+                    if code < card {
+                        dst[offset + code] = 1.0;
+                    }
+                }
+                offset += card;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_mixed_columns() {
+        let types = vec![
+            FeatureType::Categorical(3),
+            FeatureType::Numerical,
+            FeatureType::Categorical(2),
+        ];
+        let enc = OneHotEncoder::from_feature_types(&types);
+        assert_eq!(enc.output_width(), 1 + 3 + 2);
+        let x = Matrix::from_vec(2, 3, vec![1.0, 0.5, 0.0, 2.0, -0.5, 1.0]).unwrap();
+        let out = enc.transform(&x).unwrap();
+        assert_eq!(out.row(0), &[0.5, 0.0, 1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(out.row(1), &[-0.5, 0.0, 0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn identity_for_all_numerical() {
+        let types = vec![FeatureType::Numerical; 3];
+        let enc = OneHotEncoder::from_feature_types(&types);
+        assert!(enc.is_identity());
+        let x = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(enc.transform(&x).unwrap().data(), x.data());
+    }
+
+    #[test]
+    fn unseen_category_is_all_zero() {
+        let types = vec![FeatureType::Categorical(2)];
+        let enc = OneHotEncoder::from_feature_types(&types);
+        let x = Matrix::from_vec(1, 1, vec![7.0]).unwrap();
+        let out = enc.transform(&x).unwrap();
+        assert_eq!(out.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn width_mismatch_errors() {
+        let types = vec![FeatureType::Numerical];
+        let enc = OneHotEncoder::from_feature_types(&types);
+        assert!(enc.transform(&Matrix::zeros(1, 3)).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Feature-engineering operators and pipelines — the auto-sklearn FE stage
+//! structure (§3.1 of the VolcanoML paper) rebuilt in Rust.
+//!
+//! A [`pipeline::FePipeline`] applies, in order:
+//!
+//! 1. **imputation** (always; strategy searchable),
+//! 2. **one-hot encoding** of categorical columns (always),
+//! 3. optional **embedding extraction** (the paper's §5.3 enrichment),
+//! 4. **rescaling** (one of 6 choices),
+//! 5. **balancing** (classification, train-time resampling; SMOTE is the
+//!    Table 2 enrichment),
+//! 6. **feature transformation** (one of 7 choices: PCA, Nyström kernel
+//!    approximation, polynomial features, univariate selection, variance
+//!    threshold, feature agglomeration, or none).
+//!
+//! Each stage publishes its choices and conditional hyper-parameters through
+//! [`space::fe_stage_defs`], which the AutoML layer compiles into its search
+//! space.
+
+pub mod agglomerate;
+pub mod balance;
+pub mod embedding;
+pub mod encode;
+pub mod impute;
+pub mod pipeline;
+pub mod reduce;
+pub mod scale;
+pub mod space;
+
+pub use pipeline::{FePipeline, FeSpaceOptions};
+
+use volcanoml_linalg::Matrix;
+
+/// Errors produced by FE operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeError {
+    /// `transform` before `fit`.
+    NotFitted,
+    /// Structural problem with the inputs or configuration.
+    Invalid(String),
+    /// Numeric failure inside an operator.
+    Numeric(String),
+}
+
+impl std::fmt::Display for FeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeError::NotFitted => write!(f, "transformer is not fitted"),
+            FeError::Invalid(s) => write!(f, "invalid input: {s}"),
+            FeError::Numeric(s) => write!(f, "numeric failure: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for FeError {}
+
+impl From<volcanoml_linalg::LinalgError> for FeError {
+    fn from(e: volcanoml_linalg::LinalgError) -> Self {
+        FeError::Numeric(e.to_string())
+    }
+}
+
+/// Convenience alias for FE results.
+pub type Result<T> = std::result::Result<T, FeError>;
+
+/// A fitted, stateless-at-predict-time feature transformer.
+///
+/// `fit` sees training features *and* targets (supervised selectors need
+/// them); `transform` must be applicable to unseen data of the same width.
+pub trait Transformer {
+    /// Learns transform parameters from training data.
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()>;
+
+    /// Applies the learned transform.
+    fn transform(&self, x: &Matrix) -> Result<Matrix>;
+
+    /// Fits and transforms in one call.
+    fn fit_transform(&mut self, x: &Matrix, y: &[f64]) -> Result<Matrix> {
+        self.fit(x, y)?;
+        self.transform(x)
+    }
+}
+
+/// A train-time resampler (balancing stage). Identity at predict time.
+pub trait Resampler {
+    /// Returns a rebalanced copy of the training set.
+    fn resample(&self, x: &Matrix, y: &[f64], seed: u64) -> Result<(Matrix, Vec<f64>)>;
+}

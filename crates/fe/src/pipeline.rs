@@ -1,0 +1,423 @@
+//! The feature-engineering pipeline: imputation → one-hot → (embedding) →
+//! rescaling → balancing (train only) → transformation, each stage
+//! configured from a flat value map produced by the AutoML search.
+
+use crate::agglomerate::FeatureAgglomeration;
+use crate::balance::Balancer;
+use crate::embedding::PretrainedEmbedding;
+use crate::encode::OneHotEncoder;
+use crate::impute::{ImputeStrategy, Imputer};
+use crate::reduce::{Nystroem, Pca, PolynomialFeatures, ScoreFunc, SelectPercentile, VarianceThreshold};
+use crate::scale::{Rescaler, ScaleKind};
+use crate::{FeError, Resampler, Result, Transformer};
+use std::collections::HashMap;
+use volcanoml_data::{FeatureType, Task};
+use volcanoml_linalg::Matrix;
+
+/// Configuration of the optional embedding-selection stage (the §5.3
+/// enrichment). Describes the two available "pre-trained backbones".
+#[derive(Debug, Clone)]
+pub struct EmbeddingOptions {
+    /// Seed of the paired vision dataset (for the matched extractor).
+    pub dataset_seed: u64,
+    /// Latent width recovered by the matched extractor.
+    pub n_latent: usize,
+    /// Output width of the generic extractor.
+    pub generic_outputs: usize,
+}
+
+/// What the FE search space contains beyond the auto-sklearn baseline.
+#[derive(Debug, Clone, Default)]
+pub struct FeSpaceOptions {
+    /// Adds the `smote` choice to the balancing stage (Table 2 enrichment).
+    pub include_smote: bool,
+    /// Adds the embedding-selection stage (Figure 3 enrichment).
+    pub embedding: Option<EmbeddingOptions>,
+}
+
+/// The fitted FE pipeline.
+#[derive(Debug, Clone)]
+pub struct FePipeline {
+    task: Task,
+    imputer: Imputer,
+    encoder: OneHotEncoder,
+    embedding: Option<PretrainedEmbedding>,
+    rescaler: Rescaler,
+    balancer: Balancer,
+    transform: TransformChoice,
+    seed: u64,
+    fitted: bool,
+}
+
+#[derive(Debug, Clone)]
+enum TransformChoice {
+    None,
+    Pca(Pca),
+    Nystroem(Nystroem),
+    Polynomial(PolynomialFeatures),
+    Select(SelectPercentile),
+    Variance(VarianceThreshold),
+    Agglomerate(FeatureAgglomeration),
+}
+
+impl TransformChoice {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        match self {
+            TransformChoice::None => Ok(()),
+            TransformChoice::Pca(t) => t.fit(x, y),
+            TransformChoice::Nystroem(t) => t.fit(x, y),
+            TransformChoice::Polynomial(t) => t.fit(x, y),
+            TransformChoice::Select(t) => t.fit(x, y),
+            TransformChoice::Variance(t) => t.fit(x, y),
+            TransformChoice::Agglomerate(t) => t.fit(x, y),
+        }
+    }
+
+    fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        match self {
+            TransformChoice::None => Ok(x.clone()),
+            TransformChoice::Pca(t) => t.transform(x),
+            TransformChoice::Nystroem(t) => t.transform(x),
+            TransformChoice::Polynomial(t) => t.transform(x),
+            TransformChoice::Select(t) => t.transform(x),
+            TransformChoice::Variance(t) => t.transform(x),
+            TransformChoice::Agglomerate(t) => t.transform(x),
+        }
+    }
+}
+
+fn get(values: &HashMap<String, f64>, key: &str, default: f64) -> f64 {
+    values.get(key).copied().unwrap_or(default)
+}
+
+impl FePipeline {
+    /// Builds a pipeline from a flat value map (see `space::fe_param_defs`
+    /// for the keys). Missing keys take the stage defaults ("no-op" FE).
+    pub fn from_values(
+        task: Task,
+        feature_types: &[FeatureType],
+        values: &HashMap<String, f64>,
+        options: &FeSpaceOptions,
+        seed: u64,
+    ) -> Result<FePipeline> {
+        let imputer = match get(values, "imputer", 0.0).round() as usize {
+            1 => Imputer::new(ImputeStrategy::Median),
+            2 => Imputer::new(ImputeStrategy::MostFrequent),
+            _ => Imputer::new(ImputeStrategy::Mean),
+        };
+        let encoder = OneHotEncoder::from_feature_types(feature_types);
+        let embedding = match &options.embedding {
+            Some(cfg) => match get(values, "embedding", 0.0).round() as usize {
+                1 => Some(PretrainedEmbedding::matched(cfg.dataset_seed, cfg.n_latent)),
+                2 => Some(PretrainedEmbedding::generic(
+                    volcanoml_data::rand_util::derive_seed(cfg.dataset_seed, 77),
+                    cfg.generic_outputs,
+                )),
+                _ => None,
+            },
+            None => None,
+        };
+        let rescaler = match get(values, "rescaler", 1.0).round() as usize {
+            0 => Rescaler::new(ScaleKind::None),
+            2 => Rescaler::new(ScaleKind::MinMax),
+            3 => Rescaler::new(ScaleKind::Robust),
+            4 => Rescaler::new(ScaleKind::Normalizer),
+            5 => Rescaler::new(ScaleKind::Quantile {
+                n_quantiles: get(values, "rescaler_quantiles", 50.0).round().max(2.0) as usize,
+            }),
+            _ => Rescaler::new(ScaleKind::Standard),
+        };
+        let balancer = if task == Task::Classification {
+            match get(values, "balancer", 0.0).round() as usize {
+                1 => Balancer::Oversample,
+                2 => Balancer::Undersample,
+                3 if options.include_smote => Balancer::Smote {
+                    k_neighbors: get(values, "smote_k", 5.0).round().max(1.0) as usize,
+                },
+                _ => Balancer::None,
+            }
+        } else {
+            Balancer::None
+        };
+        let transform = match get(values, "transform", 0.0).round() as usize {
+            1 => TransformChoice::Pca(Pca::new(get(values, "pca_keep", 0.95))),
+            2 => TransformChoice::Nystroem(Nystroem::new(
+                get(values, "nystroem_components", 50.0).round().max(1.0) as usize,
+                get(values, "nystroem_gamma", 0.5),
+                volcanoml_data::rand_util::derive_seed(seed, 11),
+            )),
+            3 => TransformChoice::Polynomial(PolynomialFeatures::new(
+                get(values, "poly_interaction", 0.0).round() as usize == 1,
+            )),
+            4 => TransformChoice::Select(SelectPercentile::new(
+                get(values, "percentile", 50.0),
+                if get(values, "score_func", 0.0).round() as usize == 1 {
+                    ScoreFunc::MutualInfo
+                } else {
+                    ScoreFunc::FScore
+                },
+                task == Task::Classification,
+            )),
+            5 => TransformChoice::Variance(VarianceThreshold::new(get(
+                values,
+                "var_threshold",
+                1e-4,
+            ))),
+            6 => TransformChoice::Agglomerate(FeatureAgglomeration::new(
+                get(values, "agglo_clusters", 8.0).round().max(1.0) as usize,
+            )),
+            _ => TransformChoice::None,
+        };
+        Ok(FePipeline {
+            task,
+            imputer,
+            encoder,
+            embedding,
+            rescaler,
+            balancer,
+            transform,
+            seed,
+            fitted: false,
+        })
+    }
+
+    /// The identity-ish default pipeline (mean imputation, standard scaling,
+    /// no balancing, no transform).
+    pub fn default_for(task: Task, feature_types: &[FeatureType]) -> FePipeline {
+        FePipeline::from_values(
+            task,
+            feature_types,
+            &HashMap::new(),
+            &FeSpaceOptions::default(),
+            0,
+        )
+        .expect("default pipeline construction cannot fail")
+    }
+
+    /// Fits all stages on training data and returns the transformed
+    /// (and possibly resampled) training set.
+    pub fn fit_transform_train(&mut self, x: &Matrix, y: &[f64]) -> Result<(Matrix, Vec<f64>)> {
+        if x.rows() != y.len() {
+            return Err(FeError::Invalid(format!(
+                "{} rows but {} targets",
+                x.rows(),
+                y.len()
+            )));
+        }
+        self.imputer.fit(x, y)?;
+        let x1 = self.imputer.transform(x)?;
+        let x2 = self.encoder.transform(&x1)?;
+        let x3 = match &mut self.embedding {
+            Some(e) => e.fit_transform(&x2, y)?,
+            None => x2,
+        };
+        self.rescaler.fit(&x3, y)?;
+        let x4 = self.rescaler.transform(&x3)?;
+        let (x5, y5) = self.balancer.resample(&x4, y, self.seed)?;
+        self.transform.fit(&x5, &y5)?;
+        let x6 = self.transform.transform(&x5)?;
+        self.fitted = true;
+        Ok((x6, y5))
+    }
+
+    /// Applies the fitted pipeline to unseen data (no resampling).
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        if !self.fitted {
+            return Err(FeError::NotFitted);
+        }
+        let x1 = self.imputer.transform(x)?;
+        let x2 = self.encoder.transform(&x1)?;
+        let x3 = match &self.embedding {
+            Some(e) => e.transform(&x2)?,
+            None => x2,
+        };
+        let x4 = self.rescaler.transform(&x3)?;
+        self.transform.transform(&x4)
+    }
+
+    /// Task the pipeline was built for.
+    pub fn task(&self) -> Task {
+        self.task
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volcanoml_data::synthetic::{
+        inject_missing, make_categorical, make_classification, make_embedded_images,
+        ClassificationSpec,
+    };
+
+    fn base_dataset() -> volcanoml_data::Dataset {
+        make_classification(
+            &ClassificationSpec {
+                n_samples: 200,
+                n_features: 8,
+                n_informative: 4,
+                n_redundant: 2,
+                n_classes: 2,
+                class_sep: 1.5,
+                flip_y: 0.0,
+                weights: Vec::new(),
+            },
+            5,
+        )
+    }
+
+    #[test]
+    fn default_pipeline_roundtrips() {
+        let d = base_dataset();
+        let mut p = FePipeline::default_for(d.task, &d.feature_types);
+        let (xt, yt) = p.fit_transform_train(&d.x, &d.y).unwrap();
+        assert_eq!(xt.rows(), yt.len());
+        assert_eq!(xt.cols(), d.n_features());
+        let held = p.transform(&d.x).unwrap();
+        assert_eq!(held.shape(), (200, 8));
+    }
+
+    #[test]
+    fn handles_missing_and_categorical() {
+        let d = inject_missing(&make_categorical(150, 2, 3, 3, 0.05, 1), 0.1, 2);
+        let mut values = HashMap::new();
+        values.insert("imputer".into(), 2.0); // most frequent
+        let mut p = FePipeline::from_values(
+            d.task,
+            &d.feature_types,
+            &values,
+            &FeSpaceOptions::default(),
+            0,
+        )
+        .unwrap();
+        let (xt, _) = p.fit_transform_train(&d.x, &d.y).unwrap();
+        // 3 numeric + 2 categorical of cardinality 3 -> 3 + 6 columns.
+        assert_eq!(xt.cols(), 9);
+        assert!(!xt.data().iter().any(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn smote_requires_option() {
+        let d = base_dataset();
+        let mut values = HashMap::new();
+        values.insert("balancer".into(), 3.0);
+        // Without the enrichment the index falls back to None.
+        let mut p = FePipeline::from_values(
+            d.task,
+            &d.feature_types,
+            &values,
+            &FeSpaceOptions::default(),
+            0,
+        )
+        .unwrap();
+        let (_, y) = p.fit_transform_train(&d.x, &d.y).unwrap();
+        assert_eq!(y.len(), d.n_samples());
+        // With the enrichment SMOTE activates on imbalanced data.
+        let imb = make_classification(
+            &ClassificationSpec {
+                weights: vec![0.85, 0.15],
+                ..ClassificationSpec::default()
+            },
+            6,
+        );
+        let mut p2 = FePipeline::from_values(
+            imb.task,
+            &imb.feature_types,
+            &values,
+            &FeSpaceOptions {
+                include_smote: true,
+                embedding: None,
+            },
+            0,
+        )
+        .unwrap();
+        let (_, y2) = p2.fit_transform_train(&imb.x, &imb.y).unwrap();
+        assert!(y2.len() > imb.n_samples());
+    }
+
+    #[test]
+    fn pca_transform_shrinks_width() {
+        let d = base_dataset();
+        let mut values = HashMap::new();
+        values.insert("transform".into(), 1.0);
+        values.insert("pca_keep".into(), 0.8);
+        let mut p = FePipeline::from_values(
+            d.task,
+            &d.feature_types,
+            &values,
+            &FeSpaceOptions::default(),
+            0,
+        )
+        .unwrap();
+        let (xt, _) = p.fit_transform_train(&d.x, &d.y).unwrap();
+        assert!(xt.cols() < 8);
+        // Test-time width matches train-time width.
+        let held = p.transform(&d.x).unwrap();
+        assert_eq!(held.cols(), xt.cols());
+    }
+
+    #[test]
+    fn embedding_stage_activates_with_option() {
+        let seed = 13u64;
+        let d = make_embedded_images(120, 4, 32, 2, 0.05, seed);
+        let mut values = HashMap::new();
+        values.insert("embedding".into(), 1.0); // matched
+        let options = FeSpaceOptions {
+            include_smote: false,
+            embedding: Some(EmbeddingOptions {
+                dataset_seed: seed,
+                n_latent: 4,
+                generic_outputs: 16,
+            }),
+        };
+        let mut p = FePipeline::from_values(d.task, &d.feature_types, &values, &options, 0).unwrap();
+        let (xt, _) = p.fit_transform_train(&d.x, &d.y).unwrap();
+        assert_eq!(xt.cols(), 4); // latent width
+    }
+
+    #[test]
+    fn unfitted_transform_errors() {
+        let d = base_dataset();
+        let p = FePipeline::default_for(d.task, &d.feature_types);
+        assert!(p.transform(&d.x).is_err());
+    }
+
+    #[test]
+    fn every_rescaler_choice_runs() {
+        let d = base_dataset();
+        for r in 0..6 {
+            let mut values = HashMap::new();
+            values.insert("rescaler".into(), r as f64);
+            let mut p = FePipeline::from_values(
+                d.task,
+                &d.feature_types,
+                &values,
+                &FeSpaceOptions::default(),
+                0,
+            )
+            .unwrap();
+            let (xt, _) = p.fit_transform_train(&d.x, &d.y).unwrap();
+            assert!(xt.data().iter().all(|v| v.is_finite()), "rescaler {r}");
+        }
+    }
+
+    #[test]
+    fn every_transform_choice_runs() {
+        let d = base_dataset();
+        for t in 0..7 {
+            let mut values = HashMap::new();
+            values.insert("transform".into(), t as f64);
+            let mut p = FePipeline::from_values(
+                d.task,
+                &d.feature_types,
+                &values,
+                &FeSpaceOptions::default(),
+                0,
+            )
+            .unwrap();
+            let (xt, yt) = p.fit_transform_train(&d.x, &d.y).unwrap();
+            assert!(xt.rows() == yt.len() && xt.cols() > 0, "transform {t}");
+            let held = p.transform(&d.x).unwrap();
+            assert_eq!(held.cols(), xt.cols(), "transform {t} width mismatch");
+        }
+    }
+}

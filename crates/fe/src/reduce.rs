@@ -1,0 +1,625 @@
+//! Feature-transformation operators (the paper's `feature_transforming`
+//! stage): PCA, Nyström kernel approximation (the kernel-PCA stand-in),
+//! polynomial expansion, univariate selection, and variance thresholding.
+
+use crate::{FeError, Result, Transformer};
+use volcanoml_data::rand_util::{rng_from_seed, sample_without_replacement};
+use volcanoml_linalg::eigen::top_k_eigenvectors;
+use volcanoml_linalg::matrix::squared_distance;
+use volcanoml_linalg::{cholesky_decompose, Matrix};
+
+/// Principal component analysis keeping enough components to explain
+/// `keep_variance` of the total variance.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Explained-variance target in (0, 1].
+    pub keep_variance: f64,
+    means: Vec<f64>,
+    components: Option<Matrix>, // d x k
+}
+
+impl Pca {
+    /// Creates an unfitted PCA.
+    pub fn new(keep_variance: f64) -> Self {
+        Pca {
+            keep_variance: keep_variance.clamp(0.05, 1.0),
+            means: Vec::new(),
+            components: None,
+        }
+    }
+
+    /// Number of retained components (after fitting).
+    pub fn n_components(&self) -> Option<usize> {
+        self.components.as_ref().map(|c| c.cols())
+    }
+}
+
+impl Transformer for Pca {
+    fn fit(&mut self, x: &Matrix, _y: &[f64]) -> Result<()> {
+        if x.rows() < 2 {
+            return Err(FeError::Invalid("PCA needs at least 2 samples".into()));
+        }
+        let cov = volcanoml_linalg::stats::covariance_matrix(x);
+        self.means = volcanoml_linalg::stats::column_means(x);
+        let d = x.cols();
+        let (values, vectors) = top_k_eigenvectors(&cov, d).map_err(FeError::from)?;
+        let total: f64 = values.iter().map(|v| v.max(0.0)).sum();
+        let mut k = d;
+        if total > 0.0 {
+            let mut acc = 0.0;
+            for (i, v) in values.iter().enumerate() {
+                acc += v.max(0.0);
+                if acc / total >= self.keep_variance {
+                    k = i + 1;
+                    break;
+                }
+            }
+        }
+        let cols: Vec<usize> = (0..k).collect();
+        self.components = Some(vectors.select_cols(&cols));
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        let comp = self.components.as_ref().ok_or(FeError::NotFitted)?;
+        if x.cols() != comp.rows() {
+            return Err(FeError::Invalid(format!(
+                "PCA fitted on {} columns, got {}",
+                comp.rows(),
+                x.cols()
+            )));
+        }
+        let mut centered = x.clone();
+        for r in 0..centered.rows() {
+            let row = centered.row_mut(r);
+            for (v, &m) in row.iter_mut().zip(self.means.iter()) {
+                *v -= m;
+            }
+        }
+        centered.matmul(comp).map_err(FeError::from)
+    }
+}
+
+/// Nyström RBF kernel approximation — the scalable stand-in for kernel PCA
+/// in the paper's FE stage. Maps inputs to `K(x, landmarks) · K_mm^{-1/2}`
+/// (implemented via a Cholesky solve of the landmark kernel).
+#[derive(Debug, Clone)]
+pub struct Nystroem {
+    /// Number of landmark points.
+    pub n_components: usize,
+    /// RBF bandwidth.
+    pub gamma: f64,
+    /// Landmark selection seed.
+    pub seed: u64,
+    landmarks: Option<Matrix>,
+    chol: Option<Matrix>,
+}
+
+impl Nystroem {
+    /// Creates an unfitted Nyström map.
+    pub fn new(n_components: usize, gamma: f64, seed: u64) -> Self {
+        Nystroem {
+            n_components: n_components.max(1),
+            gamma,
+            seed,
+            landmarks: None,
+            chol: None,
+        }
+    }
+}
+
+impl Transformer for Nystroem {
+    fn fit(&mut self, x: &Matrix, _y: &[f64]) -> Result<()> {
+        let m = self.n_components.min(x.rows());
+        let mut rng = rng_from_seed(self.seed);
+        let mut chosen = sample_without_replacement(&mut rng, x.rows(), m);
+        chosen.sort_unstable();
+        let landmarks = x.select_rows(&chosen);
+        // Landmark kernel with jitter.
+        let mut kmm = Matrix::zeros(m, m);
+        for i in 0..m {
+            for j in i..m {
+                let k = (-self.gamma * squared_distance(landmarks.row(i), landmarks.row(j))).exp();
+                kmm.set(i, j, k);
+                kmm.set(j, i, k);
+            }
+        }
+        for i in 0..m {
+            let v = kmm.get(i, i) + 1e-6;
+            kmm.set(i, i, v);
+        }
+        let chol = cholesky_decompose(&kmm).map_err(FeError::from)?;
+        self.landmarks = Some(landmarks);
+        self.chol = Some(chol);
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        let landmarks = self.landmarks.as_ref().ok_or(FeError::NotFitted)?;
+        let chol = self.chol.as_ref().ok_or(FeError::NotFitted)?;
+        if x.cols() != landmarks.cols() {
+            return Err(FeError::Invalid(format!(
+                "Nystroem fitted on {} columns, got {}",
+                landmarks.cols(),
+                x.cols()
+            )));
+        }
+        let m = landmarks.rows();
+        let mut out = Matrix::zeros(x.rows(), m);
+        let mut kvec = vec![0.0; m];
+        for r in 0..x.rows() {
+            for (j, kv) in kvec.iter_mut().enumerate() {
+                *kv = (-self.gamma * squared_distance(x.row(r), landmarks.row(j))).exp();
+            }
+            // Whitened features: L^{-1} k (solving L z = k).
+            let mut z = vec![0.0; m];
+            for i in 0..m {
+                let mut sum = kvec[i];
+                for (k, zk) in z.iter().enumerate().take(i) {
+                    sum -= chol.get(i, k) * zk;
+                }
+                z[i] = sum / chol.get(i, i);
+            }
+            out.row_mut(r).copy_from_slice(&z);
+        }
+        Ok(out)
+    }
+}
+
+/// Degree-2 polynomial feature expansion (optionally interactions only).
+#[derive(Debug, Clone)]
+pub struct PolynomialFeatures {
+    /// Skip pure squares, keeping only cross terms.
+    pub interaction_only: bool,
+    /// Cap on input width — expanding very wide inputs would explode; inputs
+    /// wider than this are truncated to the first `max_input_features`
+    /// columns before expansion.
+    pub max_input_features: usize,
+    n_features: Option<usize>,
+}
+
+impl PolynomialFeatures {
+    /// Creates a degree-2 expander.
+    pub fn new(interaction_only: bool) -> Self {
+        PolynomialFeatures {
+            interaction_only,
+            max_input_features: 20,
+            n_features: None,
+        }
+    }
+}
+
+impl Transformer for PolynomialFeatures {
+    fn fit(&mut self, x: &Matrix, _y: &[f64]) -> Result<()> {
+        self.n_features = Some(x.cols().min(self.max_input_features));
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        let d = self.n_features.ok_or(FeError::NotFitted)?;
+        if x.cols() < d {
+            return Err(FeError::Invalid(format!(
+                "polynomial fitted on {} columns, got {}",
+                d,
+                x.cols()
+            )));
+        }
+        let n_pairs = d * (d - 1) / 2;
+        let n_squares = if self.interaction_only { 0 } else { d };
+        let width = x.cols() + n_pairs + n_squares;
+        let mut out = Matrix::zeros(x.rows(), width);
+        for r in 0..x.rows() {
+            let src = x.row(r);
+            let dst = out.row_mut(r);
+            dst[..x.cols()].copy_from_slice(src);
+            let mut pos = x.cols();
+            for i in 0..d {
+                for j in i + 1..d {
+                    dst[pos] = src[i] * src[j];
+                    pos += 1;
+                }
+            }
+            if !self.interaction_only {
+                for (i, s) in src.iter().take(d).enumerate() {
+                    dst[pos + i] = s * s;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Univariate scoring function for [`SelectPercentile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreFunc {
+    /// ANOVA F statistic (classification) / squared correlation (regression).
+    FScore,
+    /// Histogram mutual information estimate.
+    MutualInfo,
+}
+
+/// Keeps the top `percentile`% of features by univariate score.
+#[derive(Debug, Clone)]
+pub struct SelectPercentile {
+    /// Percent of features to keep, in (0, 100].
+    pub percentile: f64,
+    /// Scoring function.
+    pub score_func: ScoreFunc,
+    /// Task type (affects the F score definition).
+    pub classification: bool,
+    selected: Option<Vec<usize>>,
+}
+
+impl SelectPercentile {
+    /// Creates an unfitted selector.
+    pub fn new(percentile: f64, score_func: ScoreFunc, classification: bool) -> Self {
+        SelectPercentile {
+            percentile: percentile.clamp(1.0, 100.0),
+            score_func,
+            classification,
+            selected: None,
+        }
+    }
+
+    /// The retained column indices.
+    pub fn selected(&self) -> Option<&[usize]> {
+        self.selected.as_deref()
+    }
+}
+
+/// ANOVA F statistic of one feature vs class labels.
+fn f_score_classification(col: &[f64], y: &[f64]) -> f64 {
+    let k = y
+        .iter()
+        .fold(0usize, |m, &v| m.max(v.max(0.0) as usize + 1))
+        .max(1);
+    let n = col.len();
+    if n < 2 || k < 2 {
+        return 0.0;
+    }
+    let grand = volcanoml_linalg::stats::mean(col);
+    let mut group_sum = vec![0.0; k];
+    let mut group_n = vec![0usize; k];
+    for (&v, &label) in col.iter().zip(y.iter()) {
+        group_sum[label as usize] += v;
+        group_n[label as usize] += 1;
+    }
+    let mut ss_between = 0.0;
+    for c in 0..k {
+        if group_n[c] > 0 {
+            let gm = group_sum[c] / group_n[c] as f64;
+            ss_between += group_n[c] as f64 * (gm - grand) * (gm - grand);
+        }
+    }
+    let mut ss_within = 0.0;
+    for (&v, &label) in col.iter().zip(y.iter()) {
+        let c = label as usize;
+        let gm = group_sum[c] / group_n[c] as f64;
+        ss_within += (v - gm) * (v - gm);
+    }
+    let groups = group_n.iter().filter(|&&g| g > 0).count();
+    if groups < 2 || ss_within < 1e-24 {
+        return if ss_between > 1e-24 { f64::MAX } else { 0.0 };
+    }
+    let df_between = (groups - 1) as f64;
+    let df_within = (n - groups) as f64;
+    (ss_between / df_between) / (ss_within / df_within)
+}
+
+/// Histogram mutual information between a feature and labels (classification)
+/// or a coarse binning of the target (regression).
+fn mutual_info(col: &[f64], y: &[f64], target_bins: usize) -> f64 {
+    let n = col.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let bins = 8usize;
+    let min = col.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let range = (max - min).max(1e-12);
+    let bin_of = |v: f64| (((v - min) / range) * (bins as f64 - 1e-9)) as usize;
+
+    let y_min = y.iter().cloned().fold(f64::INFINITY, f64::min);
+    let y_max = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let y_range = (y_max - y_min).max(1e-12);
+    let label_of = |v: f64| {
+        if target_bins == 0 {
+            v.max(0.0) as usize
+        } else {
+            (((v - y_min) / y_range) * (target_bins as f64 - 1e-9)) as usize
+        }
+    };
+    let labels: Vec<usize> = y.iter().map(|&v| label_of(v)).collect();
+    let k = labels.iter().copied().max().unwrap_or(0) + 1;
+
+    let mut joint = vec![vec![0.0; k]; bins];
+    let mut px = vec![0.0; bins];
+    let mut py = vec![0.0; k];
+    for (&v, &label) in col.iter().zip(labels.iter()) {
+        let b = bin_of(v);
+        joint[b][label] += 1.0;
+        px[b] += 1.0;
+        py[label] += 1.0;
+    }
+    let nf = n as f64;
+    let mut mi = 0.0;
+    for b in 0..bins {
+        for c in 0..k {
+            let pxy = joint[b][c] / nf;
+            if pxy > 0.0 {
+                mi += pxy * (pxy / ((px[b] / nf) * (py[c] / nf))).ln();
+            }
+        }
+    }
+    mi.max(0.0)
+}
+
+impl Transformer for SelectPercentile {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        if y.len() != x.rows() {
+            return Err(FeError::Invalid("selector needs aligned targets".into()));
+        }
+        let d = x.cols();
+        let scores: Vec<f64> = (0..d)
+            .map(|c| {
+                let col = x.col(c);
+                match (self.score_func, self.classification) {
+                    (ScoreFunc::FScore, true) => f_score_classification(&col, y),
+                    (ScoreFunc::FScore, false) => {
+                        let r = volcanoml_linalg::stats::pearson(&col, y);
+                        r * r
+                    }
+                    (ScoreFunc::MutualInfo, true) => mutual_info(&col, y, 0),
+                    (ScoreFunc::MutualInfo, false) => mutual_info(&col, y, 8),
+                }
+            })
+            .collect();
+        let keep = ((d as f64 * self.percentile / 100.0).ceil() as usize).clamp(1, d);
+        let mut idx: Vec<usize> = (0..d).collect();
+        idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+        let mut selected: Vec<usize> = idx.into_iter().take(keep).collect();
+        selected.sort_unstable();
+        self.selected = Some(selected);
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        let sel = self.selected.as_ref().ok_or(FeError::NotFitted)?;
+        if let Some(&max) = sel.iter().max() {
+            if max >= x.cols() {
+                return Err(FeError::Invalid(format!(
+                    "selector references column {max}, input has {}",
+                    x.cols()
+                )));
+            }
+        }
+        Ok(x.select_cols(sel))
+    }
+}
+
+/// Drops features whose variance is at or below a threshold.
+#[derive(Debug, Clone)]
+pub struct VarianceThreshold {
+    /// Variance cut-off.
+    pub threshold: f64,
+    selected: Option<Vec<usize>>,
+}
+
+impl VarianceThreshold {
+    /// Creates an unfitted filter.
+    pub fn new(threshold: f64) -> Self {
+        VarianceThreshold {
+            threshold: threshold.max(0.0),
+            selected: None,
+        }
+    }
+}
+
+impl Transformer for VarianceThreshold {
+    fn fit(&mut self, x: &Matrix, _y: &[f64]) -> Result<()> {
+        let stds = volcanoml_linalg::stats::column_stds(x);
+        let mut selected: Vec<usize> = stds
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| *s * *s > self.threshold)
+            .map(|(i, _)| i)
+            .collect();
+        if selected.is_empty() {
+            // Keep the single highest-variance column rather than emitting an
+            // empty matrix.
+            if let Some(best) = volcanoml_linalg::stats::argmax(&stds) {
+                selected.push(best);
+            }
+        }
+        self.selected = Some(selected);
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        let sel = self.selected.as_ref().ok_or(FeError::NotFitted)?;
+        if let Some(&max) = sel.iter().max() {
+            if max >= x.cols() {
+                return Err(FeError::Invalid(format!(
+                    "filter references column {max}, input has {}",
+                    x.cols()
+                )));
+            }
+        }
+        Ok(x.select_cols(sel))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volcanoml_data::synthetic::{make_classification, ClassificationSpec};
+
+    fn informative_dataset() -> volcanoml_data::Dataset {
+        make_classification(
+            &ClassificationSpec {
+                n_samples: 300,
+                n_features: 10,
+                n_informative: 3,
+                n_redundant: 0,
+                n_classes: 2,
+                class_sep: 2.0,
+                flip_y: 0.0,
+                weights: Vec::new(),
+            },
+            1,
+        )
+    }
+
+    #[test]
+    fn pca_reduces_redundant_dimensions() {
+        // 3 informative dims + 5 exact copies -> effective rank is low.
+        let d = make_classification(
+            &ClassificationSpec {
+                n_samples: 200,
+                n_features: 8,
+                n_informative: 3,
+                n_redundant: 5,
+                n_classes: 2,
+                class_sep: 1.0,
+                flip_y: 0.0,
+                weights: Vec::new(),
+            },
+            2,
+        );
+        let mut pca = Pca::new(0.99);
+        let out = pca.fit_transform(&d.x, &d.y).unwrap();
+        assert!(out.cols() < 8, "kept {} dims", out.cols());
+        assert!(pca.n_components().unwrap() >= 3);
+    }
+
+    #[test]
+    fn pca_full_variance_keeps_all() {
+        let d = informative_dataset();
+        let mut pca = Pca::new(1.0);
+        let out = pca.fit_transform(&d.x, &d.y).unwrap();
+        assert_eq!(out.cols(), 10);
+    }
+
+    #[test]
+    fn pca_components_are_orthogonal_projections() {
+        let d = informative_dataset();
+        let mut pca = Pca::new(0.9);
+        pca.fit(&d.x, &d.y).unwrap();
+        let out = pca.transform(&d.x).unwrap();
+        // Projected columns are uncorrelated.
+        for i in 0..out.cols() {
+            for j in i + 1..out.cols() {
+                let r = volcanoml_linalg::stats::pearson(&out.col(i), &out.col(j));
+                assert!(r.abs() < 0.05, "components {i},{j} correlate {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn nystroem_output_shape_and_finite() {
+        let d = informative_dataset();
+        let mut ny = Nystroem::new(20, 0.5, 0);
+        let out = ny.fit_transform(&d.x, &d.y).unwrap();
+        assert_eq!(out.shape(), (300, 20));
+        assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn nystroem_components_capped_by_samples() {
+        let x = Matrix::from_vec(5, 2, vec![0.0; 10]).unwrap();
+        let mut ny = Nystroem::new(50, 1.0, 0);
+        let out = ny.fit_transform(&x, &[0.0; 5]).unwrap();
+        assert_eq!(out.cols(), 5);
+    }
+
+    #[test]
+    fn polynomial_widths() {
+        let x = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]).unwrap();
+        let mut poly = PolynomialFeatures::new(false);
+        let out = poly.fit_transform(&x, &[0.0]).unwrap();
+        // 3 original + 3 pairs + 3 squares.
+        assert_eq!(out.cols(), 9);
+        assert_eq!(out.row(0), &[1.0, 2.0, 3.0, 2.0, 3.0, 6.0, 1.0, 4.0, 9.0]);
+        let mut inter = PolynomialFeatures::new(true);
+        let out2 = inter.fit_transform(&x, &[0.0]).unwrap();
+        assert_eq!(out2.cols(), 6);
+    }
+
+    #[test]
+    fn polynomial_caps_wide_inputs() {
+        let x = Matrix::zeros(2, 50);
+        let mut poly = PolynomialFeatures::new(true);
+        let out = poly.fit_transform(&x, &[0.0, 0.0]).unwrap();
+        // 50 passthrough + C(20, 2) interactions.
+        assert_eq!(out.cols(), 50 + 190);
+    }
+
+    #[test]
+    fn select_percentile_finds_informative_features() {
+        let d = informative_dataset();
+        let mut sel = SelectPercentile::new(30.0, ScoreFunc::FScore, true);
+        sel.fit(&d.x, &d.y).unwrap();
+        let kept = sel.selected().unwrap();
+        assert_eq!(kept.len(), 3);
+        // The 3 informative features are columns 0..3 by construction.
+        for &c in kept {
+            assert!(c < 3, "kept noise column {c}: {kept:?}");
+        }
+    }
+
+    #[test]
+    fn mutual_info_also_finds_informative() {
+        let d = informative_dataset();
+        let mut sel = SelectPercentile::new(30.0, ScoreFunc::MutualInfo, true);
+        sel.fit(&d.x, &d.y).unwrap();
+        let kept = sel.selected().unwrap();
+        let informative = kept.iter().filter(|&&c| c < 3).count();
+        assert!(informative >= 2, "kept {kept:?}");
+    }
+
+    #[test]
+    fn f_score_regression_uses_correlation() {
+        let n = 100;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v).collect();
+        let noise: Vec<f64> = (0..n).map(|i| ((i * 37) % 19) as f64).collect();
+        let mut data = Vec::new();
+        for i in 0..n {
+            data.push(x[i]);
+            data.push(noise[i]);
+        }
+        let m = Matrix::from_vec(n, 2, data).unwrap();
+        let mut sel = SelectPercentile::new(50.0, ScoreFunc::FScore, false);
+        sel.fit(&m, &y).unwrap();
+        assert_eq!(sel.selected().unwrap(), &[0]);
+    }
+
+    #[test]
+    fn variance_threshold_drops_constants() {
+        let x = Matrix::from_vec(3, 3, vec![1.0, 5.0, 0.0, 2.0, 5.0, 0.0, 3.0, 5.0, 0.0])
+            .unwrap();
+        let mut vt = VarianceThreshold::new(1e-6);
+        let out = vt.fit_transform(&x, &[0.0; 3]).unwrap();
+        assert_eq!(out.cols(), 1);
+        assert_eq!(out.col(0), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn variance_threshold_never_empty() {
+        let x = Matrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        let mut vt = VarianceThreshold::new(10.0);
+        let out = vt.fit_transform(&x, &[0.0; 2]).unwrap();
+        assert_eq!(out.cols(), 1);
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        assert!(Pca::new(0.9).transform(&Matrix::zeros(1, 1)).is_err());
+        assert!(Nystroem::new(5, 1.0, 0).transform(&Matrix::zeros(1, 1)).is_err());
+        assert!(PolynomialFeatures::new(false).transform(&Matrix::zeros(1, 1)).is_err());
+        assert!(SelectPercentile::new(50.0, ScoreFunc::FScore, true)
+            .transform(&Matrix::zeros(1, 1))
+            .is_err());
+        assert!(VarianceThreshold::new(0.0).transform(&Matrix::zeros(1, 1)).is_err());
+    }
+}

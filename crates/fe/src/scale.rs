@@ -1,0 +1,318 @@
+//! Rescaling operators (the paper's `rescaling` FE stage): standard, min-max,
+//! robust, row normalizer, quantile (rank-Gaussian), or none.
+
+use crate::{FeError, Result, Transformer};
+use volcanoml_linalg::Matrix;
+
+/// Which rescaler to apply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScaleKind {
+    /// Identity.
+    None,
+    /// (x − mean) / std.
+    Standard,
+    /// (x − min) / (max − min) into [0, 1].
+    MinMax,
+    /// (x − median) / IQR.
+    Robust,
+    /// Row-wise L2 normalization (stateless).
+    Normalizer,
+    /// Rank-based mapping to an approximate standard normal, interpolating
+    /// between `n_quantiles` training quantiles.
+    Quantile {
+        /// Number of reference quantiles.
+        n_quantiles: usize,
+    },
+}
+
+/// Fitted rescaler.
+#[derive(Debug, Clone)]
+pub struct Rescaler {
+    /// The configured kind.
+    pub kind: ScaleKind,
+    // Per-column statistics, meaning depends on kind: (a, b) such that the
+    // transform is (x - a) / b for Standard/MinMax/Robust.
+    offsets: Vec<f64>,
+    scales: Vec<f64>,
+    // Quantile: per-column sorted reference values.
+    references: Vec<Vec<f64>>,
+    fitted: bool,
+}
+
+impl Rescaler {
+    /// Creates an unfitted rescaler.
+    pub fn new(kind: ScaleKind) -> Self {
+        Rescaler {
+            kind,
+            offsets: Vec::new(),
+            scales: Vec::new(),
+            references: Vec::new(),
+            fitted: false,
+        }
+    }
+}
+
+/// Inverse standard normal CDF (Acklam's rational approximation) — used by
+/// the quantile transformer's Gaussian output mapping.
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    let p = p.clamp(1e-9, 1.0 - 1e-9);
+    // Coefficients for the central and tail regions.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+impl Transformer for Rescaler {
+    fn fit(&mut self, x: &Matrix, _y: &[f64]) -> Result<()> {
+        let cols = x.cols();
+        self.offsets.clear();
+        self.scales.clear();
+        self.references.clear();
+        match self.kind {
+            ScaleKind::None | ScaleKind::Normalizer => {}
+            ScaleKind::Standard => {
+                self.offsets = volcanoml_linalg::stats::column_means(x);
+                self.scales = volcanoml_linalg::stats::column_stds(x)
+                    .into_iter()
+                    .map(|s| if s < 1e-12 { 1.0 } else { s })
+                    .collect();
+            }
+            ScaleKind::MinMax => {
+                for c in 0..cols {
+                    let col = x.col(c);
+                    let min = col.iter().cloned().fold(f64::INFINITY, f64::min);
+                    let max = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                    self.offsets.push(min);
+                    let range = max - min;
+                    self.scales.push(if range < 1e-12 { 1.0 } else { range });
+                }
+            }
+            ScaleKind::Robust => {
+                for c in 0..cols {
+                    let col = x.col(c);
+                    let med = volcanoml_linalg::stats::median(&col);
+                    let q1 = volcanoml_linalg::stats::quantile(&col, 0.25);
+                    let q3 = volcanoml_linalg::stats::quantile(&col, 0.75);
+                    self.offsets.push(med);
+                    let iqr = q3 - q1;
+                    self.scales.push(if iqr < 1e-12 { 1.0 } else { iqr });
+                }
+            }
+            ScaleKind::Quantile { n_quantiles } => {
+                let q = n_quantiles.clamp(2, x.rows().max(2));
+                for c in 0..cols {
+                    let mut col = x.col(c);
+                    col.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                    let refs: Vec<f64> = (0..q)
+                        .map(|i| {
+                            volcanoml_linalg::stats::quantile_sorted(
+                                &col,
+                                i as f64 / (q - 1) as f64,
+                            )
+                        })
+                        .collect();
+                    self.references.push(refs);
+                }
+            }
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        if !self.fitted {
+            return Err(FeError::NotFitted);
+        }
+        match self.kind {
+            ScaleKind::None => Ok(x.clone()),
+            ScaleKind::Normalizer => {
+                let mut out = x.clone();
+                for r in 0..out.rows() {
+                    let row = out.row_mut(r);
+                    let norm = volcanoml_linalg::matrix::norm(row);
+                    if norm > 1e-12 {
+                        for v in row.iter_mut() {
+                            *v /= norm;
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            ScaleKind::Standard | ScaleKind::MinMax | ScaleKind::Robust => {
+                if x.cols() != self.offsets.len() {
+                    return Err(FeError::Invalid(format!(
+                        "rescaler fitted on {} columns, got {}",
+                        self.offsets.len(),
+                        x.cols()
+                    )));
+                }
+                let mut out = x.clone();
+                for r in 0..out.rows() {
+                    let row = out.row_mut(r);
+                    for ((v, &a), &b) in row.iter_mut().zip(self.offsets.iter()).zip(self.scales.iter()) {
+                        *v = (*v - a) / b;
+                    }
+                }
+                Ok(out)
+            }
+            ScaleKind::Quantile { .. } => {
+                if x.cols() != self.references.len() {
+                    return Err(FeError::Invalid(format!(
+                        "rescaler fitted on {} columns, got {}",
+                        self.references.len(),
+                        x.cols()
+                    )));
+                }
+                let mut out = x.clone();
+                for r in 0..out.rows() {
+                    let row = out.row_mut(r);
+                    for (v, refs) in row.iter_mut().zip(self.references.iter()) {
+                        // Empirical CDF by binary search over references.
+                        let pos = refs.partition_point(|&q| q < *v);
+                        let p = pos as f64 / refs.len() as f64;
+                        *v = inverse_normal_cdf(p.clamp(0.001, 0.999));
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_vec(4, 2, vec![0.0, 100.0, 1.0, 200.0, 2.0, 300.0, 3.0, 400.0]).unwrap()
+    }
+
+    #[test]
+    fn standard_centers_and_scales() {
+        let x = sample();
+        let mut s = Rescaler::new(ScaleKind::Standard);
+        let out = s.fit_transform(&x, &[]).unwrap();
+        let means = volcanoml_linalg::stats::column_means(&out);
+        let stds = volcanoml_linalg::stats::column_stds(&out);
+        for m in means {
+            assert!(m.abs() < 1e-9);
+        }
+        for s in stds {
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let x = sample();
+        let mut s = Rescaler::new(ScaleKind::MinMax);
+        let out = s.fit_transform(&x, &[]).unwrap();
+        assert_eq!(out.get(0, 0), 0.0);
+        assert_eq!(out.get(3, 0), 1.0);
+        assert!(out.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn robust_uses_median_and_iqr() {
+        let x = Matrix::from_vec(5, 1, vec![1.0, 2.0, 3.0, 4.0, 100.0]).unwrap();
+        let mut s = Rescaler::new(ScaleKind::Robust);
+        let out = s.fit_transform(&x, &[]).unwrap();
+        // Median 3, IQR = 4 - 2 = 2 -> first value (1-3)/2 = -1.
+        assert!((out.get(0, 0) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalizer_produces_unit_rows() {
+        let x = Matrix::from_vec(2, 2, vec![3.0, 4.0, 0.0, 5.0]).unwrap();
+        let mut s = Rescaler::new(ScaleKind::Normalizer);
+        let out = s.fit_transform(&x, &[]).unwrap();
+        for r in 0..2 {
+            let n = volcanoml_linalg::matrix::norm(out.row(r));
+            assert!((n - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn quantile_output_is_roughly_gaussian() {
+        // Heavily skewed input becomes symmetric.
+        let vals: Vec<f64> = (0..200).map(|i| ((i + 1) as f64).powi(3)).collect();
+        let x = Matrix::from_vec(200, 1, vals).unwrap();
+        let mut s = Rescaler::new(ScaleKind::Quantile { n_quantiles: 100 });
+        let out = s.fit_transform(&x, &[]).unwrap();
+        let col = out.col(0);
+        let skew = volcanoml_linalg::stats::skewness(&col);
+        assert!(skew.abs() < 0.2, "skew {skew}");
+    }
+
+    #[test]
+    fn constant_column_is_safe() {
+        let x = Matrix::from_vec(3, 1, vec![5.0, 5.0, 5.0]).unwrap();
+        for kind in [ScaleKind::Standard, ScaleKind::MinMax, ScaleKind::Robust] {
+            let mut s = Rescaler::new(kind);
+            let out = s.fit_transform(&x, &[]).unwrap();
+            assert!(out.data().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn inverse_normal_cdf_symmetry() {
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.975) - 1.96).abs() < 0.01);
+        assert!((inverse_normal_cdf(0.025) + 1.96).abs() < 0.01);
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let x = sample();
+        let mut s = Rescaler::new(ScaleKind::None);
+        let out = s.fit_transform(&x, &[]).unwrap();
+        assert_eq!(out.data(), x.data());
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let s = Rescaler::new(ScaleKind::Standard);
+        assert!(s.transform(&Matrix::zeros(1, 1)).is_err());
+    }
+}

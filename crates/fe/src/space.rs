@@ -1,0 +1,223 @@
+//! The FE search-space descriptors consumed by the AutoML layer.
+//!
+//! Each entry is a hyper-parameter (reusing the zoo's [`ParamDef`] type) plus
+//! an optional activation condition on another FE parameter — e.g.
+//! `smote_k` is only active when `balancer == smote`. The AutoML layer turns
+//! these into conditional variables of its joint space.
+
+use crate::pipeline::FeSpaceOptions;
+use volcanoml_data::Task;
+use volcanoml_models::{ParamDef, ParamKind};
+
+/// One FE search-space parameter with its activation condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeParam {
+    /// The parameter descriptor (name is the pipeline value-map key).
+    pub def: ParamDef,
+    /// `Some((parent, values))` ⇒ active only when the categorical FE
+    /// parameter `parent` takes one of `values`.
+    pub condition: Option<(&'static str, Vec<usize>)>,
+}
+
+fn float(name: &'static str, lo: f64, hi: f64, default: f64, log: bool) -> ParamDef {
+    ParamDef {
+        name,
+        kind: ParamKind::Float { lo, hi, default, log },
+    }
+}
+
+fn int(name: &'static str, lo: i64, hi: i64, default: i64, log: bool) -> ParamDef {
+    ParamDef {
+        name,
+        kind: ParamKind::Int { lo, hi, default, log },
+    }
+}
+
+fn cat(name: &'static str, choices: Vec<&'static str>, default: usize) -> ParamDef {
+    ParamDef {
+        name,
+        kind: ParamKind::Cat { choices, default },
+    }
+}
+
+/// Full FE parameter list for a task and enrichment options.
+///
+/// Choice-index conventions match `pipeline::FePipeline::from_values`:
+/// `imputer` ∈ {mean, median, most_frequent}; `rescaler` ∈ {none, standard,
+/// minmax, robust, normalizer, quantile}; `balancer` ∈ {none, oversample,
+/// undersample, smote?}; `transform` ∈ {none, pca, nystroem, polynomial,
+/// select_percentile, variance_threshold}; `embedding` ∈ {none, matched,
+/// generic}.
+pub fn fe_param_defs(task: Task, options: &FeSpaceOptions) -> Vec<FeParam> {
+    let mut out = Vec::new();
+    out.push(FeParam {
+        def: cat("imputer", vec!["mean", "median", "most_frequent"], 0),
+        condition: None,
+    });
+    if options.embedding.is_some() {
+        out.push(FeParam {
+            def: cat("embedding", vec!["none", "matched", "generic"], 0),
+            condition: None,
+        });
+    }
+    out.push(FeParam {
+        def: cat(
+            "rescaler",
+            vec!["none", "standard", "minmax", "robust", "normalizer", "quantile"],
+            1,
+        ),
+        condition: None,
+    });
+    out.push(FeParam {
+        def: int("rescaler_quantiles", 10, 200, 50, true),
+        condition: Some(("rescaler", vec![5])),
+    });
+    if task == Task::Classification {
+        let mut balancers = vec!["none", "oversample", "undersample"];
+        if options.include_smote {
+            balancers.push("smote");
+        }
+        out.push(FeParam {
+            def: cat("balancer", balancers, 0),
+            condition: None,
+        });
+        if options.include_smote {
+            out.push(FeParam {
+                def: int("smote_k", 3, 10, 5, false),
+                condition: Some(("balancer", vec![3])),
+            });
+        }
+    }
+    out.push(FeParam {
+        def: cat(
+            "transform",
+            vec![
+                "none",
+                "pca",
+                "nystroem",
+                "polynomial",
+                "select_percentile",
+                "variance_threshold",
+                "feature_agglomeration",
+            ],
+            0,
+        ),
+        condition: None,
+    });
+    out.push(FeParam {
+        def: float("pca_keep", 0.5, 0.999, 0.95, false),
+        condition: Some(("transform", vec![1])),
+    });
+    out.push(FeParam {
+        def: int("nystroem_components", 10, 100, 50, true),
+        condition: Some(("transform", vec![2])),
+    });
+    out.push(FeParam {
+        def: float("nystroem_gamma", 1e-3, 8.0, 0.5, true),
+        condition: Some(("transform", vec![2])),
+    });
+    out.push(FeParam {
+        def: cat("poly_interaction", vec!["full", "interaction_only"], 0),
+        condition: Some(("transform", vec![3])),
+    });
+    out.push(FeParam {
+        def: float("percentile", 10.0, 90.0, 50.0, false),
+        condition: Some(("transform", vec![4])),
+    });
+    out.push(FeParam {
+        def: cat("score_func", vec!["f_score", "mutual_info"], 0),
+        condition: Some(("transform", vec![4])),
+    });
+    out.push(FeParam {
+        def: float("var_threshold", 1e-5, 0.2, 1e-4, true),
+        condition: Some(("transform", vec![5])),
+    });
+    out.push(FeParam {
+        def: int("agglo_clusters", 2, 30, 8, true),
+        condition: Some(("transform", vec![6])),
+    });
+    out
+}
+
+/// A reduced FE space (used by the paper's *small* search-space tier): just
+/// imputation and rescaling choices, no transform stage.
+pub fn fe_param_defs_minimal(task: Task) -> Vec<FeParam> {
+    fe_param_defs(task, &FeSpaceOptions::default())
+        .into_iter()
+        .filter(|p| matches!(p.def.name, "imputer" | "rescaler" | "balancer"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::EmbeddingOptions;
+
+    #[test]
+    fn base_space_has_expected_params() {
+        let defs = fe_param_defs(Task::Classification, &FeSpaceOptions::default());
+        let names: Vec<&str> = defs.iter().map(|p| p.def.name).collect();
+        assert!(names.contains(&"imputer"));
+        assert!(names.contains(&"rescaler"));
+        assert!(names.contains(&"balancer"));
+        assert!(names.contains(&"transform"));
+        assert!(!names.contains(&"smote_k"));
+        assert!(!names.contains(&"embedding"));
+    }
+
+    #[test]
+    fn regression_space_has_no_balancer() {
+        let defs = fe_param_defs(Task::Regression, &FeSpaceOptions::default());
+        assert!(!defs.iter().any(|p| p.def.name == "balancer"));
+    }
+
+    #[test]
+    fn smote_enrichment_extends_balancer() {
+        let options = FeSpaceOptions {
+            include_smote: true,
+            embedding: None,
+        };
+        let defs = fe_param_defs(Task::Classification, &options);
+        let balancer = defs.iter().find(|p| p.def.name == "balancer").unwrap();
+        if let ParamKind::Cat { choices, .. } = &balancer.def.kind {
+            assert!(choices.contains(&"smote"));
+        } else {
+            panic!("balancer should be categorical");
+        }
+        let smote_k = defs.iter().find(|p| p.def.name == "smote_k").unwrap();
+        assert_eq!(smote_k.condition, Some(("balancer", vec![3])));
+    }
+
+    #[test]
+    fn embedding_enrichment_adds_stage() {
+        let options = FeSpaceOptions {
+            include_smote: false,
+            embedding: Some(EmbeddingOptions {
+                dataset_seed: 0,
+                n_latent: 4,
+                generic_outputs: 8,
+            }),
+        };
+        let defs = fe_param_defs(Task::Classification, &options);
+        assert!(defs.iter().any(|p| p.def.name == "embedding"));
+    }
+
+    #[test]
+    fn conditions_reference_existing_parents() {
+        let defs = fe_param_defs(Task::Classification, &FeSpaceOptions::default());
+        let names: Vec<&str> = defs.iter().map(|p| p.def.name).collect();
+        for p in &defs {
+            if let Some((parent, _)) = &p.condition {
+                assert!(names.contains(parent), "{} has unknown parent {parent}", p.def.name);
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_space_is_smaller() {
+        let full = fe_param_defs(Task::Classification, &FeSpaceOptions::default());
+        let min = fe_param_defs_minimal(Task::Classification);
+        assert!(min.len() < full.len());
+        assert!(min.iter().all(|p| p.condition.is_none()));
+    }
+}

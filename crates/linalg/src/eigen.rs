@@ -1,0 +1,236 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! PCA, kernel approximations, and discriminant analysis all need the
+//! eigensystem of small symmetric matrices (dimension = feature count, which
+//! the FE pipeline keeps modest). Jacobi is simple, numerically robust, and
+//! produces orthonormal eigenvectors — a good fit for that regime.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Eigenvalues and eigenvectors of a symmetric matrix, sorted by descending
+/// eigenvalue.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Column `i` of this matrix is the eigenvector for `values[i]`.
+    pub vectors: Matrix,
+}
+
+/// Computes the eigendecomposition of symmetric `a` using cyclic Jacobi
+/// rotations.
+///
+/// Returns [`LinalgError::NotSquare`] for non-square input and
+/// [`LinalgError::NoConvergence`] if the off-diagonal mass does not vanish
+/// within the sweep cap (which does not happen for genuinely symmetric
+/// matrices of the sizes used here).
+pub fn symmetric_eigen(a: &Matrix) -> Result<EigenDecomposition> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    if n == 0 {
+        return Ok(EigenDecomposition {
+            values: Vec::new(),
+            vectors: Matrix::zeros(0, 0),
+        });
+    }
+
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let max_sweeps = 64;
+
+    for sweep in 0..max_sweeps {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += m.get(i, j).abs();
+            }
+        }
+        if off < 1e-12 {
+            return Ok(sorted(m, v, n));
+        }
+        let _ = sweep;
+
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m.get(p, q);
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation to rows/columns p and q of m.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    // One last convergence check after the final sweep.
+    let mut off = 0.0;
+    for i in 0..n {
+        for j in i + 1..n {
+            off += m.get(i, j).abs();
+        }
+    }
+    if off < 1e-8 {
+        Ok(sorted(m, v, n))
+    } else {
+        Err(LinalgError::NoConvergence {
+            iterations: max_sweeps,
+        })
+    }
+}
+
+fn sorted(m: Matrix, v: Matrix, n: usize) -> EigenDecomposition {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    idx.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).unwrap_or(std::cmp::Ordering::Equal));
+
+    let values: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in idx.iter().enumerate() {
+        for r in 0..n {
+            vectors.set(r, new_col, v.get(r, old_col));
+        }
+    }
+    EigenDecomposition { values, vectors }
+}
+
+/// Returns the top-`k` principal directions (columns) of the symmetric matrix
+/// `a`, i.e. the eigenvectors with the largest eigenvalues.
+pub fn top_k_eigenvectors(a: &Matrix, k: usize) -> Result<(Vec<f64>, Matrix)> {
+    let eig = symmetric_eigen(a)?;
+    let n = a.rows();
+    let k = k.min(n);
+    let cols: Vec<usize> = (0..k).collect();
+    Ok((eig.values[..k].to_vec(), eig.vectors.select_cols(&cols)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::dot;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_diagonal() {
+        let a = Matrix::from_vec(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0])
+            .unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert_eq!(e.values, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn known_2x2_eigensystem() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_definition() {
+        let a = Matrix::from_vec(
+            3,
+            3,
+            vec![4.0, 1.0, 0.5, 1.0, 3.0, -0.2, 0.5, -0.2, 2.0],
+        )
+        .unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        for k in 0..3 {
+            let vk = e.vectors.col(k);
+            let av = a.matvec(&vk).unwrap();
+            for i in 0..3 {
+                assert!(
+                    (av[i] - e.values[k] * vk[i]).abs() < 1e-9,
+                    "A v != lambda v at ({k},{i})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_vec(
+            3,
+            3,
+            vec![5.0, 2.0, 1.0, 2.0, 4.0, 0.5, 1.0, 0.5, 3.0],
+        )
+        .unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let d = dot(&e.vectors.col(i), &e.vectors.col(j));
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((d - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_vec(
+            4,
+            4,
+            vec![
+                2.0, 0.3, 0.1, 0.0, 0.3, 1.5, -0.2, 0.4, 0.1, -0.2, 3.0, 0.2, 0.0, 0.4, 0.2, 2.5,
+            ],
+        )
+        .unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        let trace: f64 = (0..4).map(|i| a.get(i, i)).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let a = Matrix::from_vec(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0])
+            .unwrap();
+        let (vals, vecs) = top_k_eigenvectors(&a, 2).unwrap();
+        assert_eq!(vals, vec![3.0, 2.0]);
+        assert_eq!(vecs.shape(), (3, 2));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(symmetric_eigen(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_is_ok() {
+        let e = symmetric_eigen(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e.values.is_empty());
+    }
+}

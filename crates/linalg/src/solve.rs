@@ -1,0 +1,282 @@
+//! Linear solvers: Cholesky for symmetric positive-definite systems and LU
+//! with partial pivoting for general square systems.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Computes the lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+///
+/// `A` must be square, symmetric, and positive definite (within a small
+/// tolerance); otherwise [`LinalgError::Singular`] is returned. Only the lower
+/// triangle of `A` is read.
+pub fn cholesky_decompose(a: &Matrix) -> Result<Matrix> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 1e-14 {
+                    return Err(LinalgError::Singular);
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `A x = b` given the Cholesky factor `L` of `A` (forward then
+/// backward substitution).
+pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = l.rows();
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            context: format!("cholesky_solve rhs len {} for {}x{}", b.len(), n, n),
+        });
+    }
+    // Forward: L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        let row = l.row(i);
+        for (k, yk) in y.iter().enumerate().take(i) {
+            sum -= row[k] * yk;
+        }
+        y[i] = sum / row[i];
+    }
+    // Backward: Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l.get(k, i) * x[k];
+        }
+        x[i] = sum / l.get(i, i);
+    }
+    Ok(x)
+}
+
+/// Solves the SPD system `A x = b` via Cholesky; adds `ridge` to the diagonal
+/// first (0.0 for none), which is how callers regularize near-singular normal
+/// equations.
+pub fn solve_spd(a: &Matrix, b: &[f64], ridge: f64) -> Result<Vec<f64>> {
+    let n = a.rows();
+    let mut reg = a.clone();
+    if ridge != 0.0 {
+        for i in 0..n {
+            let v = reg.get(i, i) + ridge;
+            reg.set(i, i, v);
+        }
+    }
+    let l = cholesky_decompose(&reg)?;
+    cholesky_solve(&l, b)
+}
+
+/// Solves `A x = b` for general square `A` using LU decomposition with
+/// partial pivoting. Returns [`LinalgError::Singular`] when a pivot collapses.
+pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            context: format!("lu_solve rhs len {} for {}x{}", b.len(), n, n),
+        });
+    }
+    let mut lu = a.clone();
+    let mut x: Vec<f64> = b.to_vec();
+    let mut perm: Vec<usize> = (0..n).collect();
+
+    for col in 0..n {
+        // Partial pivot: find the largest magnitude entry in this column.
+        let mut pivot_row = col;
+        let mut pivot_val = lu.get(col, col).abs();
+        for r in col + 1..n {
+            let v = lu.get(r, col).abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < 1e-13 {
+            return Err(LinalgError::Singular);
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = lu.get(col, c);
+                lu.set(col, c, lu.get(pivot_row, c));
+                lu.set(pivot_row, c, tmp);
+            }
+            perm.swap(col, pivot_row);
+            x.swap(col, pivot_row);
+        }
+        let pivot = lu.get(col, col);
+        for r in col + 1..n {
+            let factor = lu.get(r, col) / pivot;
+            lu.set(r, col, factor);
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col + 1..n {
+                let v = lu.get(r, c) - factor * lu.get(col, c);
+                lu.set(r, c, v);
+            }
+        }
+    }
+
+    // Forward substitution with implicit unit diagonal.
+    for i in 1..n {
+        let mut sum = x[i];
+        let row = lu.row(i);
+        for (k, xk) in x.iter().enumerate().take(i) {
+            sum -= row[k] * xk;
+        }
+        x[i] = sum;
+    }
+    // Backward substitution.
+    for i in (0..n).rev() {
+        let mut sum = x[i];
+        for k in i + 1..n {
+            sum -= lu.get(i, k) * x[k];
+        }
+        x[i] = sum / lu.get(i, i);
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::dot;
+
+    fn spd_matrix() -> Matrix {
+        // A = Bᵀ B + I is SPD for any B.
+        let b = Matrix::from_vec(3, 3, vec![1.0, 2.0, 0.5, -1.0, 0.3, 2.0, 0.0, 1.0, 1.0])
+            .unwrap();
+        let mut a = b.gram();
+        for i in 0..3 {
+            let v = a.get(i, i) + 1.0;
+            a.set(i, i, v);
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs_matrix() {
+        let a = spd_matrix();
+        let l = cholesky_decompose(&a).unwrap();
+        let recon = l.matmul(&l.transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((recon.get(i, j) - a.get(i, j)).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_recovers_solution() {
+        let a = spd_matrix();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let l = cholesky_decompose(&a).unwrap();
+        let x = cholesky_solve(&l, &b).unwrap();
+        for (got, want) in x.iter().zip(x_true.iter()) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap(); // eigenvalues 3, -1
+        assert_eq!(cholesky_decompose(&a), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            cholesky_decompose(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_spd_with_ridge_handles_singular() {
+        // Rank-deficient Gram matrix becomes solvable with ridge.
+        let a = Matrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert!(solve_spd(&a, &[1.0, 1.0], 0.0).is_err());
+        let x = solve_spd(&a, &[1.0, 1.0], 1e-3).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn lu_solves_general_system() {
+        let a = Matrix::from_vec(3, 3, vec![0.0, 2.0, 1.0, 1.0, -1.0, 0.0, 3.0, 0.0, -2.0])
+            .unwrap();
+        let x_true = vec![2.0, -1.0, 4.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = lu_solve(&a, &b).unwrap();
+        for (got, want) in x.iter().zip(x_true.iter()) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn lu_detects_singular() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert_eq!(lu_solve(&a, &[1.0, 2.0]), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn lu_requires_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(lu_solve(&a, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn lu_pivots_on_zero_diagonal() {
+        // Leading zero forces a pivot swap.
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let x = lu_solve(&a, &[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_is_small_for_random_spd() {
+        // Deterministic pseudo-random SPD check without external RNG.
+        let mut vals = Vec::with_capacity(25);
+        let mut state = 42u64;
+        for _ in 0..25 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            vals.push(((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5);
+        }
+        let b = Matrix::from_vec(5, 5, vals).unwrap();
+        let mut a = b.gram();
+        for i in 0..5 {
+            let v = a.get(i, i) + 0.5;
+            a.set(i, i, v);
+        }
+        let rhs: Vec<f64> = (0..5).map(|i| i as f64 - 2.0).collect();
+        let x = solve_spd(&a, &rhs, 0.0).unwrap();
+        for i in 0..5 {
+            let got = dot(a.row(i), &x);
+            assert!((got - rhs[i]).abs() < 1e-8);
+        }
+    }
+}

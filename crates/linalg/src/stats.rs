@@ -1,0 +1,270 @@
+//! Descriptive statistics over slices and matrix columns.
+
+use crate::Matrix;
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divides by `n`); 0.0 for fewer than 2 elements.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Sample skewness (Fisher-Pearson, biased); 0.0 when the variance vanishes.
+pub fn skewness(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let s = std_dev(xs);
+    if s < 1e-12 {
+        return 0.0;
+    }
+    xs.iter().map(|x| ((x - m) / s).powi(3)).sum::<f64>() / n as f64
+}
+
+/// Excess kurtosis (biased); 0.0 when the variance vanishes.
+pub fn kurtosis(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 4 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let s = std_dev(xs);
+    if s < 1e-12 {
+        return 0.0;
+    }
+    xs.iter().map(|x| ((x - m) / s).powi(4)).sum::<f64>() / n as f64 - 3.0
+}
+
+/// `q`-quantile (0 ≤ q ≤ 1) with linear interpolation; NaN-free input assumed.
+///
+/// Returns 0.0 for an empty slice.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    quantile_sorted(&sorted, q)
+}
+
+/// `q`-quantile of an already ascending-sorted slice.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median via [`quantile`].
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Pearson correlation; 0.0 when either side is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    debug_assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys.iter()) {
+        let dx = x - mx;
+        let dy = y - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx < 1e-24 || vy < 1e-24 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Per-column means of a matrix.
+pub fn column_means(m: &Matrix) -> Vec<f64> {
+    let (rows, cols) = m.shape();
+    let mut sums = vec![0.0; cols];
+    for row in m.iter_rows() {
+        for (s, &v) in sums.iter_mut().zip(row.iter()) {
+            *s += v;
+        }
+    }
+    if rows > 0 {
+        for s in &mut sums {
+            *s /= rows as f64;
+        }
+    }
+    sums
+}
+
+/// Per-column population standard deviations of a matrix.
+pub fn column_stds(m: &Matrix) -> Vec<f64> {
+    let (rows, cols) = m.shape();
+    if rows == 0 {
+        return vec![0.0; cols];
+    }
+    let means = column_means(m);
+    let mut sums = vec![0.0; cols];
+    for row in m.iter_rows() {
+        for ((s, &v), &mu) in sums.iter_mut().zip(row.iter()).zip(means.iter()) {
+            let d = v - mu;
+            *s += d * d;
+        }
+    }
+    sums.iter().map(|s| (s / rows as f64).sqrt()).collect()
+}
+
+/// Covariance matrix of the columns of `m` (population normalization).
+pub fn covariance_matrix(m: &Matrix) -> Matrix {
+    let rows = m.rows();
+    let means = column_means(m);
+    let mut centered = m.clone();
+    for r in 0..rows {
+        let row = centered.row_mut(r);
+        for (v, &mu) in row.iter_mut().zip(means.iter()) {
+            *v -= mu;
+        }
+    }
+    let mut cov = centered.gram();
+    if rows > 1 {
+        cov.scale(1.0 / rows as f64);
+    }
+    cov
+}
+
+/// Index of the maximum element (first occurrence); `None` for empty input.
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    xs.iter()
+        .enumerate()
+        .fold(None, |best: Option<(usize, f64)>, (i, &v)| match best {
+            Some((_, bv)) if bv >= v => best,
+            _ => Some((i, v)),
+        })
+        .map(|(i, _)| i)
+}
+
+/// Index of the minimum element (first occurrence); `None` for empty input.
+pub fn argmin(xs: &[f64]) -> Option<usize> {
+    xs.iter()
+        .enumerate()
+        .fold(None, |best: Option<(usize, f64)>, (i, &v)| match best {
+            Some((_, bv)) if bv <= v => best,
+            _ => Some((i, v)),
+        })
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert!((std_dev(&xs) - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert!((median(&xs) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_is_order_insensitive() {
+        let a = [3.0, 1.0, 2.0];
+        assert_eq!(quantile(&a, 0.5), 2.0);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg = [6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn skew_and_kurtosis_of_symmetric_data() {
+        let xs = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        assert!(skewness(&xs).abs() < 1e-12);
+        // Uniform-ish data is platykurtic (negative excess kurtosis).
+        assert!(kurtosis(&xs) < 0.0);
+    }
+
+    #[test]
+    fn column_stats() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 10.0, 3.0, 30.0]).unwrap();
+        assert_eq!(column_means(&m), vec![2.0, 20.0]);
+        let stds = column_stds(&m);
+        assert!((stds[0] - 1.0).abs() < 1e-12);
+        assert!((stds[1] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_of_perfectly_correlated_columns() {
+        let m = Matrix::from_vec(3, 2, vec![1.0, 2.0, 2.0, 4.0, 3.0, 6.0]).unwrap();
+        let cov = covariance_matrix(&m);
+        // var(x) = 2/3, cov(x, 2x) = 4/3, var(2x) = 8/3.
+        assert!((cov.get(0, 0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cov.get(0, 1) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((cov.get(1, 1) - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_argmin_first_occurrence() {
+        let xs = [1.0, 3.0, 3.0, 0.0, 0.0];
+        assert_eq!(argmax(&xs), Some(1));
+        assert_eq!(argmin(&xs), Some(3));
+    }
+}

@@ -1,0 +1,507 @@
+//! Boosted ensembles: gradient boosting (GBDT) and AdaBoost (SAMME).
+
+use crate::tree::{Criterion, MaxFeatures, SplitStrategy, Tree, TreeConfig};
+use crate::{check_fit_inputs, infer_n_classes, Estimator, ModelError, Result};
+use volcanoml_data::rand_util::derive_seed;
+use volcanoml_linalg::Matrix;
+
+/// Gradient-boosted regression trees with squared loss.
+#[derive(Debug, Clone)]
+pub struct GradientBoostingRegressor {
+    /// Number of boosting rounds.
+    pub n_estimators: usize,
+    /// Shrinkage per round.
+    pub learning_rate: f64,
+    /// Depth of each weak tree.
+    pub max_depth: usize,
+    /// Row subsampling fraction per round (stochastic gradient boosting).
+    pub subsample: f64,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// RNG seed.
+    pub seed: u64,
+    base: f64,
+    trees: Vec<Tree>,
+}
+
+impl GradientBoostingRegressor {
+    /// Creates an untrained model.
+    pub fn new(
+        n_estimators: usize,
+        learning_rate: f64,
+        max_depth: usize,
+        subsample: f64,
+        min_samples_leaf: usize,
+        seed: u64,
+    ) -> Self {
+        GradientBoostingRegressor {
+            n_estimators,
+            learning_rate,
+            max_depth,
+            subsample: subsample.clamp(0.1, 1.0),
+            min_samples_leaf,
+            seed,
+            base: 0.0,
+            trees: Vec::new(),
+        }
+    }
+
+    fn tree_config(&self, round: usize) -> TreeConfig {
+        TreeConfig {
+            criterion: Criterion::Mse,
+            max_depth: self.max_depth,
+            min_samples_split: 2 * self.min_samples_leaf.max(1),
+            min_samples_leaf: self.min_samples_leaf.max(1),
+            max_features: MaxFeatures::All,
+            split_strategy: SplitStrategy::Best,
+            seed: derive_seed(self.seed, round as u64),
+        }
+    }
+}
+
+/// Selects the per-round training subset for stochastic boosting.
+fn subsample_indices(n: usize, fraction: f64, seed: u64) -> Vec<usize> {
+    if fraction >= 1.0 {
+        return (0..n).collect();
+    }
+    let k = ((n as f64 * fraction).round() as usize).clamp(2.min(n), n);
+    let mut rng = volcanoml_data::rand_util::rng_from_seed(seed);
+    let mut idx = volcanoml_data::rand_util::permutation(&mut rng, n);
+    idx.truncate(k);
+    idx
+}
+
+impl Estimator for GradientBoostingRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        check_fit_inputs(x, y)?;
+        let n = x.rows();
+        self.base = volcanoml_linalg::stats::mean(y);
+        self.trees.clear();
+        let mut preds = vec![self.base; n];
+        for round in 0..self.n_estimators {
+            let residuals: Vec<f64> = y.iter().zip(preds.iter()).map(|(t, p)| t - p).collect();
+            let idx = subsample_indices(n, self.subsample, derive_seed(self.seed, 1000 + round as u64));
+            let xs = x.select_rows(&idx);
+            let rs: Vec<f64> = idx.iter().map(|&i| residuals[i]).collect();
+            let tree = Tree::fit(&xs, &rs, None, 1, &self.tree_config(round))?;
+            for (i, p) in preds.iter_mut().enumerate() {
+                *p += self.learning_rate * tree.predict_row(x.row(i))[0];
+            }
+            self.trees.push(tree);
+        }
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if self.trees.is_empty() {
+            return Err(ModelError::NotFitted);
+        }
+        if x.cols() != self.trees[0].n_features() {
+            return Err(ModelError::Invalid(format!(
+                "predict expects {} features, got {}",
+                self.trees[0].n_features(),
+                x.cols()
+            )));
+        }
+        let mut out = vec![self.base; x.rows()];
+        for tree in &self.trees {
+            for (i, o) in out.iter_mut().enumerate() {
+                *o += self.learning_rate * tree.predict_row(x.row(i))[0];
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Gradient-boosted classification via one-vs-rest logistic boosting: one
+/// stage-wise additive model per class, trained on logistic gradients.
+#[derive(Debug, Clone)]
+pub struct GradientBoostingClassifier {
+    /// Number of boosting rounds.
+    pub n_estimators: usize,
+    /// Shrinkage per round.
+    pub learning_rate: f64,
+    /// Depth of each weak tree.
+    pub max_depth: usize,
+    /// Row subsampling fraction per round.
+    pub subsample: f64,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// RNG seed.
+    pub seed: u64,
+    // trees[class][round]
+    trees: Vec<Vec<Tree>>,
+    priors: Vec<f64>,
+    n_classes: usize,
+}
+
+impl GradientBoostingClassifier {
+    /// Creates an untrained model.
+    pub fn new(
+        n_estimators: usize,
+        learning_rate: f64,
+        max_depth: usize,
+        subsample: f64,
+        min_samples_leaf: usize,
+        seed: u64,
+    ) -> Self {
+        GradientBoostingClassifier {
+            n_estimators,
+            learning_rate,
+            max_depth,
+            subsample: subsample.clamp(0.1, 1.0),
+            min_samples_leaf,
+            seed,
+            trees: Vec::new(),
+            priors: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    fn raw_scores(&self, x: &Matrix) -> Result<Matrix> {
+        if self.trees.is_empty() {
+            return Err(ModelError::NotFitted);
+        }
+        let d = self.trees[0]
+            .first()
+            .map(|t| t.n_features())
+            .unwrap_or(x.cols());
+        if x.cols() != d {
+            return Err(ModelError::Invalid(format!(
+                "predict expects {d} features, got {}",
+                x.cols()
+            )));
+        }
+        let mut out = Matrix::zeros(x.rows(), self.n_classes);
+        for (c, stages) in self.trees.iter().enumerate() {
+            for i in 0..x.rows() {
+                let mut s = self.priors[c];
+                for tree in stages {
+                    s += self.learning_rate * tree.predict_row(x.row(i))[0];
+                }
+                out.set(i, c, s);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Estimator for GradientBoostingClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        check_fit_inputs(x, y)?;
+        let k = infer_n_classes(y);
+        self.n_classes = k;
+        let n = x.rows();
+        self.trees = vec![Vec::with_capacity(self.n_estimators); k];
+        // Log-odds priors.
+        self.priors = (0..k)
+            .map(|c| {
+                let p = y.iter().filter(|&&v| v as usize == c).count() as f64 / n as f64;
+                let p = p.clamp(1e-4, 1.0 - 1e-4);
+                (p / (1.0 - p)).ln()
+            })
+            .collect();
+
+        let cfg = |seed: u64| TreeConfig {
+            criterion: Criterion::Mse,
+            max_depth: self.max_depth,
+            min_samples_split: 2 * self.min_samples_leaf.max(1),
+            min_samples_leaf: self.min_samples_leaf.max(1),
+            max_features: MaxFeatures::All,
+            split_strategy: SplitStrategy::Best,
+            seed,
+        };
+
+        // scores[i][c]
+        let mut scores = Matrix::zeros(n, k);
+        for i in 0..n {
+            scores.row_mut(i).copy_from_slice(&self.priors);
+        }
+        for round in 0..self.n_estimators {
+            for c in 0..k {
+                // Negative gradient of OvR logistic loss: t - sigmoid(score).
+                let grads: Vec<f64> = (0..n)
+                    .map(|i| {
+                        let t = if y[i] as usize == c { 1.0 } else { 0.0 };
+                        let p = 1.0 / (1.0 + (-scores.get(i, c)).exp());
+                        t - p
+                    })
+                    .collect();
+                let idx = subsample_indices(
+                    n,
+                    self.subsample,
+                    derive_seed(self.seed, (round * k + c) as u64),
+                );
+                let xs = x.select_rows(&idx);
+                let gs: Vec<f64> = idx.iter().map(|&i| grads[i]).collect();
+                let tree = Tree::fit(&xs, &gs, None, 1, &cfg(derive_seed(self.seed, (7000 + round * k + c) as u64)))?;
+                for i in 0..n {
+                    let s = scores.get(i, c) + self.learning_rate * tree.predict_row(x.row(i))[0];
+                    scores.set(i, c, s);
+                }
+                self.trees[c].push(tree);
+            }
+        }
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let scores = self.raw_scores(x)?;
+        Ok((0..scores.rows())
+            .map(|i| volcanoml_linalg::stats::argmax(scores.row(i)).unwrap_or(0) as f64)
+            .collect())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Matrix> {
+        let mut scores = self.raw_scores(x)?;
+        for i in 0..scores.rows() {
+            let row = scores.row_mut(i);
+            // Sigmoid per class, then normalize across classes.
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = 1.0 / (1.0 + (-*v).exp());
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+        Ok(scores)
+    }
+}
+
+/// AdaBoost with the multi-class SAMME algorithm over depth-limited trees.
+#[derive(Debug, Clone)]
+pub struct AdaBoostClassifier {
+    /// Number of boosting rounds.
+    pub n_estimators: usize,
+    /// Weight shrinkage applied to each stage's vote.
+    pub learning_rate: f64,
+    /// Depth of the weak learners (1 = decision stumps).
+    pub max_depth: usize,
+    /// RNG seed.
+    pub seed: u64,
+    stages: Vec<(Tree, f64)>,
+    n_classes: usize,
+}
+
+impl AdaBoostClassifier {
+    /// Creates an untrained model.
+    pub fn new(n_estimators: usize, learning_rate: f64, max_depth: usize, seed: u64) -> Self {
+        AdaBoostClassifier {
+            n_estimators,
+            learning_rate,
+            max_depth,
+            seed,
+            stages: Vec::new(),
+            n_classes: 0,
+        }
+    }
+}
+
+impl Estimator for AdaBoostClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        check_fit_inputs(x, y)?;
+        let n = x.rows();
+        let k = infer_n_classes(y);
+        self.n_classes = k;
+        self.stages.clear();
+        let mut w = vec![1.0 / n as f64; n];
+        for round in 0..self.n_estimators {
+            let cfg = TreeConfig {
+                criterion: Criterion::Gini,
+                max_depth: self.max_depth,
+                min_samples_split: 2,
+                min_samples_leaf: 1,
+                max_features: MaxFeatures::All,
+                split_strategy: SplitStrategy::Best,
+                seed: derive_seed(self.seed, round as u64),
+            };
+            let tree = Tree::fit(x, y, Some(&w), k, &cfg)?;
+            // Weighted error of this stage.
+            let mut err = 0.0;
+            let mut wrong = vec![false; n];
+            for i in 0..n {
+                let probs = tree.predict_row(x.row(i));
+                let pred = volcanoml_linalg::stats::argmax(probs).unwrap_or(0);
+                if pred != y[i] as usize {
+                    err += w[i];
+                    wrong[i] = true;
+                }
+            }
+            let total: f64 = w.iter().sum();
+            let err = (err / total).clamp(1e-10, 1.0);
+            if err >= 1.0 - 1.0 / k as f64 {
+                // Worse than chance: stop boosting.
+                if self.stages.is_empty() {
+                    self.stages.push((tree, 1.0));
+                }
+                break;
+            }
+            let alpha =
+                self.learning_rate * (((1.0 - err) / err).ln() + (k as f64 - 1.0).ln());
+            for i in 0..n {
+                if wrong[i] {
+                    w[i] *= alpha.exp().min(1e6);
+                }
+            }
+            // Renormalize.
+            let sum: f64 = w.iter().sum();
+            if sum > 0.0 {
+                for wi in &mut w {
+                    *wi /= sum;
+                }
+            }
+            self.stages.push((tree, alpha));
+            if err < 1e-9 {
+                break; // perfect stage
+            }
+        }
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let p = self.predict_proba(x)?;
+        Ok((0..p.rows())
+            .map(|i| volcanoml_linalg::stats::argmax(p.row(i)).unwrap_or(0) as f64)
+            .collect())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Matrix> {
+        if self.stages.is_empty() {
+            return Err(ModelError::NotFitted);
+        }
+        let d = self.stages[0].0.n_features();
+        if x.cols() != d {
+            return Err(ModelError::Invalid(format!(
+                "predict expects {d} features, got {}",
+                x.cols()
+            )));
+        }
+        let mut votes = Matrix::zeros(x.rows(), self.n_classes);
+        for (tree, alpha) in &self.stages {
+            for i in 0..x.rows() {
+                let probs = tree.predict_row(x.row(i));
+                let pred = volcanoml_linalg::stats::argmax(probs).unwrap_or(0);
+                let v = votes.get(i, pred) + alpha;
+                votes.set(i, pred, v);
+            }
+        }
+        for i in 0..votes.rows() {
+            let row = votes.row_mut(i);
+            let sum: f64 = row.iter().sum();
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+        Ok(votes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{easy_multiclass, nonlinear_binary, split};
+    use volcanoml_data::metrics::{accuracy, r2};
+    use volcanoml_data::synthetic::{make_friedman1, make_xor};
+
+    #[test]
+    fn gbdt_regressor_fits_friedman() {
+        let d = make_friedman1(400, 3, 0.3, 1);
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = GradientBoostingRegressor::new(80, 0.1, 3, 1.0, 3, 0);
+        m.fit(&xt, &yt).unwrap();
+        let score = r2(&yv, &m.predict(&xv).unwrap());
+        assert!(score > 0.8, "r2 {score}");
+    }
+
+    #[test]
+    fn gbdt_improves_with_more_rounds() {
+        let d = make_friedman1(300, 2, 0.3, 2);
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut short = GradientBoostingRegressor::new(5, 0.1, 3, 1.0, 3, 0);
+        short.fit(&xt, &yt).unwrap();
+        let mut long = GradientBoostingRegressor::new(80, 0.1, 3, 1.0, 3, 0);
+        long.fit(&xt, &yt).unwrap();
+        let r_short = r2(&yv, &short.predict(&xv).unwrap());
+        let r_long = r2(&yv, &long.predict(&xv).unwrap());
+        assert!(r_long > r_short, "{r_long} vs {r_short}");
+    }
+
+    #[test]
+    fn gbdt_classifier_learns_xor() {
+        let d = make_xor(400, 2, 3, 0.02, 3);
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = GradientBoostingClassifier::new(60, 0.3, 4, 1.0, 2, 0);
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn gbdt_classifier_multiclass() {
+        let d = easy_multiclass();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = GradientBoostingClassifier::new(20, 0.3, 2, 1.0, 2, 0);
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn gbdt_proba_is_normalized() {
+        let d = easy_multiclass();
+        let mut m = GradientBoostingClassifier::new(10, 0.3, 2, 1.0, 2, 0);
+        m.fit(&d.x, &d.y).unwrap();
+        let p = m.predict_proba(&d.x).unwrap();
+        for i in 0..p.rows() {
+            let s: f64 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn adaboost_learns_nonlinear_boundary() {
+        let d = nonlinear_binary();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = AdaBoostClassifier::new(60, 0.5, 2, 0);
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn adaboost_stumps_beat_single_stump() {
+        let d = make_xor(400, 2, 3, 0.0, 9);
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut single = AdaBoostClassifier::new(1, 1.0, 1, 0);
+        single.fit(&xt, &yt).unwrap();
+        let mut many = AdaBoostClassifier::new(100, 0.8, 2, 0);
+        many.fit(&xt, &yt).unwrap();
+        let a1 = accuracy(&yv, &single.predict(&xv).unwrap());
+        let a2 = accuracy(&yv, &many.predict(&xv).unwrap());
+        assert!(a2 > a1, "{a2} vs {a1}");
+    }
+
+    #[test]
+    fn unfitted_models_error() {
+        let m = GradientBoostingRegressor::new(5, 0.1, 2, 1.0, 1, 0);
+        assert!(m.predict(&Matrix::zeros(2, 2)).is_err());
+        let c = AdaBoostClassifier::new(5, 0.1, 1, 0);
+        assert!(c.predict(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn subsampling_still_learns() {
+        let d = make_friedman1(400, 2, 0.3, 4);
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = GradientBoostingRegressor::new(60, 0.1, 3, 0.6, 3, 0);
+        m.fit(&xt, &yt).unwrap();
+        let score = r2(&yv, &m.predict(&xv).unwrap());
+        assert!(score > 0.7, "r2 {score}");
+    }
+}

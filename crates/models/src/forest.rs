@@ -1,0 +1,369 @@
+//! Bagged tree ensembles: random forests and extra-trees, for both tasks.
+//!
+//! The regressor exposes per-tree predictions ([`ForestRegressor::predict_per_tree`]),
+//! which the BO crate's probabilistic random-forest surrogate uses to obtain
+//! predictive variance.
+
+use crate::tree::{Criterion, MaxFeatures, SplitStrategy, Tree, TreeConfig};
+use crate::{check_fit_inputs, infer_n_classes, Estimator, ModelError, Result};
+use volcanoml_data::rand_util::{derive_seed, rng_from_seed};
+use rand::RngExt;
+use volcanoml_linalg::Matrix;
+
+/// Shared forest hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_estimators: usize,
+    /// Per-tree maximum depth.
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Minimum samples to split.
+    pub min_samples_split: usize,
+    /// Features considered per split.
+    pub max_features: MaxFeatures,
+    /// Bootstrap resampling of rows (classic RF); extra-trees typically
+    /// disable it.
+    pub bootstrap: bool,
+    /// `Best` for random forest, `Random` for extra-trees.
+    pub split_strategy: SplitStrategy,
+    /// Impurity criterion (Gini/Entropy for classification, Mse for
+    /// regression — set automatically by the typed wrappers).
+    pub criterion: Criterion,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ForestConfig {
+    /// Random-forest classification defaults.
+    pub fn random_forest() -> Self {
+        ForestConfig {
+            n_estimators: 50,
+            max_depth: 14,
+            min_samples_leaf: 1,
+            min_samples_split: 2,
+            max_features: MaxFeatures::Sqrt,
+            bootstrap: true,
+            split_strategy: SplitStrategy::Best,
+            criterion: Criterion::Gini,
+            seed: 0,
+        }
+    }
+
+    /// Extra-trees defaults.
+    pub fn extra_trees() -> Self {
+        ForestConfig {
+            bootstrap: false,
+            split_strategy: SplitStrategy::Random,
+            ..ForestConfig::random_forest()
+        }
+    }
+}
+
+fn fit_trees(
+    x: &Matrix,
+    y: &[f64],
+    n_outputs: usize,
+    config: &ForestConfig,
+) -> Result<Vec<Tree>> {
+    check_fit_inputs(x, y)?;
+    let n = x.rows();
+    let mut trees = Vec::with_capacity(config.n_estimators);
+    for t in 0..config.n_estimators {
+        let tree_seed = derive_seed(config.seed, t as u64);
+        let tree_cfg = TreeConfig {
+            criterion: config.criterion,
+            max_depth: config.max_depth,
+            min_samples_split: config.min_samples_split,
+            min_samples_leaf: config.min_samples_leaf,
+            max_features: config.max_features,
+            split_strategy: config.split_strategy,
+            seed: tree_seed,
+        };
+        if config.bootstrap {
+            let mut rng = rng_from_seed(derive_seed(config.seed, 5000 + t as u64));
+            let idx: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
+            let xs = x.select_rows(&idx);
+            let ys: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+            trees.push(Tree::fit(&xs, &ys, None, n_outputs, &tree_cfg)?);
+        } else {
+            trees.push(Tree::fit(x, y, None, n_outputs, &tree_cfg)?);
+        }
+    }
+    Ok(trees)
+}
+
+/// Bagged tree classifier (random forest or extra-trees depending on the
+/// configured split strategy).
+#[derive(Debug, Clone)]
+pub struct ForestClassifier {
+    /// Ensemble hyper-parameters.
+    pub config: ForestConfig,
+    trees: Vec<Tree>,
+    n_classes: usize,
+}
+
+impl ForestClassifier {
+    /// Creates an untrained classifier.
+    pub fn new(config: ForestConfig) -> Self {
+        ForestClassifier {
+            config,
+            trees: Vec::new(),
+            n_classes: 0,
+        }
+    }
+}
+
+impl Estimator for ForestClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        self.n_classes = infer_n_classes(y);
+        self.trees = fit_trees(x, y, self.n_classes, &self.config)?;
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let p = self.predict_proba(x)?;
+        Ok((0..p.rows())
+            .map(|i| volcanoml_linalg::stats::argmax(p.row(i)).unwrap_or(0) as f64)
+            .collect())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Matrix> {
+        if self.trees.is_empty() {
+            return Err(ModelError::NotFitted);
+        }
+        if x.cols() != self.trees[0].n_features() {
+            return Err(ModelError::Invalid(format!(
+                "predict expects {} features, got {}",
+                self.trees[0].n_features(),
+                x.cols()
+            )));
+        }
+        let mut out = Matrix::zeros(x.rows(), self.n_classes);
+        for tree in &self.trees {
+            for i in 0..x.rows() {
+                let probs = tree.predict_row(x.row(i));
+                let row = out.row_mut(i);
+                for (o, &p) in row.iter_mut().zip(probs.iter()) {
+                    *o += p;
+                }
+            }
+        }
+        let scale = 1.0 / self.trees.len() as f64;
+        out.scale(scale);
+        Ok(out)
+    }
+}
+
+/// Bagged tree regressor (random forest or extra-trees).
+#[derive(Debug, Clone)]
+pub struct ForestRegressor {
+    /// Ensemble hyper-parameters.
+    pub config: ForestConfig,
+    trees: Vec<Tree>,
+}
+
+impl ForestRegressor {
+    /// Creates an untrained regressor. The criterion is forced to MSE.
+    pub fn new(mut config: ForestConfig) -> Self {
+        config.criterion = Criterion::Mse;
+        if config.max_features == MaxFeatures::Sqrt {
+            // Regression forests default to all features (sklearn behaviour).
+            config.max_features = MaxFeatures::All;
+        }
+        ForestRegressor {
+            config,
+            trees: Vec::new(),
+        }
+    }
+
+    /// Per-tree predictions: `out[t][i]` is tree `t`'s prediction for row `i`.
+    /// Used by the probabilistic-RF surrogate for mean/variance estimates.
+    pub fn predict_per_tree(&self, x: &Matrix) -> Result<Vec<Vec<f64>>> {
+        if self.trees.is_empty() {
+            return Err(ModelError::NotFitted);
+        }
+        Ok(self
+            .trees
+            .iter()
+            .map(|tree| {
+                (0..x.rows())
+                    .map(|i| tree.predict_row(x.row(i))[0])
+                    .collect()
+            })
+            .collect())
+    }
+
+    /// Predictive mean and variance across trees for each row.
+    pub fn predict_mean_var(&self, x: &Matrix) -> Result<Vec<(f64, f64)>> {
+        let per_tree = self.predict_per_tree(x)?;
+        let t = per_tree.len() as f64;
+        Ok((0..x.rows())
+            .map(|i| {
+                let mean = per_tree.iter().map(|p| p[i]).sum::<f64>() / t;
+                let var = per_tree
+                    .iter()
+                    .map(|p| (p[i] - mean) * (p[i] - mean))
+                    .sum::<f64>()
+                    / t;
+                (mean, var)
+            })
+            .collect())
+    }
+}
+
+impl Estimator for ForestRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        self.trees = fit_trees(x, y, 1, &self.config)?;
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if self.trees.is_empty() {
+            return Err(ModelError::NotFitted);
+        }
+        if x.cols() != self.trees[0].n_features() {
+            return Err(ModelError::Invalid(format!(
+                "predict expects {} features, got {}",
+                self.trees[0].n_features(),
+                x.cols()
+            )));
+        }
+        let mut out = vec![0.0; x.rows()];
+        for tree in &self.trees {
+            for (i, o) in out.iter_mut().enumerate() {
+                *o += tree.predict_row(x.row(i))[0];
+            }
+        }
+        let scale = 1.0 / self.trees.len() as f64;
+        for o in &mut out {
+            *o *= scale;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{easy_multiclass, nonlinear_binary, split};
+    use volcanoml_data::metrics::{accuracy, r2};
+    use volcanoml_data::synthetic::{make_friedman1, make_xor};
+
+    #[test]
+    fn rf_beats_chance_on_moons() {
+        let d = nonlinear_binary();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = ForestClassifier::new(ForestConfig::random_forest());
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn rf_handles_multiclass() {
+        let d = easy_multiclass();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = ForestClassifier::new(ForestConfig::random_forest());
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.93, "accuracy {acc}");
+    }
+
+    #[test]
+    fn extra_trees_learn_xor() {
+        let d = make_xor(400, 2, 5, 0.02, 4);
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut cfg = ForestConfig::extra_trees();
+        cfg.n_estimators = 80;
+        cfg.max_depth = 16;
+        let mut m = ForestClassifier::new(cfg);
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn forest_regressor_fits_friedman() {
+        let d = make_friedman1(400, 2, 0.3, 5);
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut cfg = ForestConfig::random_forest();
+        cfg.n_estimators = 60;
+        let mut m = ForestRegressor::new(cfg);
+        m.fit(&xt, &yt).unwrap();
+        let score = r2(&yv, &m.predict(&xv).unwrap());
+        assert!(score > 0.75, "r2 {score}");
+    }
+
+    #[test]
+    fn per_tree_predictions_average_to_ensemble() {
+        let d = make_friedman1(200, 1, 0.3, 6);
+        let mut m = ForestRegressor::new(ForestConfig::random_forest());
+        m.fit(&d.x, &d.y).unwrap();
+        let ens = m.predict(&d.x).unwrap();
+        let per_tree = m.predict_per_tree(&d.x).unwrap();
+        let t = per_tree.len() as f64;
+        for i in 0..5 {
+            let mean: f64 = per_tree.iter().map(|p| p[i]).sum::<f64>() / t;
+            assert!((mean - ens[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn variance_is_higher_off_manifold() {
+        let d = make_friedman1(300, 0, 0.1, 7);
+        let mut cfg = ForestConfig::random_forest();
+        cfg.n_estimators = 40;
+        let mut m = ForestRegressor::new(cfg);
+        m.fit(&d.x, &d.y).unwrap();
+        // In-distribution point vs far-out point.
+        let probe = Matrix::from_vec(2, 5, vec![0.5, 0.5, 0.5, 0.5, 0.5, 25.0, -30.0, 40.0, -10.0, 90.0])
+            .unwrap();
+        let mv = m.predict_mean_var(&probe).unwrap();
+        // Both should produce finite variance; the ensemble must disagree at
+        // least somewhere (non-zero average variance over train set).
+        assert!(mv.iter().all(|(m, v)| m.is_finite() && v.is_finite() && *v >= 0.0));
+        let train_var: f64 = m
+            .predict_mean_var(&d.x)
+            .unwrap()
+            .iter()
+            .map(|(_, v)| v)
+            .sum();
+        assert!(train_var > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = nonlinear_binary();
+        let mut a = ForestClassifier::new(ForestConfig::random_forest());
+        a.fit(&d.x, &d.y).unwrap();
+        let mut b = ForestClassifier::new(ForestConfig::random_forest());
+        b.fit(&d.x, &d.y).unwrap();
+        assert_eq!(a.predict(&d.x).unwrap(), b.predict(&d.x).unwrap());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d = nonlinear_binary();
+        let mut cfg1 = ForestConfig::random_forest();
+        cfg1.n_estimators = 5;
+        let mut cfg2 = cfg1.clone();
+        cfg2.seed = 99;
+        let mut a = ForestClassifier::new(cfg1);
+        a.fit(&d.x, &d.y).unwrap();
+        let mut b = ForestClassifier::new(cfg2);
+        b.fit(&d.x, &d.y).unwrap();
+        let pa = a.predict_proba(&d.x).unwrap();
+        let pb = b.predict_proba(&d.x).unwrap();
+        assert_ne!(pa.data(), pb.data());
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let m = ForestClassifier::new(ForestConfig::random_forest());
+        assert!(m.predict(&Matrix::zeros(1, 2)).is_err());
+        let r = ForestRegressor::new(ForestConfig::random_forest());
+        assert!(r.predict(&Matrix::zeros(1, 2)).is_err());
+    }
+}

@@ -1,0 +1,719 @@
+//! Linear models: softmax logistic regression, linear SVM (one-vs-rest
+//! hinge), ridge (closed form), lasso and elastic-net (coordinate descent),
+//! and an SGD regressor.
+//!
+//! Gradient-based models standardize features internally (mean 0 / std 1 on
+//! the training set) so learning rates transfer across datasets; the learned
+//! scaling is folded back into the stored weights at predict time.
+
+use crate::{check_fit_inputs, infer_n_classes, Estimator, ModelError, Result};
+use volcanoml_data::rand_util::{permutation, rng_from_seed};
+use volcanoml_linalg::matrix::dot;
+use volcanoml_linalg::{solve_spd, Matrix};
+
+/// Internal feature standardizer shared by the gradient-based models.
+#[derive(Debug, Clone, Default)]
+struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    fn fit(x: &Matrix) -> Standardizer {
+        let means = volcanoml_linalg::stats::column_means(x);
+        let stds: Vec<f64> = volcanoml_linalg::stats::column_stds(x)
+            .into_iter()
+            .map(|s| if s < 1e-9 { 1.0 } else { s })
+            .collect();
+        Standardizer { means, stds }
+    }
+
+    fn transform(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for ((v, &m), &s) in row.iter_mut().zip(self.means.iter()).zip(self.stds.iter()) {
+                *v = (*v - m) / s;
+            }
+        }
+        out
+    }
+}
+
+/// Multinomial (softmax) logistic regression trained with mini-batch SGD and
+/// momentum, with L2 regularization.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// L2 regularization strength (λ).
+    pub alpha: f64,
+    /// Initial learning rate.
+    pub learning_rate: f64,
+    /// Number of passes over the data.
+    pub max_iter: usize,
+    /// RNG seed for shuffling and init.
+    pub seed: u64,
+    weights: Option<Matrix>, // (d+1) x k, last row is bias
+    scaler: Standardizer,
+    n_classes: usize,
+}
+
+impl LogisticRegression {
+    /// Creates an untrained model with the given hyper-parameters.
+    pub fn new(alpha: f64, learning_rate: f64, max_iter: usize, seed: u64) -> Self {
+        LogisticRegression {
+            alpha,
+            learning_rate,
+            max_iter,
+            seed,
+            weights: None,
+            scaler: Standardizer::default(),
+            n_classes: 0,
+        }
+    }
+
+    fn scores(&self, xs: &Matrix) -> Result<Matrix> {
+        let w = self.weights.as_ref().ok_or(ModelError::NotFitted)?;
+        let d = w.rows() - 1;
+        if xs.cols() != d {
+            return Err(ModelError::Invalid(format!(
+                "predict expects {d} features, got {}",
+                xs.cols()
+            )));
+        }
+        let k = w.cols();
+        let mut out = Matrix::zeros(xs.rows(), k);
+        for i in 0..xs.rows() {
+            let row = xs.row(i);
+            let out_row = out.row_mut(i);
+            for (c, o) in out_row.iter_mut().enumerate() {
+                let mut s = w.get(d, c); // bias
+                for (j, &v) in row.iter().enumerate() {
+                    s += w.get(j, c) * v;
+                }
+                *o = s;
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn softmax_in_place(row: &mut [f64]) {
+    let max = row.iter().fold(f64::MIN, |m, &v| m.max(v));
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+impl Estimator for LogisticRegression {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        check_fit_inputs(x, y)?;
+        let k = infer_n_classes(y);
+        self.n_classes = k;
+        self.scaler = Standardizer::fit(x);
+        let xs = self.scaler.transform(x);
+        let n = xs.rows();
+        let d = xs.cols();
+        let mut w = Matrix::zeros(d + 1, k);
+        let mut vel = Matrix::zeros(d + 1, k);
+        let mut rng = rng_from_seed(self.seed);
+        let batch = 32.min(n);
+        let momentum = 0.9;
+
+        for epoch in 0..self.max_iter {
+            let lr = self.learning_rate / (1.0 + 0.02 * epoch as f64);
+            let order = permutation(&mut rng, n);
+            for chunk in order.chunks(batch) {
+                // Accumulate gradient over the mini-batch.
+                let mut grad = Matrix::zeros(d + 1, k);
+                for &i in chunk {
+                    let row = xs.row(i);
+                    let mut probs = vec![0.0; k];
+                    for (c, p) in probs.iter_mut().enumerate() {
+                        let mut s = w.get(d, c);
+                        for (j, &v) in row.iter().enumerate() {
+                            s += w.get(j, c) * v;
+                        }
+                        *p = s;
+                    }
+                    softmax_in_place(&mut probs);
+                    let label = y[i] as usize;
+                    for (c, &p) in probs.iter().enumerate() {
+                        let err = p - if c == label { 1.0 } else { 0.0 };
+                        for (j, &v) in row.iter().enumerate() {
+                            let g = grad.get(j, c) + err * v;
+                            grad.set(j, c, g);
+                        }
+                        let g = grad.get(d, c) + err;
+                        grad.set(d, c, g);
+                    }
+                }
+                let scale = 1.0 / chunk.len() as f64;
+                for j in 0..=d {
+                    for c in 0..k {
+                        let l2 = if j < d { self.alpha * w.get(j, c) } else { 0.0 };
+                        let g = grad.get(j, c) * scale + l2;
+                        let v = momentum * vel.get(j, c) - lr * g;
+                        vel.set(j, c, v);
+                        w.set(j, c, w.get(j, c) + v);
+                    }
+                }
+            }
+        }
+        self.weights = Some(w);
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let probs = self.predict_proba(x)?;
+        Ok((0..probs.rows())
+            .map(|i| {
+                volcanoml_linalg::stats::argmax(probs.row(i)).unwrap_or(0) as f64
+            })
+            .collect())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Matrix> {
+        let xs = self.scaler.transform(x);
+        let mut scores = self.scores(&xs)?;
+        for i in 0..scores.rows() {
+            softmax_in_place(scores.row_mut(i));
+        }
+        Ok(scores)
+    }
+}
+
+/// Linear SVM trained with one-vs-rest hinge loss and SGD (Pegasos-style
+/// step-size schedule).
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    /// Regularization strength (λ in Pegasos).
+    pub alpha: f64,
+    /// Number of epochs.
+    pub max_iter: usize,
+    /// RNG seed.
+    pub seed: u64,
+    weights: Option<Matrix>, // (d+1) x k
+    scaler: Standardizer,
+}
+
+impl LinearSvm {
+    /// Creates an untrained model.
+    pub fn new(alpha: f64, max_iter: usize, seed: u64) -> Self {
+        LinearSvm {
+            alpha,
+            max_iter,
+            seed,
+            weights: None,
+            scaler: Standardizer::default(),
+        }
+    }
+
+    fn decision(&self, xs: &Matrix) -> Result<Matrix> {
+        let w = self.weights.as_ref().ok_or(ModelError::NotFitted)?;
+        let d = w.rows() - 1;
+        if xs.cols() != d {
+            return Err(ModelError::Invalid(format!(
+                "predict expects {d} features, got {}",
+                xs.cols()
+            )));
+        }
+        let k = w.cols();
+        let mut out = Matrix::zeros(xs.rows(), k);
+        for i in 0..xs.rows() {
+            let row = xs.row(i);
+            for c in 0..k {
+                let mut s = w.get(d, c);
+                for (j, &v) in row.iter().enumerate() {
+                    s += w.get(j, c) * v;
+                }
+                out.set(i, c, s);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Estimator for LinearSvm {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        check_fit_inputs(x, y)?;
+        let k = infer_n_classes(y);
+        self.scaler = Standardizer::fit(x);
+        let xs = self.scaler.transform(x);
+        let n = xs.rows();
+        let d = xs.cols();
+        let mut w = Matrix::zeros(d + 1, k);
+        let mut rng = rng_from_seed(self.seed);
+        let lambda = self.alpha.max(1e-8);
+        let mut t = 0usize;
+        for _epoch in 0..self.max_iter {
+            let order = permutation(&mut rng, n);
+            for &i in &order {
+                t += 1;
+                let eta = 1.0 / (lambda * t as f64);
+                let row = xs.row(i);
+                let label = y[i] as usize;
+                for c in 0..k {
+                    let target = if c == label { 1.0 } else { -1.0 };
+                    let mut s = w.get(d, c);
+                    for (j, &v) in row.iter().enumerate() {
+                        s += w.get(j, c) * v;
+                    }
+                    // Shrink weights (L2), then add hinge subgradient.
+                    for j in 0..d {
+                        let mut wj = w.get(j, c) * (1.0 - eta * lambda);
+                        if target * s < 1.0 {
+                            wj += eta * target * row[j];
+                        }
+                        w.set(j, c, wj);
+                    }
+                    if target * s < 1.0 {
+                        w.set(d, c, w.get(d, c) + eta * target);
+                    }
+                }
+            }
+        }
+        self.weights = Some(w);
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let xs = self.scaler.transform(x);
+        let dec = self.decision(&xs)?;
+        Ok((0..dec.rows())
+            .map(|i| volcanoml_linalg::stats::argmax(dec.row(i)).unwrap_or(0) as f64)
+            .collect())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Matrix> {
+        // Softmax over margins: not calibrated, but a usable score surface.
+        let xs = self.scaler.transform(x);
+        let mut dec = self.decision(&xs)?;
+        for i in 0..dec.rows() {
+            softmax_in_place(dec.row_mut(i));
+        }
+        Ok(dec)
+    }
+}
+
+/// Ridge regression solved in closed form via the normal equations.
+#[derive(Debug, Clone)]
+pub struct RidgeRegression {
+    /// L2 penalty λ.
+    pub alpha: f64,
+    weights: Option<Vec<f64>>, // d + 1, last is intercept
+    scaler: Standardizer,
+    y_mean: f64,
+}
+
+impl RidgeRegression {
+    /// Creates an untrained model.
+    pub fn new(alpha: f64) -> Self {
+        RidgeRegression {
+            alpha,
+            weights: None,
+            scaler: Standardizer::default(),
+            y_mean: 0.0,
+        }
+    }
+}
+
+impl Estimator for RidgeRegression {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        check_fit_inputs(x, y)?;
+        self.scaler = Standardizer::fit(x);
+        let xs = self.scaler.transform(x);
+        self.y_mean = volcanoml_linalg::stats::mean(y);
+        let yc: Vec<f64> = y.iter().map(|v| v - self.y_mean).collect();
+        let gram = xs.gram();
+        let mut rhs = vec![0.0; xs.cols()];
+        for (row, &target) in xs.iter_rows().zip(yc.iter()) {
+            for (r, &v) in rhs.iter_mut().zip(row.iter()) {
+                *r += v * target;
+            }
+        }
+        let ridge = self.alpha.max(1e-10) * xs.rows() as f64;
+        let w = solve_spd(&gram, &rhs, ridge).map_err(ModelError::from)?;
+        self.weights = Some(w);
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let w = self.weights.as_ref().ok_or(ModelError::NotFitted)?;
+        if x.cols() != w.len() {
+            return Err(ModelError::Invalid(format!(
+                "predict expects {} features, got {}",
+                w.len(),
+                x.cols()
+            )));
+        }
+        let xs = self.scaler.transform(x);
+        Ok(xs.iter_rows().map(|row| dot(row, w) + self.y_mean).collect())
+    }
+}
+
+/// Elastic-net regression (lasso when `l1_ratio == 1`) via cyclical
+/// coordinate descent on standardized features.
+#[derive(Debug, Clone)]
+pub struct ElasticNet {
+    /// Overall penalty strength.
+    pub alpha: f64,
+    /// Mix between L1 (`1.0`) and L2 (`0.0`).
+    pub l1_ratio: f64,
+    /// Coordinate-descent sweeps.
+    pub max_iter: usize,
+    weights: Option<Vec<f64>>,
+    scaler: Standardizer,
+    y_mean: f64,
+}
+
+impl ElasticNet {
+    /// Creates an untrained model.
+    pub fn new(alpha: f64, l1_ratio: f64, max_iter: usize) -> Self {
+        ElasticNet {
+            alpha,
+            l1_ratio: l1_ratio.clamp(0.0, 1.0),
+            max_iter,
+            weights: None,
+            scaler: Standardizer::default(),
+            y_mean: 0.0,
+        }
+    }
+
+    /// Pure-lasso constructor.
+    pub fn lasso(alpha: f64, max_iter: usize) -> Self {
+        ElasticNet::new(alpha, 1.0, max_iter)
+    }
+
+    /// Indices of features with non-zero coefficients (after fitting).
+    pub fn support(&self) -> Option<Vec<usize>> {
+        self.weights.as_ref().map(|w| {
+            w.iter()
+                .enumerate()
+                .filter(|(_, &v)| v.abs() > 1e-12)
+                .map(|(i, _)| i)
+                .collect()
+        })
+    }
+}
+
+fn soft_threshold(v: f64, t: f64) -> f64 {
+    if v > t {
+        v - t
+    } else if v < -t {
+        v + t
+    } else {
+        0.0
+    }
+}
+
+impl Estimator for ElasticNet {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        check_fit_inputs(x, y)?;
+        self.scaler = Standardizer::fit(x);
+        let xs = self.scaler.transform(x);
+        self.y_mean = volcanoml_linalg::stats::mean(y);
+        let n = xs.rows();
+        let d = xs.cols();
+        let yc: Vec<f64> = y.iter().map(|v| v - self.y_mean).collect();
+
+        let l1 = self.alpha * self.l1_ratio;
+        let l2 = self.alpha * (1.0 - self.l1_ratio);
+        // Column norms (standardized columns have norm² ≈ n).
+        let col_sq: Vec<f64> = (0..d)
+            .map(|j| xs.iter_rows().map(|r| r[j] * r[j]).sum::<f64>() / n as f64)
+            .collect();
+
+        let mut w = vec![0.0; d];
+        let mut residual = yc.clone();
+        for _sweep in 0..self.max_iter {
+            let mut max_delta: f64 = 0.0;
+            for j in 0..d {
+                if col_sq[j] < 1e-12 {
+                    continue;
+                }
+                // rho = (1/n) Σ x_ij (residual_i + w_j x_ij)
+                let mut rho = 0.0;
+                for (row, &r) in xs.iter_rows().zip(residual.iter()) {
+                    rho += row[j] * r;
+                }
+                rho = rho / n as f64 + w[j] * col_sq[j];
+                let new_w = soft_threshold(rho, l1) / (col_sq[j] + l2);
+                let delta = new_w - w[j];
+                if delta != 0.0 {
+                    for (row, r) in xs.iter_rows().zip(residual.iter_mut()) {
+                        *r -= delta * row[j];
+                    }
+                    w[j] = new_w;
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+            if max_delta < 1e-7 {
+                break;
+            }
+        }
+        self.weights = Some(w);
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let w = self.weights.as_ref().ok_or(ModelError::NotFitted)?;
+        if x.cols() != w.len() {
+            return Err(ModelError::Invalid(format!(
+                "predict expects {} features, got {}",
+                w.len(),
+                x.cols()
+            )));
+        }
+        let xs = self.scaler.transform(x);
+        Ok(xs.iter_rows().map(|row| dot(row, w) + self.y_mean).collect())
+    }
+}
+
+/// Squared-loss linear regressor trained with SGD — the cheap/streaming
+/// member of the regression zoo, with tunable learning-rate schedule.
+#[derive(Debug, Clone)]
+pub struct SgdRegressor {
+    /// L2 penalty.
+    pub alpha: f64,
+    /// Initial learning rate.
+    pub learning_rate: f64,
+    /// Epoch count.
+    pub max_iter: usize,
+    /// RNG seed for shuffling.
+    pub seed: u64,
+    weights: Option<Vec<f64>>, // d + 1, last is intercept
+    scaler: Standardizer,
+}
+
+impl SgdRegressor {
+    /// Creates an untrained model.
+    pub fn new(alpha: f64, learning_rate: f64, max_iter: usize, seed: u64) -> Self {
+        SgdRegressor {
+            alpha,
+            learning_rate,
+            max_iter,
+            seed,
+            weights: None,
+            scaler: Standardizer::default(),
+        }
+    }
+}
+
+impl Estimator for SgdRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        check_fit_inputs(x, y)?;
+        self.scaler = Standardizer::fit(x);
+        let xs = self.scaler.transform(x);
+        let n = xs.rows();
+        let d = xs.cols();
+        // Standardize the target too: keeps step sizes sane for targets with
+        // large magnitudes; un-scaled at predict time.
+        let y_mean = volcanoml_linalg::stats::mean(y);
+        let y_std = {
+            let s = volcanoml_linalg::stats::std_dev(y);
+            if s < 1e-9 {
+                1.0
+            } else {
+                s
+            }
+        };
+        let yn: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+
+        let mut w = vec![0.0; d + 1];
+        let mut rng = rng_from_seed(self.seed);
+        for epoch in 0..self.max_iter {
+            let lr = self.learning_rate / (1.0 + 0.05 * epoch as f64);
+            let order = permutation(&mut rng, n);
+            for &i in &order {
+                let row = xs.row(i);
+                let pred = dot(row, &w[..d]) + w[d];
+                let err = pred - yn[i];
+                for j in 0..d {
+                    w[j] -= lr * (err * row[j] + self.alpha * w[j]);
+                }
+                w[d] -= lr * err;
+            }
+        }
+        // Fold the target scaling back in.
+        for wj in w.iter_mut() {
+            *wj *= y_std;
+        }
+        w[d] += y_mean;
+        self.weights = Some(w);
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let w = self.weights.as_ref().ok_or(ModelError::NotFitted)?;
+        let d = w.len() - 1;
+        if x.cols() != d {
+            return Err(ModelError::Invalid(format!(
+                "predict expects {d} features, got {}",
+                x.cols()
+            )));
+        }
+        let xs = self.scaler.transform(x);
+        Ok(xs.iter_rows().map(|row| dot(row, &w[..d]) + w[d]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{easy_binary, easy_multiclass, easy_regression, split};
+    use volcanoml_data::metrics::{accuracy, r2};
+
+    #[test]
+    fn logistic_learns_separable_binary() {
+        let d = easy_binary();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = LogisticRegression::new(1e-4, 0.1, 40, 0);
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn logistic_handles_multiclass() {
+        let d = easy_multiclass();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = LogisticRegression::new(1e-4, 0.1, 40, 0);
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn logistic_probabilities_sum_to_one() {
+        let d = easy_multiclass();
+        let ((xt, yt), (xv, _)) = split(&d);
+        let mut m = LogisticRegression::new(1e-3, 0.1, 20, 0);
+        m.fit(&xt, &yt).unwrap();
+        let p = m.predict_proba(&xv).unwrap();
+        for i in 0..p.rows() {
+            let s: f64 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!(p.row(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn unfitted_predict_errors() {
+        let m = LogisticRegression::new(1e-3, 0.1, 5, 0);
+        assert!(m.predict(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn predict_rejects_wrong_width() {
+        let d = easy_binary();
+        let ((xt, yt), _) = split(&d);
+        let mut m = LogisticRegression::new(1e-3, 0.1, 5, 0);
+        m.fit(&xt, &yt).unwrap();
+        assert!(m.predict(&Matrix::zeros(2, 99)).is_err());
+    }
+
+    #[test]
+    fn linear_svm_learns_separable() {
+        let d = easy_binary();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = LinearSvm::new(1e-4, 30, 0);
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn linear_svm_multiclass() {
+        let d = easy_multiclass();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = LinearSvm::new(1e-4, 30, 0);
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn ridge_recovers_linear_signal() {
+        let d = easy_regression();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = RidgeRegression::new(1e-4);
+        m.fit(&xt, &yt).unwrap();
+        let score = r2(&yv, &m.predict(&xv).unwrap());
+        assert!(score > 0.95, "r2 {score}");
+    }
+
+    #[test]
+    fn ridge_shrinks_with_large_alpha() {
+        let d = easy_regression();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut weak = RidgeRegression::new(1e3);
+        weak.fit(&xt, &yt).unwrap();
+        let weak_r2 = r2(&yv, &weak.predict(&xv).unwrap());
+        let mut strong = RidgeRegression::new(1e-4);
+        strong.fit(&xt, &yt).unwrap();
+        let strong_r2 = r2(&yv, &strong.predict(&xv).unwrap());
+        assert!(strong_r2 > weak_r2);
+    }
+
+    #[test]
+    fn lasso_produces_sparse_solution() {
+        // 2 informative + 8 noise features: lasso should zero most noise.
+        let d = volcanoml_data::synthetic::make_regression(
+            &volcanoml_data::synthetic::RegressionSpec {
+                n_samples: 300,
+                n_features: 10,
+                n_informative: 2,
+                noise: 0.05,
+                nonlinear: false,
+            },
+            3,
+        );
+        let mut m = ElasticNet::lasso(0.2, 200);
+        m.fit(&d.x, &d.y).unwrap();
+        let support = m.support().unwrap();
+        assert!(support.len() <= 4, "support {support:?}");
+        assert!(support.contains(&0) || support.contains(&1));
+    }
+
+    #[test]
+    fn elastic_net_predicts_reasonably() {
+        let d = easy_regression();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = ElasticNet::new(0.01, 0.5, 300);
+        m.fit(&xt, &yt).unwrap();
+        let score = r2(&yv, &m.predict(&xv).unwrap());
+        assert!(score > 0.9, "r2 {score}");
+    }
+
+    #[test]
+    fn sgd_regressor_fits_linear_data() {
+        let d = easy_regression();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = SgdRegressor::new(1e-5, 0.01, 60, 0);
+        m.fit(&xt, &yt).unwrap();
+        let score = r2(&yv, &m.predict(&xv).unwrap());
+        assert!(score > 0.9, "r2 {score}");
+    }
+
+    #[test]
+    fn soft_threshold_cases() {
+        assert_eq!(soft_threshold(3.0, 1.0), 2.0);
+        assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
+        assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+    }
+
+    #[test]
+    fn rejects_nan_features() {
+        let mut x = Matrix::zeros(3, 2);
+        x.set(0, 0, f64::NAN);
+        let mut m = RidgeRegression::new(1.0);
+        assert!(m.fit(&x, &[1.0, 2.0, 3.0]).is_err());
+    }
+}

@@ -1,0 +1,546 @@
+//! Multi-layer perceptron (1–2 hidden layers) trained with Adam, for both
+//! classification (softmax head) and regression (linear head).
+
+use crate::{check_fit_inputs, infer_n_classes, Estimator, ModelError, Result};
+use volcanoml_data::rand_util::{permutation, rng_from_seed, standard_normal};
+use volcanoml_linalg::Matrix;
+
+/// Hidden-layer activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// max(0, x)
+    Relu,
+    /// tanh(x)
+    Tanh,
+}
+
+impl Activation {
+    #[inline]
+    fn apply(&self, v: f64) -> f64 {
+        match self {
+            Activation::Relu => v.max(0.0),
+            Activation::Tanh => v.tanh(),
+        }
+    }
+
+    #[inline]
+    fn derivative(&self, activated: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if activated > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - activated * activated,
+        }
+    }
+}
+
+/// MLP hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct MlpConfig {
+    /// Width of each hidden layer (1 or 2 entries).
+    pub hidden: Vec<usize>,
+    /// Hidden activation.
+    pub activation: Activation,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// L2 penalty.
+    pub alpha: f64,
+    /// Training epochs.
+    pub max_iter: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            hidden: vec![32],
+            activation: Activation::Relu,
+            learning_rate: 1e-3,
+            alpha: 1e-4,
+            max_iter: 60,
+            batch_size: 32,
+            seed: 0,
+        }
+    }
+}
+
+/// A dense layer with Adam state.
+#[derive(Debug, Clone)]
+struct Layer {
+    w: Vec<f64>, // out x in, row-major
+    b: Vec<f64>,
+    n_in: usize,
+    n_out: usize,
+    // Adam moments.
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Layer {
+    fn new(n_in: usize, n_out: usize, rng: &mut rand::rngs::StdRng) -> Layer {
+        let scale = (2.0 / n_in as f64).sqrt();
+        let w = (0..n_in * n_out)
+            .map(|_| scale * standard_normal(rng))
+            .collect();
+        Layer {
+            w,
+            b: vec![0.0; n_out],
+            n_in,
+            n_out,
+            mw: vec![0.0; n_in * n_out],
+            vw: vec![0.0; n_in * n_out],
+            mb: vec![0.0; n_out],
+            vb: vec![0.0; n_out],
+        }
+    }
+
+    fn forward(&self, input: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.n_out {
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            out.push(volcanoml_linalg::matrix::dot(row, input) + self.b[o]);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn adam_step(
+        &mut self,
+        grad_w: &[f64],
+        grad_b: &[f64],
+        lr: f64,
+        alpha: f64,
+        t: usize,
+    ) {
+        let b1: f64 = 0.9;
+        let b2: f64 = 0.999;
+        let eps = 1e-8;
+        let bias1 = 1.0 - b1.powi(t as i32);
+        let bias2 = 1.0 - b2.powi(t as i32);
+        for i in 0..self.w.len() {
+            let g = grad_w[i] + alpha * self.w[i];
+            self.mw[i] = b1 * self.mw[i] + (1.0 - b1) * g;
+            self.vw[i] = b2 * self.vw[i] + (1.0 - b2) * g * g;
+            let mhat = self.mw[i] / bias1;
+            let vhat = self.vw[i] / bias2;
+            self.w[i] -= lr * mhat / (vhat.sqrt() + eps);
+        }
+        for i in 0..self.b.len() {
+            let g = grad_b[i];
+            self.mb[i] = b1 * self.mb[i] + (1.0 - b1) * g;
+            self.vb[i] = b2 * self.vb[i] + (1.0 - b2) * g * g;
+            let mhat = self.mb[i] / bias1;
+            let vhat = self.vb[i] / bias2;
+            self.b[i] -= lr * mhat / (vhat.sqrt() + eps);
+        }
+    }
+}
+
+/// The shared network; the head interpretation depends on the task.
+#[derive(Debug, Clone)]
+struct Network {
+    layers: Vec<Layer>,
+    activation: Activation,
+}
+
+impl Network {
+    fn new(sizes: &[usize], activation: Activation, seed: u64) -> Network {
+        let mut rng = rng_from_seed(seed);
+        let layers = sizes
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
+        Network { layers, activation }
+    }
+
+    /// Forward pass; returns all activations (input first, logits last).
+    fn forward(&self, input: &[f64]) -> Vec<Vec<f64>> {
+        let mut acts: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(input.to_vec());
+        let mut buf = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(acts.last().expect("non-empty"), &mut buf);
+            let is_last = li == self.layers.len() - 1;
+            if !is_last {
+                for v in buf.iter_mut() {
+                    *v = self.activation.apply(*v);
+                }
+            }
+            acts.push(buf.clone());
+        }
+        acts
+    }
+}
+
+/// Trains `net` on `(x, targets)` where `delta_fn` converts (logits, sample
+/// index) into the output-layer error signal dL/dlogit.
+fn train_network<F: Fn(&[f64], usize, &mut Vec<f64>)>(
+    net: &mut Network,
+    x: &Matrix,
+    n_samples: usize,
+    cfg: &MlpConfig,
+    delta_fn: F,
+) {
+    let mut rng = rng_from_seed(cfg.seed ^ 0x7777);
+    let mut t = 0usize;
+    let batch = cfg.batch_size.clamp(1, n_samples);
+    let mut delta = Vec::new();
+    for _epoch in 0..cfg.max_iter {
+        let order = permutation(&mut rng, n_samples);
+        for chunk in order.chunks(batch) {
+            t += 1;
+            // Accumulate gradients across the chunk.
+            let mut grads_w: Vec<Vec<f64>> = net
+                .layers
+                .iter()
+                .map(|l| vec![0.0; l.w.len()])
+                .collect();
+            let mut grads_b: Vec<Vec<f64>> =
+                net.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+            for &i in chunk {
+                let acts = net.forward(x.row(i));
+                delta_fn(acts.last().expect("logits"), i, &mut delta);
+                // Backprop.
+                let mut cur = delta.clone();
+                for li in (0..net.layers.len()).rev() {
+                    let input = &acts[li];
+                    {
+                        let gw = &mut grads_w[li];
+                        let gb = &mut grads_b[li];
+                        let n_in = net.layers[li].n_in;
+                        for (o, &dv) in cur.iter().enumerate() {
+                            gb[o] += dv;
+                            let grow = &mut gw[o * n_in..(o + 1) * n_in];
+                            for (g, &iv) in grow.iter_mut().zip(input.iter()) {
+                                *g += dv * iv;
+                            }
+                        }
+                    }
+                    if li > 0 {
+                        // Propagate through weights and the activation of layer li-1.
+                        let layer = &net.layers[li];
+                        let mut prev = vec![0.0; layer.n_in];
+                        for (o, &dv) in cur.iter().enumerate() {
+                            let row = &layer.w[o * layer.n_in..(o + 1) * layer.n_in];
+                            for (p, &w) in prev.iter_mut().zip(row.iter()) {
+                                *p += dv * w;
+                            }
+                        }
+                        for (p, &a) in prev.iter_mut().zip(acts[li].iter()) {
+                            *p *= net.activation.derivative(a);
+                        }
+                        cur = prev;
+                    }
+                }
+            }
+            let scale = 1.0 / chunk.len() as f64;
+            for li in 0..net.layers.len() {
+                for g in grads_w[li].iter_mut() {
+                    *g *= scale;
+                }
+                for g in grads_b[li].iter_mut() {
+                    *g *= scale;
+                }
+                net.layers[li].adam_step(&grads_w[li], &grads_b[li], cfg.learning_rate, cfg.alpha, t);
+            }
+        }
+    }
+}
+
+/// MLP classifier (softmax + cross-entropy).
+#[derive(Debug, Clone)]
+pub struct MlpClassifier {
+    /// Network hyper-parameters.
+    pub config: MlpConfig,
+    net: Option<Network>,
+    n_classes: usize,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl MlpClassifier {
+    /// Creates an untrained classifier.
+    pub fn new(config: MlpConfig) -> Self {
+        MlpClassifier {
+            config,
+            net: None,
+            n_classes: 0,
+            means: Vec::new(),
+            stds: Vec::new(),
+        }
+    }
+
+    fn scale(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for ((v, &m), &s) in row.iter_mut().zip(self.means.iter()).zip(self.stds.iter()) {
+                *v = (*v - m) / s;
+            }
+        }
+        out
+    }
+}
+
+fn softmax(logits: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    let max = logits.iter().fold(f64::MIN, |m, &v| m.max(v));
+    let mut sum = 0.0;
+    for &l in logits {
+        let e = (l - max).exp();
+        out.push(e);
+        sum += e;
+    }
+    if sum > 0.0 {
+        for v in out.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+impl Estimator for MlpClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        check_fit_inputs(x, y)?;
+        let k = infer_n_classes(y);
+        self.n_classes = k;
+        self.means = volcanoml_linalg::stats::column_means(x);
+        self.stds = volcanoml_linalg::stats::column_stds(x)
+            .into_iter()
+            .map(|s| if s < 1e-9 { 1.0 } else { s })
+            .collect();
+        let xs = self.scale(x);
+        let mut sizes = vec![x.cols()];
+        sizes.extend(self.config.hidden.iter().copied().filter(|&h| h > 0));
+        sizes.push(k);
+        let mut net = Network::new(&sizes, self.config.activation, self.config.seed);
+        let labels: Vec<usize> = y.iter().map(|&v| v as usize).collect();
+        train_network(&mut net, &xs, xs.rows(), &self.config, |logits, i, delta| {
+            softmax(logits, delta);
+            delta[labels[i]] -= 1.0;
+        });
+        self.net = Some(net);
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let p = self.predict_proba(x)?;
+        Ok((0..p.rows())
+            .map(|i| volcanoml_linalg::stats::argmax(p.row(i)).unwrap_or(0) as f64)
+            .collect())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Matrix> {
+        let net = self.net.as_ref().ok_or(ModelError::NotFitted)?;
+        if x.cols() != net.layers[0].n_in {
+            return Err(ModelError::Invalid(format!(
+                "predict expects {} features, got {}",
+                net.layers[0].n_in,
+                x.cols()
+            )));
+        }
+        let xs = self.scale(x);
+        let mut out = Matrix::zeros(x.rows(), self.n_classes);
+        let mut probs = Vec::new();
+        for i in 0..xs.rows() {
+            let acts = net.forward(xs.row(i));
+            softmax(acts.last().expect("logits"), &mut probs);
+            out.row_mut(i).copy_from_slice(&probs);
+        }
+        Ok(out)
+    }
+}
+
+/// MLP regressor (linear head + squared loss); the target is standardized
+/// internally.
+#[derive(Debug, Clone)]
+pub struct MlpRegressor {
+    /// Network hyper-parameters.
+    pub config: MlpConfig,
+    net: Option<Network>,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl MlpRegressor {
+    /// Creates an untrained regressor.
+    pub fn new(config: MlpConfig) -> Self {
+        MlpRegressor {
+            config,
+            net: None,
+            means: Vec::new(),
+            stds: Vec::new(),
+            y_mean: 0.0,
+            y_std: 1.0,
+        }
+    }
+
+    fn scale(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for ((v, &m), &s) in row.iter_mut().zip(self.means.iter()).zip(self.stds.iter()) {
+                *v = (*v - m) / s;
+            }
+        }
+        out
+    }
+}
+
+impl Estimator for MlpRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        check_fit_inputs(x, y)?;
+        self.means = volcanoml_linalg::stats::column_means(x);
+        self.stds = volcanoml_linalg::stats::column_stds(x)
+            .into_iter()
+            .map(|s| if s < 1e-9 { 1.0 } else { s })
+            .collect();
+        self.y_mean = volcanoml_linalg::stats::mean(y);
+        self.y_std = {
+            let s = volcanoml_linalg::stats::std_dev(y);
+            if s < 1e-9 {
+                1.0
+            } else {
+                s
+            }
+        };
+        let xs = self.scale(x);
+        let yn: Vec<f64> = y.iter().map(|v| (v - self.y_mean) / self.y_std).collect();
+        let mut sizes = vec![x.cols()];
+        sizes.extend(self.config.hidden.iter().copied().filter(|&h| h > 0));
+        sizes.push(1);
+        let mut net = Network::new(&sizes, self.config.activation, self.config.seed);
+        train_network(&mut net, &xs, xs.rows(), &self.config, |logits, i, delta| {
+            delta.clear();
+            delta.push(logits[0] - yn[i]);
+        });
+        self.net = Some(net);
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let net = self.net.as_ref().ok_or(ModelError::NotFitted)?;
+        if x.cols() != net.layers[0].n_in {
+            return Err(ModelError::Invalid(format!(
+                "predict expects {} features, got {}",
+                net.layers[0].n_in,
+                x.cols()
+            )));
+        }
+        let xs = self.scale(x);
+        Ok((0..xs.rows())
+            .map(|i| {
+                let acts = net.forward(xs.row(i));
+                acts.last().expect("output")[0] * self.y_std + self.y_mean
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{easy_multiclass, nonlinear_binary, split};
+    use volcanoml_data::metrics::{accuracy, r2};
+    use volcanoml_data::synthetic::{make_friedman1, make_xor};
+
+    #[test]
+    fn mlp_learns_moons() {
+        let d = nonlinear_binary();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = MlpClassifier::new(MlpConfig::default());
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn mlp_learns_xor() {
+        let d = make_xor(400, 2, 3, 0.0, 5);
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut cfg = MlpConfig::default();
+        cfg.hidden = vec![32, 16];
+        cfg.max_iter = 80;
+        let mut m = MlpClassifier::new(cfg);
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn mlp_multiclass() {
+        let d = easy_multiclass();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = MlpClassifier::new(MlpConfig::default());
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn tanh_activation_works() {
+        let d = nonlinear_binary();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut cfg = MlpConfig::default();
+        cfg.activation = Activation::Tanh;
+        let mut m = MlpClassifier::new(cfg);
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn mlp_regressor_fits_friedman() {
+        let d = make_friedman1(400, 0, 0.2, 6);
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut cfg = MlpConfig::default();
+        cfg.max_iter = 120;
+        cfg.hidden = vec![48];
+        let mut m = MlpRegressor::new(cfg);
+        m.fit(&xt, &yt).unwrap();
+        let score = r2(&yv, &m.predict(&xv).unwrap());
+        assert!(score > 0.75, "r2 {score}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = nonlinear_binary();
+        let mut a = MlpClassifier::new(MlpConfig::default());
+        a.fit(&d.x, &d.y).unwrap();
+        let mut b = MlpClassifier::new(MlpConfig::default());
+        b.fit(&d.x, &d.y).unwrap();
+        assert_eq!(
+            a.predict_proba(&d.x).unwrap().data(),
+            b.predict_proba(&d.x).unwrap().data()
+        );
+    }
+
+    #[test]
+    fn proba_sums_to_one() {
+        let d = easy_multiclass();
+        let mut m = MlpClassifier::new(MlpConfig::default());
+        m.fit(&d.x, &d.y).unwrap();
+        let p = m.predict_proba(&d.x).unwrap();
+        for i in 0..p.rows() {
+            let s: f64 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let m = MlpClassifier::new(MlpConfig::default());
+        assert!(m.predict(&Matrix::zeros(1, 2)).is_err());
+        let r = MlpRegressor::new(MlpConfig::default());
+        assert!(r.predict(&Matrix::zeros(1, 2)).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Gaussian naive Bayes.
+
+use crate::{check_fit_inputs, infer_n_classes, Estimator, ModelError, Result};
+use volcanoml_linalg::Matrix;
+
+/// Gaussian naive Bayes classifier with variance smoothing.
+#[derive(Debug, Clone)]
+pub struct GaussianNb {
+    /// Fraction of the largest feature variance added to all variances for
+    /// numerical stability (sklearn's `var_smoothing`).
+    pub var_smoothing: f64,
+    priors: Vec<f64>,
+    means: Vec<Vec<f64>>,
+    vars: Vec<Vec<f64>>,
+}
+
+impl GaussianNb {
+    /// Creates an untrained model.
+    pub fn new(var_smoothing: f64) -> Self {
+        GaussianNb {
+            var_smoothing,
+            priors: Vec::new(),
+            means: Vec::new(),
+            vars: Vec::new(),
+        }
+    }
+
+    fn log_joint(&self, row: &[f64]) -> Result<Vec<f64>> {
+        if self.priors.is_empty() {
+            return Err(ModelError::NotFitted);
+        }
+        if row.len() != self.means[0].len() {
+            return Err(ModelError::Invalid(format!(
+                "predict expects {} features, got {}",
+                self.means[0].len(),
+                row.len()
+            )));
+        }
+        Ok((0..self.priors.len())
+            .map(|c| {
+                let mut lj = self.priors[c].max(1e-12).ln();
+                for ((&v, &m), &var) in row
+                    .iter()
+                    .zip(self.means[c].iter())
+                    .zip(self.vars[c].iter())
+                {
+                    let d = v - m;
+                    lj += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + d * d / var);
+                }
+                lj
+            })
+            .collect())
+    }
+}
+
+impl Estimator for GaussianNb {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        check_fit_inputs(x, y)?;
+        let k = infer_n_classes(y);
+        let d = x.cols();
+        let n = x.rows();
+
+        let mut counts = vec![0usize; k];
+        let mut means = vec![vec![0.0; d]; k];
+        for (row, &label) in x.iter_rows().zip(y.iter()) {
+            let c = label as usize;
+            counts[c] += 1;
+            for (m, &v) in means[c].iter_mut().zip(row.iter()) {
+                *m += v;
+            }
+        }
+        for (c, count) in counts.iter().enumerate() {
+            if *count > 0 {
+                for m in means[c].iter_mut() {
+                    *m /= *count as f64;
+                }
+            }
+        }
+        let mut vars = vec![vec![0.0; d]; k];
+        for (row, &label) in x.iter_rows().zip(y.iter()) {
+            let c = label as usize;
+            for ((v, &xv), &m) in vars[c].iter_mut().zip(row.iter()).zip(means[c].iter()) {
+                let diff = xv - m;
+                *v += diff * diff;
+            }
+        }
+        // Global max variance for smoothing.
+        let global_max_var = {
+            let col_vars = volcanoml_linalg::stats::column_stds(x);
+            col_vars.iter().map(|s| s * s).fold(1e-9, f64::max)
+        };
+        let eps = self.var_smoothing.max(1e-12) * global_max_var;
+        for (c, count) in counts.iter().enumerate() {
+            let denom = (*count).max(1) as f64;
+            for v in vars[c].iter_mut() {
+                *v = *v / denom + eps;
+            }
+        }
+        self.priors = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        self.means = means;
+        self.vars = vars;
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(x.rows());
+        for i in 0..x.rows() {
+            let lj = self.log_joint(x.row(i))?;
+            out.push(volcanoml_linalg::stats::argmax(&lj).unwrap_or(0) as f64);
+        }
+        Ok(out)
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Matrix> {
+        let k = self.priors.len().max(1);
+        let mut out = Matrix::zeros(x.rows(), k);
+        for i in 0..x.rows() {
+            let lj = self.log_joint(x.row(i))?;
+            let max = lj.iter().fold(f64::MIN, |m, &v| m.max(v));
+            let mut sum = 0.0;
+            let row = out.row_mut(i);
+            for (o, &l) in row.iter_mut().zip(lj.iter()) {
+                *o = (l - max).exp();
+                sum += *o;
+            }
+            if sum > 0.0 {
+                for o in row.iter_mut() {
+                    *o /= sum;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{easy_binary, easy_multiclass, split};
+    use volcanoml_data::metrics::accuracy;
+
+    #[test]
+    fn nb_learns_gaussian_clusters() {
+        let d = easy_binary();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = GaussianNb::new(1e-9);
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn nb_multiclass_blobs() {
+        let d = easy_multiclass();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = GaussianNb::new(1e-9);
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn proba_sums_to_one() {
+        let d = easy_binary();
+        let mut m = GaussianNb::new(1e-9);
+        m.fit(&d.x, &d.y).unwrap();
+        let p = m.predict_proba(&d.x).unwrap();
+        for i in 0..p.rows() {
+            let s: f64 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn priors_reflect_class_frequencies() {
+        let x = Matrix::from_vec(4, 1, vec![0.0, 0.1, 5.0, 5.1]).unwrap();
+        let y = vec![0.0, 0.0, 0.0, 1.0];
+        let mut m = GaussianNb::new(1e-9);
+        m.fit(&x, &y).unwrap();
+        assert!((m.priors[0] - 0.75).abs() < 1e-12);
+        assert!((m.priors[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_handles_constant_features() {
+        // One feature is constant within a class; without smoothing the
+        // variance would be zero and the density infinite.
+        let x = Matrix::from_vec(4, 2, vec![1.0, 0.0, 1.0, 0.1, 2.0, 5.0, 2.0, 5.2]).unwrap();
+        let y = vec![0.0, 0.0, 1.0, 1.0];
+        let mut m = GaussianNb::new(1e-9);
+        m.fit(&x, &y).unwrap();
+        let preds = m.predict(&x).unwrap();
+        assert_eq!(preds, y);
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let m = GaussianNb::new(1e-9);
+        assert!(m.predict(&Matrix::zeros(1, 2)).is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! k-nearest-neighbors classifier and regressor (brute force, with uniform
+//! or inverse-distance weighting and internal feature standardization).
+
+use crate::{check_fit_inputs, infer_n_classes, Estimator, ModelError, Result};
+use volcanoml_linalg::matrix::squared_distance;
+use volcanoml_linalg::Matrix;
+
+/// Neighbor weighting scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnnWeights {
+    /// All neighbors vote equally.
+    Uniform,
+    /// Votes weighted by 1 / distance.
+    Distance,
+}
+
+#[derive(Debug, Clone)]
+struct KnnBase {
+    k: usize,
+    weights: KnnWeights,
+    x: Option<Matrix>,
+    y: Vec<f64>,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl KnnBase {
+    fn new(k: usize, weights: KnnWeights) -> Self {
+        KnnBase {
+            k: k.max(1),
+            weights,
+            x: None,
+            y: Vec::new(),
+            means: Vec::new(),
+            stds: Vec::new(),
+        }
+    }
+
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        check_fit_inputs(x, y)?;
+        self.means = volcanoml_linalg::stats::column_means(x);
+        self.stds = volcanoml_linalg::stats::column_stds(x)
+            .into_iter()
+            .map(|s| if s < 1e-9 { 1.0 } else { s })
+            .collect();
+        let mut xs = x.clone();
+        for r in 0..xs.rows() {
+            let row = xs.row_mut(r);
+            for ((v, &m), &s) in row.iter_mut().zip(self.means.iter()).zip(self.stds.iter()) {
+                *v = (*v - m) / s;
+            }
+        }
+        self.x = Some(xs);
+        self.y = y.to_vec();
+        Ok(())
+    }
+
+    /// Returns `(index, weight)` of each of the k nearest neighbors of `row`.
+    fn neighbors(&self, row: &[f64]) -> Result<Vec<(usize, f64)>> {
+        let x = self.x.as_ref().ok_or(ModelError::NotFitted)?;
+        if row.len() != x.cols() {
+            return Err(ModelError::Invalid(format!(
+                "predict expects {} features, got {}",
+                x.cols(),
+                row.len()
+            )));
+        }
+        let scaled: Vec<f64> = row
+            .iter()
+            .zip(self.means.iter())
+            .zip(self.stds.iter())
+            .map(|((v, m), s)| (v - m) / s)
+            .collect();
+        let mut dists: Vec<(usize, f64)> = (0..x.rows())
+            .map(|i| (i, squared_distance(x.row(i), &scaled)))
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        dists.truncate(k);
+        Ok(dists
+            .into_iter()
+            .map(|(i, d2)| {
+                let w = match self.weights {
+                    KnnWeights::Uniform => 1.0,
+                    KnnWeights::Distance => 1.0 / (d2.sqrt() + 1e-9),
+                };
+                (i, w)
+            })
+            .collect())
+    }
+}
+
+/// k-NN classifier.
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    base: KnnBase,
+    n_classes: usize,
+}
+
+impl KnnClassifier {
+    /// Creates an untrained classifier.
+    pub fn new(k: usize, weights: KnnWeights) -> Self {
+        KnnClassifier {
+            base: KnnBase::new(k, weights),
+            n_classes: 0,
+        }
+    }
+}
+
+impl Estimator for KnnClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        self.n_classes = infer_n_classes(y);
+        self.base.fit(x, y)
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let p = self.predict_proba(x)?;
+        Ok((0..p.rows())
+            .map(|i| volcanoml_linalg::stats::argmax(p.row(i)).unwrap_or(0) as f64)
+            .collect())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(x.rows(), self.n_classes);
+        for i in 0..x.rows() {
+            let neigh = self.base.neighbors(x.row(i))?;
+            let row = out.row_mut(i);
+            let mut total = 0.0;
+            for (idx, w) in neigh {
+                row[self.base.y[idx] as usize] += w;
+                total += w;
+            }
+            if total > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= total;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// k-NN regressor.
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    base: KnnBase,
+}
+
+impl KnnRegressor {
+    /// Creates an untrained regressor.
+    pub fn new(k: usize, weights: KnnWeights) -> Self {
+        KnnRegressor {
+            base: KnnBase::new(k, weights),
+        }
+    }
+}
+
+impl Estimator for KnnRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        self.base.fit(x, y)
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(x.rows());
+        for i in 0..x.rows() {
+            let neigh = self.base.neighbors(x.row(i))?;
+            let mut sum = 0.0;
+            let mut wsum = 0.0;
+            for (idx, w) in neigh {
+                sum += w * self.base.y[idx];
+                wsum += w;
+            }
+            out.push(if wsum > 0.0 { sum / wsum } else { 0.0 });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{easy_multiclass, nonlinear_binary, split};
+    use volcanoml_data::metrics::{accuracy, r2};
+    use volcanoml_data::synthetic::{make_friedman1, make_circles};
+
+    #[test]
+    fn knn_classifies_moons() {
+        let d = nonlinear_binary();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = KnnClassifier::new(5, KnnWeights::Uniform);
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.92, "accuracy {acc}");
+    }
+
+    #[test]
+    fn knn_classifies_circles() {
+        let d = make_circles(300, 0.05, 0.5, 1);
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = KnnClassifier::new(7, KnnWeights::Distance);
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn k1_memorizes_training_set() {
+        let d = easy_multiclass();
+        let mut m = KnnClassifier::new(1, KnnWeights::Uniform);
+        m.fit(&d.x, &d.y).unwrap();
+        let acc = accuracy(&d.y, &m.predict(&d.x).unwrap());
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn distance_weighting_differs_from_uniform() {
+        let d = nonlinear_binary();
+        let ((xt, yt), (xv, _)) = split(&d);
+        let mut u = KnnClassifier::new(15, KnnWeights::Uniform);
+        u.fit(&xt, &yt).unwrap();
+        let mut w = KnnClassifier::new(15, KnnWeights::Distance);
+        w.fit(&xt, &yt).unwrap();
+        let pu = u.predict_proba(&xv).unwrap();
+        let pw = w.predict_proba(&xv).unwrap();
+        assert_ne!(pu.data(), pw.data());
+    }
+
+    #[test]
+    fn knn_regressor_fits_smooth_signal() {
+        let d = make_friedman1(400, 0, 0.2, 2);
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = KnnRegressor::new(7, KnnWeights::Distance);
+        m.fit(&xt, &yt).unwrap();
+        let score = r2(&yv, &m.predict(&xv).unwrap());
+        assert!(score > 0.7, "r2 {score}");
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let x = Matrix::from_vec(3, 1, vec![0.0, 1.0, 2.0]).unwrap();
+        let y = vec![0.0, 1.0, 1.0];
+        let mut m = KnnClassifier::new(50, KnnWeights::Uniform);
+        m.fit(&x, &y).unwrap();
+        let preds = m.predict(&x).unwrap();
+        assert_eq!(preds, vec![1.0, 1.0, 1.0]); // majority vote over all 3
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let m = KnnClassifier::new(3, KnnWeights::Uniform);
+        assert!(m.predict(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn wrong_width_errors() {
+        let d = easy_multiclass();
+        let mut m = KnnClassifier::new(3, KnnWeights::Uniform);
+        m.fit(&d.x, &d.y).unwrap();
+        assert!(m.predict(&Matrix::zeros(1, 99)).is_err());
+    }
+}

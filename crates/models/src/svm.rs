@@ -1,0 +1,403 @@
+//! Kernel SVM classifier trained with simplified SMO, one-vs-rest for
+//! multi-class — the `Lib_SVM` stand-in from the paper's search space.
+
+use crate::{check_fit_inputs, infer_n_classes, Estimator, ModelError, Result};
+use rand::RngExt;
+use volcanoml_data::rand_util::rng_from_seed;
+use volcanoml_linalg::matrix::{dot, squared_distance};
+use volcanoml_linalg::Matrix;
+
+/// SVM kernel functions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// ⟨x, y⟩
+    Linear,
+    /// exp(−γ ‖x − y‖²)
+    Rbf {
+        /// Bandwidth γ.
+        gamma: f64,
+    },
+    /// (γ ⟨x, y⟩ + c₀)^degree
+    Poly {
+        /// Scale γ.
+        gamma: f64,
+        /// Offset c₀.
+        coef0: f64,
+        /// Polynomial degree.
+        degree: u32,
+    },
+}
+
+impl Kernel {
+    /// Evaluates the kernel on two feature vectors.
+    #[inline]
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        match *self {
+            Kernel::Linear => dot(a, b),
+            Kernel::Rbf { gamma } => (-gamma * squared_distance(a, b)).exp(),
+            Kernel::Poly { gamma, coef0, degree } => (gamma * dot(a, b) + coef0).powi(degree as i32),
+        }
+    }
+}
+
+/// One binary SVM trained on ±1 targets with simplified SMO.
+#[derive(Debug, Clone)]
+struct BinarySvm {
+    alphas: Vec<f64>,
+    bias: f64,
+    support_idx: Vec<usize>,
+}
+
+fn train_binary(
+    x: &Matrix,
+    targets: &[f64], // ±1
+    c: f64,
+    kernel: Kernel,
+    tol: f64,
+    max_passes: usize,
+    seed: u64,
+) -> BinarySvm {
+    let n = x.rows();
+    let mut alphas = vec![0.0; n];
+    let mut b = 0.0;
+    let mut rng = rng_from_seed(seed);
+
+    // Cache kernel rows lazily would be nicer; for our n (≤ a few thousand,
+    // typically a few hundred after subsampling) a full scan per lookup is
+    // acceptable and memory-friendly.
+    let f = |alphas: &[f64], b: f64, i: usize| -> f64 {
+        let mut s = b;
+        let row_i = x.row(i);
+        for (j, &a) in alphas.iter().enumerate() {
+            if a != 0.0 {
+                s += a * targets[j] * kernel.eval(x.row(j), row_i);
+            }
+        }
+        s
+    };
+
+    let mut passes = 0usize;
+    let mut iter_guard = 0usize;
+    let max_iters = max_passes * 40;
+    while passes < max_passes && iter_guard < max_iters {
+        iter_guard += 1;
+        let mut changed = 0usize;
+        for i in 0..n {
+            let ei = f(&alphas, b, i) - targets[i];
+            let ri = ei * targets[i];
+            if (ri < -tol && alphas[i] < c) || (ri > tol && alphas[i] > 0.0) {
+                // Pick j != i at random.
+                let mut j = rng.random_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let ej = f(&alphas, b, j) - targets[j];
+                let (ai_old, aj_old) = (alphas[i], alphas[j]);
+                let (lo, hi) = if targets[i] != targets[j] {
+                    ((aj_old - ai_old).max(0.0), (c + aj_old - ai_old).min(c))
+                } else {
+                    ((ai_old + aj_old - c).max(0.0), (ai_old + aj_old).min(c))
+                };
+                if hi - lo < 1e-12 {
+                    continue;
+                }
+                let kii = kernel.eval(x.row(i), x.row(i));
+                let kjj = kernel.eval(x.row(j), x.row(j));
+                let kij = kernel.eval(x.row(i), x.row(j));
+                let eta = 2.0 * kij - kii - kjj;
+                if eta >= 0.0 {
+                    continue;
+                }
+                let mut aj = aj_old - targets[j] * (ei - ej) / eta;
+                aj = aj.clamp(lo, hi);
+                if (aj - aj_old).abs() < 1e-7 {
+                    continue;
+                }
+                let ai = ai_old + targets[i] * targets[j] * (aj_old - aj);
+                alphas[i] = ai;
+                alphas[j] = aj;
+                let b1 = b - ei
+                    - targets[i] * (ai - ai_old) * kii
+                    - targets[j] * (aj - aj_old) * kij;
+                let b2 = b - ej
+                    - targets[i] * (ai - ai_old) * kij
+                    - targets[j] * (aj - aj_old) * kjj;
+                b = if ai > 0.0 && ai < c {
+                    b1
+                } else if aj > 0.0 && aj < c {
+                    b2
+                } else {
+                    (b1 + b2) / 2.0
+                };
+                changed += 1;
+            }
+        }
+        if changed == 0 {
+            passes += 1;
+        } else {
+            passes = 0;
+        }
+    }
+
+    let support_idx: Vec<usize> = alphas
+        .iter()
+        .enumerate()
+        .filter(|(_, &a)| a > 1e-9)
+        .map(|(i, _)| i)
+        .collect();
+    BinarySvm {
+        alphas,
+        bias: b,
+        support_idx,
+    }
+}
+
+/// Kernel SVM classifier (one-vs-rest for more than two classes).
+#[derive(Debug, Clone)]
+pub struct SvmClassifier {
+    /// Soft-margin penalty C.
+    pub c: f64,
+    /// Kernel function.
+    pub kernel: Kernel,
+    /// KKT violation tolerance.
+    pub tol: f64,
+    /// Consecutive clean passes before SMO stops.
+    pub max_passes: usize,
+    /// RNG seed for the SMO second-index heuristic.
+    pub seed: u64,
+    machines: Vec<BinarySvm>,
+    x_train: Option<Matrix>,
+    y_train: Vec<f64>,
+    n_classes: usize,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl SvmClassifier {
+    /// Creates an untrained model.
+    pub fn new(c: f64, kernel: Kernel, seed: u64) -> Self {
+        SvmClassifier {
+            c,
+            kernel,
+            tol: 1e-3,
+            max_passes: 3,
+            seed,
+            machines: Vec::new(),
+            x_train: None,
+            y_train: Vec::new(),
+            n_classes: 0,
+            means: Vec::new(),
+            stds: Vec::new(),
+        }
+    }
+
+    /// Total number of support vectors across the one-vs-rest machines.
+    pub fn n_support_vectors(&self) -> usize {
+        self.machines.iter().map(|m| m.support_idx.len()).sum()
+    }
+
+    fn scale_matrix(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for ((v, &m), &s) in row.iter_mut().zip(self.means.iter()).zip(self.stds.iter()) {
+                *v = (*v - m) / s;
+            }
+        }
+        out
+    }
+
+    fn decision(&self, x: &Matrix) -> Result<Matrix> {
+        let xt = self.x_train.as_ref().ok_or(ModelError::NotFitted)?;
+        if x.cols() != xt.cols() {
+            return Err(ModelError::Invalid(format!(
+                "predict expects {} features, got {}",
+                xt.cols(),
+                x.cols()
+            )));
+        }
+        let xs = self.scale_matrix(x);
+        let mut out = Matrix::zeros(x.rows(), self.machines.len());
+        for (c, machine) in self.machines.iter().enumerate() {
+            for i in 0..xs.rows() {
+                let mut s = machine.bias;
+                for &j in &machine.support_idx {
+                    let target = if self.y_train[j] as usize == c { 1.0 } else { -1.0 };
+                    s += machine.alphas[j] * target * self.kernel.eval(xt.row(j), xs.row(i));
+                }
+                out.set(i, c, s);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Estimator for SvmClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        check_fit_inputs(x, y)?;
+        let k = infer_n_classes(y);
+        self.n_classes = k;
+        self.means = volcanoml_linalg::stats::column_means(x);
+        self.stds = volcanoml_linalg::stats::column_stds(x)
+            .into_iter()
+            .map(|s| if s < 1e-9 { 1.0 } else { s })
+            .collect();
+        let xs = self.scale_matrix(x);
+
+        // SMO is O(n²)-ish; cap the working set to keep worst-case cost
+        // bounded inside AutoML loops.
+        let cap = 600usize;
+        let (x_work, y_work): (Matrix, Vec<f64>) = if xs.rows() > cap {
+            let mut rng = rng_from_seed(self.seed ^ 0x5af3);
+            let idx = volcanoml_data::rand_util::sample_without_replacement(&mut rng, xs.rows(), cap);
+            (xs.select_rows(&idx), idx.iter().map(|&i| y[i]).collect())
+        } else {
+            (xs, y.to_vec())
+        };
+
+        self.machines = (0..k)
+            .map(|c| {
+                let targets: Vec<f64> = y_work
+                    .iter()
+                    .map(|&label| if label as usize == c { 1.0 } else { -1.0 })
+                    .collect();
+                train_binary(
+                    &x_work,
+                    &targets,
+                    self.c,
+                    self.kernel,
+                    self.tol,
+                    self.max_passes,
+                    volcanoml_data::rand_util::derive_seed(self.seed, c as u64),
+                )
+            })
+            .collect();
+        self.x_train = Some(x_work);
+        self.y_train = y_work;
+        // x_train is already scaled; predict-time scaling uses means/stds,
+        // so neutralize the stored scaling by keeping the scaled matrix and
+        // the original scalers (decision() scales incoming x only).
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let dec = self.decision(x)?;
+        if self.n_classes == 2 {
+            // For binary, machine 1 (class 1 vs rest) suffices and is better
+            // calibrated around 0; argmax over two OvR machines is equivalent
+            // in the common case but this avoids ties.
+            return Ok((0..dec.rows())
+                .map(|i| if dec.get(i, 1) > dec.get(i, 0) { 1.0 } else { 0.0 })
+                .collect());
+        }
+        Ok((0..dec.rows())
+            .map(|i| volcanoml_linalg::stats::argmax(dec.row(i)).unwrap_or(0) as f64)
+            .collect())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Matrix> {
+        // Softmax over margins (uncalibrated but monotone).
+        let mut dec = self.decision(x)?;
+        for i in 0..dec.rows() {
+            let row = dec.row_mut(i);
+            let max = row.iter().fold(f64::MIN, |m, &v| m.max(v));
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+        Ok(dec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{easy_binary, easy_multiclass, nonlinear_binary, split};
+    use volcanoml_data::metrics::accuracy;
+    use volcanoml_data::synthetic::make_circles;
+
+    #[test]
+    fn kernel_evaluations() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert_eq!(Kernel::Linear.eval(&a, &b), 0.0);
+        let rbf = Kernel::Rbf { gamma: 0.5 };
+        assert!((rbf.eval(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((rbf.eval(&a, &b) - (-1.0f64).exp()).abs() < 1e-12);
+        let poly = Kernel::Poly { gamma: 1.0, coef0: 1.0, degree: 2 };
+        assert_eq!(poly.eval(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn linear_svm_separates_easy_binary() {
+        let d = easy_binary();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = SvmClassifier::new(1.0, Kernel::Linear, 0);
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn rbf_svm_solves_circles() {
+        let d = make_circles(240, 0.05, 0.5, 1);
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = SvmClassifier::new(5.0, Kernel::Rbf { gamma: 1.0 }, 0);
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn rbf_svm_solves_moons() {
+        let d = nonlinear_binary();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = SvmClassifier::new(5.0, Kernel::Rbf { gamma: 2.0 }, 0);
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn multiclass_ovr() {
+        let d = easy_multiclass();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = SvmClassifier::new(1.0, Kernel::Rbf { gamma: 0.5 }, 0);
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn has_support_vectors_after_fit() {
+        let d = easy_binary();
+        let mut m = SvmClassifier::new(1.0, Kernel::Linear, 0);
+        m.fit(&d.x, &d.y).unwrap();
+        assert!(m.n_support_vectors() > 0);
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let m = SvmClassifier::new(1.0, Kernel::Linear, 0);
+        assert!(m.predict(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn proba_normalized() {
+        let d = easy_binary();
+        let mut m = SvmClassifier::new(1.0, Kernel::Linear, 0);
+        m.fit(&d.x, &d.y).unwrap();
+        let p = m.predict_proba(&d.x).unwrap();
+        for i in 0..p.rows() {
+            let s: f64 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,758 @@
+//! CART decision trees (classification and regression).
+//!
+//! A single implementation handles both tasks: leaves store a value vector —
+//! a class-probability histogram for classification, a single mean for
+//! regression. Splits are exact (sort-based scan) by default; the
+//! [`SplitStrategy::Random`] mode draws thresholds uniformly at random
+//! (extra-trees style), which the forest module uses for `ExtraTrees`.
+
+use crate::{check_fit_inputs, infer_n_classes, Estimator, ModelError, Result};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use volcanoml_data::rand_util::{rng_from_seed, sample_without_replacement};
+use volcanoml_linalg::Matrix;
+
+/// Impurity criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Criterion {
+    /// Gini impurity (classification).
+    Gini,
+    /// Shannon entropy (classification).
+    Entropy,
+    /// Sum of squared errors (regression).
+    Mse,
+}
+
+/// How many features to consider per split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MaxFeatures {
+    /// All features (classic CART).
+    All,
+    /// ⌈√d⌉ random features (random-forest default for classification).
+    Sqrt,
+    /// ⌈log₂ d⌉ random features.
+    Log2,
+    /// A fixed fraction of features (clamped to at least one).
+    Fraction(f64),
+}
+
+impl MaxFeatures {
+    fn resolve(&self, d: usize) -> usize {
+        let m = match self {
+            MaxFeatures::All => d,
+            MaxFeatures::Sqrt => (d as f64).sqrt().ceil() as usize,
+            MaxFeatures::Log2 => (d as f64).log2().ceil().max(1.0) as usize,
+            MaxFeatures::Fraction(f) => (d as f64 * f).ceil() as usize,
+        };
+        m.clamp(1, d)
+    }
+}
+
+/// Threshold-selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitStrategy {
+    /// Exact best split via sorted scan.
+    Best,
+    /// One uniformly random threshold per candidate feature (extra-trees).
+    Random,
+}
+
+/// Tree hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Impurity criterion; must match the task.
+    pub criterion: Criterion,
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to split an internal node.
+    pub min_samples_split: usize,
+    /// Minimum samples required in each leaf.
+    pub min_samples_leaf: usize,
+    /// Features considered per split.
+    pub max_features: MaxFeatures,
+    /// Threshold strategy.
+    pub split_strategy: SplitStrategy,
+    /// RNG seed (feature subsets / random thresholds).
+    pub seed: u64,
+}
+
+impl TreeConfig {
+    /// Sensible classification defaults.
+    pub fn classification() -> Self {
+        TreeConfig {
+            criterion: Criterion::Gini,
+            max_depth: 12,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: MaxFeatures::All,
+            split_strategy: SplitStrategy::Best,
+            seed: 0,
+        }
+    }
+
+    /// Sensible regression defaults.
+    pub fn regression() -> Self {
+        TreeConfig {
+            criterion: Criterion::Mse,
+            ..TreeConfig::classification()
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// `usize::MAX` marks a leaf.
+    feature: usize,
+    threshold: f64,
+    left: usize,
+    right: usize,
+    /// Class histogram (classification) or `[mean]` (regression).
+    value: Vec<f64>,
+}
+
+/// A fitted CART tree. Usually constructed through
+/// [`DecisionTreeClassifier`] / [`DecisionTreeRegressor`], or internally by
+/// ensembles.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    nodes: Vec<Node>,
+    n_outputs: usize,
+    n_features: usize,
+}
+
+impl Tree {
+    /// Fits a tree on `(x, y)` with optional per-sample weights.
+    ///
+    /// For classification, `n_outputs` is the class count and `y` holds
+    /// class indices; for regression pass `n_outputs = 1`.
+    pub fn fit(
+        x: &Matrix,
+        y: &[f64],
+        weights: Option<&[f64]>,
+        n_outputs: usize,
+        config: &TreeConfig,
+    ) -> Result<Tree> {
+        check_fit_inputs(x, y)?;
+        if let Some(w) = weights {
+            if w.len() != y.len() {
+                return Err(ModelError::Invalid(format!(
+                    "{} weights for {} samples",
+                    w.len(),
+                    y.len()
+                )));
+            }
+        }
+        let mut builder = Builder {
+            x,
+            y,
+            weights,
+            n_outputs,
+            config,
+            nodes: Vec::new(),
+            rng: rng_from_seed(config.seed),
+        };
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        builder.build(&indices, 0);
+        Ok(Tree {
+            nodes: builder.nodes,
+            n_outputs,
+            n_features: x.cols(),
+        })
+    }
+
+    /// Returns the leaf value vector for one sample.
+    pub fn predict_row(&self, row: &[f64]) -> &[f64] {
+        let mut node = 0usize;
+        loop {
+            let n = &self.nodes[node];
+            if n.feature == usize::MAX {
+                return &n.value;
+            }
+            node = if row[n.feature] <= n.threshold {
+                n.left
+            } else {
+                n.right
+            };
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaf values per node (classes or 1).
+    pub fn n_outputs(&self) -> usize {
+        self.n_outputs
+    }
+
+    /// Feature count the tree was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Maximum depth actually reached.
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], i: usize) -> usize {
+            let n = &nodes[i];
+            if n.feature == usize::MAX {
+                0
+            } else {
+                1 + walk(nodes, n.left).max(walk(nodes, n.right))
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+}
+
+struct Builder<'a> {
+    x: &'a Matrix,
+    y: &'a [f64],
+    weights: Option<&'a [f64]>,
+    n_outputs: usize,
+    config: &'a TreeConfig,
+    nodes: Vec<Node>,
+    rng: StdRng,
+}
+
+impl Builder<'_> {
+    fn weight(&self, i: usize) -> f64 {
+        self.weights.map_or(1.0, |w| w[i])
+    }
+
+    /// Leaf value: normalized class histogram or weighted mean.
+    fn leaf_value(&self, indices: &[usize]) -> Vec<f64> {
+        if self.config.criterion == Criterion::Mse {
+            let mut sum = 0.0;
+            let mut wsum = 0.0;
+            for &i in indices {
+                let w = self.weight(i);
+                sum += w * self.y[i];
+                wsum += w;
+            }
+            vec![if wsum > 0.0 { sum / wsum } else { 0.0 }]
+        } else {
+            let mut hist = vec![0.0; self.n_outputs];
+            let mut wsum = 0.0;
+            for &i in indices {
+                let w = self.weight(i);
+                hist[self.y[i] as usize] += w;
+                wsum += w;
+            }
+            if wsum > 0.0 {
+                for h in &mut hist {
+                    *h /= wsum;
+                }
+            }
+            hist
+        }
+    }
+
+    fn impurity_from_stats(&self, hist: &[f64], wsum: f64, sum: f64, sum_sq: f64) -> f64 {
+        match self.config.criterion {
+            Criterion::Gini => {
+                if wsum <= 0.0 {
+                    return 0.0;
+                }
+                let mut g = 1.0;
+                for &h in hist {
+                    let p = h / wsum;
+                    g -= p * p;
+                }
+                g
+            }
+            Criterion::Entropy => {
+                if wsum <= 0.0 {
+                    return 0.0;
+                }
+                let mut e = 0.0;
+                for &h in hist {
+                    if h > 0.0 {
+                        let p = h / wsum;
+                        e -= p * p.log2();
+                    }
+                }
+                e
+            }
+            Criterion::Mse => {
+                if wsum <= 0.0 {
+                    0.0
+                } else {
+                    sum_sq / wsum - (sum / wsum) * (sum / wsum)
+                }
+            }
+        }
+    }
+
+    fn is_pure(&self, indices: &[usize]) -> bool {
+        let first = self.y[indices[0]];
+        indices.iter().all(|&i| (self.y[i] - first).abs() < 1e-12)
+    }
+
+    /// Builds the subtree for `indices`, returning the node id.
+    fn build(&mut self, indices: &[usize], depth: usize) -> usize {
+        let make_leaf = |b: &mut Builder, idx: &[usize]| -> usize {
+            let value = b.leaf_value(idx);
+            b.nodes.push(Node {
+                feature: usize::MAX,
+                threshold: 0.0,
+                left: 0,
+                right: 0,
+                value,
+            });
+            b.nodes.len() - 1
+        };
+
+        if depth >= self.config.max_depth
+            || indices.len() < self.config.min_samples_split
+            || indices.len() < 2 * self.config.min_samples_leaf
+            || self.is_pure(indices)
+        {
+            return make_leaf(self, indices);
+        }
+
+        let d = self.x.cols();
+        let n_candidates = self.config.max_features.resolve(d);
+        let features: Vec<usize> = if n_candidates == d {
+            (0..d).collect()
+        } else {
+            sample_without_replacement(&mut self.rng, d, n_candidates)
+        };
+
+        let best = match self.config.split_strategy {
+            SplitStrategy::Best => self.best_split(indices, &features),
+            SplitStrategy::Random => self.random_split(indices, &features),
+        };
+
+        let Some((feature, threshold)) = best else {
+            return make_leaf(self, indices);
+        };
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| self.x.get(i, feature) <= threshold);
+        if left_idx.len() < self.config.min_samples_leaf
+            || right_idx.len() < self.config.min_samples_leaf
+        {
+            return make_leaf(self, indices);
+        }
+
+        // Reserve this node's slot before recursing so child ids are stable.
+        let value = self.leaf_value(indices);
+        let me = self.nodes.len();
+        self.nodes.push(Node {
+            feature,
+            threshold,
+            left: 0,
+            right: 0,
+            value,
+        });
+        let left = self.build(&left_idx, depth + 1);
+        let right = self.build(&right_idx, depth + 1);
+        self.nodes[me].left = left;
+        self.nodes[me].right = right;
+        me
+    }
+
+    /// Exact best split across candidate features (sorted scan).
+    fn best_split(&mut self, indices: &[usize], features: &[usize]) -> Option<(usize, f64)> {
+        let min_leaf = self.config.min_samples_leaf;
+        let is_mse = self.config.criterion == Criterion::Mse;
+        let k = if is_mse { 0 } else { self.n_outputs };
+
+        // Parent statistics.
+        let mut total_hist = vec![0.0; k];
+        let (mut total_w, mut total_sum, mut total_sq) = (0.0, 0.0, 0.0);
+        for &i in indices {
+            let w = self.weight(i);
+            total_w += w;
+            if is_mse {
+                total_sum += w * self.y[i];
+                total_sq += w * self.y[i] * self.y[i];
+            } else {
+                total_hist[self.y[i] as usize] += w;
+            }
+        }
+        let parent_impurity = self.impurity_from_stats(&total_hist, total_w, total_sum, total_sq);
+        if parent_impurity <= 1e-12 {
+            return None;
+        }
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+        let mut sorted: Vec<usize> = Vec::with_capacity(indices.len());
+        for &f in features {
+            sorted.clear();
+            sorted.extend_from_slice(indices);
+            sorted.sort_by(|&a, &b| {
+                self.x
+                    .get(a, f)
+                    .partial_cmp(&self.x.get(b, f))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut left_hist = vec![0.0; k];
+            let (mut lw, mut lsum, mut lsq) = (0.0, 0.0, 0.0);
+            for pos in 0..sorted.len() - 1 {
+                let i = sorted[pos];
+                let w = self.weight(i);
+                lw += w;
+                if is_mse {
+                    lsum += w * self.y[i];
+                    lsq += w * self.y[i] * self.y[i];
+                } else {
+                    left_hist[self.y[i] as usize] += w;
+                }
+                let n_left = pos + 1;
+                let n_right = sorted.len() - n_left;
+                if n_left < min_leaf || n_right < min_leaf {
+                    continue;
+                }
+                let a = self.x.get(i, f);
+                let b = self.x.get(sorted[pos + 1], f);
+                if b - a < 1e-12 {
+                    continue; // no threshold separates identical values
+                }
+                let rw = total_w - lw;
+                let (left_imp, right_imp) = if is_mse {
+                    (
+                        self.impurity_from_stats(&[], lw, lsum, lsq),
+                        self.impurity_from_stats(&[], rw, total_sum - lsum, total_sq - lsq),
+                    )
+                } else {
+                    let right_hist: Vec<f64> = total_hist
+                        .iter()
+                        .zip(left_hist.iter())
+                        .map(|(t, l)| t - l)
+                        .collect();
+                    (
+                        self.impurity_from_stats(&left_hist, lw, 0.0, 0.0),
+                        self.impurity_from_stats(&right_hist, rw, 0.0, 0.0),
+                    )
+                };
+                let weighted = (lw * left_imp + rw * right_imp) / total_w;
+                let gain = parent_impurity - weighted;
+                if gain > 1e-12 && best.map_or(true, |(_, _, bg)| gain > bg) {
+                    best = Some((f, (a + b) / 2.0, gain));
+                }
+            }
+        }
+        best.map(|(f, t, _)| (f, t))
+    }
+
+    /// Extra-trees split: one random threshold per feature, pick the best.
+    fn random_split(&mut self, indices: &[usize], features: &[usize]) -> Option<(usize, f64)> {
+        let is_mse = self.config.criterion == Criterion::Mse;
+        let k = if is_mse { 0 } else { self.n_outputs };
+        let min_leaf = self.config.min_samples_leaf;
+
+        let mut total_hist = vec![0.0; k];
+        let (mut total_w, mut total_sum, mut total_sq) = (0.0, 0.0, 0.0);
+        for &i in indices {
+            let w = self.weight(i);
+            total_w += w;
+            if is_mse {
+                total_sum += w * self.y[i];
+                total_sq += w * self.y[i] * self.y[i];
+            } else {
+                total_hist[self.y[i] as usize] += w;
+            }
+        }
+        let parent_impurity = self.impurity_from_stats(&total_hist, total_w, total_sum, total_sq);
+        if parent_impurity <= 1e-12 {
+            return None;
+        }
+
+        let mut best: Option<(usize, f64, f64)> = None;
+        for &f in features {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &i in indices {
+                let v = self.x.get(i, f);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if hi - lo < 1e-12 {
+                continue;
+            }
+            let threshold = lo + self.rng.random::<f64>() * (hi - lo);
+            let mut left_hist = vec![0.0; k];
+            let (mut lw, mut lsum, mut lsq) = (0.0, 0.0, 0.0);
+            let mut n_left = 0usize;
+            for &i in indices {
+                if self.x.get(i, f) <= threshold {
+                    let w = self.weight(i);
+                    n_left += 1;
+                    lw += w;
+                    if is_mse {
+                        lsum += w * self.y[i];
+                        lsq += w * self.y[i] * self.y[i];
+                    } else {
+                        left_hist[self.y[i] as usize] += w;
+                    }
+                }
+            }
+            let n_right = indices.len() - n_left;
+            if n_left < min_leaf || n_right < min_leaf {
+                continue;
+            }
+            let rw = total_w - lw;
+            let (left_imp, right_imp) = if is_mse {
+                (
+                    self.impurity_from_stats(&[], lw, lsum, lsq),
+                    self.impurity_from_stats(&[], rw, total_sum - lsum, total_sq - lsq),
+                )
+            } else {
+                let right_hist: Vec<f64> = total_hist
+                    .iter()
+                    .zip(left_hist.iter())
+                    .map(|(t, l)| t - l)
+                    .collect();
+                (
+                    self.impurity_from_stats(&left_hist, lw, 0.0, 0.0),
+                    self.impurity_from_stats(&right_hist, rw, 0.0, 0.0),
+                )
+            };
+            let weighted = (lw * left_imp + rw * right_imp) / total_w;
+            let gain = parent_impurity - weighted;
+            if gain > 1e-12 && best.map_or(true, |(_, _, bg)| gain > bg) {
+                best = Some((f, threshold, gain));
+            }
+        }
+        best.map(|(f, t, _)| (f, t))
+    }
+}
+
+/// Single-tree classifier.
+#[derive(Debug, Clone)]
+pub struct DecisionTreeClassifier {
+    /// Tree hyper-parameters.
+    pub config: TreeConfig,
+    tree: Option<Tree>,
+    n_classes: usize,
+}
+
+impl DecisionTreeClassifier {
+    /// Creates an untrained classifier.
+    pub fn new(config: TreeConfig) -> Self {
+        DecisionTreeClassifier {
+            config,
+            tree: None,
+            n_classes: 0,
+        }
+    }
+
+    /// Access to the fitted tree.
+    pub fn tree(&self) -> Option<&Tree> {
+        self.tree.as_ref()
+    }
+}
+
+impl Estimator for DecisionTreeClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        self.n_classes = infer_n_classes(y);
+        self.tree = Some(Tree::fit(x, y, None, self.n_classes, &self.config)?);
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let p = self.predict_proba(x)?;
+        Ok((0..p.rows())
+            .map(|i| volcanoml_linalg::stats::argmax(p.row(i)).unwrap_or(0) as f64)
+            .collect())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Matrix> {
+        let tree = self.tree.as_ref().ok_or(ModelError::NotFitted)?;
+        if x.cols() != tree.n_features() {
+            return Err(ModelError::Invalid(format!(
+                "predict expects {} features, got {}",
+                tree.n_features(),
+                x.cols()
+            )));
+        }
+        let mut out = Matrix::zeros(x.rows(), self.n_classes);
+        for i in 0..x.rows() {
+            let v = tree.predict_row(x.row(i));
+            out.row_mut(i).copy_from_slice(v);
+        }
+        Ok(out)
+    }
+}
+
+/// Single-tree regressor.
+#[derive(Debug, Clone)]
+pub struct DecisionTreeRegressor {
+    /// Tree hyper-parameters.
+    pub config: TreeConfig,
+    tree: Option<Tree>,
+}
+
+impl DecisionTreeRegressor {
+    /// Creates an untrained regressor.
+    pub fn new(config: TreeConfig) -> Self {
+        DecisionTreeRegressor { config, tree: None }
+    }
+
+    /// Access to the fitted tree.
+    pub fn tree(&self) -> Option<&Tree> {
+        self.tree.as_ref()
+    }
+}
+
+impl Estimator for DecisionTreeRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        let mut config = self.config.clone();
+        config.criterion = Criterion::Mse;
+        self.tree = Some(Tree::fit(x, y, None, 1, &config)?);
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let tree = self.tree.as_ref().ok_or(ModelError::NotFitted)?;
+        if x.cols() != tree.n_features() {
+            return Err(ModelError::Invalid(format!(
+                "predict expects {} features, got {}",
+                tree.n_features(),
+                x.cols()
+            )));
+        }
+        Ok((0..x.rows())
+            .map(|i| tree.predict_row(x.row(i))[0])
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{easy_binary, easy_multiclass, nonlinear_binary, split};
+    use volcanoml_data::metrics::{accuracy, r2};
+    use volcanoml_data::synthetic::{make_piecewise, make_xor};
+
+    #[test]
+    fn tree_fits_xor_perfectly() {
+        let d = make_xor(300, 2, 4, 0.0, 5);
+        let mut m = DecisionTreeClassifier::new(TreeConfig::classification());
+        m.fit(&d.x, &d.y).unwrap();
+        let acc = accuracy(&d.y, &m.predict(&d.x).unwrap());
+        assert!(acc > 0.98, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn tree_generalizes_on_moons() {
+        let d = nonlinear_binary();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = DecisionTreeClassifier::new(TreeConfig::classification());
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.85, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn max_depth_limits_tree() {
+        let d = easy_binary();
+        let mut cfg = TreeConfig::classification();
+        cfg.max_depth = 2;
+        let mut m = DecisionTreeClassifier::new(cfg);
+        m.fit(&d.x, &d.y).unwrap();
+        assert!(m.tree().unwrap().depth() <= 2);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let d = easy_binary();
+        let mut cfg = TreeConfig::classification();
+        cfg.min_samples_leaf = 30;
+        let mut m = DecisionTreeClassifier::new(cfg);
+        m.fit(&d.x, &d.y).unwrap();
+        // A 240-sample dataset with 30-sample leaves has at most 8 leaves ->
+        // at most 15 nodes.
+        assert!(m.tree().unwrap().n_nodes() <= 15);
+    }
+
+    #[test]
+    fn entropy_criterion_also_learns() {
+        let d = easy_multiclass();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut cfg = TreeConfig::classification();
+        cfg.criterion = Criterion::Entropy;
+        let mut m = DecisionTreeClassifier::new(cfg);
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.9, "{acc}");
+    }
+
+    #[test]
+    fn random_split_strategy_learns() {
+        let d = nonlinear_binary();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut cfg = TreeConfig::classification();
+        cfg.split_strategy = SplitStrategy::Random;
+        cfg.max_depth = 16;
+        let mut m = DecisionTreeClassifier::new(cfg);
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.75, "{acc}");
+    }
+
+    #[test]
+    fn regressor_fits_piecewise_signal() {
+        let d = make_piecewise(400, 3, 3, 0.05, 2);
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = DecisionTreeRegressor::new(TreeConfig::regression());
+        m.fit(&xt, &yt).unwrap();
+        let score = r2(&yv, &m.predict(&xv).unwrap());
+        assert!(score > 0.85, "r2 {score}");
+    }
+
+    #[test]
+    fn weighted_fit_shifts_leaf_values() {
+        // Two classes at the same x; weights decide the histogram.
+        let x = Matrix::from_vec(4, 1, vec![0.0, 0.0, 0.0, 0.0]).unwrap();
+        let y = vec![0.0, 0.0, 1.0, 1.0];
+        let w = vec![1.0, 1.0, 3.0, 3.0];
+        let cfg = TreeConfig::classification();
+        let tree = Tree::fit(&x, &y, Some(&w), 2, &cfg).unwrap();
+        let v = tree.predict_row(&[0.0]);
+        assert!((v[1] - 0.75).abs() < 1e-12, "{v:?}");
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let x = Matrix::from_vec(5, 1, vec![1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let y = vec![1.0; 5];
+        let tree = Tree::fit(&x, &y, None, 2, &TreeConfig::classification()).unwrap();
+        assert_eq!(tree.n_nodes(), 1);
+    }
+
+    #[test]
+    fn max_features_resolution() {
+        assert_eq!(MaxFeatures::All.resolve(10), 10);
+        assert_eq!(MaxFeatures::Sqrt.resolve(9), 3);
+        assert_eq!(MaxFeatures::Log2.resolve(8), 3);
+        assert_eq!(MaxFeatures::Fraction(0.5).resolve(10), 5);
+        assert_eq!(MaxFeatures::Fraction(0.0).resolve(10), 1);
+    }
+
+    #[test]
+    fn proba_rows_sum_to_one() {
+        let d = easy_multiclass();
+        let mut m = DecisionTreeClassifier::new(TreeConfig::classification());
+        m.fit(&d.x, &d.y).unwrap();
+        let p = m.predict_proba(&d.x).unwrap();
+        for i in 0..p.rows() {
+            let s: f64 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_weight_length_mismatch() {
+        let x = Matrix::zeros(3, 1);
+        let r = Tree::fit(&x, &[0.0, 1.0, 0.0], Some(&[1.0]), 2, &TreeConfig::classification());
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! Quickstart: run VolcanoML end to end on a classification dataset.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use volcanoml_core::{SpaceTier, VolcanoML, VolcanoMlOptions};
+use volcanoml_data::synthetic::{make_classification, ClassificationSpec};
+use volcanoml_data::{train_test_split, Metric, Task};
+
+fn main() {
+    // 1. A dataset. Any `volcanoml_data::Dataset` works — load your own CSV
+    //    via `volcanoml_data::csv::from_csv`, or synthesize one:
+    let dataset = make_classification(
+        &ClassificationSpec {
+            n_samples: 600,
+            n_features: 12,
+            n_informative: 6,
+            n_redundant: 2,
+            n_classes: 3,
+            class_sep: 1.0,
+            flip_y: 0.03,
+            weights: Vec::new(),
+        },
+        42,
+    );
+    let (train, test) = train_test_split(&dataset, 0.2, 0).expect("split");
+    println!(
+        "dataset: {} samples, {} features, {} classes",
+        dataset.n_samples(),
+        dataset.n_features(),
+        dataset.n_classes
+    );
+
+    // 2. An engine. The default options use the paper's Figure 2 plan:
+    //    condition on the algorithm, alternate FE vs HP, BO leaves.
+    let engine = VolcanoML::with_tier(
+        Task::Classification,
+        SpaceTier::Medium,
+        VolcanoMlOptions {
+            max_evaluations: 40,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    println!(
+        "search space: {} hyper-parameters over {} algorithms",
+        engine.space().len(),
+        engine.space().algorithms.len()
+    );
+
+    // 3. Fit. The engine searches pipelines (imputation → encoding →
+    //    rescaling → balancing → transformation → model) and refits the
+    //    winner on all training data.
+    let fitted = engine.fit(&train).expect("search succeeds");
+    println!("\nexecution plan after the run:\n{}", fitted.report.plan_explain);
+    println!(
+        "search: {} evaluations, {:.2}s, best validation loss {:.4}",
+        fitted.report.n_evaluations, fitted.report.total_cost, fitted.report.best_loss
+    );
+
+    // 4. Inspect the winning pipeline.
+    let mut best: Vec<_> = fitted.report.best_assignment.iter().collect();
+    best.sort_by(|a, b| a.0.cmp(b.0));
+    println!("\nwinning configuration:");
+    for (k, v) in best {
+        println!("  {k} = {v:.4}");
+    }
+
+    // 5. Evaluate on held-out data.
+    let accuracy = fitted
+        .score(&test, Metric::BalancedAccuracy)
+        .expect("scoring succeeds");
+    println!("\ntest balanced accuracy: {accuracy:.4}");
+}

@@ -1,0 +1,62 @@
+//! Regression quickstart: search the regression zoo (ridge / lasso /
+//! elastic-net / forests / boosting / k-NN / MLP) on a nonlinear task, then
+//! compare against the best untuned single model.
+//!
+//! ```bash
+//! cargo run --release --example regression
+//! ```
+
+use volcanoml_core::{SpaceTier, VolcanoML, VolcanoMlOptions};
+use volcanoml_data::synthetic::make_friedman1;
+use volcanoml_data::{train_test_split, Metric, Task};
+use volcanoml_models::{AlgorithmKind, Estimator};
+
+fn main() {
+    let dataset = make_friedman1(700, 4, 0.6, 11);
+    let (train, test) = train_test_split(&dataset, 0.2, 0).expect("split");
+    println!(
+        "Friedman #1 with noise + nuisance features: n={}, d={}",
+        dataset.n_samples(),
+        dataset.n_features()
+    );
+
+    // Baseline: every regression algorithm with default hyper-parameters.
+    println!("\nuntuned single models (test R²):");
+    let mut best_default = f64::NEG_INFINITY;
+    for kind in AlgorithmKind::for_task(Task::Regression) {
+        let mut model = kind.build_default(0);
+        if model.fit(&train.x, &train.y).is_err() {
+            continue;
+        }
+        let Ok(preds) = model.predict(&test.x) else { continue };
+        let r2 = volcanoml_data::metrics::r2(&test.y, &preds);
+        best_default = best_default.max(r2);
+        println!("  {:<18} {r2:.4}", kind.name());
+    }
+
+    // VolcanoML over the full regression space.
+    let engine = VolcanoML::with_tier(
+        Task::Regression,
+        SpaceTier::Large,
+        VolcanoMlOptions {
+            max_evaluations: 50,
+            seed: 3,
+            ..Default::default()
+        },
+    );
+    let fitted = engine.fit(&train).expect("search succeeds");
+    let r2 = fitted.score(&test, Metric::R2).expect("scoring succeeds");
+    println!(
+        "\nVolcanoML ({} evaluations): test R² = {r2:.4} (best untuned: {best_default:.4})",
+        fitted.report.n_evaluations
+    );
+    println!(
+        "winning algorithm index: {}",
+        fitted
+            .report
+            .best_assignment
+            .get("algorithm")
+            .copied()
+            .unwrap_or(-1.0)
+    );
+}

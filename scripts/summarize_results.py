@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Extracts the measured-results summary from bench_output.txt and the
+results/ CSVs, printing a markdown fragment for EXPERIMENTS.md.
+
+Usage: python3 scripts/summarize_results.py [bench_output.txt]
+"""
+import csv
+import io
+import os
+import re
+import sys
+
+
+def section(title):
+    print(f"\n### {title}\n")
+
+
+def table_from_csv(path, max_rows=None):
+    if not os.path.exists(path):
+        print(f"_{os.path.basename(path)} not found — run the bench first._")
+        return
+    with open(path) as f:
+        rows = list(csv.reader(f))
+    if not rows:
+        return
+    header, body = rows[0], rows[1:]
+    if max_rows:
+        body = body[:max_rows]
+    print("| " + " | ".join(header) + " |")
+    print("|" + "---|" * len(header))
+    for r in body:
+        print("| " + " | ".join(r) + " |")
+
+
+def main():
+    out = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    text = open(out).read() if os.path.exists(out) else ""
+
+    section("Table 1 — average ranks")
+    table_from_csv("results/table1_avg_ranks.csv")
+
+    section("Figure 4 — win counts")
+    for m in re.finditer(r"(CLS|REG): VolcanoML- beats .*", text):
+        print("- " + m.group(0))
+
+    section("Figure 5 — final test errors (large datasets)")
+    table_from_csv("results/figure5_final.csv")
+
+    section("Figure 6 — vs platforms")
+    for m in re.finditer(r"VolcanoML- matches or beats a platform in .*", text):
+        print("- " + m.group(0))
+    table_from_csv("results/figure6_final.csv", max_rows=10)
+
+    section("Table 2 — SMOTE enrichment")
+    table_from_csv("results/table2_smote.csv")
+
+    section("Embedding selection")
+    table_from_csv("results/embedding_selection.csv")
+    for m in re.finditer(r"VolcanoML- selected embedding: .*", text):
+        print("- " + m.group(0))
+
+    section("Plan study")
+    table_from_csv("results/plans_ablation_ranks.csv")
+
+    section("Blocks ablation (MEAN row)")
+    path = "results/blocks_ablation.csv"
+    if os.path.exists(path):
+        rows = list(csv.reader(open(path)))
+        print("| " + " | ".join(rows[0]) + " |")
+        print("|" + "---|" * len(rows[0]))
+        for r in rows[1:]:
+            if r and r[0] == "MEAN":
+                print("| " + " | ".join(r) + " |")
+
+
+if __name__ == "__main__":
+    main()

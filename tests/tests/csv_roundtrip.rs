@@ -1,0 +1,50 @@
+//! CSV persistence + engine integration: datasets survive a round trip
+//! through the CSV dialect and remain fit-able, matching the CLI's workflow.
+
+use volcanoml_core::{SpaceTier, VolcanoML, VolcanoMlOptions};
+use volcanoml_data::synthetic::{inject_missing, make_categorical};
+use volcanoml_data::{csv, train_test_split, Metric};
+
+#[test]
+fn csv_roundtrip_then_automl() {
+    // A messy dataset: categoricals + missing values.
+    let original = inject_missing(&make_categorical(300, 2, 3, 4, 0.05, 3), 0.08, 4);
+    let text = csv::to_csv(&original);
+    let loaded = csv::from_csv("roundtrip", &text).expect("parses");
+
+    assert_eq!(loaded.n_samples(), original.n_samples());
+    assert_eq!(loaded.feature_types, original.feature_types);
+    assert_eq!(loaded.n_classes, original.n_classes);
+    assert!(loaded.has_missing());
+
+    let (train, test) = train_test_split(&loaded, 0.2, 0).unwrap();
+    let engine = VolcanoML::with_tier(
+        loaded.task,
+        SpaceTier::Small,
+        VolcanoMlOptions {
+            max_evaluations: 15,
+            seed: 0,
+            ..Default::default()
+        },
+    );
+    let fitted = engine.fit(&train).expect("search succeeds on CSV data");
+    let acc = fitted.score(&test, Metric::BalancedAccuracy).unwrap();
+    assert!(acc > 0.55, "balanced accuracy {acc}");
+}
+
+#[test]
+fn csv_values_are_bit_exact() {
+    let d = volcanoml_data::synthetic::make_regression(
+        &volcanoml_data::synthetic::RegressionSpec::default(),
+        9,
+    );
+    let loaded = csv::from_csv("t", &csv::to_csv(&d)).unwrap();
+    for (a, b) in d.x.data().iter().zip(loaded.x.data().iter()) {
+        // `to_csv` prints full precision; parse must reproduce bits for
+        // finite values.
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    for (a, b) in d.y.iter().zip(loaded.y.iter()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

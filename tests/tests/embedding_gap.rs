@@ -1,0 +1,59 @@
+//! Verifies the mechanism behind the §5.3 embedding-selection experiment:
+//! the vision-like dataset is hard from raw pixels but easy after the
+//! matched pre-trained extractor — independent of any search.
+
+use volcanoml_data::repository::{vision_dataset, vision_dataset_seed};
+use volcanoml_data::{metrics::balanced_accuracy, train_test_split};
+use volcanoml_fe::embedding::PretrainedEmbedding;
+use volcanoml_fe::Transformer;
+use volcanoml_models::neighbors::{KnnClassifier, KnnWeights};
+use volcanoml_models::svm::{Kernel, SvmClassifier};
+use volcanoml_models::Estimator;
+
+fn knn_accuracy(
+    x_train: &volcanoml_linalg::Matrix,
+    y_train: &[f64],
+    x_test: &volcanoml_linalg::Matrix,
+    y_test: &[f64],
+) -> f64 {
+    let mut m = KnnClassifier::new(7, KnnWeights::Distance);
+    m.fit(x_train, y_train).unwrap();
+    balanced_accuracy(y_test, &m.predict(x_test).unwrap())
+}
+
+#[test]
+fn matched_embedding_creates_a_large_accuracy_gap() {
+    let d = vision_dataset();
+    let (train, test) = train_test_split(&d, 0.25, 0).unwrap();
+
+    // Raw pixels: k-NN in 128 noisy dimensions.
+    let raw = knn_accuracy(&train.x, &train.y, &test.x, &test.y);
+
+    // Matched extractor: same classifier on recovered latents.
+    let mut emb = PretrainedEmbedding::matched(vision_dataset_seed(), 8);
+    emb.fit(&train.x, &train.y).unwrap();
+    let zt = emb.transform(&train.x).unwrap();
+    let zv = emb.transform(&test.x).unwrap();
+    let embedded = knn_accuracy(&zt, &train.y, &zv, &test.y);
+
+    assert!(raw < 0.8, "raw pixels too easy: {raw}");
+    assert!(embedded > 0.8, "embedding not informative enough: {embedded}");
+    assert!(
+        embedded - raw > 0.1,
+        "gap too small: raw {raw} vs embedded {embedded}"
+    );
+}
+
+#[test]
+fn kernel_svm_also_benefits_from_the_embedding() {
+    let d = vision_dataset();
+    let (train, test) = train_test_split(&d, 0.25, 1).unwrap();
+    let mut emb = PretrainedEmbedding::matched(vision_dataset_seed(), 8);
+    emb.fit(&train.x, &train.y).unwrap();
+    let zt = emb.transform(&train.x).unwrap();
+    let zv = emb.transform(&test.x).unwrap();
+    let mut svm = SvmClassifier::new(5.0, Kernel::Rbf { gamma: 0.5 }, 0);
+    svm.fit(&zt, &train.y).unwrap();
+    let acc = balanced_accuracy(&test.y, &svm.predict(&zv).unwrap());
+    assert!(acc > 0.8, "SVM on latents: {acc}");
+}
