@@ -51,6 +51,7 @@ pub fn run_ausk(
         warm_start: Vec::new(),
         ensemble_size: options.ensemble_size,
         validation: Default::default(),
+        ..Default::default()
     };
     let mut engine = VolcanoML::new(space.clone(), core_options);
     let name = if options.meta_learning { "AUSK" } else { "AUSK-" };

@@ -127,7 +127,7 @@ fn run_random(
     grid: bool,
 ) -> Result<SearchRun> {
     let cs = space.compile_subspace(&space.var_names(), &Assignment::new())?;
-    let mut evaluator = Evaluator::new(space.clone(), train, metric, seed)?;
+    let evaluator = Evaluator::new(space.clone(), train, metric, seed)?;
     let mut rng = rng_from_seed(seed ^ 0x9a7f);
     let mut tracker = IncumbentTracker::new();
     while tracker.evals < max_evaluations {

@@ -79,7 +79,7 @@ pub fn run_tpot(
     options: &TpotOptions,
 ) -> Result<SearchRun> {
     let cs = space.compile_subspace(&space.var_names(), &Assignment::new())?;
-    let mut evaluator = Evaluator::new(space.clone(), train, metric, options.seed)?;
+    let evaluator = Evaluator::new(space.clone(), train, metric, options.seed)?;
     let mut rng = rng_from_seed(options.seed ^ 0x7907);
     let mut tracker = IncumbentTracker::new();
 
@@ -87,7 +87,7 @@ pub fn run_tpot(
     let mut population: Vec<(Configuration, f64)> = Vec::with_capacity(pop_size);
 
     let evaluate = |cfg: &Configuration,
-                        evaluator: &mut Evaluator,
+                        evaluator: &Evaluator,
                         tracker: &mut IncumbentTracker|
      -> f64 {
         let assignment = {
@@ -108,7 +108,7 @@ pub fn run_tpot(
         if tracker.evals >= options.max_evaluations {
             break;
         }
-        let loss = evaluate(&cfg, &mut evaluator, &mut tracker);
+        let loss = evaluate(&cfg, &evaluator, &mut tracker);
         population.push((cfg, loss));
     }
 
@@ -126,7 +126,7 @@ pub fn run_tpot(
                 let mut best: Option<&(Configuration, f64)> = None;
                 for _ in 0..options.tournament.max(1) {
                     let c = &population[rng.random_range(0..population.len())];
-                    if best.map_or(true, |b| c.1 < b.1) {
+                    if best.is_none_or(|b| c.1 < b.1) {
                         best = Some(c);
                     }
                 }
@@ -142,7 +142,7 @@ pub fn run_tpot(
             if rng.random::<f64>() < options.mutation_rate {
                 child = cs.neighbor(&child, &mut rng);
             }
-            let loss = evaluate(&child, &mut evaluator, &mut tracker);
+            let loss = evaluate(&child, &evaluator, &mut tracker);
             next.push((child, loss));
         }
         population = next;

@@ -29,10 +29,10 @@ fn run_tree(
 ) -> Option<f64> {
     let (train, test) = train_test_split(dataset, 0.2, derive_seed(seed, 0xdead)).ok()?;
     let metric = Metric::BalancedAccuracy;
-    let mut evaluator = Evaluator::new(space.clone(), &train, metric, seed).ok()?;
+    let evaluator = Evaluator::new(space.clone(), &train, metric, seed).ok()?;
     let mut root = build_figure2_tree(space, engine, eui, elimination, seed).ok()?;
-    while evaluator.evaluations < budget {
-        root.do_next(&mut evaluator).ok()?;
+    while evaluator.evaluations() < budget {
+        root.do_next(&evaluator).ok()?;
     }
     let best = root.current_best()?;
     let (pipeline, model) = refit_assignment(space, &best.assignment, &train, seed).ok()?;

@@ -25,7 +25,7 @@ use volcanoml_data::{train_test_split, Dataset, Metric};
 
 /// Quick-mode flag (smoke runs).
 pub fn quick() -> bool {
-    std::env::var("VOLCANO_QUICK").map_or(false, |v| v != "0" && !v.is_empty())
+    std::env::var("VOLCANO_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
 /// Scales a full-run quantity down in quick mode.
@@ -122,6 +122,7 @@ pub struct RunOutcome {
 }
 
 /// Runs one system on a pre-split dataset.
+#[allow(clippy::too_many_arguments)]
 pub fn run_system(
     spec: &SystemSpec,
     space: &SpaceDef,

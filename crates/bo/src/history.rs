@@ -38,7 +38,7 @@ impl RunHistory {
             && obs.loss.is_finite()
             && self
                 .best_idx
-                .map_or(true, |i| obs.loss < self.observations[i].loss);
+                .is_none_or(|i| obs.loss < self.observations[i].loss);
         self.observations.push(obs);
         if better {
             self.best_idx = Some(self.observations.len() - 1);
@@ -102,6 +102,29 @@ impl RunHistory {
     pub fn extend_from(&mut self, other: &RunHistory) {
         for obs in &other.observations {
             self.push(obs.clone());
+        }
+    }
+
+    /// Drops every observation past `len` and recomputes the incumbent.
+    /// Batch suggestion uses this to retract constant-liar
+    /// pseudo-observations once real results arrive.
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.observations.len() {
+            return;
+        }
+        self.observations.truncate(len);
+        // Recompute with `push`'s tie-breaking (first strict minimum wins).
+        self.best_idx = None;
+        for (i, o) in self.observations.iter().enumerate() {
+            let is_full = o.fidelity >= 1.0 - 1e-9;
+            let better = is_full
+                && o.loss.is_finite()
+                && self
+                    .best_idx
+                    .is_none_or(|b| o.loss < self.observations[b].loss);
+            if better {
+                self.best_idx = Some(i);
+            }
         }
     }
 }

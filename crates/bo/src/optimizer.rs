@@ -15,6 +15,16 @@ pub trait Suggest {
     /// Next configuration to evaluate and its fidelity in `(0, 1]`.
     fn suggest(&mut self) -> (Configuration, f64);
 
+    /// Suggests `k` configurations to evaluate *concurrently* (the batch
+    /// path behind `--workers N`). The default simply asks `suggest` `k`
+    /// times, which is correct for schedule-driven engines (random search,
+    /// Successive Halving, Hyperband); model-based engines should override
+    /// it to decorrelate the batch (see [`Smac::suggest_batch`]'s
+    /// constant-liar strategy).
+    fn suggest_batch(&mut self, k: usize) -> Vec<(Configuration, f64)> {
+        (0..k).map(|_| self.suggest()).collect()
+    }
+
     /// Reports an evaluation result.
     fn observe(&mut self, config: Configuration, fidelity: f64, loss: f64, cost: f64);
 
@@ -144,7 +154,7 @@ impl Suggest for Smac {
             return (self.space.default_configuration(), 1.0);
         }
         if self.history.len() < self.n_init
-            || self.suggestions % self.random_interleave == 0
+            || self.suggestions.is_multiple_of(self.random_interleave)
         {
             return (self.space.sample(&mut self.rng), 1.0);
         }
@@ -163,6 +173,29 @@ impl Suggest for Smac {
             &mut self.rng,
         );
         (cfg, 1.0)
+    }
+
+    /// Constant-liar batch suggestion: after each pick, a pseudo-observation
+    /// at the incumbent loss ("the lie") is pushed so EI stops re-proposing
+    /// the same region; once all `k` picks are made the lies are retracted
+    /// and the surrogate marked stale for honest refitting on real results.
+    fn suggest_batch(&mut self, k: usize) -> Vec<(Configuration, f64)> {
+        if k <= 1 {
+            return (0..k).map(|_| self.suggest()).collect();
+        }
+        let lie = self.history.best_loss().unwrap_or(1.0);
+        let real_len = self.history.len();
+        let mut out = Vec::with_capacity(k);
+        for i in 0..k {
+            let (cfg, fidelity) = self.suggest();
+            if i + 1 < k {
+                self.observe(cfg.clone(), fidelity, lie, 0.0);
+            }
+            out.push((cfg, fidelity));
+        }
+        self.history.truncate(real_len);
+        self.stale = true;
+        out
     }
 
     fn observe(&mut self, config: Configuration, fidelity: f64, loss: f64, cost: f64) {
@@ -306,5 +339,46 @@ mod tests {
             smac.observe(cfg, f, loss, 1.0);
         }
         assert!(smac.history().best_loss().unwrap().is_finite());
+    }
+
+    #[test]
+    fn batch_suggestion_retracts_lies_and_decorrelates() {
+        let mut smac = Smac::new(branch_space(), 0);
+        // Burn in past n_init so EI drives the suggestions.
+        for _ in 0..8 {
+            let (cfg, f) = smac.suggest();
+            let loss = objective(smac.space(), &cfg);
+            smac.observe(cfg, f, loss, 1.0);
+        }
+        let before = smac.history().len();
+        let batch = smac.suggest_batch(4);
+        assert_eq!(batch.len(), 4);
+        // The constant-liar pseudo-observations must be gone.
+        assert_eq!(smac.history().len(), before);
+        // A batch should not be four copies of one configuration.
+        let distinct: std::collections::HashSet<Vec<Option<u64>>> = batch
+            .iter()
+            .map(|(c, _)| c.values.iter().map(|v| v.map(f64::to_bits)).collect())
+            .collect();
+        assert!(distinct.len() > 1, "batch collapsed to one configuration");
+        // Observing the real results keeps the optimizer consistent.
+        for (cfg, f) in batch {
+            let loss = objective(smac.space(), &cfg);
+            smac.observe(cfg, f, loss, 1.0);
+        }
+        assert_eq!(smac.history().len(), before + 4);
+    }
+
+    #[test]
+    fn default_batch_equals_repeated_suggest() {
+        let mut a = RandomSearch::new(branch_space(), 9);
+        let mut b = RandomSearch::new(branch_space(), 9);
+        let batch = a.suggest_batch(3);
+        let serial: Vec<(Configuration, f64)> = (0..3).map(|_| b.suggest()).collect();
+        assert_eq!(batch.len(), serial.len());
+        for ((ca, fa), (cb, fb)) in batch.iter().zip(serial.iter()) {
+            assert_eq!(ca, cb);
+            assert_eq!(fa, fb);
+        }
     }
 }

@@ -110,7 +110,7 @@ impl Domain {
                 };
                 raw.round().clamp(lof, hif)
             }
-            Domain::Cat { n } => (u * (*n as f64 - 1.0)).round().clamp(0.0, (*n - 1).max(0) as f64),
+            Domain::Cat { n } => (u * (*n as f64 - 1.0)).round().clamp(0.0, (*n - 1) as f64),
         }
     }
 

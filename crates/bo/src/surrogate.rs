@@ -138,7 +138,7 @@ fn build_tree(
     let d = xs[0].len();
     // Try a handful of random (feature, threshold) pairs, keep the best.
     let mut best: Option<(usize, f64, f64)> = None;
-    let tries = (d.max(4)).min(24);
+    let tries = d.clamp(4, 24);
     for _ in 0..tries {
         let f = rng.random_range(0..d);
         let mut lo = f64::INFINITY;
@@ -170,7 +170,7 @@ fn build_tree(
         let lvar = lq / lc as f64 - (ls / lc as f64).powi(2);
         let rvar = rq / rc as f64 - (rs / rc as f64).powi(2);
         let score = (lc as f64 * lvar + rc as f64 * rvar) / indices.len() as f64;
-        if best.map_or(true, |(_, _, b)| score < b) {
+        if best.is_none_or(|(_, _, b)| score < b) {
             best = Some((f, threshold, score));
         }
     }

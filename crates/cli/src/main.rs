@@ -4,6 +4,7 @@
 //! volcanoml fit data.csv [--evals N] [--tier small|medium|large]
 //!                        [--plan p1|p2|p3|p4|p5] [--engine bo|random|sh|hyperband|mfes-hb]
 //!                        [--seed S] [--cv K] [--ensemble N] [--smote]
+//!                        [--workers N] [--journal trials.jsonl] [--trial-timeout SECS]
 //! volcanoml spaces                      # print the tiered search-space sizes
 //! volcanoml plans                       # print the plan catalogue
 //! volcanoml generate <kind> <out.csv>   # emit a synthetic benchmark dataset
@@ -23,7 +24,8 @@ use volcanoml_fe::pipeline::FeSpaceOptions;
 fn usage() -> &'static str {
     "usage:\n  volcanoml fit <data.csv> [--evals N] [--tier small|medium|large] \
      [--plan p1|p2|p3|p4|p5] [--engine bo|random|sh|hyperband|mfes-hb] [--seed S] \
-     [--cv K] [--ensemble N] [--smote]\n  volcanoml spaces\n  volcanoml plans\n  \
+     [--cv K] [--ensemble N] [--smote] [--workers N] [--journal trials.jsonl] \
+     [--trial-timeout SECS]\n  volcanoml spaces\n  volcanoml plans\n  \
      volcanoml generate <classification|moons|xor|friedman1|imbalanced> <out.csv> [--seed S]"
 }
 
@@ -126,6 +128,23 @@ fn cmd_fit(args: &[String]) -> Result<(), String> {
     let evals: usize = flags.get_parsed("evals", 60)?;
     let seed: u64 = flags.get_parsed("seed", 0)?;
     let ensemble: usize = flags.get_parsed("ensemble", 1)?;
+    let workers: usize = flags.get_parsed("workers", 1)?;
+    if workers == 0 {
+        return Err("--workers must be >= 1".to_string());
+    }
+    let journal_path = flags.get("journal").map(std::path::PathBuf::from);
+    let trial_deadline = match flags.get("trial-timeout") {
+        Some(v) => {
+            let secs: f64 = v
+                .parse()
+                .map_err(|_| "invalid --trial-timeout".to_string())?;
+            if !secs.is_finite() || secs <= 0.0 {
+                return Err("--trial-timeout must be positive".to_string());
+            }
+            Some(std::time::Duration::from_secs_f64(secs))
+        }
+        None => None,
+    };
     let tier = parse_tier(flags.get("tier").unwrap_or("large"))?;
     let engine_kind = parse_engine(flags.get("engine").unwrap_or("bo"))?;
     let plan = match flags.get("plan") {
@@ -170,9 +189,15 @@ fn cmd_fit(args: &[String]) -> Result<(), String> {
             seed,
             ensemble_size: ensemble,
             validation,
+            n_workers: workers,
+            trial_deadline,
+            journal_path: journal_path.clone(),
             ..Default::default()
         },
     );
+    if workers > 1 {
+        println!("executing trials on {workers} worker threads");
+    }
     let fitted = engine.fit(&train).map_err(|e| e.to_string())?;
     println!("\nexecution plan after the run:\n{}", fitted.report.plan_explain);
     println!(
@@ -188,6 +213,9 @@ fn cmd_fit(args: &[String]) -> Result<(), String> {
     let metric = Metric::default_for(dataset.task);
     let score = fitted.score(&test, metric).map_err(|e| e.to_string())?;
     println!("\nheld-out {}: {score:.4}", metric.name());
+    if let Some(journal) = &journal_path {
+        println!("trial journal written to {}", journal.display());
+    }
     Ok(())
 }
 
@@ -313,5 +341,24 @@ mod tests {
             parse_plan(p, EngineKind::Bo).unwrap();
         }
         assert!(parse_plan("p9", EngineKind::Bo).is_err());
+    }
+
+    #[test]
+    fn executor_flags_parse() {
+        let args: Vec<String> = [
+            "--workers",
+            "4",
+            "--journal",
+            "trials.jsonl",
+            "--trial-timeout",
+            "2.5",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let f = Flags::parse(&args).unwrap();
+        assert_eq!(f.get_parsed("workers", 1usize).unwrap(), 4);
+        assert_eq!(f.get("journal"), Some("trials.jsonl"));
+        assert_eq!(f.get("trial-timeout"), Some("2.5"));
     }
 }

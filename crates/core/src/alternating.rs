@@ -100,7 +100,7 @@ impl AlternatingBlock {
     /// Which side to play next (Algorithm 2 during init, Algorithm 3 after).
     fn choose_side(&self) -> bool {
         if self.round_robin_only || self.plays < 2 * self.init_rounds {
-            self.plays % 2 == 0
+            self.plays.is_multiple_of(2)
         } else {
             let left_eui = self.left.block.expected_utility_improvement();
             let right_eui = self.right.block.expected_utility_improvement();
@@ -120,7 +120,7 @@ impl AlternatingBlock {
 }
 
 impl BuildingBlock for AlternatingBlock {
-    fn do_next(&mut self, evaluator: &mut Evaluator) -> Result<()> {
+    fn do_next(&mut self, evaluator: &Evaluator) -> Result<()> {
         let play_left = self.choose_side();
         self.sync_from_sibling(play_left);
         if play_left {
@@ -130,6 +130,28 @@ impl BuildingBlock for AlternatingBlock {
         }
         self.plays += 1;
         self.evaluations += 1;
+        Ok(())
+    }
+
+    /// Batch path: one scheduling decision per batch — the chosen side gets
+    /// all `k` trials (pinning the sibling's best once), and the batch
+    /// counts as a single "play" for the alternation schedule, so init-phase
+    /// round-robin alternates between batches.
+    fn do_next_batch(
+        &mut self,
+        evaluator: &Evaluator,
+        pool: &volcanoml_exec::ExecPool,
+        k: usize,
+    ) -> Result<()> {
+        let play_left = self.choose_side();
+        self.sync_from_sibling(play_left);
+        if play_left {
+            self.left.block.do_next_batch(evaluator, pool, k)?;
+        } else {
+            self.right.block.do_next_batch(evaluator, pool, k)?;
+        }
+        self.plays += 1;
+        self.evaluations += k;
         Ok(())
     }
 
@@ -268,11 +290,11 @@ mod tests {
 
     #[test]
     fn init_phase_is_round_robin() {
-        let (mut ev, space) = setup();
+        let (ev, space) = setup();
         let mut block = fe_hp_alternating(&space, 1);
         block.init_rounds = 3;
         for _ in 0..6 {
-            block.do_next(&mut ev).unwrap();
+            block.do_next(&ev).unwrap();
         }
         assert_eq!(block.left_plays(), 3);
         assert_eq!(block.right_plays(), 3);
@@ -280,10 +302,10 @@ mod tests {
 
     #[test]
     fn finds_a_finite_best_with_both_sides_contributing() {
-        let (mut ev, space) = setup();
+        let (ev, space) = setup();
         let mut block = fe_hp_alternating(&space, 1);
         for _ in 0..16 {
-            block.do_next(&mut ev).unwrap();
+            block.do_next(&ev).unwrap();
         }
         let best = block.current_best().unwrap();
         assert!(best.loss.is_finite());
@@ -294,11 +316,11 @@ mod tests {
 
     #[test]
     fn eui_scheduling_plays_both_sides() {
-        let (mut ev, space) = setup();
+        let (ev, space) = setup();
         let mut block = fe_hp_alternating(&space, 1);
         block.init_rounds = 2;
         for _ in 0..30 {
-            block.do_next(&mut ev).unwrap();
+            block.do_next(&ev).unwrap();
         }
         assert_eq!(block.left_plays() + block.right_plays(), 30);
         assert!(block.left_plays() >= 2);
@@ -307,11 +329,11 @@ mod tests {
 
     #[test]
     fn round_robin_only_splits_evenly() {
-        let (mut ev, space) = setup();
+        let (ev, space) = setup();
         let mut block = fe_hp_alternating(&space, 0);
         block.round_robin_only = true;
         for _ in 0..20 {
-            block.do_next(&mut ev).unwrap();
+            block.do_next(&ev).unwrap();
         }
         assert_eq!(block.left_plays(), 10);
         assert_eq!(block.right_plays(), 10);
@@ -319,10 +341,10 @@ mod tests {
 
     #[test]
     fn trajectory_is_monotone() {
-        let (mut ev, space) = setup();
+        let (ev, space) = setup();
         let mut block = fe_hp_alternating(&space, 0);
         for _ in 0..12 {
-            block.do_next(&mut ev).unwrap();
+            block.do_next(&ev).unwrap();
         }
         let t = block.trajectory();
         assert!(t.windows(2).all(|w| w[1] <= w[0] + 1e-12));
@@ -330,10 +352,10 @@ mod tests {
 
     #[test]
     fn own_best_covers_both_sides() {
-        let (mut ev, space) = setup();
+        let (ev, space) = setup();
         let mut block = fe_hp_alternating(&space, 1);
         for _ in 0..12 {
-            block.do_next(&mut ev).unwrap();
+            block.do_next(&ev).unwrap();
         }
         let own = block.own_best().unwrap();
         assert!(own.keys().any(|k| k.starts_with("fe:")));
@@ -343,13 +365,13 @@ mod tests {
 
     #[test]
     fn set_fixed_propagates_to_both_children() {
-        let (mut ev, space) = setup();
+        let (ev, space) = setup();
         let mut block = fe_hp_alternating(&space, 2);
         let mut extra = Assignment::new();
         extra.insert("algorithm".to_string(), 2.0);
         block.set_fixed(&extra);
-        block.do_next(&mut ev).unwrap();
-        block.do_next(&mut ev).unwrap();
+        block.do_next(&ev).unwrap();
+        block.do_next(&ev).unwrap();
         let best = block.current_best().unwrap();
         assert_eq!(best.assignment.get("algorithm"), Some(&2.0));
     }

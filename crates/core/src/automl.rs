@@ -8,8 +8,10 @@ use crate::metalearn::MetaBase;
 use crate::plan::{EngineKind, PlanSpec};
 use crate::spaces::{SpaceDef, SpaceTier};
 use crate::{CoreError, Result};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use volcanoml_data::{train_test_split, Dataset, Metric, Task};
+use volcanoml_exec::{ExecPool, Journal, PoolConfig};
 use volcanoml_fe::FePipeline;
 use volcanoml_linalg::Matrix;
 use volcanoml_models::{Estimator, Model};
@@ -36,6 +38,15 @@ pub struct VolcanoMlOptions {
     pub ensemble_size: usize,
     /// How pipeline quality is measured during search.
     pub validation: ValidationStrategy,
+    /// Worker threads for trial execution. With `n_workers > 1` the engine
+    /// pulls *batches* of trials from the plan (`do_next_batch`) and runs
+    /// them concurrently on an [`ExecPool`].
+    pub n_workers: usize,
+    /// Optional per-trial wall-clock deadline. Requires the pool path (any
+    /// `n_workers`); a trial exceeding it is abandoned with infinite loss.
+    pub trial_deadline: Option<Duration>,
+    /// When set, every trial is appended to a JSONL journal at this path.
+    pub journal_path: Option<std::path::PathBuf>,
 }
 
 impl Default for VolcanoMlOptions {
@@ -49,6 +60,9 @@ impl Default for VolcanoMlOptions {
             warm_start: Vec::new(),
             ensemble_size: 1,
             validation: ValidationStrategy::default(),
+            n_workers: 1,
+            trial_deadline: None,
+            journal_path: None,
         }
     }
 }
@@ -130,22 +144,34 @@ impl VolcanoML {
             .options
             .metric
             .unwrap_or_else(|| Metric::default_for(data.task));
-        let mut evaluator = Evaluator::with_strategy(
+        let evaluator = Evaluator::with_strategy(
             self.space.clone(),
             data,
             metric,
             self.options.validation,
             self.options.seed,
         )?;
+        if let Some(path) = &self.options.journal_path {
+            let journal = Journal::to_path(path)
+                .map_err(|e| CoreError::Invalid(format!("cannot open journal: {e}")))?;
+            evaluator.attach_journal(Arc::new(journal));
+        }
+        let pool = if self.options.n_workers > 1 || self.options.trial_deadline.is_some() {
+            let mut config = PoolConfig::with_workers(self.options.n_workers.max(1));
+            config.trial_deadline = self.options.trial_deadline;
+            Some(ExecPool::new(config))
+        } else {
+            None
+        };
         let mut root = self.options.plan.compile(&self.space, self.options.seed)?;
 
         let start = Instant::now();
         let out_of_budget = |evaluator: &Evaluator| {
-            evaluator.evaluations >= self.options.max_evaluations
+            evaluator.evaluations() >= self.options.max_evaluations
                 || self
                     .options
                     .time_budget
-                    .map_or(false, |b| start.elapsed() >= b)
+                    .is_some_and(|b| start.elapsed() >= b)
         };
 
         // Meta-learning initial design: evaluate warm starts first. They both
@@ -162,21 +188,32 @@ impl VolcanoML {
             evaluator.evaluate(&full, 1.0);
         }
 
-        // The Volcano loop: pull on the root until the budget is gone.
+        // The Volcano loop: pull on the root until the budget is gone. With
+        // a pool, each pull requests one batch of (at most) one trial per
+        // worker, capped by the remaining budget.
         while !out_of_budget(&evaluator) {
-            root.do_next(&mut evaluator)?;
+            match &pool {
+                Some(pool) => {
+                    let remaining = self
+                        .options
+                        .max_evaluations
+                        .saturating_sub(evaluator.evaluations());
+                    let k = pool.workers().min(remaining).max(1);
+                    root.do_next_batch(&evaluator, pool, k)?;
+                }
+                None => root.do_next(&evaluator)?,
+            }
         }
 
         // Multi-fidelity engines may exhaust a small budget before promoting
         // anything to full fidelity; promote the best low-fidelity candidate
         // with one final full evaluation so `fit` always yields a pipeline.
-        let has_full = evaluator
-            .log
+        let log = evaluator.log();
+        let has_full = log
             .iter()
             .any(|e| e.fidelity >= 1.0 - 1e-9 && e.loss.is_finite());
         if !has_full {
-            let best_low = evaluator
-                .log
+            let best_low = log
                 .iter()
                 .filter(|e| e.loss.is_finite())
                 .min_by(|a, b| a.loss.partial_cmp(&b.loss).unwrap_or(std::cmp::Ordering::Equal))
@@ -193,7 +230,8 @@ impl VolcanoML {
         let mut trajectory = Vec::new();
         let mut incumbent_steps = Vec::new();
         let mut cum_cost = 0.0;
-        for (i, entry) in evaluator.log.iter().enumerate() {
+        let log = evaluator.log();
+        for (i, entry) in log.iter().enumerate() {
             cum_cost += entry.cost;
             if entry.fidelity >= 1.0 - 1e-9 && entry.loss < best_loss {
                 best_loss = entry.loss;
@@ -211,8 +249,7 @@ impl VolcanoML {
         // Distinct top assignments for ensembling / meta-learning.
         let mut seen = std::collections::HashSet::new();
         let mut top: Vec<(Assignment, f64)> = Vec::new();
-        let mut entries: Vec<_> = evaluator
-            .log
+        let mut entries: Vec<_> = log
             .iter()
             .filter(|e| e.fidelity >= 1.0 - 1e-9 && e.loss.is_finite())
             .collect();
@@ -240,8 +277,8 @@ impl VolcanoML {
             best_assignment: best_assignment.clone(),
             trajectory,
             incumbent_steps,
-            n_evaluations: evaluator.evaluations,
-            total_cost: evaluator.total_cost,
+            n_evaluations: evaluator.evaluations(),
+            total_cost: evaluator.total_cost(),
             plan_explain: crate::block::explain(root.as_ref()),
             top_assignments: top.clone(),
         };

@@ -15,6 +15,7 @@
 use crate::evaluator::Evaluator;
 use crate::Result;
 use std::collections::HashMap;
+use volcanoml_exec::ExecPool;
 
 pub use crate::eu::LossInterval;
 
@@ -34,7 +35,22 @@ pub struct BestSolution {
 pub trait BuildingBlock {
     /// Advances the optimization by (approximately) one evaluation of the
     /// underlying objective, recursively delegating to child blocks.
-    fn do_next(&mut self, evaluator: &mut Evaluator) -> Result<()>;
+    fn do_next(&mut self, evaluator: &Evaluator) -> Result<()>;
+
+    /// Advances the optimization by (approximately) `k` evaluations,
+    /// dispatching them onto `pool`'s workers where the block can propose
+    /// independent trials. The default falls back to `k` serial `do_next`
+    /// calls; blocks with a natural batch decomposition (joint leaves via
+    /// constant-liar batch suggestion, conditioning via round-robin arm
+    /// scheduling, alternating via one scheduling decision per batch)
+    /// override it.
+    fn do_next_batch(&mut self, evaluator: &Evaluator, pool: &ExecPool, k: usize) -> Result<()> {
+        let _ = pool;
+        for _ in 0..k {
+            self.do_next(evaluator)?;
+        }
+        Ok(())
+    }
 
     /// The best full-fidelity solution found so far, if any.
     fn current_best(&self) -> Option<BestSolution>;
@@ -98,7 +114,7 @@ mod tests {
     }
 
     impl BuildingBlock for StubBlock {
-        fn do_next(&mut self, _evaluator: &mut Evaluator) -> Result<()> {
+        fn do_next(&mut self, _evaluator: &Evaluator) -> Result<()> {
             if self.cursor < self.losses.len() {
                 let l = self.losses[self.cursor];
                 self.cursor += 1;
@@ -159,11 +175,11 @@ mod tests {
 
     #[test]
     fn stub_block_tracks_best_and_trajectory() {
-        let mut ev = evaluator();
+        let ev = evaluator();
         let mut b = StubBlock::new(vec![0.5, 0.3, 0.4]);
         assert!(b.current_best().is_none());
         for _ in 0..3 {
-            b.do_next(&mut ev).unwrap();
+            b.do_next(&ev).unwrap();
         }
         assert_eq!(b.current_best().unwrap().loss, 0.3);
         assert_eq!(b.trajectory(), vec![0.5, 0.3, 0.3]);

@@ -109,9 +109,26 @@ impl ConditioningBlock {
             let dominated = intervals
                 .iter()
                 .enumerate()
-                .any(|(j, iv_j)| j != i && iv_j.map_or(false, |iv_j| iv_i.dominated_by(&iv_j)));
+                .any(|(j, iv_j)| j != i && iv_j.is_some_and(|iv_j| iv_i.dominated_by(&iv_j)));
             if dominated {
                 self.arms[i].active = false;
+            }
+        }
+    }
+
+    /// Elimination after every completed round past warm-up.
+    fn maybe_eliminate(&mut self) {
+        let min_plays = self
+            .arms
+            .iter()
+            .filter(|a| a.active)
+            .map(|a| a.plays)
+            .min()
+            .unwrap_or(0);
+        if self.elimination_enabled && min_plays >= self.warmup_plays {
+            let round_complete = self.cursor.is_multiple_of(self.arms.len());
+            if round_complete {
+                self.eliminate_dominated();
             }
         }
     }
@@ -131,27 +148,41 @@ impl ConditioningBlock {
 }
 
 impl BuildingBlock for ConditioningBlock {
-    fn do_next(&mut self, evaluator: &mut Evaluator) -> Result<()> {
+    fn do_next(&mut self, evaluator: &Evaluator) -> Result<()> {
         let Some(i) = self.next_arm() else {
             return Ok(());
         };
         self.arms[i].block.do_next(evaluator)?;
         self.arms[i].plays += 1;
         self.evaluations += 1;
-        // Elimination after every completed round past warm-up.
-        let min_plays = self
-            .arms
-            .iter()
-            .filter(|a| a.active)
-            .map(|a| a.plays)
-            .min()
-            .unwrap_or(0);
-        if self.elimination_enabled && min_plays >= self.warmup_plays {
-            let round_complete = self.cursor % self.arms.len() == 0;
-            if round_complete {
-                self.eliminate_dominated();
-            }
+        self.maybe_eliminate();
+        Ok(())
+    }
+
+    /// Batch path: `k` plays are dealt to arms by the same round-robin
+    /// schedule as `do_next`, then each arm receives its share as one child
+    /// batch. Elimination runs once, after the whole batch, so a batch
+    /// behaves like `k` serial plays followed by one elimination check.
+    fn do_next_batch(
+        &mut self,
+        evaluator: &Evaluator,
+        pool: &volcanoml_exec::ExecPool,
+        k: usize,
+    ) -> Result<()> {
+        let mut shares: Vec<usize> = vec![0; self.arms.len()];
+        for _ in 0..k {
+            let Some(i) = self.next_arm() else { break };
+            shares[i] += 1;
         }
+        for (i, share) in shares.iter().enumerate() {
+            if *share == 0 {
+                continue;
+            }
+            self.arms[i].block.do_next_batch(evaluator, pool, *share)?;
+            self.arms[i].plays += share;
+            self.evaluations += share;
+        }
+        self.maybe_eliminate();
         Ok(())
     }
 
@@ -319,11 +350,11 @@ mod tests {
 
     #[test]
     fn warmup_is_round_robin() {
-        let (mut ev, space) = setup();
+        let (ev, space) = setup();
         let mut block = algorithm_conditioning(&space);
         let n = space.algorithms.len();
         for _ in 0..n * 2 {
-            block.do_next(&mut ev).unwrap();
+            block.do_next(&ev).unwrap();
         }
         // After 2 full rounds every arm has exactly 2 plays.
         for a in &block.arms {
@@ -333,10 +364,10 @@ mod tests {
 
     #[test]
     fn best_includes_conditioned_variable() {
-        let (mut ev, space) = setup();
+        let (ev, space) = setup();
         let mut block = algorithm_conditioning(&space);
         for _ in 0..6 {
-            block.do_next(&mut ev).unwrap();
+            block.do_next(&ev).unwrap();
         }
         let best = block.current_best().unwrap();
         assert!(best.assignment.contains_key("algorithm"));
@@ -345,23 +376,23 @@ mod tests {
 
     #[test]
     fn last_arm_is_never_eliminated() {
-        let (mut ev, space) = setup();
+        let (ev, space) = setup();
         let mut block = algorithm_conditioning(&space);
         block.warmup_plays = 1;
         for _ in 0..60 {
-            block.do_next(&mut ev).unwrap();
+            block.do_next(&ev).unwrap();
         }
         assert!(block.active_arms() >= 1);
     }
 
     #[test]
     fn eliminated_arms_stop_consuming_budget() {
-        let (mut ev, space) = setup();
+        let (ev, space) = setup();
         let mut block = algorithm_conditioning(&space);
         block.warmup_plays = 2;
         block.eu_horizon = 3;
         for _ in 0..80 {
-            block.do_next(&mut ev).unwrap();
+            block.do_next(&ev).unwrap();
         }
         if block.active_arms() < block.arms.len() {
             // Eliminated arms' play counts must be frozen below the leader's.
@@ -374,10 +405,10 @@ mod tests {
 
     #[test]
     fn trajectory_is_monotone_nonincreasing() {
-        let (mut ev, space) = setup();
+        let (ev, space) = setup();
         let mut block = algorithm_conditioning(&space);
         for _ in 0..20 {
-            block.do_next(&mut ev).unwrap();
+            block.do_next(&ev).unwrap();
         }
         let t = block.trajectory();
         assert!(!t.is_empty());

@@ -87,13 +87,12 @@ impl Ensemble {
         let n_valid = valid.n_samples();
         // Greedy selection with replacement, optimizing averaged prediction.
         let mut weights = vec![0usize; fitted.len()];
-        let mut bag_size = 0usize;
         // Running sums: probability matrix for classification, prediction
         // vector for regression.
         let mut proba_sum = Matrix::zeros(n_valid, n_classes);
         let mut pred_sum = vec![0.0; n_valid];
 
-        for _ in 0..rounds.max(1) {
+        for (bag_size, _) in (0..rounds.max(1)).enumerate() {
             let mut best_idx = None;
             let mut best_loss = f64::INFINITY;
             for (i, (_, _, _, preds, proba)) in fitted.iter().enumerate() {
@@ -131,7 +130,6 @@ impl Ensemble {
             }
             let Some(i) = best_idx else { break };
             weights[i] += 1;
-            bag_size += 1;
             let (_, _, _, preds, proba) = &fitted[i];
             if train.task == Task::Classification {
                 for r in 0..n_valid {

@@ -2,19 +2,33 @@
 //! FE pipeline + model, returning the validation loss.
 //!
 //! This is the expensive black-box `f(x; D)` of the paper. The evaluator
-//! owns an internal train/validation split of the search data, a result
-//! cache keyed on (assignment, fidelity), cost accounting (measured wall
-//! time), and the subsampling fidelity axis used by multi-fidelity engines
-//! and by blocks that probe on data subsets.
+//! owns an internal train/validation split of the search data, a bounded
+//! result cache keyed on (assignment, fidelity), cost accounting (measured
+//! wall time), and the subsampling fidelity axis used by multi-fidelity
+//! engines and by blocks that probe on data subsets.
+//!
+//! All mutable state (cache, counters, log) lives behind an `Arc` so that
+//! [`Evaluator::clone`] yields a *shared handle*: clones see the same cache
+//! and log, and [`Evaluator::evaluate`] takes `&self`. That is what lets
+//! [`Evaluator::evaluate_batch`] ship trials to an [`ExecPool`] of worker
+//! threads. Every trial additionally runs under `catch_unwind`, so a
+//! panicking pipeline yields `loss = INFINITY` instead of tearing down the
+//! search — with or without a pool.
 
 use crate::spaces::SpaceDef;
 use crate::{CoreError, Result};
-use std::collections::HashMap;
-use std::time::Instant;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use volcanoml_data::split::{subsample, KFold, StratifiedKFold};
 use volcanoml_data::{train_test_split, Dataset, Metric, Task};
+use volcanoml_exec::{current_worker, ExecPool, Journal, TrialRecord, TrialStatus};
 use volcanoml_fe::FePipeline;
 use volcanoml_models::{AlgorithmKind, Estimator, Model};
+
+/// Default bound on the evaluator's result cache.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
 /// How an assignment's quality is measured during search (§5.1 lets users
 /// pick validation accuracy or cross-validation accuracy).
@@ -61,24 +75,124 @@ pub struct EvalOutcome {
     pub cost: f64,
     /// Whether the result came from the cache.
     pub cached: bool,
+    /// Whether the trial panicked (caught; loss is `INFINITY`).
+    pub panicked: bool,
+    /// Whether the trial exceeded a pool deadline and was abandoned.
+    pub timed_out: bool,
 }
 
-/// The black-box objective for all building blocks.
-pub struct Evaluator {
+impl EvalOutcome {
+    fn failed(timed_out: bool, panicked: bool) -> EvalOutcome {
+        EvalOutcome {
+            loss: f64::INFINITY,
+            cost: 0.0,
+            cached: false,
+            panicked,
+            timed_out,
+        }
+    }
+}
+
+/// A fault injected into an evaluation — used by crash-isolation and
+/// deadline tests to simulate misbehaving training code.
+#[derive(Debug, Clone, Copy)]
+pub enum Fault {
+    /// Panic inside the trial (exercises `catch_unwind` isolation).
+    Panic,
+    /// Sleep for the given duration before evaluating (exercises per-trial
+    /// deadlines on the pool).
+    Stall(Duration),
+}
+
+/// Hook deciding whether a given `(assignment, fidelity)` trial should
+/// misbehave. `None` means evaluate normally.
+pub type FaultHook = Arc<dyn Fn(&HashMap<String, f64>, f64) -> Option<Fault> + Send + Sync>;
+
+/// FIFO-bounded evaluation cache with hit/miss accounting.
+struct BoundedCache {
+    map: HashMap<(u64, u64), (f64, f64)>,
+    order: VecDeque<(u64, u64)>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl BoundedCache {
+    fn new(capacity: usize) -> BoundedCache {
+        BoundedCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn get(&mut self, key: &(u64, u64)) -> Option<(f64, f64)> {
+        match self.map.get(key).copied() {
+            Some(v) => {
+                self.hits += 1;
+                Some(v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: (u64, u64), value: (f64, f64)) {
+        if self.map.insert(key, value).is_none() {
+            self.order.push_back(key);
+            while self.map.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        while self.map.len() > self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Mutable evaluator state, shared across handles behind one mutex. The
+/// lock is only held for bookkeeping — never across a pipeline fit — so
+/// worker threads serialize on microseconds, not on training time.
+struct EvalState {
+    cache: BoundedCache,
+    evaluations: usize,
+    total_cost: f64,
+    log: Vec<LogEntry>,
+}
+
+struct EvalShared {
     space: SpaceDef,
     metric: Metric,
     strategy: ValidationStrategy,
     fit_data: Dataset,
     valid_data: Dataset,
-    cache: HashMap<(u64, u64), (f64, f64)>,
     seed: u64,
-    /// Total number of (non-cached) evaluations performed.
-    pub evaluations: usize,
-    /// Total wall-clock seconds spent in non-cached evaluations.
-    pub total_cost: f64,
-    /// Chronological log of evaluations — consumed by the AutoML report,
-    /// ensemble selection, and meta-learning.
-    pub log: Vec<LogEntry>,
+    state: Mutex<EvalState>,
+    journal: Mutex<Option<Arc<Journal>>>,
+    fault_hook: Mutex<Option<FaultHook>>,
+}
+
+/// The black-box objective for all building blocks. `Clone` is cheap and
+/// yields a handle onto the *same* cache, log, and counters.
+#[derive(Clone)]
+pub struct Evaluator {
+    shared: Arc<EvalShared>,
 }
 
 /// Stable hash of an assignment (order-insensitive).
@@ -97,15 +211,17 @@ fn assignment_key(map: &HashMap<String, f64>) -> u64 {
     h
 }
 
-/// Trains a pipeline + model from an assignment on a complete dataset —
-/// the standalone variant of [`Evaluator::refit`] used by baselines and
-/// benches that do not hold an evaluator.
-pub fn refit_assignment(
+/// An assignment split into `(algorithm, model-params, fe-params)`.
+pub type ParsedAssignment = (AlgorithmKind, HashMap<String, f64>, HashMap<String, f64>);
+
+/// Splits an assignment into `(algorithm, model-params, fe-params)` against
+/// a space definition. The single source of truth for assignment
+/// interpretation, shared by [`Evaluator::evaluate`] and
+/// [`refit_assignment`].
+pub fn parse_assignment(
     space: &SpaceDef,
     assignment: &HashMap<String, f64>,
-    data: &Dataset,
-    seed: u64,
-) -> Result<(FePipeline, Model)> {
+) -> Result<ParsedAssignment> {
     let alg_idx = assignment
         .get("algorithm")
         .copied()
@@ -126,6 +242,19 @@ pub fn refit_assignment(
             fe_params.insert(rest.to_string(), *v);
         }
     }
+    Ok((alg, model_params, fe_params))
+}
+
+/// Trains a pipeline + model from an assignment on a complete dataset —
+/// the standalone variant of [`Evaluator::refit`] used by baselines and
+/// benches that do not hold an evaluator.
+pub fn refit_assignment(
+    space: &SpaceDef,
+    assignment: &HashMap<String, f64>,
+    data: &Dataset,
+    seed: u64,
+) -> Result<(FePipeline, Model)> {
+    let (alg, model_params, fe_params) = parse_assignment(space, assignment)?;
     let mut pipeline = FePipeline::from_values(
         space.task,
         &data.feature_types,
@@ -192,86 +321,228 @@ impl Evaluator {
             }
         };
         Ok(Evaluator {
-            space,
-            metric,
-            strategy,
-            fit_data,
-            valid_data,
-            cache: HashMap::new(),
-            seed,
-            evaluations: 0,
-            total_cost: 0.0,
-            log: Vec::new(),
+            shared: Arc::new(EvalShared {
+                space,
+                metric,
+                strategy,
+                fit_data,
+                valid_data,
+                seed,
+                state: Mutex::new(EvalState {
+                    cache: BoundedCache::new(DEFAULT_CACHE_CAPACITY),
+                    evaluations: 0,
+                    total_cost: 0.0,
+                    log: Vec::new(),
+                }),
+                journal: Mutex::new(None),
+                fault_hook: Mutex::new(None),
+            }),
         })
     }
 
     /// The space definition this evaluator interprets.
     pub fn space(&self) -> &SpaceDef {
-        &self.space
+        &self.shared.space
     }
 
     /// The evaluation metric.
     pub fn metric(&self) -> Metric {
-        self.metric
+        self.shared.metric
+    }
+
+    /// Total number of (non-cached) evaluations performed.
+    pub fn evaluations(&self) -> usize {
+        self.state().evaluations
+    }
+
+    /// Total wall-clock seconds spent in non-cached evaluations.
+    pub fn total_cost(&self) -> f64 {
+        self.state().total_cost
+    }
+
+    /// Snapshot of the chronological evaluation log — consumed by the
+    /// AutoML report, ensemble selection, and meta-learning.
+    pub fn log(&self) -> Vec<LogEntry> {
+        self.state().log.clone()
+    }
+
+    /// Attaches a trial journal; every evaluation from now on appends one
+    /// JSONL record.
+    pub fn attach_journal(&self, journal: Arc<Journal>) {
+        *self.shared.journal.lock().expect("journal slot poisoned") = Some(journal);
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<Arc<Journal>> {
+        self.shared
+            .journal
+            .lock()
+            .expect("journal slot poisoned")
+            .clone()
+    }
+
+    /// Installs a fault-injection hook (testing/chaos only).
+    pub fn set_fault_hook(&self, hook: FaultHook) {
+        *self.shared.fault_hook.lock().expect("hook poisoned") = Some(hook);
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, EvalState> {
+        self.shared.state.lock().expect("evaluator state poisoned")
     }
 
     /// Extracts `(algorithm, model-params, fe-params)` from an assignment.
-    fn interpret(
-        &self,
-        assignment: &HashMap<String, f64>,
-    ) -> Result<(AlgorithmKind, HashMap<String, f64>, HashMap<String, f64>)> {
-        let alg_idx = assignment
-            .get("algorithm")
-            .copied()
-            .unwrap_or(0.0)
-            .round()
-            .max(0.0) as usize;
-        let alg = *self
-            .space
-            .algorithms
-            .get(alg_idx)
-            .ok_or_else(|| CoreError::Invalid(format!("algorithm index {alg_idx} out of range")))?;
-        let hp_prefix = format!("alg:{}:", alg.name());
-        let mut model_params = HashMap::new();
-        let mut fe_params = HashMap::new();
-        for (k, v) in assignment {
-            if let Some(rest) = k.strip_prefix(&hp_prefix) {
-                model_params.insert(rest.to_string(), *v);
-            } else if let Some(rest) = k.strip_prefix("fe:") {
-                fe_params.insert(rest.to_string(), *v);
-            }
-        }
-        Ok((alg, model_params, fe_params))
+    fn interpret(&self, assignment: &HashMap<String, f64>) -> Result<ParsedAssignment> {
+        parse_assignment(&self.shared.space, assignment)
     }
 
     /// Evaluates an assignment at the given fidelity (training-set fraction
-    /// in `(0, 1]`). Results are cached; failures yield `loss = INFINITY`.
-    pub fn evaluate(&mut self, assignment: &HashMap<String, f64>, fidelity: f64) -> EvalOutcome {
+    /// in `(0, 1]`). Results are cached; failures and panics yield
+    /// `loss = INFINITY`.
+    pub fn evaluate(&self, assignment: &HashMap<String, f64>, fidelity: f64) -> EvalOutcome {
+        self.evaluate_inner(assignment, fidelity, true)
+    }
+
+    /// Evaluates a batch of `(assignment, fidelity)` trials on a worker
+    /// pool. Outcomes come back in submission order; a trial that exceeds
+    /// the pool's deadline is reported as timed out with infinite loss (its
+    /// abandoned computation may still land in the cache later, but never
+    /// journals or double-counts).
+    pub fn evaluate_batch(
+        &self,
+        pool: &ExecPool,
+        trials: &[(HashMap<String, f64>, f64)],
+    ) -> Vec<EvalOutcome> {
+        let journal = self.journal();
+        let batch_epoch = journal.as_ref().map_or(0.0, |j| j.elapsed_s());
+        let jobs: Vec<_> = trials
+            .iter()
+            .cloned()
+            .map(|(assignment, fidelity)| {
+                let ev = self.clone();
+                move || ev.evaluate_inner(&assignment, fidelity, false)
+            })
+            .collect();
+        let runs = pool.run_batch(jobs);
+        runs.into_iter()
+            .zip(trials.iter())
+            .map(|(run, (_, fidelity))| {
+                let outcome = match run.status {
+                    TrialStatus::Done(out) => out,
+                    TrialStatus::Panicked(_) => EvalOutcome::failed(false, true),
+                    TrialStatus::TimedOut => EvalOutcome::failed(true, false),
+                };
+                if let Some(j) = &journal {
+                    j.record(TrialRecord {
+                        trial_id: j.next_trial_id(),
+                        worker: run.worker,
+                        start_s: batch_epoch + run.started_s,
+                        end_s: batch_epoch + run.ended_s,
+                        fidelity: fidelity.clamp(0.01, 1.0),
+                        loss: outcome.loss,
+                        cost: if outcome.cached { 0.0 } else { outcome.cost },
+                        cached: outcome.cached,
+                        panicked: outcome.panicked,
+                        timed_out: outcome.timed_out,
+                    });
+                }
+                outcome
+            })
+            .collect()
+    }
+
+    /// The shared serial/batch evaluation path. When `journal_direct` is
+    /// set (serial path) the record is appended here; the batch path
+    /// journals from the pool's `TrialRun` instead, so abandoned (timed
+    /// out) trials still get a record.
+    fn evaluate_inner(
+        &self,
+        assignment: &HashMap<String, f64>,
+        fidelity: f64,
+        journal_direct: bool,
+    ) -> EvalOutcome {
         let fidelity = fidelity.clamp(0.01, 1.0);
         let key = (assignment_key(assignment), fidelity.to_bits());
-        if let Some(&(loss, cost)) = self.cache.get(&key) {
-            return EvalOutcome {
+        let journal = if journal_direct { self.journal() } else { None };
+        let cached = self.state().cache.get(&key);
+        if let Some((loss, cost)) = cached {
+            let outcome = EvalOutcome {
                 loss,
                 cost,
                 cached: true,
+                panicked: false,
+                timed_out: false,
             };
+            if let Some(j) = &journal {
+                let now = j.elapsed_s();
+                j.record(TrialRecord {
+                    trial_id: j.next_trial_id(),
+                    worker: current_worker().unwrap_or(0),
+                    start_s: now,
+                    end_s: now,
+                    fidelity,
+                    loss,
+                    cost: 0.0,
+                    cached: true,
+                    panicked: false,
+                    timed_out: false,
+                });
+            }
+            return outcome;
         }
+        let fault = self
+            .shared
+            .fault_hook
+            .lock()
+            .expect("hook poisoned")
+            .clone()
+            .and_then(|hook| hook(assignment, fidelity));
+        let start_s = journal.as_ref().map_or(0.0, |j| j.elapsed_s());
         let start = Instant::now();
-        let loss = self.evaluate_uncached(assignment, fidelity).unwrap_or(f64::INFINITY);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            match fault {
+                Some(Fault::Panic) => panic!("injected trial fault"),
+                Some(Fault::Stall(d)) => std::thread::sleep(d),
+                None => {}
+            }
+            self.evaluate_uncached(assignment, fidelity)
+        }));
+        let (loss, panicked) = match caught {
+            Ok(result) => (result.unwrap_or(f64::INFINITY), false),
+            Err(_) => (f64::INFINITY, true),
+        };
         let cost = start.elapsed().as_secs_f64();
-        self.cache.insert(key, (loss, cost));
-        self.evaluations += 1;
-        self.total_cost += cost;
-        self.log.push(LogEntry {
-            assignment: assignment.clone(),
-            fidelity,
-            loss,
-            cost,
-        });
+        {
+            let mut state = self.state();
+            state.cache.insert(key, (loss, cost));
+            state.evaluations += 1;
+            state.total_cost += cost;
+            state.log.push(LogEntry {
+                assignment: assignment.clone(),
+                fidelity,
+                loss,
+                cost,
+            });
+        }
+        if let Some(j) = &journal {
+            j.record(TrialRecord {
+                trial_id: j.next_trial_id(),
+                worker: current_worker().unwrap_or(0),
+                start_s,
+                end_s: j.elapsed_s(),
+                fidelity,
+                loss,
+                cost,
+                cached: false,
+                panicked,
+                timed_out: false,
+            });
+        }
         EvalOutcome {
             loss,
             cost,
             cached: false,
+            panicked,
+            timed_out: false,
         }
     }
 
@@ -285,11 +556,11 @@ impl Evaluator {
         valid: &Dataset,
     ) -> Result<f64> {
         let mut pipeline = FePipeline::from_values(
-            self.space.task,
+            self.shared.space.task,
             &train.feature_types,
             fe_params,
-            &self.space.fe_options,
-            self.seed,
+            &self.shared.space.fe_options,
+            self.shared.seed,
         )
         .map_err(|e| CoreError::Substrate(e.to_string()))?;
         let (x_train, y_train) = pipeline
@@ -298,14 +569,14 @@ impl Evaluator {
         let x_valid = pipeline
             .transform(&valid.x)
             .map_err(|e| CoreError::Substrate(e.to_string()))?;
-        let mut model = alg.build(model_params, self.seed);
+        let mut model = alg.build(model_params, self.shared.seed);
         model
             .fit(&x_train, &y_train)
             .map_err(|e| CoreError::Substrate(e.to_string()))?;
         let preds = model
             .predict(&x_valid)
             .map_err(|e| CoreError::Substrate(e.to_string()))?;
-        Ok(self.metric.loss(&valid.y, &preds))
+        Ok(self.shared.metric.loss(&valid.y, &preds))
     }
 
     fn evaluate_uncached(
@@ -315,22 +586,26 @@ impl Evaluator {
     ) -> Result<f64> {
         let (alg, model_params, fe_params) = self.interpret(assignment)?;
         let data = if fidelity >= 1.0 - 1e-9 {
-            self.fit_data.clone()
+            self.shared.fit_data.clone()
         } else {
-            subsample(&self.fit_data, fidelity, self.seed ^ 0xf1de)
+            subsample(&self.shared.fit_data, fidelity, self.shared.seed ^ 0xf1de)
         };
-        match self.strategy {
-            ValidationStrategy::Holdout { .. } => {
-                self.fit_and_score(alg, &model_params, &fe_params, &data, &self.valid_data)
-            }
+        match self.shared.strategy {
+            ValidationStrategy::Holdout { .. } => self.fit_and_score(
+                alg,
+                &model_params,
+                &fe_params,
+                &data,
+                &self.shared.valid_data,
+            ),
             ValidationStrategy::CrossValidation { folds } => {
                 let splits: Vec<(Vec<usize>, Vec<usize>)> =
-                    if self.space.task == Task::Classification {
-                        StratifiedKFold::new(&data, folds, self.seed)?
+                    if self.shared.space.task == Task::Classification {
+                        StratifiedKFold::new(&data, folds, self.shared.seed)?
                             .splits()
                             .collect()
                     } else {
-                        KFold::new(data.n_samples(), folds, self.seed)?
+                        KFold::new(data.n_samples(), folds, self.shared.seed)?
                             .splits()
                             .collect()
                     };
@@ -352,12 +627,27 @@ impl Evaluator {
         assignment: &HashMap<String, f64>,
         data: &Dataset,
     ) -> Result<(FePipeline, Model)> {
-        refit_assignment(&self.space, assignment, data, self.seed)
+        refit_assignment(&self.shared.space, assignment, data, self.shared.seed)
     }
 
     /// Number of cached entries (for tests/diagnostics).
     pub fn cache_size(&self) -> usize {
-        self.cache.len()
+        self.state().cache.map.len()
+    }
+
+    /// Number of cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.state().cache.hits
+    }
+
+    /// Number of cache misses so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.state().cache.misses
+    }
+
+    /// Rebounds the result cache, evicting oldest entries if shrinking.
+    pub fn set_cache_capacity(&self, capacity: usize) {
+        self.state().cache.set_capacity(capacity);
     }
 }
 
@@ -391,40 +681,130 @@ mod tests {
 
     #[test]
     fn default_assignment_evaluates() {
-        let mut ev = evaluator();
+        let ev = evaluator();
         let defaults = ev.space().defaults();
         let out = ev.evaluate(&defaults, 1.0);
         assert!(out.loss.is_finite());
         assert!(out.loss < 0.4, "loss {}", out.loss);
         assert!(!out.cached);
-        assert_eq!(ev.evaluations, 1);
+        assert!(!out.panicked && !out.timed_out);
+        assert_eq!(ev.evaluations(), 1);
     }
 
     #[test]
     fn cache_hits_on_repeat() {
-        let mut ev = evaluator();
+        let ev = evaluator();
         let defaults = ev.space().defaults();
         let first = ev.evaluate(&defaults, 1.0);
         let second = ev.evaluate(&defaults, 1.0);
         assert!(!first.cached);
         assert!(second.cached);
         assert_eq!(first.loss, second.loss);
-        assert_eq!(ev.evaluations, 1);
+        assert_eq!(ev.evaluations(), 1);
+        assert_eq!(ev.cache_hits(), 1);
+        assert_eq!(ev.cache_misses(), 1);
     }
 
     #[test]
     fn different_fidelities_are_distinct_cache_entries() {
-        let mut ev = evaluator();
+        let ev = evaluator();
         let defaults = ev.space().defaults();
         ev.evaluate(&defaults, 1.0);
         ev.evaluate(&defaults, 0.5);
         assert_eq!(ev.cache_size(), 2);
-        assert_eq!(ev.evaluations, 2);
+        assert_eq!(ev.evaluations(), 2);
+    }
+
+    #[test]
+    fn clones_share_cache_and_log() {
+        let ev = evaluator();
+        let handle = ev.clone();
+        let defaults = ev.space().defaults();
+        ev.evaluate(&defaults, 1.0);
+        let out = handle.evaluate(&defaults, 1.0);
+        assert!(out.cached);
+        assert_eq!(handle.evaluations(), 1);
+        assert_eq!(handle.log().len(), 1);
+    }
+
+    #[test]
+    fn cache_capacity_is_enforced() {
+        let ev = evaluator();
+        ev.set_cache_capacity(2);
+        let defaults = ev.space().defaults();
+        ev.evaluate(&defaults, 1.0);
+        ev.evaluate(&defaults, 0.5);
+        ev.evaluate(&defaults, 0.25);
+        assert_eq!(ev.cache_size(), 2);
+        // The oldest (fidelity 1.0) entry was evicted: re-evaluating it is
+        // a miss, while the newest is still a hit.
+        let again = ev.evaluate(&defaults, 0.25);
+        assert!(again.cached);
+        let evicted = ev.evaluate(&defaults, 1.0);
+        assert!(!evicted.cached);
+    }
+
+    #[test]
+    fn panic_in_trial_is_isolated() {
+        let ev = evaluator();
+        ev.set_fault_hook(Arc::new(|a, _| {
+            if a.get("algorithm").copied() == Some(77.0) {
+                Some(Fault::Panic)
+            } else {
+                None
+            }
+        }));
+        let mut bad = ev.space().defaults();
+        bad.insert("algorithm".to_string(), 77.0);
+        let out = ev.evaluate(&bad, 1.0);
+        assert!(out.panicked);
+        assert!(out.loss.is_infinite());
+        // The evaluator is still usable after the panic.
+        let good = ev.evaluate(&ev.space().defaults(), 1.0);
+        assert!(good.loss.is_finite());
+    }
+
+    #[test]
+    fn batch_evaluation_matches_serial() {
+        let ev = evaluator();
+        let serial = evaluator();
+        let mut trials = Vec::new();
+        for idx in 0..3 {
+            let mut a = ev.space().defaults();
+            a.insert("algorithm".to_string(), idx as f64);
+            trials.push((a, 1.0));
+        }
+        let pool = ExecPool::with_workers(2);
+        let batch = ev.evaluate_batch(&pool, &trials);
+        assert_eq!(batch.len(), 3);
+        for (i, (a, f)) in trials.iter().enumerate() {
+            let s = serial.evaluate(a, *f);
+            assert_eq!(s.loss, batch[i].loss, "trial {i}");
+        }
+        assert_eq!(ev.evaluations(), 3);
+    }
+
+    #[test]
+    fn journal_records_serial_and_batch_trials() {
+        let ev = evaluator();
+        let journal = Arc::new(Journal::in_memory());
+        ev.attach_journal(Arc::clone(&journal));
+        let defaults = ev.space().defaults();
+        ev.evaluate(&defaults, 1.0);
+        ev.evaluate(&defaults, 1.0); // cache hit
+        let pool = ExecPool::with_workers(2);
+        let mut other = defaults.clone();
+        other.insert("algorithm".to_string(), 1.0);
+        ev.evaluate_batch(&pool, &[(other, 1.0)]);
+        let records = journal.records();
+        assert_eq!(records.len(), 3);
+        assert!(!records[0].cached && records[1].cached);
+        assert!(records.iter().all(|r| !r.panicked && !r.timed_out));
     }
 
     #[test]
     fn every_algorithm_in_tier_evaluates() {
-        let mut ev = evaluator();
+        let ev = evaluator();
         let n_algs = ev.space().algorithms.len();
         for idx in 0..n_algs {
             let mut a = ev.space().defaults();
@@ -436,7 +816,7 @@ mod tests {
 
     #[test]
     fn bad_algorithm_index_is_infinite_loss() {
-        let mut ev = evaluator();
+        let ev = evaluator();
         let mut a = ev.space().defaults();
         a.insert("algorithm".to_string(), 99.0);
         let out = ev.evaluate(&a, 1.0);
@@ -464,7 +844,7 @@ mod tests {
     #[test]
     fn cross_validation_strategy_evaluates() {
         let space = SpaceDef::tiered(Task::Classification, SpaceTier::Small);
-        let mut ev = Evaluator::with_strategy(
+        let ev = Evaluator::with_strategy(
             space,
             &dataset(),
             Metric::BalancedAccuracy,
@@ -487,7 +867,7 @@ mod tests {
         let spread = |strategy: ValidationStrategy| {
             let losses: Vec<f64> = (0..6u64)
                 .map(|seed| {
-                    let mut ev = Evaluator::with_strategy(
+                    let ev = Evaluator::with_strategy(
                         space.clone(),
                         &d,
                         Metric::BalancedAccuracy,
@@ -529,7 +909,7 @@ mod tests {
 
     #[test]
     fn fidelity_subsampling_is_cheaper_or_equal() {
-        let mut ev = evaluator();
+        let ev = evaluator();
         let defaults = ev.space().defaults();
         // Use the forest (more data-sensitive cost) for a stable signal.
         let mut a = defaults.clone();

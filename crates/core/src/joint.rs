@@ -116,10 +116,32 @@ impl JointBlock {
         }
         merged
     }
+
+    /// Feeds one completed trial back into the engine and incumbent state —
+    /// shared by the serial and batch paths.
+    fn record_outcome(
+        &mut self,
+        config: Configuration,
+        fidelity: f64,
+        assignment: Assignment,
+        loss: f64,
+        cost: f64,
+    ) {
+        self.engine.observe(config, fidelity, loss, cost);
+        self.evaluations += 1;
+        if fidelity >= 1.0 - 1e-9 && loss.is_finite() {
+            let improved = self.best.as_ref().is_none_or(|b| loss < b.loss);
+            if improved {
+                self.best = Some(BestSolution { assignment, loss });
+            }
+            let cur = self.best.as_ref().map(|b| b.loss).unwrap_or(loss);
+            self.trajectory.push(cur);
+        }
+    }
 }
 
 impl BuildingBlock for JointBlock {
-    fn do_next(&mut self, evaluator: &mut Evaluator) -> Result<()> {
+    fn do_next(&mut self, evaluator: &Evaluator) -> Result<()> {
         let (config, fidelity) = match self.seed_queue.pop() {
             Some(cfg) => (cfg, 1.0),
             None => self.engine.suggest(),
@@ -127,19 +149,43 @@ impl BuildingBlock for JointBlock {
         let own = self.engine.space().to_map(&config);
         let assignment = self.merged(&own);
         let outcome = evaluator.evaluate(&assignment, fidelity);
-        self.engine
-            .observe(config, fidelity, outcome.loss, outcome.cost);
-        self.evaluations += 1;
-        if fidelity >= 1.0 - 1e-9 && outcome.loss.is_finite() {
-            let improved = self.best.as_ref().map_or(true, |b| outcome.loss < b.loss);
-            if improved {
-                self.best = Some(BestSolution {
-                    assignment,
-                    loss: outcome.loss,
-                });
+        self.record_outcome(config, fidelity, assignment, outcome.loss, outcome.cost);
+        Ok(())
+    }
+
+    /// Batch path: seeds first, then the engine's batch suggestion
+    /// (constant-liar for SMAC), all evaluated concurrently on the pool.
+    fn do_next_batch(
+        &mut self,
+        evaluator: &Evaluator,
+        pool: &volcanoml_exec::ExecPool,
+        k: usize,
+    ) -> Result<()> {
+        if k == 0 {
+            return Ok(());
+        }
+        let mut picks: Vec<(Configuration, f64)> = Vec::with_capacity(k);
+        while picks.len() < k {
+            match self.seed_queue.pop() {
+                Some(cfg) => picks.push((cfg, 1.0)),
+                None => break,
             }
-            let cur = self.best.as_ref().map(|b| b.loss).unwrap_or(outcome.loss);
-            self.trajectory.push(cur);
+        }
+        if picks.len() < k {
+            picks.extend(self.engine.suggest_batch(k - picks.len()));
+        }
+        let trials: Vec<(Assignment, f64)> = picks
+            .iter()
+            .map(|(cfg, fidelity)| {
+                let own = self.engine.space().to_map(cfg);
+                (self.merged(&own), *fidelity)
+            })
+            .collect();
+        let outcomes = evaluator.evaluate_batch(pool, &trials);
+        for (((config, fidelity), (assignment, _)), outcome) in
+            picks.into_iter().zip(trials).zip(outcomes)
+        {
+            self.record_outcome(config, fidelity, assignment, outcome.loss, outcome.cost);
         }
         Ok(())
     }
@@ -230,10 +276,10 @@ mod tests {
 
     #[test]
     fn joint_block_improves_over_iterations() {
-        let (mut ev, space) = setup();
+        let (ev, space) = setup();
         let mut block = full_joint(&space, JointEngine::Bo);
         for _ in 0..12 {
-            block.do_next(&mut ev).unwrap();
+            block.do_next(&ev).unwrap();
         }
         let best = block.current_best().expect("has a best");
         assert!(best.loss < 0.5, "loss {}", best.loss);
@@ -245,13 +291,13 @@ mod tests {
 
     #[test]
     fn context_is_merged_into_results() {
-        let (mut ev, space) = setup();
+        let (ev, space) = setup();
         let mut fixed = Assignment::new();
         fixed.insert("algorithm".to_string(), 1.0);
         let cs = space.compile_subspace(&space.var_names(), &fixed).unwrap();
         let mut block = JointBlock::new("rf-only", cs, JointEngine::Bo, fixed, 0);
         for _ in 0..4 {
-            block.do_next(&mut ev).unwrap();
+            block.do_next(&ev).unwrap();
         }
         let best = block.current_best().unwrap();
         assert_eq!(best.assignment.get("algorithm"), Some(&1.0));
@@ -259,7 +305,7 @@ mod tests {
 
     #[test]
     fn set_fixed_updates_future_evaluations() {
-        let (mut ev, space) = setup();
+        let (ev, space) = setup();
         // Block over FE vars only; algorithm comes from set_fixed.
         let fe_vars: Vec<String> = space
             .vars
@@ -272,41 +318,41 @@ mod tests {
         let mut ctx = space.defaults();
         ctx.insert("algorithm".to_string(), 2.0);
         block.set_fixed(&ctx);
-        block.do_next(&mut ev).unwrap();
+        block.do_next(&ev).unwrap();
         let best = block.current_best().unwrap();
         assert_eq!(best.assignment.get("algorithm"), Some(&2.0));
     }
 
     #[test]
     fn seed_assignments_are_evaluated_first() {
-        let (mut ev, space) = setup();
+        let (ev, space) = setup();
         let mut block = full_joint(&space, JointEngine::Bo);
         let mut seed = space.defaults();
         seed.insert("algorithm".to_string(), 1.0);
         block.push_seed_assignments(&[seed]);
-        block.do_next(&mut ev).unwrap();
+        block.do_next(&ev).unwrap();
         let best = block.current_best().unwrap();
         assert_eq!(best.assignment.get("algorithm"), Some(&1.0));
     }
 
     #[test]
     fn own_best_excludes_context() {
-        let (mut ev, space) = setup();
+        let (ev, space) = setup();
         let mut fixed = Assignment::new();
         fixed.insert("algorithm".to_string(), 0.0);
         let cs = space.compile_subspace(&space.var_names(), &fixed).unwrap();
         let mut block = JointBlock::new("x", cs, JointEngine::Random, fixed, 0);
-        block.do_next(&mut ev).unwrap();
+        block.do_next(&ev).unwrap();
         let own = block.own_best().unwrap();
         assert!(!own.contains_key("algorithm"));
     }
 
     #[test]
     fn mfes_engine_runs_mixed_fidelities() {
-        let (mut ev, space) = setup();
+        let (ev, space) = setup();
         let mut block = full_joint(&space, JointEngine::MfesHb);
         for _ in 0..20 {
-            block.do_next(&mut ev).unwrap();
+            block.do_next(&ev).unwrap();
         }
         // Trajectory only counts full-fidelity evaluations.
         assert!(block.trajectory().len() < 20);

@@ -159,7 +159,7 @@ impl PlanSpec {
             } => {
                 let (left_vars, right_vars): (Vec<String>, Vec<String>) =
                     active.iter().cloned().partition(|name| {
-                        space.var(name).map_or(false, |v| left_filter.matches(v))
+                        space.var(name).is_some_and(|v| left_filter.matches(v))
                     });
                 if left_vars.is_empty() || right_vars.is_empty() {
                     return Err(CoreError::Invalid(format!(
@@ -238,12 +238,12 @@ mod tests {
 
     #[test]
     fn joint_plan_compiles_and_runs() {
-        let (mut ev, space) = setup(SpaceTier::Small);
+        let (ev, space) = setup(SpaceTier::Small);
         let mut block = PlanSpec::single_joint(EngineKind::Bo)
             .compile(&space, 0)
             .unwrap();
         for _ in 0..6 {
-            block.do_next(&mut ev).unwrap();
+            block.do_next(&ev).unwrap();
         }
         assert!(block.current_best().unwrap().loss.is_finite());
     }
@@ -266,12 +266,12 @@ mod tests {
 
     #[test]
     fn volcano_plan_runs_and_improves() {
-        let (mut ev, space) = setup(SpaceTier::Small);
+        let (ev, space) = setup(SpaceTier::Small);
         let mut block = PlanSpec::volcano_default(EngineKind::Bo)
             .compile(&space, 0)
             .unwrap();
         for _ in 0..20 {
-            block.do_next(&mut ev).unwrap();
+            block.do_next(&ev).unwrap();
         }
         let best = block.current_best().unwrap();
         assert!(best.loss < 0.5, "loss {}", best.loss);
@@ -312,7 +312,7 @@ mod tests {
     #[test]
     fn nested_alternating_with_conditioning_inside() {
         // Plan 5 shape: alternate FE against (conditioning on algorithm).
-        let (mut ev, space) = setup(SpaceTier::Small);
+        let (ev, space) = setup(SpaceTier::Small);
         let plan = PlanSpec::Alternating {
             left_filter: VarFilter::Fe,
             left: Box::new(PlanSpec::Joint(EngineKind::Bo)),
@@ -323,7 +323,7 @@ mod tests {
         };
         let mut block = plan.compile(&space, 0).unwrap();
         for _ in 0..15 {
-            block.do_next(&mut ev).unwrap();
+            block.do_next(&ev).unwrap();
         }
         assert!(block.current_best().unwrap().loss.is_finite());
     }
@@ -339,12 +339,12 @@ mod tests {
 
     #[test]
     fn medium_tier_volcano_plan_runs() {
-        let (mut ev, space) = setup(SpaceTier::Medium);
+        let (ev, space) = setup(SpaceTier::Medium);
         let mut block = PlanSpec::volcano_default(EngineKind::Bo)
             .compile(&space, 0)
             .unwrap();
         for _ in 0..12 {
-            block.do_next(&mut ev).unwrap();
+            block.do_next(&ev).unwrap();
         }
         assert!(block.current_best().is_some());
     }

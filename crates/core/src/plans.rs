@@ -164,10 +164,10 @@ pub fn auto_select_plan(
                 pi as u64,
             );
             let space = space_of(dataset);
-            let mut evaluator = Evaluator::new(space.clone(), dataset, metric, run_seed)?;
+            let evaluator = Evaluator::new(space.clone(), dataset, metric, run_seed)?;
             let mut root = plan.compile(&space, run_seed)?;
-            while evaluator.evaluations < budget {
-                root.do_next(&mut evaluator)?;
+            while evaluator.evaluations() < budget {
+                root.do_next(&evaluator)?;
             }
             per_dataset.push(
                 root.current_best()
@@ -218,7 +218,6 @@ pub fn auto_select_plan(
             .iter()
             .map(|(name, _)| *name)
             .zip(sums.iter().copied())
-            .map(|(n, s)| (n, s))
             .collect(),
     })
 }

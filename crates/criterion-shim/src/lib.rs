@@ -1,0 +1,150 @@
+//! A minimal, offline stand-in for the external `criterion` crate.
+//!
+//! The workspace's micro-benchmarks use only a small slice of criterion's
+//! API — `Criterion::bench_function`, `Bencher::iter`, `criterion_group!`,
+//! and `criterion_main!` — so this shim re-implements exactly that slice:
+//! per-benchmark warm-up, adaptive iteration counts targeting a fixed
+//! measurement window, and a median-of-batches report printed to stdout.
+//! It keeps `cargo bench --features criterion-bench` working with no
+//! crates.io dependency; swap the real crate back in for rigorous
+//! statistics.
+
+use std::time::{Duration, Instant};
+
+/// Drives a single benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `body` over the batch's iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark registry (criterion's entry object).
+pub struct Criterion {
+    /// Target wall time per measurement batch.
+    measurement: Duration,
+    /// Batches per benchmark (the median is reported).
+    batches: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(200),
+            batches: 5,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs and reports one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Calibration: find an iteration count filling the measurement window.
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= self.measurement || iters >= 1 << 30 {
+                break;
+            }
+            let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+            let want = if per_iter > 0.0 {
+                (self.measurement.as_secs_f64() / per_iter).ceil() as u64
+            } else {
+                iters * 16
+            };
+            iters = want.clamp(iters + 1, iters * 16);
+        }
+        let mut per_iter_ns: Vec<f64> = (0..self.batches)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        println!("{name:<40} {:>14}/iter  ({iters} iters/batch)", fmt_ns(median));
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Re-export so `criterion::black_box` call sites keep working.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group: `criterion_group!(name, fn_a, fn_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point: `criterion_main!(group_a, group_b);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+            batches: 3,
+        };
+        let mut calls = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(2_000_000_000.0).contains("s"));
+    }
+}

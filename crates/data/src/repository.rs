@@ -342,8 +342,7 @@ pub fn imbalanced_suite() -> Vec<Dataset> {
 /// 6 "Kaggle-competition" datasets (Figure 6), named after the paper's six
 /// sub-figures.
 pub fn kaggle_suite() -> Vec<Dataset> {
-    let mut out = Vec::with_capacity(6);
-    out.push(named(
+    let out = vec![named(
         shuffle(
             &make_classification(
                 &ClassificationSpec {
@@ -361,16 +360,16 @@ pub fn kaggle_suite() -> Vec<Dataset> {
             seed(550),
         ),
         "influence_network",
-    ));
-    out.push(named(
+    ),
+    named(
         shuffle(&make_xor(850, 2, 12, 0.08, seed(501)), seed(551)),
         "virus_prediction",
-    ));
-    out.push(named(
+    ),
+    named(
         shuffle(&make_categorical(950, 5, 4, 4, 0.08, seed(502)), seed(552)),
         "employee_access",
-    ));
-    out.push(named(
+    ),
+    named(
         shuffle(
             &make_classification(
                 &ClassificationSpec {
@@ -388,12 +387,12 @@ pub fn kaggle_suite() -> Vec<Dataset> {
             seed(553),
         ),
         "customer_satisfaction",
-    ));
-    out.push(named(
+    ),
+    named(
         shuffle(&make_moons(900, 0.22, 6, seed(504)), seed(554)),
         "business_value",
-    ));
-    out.push(named(
+    ),
+    named(
         shuffle(
             &make_classification(
                 &ClassificationSpec {
@@ -411,7 +410,7 @@ pub fn kaggle_suite() -> Vec<Dataset> {
             seed(555),
         ),
         "flavours",
-    ));
+    )];
     out
 }
 

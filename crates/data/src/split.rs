@@ -261,7 +261,7 @@ mod tests {
     #[test]
     fn kfold_covers_everything_once() {
         let kf = KFold::new(23, 5, 0).unwrap();
-        let mut seen = vec![0usize; 23];
+        let mut seen = [0usize; 23];
         for (train, valid) in kf.splits() {
             assert_eq!(train.len() + valid.len(), 23);
             for &v in &valid {

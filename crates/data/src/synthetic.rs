@@ -657,7 +657,7 @@ mod tests {
             .x
             .col(0)
             .iter()
-            .all(|&v| v.fract() == 0.0 && v >= 0.0 && v < 4.0));
+            .all(|&v| v.fract() == 0.0 && (0.0..4.0).contains(&v)));
     }
 
     #[test]

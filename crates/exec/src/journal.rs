@@ -1,0 +1,272 @@
+//! The JSONL trial journal.
+//!
+//! One line per trial, machine-readable, append-only. Schema (all keys
+//! always present, stable order):
+//!
+//! ```json
+//! {"trial":17,"worker":2,"start_s":0.0132,"end_s":0.0518,"fidelity":1.0,
+//!  "loss":0.2184,"cost":0.0386,"cached":false,"panicked":false,
+//!  "timed_out":false}
+//! ```
+//!
+//! `start_s`/`end_s` are seconds since the journal was opened (monotonic
+//! clock), `cost` is the evaluator-measured training wall time, `loss` is
+//! serialized as `"inf"` when infinite so the file stays valid JSON. The
+//! journal is `Sync`: workers append concurrently through an internal
+//! mutex. Records are always kept in memory (for tests and report
+//! generation) and mirrored to a file when opened with [`Journal::to_path`].
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One trial's journal entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRecord {
+    /// Monotonically increasing trial id (unique per evaluator).
+    pub trial_id: u64,
+    /// Worker that executed the trial (0 for serial execution).
+    pub worker: usize,
+    /// Trial start, seconds since the journal epoch.
+    pub start_s: f64,
+    /// Trial end, seconds since the journal epoch.
+    pub end_s: f64,
+    /// Fidelity the trial ran at.
+    pub fidelity: f64,
+    /// Observed loss (`INFINITY` for failed/panicked/timed-out trials).
+    pub loss: f64,
+    /// Evaluation cost in seconds (0 for cache hits and timeouts).
+    pub cost: f64,
+    /// Whether the result came from the evaluator cache.
+    pub cached: bool,
+    /// Whether the trial panicked.
+    pub panicked: bool,
+    /// Whether the trial exceeded its deadline and was abandoned.
+    pub timed_out: bool,
+}
+
+impl TrialRecord {
+    /// Renders the record as one JSON line (without trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"trial\":{},\"worker\":{},\"start_s\":{:.6},\"end_s\":{:.6},\
+             \"fidelity\":{},\"loss\":{},\"cost\":{:.6},\"cached\":{},\
+             \"panicked\":{},\"timed_out\":{}}}",
+            self.trial_id,
+            self.worker,
+            self.start_s,
+            self.end_s,
+            json_f64(self.fidelity),
+            json_f64(self.loss),
+            self.cost,
+            self.cached,
+            self.panicked,
+            self.timed_out
+        )
+    }
+}
+
+/// JSON has no Infinity/NaN literals; encode them as strings.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "\"nan\"".to_string()
+    } else if v > 0.0 {
+        "\"inf\"".to_string()
+    } else {
+        "\"-inf\"".to_string()
+    }
+}
+
+/// Thread-safe JSONL journal of executed trials.
+pub struct Journal {
+    epoch: Instant,
+    next_id: AtomicU64,
+    state: Mutex<JournalState>,
+}
+
+struct JournalState {
+    lines: Vec<TrialRecord>,
+    file: Option<std::io::BufWriter<std::fs::File>>,
+}
+
+impl Journal {
+    /// An in-memory journal (tests, programmatic consumption).
+    pub fn in_memory() -> Journal {
+        Journal {
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(0),
+            state: Mutex::new(JournalState {
+                lines: Vec::new(),
+                file: None,
+            }),
+        }
+    }
+
+    /// A journal mirrored to a JSONL file at `path` (truncates).
+    pub fn to_path(path: &std::path::Path) -> std::io::Result<Journal> {
+        let file = std::fs::File::create(path)?;
+        Ok(Journal {
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(0),
+            state: Mutex::new(JournalState {
+                lines: Vec::new(),
+                file: Some(std::io::BufWriter::new(file)),
+            }),
+        })
+    }
+
+    /// Allocates the next trial id.
+    pub fn next_trial_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Seconds elapsed since the journal was opened.
+    pub fn elapsed_s(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Appends one record (and mirrors it to the file, if any).
+    pub fn record(&self, rec: TrialRecord) {
+        let mut state = self.state.lock().expect("journal poisoned");
+        if let Some(file) = &mut state.file {
+            let _ = writeln!(file, "{}", rec.to_json());
+            let _ = file.flush();
+        }
+        state.lines.push(rec);
+    }
+
+    /// Number of journaled trials.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("journal poisoned").lines.len()
+    }
+
+    /// Whether no trials have been journaled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all records, in append order.
+    pub fn records(&self) -> Vec<TrialRecord> {
+        self.state.lock().expect("journal poisoned").lines.clone()
+    }
+
+    /// Snapshot of all records rendered as JSONL lines.
+    pub fn lines(&self) -> Vec<String> {
+        self.state
+            .lock()
+            .expect("journal poisoned")
+            .lines
+            .iter()
+            .map(TrialRecord::to_json)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64) -> TrialRecord {
+        TrialRecord {
+            trial_id: id,
+            worker: 1,
+            start_s: 0.25,
+            end_s: 0.5,
+            fidelity: 1.0,
+            loss: 0.125,
+            cost: 0.25,
+            cached: false,
+            panicked: false,
+            timed_out: false,
+        }
+    }
+
+    #[test]
+    fn json_line_has_stable_schema() {
+        let line = record(3).to_json();
+        for key in [
+            "\"trial\":3",
+            "\"worker\":1",
+            "\"start_s\":0.250000",
+            "\"end_s\":0.500000",
+            "\"fidelity\":1",
+            "\"loss\":0.125",
+            "\"cost\":0.250000",
+            "\"cached\":false",
+            "\"panicked\":false",
+            "\"timed_out\":false",
+        ] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+        assert!(line.starts_with('{') && line.ends_with('}'));
+    }
+
+    #[test]
+    fn infinite_loss_is_quoted() {
+        let mut r = record(0);
+        r.loss = f64::INFINITY;
+        assert!(r.to_json().contains("\"loss\":\"inf\""));
+        r.loss = f64::NAN;
+        assert!(r.to_json().contains("\"loss\":\"nan\""));
+    }
+
+    #[test]
+    fn in_memory_journal_accumulates_in_order() {
+        let j = Journal::in_memory();
+        assert!(j.is_empty());
+        for i in 0..5 {
+            let id = j.next_trial_id();
+            assert_eq!(id, i);
+            j.record(record(id));
+        }
+        assert_eq!(j.len(), 5);
+        let ids: Vec<u64> = j.records().iter().map(|r| r.trial_id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert_eq!(j.lines().len(), 5);
+    }
+
+    #[test]
+    fn file_journal_writes_jsonl() {
+        let dir = std::env::temp_dir().join("volcanoml-exec-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("journal-{}.jsonl", std::process::id()));
+        {
+            let j = Journal::to_path(&path).unwrap();
+            j.record(record(0));
+            j.record(record(1));
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"trial\":0"));
+        assert!(lines[1].contains("\"trial\":1"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let j = std::sync::Arc::new(Journal::in_memory());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let j = std::sync::Arc::clone(&j);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let id = j.next_trial_id();
+                        j.record(record(id));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(j.len(), 200);
+        let mut ids: Vec<u64> = j.records().iter().map(|r| r.trial_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 200);
+    }
+}

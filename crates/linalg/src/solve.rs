@@ -59,8 +59,8 @@ pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     let mut x = vec![0.0; n];
     for i in (0..n).rev() {
         let mut sum = y[i];
-        for k in i + 1..n {
-            sum -= l.get(k, i) * x[k];
+        for (k, xk) in x.iter().enumerate().skip(i + 1) {
+            sum -= l.get(k, i) * xk;
         }
         x[i] = sum / l.get(i, i);
     }
@@ -151,8 +151,8 @@ pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     // Backward substitution.
     for i in (0..n).rev() {
         let mut sum = x[i];
-        for k in i + 1..n {
-            sum -= lu.get(i, k) * x[k];
+        for (k, xk) in x.iter().enumerate().skip(i + 1) {
+            sum -= lu.get(i, k) * xk;
         }
         x[i] = sum / lu.get(i, i);
     }
@@ -274,9 +274,9 @@ mod tests {
         }
         let rhs: Vec<f64> = (0..5).map(|i| i as f64 - 2.0).collect();
         let x = solve_spd(&a, &rhs, 0.0).unwrap();
-        for i in 0..5 {
+        for (i, r) in rhs.iter().enumerate() {
             let got = dot(a.row(i), &x);
-            assert!((got - rhs[i]).abs() < 1e-8);
+            assert!((got - r).abs() < 1e-8);
         }
     }
 }

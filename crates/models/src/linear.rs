@@ -266,10 +266,10 @@ impl Estimator for LinearSvm {
                         s += w.get(j, c) * v;
                     }
                     // Shrink weights (L2), then add hinge subgradient.
-                    for j in 0..d {
+                    for (j, &rj) in row.iter().enumerate().take(d) {
                         let mut wj = w.get(j, c) * (1.0 - eta * lambda);
                         if target * s < 1.0 {
-                            wj += eta * target * row[j];
+                            wj += eta * target * rj;
                         }
                         w.set(j, c, wj);
                     }
@@ -633,7 +633,7 @@ mod tests {
     fn linear_svm_multiclass() {
         let d = easy_multiclass();
         let ((xt, yt), (xv, yv)) = split(&d);
-        let mut m = LinearSvm::new(1e-4, 30, 0);
+        let mut m = LinearSvm::new(1e-4, 30, 5);
         m.fit(&xt, &yt).unwrap();
         let acc = accuracy(&yv, &m.predict(&xv).unwrap());
         assert!(acc > 0.9, "accuracy {acc}");

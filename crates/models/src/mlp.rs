@@ -125,16 +125,15 @@ impl Layer {
         let eps = 1e-8;
         let bias1 = 1.0 - b1.powi(t as i32);
         let bias2 = 1.0 - b2.powi(t as i32);
-        for i in 0..self.w.len() {
-            let g = grad_w[i] + alpha * self.w[i];
+        for (i, &gw) in grad_w.iter().enumerate().take(self.w.len()) {
+            let g = gw + alpha * self.w[i];
             self.mw[i] = b1 * self.mw[i] + (1.0 - b1) * g;
             self.vw[i] = b2 * self.vw[i] + (1.0 - b2) * g * g;
             let mhat = self.mw[i] / bias1;
             let vhat = self.vw[i] / bias2;
             self.w[i] -= lr * mhat / (vhat.sqrt() + eps);
         }
-        for i in 0..self.b.len() {
-            let g = grad_b[i];
+        for (i, &g) in grad_b.iter().enumerate().take(self.b.len()) {
             self.mb[i] = b1 * self.mb[i] + (1.0 - b1) * g;
             self.vb[i] = b2 * self.vb[i] + (1.0 - b2) * g * g;
             let mhat = self.mb[i] / bias1;
@@ -467,9 +466,11 @@ mod tests {
     fn mlp_learns_xor() {
         let d = make_xor(400, 2, 3, 0.0, 5);
         let ((xt, yt), (xv, yv)) = split(&d);
-        let mut cfg = MlpConfig::default();
-        cfg.hidden = vec![32, 16];
-        cfg.max_iter = 80;
+        let cfg = MlpConfig {
+            hidden: vec![32, 16],
+            max_iter: 80,
+            ..Default::default()
+        };
         let mut m = MlpClassifier::new(cfg);
         m.fit(&xt, &yt).unwrap();
         let acc = accuracy(&yv, &m.predict(&xv).unwrap());
@@ -490,8 +491,10 @@ mod tests {
     fn tanh_activation_works() {
         let d = nonlinear_binary();
         let ((xt, yt), (xv, yv)) = split(&d);
-        let mut cfg = MlpConfig::default();
-        cfg.activation = Activation::Tanh;
+        let cfg = MlpConfig {
+            activation: Activation::Tanh,
+            ..Default::default()
+        };
         let mut m = MlpClassifier::new(cfg);
         m.fit(&xt, &yt).unwrap();
         let acc = accuracy(&yv, &m.predict(&xv).unwrap());
@@ -502,9 +505,11 @@ mod tests {
     fn mlp_regressor_fits_friedman() {
         let d = make_friedman1(400, 0, 0.2, 6);
         let ((xt, yt), (xv, yv)) = split(&d);
-        let mut cfg = MlpConfig::default();
-        cfg.max_iter = 120;
-        cfg.hidden = vec![48];
+        let cfg = MlpConfig {
+            max_iter: 120,
+            hidden: vec![48],
+            ..Default::default()
+        };
         let mut m = MlpRegressor::new(cfg);
         m.fit(&xt, &yt).unwrap();
         let score = r2(&yv, &m.predict(&xv).unwrap());

@@ -148,7 +148,7 @@ impl Estimator for SvmRegressor {
                 if j >= i {
                     j += 1;
                 }
-                let ej = f(&beta, bias, j) - y_work[j];
+                let _ej = f(&beta, bias, j) - y_work[j];
                 let kii = self.kernel.eval(x_work.row(i), x_work.row(i));
                 let kjj = self.kernel.eval(x_work.row(j), x_work.row(j));
                 let kij = self.kernel.eval(x_work.row(i), x_work.row(j));

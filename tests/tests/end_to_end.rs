@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the full AutoML stack end to end.
 
 use volcanoml_core::{
-    EngineKind, PlanSpec, SpaceDef, SpaceTier, VolcanoML, VolcanoMlOptions,
+    EngineKind, PlanSpec, SpaceTier, VolcanoML, VolcanoMlOptions,
 };
 use volcanoml_data::synthetic::{
     inject_missing, make_categorical, make_classification, make_moons, make_regression,

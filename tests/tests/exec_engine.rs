@@ -1,0 +1,211 @@
+//! Integration tests for the parallel trial-execution engine: determinism
+//! across worker counts, crash isolation, per-trial deadlines, and the
+//! end-to-end `--workers`/journal path through `VolcanoML::fit`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use volcanoml_core::evaluator::{Evaluator, Fault};
+use volcanoml_core::plans::p3_volcano;
+use volcanoml_core::{EngineKind, SpaceDef, SpaceTier, VolcanoML, VolcanoMlOptions};
+use volcanoml_data::synthetic::{make_classification, ClassificationSpec};
+use volcanoml_data::{Metric, Task};
+use volcanoml_exec::{ExecPool, Journal, PoolConfig};
+
+fn dataset(seed: u64) -> volcanoml_data::Dataset {
+    make_classification(
+        &ClassificationSpec {
+            n_samples: 240,
+            n_features: 8,
+            n_informative: 5,
+            n_redundant: 0,
+            n_classes: 2,
+            class_sep: 1.2,
+            flip_y: 0.04,
+            weights: Vec::new(),
+        },
+        seed,
+    )
+}
+
+/// Pre-samples `n` full-fidelity trials from the composite space.
+fn sample_trials(space: &SpaceDef, n: usize, seed: u64) -> Vec<(HashMap<String, f64>, f64)> {
+    let compiled = space
+        .compile_subspace(&space.var_names(), &HashMap::new())
+        .unwrap();
+    let mut rng = volcanoml_data::rand_util::rng_from_seed(seed);
+    (0..n)
+        .map(|_| (compiled.to_map(&compiled.sample(&mut rng)), 1.0))
+        .collect()
+}
+
+fn evaluator(space: &SpaceDef, data_seed: u64, eval_seed: u64) -> Evaluator {
+    let d = dataset(data_seed);
+    Evaluator::new(space.clone(), &d, Metric::BalancedAccuracy, eval_seed).unwrap()
+}
+
+#[test]
+fn batch_losses_are_identical_across_worker_counts() {
+    let space = SpaceDef::tiered(Task::Classification, SpaceTier::Small);
+    let trials = sample_trials(&space, 10, 7);
+
+    let ev1 = evaluator(&space, 5, 3);
+    let pool1 = ExecPool::with_workers(1);
+    let serial: Vec<f64> = ev1
+        .evaluate_batch(&pool1, &trials)
+        .iter()
+        .map(|o| o.loss)
+        .collect();
+
+    let ev4 = evaluator(&space, 5, 3);
+    let pool4 = ExecPool::with_workers(4);
+    let parallel: Vec<f64> = ev4
+        .evaluate_batch(&pool4, &trials)
+        .iter()
+        .map(|o| o.loss)
+        .collect();
+
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (a, b)) in serial.iter().zip(parallel.iter()).enumerate() {
+        assert_eq!(a, b, "trial {i}: serial loss {a} != parallel loss {b}");
+    }
+    assert!(serial.iter().any(|l| l.is_finite()));
+}
+
+#[test]
+fn panicking_trial_is_isolated_and_journaled() {
+    let space = SpaceDef::tiered(Task::Classification, SpaceTier::Small);
+    let trials = sample_trials(&space, 6, 11);
+    let bad_alg = trials[2].0["algorithm"];
+
+    let ev = evaluator(&space, 6, 0);
+    let journal = Arc::new(Journal::in_memory());
+    ev.attach_journal(Arc::clone(&journal));
+    ev.set_fault_hook(Arc::new(move |assignment, _fidelity| {
+        (assignment["algorithm"] == bad_alg).then_some(Fault::Panic)
+    }));
+
+    let pool = ExecPool::with_workers(4);
+    let outcomes = ev.evaluate_batch(&pool, &trials);
+
+    assert_eq!(outcomes.len(), trials.len());
+    for (i, (trial, out)) in trials.iter().zip(outcomes.iter()).enumerate() {
+        if trial.0["algorithm"] == bad_alg {
+            assert!(out.panicked, "trial {i} should have panicked");
+            assert!(out.loss.is_infinite());
+        }
+    }
+    assert!(outcomes.iter().any(|o| o.loss.is_finite() && !o.panicked));
+
+    // Every trial is journaled exactly once, with the panic flag set on the
+    // faulted ones.
+    let records = journal.records();
+    assert_eq!(records.len(), trials.len());
+    assert!(records.iter().any(|r| r.panicked && r.loss.is_infinite()));
+    assert!(records.iter().any(|r| !r.panicked && r.loss.is_finite()));
+
+    // The evaluator (and its pool) survive: a clean follow-up trial works.
+    let ok = trials
+        .iter()
+        .find(|t| t.0["algorithm"] != bad_alg)
+        .unwrap();
+    let after = ev.evaluate(&ok.0, 1.0);
+    assert!(!after.panicked);
+}
+
+#[test]
+fn stalled_trial_hits_the_deadline_and_pool_survives() {
+    let space = SpaceDef::tiered(Task::Classification, SpaceTier::Small);
+    let trials = sample_trials(&space, 5, 13);
+    let slow_alg = trials[1].0["algorithm"];
+
+    let ev = evaluator(&space, 7, 0);
+    let journal = Arc::new(Journal::in_memory());
+    ev.attach_journal(Arc::clone(&journal));
+    ev.set_fault_hook(Arc::new(move |assignment, _fidelity| {
+        (assignment["algorithm"] == slow_alg).then_some(Fault::Stall(Duration::from_secs(30)))
+    }));
+
+    let mut config = PoolConfig::with_workers(4);
+    config.trial_deadline = Some(Duration::from_millis(200));
+    let pool = ExecPool::new(config);
+    let outcomes = ev.evaluate_batch(&pool, &trials);
+
+    assert_eq!(outcomes.len(), trials.len());
+    for (trial, out) in trials.iter().zip(outcomes.iter()) {
+        if trial.0["algorithm"] == slow_alg {
+            assert!(out.timed_out, "stalled trial should time out");
+            assert!(out.loss.is_infinite());
+        }
+    }
+    assert!(outcomes.iter().any(|o| !o.timed_out && o.loss.is_finite()));
+
+    // Timed-out trials still get a journal record (from the pool's view of
+    // the run), flagged as such.
+    assert!(journal.records().iter().any(|r| r.timed_out));
+
+    // A fresh batch on the same pool still completes.
+    let clean: Vec<_> = trials
+        .iter()
+        .filter(|t| t.0["algorithm"] != slow_alg)
+        .cloned()
+        .collect();
+    let again = ev.evaluate_batch(&pool, &clean);
+    assert!(again.iter().all(|o| !o.timed_out));
+}
+
+#[test]
+fn search_survives_periodic_injected_panics() {
+    let space = SpaceDef::tiered(Task::Classification, SpaceTier::Small);
+    let ev = evaluator(&space, 9, 1);
+    let journal = Arc::new(Journal::in_memory());
+    ev.attach_journal(Arc::clone(&journal));
+    let calls = AtomicUsize::new(0);
+    ev.set_fault_hook(Arc::new(move |_assignment, _fidelity| {
+        (calls.fetch_add(1, Ordering::SeqCst) % 4 == 3).then_some(Fault::Panic)
+    }));
+
+    let mut root = p3_volcano(EngineKind::Bo).compile(&space, 1).unwrap();
+    let pool = ExecPool::with_workers(4);
+    while ev.evaluations() < 24 {
+        root.do_next_batch(&ev, &pool, 4).unwrap();
+    }
+
+    let best = root.current_best().expect("search found nothing");
+    assert!(best.loss.is_finite(), "best loss {}", best.loss);
+    assert!(journal.records().iter().any(|r| r.panicked));
+    assert!(journal.records().iter().any(|r| r.loss.is_finite()));
+}
+
+#[test]
+fn fit_with_workers_writes_a_journal_file() {
+    let d = dataset(12);
+    let dir = std::env::temp_dir().join("volcanoml-exec-engine-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("fit-journal-{}.jsonl", std::process::id()));
+
+    let options = VolcanoMlOptions {
+        max_evaluations: 12,
+        seed: 4,
+        n_workers: 4,
+        journal_path: Some(path.clone()),
+        ..Default::default()
+    };
+    let engine = VolcanoML::with_tier(Task::Classification, SpaceTier::Small, options);
+    let fitted = engine.fit(&d).unwrap();
+    assert!(fitted.report.best_loss.is_finite());
+    assert!(fitted.report.n_evaluations <= 12);
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty(), "journal file is empty");
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "bad line {line}");
+        for key in ["\"trial\":", "\"worker\":", "\"loss\":", "\"fidelity\":"] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}

@@ -28,11 +28,11 @@ fn every_coarse_plan_runs_on_the_large_space() {
     let space = SpaceDef::tiered(Task::Classification, SpaceTier::Large);
     let d = dataset(1);
     for (name, plan) in enumerate_coarse_plans(EngineKind::Bo) {
-        let mut evaluator =
+        let evaluator =
             Evaluator::new(space.clone(), &d, Metric::BalancedAccuracy, 0).unwrap();
         let mut root = plan.compile(&space, 0).unwrap_or_else(|e| panic!("{name}: {e}"));
         for _ in 0..15 {
-            root.do_next(&mut evaluator).unwrap();
+            root.do_next(&evaluator).unwrap();
         }
         let best = root
             .current_best()
@@ -48,19 +48,19 @@ fn figure2_tree_matches_compiled_plan_behavior() {
     let space = SpaceDef::tiered(Task::Classification, SpaceTier::Small);
     let d = dataset(2);
     // Hand-built tree with both features on...
-    let mut ev1 = Evaluator::new(space.clone(), &d, Metric::BalancedAccuracy, 3).unwrap();
+    let ev1 = Evaluator::new(space.clone(), &d, Metric::BalancedAccuracy, 3).unwrap();
     let mut hand = build_figure2_tree(&space, EngineKind::Bo, true, true, 3).unwrap();
     for _ in 0..20 {
-        hand.do_next(&mut ev1).unwrap();
+        hand.do_next(&ev1).unwrap();
     }
     // ...solves the problem about as well as the compiled plan (not
     // identical RNG streams, so compare only success).
-    let mut ev2 = Evaluator::new(space.clone(), &d, Metric::BalancedAccuracy, 3).unwrap();
+    let ev2 = Evaluator::new(space.clone(), &d, Metric::BalancedAccuracy, 3).unwrap();
     let mut compiled = volcanoml_core::PlanSpec::volcano_default(EngineKind::Bo)
         .compile(&space, 3)
         .unwrap();
     for _ in 0..20 {
-        compiled.do_next(&mut ev2).unwrap();
+        compiled.do_next(&ev2).unwrap();
     }
     let h = hand.current_best().unwrap().loss;
     let c = compiled.current_best().unwrap().loss;
@@ -74,10 +74,10 @@ fn conditioning_block_eventually_focuses_budget() {
     // should retire at least one arm within a moderate budget.
     let space = SpaceDef::tiered(Task::Classification, SpaceTier::Small);
     let d = volcanoml_data::synthetic::make_circles(350, 0.05, 0.5, 5);
-    let mut evaluator = Evaluator::new(space.clone(), &d, Metric::BalancedAccuracy, 0).unwrap();
+    let evaluator = Evaluator::new(space.clone(), &d, Metric::BalancedAccuracy, 0).unwrap();
     let mut root = build_figure2_tree(&space, EngineKind::Bo, true, true, 0).unwrap();
     for _ in 0..45 {
-        root.do_next(&mut evaluator).unwrap();
+        root.do_next(&evaluator).unwrap();
     }
     let mut description = String::new();
     root.describe(0, &mut description);
@@ -98,23 +98,23 @@ fn deeper_decomposition_is_no_worse_on_large_space() {
     let mut joint_total = 0.0;
     for seed in 0..3u64 {
         let d = dataset(20 + seed);
-        let mut ev1 =
+        let ev1 =
             Evaluator::new(space.clone(), &d, Metric::BalancedAccuracy, seed).unwrap();
         let mut volcano = volcanoml_core::PlanSpec::volcano_default(EngineKind::Bo)
             .compile(&space, seed)
             .unwrap();
-        while ev1.evaluations < budget {
-            volcano.do_next(&mut ev1).unwrap();
+        while ev1.evaluations() < budget {
+            volcano.do_next(&ev1).unwrap();
         }
         volcano_total += volcano.current_best().unwrap().loss;
 
-        let mut ev2 =
+        let ev2 =
             Evaluator::new(space.clone(), &d, Metric::BalancedAccuracy, seed).unwrap();
         let mut joint = volcanoml_core::PlanSpec::single_joint(EngineKind::Bo)
             .compile(&space, seed)
             .unwrap();
-        while ev2.evaluations < budget {
-            joint.do_next(&mut ev2).unwrap();
+        while ev2.evaluations() < budget {
+            joint.do_next(&ev2).unwrap();
         }
         joint_total += joint.current_best().unwrap().loss;
     }

@@ -1,6 +1,11 @@
-//! Property-based tests (proptest) over cross-crate invariants.
+//! Property-style tests over cross-crate invariants.
+//!
+//! Formerly written with `proptest`; the external dependency was dropped to
+//! keep the tier-1 build hermetic, so each property is now exercised as a
+//! deterministic sweep over seeded random inputs (same invariants, fixed
+//! case counts, reproducible failures).
 
-use proptest::prelude::*;
+use rand::RngExt;
 use std::collections::HashMap;
 use volcanoml_bo::{ConfigSpace, Domain};
 use volcanoml_core::{SpaceDef, SpaceTier};
@@ -11,12 +16,13 @@ use volcanoml_fe::scale::{Rescaler, ScaleKind};
 use volcanoml_fe::Transformer;
 use volcanoml_linalg::{solve_spd, Matrix};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Cholesky-based SPD solves always reproduce the right-hand side.
-    #[test]
-    fn spd_solve_residual_is_small(values in prop::collection::vec(-3.0f64..3.0, 9), rhs in prop::collection::vec(-5.0f64..5.0, 3)) {
+/// Cholesky-based SPD solves always reproduce the right-hand side.
+#[test]
+fn spd_solve_residual_is_small() {
+    for seed in 0..64u64 {
+        let mut rng = rng_from_seed(seed);
+        let values: Vec<f64> = (0..9).map(|_| rng.random::<f64>() * 6.0 - 3.0).collect();
+        let rhs: Vec<f64> = (0..3).map(|_| rng.random::<f64>() * 10.0 - 5.0).collect();
         let b = Matrix::from_vec(3, 3, values).unwrap();
         let mut a = b.gram();
         for i in 0..3 {
@@ -26,66 +32,104 @@ proptest! {
         let x = solve_spd(&a, &rhs, 0.0).unwrap();
         let back = a.matvec(&x).unwrap();
         for (got, want) in back.iter().zip(rhs.iter()) {
-            prop_assert!((got - want).abs() < 1e-6);
+            assert!((got - want).abs() < 1e-6, "seed {seed}: {got} vs {want}");
         }
     }
+}
 
-    /// Balanced accuracy is bounded and exact on perfect predictions.
-    #[test]
-    fn balanced_accuracy_bounds(labels in prop::collection::vec(0u8..4, 5..60)) {
-        let y: Vec<f64> = labels.iter().map(|&v| v as f64).collect();
-        prop_assert_eq!(balanced_accuracy(&y, &y), 1.0);
+/// Balanced accuracy is bounded and exact on perfect predictions.
+#[test]
+fn balanced_accuracy_bounds() {
+    for seed in 0..64u64 {
+        let mut rng = rng_from_seed(seed ^ 0xba1a);
+        let n = rng.random_range(5..60usize);
+        let y: Vec<f64> = (0..n).map(|_| rng.random_range(0..4usize) as f64).collect();
+        assert_eq!(balanced_accuracy(&y, &y), 1.0);
         let wrong: Vec<f64> = y.iter().map(|v| (v + 1.0) % 4.0).collect();
         let acc = balanced_accuracy(&y, &wrong);
-        prop_assert!((0.0..=1.0).contains(&acc));
+        assert!((0.0..=1.0).contains(&acc), "seed {seed}: acc {acc}");
     }
+}
 
-    /// R² of perfect predictions is 1; MSE nonnegative.
-    #[test]
-    fn regression_metric_sanity(y in prop::collection::vec(-100.0f64..100.0, 3..50), noise in prop::collection::vec(-1.0f64..1.0, 50)) {
-        prop_assert!((r2(&y, &y) - 1.0).abs() < 1e-9);
-        let preds: Vec<f64> = y.iter().zip(noise.iter().cycle()).map(|(a, b)| a + b).collect();
-        prop_assert!(mse(&y, &preds) >= 0.0);
+/// R² of perfect predictions is 1; MSE nonnegative.
+#[test]
+fn regression_metric_sanity() {
+    for seed in 0..64u64 {
+        let mut rng = rng_from_seed(seed ^ 0x4e6);
+        let n = rng.random_range(3..50usize);
+        let y: Vec<f64> = (0..n).map(|_| rng.random::<f64>() * 200.0 - 100.0).collect();
+        assert!((r2(&y, &y) - 1.0).abs() < 1e-9, "seed {seed}");
+        let preds: Vec<f64> = y
+            .iter()
+            .map(|a| a + rng.random::<f64>() * 2.0 - 1.0)
+            .collect();
+        assert!(mse(&y, &preds) >= 0.0, "seed {seed}");
     }
+}
 
-    /// Every sampled configuration of every tier validates, encodes into
-    /// [-1, 1], and round-trips through from_map.
-    #[test]
-    fn config_space_sampling_invariants(seed in 0u64..500) {
-        let def = SpaceDef::tiered(Task::Classification, SpaceTier::Medium);
-        let space = def.compile_subspace(&def.var_names(), &HashMap::new()).unwrap();
+/// Every sampled configuration of the medium tier validates, encodes into
+/// `[-1, 1]`, and round-trips through `from_map`.
+#[test]
+fn config_space_sampling_invariants() {
+    let def = SpaceDef::tiered(Task::Classification, SpaceTier::Medium);
+    let space = def
+        .compile_subspace(&def.var_names(), &HashMap::new())
+        .unwrap();
+    for seed in 0..200u64 {
         let mut rng = rng_from_seed(seed);
         let cfg = space.sample(&mut rng);
         space.validate(&cfg).unwrap();
         let enc = space.encode(&cfg);
-        prop_assert!(enc.iter().all(|&v| v == -1.0 || (0.0..=1.0).contains(&v)));
+        assert!(
+            enc.iter().all(|&v| v == -1.0 || (0.0..=1.0).contains(&v)),
+            "seed {seed}: encoding out of range"
+        );
         let map = space.to_map(&cfg);
         let back = space.from_map(&map);
         space.validate(&back).unwrap();
         // Round-trip preserves active values.
         for (a, b) in cfg.values.iter().zip(back.values.iter()) {
             match (a, b) {
-                (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-9),
+                (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9, "seed {seed}"),
                 (None, None) => {}
-                _ => prop_assert!(false, "activity pattern changed"),
+                _ => panic!("seed {seed}: activity pattern changed"),
             }
         }
     }
+}
 
-    /// Neighbor moves always stay inside the space.
-    #[test]
-    fn neighbors_stay_valid(seed in 0u64..200) {
-        let mut space = ConfigSpace::new();
-        let parent = space.add("p", Domain::Cat { n: 3 }, 0.0).unwrap();
-        space
-            .add_conditional(
-                "child",
-                Domain::Float { lo: 0.1, hi: 10.0, log: true },
-                1.0,
-                Some(volcanoml_bo::Condition { parent, values: vec![1, 2] }),
-            )
-            .unwrap();
-        space.add("x", Domain::Int { lo: -5, hi: 5, log: false }, 0.0).unwrap();
+/// Neighbor moves always stay inside the space.
+#[test]
+fn neighbors_stay_valid() {
+    let mut space = ConfigSpace::new();
+    let parent = space.add("p", Domain::Cat { n: 3 }, 0.0).unwrap();
+    space
+        .add_conditional(
+            "child",
+            Domain::Float {
+                lo: 0.1,
+                hi: 10.0,
+                log: true,
+            },
+            1.0,
+            Some(volcanoml_bo::Condition {
+                parent,
+                values: vec![1, 2],
+            }),
+        )
+        .unwrap();
+    space
+        .add(
+            "x",
+            Domain::Int {
+                lo: -5,
+                hi: 5,
+                log: false,
+            },
+            0.0,
+        )
+        .unwrap();
+    for seed in 0..100u64 {
         let mut rng = rng_from_seed(seed);
         let mut cfg = space.sample(&mut rng);
         for _ in 0..20 {
@@ -93,11 +137,22 @@ proptest! {
             space.validate(&cfg).unwrap();
         }
     }
+}
 
-    /// Rescalers produce finite output on arbitrary finite input and are
-    /// width-preserving.
-    #[test]
-    fn rescalers_are_total(rows in prop::collection::vec(prop::collection::vec(-1e4f64..1e4, 3), 4..40)) {
+/// Rescalers produce finite output on arbitrary finite input and are
+/// shape-preserving.
+#[test]
+fn rescalers_are_total() {
+    for seed in 0..24u64 {
+        let mut rng = rng_from_seed(seed ^ 0x5ca1e);
+        let n_rows = rng.random_range(4..40usize);
+        let rows: Vec<Vec<f64>> = (0..n_rows)
+            .map(|_| {
+                (0..3)
+                    .map(|_| rng.random::<f64>() * 2e4 - 1e4)
+                    .collect()
+            })
+            .collect();
         let x = Matrix::from_rows(&rows).unwrap();
         for kind in [
             ScaleKind::None,
@@ -109,22 +164,31 @@ proptest! {
         ] {
             let mut s = Rescaler::new(kind);
             let out = s.fit_transform(&x, &[]).unwrap();
-            prop_assert_eq!(out.shape(), x.shape());
-            prop_assert!(out.data().iter().all(|v| v.is_finite()));
+            assert_eq!(out.shape(), x.shape(), "seed {seed}");
+            assert!(
+                out.data().iter().all(|v| v.is_finite()),
+                "seed {seed}: non-finite output"
+            );
         }
     }
+}
 
-    /// Rank computation: a permutation of distinct losses gets ranks 1..n.
-    #[test]
-    fn rank_of_distinct_losses_is_a_permutation(n in 2usize..10, seed in 0u64..100) {
+/// Rank computation: a permutation of distinct losses gets ranks 1..n.
+#[test]
+fn rank_of_distinct_losses_is_a_permutation() {
+    for seed in 0..100u64 {
         let mut rng = rng_from_seed(seed);
+        let n = rng.random_range(2..10usize);
         let perm = volcanoml_data::rand_util::permutation(&mut rng, n);
         let losses: Vec<f64> = perm.iter().map(|&p| p as f64 * 0.1).collect();
         let ranks = volcanoml_bench_rank(&losses);
         let mut sorted = ranks.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for (i, r) in sorted.iter().enumerate() {
-            prop_assert!((r - (i + 1) as f64).abs() < 1e-12);
+            assert!(
+                (r - (i + 1) as f64).abs() < 1e-12,
+                "seed {seed}: rank {r} at {i}"
+            );
         }
     }
 }
