@@ -1,12 +1,18 @@
 //! Criterion micro-benchmarks for the model zoo — per-evaluation training
-//! costs that dominate the AutoML budget.
+//! costs that dominate the AutoML budget — plus a timed exact-vs-histogram
+//! forest comparison at AutoML-realistic scale (~10k rows) that emits
+//! `results/BENCH_models.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
-use volcanoml_data::synthetic::{make_classification, make_regression, ClassificationSpec, RegressionSpec};
+use std::time::Instant;
+use volcanoml_data::synthetic::{
+    make_classification, make_regression, ClassificationSpec, RegressionSpec,
+};
+use volcanoml_data::{metrics::accuracy, train_test_split};
 use volcanoml_models::forest::{ForestClassifier, ForestConfig};
 use volcanoml_models::linear::{LogisticRegression, RidgeRegression};
-use volcanoml_models::tree::{DecisionTreeClassifier, TreeConfig};
+use volcanoml_models::tree::{DecisionTreeClassifier, SplitStrategy, TreeConfig};
 use volcanoml_models::Estimator;
 
 fn bench_models(c: &mut Criterion) {
@@ -33,6 +39,15 @@ fn bench_models(c: &mut Criterion) {
     c.bench_function("models/forest50_fit_500x12", |b| {
         b.iter(|| {
             let mut m = ForestClassifier::new(ForestConfig::random_forest());
+            m.fit(&d.x, &d.y).unwrap();
+            black_box(m)
+        })
+    });
+    c.bench_function("models/forest50_hist_fit_500x12", |b| {
+        b.iter(|| {
+            let mut cfg = ForestConfig::random_forest();
+            cfg.split_strategy = SplitStrategy::Histogram;
+            let mut m = ForestClassifier::new(cfg);
             m.fit(&d.x, &d.y).unwrap();
             black_box(m)
         })
@@ -71,6 +86,73 @@ fn bench_models(c: &mut Criterion) {
     });
 }
 
+/// Times one forest fit; returns `(fit_ms, test_accuracy)`.
+fn timed_forest_fit(
+    train: &volcanoml_data::Dataset,
+    test: &volcanoml_data::Dataset,
+    strategy: SplitStrategy,
+    n_jobs: usize,
+) -> (f64, f64) {
+    let mut cfg = ForestConfig::random_forest();
+    cfg.n_estimators = 40;
+    cfg.split_strategy = strategy;
+    cfg.n_jobs = n_jobs;
+    let mut m = ForestClassifier::new(cfg);
+    let start = Instant::now();
+    m.fit(&train.x, &train.y).unwrap();
+    let fit_ms = start.elapsed().as_secs_f64() * 1e3;
+    let acc = accuracy(&test.y, &m.predict(&test.x).unwrap());
+    (fit_ms, acc)
+}
+
+/// Exact-vs-histogram forest training at ~10k rows: the headline number for
+/// the histogram split path. Written to `results/BENCH_models.json`.
+fn histogram_speedup_report() {
+    let d = make_classification(
+        &ClassificationSpec {
+            n_samples: 10_000,
+            n_features: 20,
+            n_informative: 10,
+            n_redundant: 4,
+            n_classes: 3,
+            class_sep: 1.0,
+            flip_y: 0.02,
+            weights: Vec::new(),
+        },
+        7,
+    );
+    let (train, test) = train_test_split(&d, 0.2, 0).unwrap();
+    let (exact_ms, exact_acc) = timed_forest_fit(&train, &test, SplitStrategy::Best, 1);
+    let (hist_ms, hist_acc) = timed_forest_fit(&train, &test, SplitStrategy::Histogram, 1);
+    let (hist4_ms, hist4_acc) = timed_forest_fit(&train, &test, SplitStrategy::Histogram, 4);
+    assert_eq!(hist_acc, hist4_acc, "n_jobs must not change the fit");
+    let speedup = exact_ms / hist_ms;
+    let parallel_speedup = hist_ms / hist4_ms;
+    let n_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"forest40_fit_{}x{}\",\n  \"n_rows\": {},\n  \"n_features\": {},\n  \
+         \"n_trees\": 40,\n  \"n_cpus\": {n_cpus},\n  \"exact_fit_ms\": {exact_ms:.1},\n  \
+         \"hist_fit_ms\": {hist_ms:.1},\n  \
+         \"speedup\": {speedup:.2},\n  \"hist_fit_ms_n_jobs4\": {hist4_ms:.1},\n  \
+         \"parallel_speedup\": {parallel_speedup:.2},\n  \"exact_acc\": {exact_acc:.4},\n  \
+         \"hist_acc\": {hist_acc:.4},\n  \"accuracy_delta\": {:.4}\n}}\n",
+        train.n_samples(),
+        train.n_features(),
+        train.n_samples(),
+        train.n_features(),
+        hist_acc - exact_acc,
+    );
+    println!("\nhistogram vs exact forest fit ({} rows):", train.n_samples());
+    print!("{json}");
+    let dir = volcanoml_bench::results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_models.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
@@ -79,4 +161,8 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_models
 }
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    histogram_speedup_report();
+}

@@ -3,12 +3,84 @@
 //! A compact regression forest specialized for SMAC-style use: inputs are the
 //! unit-cube encodings produced by [`crate::ConfigSpace::encode`] (with `-1`
 //! sentinels for inactive conditional parameters), predictions expose
-//! mean *and* variance across trees. Trees use random split thresholds
-//! (extra-trees style) which is both fast and gives better-calibrated
-//! ensemble variance for acquisition optimization.
+//! mean *and* variance across trees. Split search is histogram-based: the
+//! encodings are quantized once per `fit` into at most
+//! [`SURROGATE_MAX_BINS`] roughly equal-frequency bins per dimension, and
+//! each node draws a handful of random candidate features whose bin
+//! boundaries are scanned for the lowest-MSE split. Randomized feature
+//! tries keep the trees decorrelated (well-calibrated ensemble variance)
+//! while the bin scan finds locally exact thresholds fast.
 
 use rand::rngs::StdRng;
 use rand::RngExt;
+
+/// Bins per encoded dimension; encodings live in the unit cube (plus `-1`
+/// sentinels), so a modest resolution loses nothing.
+const SURROGATE_MAX_BINS: usize = 64;
+
+/// Quantized view of the fitted configurations (column-major codes).
+struct BinnedConfigs {
+    n: usize,
+    d: usize,
+    /// `codes[f * n + i]` is row `i`'s bin for dimension `f`.
+    codes: Vec<u8>,
+    /// `cuts[f][b]` is the raw threshold between bins `b` and `b + 1`.
+    cuts: Vec<Vec<f64>>,
+}
+
+impl BinnedConfigs {
+    fn from_rows(xs: &[Vec<f64>]) -> BinnedConfigs {
+        let n = xs.len();
+        let d = xs[0].len();
+        let mut codes = vec![0u8; n * d];
+        let mut cuts = Vec::with_capacity(d);
+        let mut sorted: Vec<f64> = Vec::with_capacity(n);
+        for f in 0..d {
+            sorted.clear();
+            sorted.extend(xs.iter().map(|x| x[f]));
+            sorted.sort_by(f64::total_cmp);
+            let mut distinct: Vec<(f64, usize)> = Vec::new();
+            for &v in sorted.iter() {
+                match distinct.last_mut() {
+                    Some((last, count)) if v - *last < 1e-12 => *count += 1,
+                    _ => distinct.push((v, 1)),
+                }
+            }
+            let feature_cuts: Vec<f64> = if distinct.len() <= SURROGATE_MAX_BINS {
+                distinct.windows(2).map(|w| (w[0].0 + w[1].0) / 2.0).collect()
+            } else {
+                let target = n.div_ceil(SURROGATE_MAX_BINS);
+                let mut c = Vec::new();
+                let mut in_bin = 0usize;
+                for (j, &(v, count)) in distinct.iter().enumerate() {
+                    in_bin += count;
+                    if in_bin >= target
+                        && j + 1 < distinct.len()
+                        && c.len() + 2 <= SURROGATE_MAX_BINS
+                    {
+                        c.push((v + distinct[j + 1].0) / 2.0);
+                        in_bin = 0;
+                    }
+                }
+                c
+            };
+            let col = &mut codes[f * n..(f + 1) * n];
+            for (i, code) in col.iter_mut().enumerate() {
+                *code = feature_cuts.partition_point(|&c| xs[i][f] > c) as u8;
+            }
+            cuts.push(feature_cuts);
+        }
+        BinnedConfigs { n, d, codes, cuts }
+    }
+
+    fn column(&self, f: usize) -> &[u8] {
+        &self.codes[f * self.n..(f + 1) * self.n]
+    }
+
+    fn n_bins(&self, f: usize) -> usize {
+        self.cuts[f].len() + 1
+    }
+}
 
 /// One fitted surrogate tree (flattened node array).
 #[derive(Debug, Clone)]
@@ -66,12 +138,13 @@ impl RandomForestSurrogate {
             return;
         }
         let n = xs.len();
+        let binned = BinnedConfigs::from_rows(xs);
         for _ in 0..self.n_trees {
             // Bootstrap sample.
             let idx: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
             let mut nodes = Vec::new();
             build_tree(
-                xs,
+                &binned,
                 ys,
                 &idx,
                 0,
@@ -108,7 +181,7 @@ impl Default for RandomForestSurrogate {
 
 #[allow(clippy::too_many_arguments)]
 fn build_tree(
-    xs: &[Vec<f64>],
+    xs: &BinnedConfigs,
     ys: &[f64],
     indices: &[usize],
     depth: usize,
@@ -135,50 +208,53 @@ fn build_tree(
         return make_leaf(nodes);
     }
 
-    let d = xs[0].len();
-    // Try a handful of random (feature, threshold) pairs, keep the best.
-    let mut best: Option<(usize, f64, f64)> = None;
+    let d = xs.d;
+    // Draw a handful of random candidate features; scan each one's bin
+    // boundaries for the lowest weighted child MSE. (feature, bin, score)
+    let mut best: Option<(usize, usize, f64)> = None;
     let tries = d.clamp(4, 24);
+    let mut hist = vec![(0.0f64, 0.0f64, 0usize); SURROGATE_MAX_BINS]; // (sum, sumsq, count)
     for _ in 0..tries {
         let f = rng.random_range(0..d);
-        let mut lo = f64::INFINITY;
-        let mut hi = f64::NEG_INFINITY;
-        for &i in indices {
-            lo = lo.min(xs[i][f]);
-            hi = hi.max(xs[i][f]);
-        }
-        if hi - lo < 1e-12 {
+        let nb = xs.n_bins(f);
+        if nb < 2 {
             continue;
         }
-        let threshold = lo + rng.random::<f64>() * (hi - lo);
-        let (mut ls, mut lc, mut rs, mut rc) = (0.0, 0usize, 0.0, 0usize);
-        let (mut lq, mut rq) = (0.0, 0.0);
+        hist[..nb].fill((0.0, 0.0, 0));
+        let col = xs.column(f);
+        let (mut ts, mut tq) = (0.0, 0.0);
         for &i in indices {
-            if xs[i][f] <= threshold {
-                ls += ys[i];
-                lq += ys[i] * ys[i];
-                lc += 1;
-            } else {
-                rs += ys[i];
-                rq += ys[i] * ys[i];
-                rc += 1;
+            let b = &mut hist[col[i] as usize];
+            b.0 += ys[i];
+            b.1 += ys[i] * ys[i];
+            b.2 += 1;
+            ts += ys[i];
+            tq += ys[i] * ys[i];
+        }
+        let (mut ls, mut lq, mut lc) = (0.0, 0.0, 0usize);
+        for (b, &(s, q, c)) in hist[..nb - 1].iter().enumerate() {
+            ls += s;
+            lq += q;
+            lc += c;
+            let rc = indices.len() - lc;
+            if lc < min_leaf || rc < min_leaf {
+                continue;
+            }
+            let lvar = lq / lc as f64 - (ls / lc as f64).powi(2);
+            let rvar = (tq - lq) / rc as f64 - ((ts - ls) / rc as f64).powi(2);
+            let score = (lc as f64 * lvar + rc as f64 * rvar) / indices.len() as f64;
+            if best.is_none_or(|(_, _, bs)| score < bs) {
+                best = Some((f, b, score));
             }
         }
-        if lc < min_leaf || rc < min_leaf {
-            continue;
-        }
-        let lvar = lq / lc as f64 - (ls / lc as f64).powi(2);
-        let rvar = rq / rc as f64 - (rs / rc as f64).powi(2);
-        let score = (lc as f64 * lvar + rc as f64 * rvar) / indices.len() as f64;
-        if best.is_none_or(|(_, _, b)| score < b) {
-            best = Some((f, threshold, score));
-        }
     }
-    let Some((f, threshold, _)) = best else {
+    let Some((f, bin, _)) = best else {
         return make_leaf(nodes);
     };
+    let threshold = xs.cuts[f][bin];
+    let col = xs.column(f);
     let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-        indices.iter().partition(|&&i| xs[i][f] <= threshold);
+        indices.iter().partition(|&&i| (col[i] as usize) <= bin);
 
     let me = nodes.len();
     nodes.push((f, threshold, 0, 0));

@@ -4,7 +4,8 @@
 //! volcanoml fit data.csv [--evals N] [--tier small|medium|large]
 //!                        [--plan p1|p2|p3|p4|p5] [--engine bo|random|sh|hyperband|mfes-hb]
 //!                        [--seed S] [--cv K] [--ensemble N] [--smote]
-//!                        [--workers N] [--journal trials.jsonl] [--trial-timeout SECS]
+//!                        [--workers N] [--n-jobs N] [--journal trials.jsonl]
+//!                        [--trial-timeout SECS]
 //! volcanoml spaces                      # print the tiered search-space sizes
 //! volcanoml plans                       # print the plan catalogue
 //! volcanoml generate <kind> <out.csv>   # emit a synthetic benchmark dataset
@@ -24,8 +25,9 @@ use volcanoml_fe::pipeline::FeSpaceOptions;
 fn usage() -> &'static str {
     "usage:\n  volcanoml fit <data.csv> [--evals N] [--tier small|medium|large] \
      [--plan p1|p2|p3|p4|p5] [--engine bo|random|sh|hyperband|mfes-hb] [--seed S] \
-     [--cv K] [--ensemble N] [--smote] [--workers N] [--journal trials.jsonl] \
-     [--trial-timeout SECS]\n  volcanoml spaces\n  volcanoml plans\n  \
+     [--cv K] [--ensemble N] [--smote] [--workers N] [--n-jobs N] \
+     [--journal trials.jsonl] [--trial-timeout SECS]\n  volcanoml spaces\n  \
+     volcanoml plans\n  \
      volcanoml generate <classification|moons|xor|friedman1|imbalanced> <out.csv> [--seed S]"
 }
 
@@ -132,6 +134,11 @@ fn cmd_fit(args: &[String]) -> Result<(), String> {
     if workers == 0 {
         return Err("--workers must be >= 1".to_string());
     }
+    // Threads inside each model fit; orthogonal to --workers (trials).
+    let n_jobs: usize = flags.get_parsed("n-jobs", 1)?;
+    if n_jobs == 0 {
+        return Err("--n-jobs must be >= 1".to_string());
+    }
     let journal_path = flags.get("journal").map(std::path::PathBuf::from);
     let trial_deadline = match flags.get("trial-timeout") {
         Some(v) => {
@@ -192,11 +199,15 @@ fn cmd_fit(args: &[String]) -> Result<(), String> {
             n_workers: workers,
             trial_deadline,
             journal_path: journal_path.clone(),
+            model_n_jobs: n_jobs,
             ..Default::default()
         },
     );
     if workers > 1 {
         println!("executing trials on {workers} worker threads");
+    }
+    if n_jobs > 1 {
+        println!("fitting tree ensembles with {n_jobs} threads per trial");
     }
     let fitted = engine.fit(&train).map_err(|e| e.to_string())?;
     println!("\nexecution plan after the run:\n{}", fitted.report.plan_explain);
@@ -348,6 +359,8 @@ mod tests {
         let args: Vec<String> = [
             "--workers",
             "4",
+            "--n-jobs",
+            "2",
             "--journal",
             "trials.jsonl",
             "--trial-timeout",
@@ -358,6 +371,7 @@ mod tests {
         .collect();
         let f = Flags::parse(&args).unwrap();
         assert_eq!(f.get_parsed("workers", 1usize).unwrap(), 4);
+        assert_eq!(f.get_parsed("n-jobs", 1usize).unwrap(), 2);
         assert_eq!(f.get("journal"), Some("trials.jsonl"));
         assert_eq!(f.get("trial-timeout"), Some("2.5"));
     }

@@ -47,6 +47,10 @@ pub struct VolcanoMlOptions {
     pub trial_deadline: Option<Duration>,
     /// When set, every trial is appended to a JSONL journal at this path.
     pub journal_path: Option<std::path::PathBuf>,
+    /// Threads used *inside* a single model fit (tree ensembles). Fits are
+    /// bit-identical across thread counts, so this only affects wall time.
+    /// Orthogonal to `n_workers`, which parallelizes across trials.
+    pub model_n_jobs: usize,
 }
 
 impl Default for VolcanoMlOptions {
@@ -63,6 +67,7 @@ impl Default for VolcanoMlOptions {
             n_workers: 1,
             trial_deadline: None,
             journal_path: None,
+            model_n_jobs: 1,
         }
     }
 }
@@ -156,6 +161,7 @@ impl VolcanoML {
                 .map_err(|e| CoreError::Invalid(format!("cannot open journal: {e}")))?;
             evaluator.attach_journal(Arc::new(journal));
         }
+        evaluator.set_model_n_jobs(self.options.model_n_jobs);
         let pool = if self.options.n_workers > 1 || self.options.trial_deadline.is_some() {
             let mut config = PoolConfig::with_workers(self.options.n_workers.max(1));
             config.trial_deadline = self.options.trial_deadline;
@@ -472,6 +478,18 @@ mod tests {
             engine.fit(&d).unwrap().report.best_loss
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn model_n_jobs_does_not_change_search_results() {
+        let d = cls_data(11);
+        let run = |jobs: usize| {
+            let mut options = quick_options(12);
+            options.model_n_jobs = jobs;
+            let engine = VolcanoML::with_tier(Task::Classification, SpaceTier::Small, options);
+            engine.fit(&d).unwrap().report.best_loss
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

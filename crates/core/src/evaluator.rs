@@ -19,6 +19,7 @@ use crate::spaces::SpaceDef;
 use crate::{CoreError, Result};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use volcanoml_data::split::{subsample, KFold, StratifiedKFold};
@@ -29,6 +30,11 @@ use volcanoml_models::{AlgorithmKind, Estimator, Model};
 
 /// Default bound on the evaluator's result cache.
 pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Default bound on the cross-trial FE-transform cache. Entries hold full
+/// transformed matrices, so the bound is much tighter than the result
+/// cache's.
+pub const DEFAULT_FE_CACHE_CAPACITY: usize = 64;
 
 /// How an assignment's quality is measured during search (§5.1 lets users
 /// pick validation accuracy or cross-validation accuracy).
@@ -75,6 +81,10 @@ pub struct EvalOutcome {
     pub cost: f64,
     /// Whether the result came from the cache.
     pub cached: bool,
+    /// Whether the fitted FE transform was reused from the cross-trial FE
+    /// cache (always `false` on a full result-cache hit, where no FE work
+    /// happens at all).
+    pub fe_cached: bool,
     /// Whether the trial panicked (caught; loss is `INFINITY`).
     pub panicked: bool,
     /// Whether the trial exceeded a pool deadline and was abandoned.
@@ -87,6 +97,7 @@ impl EvalOutcome {
             loss: f64::INFINITY,
             cost: 0.0,
             cached: false,
+            fe_cached: false,
             panicked,
             timed_out,
         }
@@ -166,11 +177,83 @@ impl BoundedCache {
     }
 }
 
+/// One fitted-FE output shared across trials: transformed training
+/// features, training targets (balancers such as SMOTE resample them, so
+/// they must be cached alongside), and the transformed validation features.
+type FeTransformed = (
+    volcanoml_linalg::Matrix,
+    Vec<f64>,
+    volcanoml_linalg::Matrix,
+);
+
+/// FIFO-bounded cache of fitted-FE outputs keyed on
+/// `(fe-sub-assignment hash, training-data key)`. Trials that share an FE
+/// configuration (the common case when a block sweeps model
+/// hyper-parameters) reuse the transformed `(X, y)` via `Arc` instead of
+/// re-running imputation/encoding/scaling/balancing per trial.
+struct FeCache {
+    map: HashMap<(u64, u64), Arc<FeTransformed>>,
+    order: VecDeque<(u64, u64)>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl FeCache {
+    fn new(capacity: usize) -> FeCache {
+        FeCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn get(&mut self, key: &(u64, u64)) -> Option<Arc<FeTransformed>> {
+        match self.map.get(key) {
+            Some(v) => {
+                self.hits += 1;
+                Some(Arc::clone(v))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: (u64, u64), value: Arc<FeTransformed>) {
+        if self.map.insert(key, value).is_none() {
+            self.order.push_back(key);
+            while self.map.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        while self.map.len() > self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
 /// Mutable evaluator state, shared across handles behind one mutex. The
 /// lock is only held for bookkeeping — never across a pipeline fit — so
 /// worker threads serialize on microseconds, not on training time.
 struct EvalState {
     cache: BoundedCache,
+    fe_cache: FeCache,
     evaluations: usize,
     total_cost: f64,
     log: Vec<LogEntry>,
@@ -183,6 +266,10 @@ struct EvalShared {
     fit_data: Dataset,
     valid_data: Dataset,
     seed: u64,
+    /// Threads handed to models that support intra-fit parallelism (tree
+    /// ensembles); injected as an `n_jobs` parameter at build time. Model
+    /// fits are thread-count independent, so this never affects losses.
+    model_n_jobs: AtomicUsize,
     state: Mutex<EvalState>,
     journal: Mutex<Option<Arc<Journal>>>,
     fault_hook: Mutex<Option<FaultHook>>,
@@ -328,8 +415,10 @@ impl Evaluator {
                 fit_data,
                 valid_data,
                 seed,
+                model_n_jobs: AtomicUsize::new(1),
                 state: Mutex::new(EvalState {
                     cache: BoundedCache::new(DEFAULT_CACHE_CAPACITY),
+                    fe_cache: FeCache::new(DEFAULT_FE_CACHE_CAPACITY),
                     evaluations: 0,
                     total_cost: 0.0,
                     log: Vec::new(),
@@ -441,6 +530,7 @@ impl Evaluator {
                         loss: outcome.loss,
                         cost: if outcome.cached { 0.0 } else { outcome.cost },
                         cached: outcome.cached,
+                        fe_cached: outcome.fe_cached,
                         panicked: outcome.panicked,
                         timed_out: outcome.timed_out,
                     });
@@ -469,6 +559,7 @@ impl Evaluator {
                 loss,
                 cost,
                 cached: true,
+                fe_cached: false,
                 panicked: false,
                 timed_out: false,
             };
@@ -483,6 +574,7 @@ impl Evaluator {
                     loss,
                     cost: 0.0,
                     cached: true,
+                    fe_cached: false,
                     panicked: false,
                     timed_out: false,
                 });
@@ -506,9 +598,10 @@ impl Evaluator {
             }
             self.evaluate_uncached(assignment, fidelity)
         }));
-        let (loss, panicked) = match caught {
-            Ok(result) => (result.unwrap_or(f64::INFINITY), false),
-            Err(_) => (f64::INFINITY, true),
+        let (loss, fe_cached, panicked) = match caught {
+            Ok(Ok((loss, fe_cached))) => (loss, fe_cached, false),
+            Ok(Err(_)) => (f64::INFINITY, false, false),
+            Err(_) => (f64::INFINITY, false, true),
         };
         let cost = start.elapsed().as_secs_f64();
         {
@@ -533,6 +626,7 @@ impl Evaluator {
                 loss,
                 cost,
                 cached: false,
+                fe_cached,
                 panicked,
                 timed_out: false,
             });
@@ -541,12 +635,16 @@ impl Evaluator {
             loss,
             cost,
             cached: false,
+            fe_cached,
             panicked,
             timed_out: false,
         }
     }
 
-    /// Fits one pipeline+model on `(train)` and scores on `valid`.
+    /// Fits one pipeline+model on `(train)` and scores on `valid`,
+    /// returning `(loss, fe_cached)`. `data_key` identifies the exact
+    /// training subset (fidelity and, under CV, the fold) so the FE cache
+    /// never conflates transforms fitted on different rows.
     fn fit_and_score(
         &self,
         alg: AlgorithmKind,
@@ -554,36 +652,55 @@ impl Evaluator {
         fe_params: &HashMap<String, f64>,
         train: &Dataset,
         valid: &Dataset,
-    ) -> Result<f64> {
-        let mut pipeline = FePipeline::from_values(
-            self.shared.space.task,
-            &train.feature_types,
-            fe_params,
-            &self.shared.space.fe_options,
-            self.shared.seed,
-        )
-        .map_err(|e| CoreError::Substrate(e.to_string()))?;
-        let (x_train, y_train) = pipeline
-            .fit_transform_train(&train.x, &train.y)
-            .map_err(|e| CoreError::Substrate(e.to_string()))?;
-        let x_valid = pipeline
-            .transform(&valid.x)
-            .map_err(|e| CoreError::Substrate(e.to_string()))?;
-        let mut model = alg.build(model_params, self.shared.seed);
+        data_key: u64,
+    ) -> Result<(f64, bool)> {
+        let fe_key = (assignment_key(fe_params), data_key);
+        let cached = self.state().fe_cache.get(&fe_key);
+        let (fe_out, fe_cached) = match cached {
+            Some(arc) => (arc, true),
+            None => {
+                let mut pipeline = FePipeline::from_values(
+                    self.shared.space.task,
+                    &train.feature_types,
+                    fe_params,
+                    &self.shared.space.fe_options,
+                    self.shared.seed,
+                )
+                .map_err(|e| CoreError::Substrate(e.to_string()))?;
+                let (x_train, y_train) = pipeline
+                    .fit_transform_train(&train.x, &train.y)
+                    .map_err(|e| CoreError::Substrate(e.to_string()))?;
+                let x_valid = pipeline
+                    .transform(&valid.x)
+                    .map_err(|e| CoreError::Substrate(e.to_string()))?;
+                let arc = Arc::new((x_train, y_train, x_valid));
+                self.state().fe_cache.insert(fe_key, Arc::clone(&arc));
+                (arc, false)
+            }
+        };
+        let (x_train, y_train, x_valid) = &*fe_out;
+        let n_jobs = self.shared.model_n_jobs.load(Ordering::Relaxed);
+        let mut model = if n_jobs > 1 {
+            let mut with_jobs = model_params.clone();
+            with_jobs.insert("n_jobs".to_string(), n_jobs as f64);
+            alg.build(&with_jobs, self.shared.seed)
+        } else {
+            alg.build(model_params, self.shared.seed)
+        };
         model
-            .fit(&x_train, &y_train)
+            .fit(x_train, y_train)
             .map_err(|e| CoreError::Substrate(e.to_string()))?;
         let preds = model
-            .predict(&x_valid)
+            .predict(x_valid)
             .map_err(|e| CoreError::Substrate(e.to_string()))?;
-        Ok(self.shared.metric.loss(&valid.y, &preds))
+        Ok((self.shared.metric.loss(&valid.y, &preds), fe_cached))
     }
 
     fn evaluate_uncached(
         &self,
         assignment: &HashMap<String, f64>,
         fidelity: f64,
-    ) -> Result<f64> {
+    ) -> Result<(f64, bool)> {
         let (alg, model_params, fe_params) = self.interpret(assignment)?;
         let data = if fidelity >= 1.0 - 1e-9 {
             self.shared.fit_data.clone()
@@ -597,6 +714,7 @@ impl Evaluator {
                 &fe_params,
                 &data,
                 &self.shared.valid_data,
+                fidelity.to_bits(),
             ),
             ValidationStrategy::CrossValidation { folds } => {
                 let splits: Vec<(Vec<usize>, Vec<usize>)> =
@@ -610,12 +728,25 @@ impl Evaluator {
                             .collect()
                     };
                 let mut total = 0.0;
-                for (train_idx, valid_idx) in &splits {
+                let mut all_fe_cached = true;
+                for (fold, (train_idx, valid_idx)) in splits.iter().enumerate() {
                     let train = data.subset(train_idx);
                     let valid = data.subset(valid_idx);
-                    total += self.fit_and_score(alg, &model_params, &fe_params, &train, &valid)?;
+                    let data_key = fidelity
+                        .to_bits()
+                        .wrapping_add((fold as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let (loss, fe_cached) = self.fit_and_score(
+                        alg,
+                        &model_params,
+                        &fe_params,
+                        &train,
+                        &valid,
+                        data_key,
+                    )?;
+                    total += loss;
+                    all_fe_cached &= fe_cached;
                 }
-                Ok(total / splits.len() as f64)
+                Ok((total / splits.len() as f64, all_fe_cached))
             }
         }
     }
@@ -648,6 +779,36 @@ impl Evaluator {
     /// Rebounds the result cache, evicting oldest entries if shrinking.
     pub fn set_cache_capacity(&self, capacity: usize) {
         self.state().cache.set_capacity(capacity);
+    }
+
+    /// Number of entries in the cross-trial FE-transform cache.
+    pub fn fe_cache_size(&self) -> usize {
+        self.state().fe_cache.map.len()
+    }
+
+    /// Number of FE-transform cache hits so far.
+    pub fn fe_cache_hits(&self) -> u64 {
+        self.state().fe_cache.hits
+    }
+
+    /// Number of FE-transform cache misses so far.
+    pub fn fe_cache_misses(&self) -> u64 {
+        self.state().fe_cache.misses
+    }
+
+    /// Rebounds the FE-transform cache, evicting oldest entries if
+    /// shrinking.
+    pub fn set_fe_cache_capacity(&self, capacity: usize) {
+        self.state().fe_cache.set_capacity(capacity);
+    }
+
+    /// Sets the thread count injected into models that support intra-fit
+    /// parallelism (`n_jobs`). Fits are bit-identical across thread counts,
+    /// so this changes wall time, never losses.
+    pub fn set_model_n_jobs(&self, n_jobs: usize) {
+        self.shared
+            .model_n_jobs
+            .store(n_jobs.max(1), Ordering::Relaxed);
     }
 }
 
@@ -905,6 +1066,67 @@ mod tests {
             0,
         )
         .is_err());
+    }
+
+    #[test]
+    fn fe_cache_hits_across_trials_sharing_fe_config() {
+        let ev = evaluator();
+        let defaults = ev.space().defaults();
+        // Two different algorithms with identical FE sub-assignments: the
+        // second trial must reuse the fitted FE transform.
+        let first = ev.evaluate(&defaults, 1.0);
+        let mut other = defaults.clone();
+        other.insert("algorithm".to_string(), 1.0);
+        let second = ev.evaluate(&other, 1.0);
+        assert!(!first.fe_cached);
+        assert!(second.fe_cached, "second trial should reuse the FE output");
+        assert_eq!(ev.fe_cache_size(), 1);
+        assert_eq!(ev.fe_cache_hits(), 1);
+        assert_eq!(ev.fe_cache_misses(), 1);
+        // A result-cache hit reports fe_cached = false (no FE work at all).
+        let repeat = ev.evaluate(&defaults, 1.0);
+        assert!(repeat.cached && !repeat.fe_cached);
+    }
+
+    #[test]
+    fn fe_cache_distinguishes_fidelity_and_fe_params() {
+        let ev = evaluator();
+        let defaults = ev.space().defaults();
+        ev.evaluate(&defaults, 1.0);
+        // Different fidelity → different training rows → FE miss.
+        let half = ev.evaluate(&defaults, 0.5);
+        assert!(!half.fe_cached);
+        // Different FE sub-assignment → FE miss.
+        let mut scaled = defaults.clone();
+        let rescaler = scaled.get_mut("fe:rescaler").expect("rescaler param");
+        *rescaler = if *rescaler == 1.0 { 2.0 } else { 1.0 };
+        let rescaled = ev.evaluate(&scaled, 1.0);
+        assert!(!rescaled.fe_cached);
+        assert!(rescaled.loss.is_finite());
+        assert_eq!(ev.fe_cache_size(), 3);
+    }
+
+    #[test]
+    fn model_n_jobs_does_not_change_losses() {
+        let serial = evaluator();
+        let threaded = evaluator();
+        threaded.set_model_n_jobs(4);
+        // The forest is the n_jobs-sensitive algorithm in the small tier.
+        let mut a = serial.space().defaults();
+        a.insert("algorithm".to_string(), 1.0);
+        let s = serial.evaluate(&a, 1.0);
+        let t = threaded.evaluate(&a, 1.0);
+        assert_eq!(s.loss, t.loss, "fits must be thread-count independent");
+    }
+
+    #[test]
+    fn fe_cache_capacity_is_enforced() {
+        let ev = evaluator();
+        ev.set_fe_cache_capacity(1);
+        let defaults = ev.space().defaults();
+        ev.evaluate(&defaults, 1.0);
+        ev.evaluate(&defaults, 0.5);
+        assert_eq!(ev.fe_cache_size(), 1);
     }
 
     #[test]

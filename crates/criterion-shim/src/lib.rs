@@ -46,6 +46,24 @@ impl Default for Criterion {
 }
 
 impl Criterion {
+    /// Sets the number of measurement batches (criterion's `sample_size`).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.batches = n.max(2);
+        self
+    }
+
+    /// Sets the target wall time per measurement batch.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's calibration loop already
+    /// doubles as warm-up, so the value is ignored.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
     /// Runs and reports one named benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         // Calibration: find an iteration count filling the measurement window.
@@ -105,6 +123,12 @@ macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
         fn $name() {
             let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
             $( $target(&mut c); )+
         }
     };

@@ -5,8 +5,8 @@
 //!
 //! ```json
 //! {"trial":17,"worker":2,"start_s":0.0132,"end_s":0.0518,"fidelity":1.0,
-//!  "loss":0.2184,"cost":0.0386,"cached":false,"panicked":false,
-//!  "timed_out":false}
+//!  "loss":0.2184,"cost":0.0386,"cached":false,"fe_cached":true,
+//!  "panicked":false,"timed_out":false}
 //! ```
 //!
 //! `start_s`/`end_s` are seconds since the journal was opened (monotonic
@@ -40,6 +40,9 @@ pub struct TrialRecord {
     pub cost: f64,
     /// Whether the result came from the evaluator cache.
     pub cached: bool,
+    /// Whether the trial reused a fitted FE transform from the evaluator's
+    /// cross-trial FE cache (false on full result-cache hits).
+    pub fe_cached: bool,
     /// Whether the trial panicked.
     pub panicked: bool,
     /// Whether the trial exceeded its deadline and was abandoned.
@@ -52,7 +55,7 @@ impl TrialRecord {
         format!(
             "{{\"trial\":{},\"worker\":{},\"start_s\":{:.6},\"end_s\":{:.6},\
              \"fidelity\":{},\"loss\":{},\"cost\":{:.6},\"cached\":{},\
-             \"panicked\":{},\"timed_out\":{}}}",
+             \"fe_cached\":{},\"panicked\":{},\"timed_out\":{}}}",
             self.trial_id,
             self.worker,
             self.start_s,
@@ -61,6 +64,7 @@ impl TrialRecord {
             json_f64(self.loss),
             self.cost,
             self.cached,
+            self.fe_cached,
             self.panicked,
             self.timed_out
         )
@@ -179,6 +183,7 @@ mod tests {
             loss: 0.125,
             cost: 0.25,
             cached: false,
+            fe_cached: false,
             panicked: false,
             timed_out: false,
         }
@@ -196,6 +201,7 @@ mod tests {
             "\"loss\":0.125",
             "\"cost\":0.250000",
             "\"cached\":false",
+            "\"fe_cached\":false",
             "\"panicked\":false",
             "\"timed_out\":false",
         ] {

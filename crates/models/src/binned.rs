@@ -1,0 +1,192 @@
+//! Binned (histogram) dataset layout for fast tree training.
+//!
+//! [`BinnedMatrix`] quantizes every feature column once into at most
+//! `max_bins` ordered bins (LightGBM-style), storing column-major `u16` bin
+//! codes plus the raw-value cut points between adjacent bins. Tree builders
+//! then scan per-node *bin histograms* instead of re-sorting rows at every
+//! node, and an ensemble can share one binned layout across all of its
+//! trees. Chosen thresholds are mapped back to raw feature space, so a tree
+//! fitted on a `BinnedMatrix` predicts directly on raw [`Matrix`] rows.
+//!
+//! Binning rules:
+//! - When a feature has at most `max_bins` distinct values, each distinct
+//!   value gets its own bin and the cuts are the midpoints between adjacent
+//!   distinct values — exactly the candidate-threshold set of the exact
+//!   sorted-scan splitter, which is what makes `Histogram` splits equivalent
+//!   to `Best` splits on such features.
+//! - Otherwise bins are (approximately) equal-frequency: distinct values are
+//!   greedily grouped until each bin holds roughly `n / max_bins` rows.
+//! - Values closer than `1e-12` are treated as identical (the exact
+//!   splitter's guard), so no cut can fall inside a tie group.
+
+use volcanoml_linalg::Matrix;
+
+/// Default number of bins per feature (fits u8-sized histograms; stored as
+/// u16 codes so callers may raise it).
+pub const DEFAULT_MAX_BINS: usize = 255;
+
+/// A column-major quantized view of a feature matrix.
+#[derive(Debug, Clone)]
+pub struct BinnedMatrix {
+    n_rows: usize,
+    n_features: usize,
+    /// `codes[f * n_rows + i]` is row `i`'s bin for feature `f`.
+    codes: Vec<u16>,
+    /// `cuts[f][b]` is the raw-space threshold between bins `b` and `b + 1`;
+    /// `cuts[f].len() + 1` is the bin count of feature `f`.
+    cuts: Vec<Vec<f64>>,
+}
+
+impl BinnedMatrix {
+    /// Quantizes `x` with at most `max_bins` bins per feature.
+    pub fn from_matrix(x: &Matrix, max_bins: usize) -> BinnedMatrix {
+        let n = x.rows();
+        let d = x.cols();
+        let max_bins = max_bins.clamp(2, u16::MAX as usize + 1);
+        let mut codes = vec![0u16; n * d];
+        let mut cuts = Vec::with_capacity(d);
+        let mut sorted: Vec<f64> = Vec::with_capacity(n);
+        for f in 0..d {
+            sorted.clear();
+            sorted.extend((0..n).map(|i| x.get(i, f)));
+            sorted.sort_by(f64::total_cmp);
+            // Distinct values with multiplicities, merging ties (< 1e-12).
+            let mut distinct: Vec<(f64, usize)> = Vec::new();
+            for &v in sorted.iter() {
+                match distinct.last_mut() {
+                    Some((last, count)) if v - *last < 1e-12 => *count += 1,
+                    _ => distinct.push((v, 1)),
+                }
+            }
+            let feature_cuts = if distinct.len() <= max_bins {
+                // One bin per distinct value; cuts at midpoints.
+                distinct
+                    .windows(2)
+                    .map(|w| (w[0].0 + w[1].0) / 2.0)
+                    .collect::<Vec<f64>>()
+            } else {
+                // Equal-frequency grouping of distinct values.
+                let target = n.div_ceil(max_bins);
+                let mut c = Vec::with_capacity(max_bins - 1);
+                let mut in_bin = 0usize;
+                for (j, &(v, count)) in distinct.iter().enumerate() {
+                    in_bin += count;
+                    if in_bin >= target && j + 1 < distinct.len() && c.len() + 2 <= max_bins {
+                        c.push((v + distinct[j + 1].0) / 2.0);
+                        in_bin = 0;
+                    }
+                }
+                c
+            };
+            let col = &mut codes[f * n..(f + 1) * n];
+            for (i, code) in col.iter_mut().enumerate() {
+                let v = x.get(i, f);
+                *code = feature_cuts.partition_point(|&c| v > c) as u16;
+            }
+            cuts.push(feature_cuts);
+        }
+        BinnedMatrix {
+            n_rows: n,
+            n_features: d,
+            codes,
+            cuts,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Bin count of feature `f` (≥ 1; constant features have one bin).
+    pub fn n_bins(&self, f: usize) -> usize {
+        self.cuts[f].len() + 1
+    }
+
+    /// Column-major code slice for feature `f` (one code per row).
+    pub fn column(&self, f: usize) -> &[u16] {
+        &self.codes[f * self.n_rows..(f + 1) * self.n_rows]
+    }
+
+    /// Raw-space threshold between bins `b` and `b + 1` of feature `f`:
+    /// rows with `code <= b` satisfy `value <= cut(f, b)`.
+    pub fn cut(&self, f: usize, b: usize) -> f64 {
+        self.cuts[f][b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix_from_cols(cols: &[Vec<f64>]) -> Matrix {
+        let n = cols[0].len();
+        let d = cols.len();
+        let mut m = Matrix::zeros(n, d);
+        for (f, col) in cols.iter().enumerate() {
+            for (i, &v) in col.iter().enumerate() {
+                m.set(i, f, v);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn distinct_values_get_own_bins() {
+        let x = matrix_from_cols(&[vec![3.0, 1.0, 2.0, 1.0, 3.0]]);
+        let b = BinnedMatrix::from_matrix(&x, 255);
+        assert_eq!(b.n_bins(0), 3);
+        assert_eq!(b.column(0), &[2, 0, 1, 0, 2]);
+        assert!((b.cut(0, 0) - 1.5).abs() < 1e-12);
+        assert!((b.cut(0, 1) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_feature_has_one_bin() {
+        let x = matrix_from_cols(&[vec![7.0; 6]]);
+        let b = BinnedMatrix::from_matrix(&x, 255);
+        assert_eq!(b.n_bins(0), 1);
+        assert!(b.column(0).iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn many_distinct_values_are_capped() {
+        let col: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let x = matrix_from_cols(&[col]);
+        let b = BinnedMatrix::from_matrix(&x, 8);
+        assert!(b.n_bins(0) <= 8, "{} bins", b.n_bins(0));
+        assert!(b.n_bins(0) >= 4);
+        // Codes must be monotone in the raw values.
+        let codes = b.column(0);
+        assert!(codes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn cuts_separate_codes() {
+        let col: Vec<f64> = (0..40).map(|i| (i as f64 * 0.7).sin()).collect();
+        let x = matrix_from_cols(std::slice::from_ref(&col));
+        let b = BinnedMatrix::from_matrix(&x, 8);
+        for (i, &v) in col.iter().enumerate() {
+            let code = b.column(0)[i] as usize;
+            if code > 0 {
+                assert!(v > b.cut(0, code - 1));
+            }
+            if code + 1 < b.n_bins(0) {
+                assert!(v <= b.cut(0, code));
+            }
+        }
+    }
+
+    #[test]
+    fn near_ties_share_a_bin() {
+        let x = matrix_from_cols(&[vec![1.0, 1.0 + 1e-14, 2.0]]);
+        let b = BinnedMatrix::from_matrix(&x, 255);
+        assert_eq!(b.n_bins(0), 2);
+        assert_eq!(b.column(0), &[0, 0, 1]);
+    }
+}

@@ -1,9 +1,34 @@
 //! Boosted ensembles: gradient boosting (GBDT) and AdaBoost (SAMME).
+//!
+//! All three models support histogram-mode base learners (`split_strategy =
+//! Histogram`): the dataset is binned once up front and every round fits
+//! against the shared [`BinnedMatrix`]. Round-to-round dependencies stay
+//! serial; `n_jobs` parallelizes the independent work inside a round (the
+//! per-class trees of OvR gradient boosting, per-row stage predictions),
+//! with results applied in a fixed order so fits are bit-identical for any
+//! thread count.
 
+use crate::binned::BinnedMatrix;
+use crate::parallel::parallel_map;
 use crate::tree::{Criterion, MaxFeatures, SplitStrategy, Tree, TreeConfig};
 use crate::{check_fit_inputs, infer_n_classes, Estimator, ModelError, Result};
 use volcanoml_data::rand_util::derive_seed;
 use volcanoml_linalg::Matrix;
+
+/// Fits one base learner on raw or pre-binned data.
+fn fit_base_tree(
+    x: &Matrix,
+    binned: Option<&BinnedMatrix>,
+    y: &[f64],
+    weights: Option<&[f64]>,
+    n_outputs: usize,
+    cfg: &TreeConfig,
+) -> Result<Tree> {
+    match binned {
+        Some(bm) => Tree::fit_binned(bm, y, weights, n_outputs, cfg),
+        None => Tree::fit(x, y, weights, n_outputs, cfg),
+    }
+}
 
 /// Gradient-boosted regression trees with squared loss.
 #[derive(Debug, Clone)]
@@ -18,6 +43,14 @@ pub struct GradientBoostingRegressor {
     pub subsample: f64,
     /// Minimum samples per leaf.
     pub min_samples_leaf: usize,
+    /// Base-learner split strategy (`Histogram` bins the data once and
+    /// reuses the layout every round).
+    pub split_strategy: SplitStrategy,
+    /// Bins per feature in histogram mode.
+    pub max_bins: usize,
+    /// Worker threads for intra-round work; results are thread-count
+    /// independent.
+    pub n_jobs: usize,
     /// RNG seed.
     pub seed: u64,
     base: f64,
@@ -40,6 +73,9 @@ impl GradientBoostingRegressor {
             max_depth,
             subsample: subsample.clamp(0.1, 1.0),
             min_samples_leaf,
+            split_strategy: SplitStrategy::Best,
+            max_bins: crate::binned::DEFAULT_MAX_BINS,
+            n_jobs: 1,
             seed,
             base: 0.0,
             trees: Vec::new(),
@@ -53,7 +89,8 @@ impl GradientBoostingRegressor {
             min_samples_split: 2 * self.min_samples_leaf.max(1),
             min_samples_leaf: self.min_samples_leaf.max(1),
             max_features: MaxFeatures::All,
-            split_strategy: SplitStrategy::Best,
+            split_strategy: self.split_strategy,
+            max_bins: self.max_bins,
             seed: derive_seed(self.seed, round as u64),
         }
     }
@@ -71,21 +108,43 @@ fn subsample_indices(n: usize, fraction: f64, seed: u64) -> Vec<usize> {
     idx
 }
 
+/// The per-round subset as a 0/1 weight mask (`None` when no subsampling),
+/// so stochastic rounds fit on the full matrix without a row-copy — the
+/// tree builders drop zero-weight rows before growing.
+fn subsample_mask(n: usize, fraction: f64, seed: u64) -> Option<Vec<f64>> {
+    if fraction >= 1.0 {
+        return None;
+    }
+    let mut mask = vec![0.0; n];
+    for i in subsample_indices(n, fraction, seed) {
+        mask[i] = 1.0;
+    }
+    Some(mask)
+}
+
 impl Estimator for GradientBoostingRegressor {
     fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
         check_fit_inputs(x, y)?;
         let n = x.rows();
         self.base = volcanoml_linalg::stats::mean(y);
         self.trees.clear();
+        let binned = (self.split_strategy == SplitStrategy::Histogram)
+            .then(|| BinnedMatrix::from_matrix(x, self.max_bins));
         let mut preds = vec![self.base; n];
         for round in 0..self.n_estimators {
             let residuals: Vec<f64> = y.iter().zip(preds.iter()).map(|(t, p)| t - p).collect();
-            let idx = subsample_indices(n, self.subsample, derive_seed(self.seed, 1000 + round as u64));
-            let xs = x.select_rows(&idx);
-            let rs: Vec<f64> = idx.iter().map(|&i| residuals[i]).collect();
-            let tree = Tree::fit(&xs, &rs, None, 1, &self.tree_config(round))?;
-            for (i, p) in preds.iter_mut().enumerate() {
-                *p += self.learning_rate * tree.predict_row(x.row(i))[0];
+            let mask = subsample_mask(n, self.subsample, derive_seed(self.seed, 1000 + round as u64));
+            let tree = fit_base_tree(
+                x,
+                binned.as_ref(),
+                &residuals,
+                mask.as_deref(),
+                1,
+                &self.tree_config(round),
+            )?;
+            let deltas = parallel_map(self.n_jobs, n, |i| tree.predict_row(x.row(i))[0]);
+            for (p, d) in preds.iter_mut().zip(deltas.iter()) {
+                *p += self.learning_rate * d;
             }
             self.trees.push(tree);
         }
@@ -127,6 +186,14 @@ pub struct GradientBoostingClassifier {
     pub subsample: f64,
     /// Minimum samples per leaf.
     pub min_samples_leaf: usize,
+    /// Base-learner split strategy (`Histogram` bins once, reuses per round).
+    pub split_strategy: SplitStrategy,
+    /// Bins per feature in histogram mode.
+    pub max_bins: usize,
+    /// Worker threads for the per-class trees within a round (independent in
+    /// one-vs-rest boosting); score updates are applied serially in class
+    /// order so fits are thread-count independent.
+    pub n_jobs: usize,
     /// RNG seed.
     pub seed: u64,
     // trees[class][round]
@@ -151,6 +218,9 @@ impl GradientBoostingClassifier {
             max_depth,
             subsample: subsample.clamp(0.1, 1.0),
             min_samples_leaf,
+            split_strategy: SplitStrategy::Best,
+            max_bins: crate::binned::DEFAULT_MAX_BINS,
+            n_jobs: 1,
             seed,
             trees: Vec::new(),
             priors: Vec::new(),
@@ -208,9 +278,12 @@ impl Estimator for GradientBoostingClassifier {
             min_samples_split: 2 * self.min_samples_leaf.max(1),
             min_samples_leaf: self.min_samples_leaf.max(1),
             max_features: MaxFeatures::All,
-            split_strategy: SplitStrategy::Best,
+            split_strategy: self.split_strategy,
+            max_bins: self.max_bins,
             seed,
         };
+        let binned = (self.split_strategy == SplitStrategy::Histogram)
+            .then(|| BinnedMatrix::from_matrix(x, self.max_bins));
 
         // scores[i][c]
         let mut scores = Matrix::zeros(n, k);
@@ -218,7 +291,10 @@ impl Estimator for GradientBoostingClassifier {
             scores.row_mut(i).copy_from_slice(&self.priors);
         }
         for round in 0..self.n_estimators {
-            for c in 0..k {
+            // Within a round the per-class stages are independent: class
+            // `c` reads only score column `c`, so trees and their update
+            // vectors can be fitted in parallel and applied in class order.
+            let fit_class = |c: usize| -> Result<(Tree, Vec<f64>)> {
                 // Negative gradient of OvR logistic loss: t - sigmoid(score).
                 let grads: Vec<f64> = (0..n)
                     .map(|i| {
@@ -227,16 +303,26 @@ impl Estimator for GradientBoostingClassifier {
                         t - p
                     })
                     .collect();
-                let idx = subsample_indices(
+                let mask = subsample_mask(
                     n,
                     self.subsample,
                     derive_seed(self.seed, (round * k + c) as u64),
                 );
-                let xs = x.select_rows(&idx);
-                let gs: Vec<f64> = idx.iter().map(|&i| grads[i]).collect();
-                let tree = Tree::fit(&xs, &gs, None, 1, &cfg(derive_seed(self.seed, (7000 + round * k + c) as u64)))?;
-                for i in 0..n {
-                    let s = scores.get(i, c) + self.learning_rate * tree.predict_row(x.row(i))[0];
+                let tree = fit_base_tree(
+                    x,
+                    binned.as_ref(),
+                    &grads,
+                    mask.as_deref(),
+                    1,
+                    &cfg(derive_seed(self.seed, (7000 + round * k + c) as u64)),
+                )?;
+                let deltas: Vec<f64> = (0..n).map(|i| tree.predict_row(x.row(i))[0]).collect();
+                Ok((tree, deltas))
+            };
+            for (c, fitted) in parallel_map(self.n_jobs, k, fit_class).into_iter().enumerate() {
+                let (tree, deltas) = fitted?;
+                for (i, d) in deltas.iter().enumerate() {
+                    let s = scores.get(i, c) + self.learning_rate * d;
                     scores.set(i, c, s);
                 }
                 self.trees[c].push(tree);
@@ -281,6 +367,13 @@ pub struct AdaBoostClassifier {
     pub learning_rate: f64,
     /// Depth of the weak learners (1 = decision stumps).
     pub max_depth: usize,
+    /// Weak-learner split strategy (`Histogram` bins once for all stages).
+    pub split_strategy: SplitStrategy,
+    /// Bins per feature in histogram mode.
+    pub max_bins: usize,
+    /// Worker threads for per-row stage predictions; the weight update
+    /// itself stays serial, so fits are thread-count independent.
+    pub n_jobs: usize,
     /// RNG seed.
     pub seed: u64,
     stages: Vec<(Tree, f64)>,
@@ -294,6 +387,9 @@ impl AdaBoostClassifier {
             n_estimators,
             learning_rate,
             max_depth,
+            split_strategy: SplitStrategy::Best,
+            max_bins: crate::binned::DEFAULT_MAX_BINS,
+            n_jobs: 1,
             seed,
             stages: Vec::new(),
             n_classes: 0,
@@ -308,6 +404,8 @@ impl Estimator for AdaBoostClassifier {
         let k = infer_n_classes(y);
         self.n_classes = k;
         self.stages.clear();
+        let binned = (self.split_strategy == SplitStrategy::Histogram)
+            .then(|| BinnedMatrix::from_matrix(x, self.max_bins));
         let mut w = vec![1.0 / n as f64; n];
         for round in 0..self.n_estimators {
             let cfg = TreeConfig {
@@ -316,16 +414,18 @@ impl Estimator for AdaBoostClassifier {
                 min_samples_split: 2,
                 min_samples_leaf: 1,
                 max_features: MaxFeatures::All,
-                split_strategy: SplitStrategy::Best,
+                split_strategy: self.split_strategy,
+                max_bins: self.max_bins,
                 seed: derive_seed(self.seed, round as u64),
             };
-            let tree = Tree::fit(x, y, Some(&w), k, &cfg)?;
+            let tree = fit_base_tree(x, binned.as_ref(), y, Some(&w), k, &cfg)?;
             // Weighted error of this stage.
+            let preds = parallel_map(self.n_jobs, n, |i| {
+                volcanoml_linalg::stats::argmax(tree.predict_row(x.row(i))).unwrap_or(0)
+            });
             let mut err = 0.0;
             let mut wrong = vec![false; n];
-            for i in 0..n {
-                let probs = tree.predict_row(x.row(i));
-                let pred = volcanoml_linalg::stats::argmax(probs).unwrap_or(0);
+            for (i, &pred) in preds.iter().enumerate() {
                 if pred != y[i] as usize {
                     err += w[i];
                     wrong[i] = true;
@@ -503,5 +603,64 @@ mod tests {
         m.fit(&xt, &yt).unwrap();
         let score = r2(&yv, &m.predict(&xv).unwrap());
         assert!(score > 0.7, "r2 {score}");
+    }
+
+    #[test]
+    fn histogram_gbdt_regressor_fits_friedman() {
+        let d = make_friedman1(400, 3, 0.3, 1);
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = GradientBoostingRegressor::new(80, 0.1, 3, 1.0, 3, 0);
+        m.split_strategy = SplitStrategy::Histogram;
+        m.fit(&xt, &yt).unwrap();
+        let score = r2(&yv, &m.predict(&xv).unwrap());
+        assert!(score > 0.8, "r2 {score}");
+    }
+
+    #[test]
+    fn histogram_adaboost_learns() {
+        let d = nonlinear_binary();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut m = AdaBoostClassifier::new(60, 0.5, 2, 0);
+        m.split_strategy = SplitStrategy::Histogram;
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn gbdt_classifier_is_bit_identical_across_n_jobs() {
+        let d = easy_multiclass();
+        let fit = |jobs: usize, strategy: SplitStrategy| {
+            let mut m = GradientBoostingClassifier::new(10, 0.3, 3, 0.8, 2, 0);
+            m.n_jobs = jobs;
+            m.split_strategy = strategy;
+            m.fit(&d.x, &d.y).unwrap();
+            m.predict_proba(&d.x).unwrap()
+        };
+        for strategy in [SplitStrategy::Best, SplitStrategy::Histogram] {
+            let serial = fit(1, strategy);
+            for jobs in [2, 4] {
+                assert_eq!(
+                    serial.data(),
+                    fit(jobs, strategy).data(),
+                    "{strategy:?} with n_jobs={jobs} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaboost_is_bit_identical_across_n_jobs() {
+        let d = nonlinear_binary();
+        let fit = |jobs: usize| {
+            let mut m = AdaBoostClassifier::new(30, 0.5, 2, 0);
+            m.n_jobs = jobs;
+            m.fit(&d.x, &d.y).unwrap();
+            m.predict_proba(&d.x).unwrap()
+        };
+        let serial = fit(1);
+        for jobs in [2, 4] {
+            assert_eq!(serial.data(), fit(jobs).data(), "n_jobs={jobs} diverged");
+        }
     }
 }

@@ -4,6 +4,8 @@
 //! which the BO crate's probabilistic random-forest surrogate uses to obtain
 //! predictive variance.
 
+use crate::binned::BinnedMatrix;
+use crate::parallel::parallel_map;
 use crate::tree::{Criterion, MaxFeatures, SplitStrategy, Tree, TreeConfig};
 use crate::{check_fit_inputs, infer_n_classes, Estimator, ModelError, Result};
 use volcanoml_data::rand_util::{derive_seed, rng_from_seed};
@@ -31,6 +33,12 @@ pub struct ForestConfig {
     /// Impurity criterion (Gini/Entropy for classification, Mse for
     /// regression — set automatically by the typed wrappers).
     pub criterion: Criterion,
+    /// Bins per feature when `split_strategy` is `Histogram` (the dataset
+    /// is binned once and shared by all trees).
+    pub max_bins: usize,
+    /// Worker threads for tree fitting. Trees are independently seeded, so
+    /// results are bit-identical for any value (1 = serial).
+    pub n_jobs: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -47,6 +55,8 @@ impl ForestConfig {
             bootstrap: true,
             split_strategy: SplitStrategy::Best,
             criterion: Criterion::Gini,
+            max_bins: crate::binned::DEFAULT_MAX_BINS,
+            n_jobs: 1,
             seed: 0,
         }
     }
@@ -69,9 +79,13 @@ fn fit_trees(
 ) -> Result<Vec<Tree>> {
     check_fit_inputs(x, y)?;
     let n = x.rows();
-    let mut trees = Vec::with_capacity(config.n_estimators);
-    for t in 0..config.n_estimators {
-        let tree_seed = derive_seed(config.seed, t as u64);
+    // Histogram mode: quantize once, share the layout across all trees.
+    let binned = if config.split_strategy == SplitStrategy::Histogram {
+        Some(BinnedMatrix::from_matrix(x, config.max_bins))
+    } else {
+        None
+    };
+    let fit_one = |t: usize| -> Result<Tree> {
         let tree_cfg = TreeConfig {
             criterion: config.criterion,
             max_depth: config.max_depth,
@@ -79,19 +93,32 @@ fn fit_trees(
             min_samples_leaf: config.min_samples_leaf,
             max_features: config.max_features,
             split_strategy: config.split_strategy,
-            seed: tree_seed,
+            max_bins: config.max_bins,
+            seed: derive_seed(config.seed, t as u64),
         };
-        if config.bootstrap {
+        // Bootstrap as multinomial draw counts used as per-row weights:
+        // the same resample distribution as materializing a resampled
+        // matrix, without the O(n·d) copy per tree.
+        let weights: Option<Vec<f64>> = if config.bootstrap {
             let mut rng = rng_from_seed(derive_seed(config.seed, 5000 + t as u64));
-            let idx: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
-            let xs = x.select_rows(&idx);
-            let ys: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
-            trees.push(Tree::fit(&xs, &ys, None, n_outputs, &tree_cfg)?);
+            let mut counts = vec![0.0; n];
+            for _ in 0..n {
+                counts[rng.random_range(0..n)] += 1.0;
+            }
+            Some(counts)
         } else {
-            trees.push(Tree::fit(x, y, None, n_outputs, &tree_cfg)?);
+            None
+        };
+        match &binned {
+            Some(bm) => Tree::fit_binned(bm, y, weights.as_deref(), n_outputs, &tree_cfg),
+            None => Tree::fit(x, y, weights.as_deref(), n_outputs, &tree_cfg),
         }
-    }
-    Ok(trees)
+    };
+    // Each tree's randomness derives only from its index, so any job count
+    // produces bit-identical ensembles.
+    parallel_map(config.n_jobs, config.n_estimators, fit_one)
+        .into_iter()
+        .collect()
 }
 
 /// Bagged tree classifier (random forest or extra-trees depending on the
@@ -365,5 +392,55 @@ mod tests {
         assert!(m.predict(&Matrix::zeros(1, 2)).is_err());
         let r = ForestRegressor::new(ForestConfig::random_forest());
         assert!(r.predict(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn histogram_forest_learns_moons() {
+        let d = nonlinear_binary();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut cfg = ForestConfig::random_forest();
+        cfg.split_strategy = SplitStrategy::Histogram;
+        let mut m = ForestClassifier::new(cfg);
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn histogram_regression_forest_fits_friedman() {
+        // Exercises the weight-based bootstrap on the regression (MSE) path.
+        let d = make_friedman1(400, 2, 0.3, 5);
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut cfg = ForestConfig::random_forest();
+        cfg.n_estimators = 60;
+        cfg.split_strategy = SplitStrategy::Histogram;
+        let mut m = ForestRegressor::new(cfg);
+        m.fit(&xt, &yt).unwrap();
+        let score = r2(&yv, &m.predict(&xv).unwrap());
+        assert!(score > 0.75, "r2 {score}");
+    }
+
+    #[test]
+    fn fit_is_bit_identical_across_n_jobs() {
+        let d = nonlinear_binary();
+        for strategy in [SplitStrategy::Best, SplitStrategy::Histogram] {
+            let fit = |jobs: usize| {
+                let mut cfg = ForestConfig::random_forest();
+                cfg.n_estimators = 12;
+                cfg.split_strategy = strategy;
+                cfg.n_jobs = jobs;
+                let mut m = ForestClassifier::new(cfg);
+                m.fit(&d.x, &d.y).unwrap();
+                m.predict_proba(&d.x).unwrap()
+            };
+            let serial = fit(1);
+            for jobs in [2, 4] {
+                assert_eq!(
+                    serial.data(),
+                    fit(jobs).data(),
+                    "{strategy:?} with n_jobs={jobs} diverged"
+                );
+            }
+        }
     }
 }

@@ -14,6 +14,7 @@
 //! Regression algorithms: ridge, lasso, elastic-net, SGD, decision tree,
 //! random forest, extra-trees, gradient boosting, k-NN, MLP.
 
+pub mod binned;
 pub mod boosting;
 pub mod discriminant;
 pub mod forest;
@@ -21,6 +22,7 @@ pub mod linear;
 pub mod mlp;
 pub mod naive_bayes;
 pub mod neighbors;
+pub mod parallel;
 pub mod svm;
 pub mod svr;
 pub mod tree;

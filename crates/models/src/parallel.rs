@@ -1,0 +1,64 @@
+//! Deterministic data parallelism over scoped threads (std-only).
+//!
+//! Ensemble fitting parallelizes over *independent, individually seeded*
+//! work items (trees, per-class boosting stages, prediction row ranges).
+//! Because every item derives its randomness from its own index — never
+//! from a shared RNG stream — and results are reassembled in submission
+//! order, the output is bit-identical for any `n_jobs`, including 1.
+
+/// Maps `f` over `0..n`, splitting the range into at most `n_jobs`
+/// contiguous chunks executed on scoped threads. Results come back in index
+/// order; with `n_jobs <= 1` (or `n <= 1`) this is a plain serial map.
+///
+/// `f` must be pure with respect to the item index (no shared mutable
+/// state), which is what guarantees thread-count-independent results.
+pub fn parallel_map<T, F>(n_jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = n_jobs.max(1).min(n);
+    if jobs <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(jobs);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        for (ci, slots) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(ci * chunk + j));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|s| s.expect("parallel_map worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map_for_any_job_count() {
+        let expect: Vec<usize> = (0..23).map(|i| i * i).collect();
+        for jobs in [1, 2, 3, 4, 8, 64] {
+            assert_eq!(parallel_map(jobs, 23, |i| i * i), expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        assert_eq!(parallel_map(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(4, 1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn jobs_larger_than_items_is_fine() {
+        assert_eq!(parallel_map(16, 3, |i| i), vec![0, 1, 2]);
+    }
+}

@@ -4,8 +4,13 @@
 //! a class-probability histogram for classification, a single mean for
 //! regression. Splits are exact (sort-based scan) by default; the
 //! [`SplitStrategy::Random`] mode draws thresholds uniformly at random
-//! (extra-trees style), which the forest module uses for `ExtraTrees`.
+//! (extra-trees style), which the forest module uses for `ExtraTrees`; the
+//! [`SplitStrategy::Histogram`] mode scans per-node bin histograms over a
+//! [`BinnedMatrix`] (LightGBM-style) instead of re-sorting, with
+//! parent-minus-sibling histogram subtraction and index-range node
+//! partitioning. Ensembles bin once and call [`Tree::fit_binned`] per tree.
 
+use crate::binned::BinnedMatrix;
 use crate::{check_fit_inputs, infer_n_classes, Estimator, ModelError, Result};
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -55,6 +60,10 @@ pub enum SplitStrategy {
     Best,
     /// One uniformly random threshold per candidate feature (extra-trees).
     Random,
+    /// Best split over quantile-binned feature values (histogram scan).
+    /// Equivalent to `Best` whenever every feature has at most
+    /// [`TreeConfig::max_bins`] distinct values; much faster on large data.
+    Histogram,
 }
 
 /// Tree hyper-parameters.
@@ -72,6 +81,8 @@ pub struct TreeConfig {
     pub max_features: MaxFeatures,
     /// Threshold strategy.
     pub split_strategy: SplitStrategy,
+    /// Bins per feature for [`SplitStrategy::Histogram`] (ignored otherwise).
+    pub max_bins: usize,
     /// RNG seed (feature subsets / random thresholds).
     pub seed: u64,
 }
@@ -86,6 +97,7 @@ impl TreeConfig {
             min_samples_leaf: 1,
             max_features: MaxFeatures::All,
             split_strategy: SplitStrategy::Best,
+            max_bins: crate::binned::DEFAULT_MAX_BINS,
             seed: 0,
         }
     }
@@ -142,6 +154,10 @@ impl Tree {
                 )));
             }
         }
+        if config.split_strategy == SplitStrategy::Histogram {
+            let bm = BinnedMatrix::from_matrix(x, config.max_bins);
+            return Tree::fit_binned(&bm, y, weights, n_outputs, config);
+        }
         let mut builder = Builder {
             x,
             y,
@@ -151,12 +167,90 @@ impl Tree {
             nodes: Vec::new(),
             rng: rng_from_seed(config.seed),
         };
-        let indices: Vec<usize> = (0..x.rows()).collect();
+        // Zero-weight rows carry no signal and would distort count-based
+        // stopping rules (min_samples_*), so they never enter the root.
+        let indices: Vec<usize> = match weights {
+            Some(w) => (0..x.rows()).filter(|&i| w[i] > 0.0).collect(),
+            None => (0..x.rows()).collect(),
+        };
+        if indices.is_empty() {
+            return Err(ModelError::Invalid("all sample weights are zero".into()));
+        }
         builder.build(&indices, 0);
         Ok(Tree {
             nodes: builder.nodes,
             n_outputs,
             n_features: x.cols(),
+        })
+    }
+
+    /// Fits a tree on an already-binned dataset (histogram splits).
+    ///
+    /// This is the fast path ensembles use: bin once with
+    /// [`BinnedMatrix::from_matrix`], then fit every tree against the shared
+    /// binned layout. Thresholds are mapped back to raw feature space, so
+    /// the fitted tree predicts on raw rows. The `split_strategy` field of
+    /// `config` is ignored (this entry point is always histogram-mode);
+    /// `max_features`, seeding, and stopping rules behave exactly as in
+    /// [`Tree::fit`].
+    pub fn fit_binned(
+        bm: &BinnedMatrix,
+        y: &[f64],
+        weights: Option<&[f64]>,
+        n_outputs: usize,
+        config: &TreeConfig,
+    ) -> Result<Tree> {
+        let n = bm.n_rows();
+        if n == 0 || bm.n_features() == 0 {
+            return Err(ModelError::Invalid("empty binned training set".into()));
+        }
+        if y.len() != n {
+            return Err(ModelError::Invalid(format!(
+                "{} rows but {} targets",
+                n,
+                y.len()
+            )));
+        }
+        if let Some(w) = weights {
+            if w.len() != n {
+                return Err(ModelError::Invalid(format!(
+                    "{} weights for {} samples",
+                    w.len(),
+                    n
+                )));
+            }
+        }
+        let idx: Vec<u32> = match weights {
+            Some(w) => (0..n).filter(|&i| w[i] > 0.0).map(|i| i as u32).collect(),
+            None => (0..n).map(|i| i as u32).collect(),
+        };
+        if idx.is_empty() {
+            return Err(ModelError::Invalid("all sample weights are zero".into()));
+        }
+        let n_idx = idx.len();
+        let channels = if config.criterion == Criterion::Mse {
+            REG_CHANNELS
+        } else {
+            n_outputs + 1
+        };
+        let mut builder = HistBuilder {
+            bm,
+            y,
+            weights,
+            n_outputs,
+            config,
+            nodes: Vec::new(),
+            rng: rng_from_seed(config.seed),
+            idx,
+            scratch: Vec::with_capacity(n_idx),
+            channels,
+            pool: Vec::new(),
+        };
+        builder.build(0, n_idx, 0, None);
+        Ok(Tree {
+            nodes: builder.nodes,
+            n_outputs,
+            n_features: bm.n_features(),
         })
     }
 
@@ -324,7 +418,9 @@ impl Builder<'_> {
         };
 
         let best = match self.config.split_strategy {
-            SplitStrategy::Best => self.best_split(indices, &features),
+            // Histogram configs are routed to `fit_binned` before this
+            // builder runs; the exact scan is the equivalent fallback.
+            SplitStrategy::Best | SplitStrategy::Histogram => self.best_split(indices, &features),
             SplitStrategy::Random => self.random_split(indices, &features),
         };
 
@@ -387,12 +483,7 @@ impl Builder<'_> {
         for &f in features {
             sorted.clear();
             sorted.extend_from_slice(indices);
-            sorted.sort_by(|&a, &b| {
-                self.x
-                    .get(a, f)
-                    .partial_cmp(&self.x.get(b, f))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            sorted.sort_by(|&a, &b| self.x.get(a, f).total_cmp(&self.x.get(b, f)));
             let mut left_hist = vec![0.0; k];
             let (mut lw, mut lsum, mut lsq) = (0.0, 0.0, 0.0);
             for pos in 0..sorted.len() - 1 {
@@ -522,6 +613,369 @@ impl Builder<'_> {
             }
         }
         best.map(|(f, t, _)| (f, t))
+    }
+}
+
+/// Channel count of regression histograms: `[wsum, w·y, w·y², count]`.
+const REG_CHANNELS: usize = 4;
+
+/// Per-feature bin histograms for one node, parallel to its candidate
+/// feature list; entry `fi` has `n_bins(features[fi]) * channels` floats.
+type NodeHists = Vec<Vec<f64>>;
+
+/// Histogram-mode tree builder.
+///
+/// Rows live in a single shared index buffer (`idx`); each node owns the
+/// contiguous range `idx[start..end]` and splitting stably partitions that
+/// range in place (via `scratch`), so no per-node index vectors are
+/// allocated. Split search scans per-bin statistics: classification bins
+/// carry per-class weight sums plus a row count, regression bins carry
+/// `[wsum, w·y, w·y², count]`. When both children can still split and the
+/// candidate set is all features, only the smaller child's histograms are
+/// built from data — the larger child's are the parent's minus the
+/// smaller's (LightGBM's subtraction trick).
+struct HistBuilder<'a> {
+    bm: &'a BinnedMatrix,
+    y: &'a [f64],
+    weights: Option<&'a [f64]>,
+    n_outputs: usize,
+    config: &'a TreeConfig,
+    nodes: Vec<Node>,
+    rng: StdRng,
+    idx: Vec<u32>,
+    scratch: Vec<u32>,
+    channels: usize,
+    /// Retired histogram buffers, reused by later nodes. The tree visits
+    /// thousands of small nodes; without pooling, per-node allocation of
+    /// `n_candidates` bin vectors dominates deep-tree fit time.
+    pool: Vec<Vec<f64>>,
+}
+
+impl HistBuilder<'_> {
+    fn weight(&self, i: usize) -> f64 {
+        self.weights.map_or(1.0, |w| w[i])
+    }
+
+    fn is_mse(&self) -> bool {
+        self.config.criterion == Criterion::Mse
+    }
+
+    fn leaf_value(&self, start: usize, end: usize) -> Vec<f64> {
+        if self.is_mse() {
+            let mut sum = 0.0;
+            let mut wsum = 0.0;
+            for &i in &self.idx[start..end] {
+                let w = self.weight(i as usize);
+                sum += w * self.y[i as usize];
+                wsum += w;
+            }
+            vec![if wsum > 0.0 { sum / wsum } else { 0.0 }]
+        } else {
+            let mut hist = vec![0.0; self.n_outputs];
+            let mut wsum = 0.0;
+            for &i in &self.idx[start..end] {
+                let w = self.weight(i as usize);
+                hist[self.y[i as usize] as usize] += w;
+                wsum += w;
+            }
+            if wsum > 0.0 {
+                for h in &mut hist {
+                    *h /= wsum;
+                }
+            }
+            hist
+        }
+    }
+
+    fn impurity_from_stats(&self, hist: &[f64], wsum: f64, sum: f64, sum_sq: f64) -> f64 {
+        match self.config.criterion {
+            Criterion::Gini => {
+                if wsum <= 0.0 {
+                    return 0.0;
+                }
+                let mut g = 1.0;
+                for &h in hist {
+                    let p = h / wsum;
+                    g -= p * p;
+                }
+                g
+            }
+            Criterion::Entropy => {
+                if wsum <= 0.0 {
+                    return 0.0;
+                }
+                let mut e = 0.0;
+                for &h in hist {
+                    if h > 0.0 {
+                        let p = h / wsum;
+                        e -= p * p.log2();
+                    }
+                }
+                e
+            }
+            Criterion::Mse => {
+                if wsum <= 0.0 {
+                    0.0
+                } else {
+                    sum_sq / wsum - (sum / wsum) * (sum / wsum)
+                }
+            }
+        }
+    }
+
+    fn is_pure(&self, start: usize, end: usize) -> bool {
+        let first = self.y[self.idx[start] as usize];
+        self.idx[start..end]
+            .iter()
+            .all(|&i| (self.y[i as usize] - first).abs() < 1e-12)
+    }
+
+    fn make_leaf(&mut self, start: usize, end: usize) -> usize {
+        let value = self.leaf_value(start, end);
+        self.nodes.push(Node {
+            feature: usize::MAX,
+            threshold: 0.0,
+            left: 0,
+            right: 0,
+            value,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// One pass over the node's rows fills every candidate feature's bins.
+    fn build_hists(&mut self, start: usize, end: usize, features: &[usize]) -> NodeHists {
+        let is_mse = self.is_mse();
+        let ch = self.channels;
+        let bm = self.bm;
+        let mut out = Vec::with_capacity(features.len());
+        for &f in features {
+            let col = bm.column(f);
+            let mut h = self.pool.pop().unwrap_or_default();
+            h.clear();
+            h.resize(bm.n_bins(f) * ch, 0.0);
+            for &i in &self.idx[start..end] {
+                let i = i as usize;
+                let w = self.weight(i);
+                let base = col[i] as usize * ch;
+                if is_mse {
+                    h[base] += w;
+                    h[base + 1] += w * self.y[i];
+                    h[base + 2] += w * self.y[i] * self.y[i];
+                    h[base + 3] += 1.0;
+                } else {
+                    h[base + self.y[i] as usize] += w;
+                    h[base + ch - 1] += 1.0;
+                }
+            }
+            out.push(h);
+        }
+        out
+    }
+
+    /// Returns a node's histogram buffers to the pool.
+    fn recycle(&mut self, hists: NodeHists) {
+        self.pool.extend(hists);
+    }
+
+    /// Scans bin boundaries for the best split; returns the winning
+    /// candidate's position in `features` and the boundary bin.
+    fn scan_split(&self, hists: &NodeHists, n_node: usize) -> Option<(usize, usize)> {
+        let is_mse = self.is_mse();
+        let ch = self.channels;
+        let k = if is_mse { 0 } else { self.n_outputs };
+        let min_leaf = self.config.min_samples_leaf.max(1);
+
+        // Parent statistics = any feature's histogram summed over bins.
+        let mut total_hist = vec![0.0; k];
+        let (mut total_w, mut total_sum, mut total_sq) = (0.0, 0.0, 0.0);
+        for bin in hists[0].chunks_exact(ch) {
+            if is_mse {
+                total_w += bin[0];
+                total_sum += bin[1];
+                total_sq += bin[2];
+            } else {
+                for (t, b) in total_hist.iter_mut().zip(bin[..k].iter()) {
+                    *t += b;
+                }
+            }
+        }
+        if !is_mse {
+            total_w = total_hist.iter().sum();
+        }
+        let parent_impurity = self.impurity_from_stats(&total_hist, total_w, total_sum, total_sq);
+        if parent_impurity <= 1e-12 {
+            return None;
+        }
+
+        let mut best: Option<(usize, usize, f64)> = None; // (feature pos, bin, gain)
+        let mut left_hist = vec![0.0; k];
+        let mut right_hist = vec![0.0; k];
+        for (fi, h) in hists.iter().enumerate() {
+            let nb = h.len() / ch;
+            if nb < 2 {
+                continue;
+            }
+            left_hist.iter_mut().for_each(|v| *v = 0.0);
+            let (mut lw, mut lsum, mut lsq) = (0.0, 0.0, 0.0);
+            let mut n_left = 0usize;
+            for b in 0..nb - 1 {
+                let bin = &h[b * ch..(b + 1) * ch];
+                // An empty bin leaves the partition unchanged, so boundary
+                // `b` duplicates boundary `b - 1`; only the first boundary
+                // of each run (where the added bin is non-empty) can win
+                // under the strictly-greater gain rule. Skipping the rest
+                // is what makes tiny deep nodes cheap despite 255 bins.
+                if bin[ch - 1] == 0.0 {
+                    continue;
+                }
+                if is_mse {
+                    lw += bin[0];
+                    lsum += bin[1];
+                    lsq += bin[2];
+                } else {
+                    for (l, v) in left_hist.iter_mut().zip(bin[..k].iter()) {
+                        *l += v;
+                        lw += v;
+                    }
+                }
+                n_left += bin[ch - 1] as usize;
+                let n_right = n_node - n_left;
+                if n_left < min_leaf || n_right < min_leaf {
+                    continue;
+                }
+                let rw = total_w - lw;
+                let (left_imp, right_imp) = if is_mse {
+                    (
+                        self.impurity_from_stats(&[], lw, lsum, lsq),
+                        self.impurity_from_stats(&[], rw, total_sum - lsum, total_sq - lsq),
+                    )
+                } else {
+                    for ((r, t), l) in right_hist
+                        .iter_mut()
+                        .zip(total_hist.iter())
+                        .zip(left_hist.iter())
+                    {
+                        *r = t - l;
+                    }
+                    (
+                        self.impurity_from_stats(&left_hist, lw, 0.0, 0.0),
+                        self.impurity_from_stats(&right_hist, rw, 0.0, 0.0),
+                    )
+                };
+                let weighted = (lw * left_imp + rw * right_imp) / total_w;
+                let gain = parent_impurity - weighted;
+                if gain > 1e-12 && best.is_none_or(|(_, _, bg)| gain > bg) {
+                    best = Some((fi, b, gain));
+                }
+            }
+        }
+        best.map(|(fi, b, _)| (fi, b))
+    }
+
+    /// Stably partitions `idx[start..end]` on `code <= bin`; returns the
+    /// boundary position (start of the right child's range).
+    fn partition(&mut self, start: usize, end: usize, feature: usize, bin: usize) -> usize {
+        let col = self.bm.column(feature);
+        self.scratch.clear();
+        let mut write = start;
+        for r in start..end {
+            let i = self.idx[r];
+            if (col[i as usize] as usize) <= bin {
+                self.idx[write] = i;
+                write += 1;
+            } else {
+                self.scratch.push(i);
+            }
+        }
+        self.idx[write..end].copy_from_slice(&self.scratch);
+        write
+    }
+
+    /// Could a node of `n` rows at `depth` still be split?
+    fn may_split(&self, n: usize, depth: usize) -> bool {
+        depth < self.config.max_depth
+            && n >= self.config.min_samples_split
+            && n >= 2 * self.config.min_samples_leaf
+    }
+
+    /// Builds the subtree for `idx[start..end]`, returning the node id.
+    /// `inherited` carries histograms precomputed by the parent (the
+    /// subtraction trick); it is only ever `Some` in all-features mode,
+    /// where parent and child candidate sets coincide.
+    fn build(&mut self, start: usize, end: usize, depth: usize, inherited: Option<NodeHists>) -> usize {
+        let n_node = end - start;
+        if !self.may_split(n_node, depth) || self.is_pure(start, end) {
+            return self.make_leaf(start, end);
+        }
+
+        let d = self.bm.n_features();
+        let n_candidates = self.config.max_features.resolve(d);
+        let all_features = n_candidates == d;
+        let features: Vec<usize> = if all_features {
+            (0..d).collect()
+        } else {
+            sample_without_replacement(&mut self.rng, d, n_candidates)
+        };
+
+        let hists = match inherited {
+            Some(h) => h,
+            None => self.build_hists(start, end, &features),
+        };
+
+        let Some((fpos, bin)) = self.scan_split(&hists, n_node) else {
+            self.recycle(hists);
+            return self.make_leaf(start, end);
+        };
+        let feature = features[fpos];
+        let threshold = self.bm.cut(feature, bin);
+        let mid = self.partition(start, end, feature, bin);
+        let (ln, rn) = (mid - start, end - mid);
+        if ln < self.config.min_samples_leaf || rn < self.config.min_samples_leaf {
+            self.recycle(hists);
+            return self.make_leaf(start, end);
+        }
+
+        let value = self.leaf_value(start, end);
+        let me = self.nodes.len();
+        self.nodes.push(Node {
+            feature,
+            threshold,
+            left: 0,
+            right: 0,
+            value,
+        });
+
+        let subtract = all_features
+            && self.may_split(ln, depth + 1)
+            && self.may_split(rn, depth + 1);
+        let (left_h, right_h) = if subtract {
+            let (s_start, s_end, small_is_left) = if ln <= rn {
+                (start, mid, true)
+            } else {
+                (mid, end, false)
+            };
+            let small = self.build_hists(s_start, s_end, &features);
+            let mut large = hists; // reuse the parent's allocation
+            for (lh, sh) in large.iter_mut().zip(small.iter()) {
+                for (a, b) in lh.iter_mut().zip(sh.iter()) {
+                    *a -= b;
+                }
+            }
+            if small_is_left {
+                (Some(small), Some(large))
+            } else {
+                (Some(large), Some(small))
+            }
+        } else {
+            self.recycle(hists);
+            (None, None)
+        };
+
+        let left = self.build(start, mid, depth + 1, left_h);
+        let right = self.build(mid, end, depth + 1, right_h);
+        self.nodes[me].left = left;
+        self.nodes[me].right = right;
+        me
     }
 }
 
@@ -754,5 +1208,98 @@ mod tests {
         let x = Matrix::zeros(3, 1);
         let r = Tree::fit(&x, &[0.0, 1.0, 0.0], Some(&[1.0]), 2, &TreeConfig::classification());
         assert!(r.is_err());
+    }
+
+    /// With enough bins every distinct value gets its own bin and the cut
+    /// points are exactly the exact splitter's candidate midpoints, so the
+    /// two strategies must grow identical trees.
+    fn assert_histogram_matches_best(
+        x: &Matrix,
+        y: &[f64],
+        n_outputs: usize,
+        base: &TreeConfig,
+    ) {
+        let mut exact_cfg = base.clone();
+        exact_cfg.split_strategy = SplitStrategy::Best;
+        let mut hist_cfg = base.clone();
+        hist_cfg.split_strategy = SplitStrategy::Histogram;
+        hist_cfg.max_bins = u16::MAX as usize + 1;
+        let exact = Tree::fit(x, y, None, n_outputs, &exact_cfg).unwrap();
+        let hist = Tree::fit(x, y, None, n_outputs, &hist_cfg).unwrap();
+        assert_eq!(exact.n_nodes(), hist.n_nodes(), "node counts diverge");
+        for i in 0..x.rows() {
+            let a = exact.predict_row(x.row(i));
+            let b = hist.predict_row(x.row(i));
+            for (va, vb) in a.iter().zip(b.iter()) {
+                assert!((va - vb).abs() < 1e-9, "row {i}: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_matches_best_on_classification() {
+        let d = easy_binary();
+        assert_histogram_matches_best(&d.x, &d.y, 2, &TreeConfig::classification());
+        let m = easy_multiclass();
+        assert_histogram_matches_best(&m.x, &m.y, 3, &TreeConfig::classification());
+        let mut entropy = TreeConfig::classification();
+        entropy.criterion = Criterion::Entropy;
+        assert_histogram_matches_best(&d.x, &d.y, 2, &entropy);
+    }
+
+    #[test]
+    fn histogram_matches_best_on_regression() {
+        let d = make_piecewise(300, 3, 3, 0.05, 9);
+        assert_histogram_matches_best(&d.x, &d.y, 1, &TreeConfig::regression());
+    }
+
+    #[test]
+    fn histogram_matches_best_with_min_samples_leaf() {
+        let d = easy_binary();
+        let mut cfg = TreeConfig::classification();
+        cfg.min_samples_leaf = 7;
+        cfg.max_depth = 6;
+        assert_histogram_matches_best(&d.x, &d.y, 2, &cfg);
+    }
+
+    #[test]
+    fn histogram_with_few_bins_still_learns() {
+        let d = nonlinear_binary();
+        let ((xt, yt), (xv, yv)) = split(&d);
+        let mut cfg = TreeConfig::classification();
+        cfg.split_strategy = SplitStrategy::Histogram;
+        cfg.max_bins = 16;
+        let mut m = DecisionTreeClassifier::new(cfg);
+        m.fit(&xt, &yt).unwrap();
+        let acc = accuracy(&yv, &m.predict(&xv).unwrap());
+        assert!(acc > 0.85, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn binned_fit_respects_weights() {
+        let x = Matrix::from_vec(4, 1, vec![0.0, 0.0, 0.0, 0.0]).unwrap();
+        let y = vec![0.0, 0.0, 1.0, 1.0];
+        let w = vec![1.0, 1.0, 3.0, 3.0];
+        let bm = BinnedMatrix::from_matrix(&x, 255);
+        let tree = Tree::fit_binned(&bm, &y, Some(&w), 2, &TreeConfig::classification()).unwrap();
+        let v = tree.predict_row(&[0.0]);
+        assert!((v[1] - 0.75).abs() < 1e-12, "{v:?}");
+    }
+
+    #[test]
+    fn zero_weight_rows_are_ignored() {
+        // Rows 4..8 would flip the majority class were they not zeroed out.
+        let x = Matrix::from_vec(8, 1, vec![0.0; 8]).unwrap();
+        let y = vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let w = vec![1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0];
+        for strategy in [SplitStrategy::Best, SplitStrategy::Histogram] {
+            let mut cfg = TreeConfig::classification();
+            cfg.split_strategy = strategy;
+            let tree = Tree::fit(&x, &y, Some(&w), 2, &cfg).unwrap();
+            let v = tree.predict_row(&[0.0]);
+            assert!((v[0] - 0.75).abs() < 1e-12, "{strategy:?}: {v:?}");
+        }
+        let all_zero = Tree::fit(&x, &y, Some(&[0.0; 8]), 2, &TreeConfig::classification());
+        assert!(all_zero.is_err());
     }
 }

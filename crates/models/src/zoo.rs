@@ -366,6 +366,12 @@ impl AlgorithmKind {
     pub fn build(&self, values: &HashMap<String, f64>, seed: u64) -> Model {
         use AlgorithmKind::*;
         let p = Params::new(values, self.param_defs());
+        // "n_jobs" is execution plumbing injected by the evaluator, not a
+        // searchable hyper-parameter, so it is read straight off the map.
+        let n_jobs = values
+            .get("n_jobs")
+            .map(|v| (*v as usize).max(1))
+            .unwrap_or(1);
         match self {
             Logistic => Model::Logistic(LogisticRegression::new(
                 p.f("alpha"),
@@ -400,6 +406,7 @@ impl AlgorithmKind {
                     min_samples_leaf: p.u("min_samples_leaf").max(1),
                     max_features: MaxFeatures::All,
                     split_strategy: SplitStrategy::Best,
+                    max_bins: crate::binned::DEFAULT_MAX_BINS,
                     seed,
                 };
                 Model::DecisionTree(DecisionTreeClassifier::new(cfg))
@@ -412,6 +419,7 @@ impl AlgorithmKind {
                     min_samples_leaf: p.u("min_samples_leaf").max(1),
                     max_features: MaxFeatures::All,
                     split_strategy: SplitStrategy::Best,
+                    max_bins: crate::binned::DEFAULT_MAX_BINS,
                     seed,
                 };
                 Model::DecisionTreeReg(DecisionTreeRegressor::new(cfg))
@@ -430,10 +438,12 @@ impl AlgorithmKind {
                         _ => MaxFeatures::Sqrt,
                     },
                     bootstrap: !extra,
+                    // Random forests use the histogram fast path; extra-trees
+                    // keep their defining random thresholds.
                     split_strategy: if extra {
                         SplitStrategy::Random
                     } else {
-                        SplitStrategy::Best
+                        SplitStrategy::Histogram
                     },
                     criterion: if self.task() == Task::Regression {
                         Criterion::Mse
@@ -442,6 +452,8 @@ impl AlgorithmKind {
                     } else {
                         Criterion::Gini
                     },
+                    max_bins: crate::binned::DEFAULT_MAX_BINS,
+                    n_jobs,
                     seed,
                 };
                 if self.task() == Task::Classification {
@@ -450,28 +462,43 @@ impl AlgorithmKind {
                     Model::ForestReg(ForestRegressor::new(cfg))
                 }
             }
-            GradientBoosting => Model::Gbdt(GradientBoostingClassifier::new(
-                p.u("n_estimators").max(1),
-                p.f("learning_rate"),
-                p.u("max_depth").max(1),
-                p.f("subsample"),
-                p.u("min_samples_leaf").max(1),
-                seed,
-            )),
-            GradientBoostingReg => Model::GbdtReg(GradientBoostingRegressor::new(
-                p.u("n_estimators").max(1),
-                p.f("learning_rate"),
-                p.u("max_depth").max(1),
-                p.f("subsample"),
-                p.u("min_samples_leaf").max(1),
-                seed,
-            )),
-            AdaBoost => Model::AdaBoost(AdaBoostClassifier::new(
-                p.u("n_estimators").max(1),
-                p.f("learning_rate"),
-                p.u("max_depth").max(1),
-                seed,
-            )),
+            GradientBoosting => {
+                let mut m = GradientBoostingClassifier::new(
+                    p.u("n_estimators").max(1),
+                    p.f("learning_rate"),
+                    p.u("max_depth").max(1),
+                    p.f("subsample"),
+                    p.u("min_samples_leaf").max(1),
+                    seed,
+                );
+                m.split_strategy = SplitStrategy::Histogram;
+                m.n_jobs = n_jobs;
+                Model::Gbdt(m)
+            }
+            GradientBoostingReg => {
+                let mut m = GradientBoostingRegressor::new(
+                    p.u("n_estimators").max(1),
+                    p.f("learning_rate"),
+                    p.u("max_depth").max(1),
+                    p.f("subsample"),
+                    p.u("min_samples_leaf").max(1),
+                    seed,
+                );
+                m.split_strategy = SplitStrategy::Histogram;
+                m.n_jobs = n_jobs;
+                Model::GbdtReg(m)
+            }
+            AdaBoost => {
+                let mut m = AdaBoostClassifier::new(
+                    p.u("n_estimators").max(1),
+                    p.f("learning_rate"),
+                    p.u("max_depth").max(1),
+                    seed,
+                );
+                m.split_strategy = SplitStrategy::Histogram;
+                m.n_jobs = n_jobs;
+                Model::AdaBoost(m)
+            }
             Knn => {
                 let w = if p.cat("weights") == 1 {
                     KnnWeights::Distance

@@ -17,6 +17,9 @@ else
     echo "clippy not installed; skipping lint step"
 fi
 
+echo "== cargo bench --no-run (compile-check benches, incl. criterion shims) =="
+cargo bench --no-run --offline --features volcanoml-bench/criterion-bench
+
 echo "== smoke: parallel_scaling bench =="
 VOLCANO_QUICK=1 cargo bench --offline --bench parallel_scaling
 
