@@ -17,7 +17,7 @@ pub mod surrogate;
 
 pub use history::{Observation, RunHistory};
 pub use multifidelity::{Hyperband, MfesHb, SuccessiveHalving};
-pub use optimizer::{RandomSearch, Smac, Suggest};
+pub use optimizer::{ObserveEvent, ObserveHook, RandomSearch, Smac, Suggest};
 pub use space::{Condition, ConfigSpace, Configuration, Domain, Hyperparameter};
 
 /// Errors produced by the optimization substrate.

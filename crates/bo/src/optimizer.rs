@@ -6,6 +6,42 @@ use crate::history::{Observation, RunHistory};
 use crate::space::{ConfigSpace, Configuration};
 use crate::surrogate::RandomForestSurrogate;
 use rand::rngs::StdRng;
+use std::sync::Arc;
+
+/// One optimizer observe cycle, reported to an [`ObserveHook`] — the
+/// observability tap on the suggest/observe loop.
+#[derive(Debug, Clone, Copy)]
+pub struct ObserveEvent {
+    /// History length *after* this observation.
+    pub n_observations: usize,
+    /// Fidelity of the observed trial.
+    pub fidelity: f64,
+    /// Observed loss.
+    pub loss: f64,
+    /// Trial cost in seconds.
+    pub cost: f64,
+    /// Incumbent (best finite) loss after this observation, `INFINITY` if
+    /// none yet.
+    pub incumbent_loss: f64,
+}
+
+/// Callback invoked on every real (non-pseudo) observation an optimizer
+/// records. Constant-liar pseudo-observations never fire the hook.
+pub type ObserveHook = Arc<dyn Fn(&ObserveEvent) + Send + Sync>;
+
+/// Hook slot wrapper so optimizers holding one can keep deriving `Debug`.
+#[derive(Default)]
+struct HookSlot(Option<ObserveHook>);
+
+impl std::fmt::Debug for HookSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "HookSlot(set)"
+        } else {
+            "HookSlot(none)"
+        })
+    }
+}
 
 /// Ask/tell optimizer interface shared by the joint-block engines.
 ///
@@ -48,6 +84,11 @@ pub trait Suggest {
             self.observe(obs.config.clone(), obs.fidelity, obs.loss, obs.cost);
         }
     }
+
+    /// Installs an observability hook fired on every real observation.
+    /// Default: ignored (schedule-driven engines have nothing extra to
+    /// report); model-based engines override it.
+    fn set_observe_hook(&mut self, _hook: ObserveHook) {}
 }
 
 /// Uniform random search (always full fidelity).
@@ -113,6 +154,7 @@ pub struct Smac {
     pub random_interleave: usize,
     suggestions: usize,
     stale: bool,
+    hook: HookSlot,
 }
 
 impl Smac {
@@ -127,6 +169,7 @@ impl Smac {
             random_interleave: 5,
             suggestions: 0,
             stale: true,
+            hook: HookSlot::default(),
         }
     }
 
@@ -186,6 +229,9 @@ impl Suggest for Smac {
         let lie = self.history.best_loss().unwrap_or(1.0);
         let real_len = self.history.len();
         let mut out = Vec::with_capacity(k);
+        // Mute the observe hook while lying: pseudo-observations are an
+        // internal decorrelation device, not real optimizer progress.
+        let hook = self.hook.0.take();
         for i in 0..k {
             let (cfg, fidelity) = self.suggest();
             if i + 1 < k {
@@ -193,6 +239,7 @@ impl Suggest for Smac {
             }
             out.push((cfg, fidelity));
         }
+        self.hook.0 = hook;
         self.history.truncate(real_len);
         self.stale = true;
         out
@@ -206,6 +253,15 @@ impl Suggest for Smac {
             fidelity,
         });
         self.stale = true;
+        if let Some(hook) = &self.hook.0 {
+            hook(&ObserveEvent {
+                n_observations: self.history.len(),
+                fidelity,
+                loss,
+                cost,
+                incumbent_loss: self.history.best_loss().unwrap_or(f64::INFINITY),
+            });
+        }
     }
 
     fn history(&self) -> &RunHistory {
@@ -214,6 +270,10 @@ impl Suggest for Smac {
 
     fn space(&self) -> &ConfigSpace {
         &self.space
+    }
+
+    fn set_observe_hook(&mut self, hook: ObserveHook) {
+        self.hook.0 = Some(hook);
     }
 }
 
@@ -367,6 +427,35 @@ mod tests {
             smac.observe(cfg, f, loss, 1.0);
         }
         assert_eq!(smac.history().len(), before + 4);
+    }
+
+    #[test]
+    fn observe_hook_fires_on_real_observations_only() {
+        let mut smac = Smac::new(branch_space(), 0);
+        let events = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        smac.set_observe_hook(Arc::new(move |e: &ObserveEvent| {
+            sink.lock().unwrap().push(*e);
+        }));
+        for _ in 0..8 {
+            let (cfg, f) = smac.suggest();
+            let loss = objective(smac.space(), &cfg);
+            smac.observe(cfg, f, loss, 1.0);
+        }
+        assert_eq!(events.lock().unwrap().len(), 8);
+        // Constant-liar pseudo-observations must not fire the hook…
+        let batch = smac.suggest_batch(4);
+        assert_eq!(events.lock().unwrap().len(), 8);
+        // …but the real results observed afterwards must.
+        for (cfg, f) in batch {
+            let loss = objective(smac.space(), &cfg);
+            smac.observe(cfg, f, loss, 1.0);
+        }
+        let events = events.lock().unwrap();
+        assert_eq!(events.len(), 12);
+        let last = events.last().unwrap();
+        assert_eq!(last.n_observations, 12);
+        assert!(last.incumbent_loss <= last.loss);
     }
 
     #[test]

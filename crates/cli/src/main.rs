@@ -5,10 +5,12 @@
 //!                        [--plan p1|p2|p3|p4|p5] [--engine bo|random|sh|hyperband|mfes-hb]
 //!                        [--seed S] [--cv K] [--ensemble N] [--smote]
 //!                        [--workers N] [--n-jobs N] [--journal trials.jsonl]
+//!                        [--trace trace.jsonl] [--metrics metrics.json]
 //!                        [--trial-timeout SECS]
 //! volcanoml spaces                      # print the tiered search-space sizes
 //! volcanoml plans                       # print the plan catalogue
 //! volcanoml generate <kind> <out.csv>   # emit a synthetic benchmark dataset
+//! volcanoml report <trace.jsonl> [--journal trials.jsonl] [--metrics metrics.json]
 //! ```
 //!
 //! CSV dialect: first line `#types:` declaration, then a header, then rows;
@@ -26,9 +28,11 @@ fn usage() -> &'static str {
     "usage:\n  volcanoml fit <data.csv> [--evals N] [--tier small|medium|large] \
      [--plan p1|p2|p3|p4|p5] [--engine bo|random|sh|hyperband|mfes-hb] [--seed S] \
      [--cv K] [--ensemble N] [--smote] [--workers N] [--n-jobs N] \
-     [--journal trials.jsonl] [--trial-timeout SECS]\n  volcanoml spaces\n  \
+     [--journal trials.jsonl] [--trace trace.jsonl] [--metrics metrics.json] \
+     [--trial-timeout SECS]\n  volcanoml spaces\n  \
      volcanoml plans\n  \
-     volcanoml generate <classification|moons|xor|friedman1|imbalanced> <out.csv> [--seed S]"
+     volcanoml generate <classification|moons|xor|friedman1|imbalanced> <out.csv> [--seed S]\n  \
+     volcanoml report <trace.jsonl> [--journal trials.jsonl] [--metrics metrics.json]"
 }
 
 /// Minimal flag parser: `--key value` pairs after positional arguments.
@@ -140,6 +144,8 @@ fn cmd_fit(args: &[String]) -> Result<(), String> {
         return Err("--n-jobs must be >= 1".to_string());
     }
     let journal_path = flags.get("journal").map(std::path::PathBuf::from);
+    let trace_path = flags.get("trace").map(std::path::PathBuf::from);
+    let metrics_path = flags.get("metrics").map(std::path::PathBuf::from);
     let trial_deadline = match flags.get("trial-timeout") {
         Some(v) => {
             let secs: f64 = v
@@ -199,6 +205,8 @@ fn cmd_fit(args: &[String]) -> Result<(), String> {
             n_workers: workers,
             trial_deadline,
             journal_path: journal_path.clone(),
+            trace_path: trace_path.clone(),
+            metrics_path: metrics_path.clone(),
             model_n_jobs: n_jobs,
             ..Default::default()
         },
@@ -221,12 +229,64 @@ fn cmd_fit(args: &[String]) -> Result<(), String> {
     for (k, v) in best {
         println!("  {k} = {v:.5}");
     }
+    let r = &fitted.report;
+    let hit_rate = |hits: u64, misses: u64| {
+        let total = hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * hits as f64 / total as f64
+        }
+    };
+    println!(
+        "caches: result {} hits / {} misses ({:.1}%), FE {} hits / {} misses ({:.1}%)",
+        r.cache_hits,
+        r.cache_misses,
+        hit_rate(r.cache_hits, r.cache_misses),
+        r.fe_cache_hits,
+        r.fe_cache_misses,
+        hit_rate(r.fe_cache_hits, r.fe_cache_misses),
+    );
     let metric = Metric::default_for(dataset.task);
     let score = fitted.score(&test, metric).map_err(|e| e.to_string())?;
     println!("\nheld-out {}: {score:.4}", metric.name());
     if let Some(journal) = &journal_path {
         println!("trial journal written to {}", journal.display());
     }
+    if let Some(trace) = &trace_path {
+        println!("span trace written to {}", trace.display());
+    }
+    if let Some(metrics) = &metrics_path {
+        println!("metrics snapshot written to {}", metrics.display());
+    }
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let Some(trace) = args.first() else {
+        return Err("report needs a trace JSONL path".to_string());
+    };
+    let flags = Flags::parse(&args[1..])?;
+    let trace_text =
+        std::fs::read_to_string(trace).map_err(|e| format!("cannot read {trace}: {e}"))?;
+    let journal_text = match flags.get("journal") {
+        Some(p) => {
+            Some(std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?)
+        }
+        None => None,
+    };
+    let metrics_text = match flags.get("metrics") {
+        Some(p) => {
+            Some(std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?)
+        }
+        None => None,
+    };
+    let report = volcanoml_obs::report::render_report(
+        &trace_text,
+        journal_text.as_deref(),
+        metrics_text.as_deref(),
+    )?;
+    print!("{report}");
     Ok(())
 }
 
@@ -302,6 +362,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         Some("generate") => cmd_generate(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         _ => Err(usage().to_string()),
     };
     match result {

@@ -9,6 +9,7 @@ use crate::block::{Assignment, BestSolution, BuildingBlock, LossInterval};
 use crate::eu::{eu_interval, eui};
 use crate::evaluator::Evaluator;
 use crate::Result;
+use volcanoml_obs::span;
 
 /// One side of the alternation.
 struct Side {
@@ -97,14 +98,28 @@ impl AlternatingBlock {
         }
     }
 
-    /// Which side to play next (Algorithm 2 during init, Algorithm 3 after).
-    fn choose_side(&self) -> bool {
+    /// Which side to play next (Algorithm 2 during init, Algorithm 3 after),
+    /// plus a trace annotation describing the decision.
+    fn choose_side(&self) -> (bool, String) {
         if self.round_robin_only || self.plays < 2 * self.init_rounds {
-            self.plays.is_multiple_of(2)
+            let left = self.plays.is_multiple_of(2);
+            (
+                left,
+                format!("side={} schedule=round-robin", if left { "left" } else { "right" }),
+            )
         } else {
             let left_eui = self.left.block.expected_utility_improvement();
             let right_eui = self.right.block.expected_utility_improvement();
-            left_eui >= right_eui
+            let left = left_eui >= right_eui;
+            (
+                left,
+                format!(
+                    "side={} schedule=eui left_eui={:.6} right_eui={:.6}",
+                    if left { "left" } else { "right" },
+                    left_eui,
+                    right_eui
+                ),
+            )
         }
     }
 
@@ -121,7 +136,10 @@ impl AlternatingBlock {
 
 impl BuildingBlock for AlternatingBlock {
     fn do_next(&mut self, evaluator: &Evaluator) -> Result<()> {
-        let play_left = self.choose_side();
+        let (play_left, decision) = self.choose_side();
+        let tracer = evaluator.tracer();
+        let mut pull = span(&tracer, "pull", &self.label, "");
+        pull.set_detail(decision);
         self.sync_from_sibling(play_left);
         if play_left {
             self.left.block.do_next(evaluator)?;
@@ -143,7 +161,10 @@ impl BuildingBlock for AlternatingBlock {
         pool: &volcanoml_exec::ExecPool,
         k: usize,
     ) -> Result<()> {
-        let play_left = self.choose_side();
+        let (play_left, decision) = self.choose_side();
+        let tracer = evaluator.tracer();
+        let mut pull = span(&tracer, "pull", &self.label, "");
+        pull.set_detail(format!("{decision} batch k={k}"));
         self.sync_from_sibling(play_left);
         if play_left {
             self.left.block.do_next_batch(evaluator, pool, k)?;

@@ -15,6 +15,7 @@ use volcanoml_exec::{ExecPool, Journal, PoolConfig};
 use volcanoml_fe::FePipeline;
 use volcanoml_linalg::Matrix;
 use volcanoml_models::{Estimator, Model};
+use volcanoml_obs::{MetricsRegistry, Tracer};
 
 /// Engine options.
 #[derive(Clone)]
@@ -47,6 +48,14 @@ pub struct VolcanoMlOptions {
     pub trial_deadline: Option<Duration>,
     /// When set, every trial is appended to a JSONL journal at this path.
     pub journal_path: Option<std::path::PathBuf>,
+    /// When set, parent-linked span events (block pulls, BO suggest cycles,
+    /// trials, arm eliminations) are appended as JSONL at this path. Trial
+    /// spans share the journal's trial ids, so the two files join.
+    pub trace_path: Option<std::path::PathBuf>,
+    /// When set, a metrics snapshot (cache hit/miss counters, trial cost
+    /// histograms, per-worker busy-time gauges, binned-tree training
+    /// counters) is written as JSON to this path at end of run.
+    pub metrics_path: Option<std::path::PathBuf>,
     /// Threads used *inside* a single model fit (tree ensembles). Fits are
     /// bit-identical across thread counts, so this only affects wall time.
     /// Orthogonal to `n_workers`, which parallelizes across trials.
@@ -67,6 +76,8 @@ impl Default for VolcanoMlOptions {
             n_workers: 1,
             trial_deadline: None,
             journal_path: None,
+            trace_path: None,
+            metrics_path: None,
             model_n_jobs: 1,
         }
     }
@@ -101,6 +112,15 @@ pub struct AutoMlReport {
     pub plan_explain: String,
     /// Top distinct assignments (best first) — meta-learning records these.
     pub top_assignments: Vec<(Assignment, f64)>,
+    /// Result-cache hits (identical `(assignment, fidelity)` re-evaluations
+    /// answered without refitting).
+    pub cache_hits: u64,
+    /// Result-cache misses (actual pipeline fits executed).
+    pub cache_misses: u64,
+    /// Feature-engineering cache hits (transform reused across trials).
+    pub fe_cache_hits: u64,
+    /// Feature-engineering cache misses.
+    pub fe_cache_misses: u64,
 }
 
 /// The fitted artifact: single pipeline or ensemble, plus the report.
@@ -161,6 +181,21 @@ impl VolcanoML {
                 .map_err(|e| CoreError::Invalid(format!("cannot open journal: {e}")))?;
             evaluator.attach_journal(Arc::new(journal));
         }
+        if let Some(path) = &self.options.trace_path {
+            let tracer = Tracer::to_path(path)
+                .map_err(|e| CoreError::Invalid(format!("cannot open trace: {e}")))?;
+            evaluator.set_tracer(Arc::new(tracer));
+        }
+        // Binned-tree counters are process-global; diff against a baseline so
+        // the snapshot reflects only this run.
+        let binned_baseline = volcanoml_models::binned::stats::snapshot();
+        let metrics = if self.options.metrics_path.is_some() {
+            let m = Arc::new(MetricsRegistry::new());
+            evaluator.set_metrics(Arc::clone(&m));
+            Some(m)
+        } else {
+            None
+        };
         evaluator.set_model_n_jobs(self.options.model_n_jobs);
         let pool = if self.options.n_workers > 1 || self.options.trial_deadline.is_some() {
             let mut config = PoolConfig::with_workers(self.options.n_workers.max(1));
@@ -278,6 +313,7 @@ impl VolcanoML {
             }
         }
 
+        let (cache_hits, cache_misses, fe_cache_hits, fe_cache_misses) = evaluator.cache_stats();
         let report = AutoMlReport {
             best_loss,
             best_assignment: best_assignment.clone(),
@@ -287,7 +323,31 @@ impl VolcanoML {
             total_cost: evaluator.total_cost(),
             plan_explain: crate::block::explain(root.as_ref()),
             top_assignments: top.clone(),
+            cache_hits,
+            cache_misses,
+            fe_cache_hits,
+            fe_cache_misses,
         };
+
+        // End-of-run observability: sample run-level figures into the
+        // registry, write the snapshot, and flush the append-only files.
+        if let Some(m) = &metrics {
+            evaluator.sample_cache_metrics(m);
+            m.set_gauge("run.workers", self.options.n_workers as f64);
+            m.set_gauge("run.best_loss", best_loss);
+            let (mb, ce, hs) = volcanoml_models::binned::stats::snapshot();
+            m.inc_counter("binned.matrices_built", mb.saturating_sub(binned_baseline.0));
+            m.inc_counter("binned.cells_encoded", ce.saturating_sub(binned_baseline.1));
+            m.inc_counter("binned.hist_node_scans", hs.saturating_sub(binned_baseline.2));
+            if let Some(path) = &self.options.metrics_path {
+                m.write_to(path)
+                    .map_err(|e| CoreError::Invalid(format!("cannot write metrics: {e}")))?;
+            }
+        }
+        evaluator.tracer().flush();
+        if let Some(journal) = evaluator.journal() {
+            journal.flush();
+        }
 
         // Final artifact.
         if self.options.ensemble_size > 1 && top.len() > 1 {

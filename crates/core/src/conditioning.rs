@@ -13,6 +13,7 @@ use crate::block::{Assignment, BestSolution, BuildingBlock, LossInterval};
 use crate::eu::{eu_interval, eui};
 use crate::evaluator::Evaluator;
 use crate::Result;
+use volcanoml_obs::{span, EventFields, Tracer};
 
 /// One arm of the bandit.
 struct Arm {
@@ -87,8 +88,10 @@ impl ConditioningBlock {
             .collect()
     }
 
-    /// Applies the elimination rule over all active arms.
-    fn eliminate_dominated(&mut self) {
+    /// Applies the elimination rule over all active arms, emitting one
+    /// `eliminate` trace event (with the EU interval that lost) per
+    /// eliminated arm.
+    fn eliminate_dominated(&mut self, tracer: &Tracer) {
         let intervals: Vec<Option<LossInterval>> = self
             .arms
             .iter()
@@ -106,18 +109,31 @@ impl ConditioningBlock {
                 break;
             }
             let Some(iv_i) = intervals[i] else { continue };
-            let dominated = intervals
+            let dominating = intervals
                 .iter()
                 .enumerate()
-                .any(|(j, iv_j)| j != i && iv_j.is_some_and(|iv_j| iv_i.dominated_by(&iv_j)));
-            if dominated {
+                .find(|(j, iv_j)| *j != i && iv_j.is_some_and(|iv_j| iv_i.dominated_by(&iv_j)));
+            if let Some((j, _)) = dominating {
                 self.arms[i].active = false;
+                tracer.event(
+                    "eliminate",
+                    EventFields {
+                        path: self.label.clone(),
+                        arm: format!("{}={}", self.var, self.arms[i].value),
+                        eu: Some((iv_i.optimistic, iv_i.pessimistic)),
+                        detail: format!(
+                            "dominated by {}={} after {} plays",
+                            self.var, self.arms[j].value, self.arms[i].plays
+                        ),
+                        ..EventFields::default()
+                    },
+                );
             }
         }
     }
 
     /// Elimination after every completed round past warm-up.
-    fn maybe_eliminate(&mut self) {
+    fn maybe_eliminate(&mut self, tracer: &Tracer) {
         let min_plays = self
             .arms
             .iter()
@@ -128,7 +144,7 @@ impl ConditioningBlock {
         if self.elimination_enabled && min_plays >= self.warmup_plays {
             let round_complete = self.cursor.is_multiple_of(self.arms.len());
             if round_complete {
-                self.eliminate_dominated();
+                self.eliminate_dominated(tracer);
             }
         }
     }
@@ -152,10 +168,16 @@ impl BuildingBlock for ConditioningBlock {
         let Some(i) = self.next_arm() else {
             return Ok(());
         };
+        let tracer = evaluator.tracer();
+        let arm_label = format!("{}={}", self.var, self.arms[i].value);
+        let mut pull = span(&tracer, "pull", &self.label, &arm_label);
+        pull.set_detail(format!("play {}", self.arms[i].plays + 1));
         self.arms[i].block.do_next(evaluator)?;
         self.arms[i].plays += 1;
         self.evaluations += 1;
-        self.maybe_eliminate();
+        // Keep the pull span open: elimination decisions triggered by this
+        // play are its children in the trace.
+        self.maybe_eliminate(&tracer);
         Ok(())
     }
 
@@ -169,6 +191,7 @@ impl BuildingBlock for ConditioningBlock {
         pool: &volcanoml_exec::ExecPool,
         k: usize,
     ) -> Result<()> {
+        let tracer = evaluator.tracer();
         let mut shares: Vec<usize> = vec![0; self.arms.len()];
         for _ in 0..k {
             let Some(i) = self.next_arm() else { break };
@@ -178,11 +201,14 @@ impl BuildingBlock for ConditioningBlock {
             if *share == 0 {
                 continue;
             }
+            let arm_label = format!("{}={}", self.var, self.arms[i].value);
+            let mut pull = span(&tracer, "pull", &self.label, &arm_label);
+            pull.set_detail(format!("batch share={share}"));
             self.arms[i].block.do_next_batch(evaluator, pool, *share)?;
             self.arms[i].plays += share;
             self.evaluations += share;
         }
-        self.maybe_eliminate();
+        self.maybe_eliminate(&tracer);
         Ok(())
     }
 

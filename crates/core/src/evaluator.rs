@@ -26,6 +26,7 @@ use volcanoml_data::split::{subsample, KFold, StratifiedKFold};
 use volcanoml_data::{train_test_split, Dataset, Metric, Task};
 use volcanoml_exec::{current_worker, ExecPool, Journal, TrialRecord, TrialStatus};
 use volcanoml_fe::FePipeline;
+use volcanoml_obs::{current_arm, MetricsRegistry, Tracer, TrialInfo};
 use volcanoml_models::{AlgorithmKind, Estimator, Model};
 
 /// Default bound on the evaluator's result cache.
@@ -272,6 +273,10 @@ struct EvalShared {
     model_n_jobs: AtomicUsize,
     state: Mutex<EvalState>,
     journal: Mutex<Option<Arc<Journal>>>,
+    /// Always present (disabled by default) so blocks can open spans
+    /// unconditionally; only enabled tracers record anything.
+    tracer: Mutex<Arc<Tracer>>,
+    metrics: Mutex<Option<Arc<MetricsRegistry>>>,
     fault_hook: Mutex<Option<FaultHook>>,
 }
 
@@ -424,6 +429,8 @@ impl Evaluator {
                     log: Vec::new(),
                 }),
                 journal: Mutex::new(None),
+                tracer: Mutex::new(Arc::new(Tracer::disabled())),
+                metrics: Mutex::new(None),
                 fault_hook: Mutex::new(None),
             }),
         })
@@ -470,6 +477,57 @@ impl Evaluator {
             .clone()
     }
 
+    /// Attaches a span tracer; every trial from now on emits one
+    /// `kind:"trial"` span (parented to the pull span issuing it) whose
+    /// `trial` id matches the journal record.
+    pub fn set_tracer(&self, tracer: Arc<Tracer>) {
+        *self.shared.tracer.lock().expect("tracer slot poisoned") = tracer;
+    }
+
+    /// The attached tracer (a disabled one when none was attached — blocks
+    /// open spans through it unconditionally).
+    pub fn tracer(&self) -> Arc<Tracer> {
+        self.shared
+            .tracer
+            .lock()
+            .expect("tracer slot poisoned")
+            .clone()
+    }
+
+    /// Attaches a metrics registry; per-trial counters, cost histograms,
+    /// and per-worker busy-time gauges are recorded into it.
+    pub fn set_metrics(&self, metrics: Arc<MetricsRegistry>) {
+        *self.shared.metrics.lock().expect("metrics slot poisoned") = Some(metrics);
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        self.shared
+            .metrics
+            .lock()
+            .expect("metrics slot poisoned")
+            .clone()
+    }
+
+    /// Samples the cache hit/miss counters and run totals into a metrics
+    /// registry (typically once, at end of run).
+    pub fn sample_cache_metrics(&self, m: &MetricsRegistry) {
+        let s = self.state();
+        m.inc_counter("cache.result.hits", s.cache.hits);
+        m.inc_counter("cache.result.misses", s.cache.misses);
+        m.inc_counter("cache.fe.hits", s.fe_cache.hits);
+        m.inc_counter("cache.fe.misses", s.fe_cache.misses);
+        m.set_gauge("run.evaluations", s.evaluations as f64);
+        m.set_gauge("run.total_cost_s", s.total_cost);
+    }
+
+    /// Raw cache counters as `(result_hits, result_misses, fe_hits,
+    /// fe_misses)` — surfaced in [`crate::AutoMlReport`] and the CLI summary.
+    pub fn cache_stats(&self) -> (u64, u64, u64, u64) {
+        let s = self.state();
+        (s.cache.hits, s.cache.misses, s.fe_cache.hits, s.fe_cache.misses)
+    }
+
     /// Installs a fault-injection hook (testing/chaos only).
     pub fn set_fault_hook(&self, hook: FaultHook) {
         *self.shared.fault_hook.lock().expect("hook poisoned") = Some(hook);
@@ -482,6 +540,91 @@ impl Evaluator {
     /// Extracts `(algorithm, model-params, fe-params)` from an assignment.
     fn interpret(&self, assignment: &HashMap<String, f64>) -> Result<ParsedAssignment> {
         parse_assignment(&self.shared.space, assignment)
+    }
+
+    /// Records one completed trial to every attached sink: the journal
+    /// (arm + digest join keys included), the span tracer (one
+    /// `kind:"trial"` span parented to the current pull), and the metrics
+    /// registry. Runs on the coordinator thread so the obs span stack
+    /// attributes the trial to the block/arm that issued it. `queue_wait_s`
+    /// is set for pooled trials only (dispatch-to-start latency).
+    #[allow(clippy::too_many_arguments)]
+    fn record_trial(
+        &self,
+        journal: Option<&Arc<Journal>>,
+        digest: u64,
+        worker: usize,
+        start_s: f64,
+        end_s: f64,
+        fidelity: f64,
+        outcome: &EvalOutcome,
+        queue_wait_s: Option<f64>,
+    ) {
+        let tracer = self.tracer();
+        let metrics = self.metrics();
+        if journal.is_none() && !tracer.enabled() && metrics.is_none() {
+            return;
+        }
+        let trial_id = match journal {
+            Some(j) => j.next_trial_id(),
+            None => tracer.next_trial_id(),
+        };
+        let cost = if outcome.cached { 0.0 } else { outcome.cost };
+        if let Some(j) = journal {
+            j.record(TrialRecord {
+                trial_id,
+                worker,
+                start_s,
+                end_s,
+                fidelity,
+                loss: outcome.loss,
+                cost,
+                cached: outcome.cached,
+                fe_cached: outcome.fe_cached,
+                panicked: outcome.panicked,
+                timed_out: outcome.timed_out,
+                arm: current_arm(),
+                digest: format!("{digest:016x}"),
+            });
+        }
+        {
+            tracer.trial(&TrialInfo {
+                trial_id,
+                digest,
+                worker,
+                start_s,
+                end_s,
+                fidelity,
+                loss: outcome.loss,
+                cost,
+                cached: outcome.cached,
+                fe_cached: outcome.fe_cached,
+                panicked: outcome.panicked,
+                timed_out: outcome.timed_out,
+            });
+        }
+        if let Some(m) = &metrics {
+            m.inc_counter("trial.total", 1);
+            if outcome.cached {
+                m.inc_counter("trial.result_cache_hit", 1);
+            }
+            if outcome.fe_cached {
+                m.inc_counter("trial.fe_cache_hit", 1);
+            }
+            if outcome.panicked {
+                m.inc_counter("exec.panics", 1);
+            }
+            if outcome.timed_out {
+                m.inc_counter("exec.timeouts", 1);
+            }
+            if !outcome.cached {
+                m.observe("trial.cost_s", outcome.cost);
+            }
+            m.add_to_gauge(&format!("worker.{worker}.busy_s"), (end_s - start_s).max(0.0));
+            if let Some(wait) = queue_wait_s {
+                m.observe("exec.queue_wait_s", wait.max(0.0));
+            }
+        }
     }
 
     /// Evaluates an assignment at the given fidelity (training-set fraction
@@ -514,27 +657,22 @@ impl Evaluator {
         let runs = pool.run_batch(jobs);
         runs.into_iter()
             .zip(trials.iter())
-            .map(|(run, (_, fidelity))| {
+            .map(|(run, (assignment, fidelity))| {
                 let outcome = match run.status {
                     TrialStatus::Done(out) => out,
                     TrialStatus::Panicked(_) => EvalOutcome::failed(false, true),
                     TrialStatus::TimedOut => EvalOutcome::failed(true, false),
                 };
-                if let Some(j) = &journal {
-                    j.record(TrialRecord {
-                        trial_id: j.next_trial_id(),
-                        worker: run.worker,
-                        start_s: batch_epoch + run.started_s,
-                        end_s: batch_epoch + run.ended_s,
-                        fidelity: fidelity.clamp(0.01, 1.0),
-                        loss: outcome.loss,
-                        cost: if outcome.cached { 0.0 } else { outcome.cost },
-                        cached: outcome.cached,
-                        fe_cached: outcome.fe_cached,
-                        panicked: outcome.panicked,
-                        timed_out: outcome.timed_out,
-                    });
-                }
+                self.record_trial(
+                    journal.as_ref(),
+                    assignment_key(assignment),
+                    run.worker,
+                    batch_epoch + run.started_s,
+                    batch_epoch + run.ended_s,
+                    fidelity.clamp(0.01, 1.0),
+                    &outcome,
+                    Some(run.started_s),
+                );
                 outcome
             })
             .collect()
@@ -563,21 +701,18 @@ impl Evaluator {
                 panicked: false,
                 timed_out: false,
             };
-            if let Some(j) = &journal {
-                let now = j.elapsed_s();
-                j.record(TrialRecord {
-                    trial_id: j.next_trial_id(),
-                    worker: current_worker().unwrap_or(0),
-                    start_s: now,
-                    end_s: now,
+            if journal_direct {
+                let now = journal.as_ref().map_or(0.0, |j| j.elapsed_s());
+                self.record_trial(
+                    journal.as_ref(),
+                    key.0,
+                    current_worker().unwrap_or(0),
+                    now,
+                    now,
                     fidelity,
-                    loss,
-                    cost: 0.0,
-                    cached: true,
-                    fe_cached: false,
-                    panicked: false,
-                    timed_out: false,
-                });
+                    &outcome,
+                    None,
+                );
             }
             return outcome;
         }
@@ -616,29 +751,28 @@ impl Evaluator {
                 cost,
             });
         }
-        if let Some(j) = &journal {
-            j.record(TrialRecord {
-                trial_id: j.next_trial_id(),
-                worker: current_worker().unwrap_or(0),
-                start_s,
-                end_s: j.elapsed_s(),
-                fidelity,
-                loss,
-                cost,
-                cached: false,
-                fe_cached,
-                panicked,
-                timed_out: false,
-            });
-        }
-        EvalOutcome {
+        let outcome = EvalOutcome {
             loss,
             cost,
             cached: false,
             fe_cached,
             panicked,
             timed_out: false,
+        };
+        if journal_direct {
+            let end_s = journal.as_ref().map_or(start_s + cost, |j| j.elapsed_s());
+            self.record_trial(
+                journal.as_ref(),
+                key.0,
+                current_worker().unwrap_or(0),
+                start_s,
+                end_s,
+                fidelity,
+                &outcome,
+                None,
+            );
         }
+        outcome
     }
 
     /// Fits one pipeline+model on `(train)` and scores on `valid`,

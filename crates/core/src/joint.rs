@@ -6,9 +6,12 @@ use crate::block::{Assignment, BestSolution, BuildingBlock, LossInterval};
 use crate::eu::{eu_interval, eui};
 use crate::evaluator::Evaluator;
 use crate::Result;
+use std::sync::Arc;
 use volcanoml_bo::{
-    ConfigSpace, Configuration, Hyperband, MfesHb, RandomSearch, Smac, SuccessiveHalving, Suggest,
+    ConfigSpace, Configuration, Hyperband, MfesHb, ObserveEvent, RandomSearch, Smac,
+    SuccessiveHalving, Suggest,
 };
+use volcanoml_obs::{span, EventFields, Tracer};
 
 /// Which engine a joint block runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +68,8 @@ pub struct JointBlock {
     best: Option<BestSolution>,
     trajectory: Vec<f64>,
     evaluations: usize,
+    /// Whether the engine's observe hook has been wired to a tracer.
+    hook_installed: bool,
 }
 
 impl JointBlock {
@@ -86,7 +91,33 @@ impl JointBlock {
             best: None,
             trajectory: Vec::new(),
             evaluations: 0,
+            hook_installed: false,
         }
+    }
+
+    /// Wires the engine's observe hook to an enabled tracer (once): every
+    /// real optimizer observation becomes a `bo-observe` trace event,
+    /// parented to whatever span is open when the engine observes.
+    fn ensure_observe_hook(&mut self, tracer: &Arc<Tracer>) {
+        if self.hook_installed || !tracer.enabled() {
+            return;
+        }
+        self.hook_installed = true;
+        let t = Arc::clone(tracer);
+        self.engine.set_observe_hook(Arc::new(move |e: &ObserveEvent| {
+            t.event(
+                "bo-observe",
+                EventFields {
+                    fidelity: e.fidelity,
+                    loss: e.loss,
+                    detail: format!(
+                        "n={} incumbent={:.6} cost={:.4}",
+                        e.n_observations, e.incumbent_loss, e.cost
+                    ),
+                    ..EventFields::default()
+                },
+            );
+        }));
     }
 
     /// Queues warm-start configurations (from meta-learning) that will be
@@ -142,13 +173,26 @@ impl JointBlock {
 
 impl BuildingBlock for JointBlock {
     fn do_next(&mut self, evaluator: &Evaluator) -> Result<()> {
+        let tracer = evaluator.tracer();
+        self.ensure_observe_hook(&tracer);
+        let mut pull = span(&tracer, "pull", &self.label, "");
         let (config, fidelity) = match self.seed_queue.pop() {
-            Some(cfg) => (cfg, 1.0),
-            None => self.engine.suggest(),
+            Some(cfg) => {
+                pull.set_detail("seed");
+                (cfg, 1.0)
+            }
+            None => {
+                let mut s = span(&tracer, "suggest", &self.label, "");
+                s.set_detail(format!("engine={}", self.engine_kind.name()));
+                self.engine.suggest()
+            }
         };
         let own = self.engine.space().to_map(&config);
         let assignment = self.merged(&own);
         let outcome = evaluator.evaluate(&assignment, fidelity);
+        pull.set_fidelity(fidelity);
+        pull.set_loss(outcome.loss);
+        pull.set_cost(outcome.cost);
         self.record_outcome(config, fidelity, assignment, outcome.loss, outcome.cost);
         Ok(())
     }
@@ -164,6 +208,10 @@ impl BuildingBlock for JointBlock {
         if k == 0 {
             return Ok(());
         }
+        let tracer = evaluator.tracer();
+        self.ensure_observe_hook(&tracer);
+        let mut pull = span(&tracer, "pull", &self.label, "");
+        pull.set_detail(format!("batch k={k}"));
         let mut picks: Vec<(Configuration, f64)> = Vec::with_capacity(k);
         while picks.len() < k {
             match self.seed_queue.pop() {
@@ -172,6 +220,12 @@ impl BuildingBlock for JointBlock {
             }
         }
         if picks.len() < k {
+            let mut s = span(&tracer, "suggest", &self.label, "");
+            s.set_detail(format!(
+                "engine={} batch k={}",
+                self.engine_kind.name(),
+                k - picks.len()
+            ));
             picks.extend(self.engine.suggest_batch(k - picks.len()));
         }
         let trials: Vec<(Assignment, f64)> = picks
@@ -182,11 +236,17 @@ impl BuildingBlock for JointBlock {
             })
             .collect();
         let outcomes = evaluator.evaluate_batch(pool, &trials);
+        let mut batch_cost = 0.0;
+        let mut batch_best = f64::INFINITY;
         for (((config, fidelity), (assignment, _)), outcome) in
             picks.into_iter().zip(trials).zip(outcomes)
         {
+            batch_cost += outcome.cost;
+            batch_best = batch_best.min(outcome.loss);
             self.record_outcome(config, fidelity, assignment, outcome.loss, outcome.cost);
         }
+        pull.set_loss(batch_best);
+        pull.set_cost(batch_cost);
         Ok(())
     }
 

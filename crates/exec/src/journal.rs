@@ -6,15 +6,22 @@
 //! ```json
 //! {"trial":17,"worker":2,"start_s":0.0132,"end_s":0.0518,"fidelity":1.0,
 //!  "loss":0.2184,"cost":0.0386,"cached":false,"fe_cached":true,
-//!  "panicked":false,"timed_out":false}
+//!  "panicked":false,"timed_out":false,"arm":"algorithm=1",
+//!  "digest":"9f3c2a11d04b77e6"}
 //! ```
 //!
 //! `start_s`/`end_s` are seconds since the journal was opened (monotonic
 //! clock), `cost` is the evaluator-measured training wall time, `loss` is
-//! serialized as `"inf"` when infinite so the file stays valid JSON. The
-//! journal is `Sync`: workers append concurrently through an internal
-//! mutex. Records are always kept in memory (for tests and report
-//! generation) and mirrored to a file when opened with [`Journal::to_path`].
+//! serialized as `"inf"` when infinite so the file stays valid JSON. `arm`
+//! is the bandit-arm label of the conditioning pull that issued the trial
+//! (empty when no arm was in scope) and `digest` is the evaluator's stable
+//! assignment hash rendered as 16 hex digits (empty when unknown) — both
+//! join journal rows to `volcanoml-obs` trace spans, which carry the same
+//! `trial` id, arm, and digest. The journal is `Sync`: workers append
+//! concurrently through an internal mutex. Records are always kept in
+//! memory (for tests and report generation) and mirrored to a file when
+//! opened with [`Journal::to_path`]; buffered lines are flushed by
+//! [`Journal::flush`] and automatically on drop.
 
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -47,6 +54,12 @@ pub struct TrialRecord {
     pub panicked: bool,
     /// Whether the trial exceeded its deadline and was abandoned.
     pub timed_out: bool,
+    /// Bandit-arm label of the pull that issued the trial (e.g.
+    /// `algorithm=1`), empty when no arm was in scope.
+    pub arm: String,
+    /// Stable assignment digest as 16 lowercase hex digits, empty when
+    /// unknown. Matches the `digest` field on obs trace spans.
+    pub digest: String,
 }
 
 impl TrialRecord {
@@ -55,7 +68,8 @@ impl TrialRecord {
         format!(
             "{{\"trial\":{},\"worker\":{},\"start_s\":{:.6},\"end_s\":{:.6},\
              \"fidelity\":{},\"loss\":{},\"cost\":{:.6},\"cached\":{},\
-             \"fe_cached\":{},\"panicked\":{},\"timed_out\":{}}}",
+             \"fe_cached\":{},\"panicked\":{},\"timed_out\":{},\
+             \"arm\":\"{}\",\"digest\":\"{}\"}}",
             self.trial_id,
             self.worker,
             self.start_s,
@@ -66,9 +80,28 @@ impl TrialRecord {
             self.cached,
             self.fe_cached,
             self.panicked,
-            self.timed_out
+            self.timed_out,
+            json_str(&self.arm),
+            json_str(&self.digest)
         )
     }
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// JSON has no Infinity/NaN literals; encode them as strings.
@@ -132,14 +165,23 @@ impl Journal {
         self.epoch.elapsed().as_secs_f64()
     }
 
-    /// Appends one record (and mirrors it to the file, if any).
+    /// Appends one record (and mirrors it to the file, if any). Lines are
+    /// buffered; call [`Journal::flush`] (or drop the journal) to ensure
+    /// they reach disk.
     pub fn record(&self, rec: TrialRecord) {
         let mut state = self.state.lock().expect("journal poisoned");
         if let Some(file) = &mut state.file {
             let _ = writeln!(file, "{}", rec.to_json());
-            let _ = file.flush();
         }
         state.lines.push(rec);
+    }
+
+    /// Flushes buffered lines to the backing file, if any.
+    pub fn flush(&self) {
+        let mut state = self.state.lock().expect("journal poisoned");
+        if let Some(file) = &mut state.file {
+            let _ = file.flush();
+        }
     }
 
     /// Number of journaled trials.
@@ -169,6 +211,14 @@ impl Journal {
     }
 }
 
+impl Drop for Journal {
+    /// Short CLI runs must never lose trailing records: flush the buffer
+    /// when the journal goes out of scope at end-of-run.
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +236,8 @@ mod tests {
             fe_cached: false,
             panicked: false,
             timed_out: false,
+            arm: "algorithm=1".to_string(),
+            digest: format!("{:016x}", 0x9f3c_2a11_d04b_77e6u64),
         }
     }
 
@@ -204,6 +256,8 @@ mod tests {
             "\"fe_cached\":false",
             "\"panicked\":false",
             "\"timed_out\":false",
+            "\"arm\":\"algorithm=1\"",
+            "\"digest\":\"9f3c2a11d04b77e6\"",
         ] {
             assert!(line.contains(key), "missing {key} in {line}");
         }
@@ -249,6 +303,45 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"trial\":0"));
         assert!(lines[1].contains("\"trial\":1"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Regression: a run that ends right after the last trial (journal
+    /// dropped without an explicit flush call) must not lose trailing
+    /// buffered records.
+    #[test]
+    fn drop_flushes_trailing_records() {
+        let dir = std::env::temp_dir().join("volcanoml-exec-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("drop-{}.jsonl", std::process::id()));
+        {
+            let j = Journal::to_path(&path).unwrap();
+            for i in 0..20 {
+                j.record(record(i));
+            }
+            // No flush: the BufWriter still holds everything. Drop must
+            // write it out.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 20);
+        assert!(text.lines().last().unwrap().contains("\"trial\":19"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// An explicit mid-run flush makes records visible to concurrent
+    /// readers while the journal is still alive.
+    #[test]
+    fn explicit_flush_is_readable_while_alive() {
+        let dir = std::env::temp_dir().join("volcanoml-exec-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("flush-{}.jsonl", std::process::id()));
+        let j = Journal::to_path(&path).unwrap();
+        j.record(record(0));
+        j.record(record(1));
+        j.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        drop(j);
         std::fs::remove_file(&path).ok();
     }
 

@@ -21,6 +21,29 @@
 
 use volcanoml_linalg::Matrix;
 
+/// Process-global counters over the binned-tree training path, sampled into
+/// the metrics registry at end of run. Relaxed atomics: the counts are
+/// best-effort telemetry, not synchronization.
+pub mod stats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Number of [`super::BinnedMatrix`] layouts built.
+    pub static MATRICES_BUILT: AtomicU64 = AtomicU64::new(0);
+    /// Total `rows * features` cells quantized across all layouts.
+    pub static CELLS_ENCODED: AtomicU64 = AtomicU64::new(0);
+    /// Number of per-node histogram fill passes during tree training.
+    pub static HIST_NODE_SCANS: AtomicU64 = AtomicU64::new(0);
+
+    /// `(matrices_built, cells_encoded, hist_node_scans)` at this instant.
+    pub fn snapshot() -> (u64, u64, u64) {
+        (
+            MATRICES_BUILT.load(Ordering::Relaxed),
+            CELLS_ENCODED.load(Ordering::Relaxed),
+            HIST_NODE_SCANS.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// Default number of bins per feature (fits u8-sized histograms; stored as
 /// u16 codes so callers may raise it).
 pub const DEFAULT_MAX_BINS: usize = 255;
@@ -42,6 +65,8 @@ impl BinnedMatrix {
     pub fn from_matrix(x: &Matrix, max_bins: usize) -> BinnedMatrix {
         let n = x.rows();
         let d = x.cols();
+        stats::MATRICES_BUILT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        stats::CELLS_ENCODED.fetch_add((n * d) as u64, std::sync::atomic::Ordering::Relaxed);
         let max_bins = max_bins.clamp(2, u16::MAX as usize + 1);
         let mut codes = vec![0u16; n * d];
         let mut cuts = Vec::with_capacity(d);

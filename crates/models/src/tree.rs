@@ -744,6 +744,8 @@ impl HistBuilder<'_> {
 
     /// One pass over the node's rows fills every candidate feature's bins.
     fn build_hists(&mut self, start: usize, end: usize, features: &[usize]) -> NodeHists {
+        crate::binned::stats::HIST_NODE_SCANS
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let is_mse = self.is_mse();
         let ch = self.channels;
         let bm = self.bm;

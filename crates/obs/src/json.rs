@@ -1,0 +1,332 @@
+//! Minimal flat-JSON helpers shared by the tracer, metrics, and report.
+//!
+//! Every line this workspace emits (trial journal, trace stream, metrics
+//! snapshot) is a flat JSON object whose values are numbers, strings, or
+//! booleans — no nesting deeper than the metrics snapshot's two levels,
+//! which the report reads through [`parse_object`]'s nested-object support.
+//! Keeping the parser in-tree keeps the workspace hermetic (std only).
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value (the subset our streams use).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A finite number.
+    Num(f64),
+    /// A string (also used to encode `inf`/`-inf`/`nan` floats).
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// A nested object (metrics snapshots).
+    Obj(BTreeMap<String, JsonValue>),
+    /// An array (metrics histogram buckets).
+    Arr(Vec<JsonValue>),
+}
+
+impl JsonValue {
+    /// Numeric view; decodes the `"inf"`/`"-inf"`/`"nan"` string encoding.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            JsonValue::Str(s) => match s.as_str() {
+                "inf" => Some(f64::INFINITY),
+                "-inf" => Some(f64::NEG_INFINITY),
+                "nan" => Some(f64::NAN),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Integer view of a numeric value.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.as_f64().filter(|v| v.is_finite()).map(|v| v as i64)
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Encodes an `f64` as a JSON token, quoting non-finite values so the
+/// stream stays valid JSON (`"inf"`, `"-inf"`, `"nan"`).
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "\"nan\"".to_string()
+    } else if v > 0.0 {
+        "\"inf\"".to_string()
+    } else {
+        "\"-inf\"".to_string()
+    }
+}
+
+/// Parses one JSON document (object at the top level). Returns `None` on
+/// any syntax error — callers treat unparseable lines as corrupt.
+pub fn parse_object(text: &str) -> Option<BTreeMap<String, JsonValue>> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return None;
+    }
+    match v {
+        JsonValue::Obj(m) => Some(m),
+        _ => None,
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Option<()> {
+        (self.bump()? == b).then_some(())
+    }
+
+    fn literal(&mut self, lit: &str) -> Option<()> {
+        let end = self.pos + lit.len();
+        if self.bytes.get(self.pos..end)? == lit.as_bytes() {
+            self.pos = end;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn value(&mut self) -> Option<JsonValue> {
+        self.skip_ws();
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string().map(JsonValue::Str),
+            b't' => self.literal("true").map(|_| JsonValue::Bool(true)),
+            b'f' => self.literal("false").map(|_| JsonValue::Bool(false)),
+            b'n' => self.literal("null").map(|_| JsonValue::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Option<JsonValue> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Some(JsonValue::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b'}' => return Some(JsonValue::Obj(map)),
+                _ => return None,
+            }
+        }
+    }
+
+    fn array(&mut self) -> Option<JsonValue> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Some(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b']' => return Some(JsonValue::Arr(items)),
+                _ => return None,
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                b'"' => return Some(out),
+                b'\\' => match self.bump()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = self.bytes.get(self.pos..self.pos + 4)?;
+                        let code =
+                            u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        self.pos += 4;
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                b => {
+                    // Re-decode multi-byte UTF-8 sequences from the source.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let len = if b >= 0xf0 {
+                            4
+                        } else if b >= 0xe0 {
+                            3
+                        } else {
+                            2
+                        };
+                        let chunk = self.bytes.get(start..start + len)?;
+                        out.push_str(std::str::from_utf8(chunk).ok()?);
+                        self.pos = start + len;
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<JsonValue> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+            .map(JsonValue::Num)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_object() {
+        let m = parse_object(
+            r#"{"trial":3,"loss":0.25,"arm":"algorithm=1","cached":false,"x":null}"#,
+        )
+        .unwrap();
+        assert_eq!(m["trial"].as_i64(), Some(3));
+        assert_eq!(m["loss"].as_f64(), Some(0.25));
+        assert_eq!(m["arm"].as_str(), Some("algorithm=1"));
+        assert_eq!(m["cached"].as_bool(), Some(false));
+        assert_eq!(m["x"], JsonValue::Null);
+    }
+
+    #[test]
+    fn parses_nested_objects_and_arrays() {
+        let m = parse_object(r#"{"counters":{"a":1,"b":2},"buckets":[{"le":0.5,"count":3}]}"#)
+            .unwrap();
+        let counters = m["counters"].as_obj().unwrap();
+        assert_eq!(counters["a"].as_i64(), Some(1));
+        match &m["buckets"] {
+            JsonValue::Arr(items) => {
+                assert_eq!(items.len(), 1);
+                assert_eq!(items[0].as_obj().unwrap()["count"].as_i64(), Some(3));
+            }
+            _ => panic!("expected array"),
+        }
+    }
+
+    #[test]
+    fn non_finite_roundtrip() {
+        assert_eq!(num(f64::INFINITY), "\"inf\"");
+        let m = parse_object(&format!("{{\"loss\":{}}}", num(f64::INFINITY))).unwrap();
+        assert_eq!(m["loss"].as_f64(), Some(f64::INFINITY));
+        let m = parse_object(&format!("{{\"loss\":{}}}", num(f64::NAN))).unwrap();
+        assert!(m["loss"].as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        let s = "path \"with\"\nnewline\tand\\slash";
+        let doc = format!("{{\"k\":\"{}\"}}", escape(s));
+        let m = parse_object(&doc).unwrap();
+        assert_eq!(m["k"].as_str(), Some(s));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_object("{\"a\":}").is_none());
+        assert!(parse_object("not json").is_none());
+        assert!(parse_object("{\"a\":1} trailing").is_none());
+    }
+}

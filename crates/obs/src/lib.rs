@@ -1,0 +1,34 @@
+//! `volcanoml-obs` — the observability layer for VolcanoML runs.
+//!
+//! VolcanoML's speedups come from *where* the budget goes: which block of
+//! the execution plan, which bandit arm, which fidelity each pull lands on.
+//! This crate makes that visible without ad-hoc printlns:
+//!
+//! - [`Tracer`]: a hierarchical span tracer over the Volcano block tree.
+//!   Every `do_next` pull, SMAC suggest, elimination decision, and trial
+//!   becomes a parent-linked [`SpanEvent`] appended (one JSON line, torn-line
+//!   free) to a JSONL stream alongside the trial journal. Parent links come
+//!   from a thread-local span stack — blocks open a [`SpanGuard`] around a
+//!   pull and everything emitted underneath (on the same thread) is linked
+//!   to it. Disabled tracers still maintain the stack (so journal rows can
+//!   be attributed to arms) but skip all serialization; the cost is one
+//!   branch plus a small string clone per pull, far below one pipeline fit.
+//! - [`MetricsRegistry`]: named counters, gauges, and fixed-bucket latency
+//!   histograms sampled from the evaluator caches, the worker pool, and the
+//!   binned-tree training path; snapshot-serializable to a stable JSON
+//!   schema (`results/METRICS_run.json`).
+//! - [`report`]: joins the trial journal and the trace stream into a
+//!   human-readable run report — per-arm convergence, budget allocation by
+//!   block-tree path, worker-utilization timeline, cache efficiency.
+//!
+//! The crate is std-only and sits *below* `volcanoml-core` in the workspace
+//! graph, next to `volcanoml-exec`: the evaluator and blocks emit, this
+//! crate records and renders.
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod tracer;
+
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use tracer::{current_arm, current_path, span, EventFields, SpanEvent, SpanGuard, Tracer, TrialInfo};

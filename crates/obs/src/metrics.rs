@@ -1,0 +1,311 @@
+//! Metrics registry: named counters, gauges, and fixed-bucket latency
+//! histograms, snapshot-serializable to a stable JSON schema.
+//!
+//! The snapshot schema (pinned by `snapshot_schema_is_stable`):
+//!
+//! ```json
+//! {
+//!   "counters": {"cache.result.hits": 12, "...": 0},
+//!   "gauges": {"run.best_loss": 0.118, "...": 0.0},
+//!   "histograms": {
+//!     "trial.cost_s": {
+//!       "buckets": [{"le": 0.001, "count": 0}, ..., {"le": "inf", "count": 41}],
+//!       "count": 41,
+//!       "sum": 3.82
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! Maps are `BTreeMap`-backed so the JSON key order is deterministic and
+//! diffs between runs stay readable. All mutators take `&self`; the
+//! registry is shared as `Arc<MetricsRegistry>` across the evaluator, the
+//! pool-metrics sampler, and the training-path samplers.
+
+use crate::json::{escape, num};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Default latency buckets (seconds) for [`MetricsRegistry::observe`].
+pub const DEFAULT_BUCKETS: [f64; 10] = [0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0];
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    bounds: Vec<f64>,
+    /// One count per bound, plus a final overflow (`le: "inf"`) bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+}
+
+/// A point-in-time copy of every metric, decoupled from the live registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic event counts.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins instantaneous values.
+    pub gauges: BTreeMap<String, f64>,
+    /// Cumulative bucket counts per histogram: `(bounds, counts, count, sum)`
+    /// where `counts.len() == bounds.len() + 1` (final bucket is overflow).
+    pub histograms: BTreeMap<String, (Vec<f64>, Vec<u64>, u64, f64)>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a pretty-printed JSON document with the
+    /// pinned schema described in the module docs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {}", escape(k), v));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {}", escape(k), num(*v)));
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (k, (bounds, counts, count, sum))) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {{\"buckets\": [", escape(k)));
+            for (j, c) in counts.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let le = bounds
+                    .get(j)
+                    .map_or("\"inf\"".to_string(), |b| format!("{b}"));
+                out.push_str(&format!("{{\"le\": {le}, \"count\": {c}}}"));
+            }
+            out.push_str(&format!("], \"count\": {}, \"sum\": {}}}", count, num(*sum)));
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+#[derive(Default)]
+struct MetricsState {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Thread-safe metrics registry. See the module docs for the snapshot
+/// schema and naming conventions (`subsystem.object.event`).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    state: Mutex<MetricsState>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to a counter, creating it at zero first if needed.
+    pub fn inc_counter(&self, name: &str, delta: u64) {
+        let mut s = self.state.lock().expect("metrics poisoned");
+        *s.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge to `value` (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut s = self.state.lock().expect("metrics poisoned");
+        s.gauges.insert(name.to_string(), value);
+    }
+
+    /// Adds `delta` to a gauge, creating it at zero first if needed.
+    pub fn add_to_gauge(&self, name: &str, delta: f64) {
+        let mut s = self.state.lock().expect("metrics poisoned");
+        *s.gauges.entry(name.to_string()).or_insert(0.0) += delta;
+    }
+
+    /// Records `value` into a histogram with [`DEFAULT_BUCKETS`].
+    pub fn observe(&self, name: &str, value: f64) {
+        self.observe_with(name, value, &DEFAULT_BUCKETS);
+    }
+
+    /// Records `value` into a histogram with explicit bucket bounds. The
+    /// bounds are fixed at the histogram's first observation.
+    pub fn observe_with(&self, name: &str, value: f64, bounds: &[f64]) {
+        let mut s = self.state.lock().expect("metrics poisoned");
+        s.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// Reads one counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        let s = self.state.lock().expect("metrics poisoned");
+        s.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads one gauge (`None` when absent).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        let s = self.state.lock().expect("metrics poisoned");
+        s.gauges.get(name).copied()
+    }
+
+    /// Takes a point-in-time snapshot of all metrics.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let s = self.state.lock().expect("metrics poisoned");
+        MetricsSnapshot {
+            counters: s.counters.clone(),
+            gauges: s.gauges.clone(),
+            histograms: s
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        (h.bounds.clone(), h.counts.clone(), h.count, h.sum),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Snapshots and renders the pinned JSON schema in one step.
+    pub fn snapshot_json(&self) -> String {
+        self.snapshot().to_json()
+    }
+
+    /// Writes the snapshot JSON to `path` (truncates).
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.snapshot_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse_object, JsonValue};
+
+    #[test]
+    fn counters_gauges_histograms_accumulate() {
+        let m = MetricsRegistry::new();
+        m.inc_counter("cache.result.hits", 2);
+        m.inc_counter("cache.result.hits", 3);
+        m.set_gauge("run.best_loss", 0.5);
+        m.set_gauge("run.best_loss", 0.25);
+        m.add_to_gauge("worker.0.busy_s", 1.5);
+        m.add_to_gauge("worker.0.busy_s", 0.5);
+        m.observe("trial.cost_s", 0.003);
+        m.observe("trial.cost_s", 120.0);
+        assert_eq!(m.counter("cache.result.hits"), 5);
+        assert_eq!(m.gauge("run.best_loss"), Some(0.25));
+        assert_eq!(m.gauge("worker.0.busy_s"), Some(2.0));
+        let snap = m.snapshot();
+        let (bounds, counts, count, sum) = &snap.histograms["trial.cost_s"];
+        assert_eq!(bounds.len() + 1, counts.len());
+        assert_eq!(*count, 2);
+        assert!((sum - 120.003).abs() < 1e-9);
+        assert_eq!(counts[1], 1, "0.003 lands in the le=0.005 bucket");
+        assert_eq!(*counts.last().unwrap(), 1, "120 lands in the overflow bucket");
+    }
+
+    /// Pins the metrics JSON schema: top-level keys, bucket shape, and the
+    /// `"inf"` overflow encoding. Downstream consumers (report, ci.sh)
+    /// parse this format — change it deliberately or not at all.
+    #[test]
+    fn snapshot_schema_is_stable() {
+        let m = MetricsRegistry::new();
+        m.inc_counter("cache.result.hits", 4);
+        m.set_gauge("run.workers", 2.0);
+        m.observe_with("exec.queue_wait_s", 0.02, &[0.01, 0.1]);
+        m.observe_with("exec.queue_wait_s", 5.0, &[0.01, 0.1]);
+        let json = m.snapshot_json();
+        let doc = parse_object(&json).expect("snapshot must be valid JSON");
+        assert_eq!(
+            doc.keys().cloned().collect::<Vec<_>>(),
+            vec!["counters", "gauges", "histograms"]
+        );
+        assert_eq!(
+            doc["counters"].as_obj().unwrap()["cache.result.hits"].as_i64(),
+            Some(4)
+        );
+        assert_eq!(doc["gauges"].as_obj().unwrap()["run.workers"].as_f64(), Some(2.0));
+        let hist = doc["histograms"].as_obj().unwrap()["exec.queue_wait_s"]
+            .as_obj()
+            .unwrap();
+        assert_eq!(hist["count"].as_i64(), Some(2));
+        let buckets = match &hist["buckets"] {
+            JsonValue::Arr(items) => items,
+            _ => panic!("buckets must be an array"),
+        };
+        assert_eq!(buckets.len(), 3);
+        let last = buckets[2].as_obj().unwrap();
+        assert_eq!(last["le"].as_str(), Some("inf"));
+        assert_eq!(last["count"].as_i64(), Some(1));
+        let mid = buckets[1].as_obj().unwrap();
+        assert_eq!(mid["le"].as_f64(), Some(0.1));
+        assert_eq!(mid["count"].as_i64(), Some(1));
+    }
+
+    #[test]
+    fn empty_registry_serializes_cleanly() {
+        let m = MetricsRegistry::new();
+        let doc = parse_object(&m.snapshot_json()).unwrap();
+        assert!(doc["counters"].as_obj().unwrap().is_empty());
+        assert!(doc["histograms"].as_obj().unwrap().is_empty());
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let m = std::sync::Arc::new(MetricsRegistry::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.inc_counter("x", 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.counter("x"), 8000);
+    }
+}

@@ -1,0 +1,412 @@
+//! Run-report rendering: joins the trace stream (and optionally the trial
+//! journal and a metrics snapshot) into a human-readable summary.
+//!
+//! The report is computed from the trace alone — `kind:"trial"` spans carry
+//! arm, path, worker, timing, and loss. Supplying the journal additionally
+//! verifies the join invariant (every journal row matches exactly one trial
+//! span via the `trial` id); supplying the metrics snapshot adds the
+//! cache-efficiency and histogram summaries.
+
+use crate::json::{parse_object, JsonValue};
+use std::collections::BTreeMap;
+
+/// One parsed JSONL line.
+pub type Row = BTreeMap<String, JsonValue>;
+
+/// Parses a JSONL document; fails on the first torn/corrupt line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Row>, String> {
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_object(line) {
+            Some(row) => rows.push(row),
+            None => return Err(format!("line {}: unparseable JSON: {line}", i + 1)),
+        }
+    }
+    Ok(rows)
+}
+
+fn get_str<'a>(row: &'a Row, key: &str) -> &'a str {
+    row.get(key).and_then(|v| v.as_str()).unwrap_or("")
+}
+
+fn get_f64(row: &Row, key: &str) -> f64 {
+    row.get(key).and_then(|v| v.as_f64()).unwrap_or(f64::NAN)
+}
+
+fn get_i64(row: &Row, key: &str) -> i64 {
+    row.get(key).and_then(|v| v.as_i64()).unwrap_or(-1)
+}
+
+fn fmt_loss(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[derive(Default)]
+struct ArmStats {
+    trials: usize,
+    cost: f64,
+    best: f64,
+    last: f64,
+    eliminated: bool,
+}
+
+/// Renders the full run report. `trace_text` is required; `journal_text`
+/// and `metrics_text` unlock the join check and cache sections.
+pub fn render_report(
+    trace_text: &str,
+    journal_text: Option<&str>,
+    metrics_text: Option<&str>,
+) -> Result<String, String> {
+    let events = parse_jsonl(trace_text).map_err(|e| format!("trace: {e}"))?;
+    let trials: Vec<&Row> = events
+        .iter()
+        .filter(|e| get_str(e, "kind") == "trial")
+        .collect();
+    let eliminations: Vec<&Row> = events
+        .iter()
+        .filter(|e| get_str(e, "kind") == "eliminate")
+        .collect();
+
+    let mut out = String::new();
+    out.push_str("VolcanoML run report\n");
+    out.push_str("====================\n\n");
+    let mut kinds: BTreeMap<&str, usize> = BTreeMap::new();
+    for e in &events {
+        *kinds.entry(get_str(e, "kind")).or_insert(0) += 1;
+    }
+    out.push_str(&format!("trace events: {}", events.len()));
+    if !kinds.is_empty() {
+        let parts: Vec<String> = kinds.iter().map(|(k, n)| format!("{k}={n}")).collect();
+        out.push_str(&format!("  ({})", parts.join(", ")));
+    }
+    out.push('\n');
+
+    // ── Journal ↔ trace join check ──────────────────────────────────────
+    if let Some(journal_text) = journal_text {
+        let journal = parse_jsonl(journal_text).map_err(|e| format!("journal: {e}"))?;
+        let mut span_trials: BTreeMap<i64, usize> = BTreeMap::new();
+        for t in &trials {
+            *span_trials.entry(get_i64(t, "trial")).or_insert(0) += 1;
+        }
+        let mut joined = 0usize;
+        let mut orphans = Vec::new();
+        let mut dupes = Vec::new();
+        for row in &journal {
+            let id = get_i64(row, "trial");
+            match span_trials.get(&id) {
+                Some(1) => joined += 1,
+                Some(_) => dupes.push(id),
+                None => orphans.push(id),
+            }
+        }
+        out.push_str(&format!(
+            "journal rows: {}  joined to trace: {}",
+            journal.len(),
+            joined
+        ));
+        if !orphans.is_empty() {
+            out.push_str(&format!("  UNMATCHED: {orphans:?}"));
+        }
+        if !dupes.is_empty() {
+            out.push_str(&format!("  DUPLICATE SPANS: {dupes:?}"));
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+
+    // ── Per-arm convergence ─────────────────────────────────────────────
+    let mut arms: BTreeMap<String, ArmStats> = BTreeMap::new();
+    for t in &trials {
+        let arm = get_str(t, "arm");
+        let key = if arm.is_empty() { "(root)" } else { arm };
+        let s = arms.entry(key.to_string()).or_default();
+        let loss = get_f64(t, "loss");
+        let cost = get_f64(t, "cost");
+        s.trials += 1;
+        if cost.is_finite() {
+            s.cost += cost;
+        }
+        if loss.is_finite() {
+            s.last = loss;
+            if s.trials == 1 || !s.best.is_finite() || loss < s.best {
+                s.best = loss;
+            }
+        } else if s.trials == 1 {
+            s.best = f64::NAN;
+            s.last = f64::NAN;
+        }
+    }
+    for e in &eliminations {
+        if let Some(s) = arms.get_mut(get_str(e, "arm")) {
+            s.eliminated = true;
+        }
+    }
+    out.push_str("Per-arm convergence\n");
+    out.push_str("-------------------\n");
+    if arms.is_empty() {
+        out.push_str("(no trial spans)\n");
+    } else {
+        out.push_str(&format!(
+            "{:<28} {:>7} {:>10} {:>10} {:>10}  status\n",
+            "arm", "trials", "cost_s", "best", "last"
+        ));
+        for (arm, s) in &arms {
+            out.push_str(&format!(
+                "{:<28} {:>7} {:>10.3} {:>10} {:>10}  {}\n",
+                arm,
+                s.trials,
+                s.cost,
+                fmt_loss(s.best),
+                fmt_loss(s.last),
+                if s.eliminated { "eliminated" } else { "active" }
+            ));
+        }
+    }
+    out.push('\n');
+
+    // ── Budget allocation by block-tree path ────────────────────────────
+    let mut by_path: BTreeMap<String, (usize, f64)> = BTreeMap::new();
+    let mut total_cost = 0.0f64;
+    for t in &trials {
+        let path = get_str(t, "path");
+        let key = if path.is_empty() { "(unknown)" } else { path };
+        let cost = get_f64(t, "cost");
+        let e = by_path.entry(key.to_string()).or_insert((0, 0.0));
+        e.0 += 1;
+        if cost.is_finite() {
+            e.1 += cost;
+            total_cost += cost;
+        }
+    }
+    out.push_str("Budget allocation by block path\n");
+    out.push_str("-------------------------------\n");
+    if by_path.is_empty() {
+        out.push_str("(no trial spans)\n");
+    } else {
+        out.push_str(&format!(
+            "{:<44} {:>7} {:>10} {:>6}\n",
+            "path", "trials", "cost_s", "share"
+        ));
+        for (path, (n, cost)) in &by_path {
+            let share = if total_cost > 0.0 {
+                100.0 * cost / total_cost
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{:<44} {:>7} {:>10.3} {:>5.1}%\n",
+                path, n, cost, share
+            ));
+        }
+        out.push_str(&format!(
+            "{:<44} {:>7} {:>10.3} 100.0%\n",
+            "TOTAL",
+            trials.len(),
+            total_cost
+        ));
+    }
+    out.push('\n');
+
+    // ── Elimination decisions ───────────────────────────────────────────
+    out.push_str("Arm eliminations (EU interval dominance)\n");
+    out.push_str("----------------------------------------\n");
+    if eliminations.is_empty() {
+        out.push_str("(none)\n");
+    } else {
+        for e in &eliminations {
+            out.push_str(&format!(
+                "t={:>8.3}s  {:<24} eu=[{}, {}]  {}\n",
+                get_f64(e, "t_s"),
+                get_str(e, "arm"),
+                fmt_loss(get_f64(e, "eu_opt")),
+                fmt_loss(get_f64(e, "eu_pess")),
+                get_str(e, "detail")
+            ));
+        }
+    }
+    out.push('\n');
+
+    // ── Worker utilization timeline ─────────────────────────────────────
+    out.push_str("Worker utilization\n");
+    out.push_str("------------------\n");
+    let mut workers: BTreeMap<i64, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut t_max = 0.0f64;
+    for t in &trials {
+        let w = get_i64(t, "worker");
+        if w < 0 {
+            continue;
+        }
+        let start = get_f64(t, "t_s");
+        let dur = get_f64(t, "dur_s").max(0.0);
+        if start.is_finite() {
+            workers.entry(w).or_default().push((start, dur));
+            t_max = t_max.max(start + dur);
+        }
+    }
+    if workers.is_empty() || t_max <= 0.0 {
+        out.push_str("(no worker-attributed trials)\n");
+    } else {
+        const COLS: usize = 60;
+        for (w, windows) in &workers {
+            let busy: f64 = windows.iter().map(|(_, d)| d).sum();
+            let mut lane = vec![b'.'; COLS];
+            for (start, dur) in windows {
+                let a = ((start / t_max) * COLS as f64) as usize;
+                let b = (((start + dur) / t_max) * COLS as f64).ceil() as usize;
+                for c in lane.iter_mut().take(b.min(COLS)).skip(a.min(COLS - 1)) {
+                    *c = b'#';
+                }
+            }
+            out.push_str(&format!(
+                "worker {w:>2} [{}] busy {:>5.1}%  ({} trials, {:.3}s)\n",
+                String::from_utf8_lossy(&lane),
+                100.0 * busy / t_max,
+                windows.len(),
+                busy
+            ));
+        }
+        out.push_str(&format!("timeline spans 0..{t_max:.3}s, '#' = busy\n"));
+    }
+    out.push('\n');
+
+    // ── Cache efficiency ────────────────────────────────────────────────
+    out.push_str("Cache efficiency\n");
+    out.push_str("----------------\n");
+    let mut wrote_cache = false;
+    if let Some(metrics_text) = metrics_text {
+        let doc = parse_object(metrics_text)
+            .ok_or_else(|| "metrics: unparseable JSON".to_string())?;
+        if let Some(counters) = doc.get("counters").and_then(|v| v.as_obj()) {
+            for (label, hits_key, miss_key) in [
+                ("result cache", "cache.result.hits", "cache.result.misses"),
+                ("fe cache", "cache.fe.hits", "cache.fe.misses"),
+            ] {
+                let hits = counters.get(hits_key).and_then(|v| v.as_i64()).unwrap_or(0);
+                let misses = counters.get(miss_key).and_then(|v| v.as_i64()).unwrap_or(0);
+                let total = hits + misses;
+                if total > 0 {
+                    out.push_str(&format!(
+                        "{label:<13} {hits:>6} hits / {total:>6} lookups  ({:.1}% hit rate)\n",
+                        100.0 * hits as f64 / total as f64
+                    ));
+                    wrote_cache = true;
+                }
+            }
+        }
+    }
+    if !wrote_cache {
+        // Fall back to the cached/fe_cached flags on trial spans.
+        let cached = trials
+            .iter()
+            .filter(|t| get_str(t, "detail").contains("cached"))
+            .count();
+        if trials.is_empty() {
+            out.push_str("(no data)\n");
+        } else {
+            out.push_str(&format!(
+                "trial-level: {cached} of {} trials hit a cache ({:.1}%)\n",
+                trials.len(),
+                100.0 * cached as f64 / trials.len() as f64
+            ));
+        }
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{SpanEvent, TrialInfo};
+
+    fn trial_line(trial_id: u64, arm: &str, path: &str, worker: usize, loss: f64, cost: f64) -> String {
+        let t = TrialInfo {
+            trial_id,
+            digest: trial_id * 7919,
+            worker,
+            start_s: trial_id as f64 * 0.1,
+            end_s: trial_id as f64 * 0.1 + cost,
+            fidelity: 1.0,
+            loss,
+            cost,
+            cached: false,
+            fe_cached: false,
+            panicked: false,
+            timed_out: false,
+        };
+        let mut e = SpanEvent::new("trial", path);
+        e.span_id = 100 + trial_id;
+        e.arm = arm.to_string();
+        e.t_s = t.start_s;
+        e.dur_s = cost;
+        e.trial_id = trial_id as i64;
+        e.digest = format!("{:016x}", t.digest);
+        e.loss = loss;
+        e.cost = cost;
+        e.worker = worker as i64;
+        e.to_json()
+    }
+
+    fn sample_trace() -> String {
+        let mut lines = vec![
+            trial_line(0, "algorithm=0", "root/algorithm=0", 0, 0.5, 0.2),
+            trial_line(1, "algorithm=1", "root/algorithm=1", 1, 0.3, 0.4),
+            trial_line(2, "algorithm=0", "root/algorithm=0", 0, 0.45, 0.2),
+        ];
+        let mut e = SpanEvent::new("eliminate", "root");
+        e.span_id = 999;
+        e.arm = "algorithm=0".to_string();
+        e.t_s = 1.0;
+        e.eu_optimistic = 0.4;
+        e.eu_pessimistic = 0.6;
+        e.detail = "dominated by algorithm=1".to_string();
+        lines.push(e.to_json());
+        lines.join("\n")
+    }
+
+    #[test]
+    fn report_sections_render_from_trace() {
+        let report = render_report(&sample_trace(), None, None).unwrap();
+        assert!(report.contains("Per-arm convergence"));
+        assert!(report.contains("algorithm=0"));
+        assert!(report.contains("eliminated"));
+        assert!(report.contains("algorithm=1"));
+        assert!(report.contains("Budget allocation by block path"));
+        assert!(report.contains("root/algorithm=1"));
+        assert!(report.contains("Worker utilization"));
+        assert!(report.contains("worker  0"));
+        assert!(report.contains("dominated by algorithm=1"));
+    }
+
+    #[test]
+    fn journal_join_check_counts_matches_and_orphans() {
+        let journal = "\
+{\"trial\":0,\"loss\":0.5}\n{\"trial\":1,\"loss\":0.3}\n{\"trial\":9,\"loss\":0.1}";
+        let report = render_report(&sample_trace(), Some(journal), None).unwrap();
+        assert!(report.contains("journal rows: 3  joined to trace: 2"));
+        assert!(report.contains("UNMATCHED: [9]"));
+    }
+
+    #[test]
+    fn metrics_section_reports_hit_rates() {
+        let metrics = "{\"counters\":{\"cache.result.hits\":3,\"cache.result.misses\":1},\
+                       \"gauges\":{},\"histograms\":{}}";
+        let report = render_report(&sample_trace(), None, Some(metrics)).unwrap();
+        assert!(report.contains("result cache"));
+        assert!(report.contains("75.0% hit rate"));
+    }
+
+    #[test]
+    fn torn_trace_line_is_an_error() {
+        let text = format!("{}\n{{\"span\":12,\"kin", sample_trace());
+        let err = render_report(&text, None, None).unwrap_err();
+        assert!(err.contains("unparseable"), "{err}");
+    }
+}

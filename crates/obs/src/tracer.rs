@@ -1,0 +1,647 @@
+//! The hierarchical span tracer.
+//!
+//! One [`SpanEvent`] per JSONL line, append-only, stable schema (all keys
+//! always present, stable order):
+//!
+//! ```json
+//! {"span":12,"parent":9,"kind":"trial","path":"root/algorithm=1/right",
+//!  "arm":"algorithm=1","t_s":0.0132,"dur_s":0.0386,"trial":17,
+//!  "digest":"9f3c2a11d04b77e6","fidelity":1,"loss":0.2184,"cost":0.0386,
+//!  "eu_opt":"nan","eu_pess":"nan","worker":2,"detail":"fe_cached"}
+//! ```
+//!
+//! Non-finite floats are string-encoded (`"inf"`, `"-inf"`, `"nan"`); `-1`
+//! in `trial`/`worker` means "not applicable"; an empty `digest` means the
+//! event is not a trial. `trial` is the join key into the trial journal:
+//! every journal row's `trial` id appears on exactly one `kind:"trial"`
+//! span.
+//!
+//! Parent links come from a thread-local span *stack*: opening a
+//! [`SpanGuard`] (via [`span`]) pushes an entry, and any event emitted on
+//! the same thread before the guard drops is linked to it. Span events are
+//! written when the guard drops, so a parent appears *after* its children
+//! in the file — consumers re-link by id, never by line order. The stack is
+//! maintained even when tracing is disabled so that cheap queries like
+//! [`current_arm`] keep working (the journal uses them for arm
+//! attribution); a disabled tracer performs no locking and no I/O.
+//!
+//! Concurrency: the block tree is pulled from one coordinator thread, so
+//! the stack discipline holds there; trial events for pooled batches are
+//! also emitted on the coordinator (by `evaluate_batch`). The tracer itself
+//! is nevertheless fully thread-safe — each event is serialized and
+//! appended under one mutex as a single `writeln!`, so concurrent writers
+//! can never tear or interleave lines.
+
+use crate::json::{escape, num};
+use std::cell::RefCell;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One entry of the thread-local span stack.
+#[derive(Clone)]
+struct StackEntry {
+    id: u64,
+    path: String,
+    arm: String,
+}
+
+std::thread_local! {
+    static SPAN_STACK: RefCell<Vec<StackEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Id of the innermost open span on this thread (0 = none).
+pub fn current_span() -> u64 {
+    SPAN_STACK.with(|s| s.borrow().last().map_or(0, |e| e.id))
+}
+
+/// Block-tree path of the innermost open span on this thread.
+pub fn current_path() -> Option<String> {
+    SPAN_STACK.with(|s| s.borrow().last().map(|e| e.path.clone()))
+}
+
+/// Arm label of the innermost open span that carries one — the nearest
+/// enclosing conditioning pull. Empty when no arm is in scope.
+pub fn current_arm() -> String {
+    SPAN_STACK.with(|s| {
+        s.borrow()
+            .iter()
+            .rev()
+            .find(|e| !e.arm.is_empty())
+            .map_or(String::new(), |e| e.arm.clone())
+    })
+}
+
+/// One trace event. See the module docs for the line schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Event id (unique per tracer).
+    pub span_id: u64,
+    /// Enclosing span's id (0 = top level).
+    pub parent_id: u64,
+    /// Event kind: `pull`, `suggest`, `trial`, `eliminate`, `bo-observe`, …
+    pub kind: String,
+    /// Block-tree path (plan-compile labels, e.g. `root/algorithm=1/left`).
+    pub path: String,
+    /// Bandit-arm label (`algorithm=3`) when one is in scope, else empty.
+    pub arm: String,
+    /// Event start, seconds since the tracer epoch.
+    pub t_s: f64,
+    /// Duration in seconds (0 for instantaneous events).
+    pub dur_s: f64,
+    /// Trial-journal join key; -1 when the event is not a trial.
+    pub trial_id: i64,
+    /// Hex assignment digest for trials, empty otherwise.
+    pub digest: String,
+    /// Fidelity (NaN when not applicable).
+    pub fidelity: f64,
+    /// Observed loss (NaN when not applicable).
+    pub loss: f64,
+    /// Budget spent in seconds (NaN when not applicable).
+    pub cost: f64,
+    /// Optimistic EU bound at an elimination decision (NaN otherwise).
+    pub eu_optimistic: f64,
+    /// Pessimistic EU bound at an elimination decision (NaN otherwise).
+    pub eu_pessimistic: f64,
+    /// Worker that ran a trial; -1 when not applicable.
+    pub worker: i64,
+    /// Free-form annotation (`cached`, `side=left eui_l=…`, …).
+    pub detail: String,
+}
+
+impl SpanEvent {
+    /// An event with every optional field at its "not applicable" value.
+    pub fn new(kind: &str, path: &str) -> SpanEvent {
+        SpanEvent {
+            span_id: 0,
+            parent_id: 0,
+            kind: kind.to_string(),
+            path: path.to_string(),
+            arm: String::new(),
+            t_s: 0.0,
+            dur_s: 0.0,
+            trial_id: -1,
+            digest: String::new(),
+            fidelity: f64::NAN,
+            loss: f64::NAN,
+            cost: f64::NAN,
+            eu_optimistic: f64::NAN,
+            eu_pessimistic: f64::NAN,
+            worker: -1,
+            detail: String::new(),
+        }
+    }
+
+    /// Renders the event as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"span\":{},\"parent\":{},\"kind\":\"{}\",\"path\":\"{}\",\
+             \"arm\":\"{}\",\"t_s\":{:.6},\"dur_s\":{:.6},\"trial\":{},\
+             \"digest\":\"{}\",\"fidelity\":{},\"loss\":{},\"cost\":{},\
+             \"eu_opt\":{},\"eu_pess\":{},\"worker\":{},\"detail\":\"{}\"}}",
+            self.span_id,
+            self.parent_id,
+            escape(&self.kind),
+            escape(&self.path),
+            escape(&self.arm),
+            self.t_s,
+            self.dur_s,
+            self.trial_id,
+            escape(&self.digest),
+            num(self.fidelity),
+            num(self.loss),
+            num(self.cost),
+            num(self.eu_optimistic),
+            num(self.eu_pessimistic),
+            self.worker,
+            escape(&self.detail)
+        )
+    }
+}
+
+/// Optional fields for an instantaneous event (see [`Tracer::event`]).
+#[derive(Debug, Clone)]
+pub struct EventFields {
+    /// Path override (defaults to the stack's current path).
+    pub path: String,
+    /// Arm label override (defaults to the stack's current arm).
+    pub arm: String,
+    /// Fidelity annotation.
+    pub fidelity: f64,
+    /// Loss annotation.
+    pub loss: f64,
+    /// EU bounds annotation (elimination decisions).
+    pub eu: Option<(f64, f64)>,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+impl Default for EventFields {
+    fn default() -> Self {
+        EventFields {
+            path: String::new(),
+            arm: String::new(),
+            fidelity: f64::NAN,
+            loss: f64::NAN,
+            eu: None,
+            detail: String::new(),
+        }
+    }
+}
+
+/// One completed trial, as reported by the evaluator. Mirrors the trial
+/// journal row; `trial_id` is the join key between the two streams.
+#[derive(Debug, Clone)]
+pub struct TrialInfo {
+    /// Journal trial id.
+    pub trial_id: u64,
+    /// Stable assignment digest (same value the journal records).
+    pub digest: u64,
+    /// Worker that executed the trial.
+    pub worker: usize,
+    /// Trial start, seconds since the *journal* epoch.
+    pub start_s: f64,
+    /// Trial end, seconds since the *journal* epoch.
+    pub end_s: f64,
+    /// Fidelity the trial ran at.
+    pub fidelity: f64,
+    /// Observed loss.
+    pub loss: f64,
+    /// Evaluation cost in seconds.
+    pub cost: f64,
+    /// Result-cache hit.
+    pub cached: bool,
+    /// FE-transform-cache hit.
+    pub fe_cached: bool,
+    /// The trial panicked.
+    pub panicked: bool,
+    /// The trial timed out.
+    pub timed_out: bool,
+}
+
+struct TracerState {
+    events: Vec<SpanEvent>,
+    file: Option<std::io::BufWriter<std::fs::File>>,
+}
+
+/// Thread-safe span tracer. Cheap to share (`Arc`), cheap when disabled.
+pub struct Tracer {
+    enabled: bool,
+    epoch: Instant,
+    next_id: AtomicU64,
+    next_trial: AtomicU64,
+    state: Mutex<TracerState>,
+}
+
+impl Tracer {
+    fn with_file(enabled: bool, file: Option<std::io::BufWriter<std::fs::File>>) -> Tracer {
+        Tracer {
+            enabled,
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            next_trial: AtomicU64::new(0),
+            state: Mutex::new(TracerState {
+                events: Vec::new(),
+                file,
+            }),
+        }
+    }
+
+    /// A disabled tracer: span guards still maintain the thread-local stack
+    /// (for arm attribution) but nothing is recorded.
+    pub fn disabled() -> Tracer {
+        Tracer::with_file(false, None)
+    }
+
+    /// An enabled in-memory tracer (tests, programmatic consumption).
+    pub fn in_memory() -> Tracer {
+        Tracer::with_file(true, None)
+    }
+
+    /// An enabled tracer mirrored to a JSONL file at `path` (truncates).
+    pub fn to_path(path: &std::path::Path) -> std::io::Result<Tracer> {
+        let file = std::fs::File::create(path)?;
+        Ok(Tracer::with_file(true, Some(std::io::BufWriter::new(file))))
+    }
+
+    /// Whether events are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Seconds elapsed since the tracer was created.
+    pub fn elapsed_s(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Allocates a trial id for runs without a journal (when a journal is
+    /// attached its ids are used instead, so the two streams join).
+    pub fn next_trial_id(&self) -> u64 {
+        self.next_trial.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn next_span_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Appends one event: a single `writeln!` under the state mutex, so
+    /// concurrent emitters never tear lines.
+    pub fn emit(&self, event: SpanEvent) {
+        if !self.enabled {
+            return;
+        }
+        let mut state = self.state.lock().expect("tracer poisoned");
+        if let Some(file) = &mut state.file {
+            let _ = writeln!(file, "{}", event.to_json());
+        }
+        state.events.push(event);
+    }
+
+    /// Emits an instantaneous event parented to the current span.
+    pub fn event(&self, kind: &str, fields: EventFields) {
+        if !self.enabled {
+            return;
+        }
+        let path = if fields.path.is_empty() {
+            current_path().unwrap_or_default()
+        } else {
+            fields.path
+        };
+        let mut e = SpanEvent::new(kind, &path);
+        e.span_id = self.next_span_id();
+        e.parent_id = current_span();
+        e.arm = if fields.arm.is_empty() {
+            current_arm()
+        } else {
+            fields.arm
+        };
+        e.t_s = self.elapsed_s();
+        e.fidelity = fields.fidelity;
+        e.loss = fields.loss;
+        if let Some((opt, pess)) = fields.eu {
+            e.eu_optimistic = opt;
+            e.eu_pessimistic = pess;
+        }
+        e.detail = fields.detail;
+        self.emit(e);
+    }
+
+    /// Emits one `kind:"trial"` span parented to the current pull span.
+    /// `start_s`/`end_s` in [`TrialInfo`] are journal-epoch relative; the
+    /// event's `t_s` uses the tracer epoch for ordering consistency, while
+    /// `dur_s` preserves the journal-measured wall window.
+    pub fn trial(&self, t: &TrialInfo) {
+        if !self.enabled {
+            return;
+        }
+        let mut e = SpanEvent::new("trial", &current_path().unwrap_or_default());
+        e.span_id = self.next_span_id();
+        e.parent_id = current_span();
+        e.arm = current_arm();
+        e.t_s = self.elapsed_s();
+        e.dur_s = (t.end_s - t.start_s).max(0.0);
+        e.trial_id = t.trial_id as i64;
+        e.digest = format!("{:016x}", t.digest);
+        e.fidelity = t.fidelity;
+        e.loss = t.loss;
+        e.cost = t.cost;
+        e.worker = t.worker as i64;
+        let mut flags: Vec<&str> = Vec::new();
+        if t.cached {
+            flags.push("cached");
+        }
+        if t.fe_cached {
+            flags.push("fe_cached");
+        }
+        if t.panicked {
+            flags.push("panicked");
+        }
+        if t.timed_out {
+            flags.push("timed_out");
+        }
+        e.detail = flags.join(",");
+        self.emit(e);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("tracer poisoned").events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all events, in emission order.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.state.lock().expect("tracer poisoned").events.clone()
+    }
+
+    /// Flushes buffered lines to the backing file, if any.
+    pub fn flush(&self) {
+        let mut state = self.state.lock().expect("tracer poisoned");
+        if let Some(file) = &mut state.file {
+            let _ = file.flush();
+        }
+    }
+}
+
+impl Drop for Tracer {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Opens a span: pushes onto the thread-local stack and returns a guard
+/// that emits the span event (with measured duration) when dropped.
+pub fn span(tracer: &Arc<Tracer>, kind: &'static str, path: &str, arm: &str) -> SpanGuard {
+    let id = if tracer.enabled() {
+        tracer.next_span_id()
+    } else {
+        0
+    };
+    let parent = current_span();
+    SPAN_STACK.with(|s| {
+        s.borrow_mut().push(StackEntry {
+            id,
+            path: path.to_string(),
+            arm: arm.to_string(),
+        })
+    });
+    SpanGuard {
+        tracer: Arc::clone(tracer),
+        kind,
+        id,
+        parent,
+        path: path.to_string(),
+        arm: arm.to_string(),
+        start_s: tracer.elapsed_s(),
+        start: Instant::now(),
+        fidelity: f64::NAN,
+        loss: f64::NAN,
+        cost: f64::NAN,
+        detail: String::new(),
+    }
+}
+
+/// An open span. Annotate it (`set_loss`, `set_detail`, …) before it drops;
+/// dropping pops the stack and emits the event.
+pub struct SpanGuard {
+    tracer: Arc<Tracer>,
+    kind: &'static str,
+    id: u64,
+    parent: u64,
+    path: String,
+    arm: String,
+    start_s: f64,
+    start: Instant,
+    fidelity: f64,
+    loss: f64,
+    cost: f64,
+    detail: String,
+}
+
+impl SpanGuard {
+    /// This span's id (0 when the tracer is disabled).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Annotates the fidelity the pull ran at.
+    pub fn set_fidelity(&mut self, fidelity: f64) {
+        self.fidelity = fidelity;
+    }
+
+    /// Annotates the observed loss.
+    pub fn set_loss(&mut self, loss: f64) {
+        self.loss = loss;
+    }
+
+    /// Annotates the budget spent (seconds).
+    pub fn set_cost(&mut self, cost: f64) {
+        self.cost = cost;
+    }
+
+    /// Attaches a free-form detail string.
+    pub fn set_detail(&mut self, detail: impl Into<String>) {
+        self.detail = detail.into();
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        SPAN_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        if !self.tracer.enabled() {
+            return;
+        }
+        let mut e = SpanEvent::new(self.kind, &self.path);
+        e.span_id = self.id;
+        e.parent_id = self.parent;
+        e.arm = std::mem::take(&mut self.arm);
+        e.t_s = self.start_s;
+        e.dur_s = self.start.elapsed().as_secs_f64();
+        e.fidelity = self.fidelity;
+        e.loss = self.loss;
+        e.cost = self.cost;
+        e.detail = std::mem::take(&mut self.detail);
+        self.tracer.emit(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_object;
+
+    #[test]
+    fn span_nesting_links_parents() {
+        let tracer = Arc::new(Tracer::in_memory());
+        {
+            let outer = span(&tracer, "pull", "root", "algorithm=1");
+            {
+                let inner = span(&tracer, "suggest", "root/algorithm=1", "");
+                assert_eq!(current_span(), inner.id());
+                assert_eq!(current_arm(), "algorithm=1");
+            }
+            assert_eq!(current_span(), outer.id());
+        }
+        assert_eq!(current_span(), 0);
+        let events = tracer.events();
+        // Children emit before parents (drop order).
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, "suggest");
+        assert_eq!(events[1].kind, "pull");
+        assert_eq!(events[0].parent_id, events[1].span_id);
+        assert_eq!(events[1].parent_id, 0);
+    }
+
+    #[test]
+    fn trial_event_inherits_context_and_joins() {
+        let tracer = Arc::new(Tracer::in_memory());
+        let _pull = span(&tracer, "pull", "root/algorithm=2", "algorithm=2");
+        tracer.trial(&TrialInfo {
+            trial_id: 7,
+            digest: 0xdead_beef,
+            worker: 1,
+            start_s: 0.5,
+            end_s: 0.75,
+            fidelity: 1.0,
+            loss: 0.125,
+            cost: 0.25,
+            cached: false,
+            fe_cached: true,
+            panicked: false,
+            timed_out: false,
+        });
+        let events = tracer.events();
+        assert_eq!(events.len(), 1);
+        let t = &events[0];
+        assert_eq!(t.trial_id, 7);
+        assert_eq!(t.arm, "algorithm=2");
+        assert_eq!(t.path, "root/algorithm=2");
+        assert_eq!(t.digest, format!("{:016x}", 0xdead_beefu64));
+        assert_eq!(t.detail, "fe_cached");
+        assert!(t.parent_id != 0);
+    }
+
+    #[test]
+    fn json_lines_have_stable_schema_and_parse() {
+        let mut e = SpanEvent::new("eliminate", "root");
+        e.span_id = 3;
+        e.arm = "algorithm=4".into();
+        e.eu_optimistic = 0.1;
+        e.eu_pessimistic = 0.4;
+        let line = e.to_json();
+        for key in [
+            "\"span\":3",
+            "\"parent\":0",
+            "\"kind\":\"eliminate\"",
+            "\"path\":\"root\"",
+            "\"arm\":\"algorithm=4\"",
+            "\"trial\":-1",
+            "\"digest\":\"\"",
+            "\"fidelity\":\"nan\"",
+            "\"loss\":\"nan\"",
+            "\"eu_opt\":0.1",
+            "\"eu_pess\":0.4",
+            "\"worker\":-1",
+        ] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+        let parsed = parse_object(&line).unwrap();
+        assert_eq!(parsed["kind"].as_str(), Some("eliminate"));
+        assert!(parsed["loss"].as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing_but_stack_works() {
+        let tracer = Arc::new(Tracer::disabled());
+        let _g = span(&tracer, "pull", "root", "algorithm=0");
+        assert_eq!(current_arm(), "algorithm=0");
+        tracer.event("noop", EventFields::default());
+        assert!(tracer.is_empty());
+    }
+
+    #[test]
+    fn concurrent_appends_never_tear_lines() {
+        // Many workers appending trace events concurrently must produce a
+        // file where every line is intact, parseable JSON.
+        let dir = std::env::temp_dir().join("volcanoml-obs-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace-{}.jsonl", std::process::id()));
+        let n_threads = 8;
+        let per_thread = 200;
+        {
+            let tracer = Arc::new(Tracer::to_path(&path).unwrap());
+            let handles: Vec<_> = (0..n_threads)
+                .map(|t| {
+                    let tracer = Arc::clone(&tracer);
+                    std::thread::spawn(move || {
+                        for i in 0..per_thread {
+                            let mut g = span(
+                                &tracer,
+                                "pull",
+                                &format!("root/worker={t}"),
+                                &format!("arm={t}"),
+                            );
+                            g.set_loss(i as f64);
+                            g.set_detail(format!("iteration {i} with \"quotes\""));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            tracer.flush();
+            assert_eq!(tracer.len(), n_threads * per_thread);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), n_threads * per_thread);
+        let mut seen = std::collections::HashSet::new();
+        for line in lines {
+            let obj = parse_object(line).unwrap_or_else(|| panic!("torn line: {line}"));
+            assert!(seen.insert(obj["span"].as_i64().unwrap()), "duplicate span id");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_tracer_flushes_on_drop() {
+        let dir = std::env::temp_dir().join("volcanoml-obs-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("drop-{}.jsonl", std::process::id()));
+        {
+            let tracer = Arc::new(Tracer::to_path(&path).unwrap());
+            let _g = span(&tracer, "pull", "root", "");
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

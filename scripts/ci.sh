@@ -23,4 +23,17 @@ cargo bench --no-run --offline --features volcanoml-bench/criterion-bench
 echo "== smoke: parallel_scaling bench =="
 VOLCANO_QUICK=1 cargo bench --offline --bench parallel_scaling
 
+echo "== smoke: traced fit + report =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+VOLCANOML=target/release/volcanoml
+"$VOLCANOML" generate moons "$SMOKE_DIR/data.csv" --seed 7
+"$VOLCANOML" fit "$SMOKE_DIR/data.csv" --evals 10 --tier small --workers 2 \
+    --journal "$SMOKE_DIR/trials.jsonl" --trace "$SMOKE_DIR/trace.jsonl" \
+    --metrics "$SMOKE_DIR/metrics.json"
+"$VOLCANOML" report "$SMOKE_DIR/trace.jsonl" \
+    --journal "$SMOKE_DIR/trials.jsonl" --metrics "$SMOKE_DIR/metrics.json"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$SMOKE_DIR/metrics.json" \
+    || { echo "metrics JSON does not parse"; exit 1; }
+
 echo "CI checks passed."
