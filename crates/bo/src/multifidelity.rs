@@ -4,8 +4,13 @@
 //! datasets (§3.3.1).
 //!
 //! Fidelity is the training-set fraction in `(0, 1]`; the evaluator
-//! subsamples accordingly. All optimizers implement the sequential
-//! [`Suggest`] interface: one configuration in flight at a time.
+//! subsamples accordingly. All optimizers implement the [`Suggest`]
+//! interface *including* a real `suggest_batch`: brackets are asynchronous
+//! (ASHA-style), so any number of configurations may be in flight at once
+//! and a rung promotes its best observed survivor as soon as enough results
+//! accumulate — no rung barrier, no full-fidelity random fallback. When the
+//! active brackets cannot supply a requested batch slot, the next bracket
+//! (for Hyperband: the next `s`) opens early instead.
 
 use crate::acquisition::expected_improvement;
 use crate::history::{Observation, RunHistory};
@@ -14,78 +19,211 @@ use crate::space::{ConfigSpace, Configuration};
 use crate::surrogate::RandomForestSurrogate;
 use rand::rngs::StdRng;
 
-/// One rung-climbing bracket of Successive Halving.
+/// One observed result at a rung of an asynchronous bracket.
+#[derive(Debug, Clone)]
+struct RungResult {
+    config: Configuration,
+    loss: f64,
+    promoted: bool,
+}
+
+/// One asynchronous Successive-Halving bracket (ASHA-style).
+///
+/// Unlike the classic rung-barrier formulation, the bracket tracks a *set*
+/// of in-flight `(config, rung)` entries: [`Bracket::next`] hands out work
+/// (promotions first, then fresh rung-0 configurations) and
+/// [`Bracket::record`] files results. A rung promotes its best *observed
+/// finite* survivor as soon as `eta` observed results accumulate per
+/// promotion slot; once a rung is closed (nothing more can arrive) at least
+/// one survivor is promoted even when fewer than `eta` results exist, so
+/// small brackets still finish their ladder. Non-finite losses (crashed or
+/// timed-out trials) never count as survivors and can never climb.
 #[derive(Debug, Clone)]
 struct Bracket {
+    /// Stable id for journal/trace attribution.
+    id: u64,
     /// Fidelity per rung, ascending, last = 1.0.
     rungs: Vec<f64>,
-    rung: usize,
-    queue: Vec<Configuration>,
-    finished: Vec<(Configuration, f64)>,
-    in_flight: Option<Configuration>,
+    /// Index of `rungs[0]` in the engine's full ladder (Hyperband brackets
+    /// start part-way up).
+    rung_offset: usize,
     eta: usize,
+    /// Rung-0 configurations not yet handed out.
+    queue: Vec<Configuration>,
+    /// In-flight `(config, rung)` entries awaiting observation.
+    in_flight: Vec<(Configuration, usize)>,
+    /// Observed results per rung.
+    results: Vec<Vec<RungResult>>,
 }
 
 impl Bracket {
-    fn new(configs: Vec<Configuration>, rungs: Vec<f64>, eta: usize) -> Bracket {
+    fn new(configs: Vec<Configuration>, rungs: Vec<f64>, rung_offset: usize, eta: usize, id: u64) -> Bracket {
+        let n_rungs = rungs.len();
         Bracket {
+            id,
             rungs,
-            rung: 0,
-            queue: configs,
-            finished: Vec::new(),
-            in_flight: None,
+            rung_offset,
             eta: eta.max(2),
+            queue: configs,
+            in_flight: Vec::new(),
+            results: vec![Vec::new(); n_rungs],
         }
     }
 
-    fn fidelity(&self) -> f64 {
-        self.rungs[self.rung]
+    /// Whether rung `r` can receive no further results: every upstream
+    /// source of entrants is exhausted and nothing is in flight at `r`.
+    fn closed(&self, r: usize) -> bool {
+        if self.in_flight.iter().any(|(_, fr)| *fr == r) {
+            return false;
+        }
+        if r == 0 {
+            self.queue.is_empty()
+        } else {
+            self.closed(r - 1) && self.promotable(r - 1).is_none()
+        }
     }
 
+    /// Index into `results[r]` of the best observed finite configuration
+    /// eligible for promotion to rung `r + 1` right now, if any.
+    ///
+    /// The asynchronous quota is `floor(finite_observed / eta)`; a closed
+    /// rung with at least one finite result always gets a quota of ≥ 1 so
+    /// under-populated brackets (Hyperband's small `n`) still promote.
+    fn promotable(&self, r: usize) -> Option<usize> {
+        if r + 1 >= self.rungs.len() {
+            return None;
+        }
+        let mut finite: Vec<usize> = (0..self.results[r].len())
+            .filter(|&i| self.results[r][i].loss.is_finite())
+            .collect();
+        if finite.is_empty() {
+            return None;
+        }
+        finite.sort_by(|&a, &b| self.results[r][a].loss.total_cmp(&self.results[r][b].loss));
+        let promoted = self.results[r].iter().filter(|x| x.promoted).count();
+        let mut quota = finite.len() / self.eta;
+        if quota == 0 && self.closed(r) {
+            quota = 1;
+        }
+        if promoted < quota {
+            finite.into_iter().find(|&i| !self.results[r][i].promoted)
+        } else {
+            None
+        }
+    }
+
+    /// All work handed out and observed, and no promotion remains. (The old
+    /// single-in-flight `done()` had an `&&`/`||` precedence bug that made
+    /// its `finished.len() <= 1` clause unreachable; the async predicate is
+    /// simply "no work left anywhere".)
     fn done(&self) -> bool {
-        self.queue.is_empty() && self.in_flight.is_none() && self.rung + 1 >= self.rungs.len()
-            && self.finished.len() <= 1
-            || (self.queue.is_empty()
-                && self.in_flight.is_none()
-                && self.rung + 1 >= self.rungs.len())
+        self.queue.is_empty()
+            && self.in_flight.is_empty()
+            && (0..self.rungs.len().saturating_sub(1)).all(|r| self.promotable(r).is_none())
     }
 
-    /// Pops the next configuration to evaluate, promoting survivors to the
-    /// next rung when the current one is exhausted.
+    /// Pops the next unit of work: the most-advanced promotion available,
+    /// else a fresh rung-0 configuration. Returns `(config, fidelity)`;
+    /// `None` when every remaining step awaits an in-flight observation.
     fn next(&mut self) -> Option<(Configuration, f64)> {
-        loop {
-            if let Some(cfg) = self.queue.pop() {
-                self.in_flight = Some(cfg.clone());
-                return Some((cfg, self.fidelity()));
+        for r in (0..self.rungs.len().saturating_sub(1)).rev() {
+            if let Some(i) = self.promotable(r) {
+                self.results[r][i].promoted = true;
+                let config = self.results[r][i].config.clone();
+                self.in_flight.push((config.clone(), r + 1));
+                return Some((config, self.rungs[r + 1]));
             }
-            if self.in_flight.is_some() {
-                // The caller must observe the in-flight config first.
-                return None;
+        }
+        if let Some(config) = self.queue.pop() {
+            self.in_flight.push((config.clone(), 0));
+            return Some((config, self.rungs[0]));
+        }
+        None
+    }
+
+    /// Files an observation for an in-flight entry matching `(config,
+    /// fidelity)`. Returns `false` when this bracket never issued the trial
+    /// (the caller then routes it to history only), so foreign observations
+    /// — meta-learning warm starts, constant-liar pseudo-observations — can
+    /// never distort promotion quotas.
+    fn record(&mut self, config: &Configuration, fidelity: f64, loss: f64) -> bool {
+        let pos = self.in_flight.iter().position(|(c, r)| {
+            c == config && (self.rungs[*r] - fidelity).abs() < 1e-9
+        });
+        match pos {
+            Some(pos) => {
+                let (config, r) = self.in_flight.swap_remove(pos);
+                self.results[r].push(RungResult {
+                    config,
+                    loss,
+                    promoted: false,
+                });
+                true
             }
-            if self.rung + 1 >= self.rungs.len() {
-                return None; // bracket complete
-            }
-            // Promote top 1/eta to the next rung.
-            self.finished.sort_by(|a, b| {
-                a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
-            });
-            let keep = (self.finished.len() / self.eta).max(1);
-            let survivors: Vec<Configuration> = self
-                .finished
-                .drain(..)
-                .take(keep)
-                .map(|(c, _)| c)
-                .collect();
-            self.rung += 1;
-            self.queue = survivors;
+            None => false,
         }
     }
 
-    fn record(&mut self, config: &Configuration, loss: f64) {
-        if self.in_flight.as_ref() == Some(config) {
-            self.in_flight = None;
+    /// Rung (in the engine's full ladder) of an in-flight `(config,
+    /// fidelity)` entry.
+    fn in_flight_rung(&self, config: &Configuration, fidelity: f64) -> Option<usize> {
+        self.in_flight
+            .iter()
+            .find(|(c, r)| c == config && (self.rungs[*r] - fidelity).abs() < 1e-9)
+            .map(|(_, r)| self.rung_offset + r)
+    }
+}
+
+/// The set of concurrently active brackets behind a multi-fidelity engine.
+///
+/// `next` drains brackets in opening order (oldest first, so earlier
+/// brackets finish their ladders before new exploration starts); `record`
+/// routes an observation to the bracket that issued it and prunes completed
+/// brackets.
+#[derive(Debug, Default)]
+struct BracketScheduler {
+    brackets: Vec<Bracket>,
+    next_id: u64,
+}
+
+impl BracketScheduler {
+    /// Opens a new bracket over `configs` and returns its id.
+    fn open(&mut self, configs: Vec<Configuration>, rungs: Vec<f64>, rung_offset: usize, eta: usize) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.brackets.push(Bracket::new(configs, rungs, rung_offset, eta, id));
+        id
+    }
+
+    /// Next unit of work from the oldest bracket able to supply one.
+    fn next(&mut self) -> Option<(Configuration, f64)> {
+        for bracket in &mut self.brackets {
+            if let Some(pick) = bracket.next() {
+                return Some(pick);
+            }
         }
-        self.finished.push((config.clone(), loss));
+        None
+    }
+
+    /// Routes an observation to its issuing bracket. `false` when no active
+    /// bracket has a matching in-flight entry.
+    fn record(&mut self, config: &Configuration, fidelity: f64, loss: f64) -> bool {
+        let mut matched = false;
+        for bracket in &mut self.brackets {
+            if bracket.record(config, fidelity, loss) {
+                matched = true;
+                break;
+            }
+        }
+        self.brackets.retain(|b| !b.done());
+        matched
+    }
+
+    /// `(rung, bracket id)` of an in-flight suggestion.
+    fn meta(&self, config: &Configuration, fidelity: f64) -> Option<(usize, u64)> {
+        self.brackets
+            .iter()
+            .find_map(|b| b.in_flight_rung(config, fidelity).map(|r| (r, b.id)))
     }
 }
 
@@ -101,13 +239,15 @@ fn rung_ladder(r_min: f64, eta: usize) -> Vec<f64> {
     rungs
 }
 
-/// Single-bracket Successive Halving: `n0` random configurations climb the
-/// rung ladder, the top `1/eta` survive each rung.
+/// Successive Halving: brackets of `n0` random configurations climb the
+/// rung ladder, the top `1/eta` surviving each rung; a fresh bracket opens
+/// whenever the active ones cannot supply more work (batch mode opens it
+/// early rather than waiting on in-flight trials).
 #[derive(Debug)]
 pub struct SuccessiveHalving {
     space: ConfigSpace,
     history: RunHistory,
-    bracket: Bracket,
+    sched: BracketScheduler,
     rng: StdRng,
     n0: usize,
     eta: usize,
@@ -115,51 +255,58 @@ pub struct SuccessiveHalving {
 }
 
 impl SuccessiveHalving {
-    /// Creates an SH optimizer with `n0` initial configurations.
+    /// Creates an SH optimizer with `n0` initial configurations per bracket.
     pub fn new(space: ConfigSpace, n0: usize, r_min: f64, eta: usize, seed: u64) -> Self {
-        let mut rng = crate::rng::from_seed(seed);
-        let configs: Vec<Configuration> = (0..n0.max(2)).map(|_| space.sample(&mut rng)).collect();
-        let bracket = Bracket::new(configs, rung_ladder(r_min, eta), eta);
         SuccessiveHalving {
             space,
             history: RunHistory::new(),
-            bracket,
-            rng,
+            sched: BracketScheduler::default(),
+            rng: crate::rng::from_seed(seed),
             n0: n0.max(2),
             eta: eta.max(2),
             r_min,
         }
     }
+
+    fn open_bracket(&mut self) {
+        let configs: Vec<Configuration> = (0..self.n0)
+            .map(|_| self.space.sample(&mut self.rng))
+            .collect();
+        self.sched
+            .open(configs, rung_ladder(self.r_min, self.eta), 0, self.eta);
+    }
 }
 
 impl Suggest for SuccessiveHalving {
     fn suggest(&mut self) -> (Configuration, f64) {
-        if let Some(next) = self.bracket.next() {
-            return next;
-        }
-        if self.bracket.done() {
-            // Start a fresh bracket.
-            let configs: Vec<Configuration> = (0..self.n0)
-                .map(|_| self.space.sample(&mut self.rng))
-                .collect();
-            self.bracket = Bracket::new(configs, rung_ladder(self.r_min, self.eta), self.eta);
-            if let Some(next) = self.bracket.next() {
-                return next;
+        self.suggest_batch(1).pop().expect("batch of one")
+    }
+
+    /// Fills all `k` slots from the bracket set, opening fresh brackets as
+    /// needed — never a random full-fidelity draw.
+    fn suggest_batch(&mut self, k: usize) -> Vec<(Configuration, f64)> {
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            match self.sched.next() {
+                Some(pick) => out.push(pick),
+                None => self.open_bracket(),
             }
         }
-        // In-flight conflict (shouldn't happen in sequential use): fall back
-        // to a random full-fidelity draw.
-        (self.space.sample(&mut self.rng), 1.0)
+        out
     }
 
     fn observe(&mut self, config: Configuration, fidelity: f64, loss: f64, cost: f64) {
-        self.bracket.record(&config, loss);
+        self.sched.record(&config, fidelity, loss);
         self.history.push(Observation {
             config,
             loss,
             cost,
             fidelity,
         });
+    }
+
+    fn in_flight_meta(&self, config: &Configuration, fidelity: f64) -> Option<(usize, u64)> {
+        self.sched.meta(config, fidelity)
     }
 
     fn history(&self) -> &RunHistory {
@@ -171,85 +318,96 @@ impl Suggest for SuccessiveHalving {
     }
 }
 
-/// Hyperband: cycles through brackets with different exploration/exploitation
-/// trade-offs (different initial counts and starting rungs).
+/// Hyperband: cycles through brackets with different exploration/
+/// exploitation trade-offs (different initial counts and starting rungs).
+/// Brackets run concurrently: when the active ones cannot supply a batch
+/// slot, the next `s` opens early.
 #[derive(Debug)]
 pub struct Hyperband {
     space: ConfigSpace,
     history: RunHistory,
-    bracket: Bracket,
+    sched: BracketScheduler,
     rng: StdRng,
     eta: usize,
     r_min: f64,
-    s: usize,     // current bracket index (s_max .. 0)
+    s: usize,     // next bracket index to open (s_max .. 0, cycling)
     s_max: usize, // number of rungs - 1
 }
 
 impl Hyperband {
     /// Creates a Hyperband optimizer with minimum fidelity `r_min`.
     pub fn new(space: ConfigSpace, r_min: f64, eta: usize, seed: u64) -> Self {
-        let rungs = rung_ladder(r_min, eta);
-        let s_max = rungs.len() - 1;
-        let mut hb = Hyperband {
+        let s_max = rung_ladder(r_min, eta).len() - 1;
+        Hyperband {
             space,
             history: RunHistory::new(),
-            bracket: Bracket::new(Vec::new(), vec![1.0], eta),
+            sched: BracketScheduler::default(),
             rng: crate::rng::from_seed(seed),
             eta: eta.max(2),
             r_min,
             s: s_max,
             s_max,
-        };
-        hb.start_bracket();
-        hb
+        }
     }
 
-    fn bracket_shape(&self) -> (usize, Vec<f64>) {
-        // Bracket s starts at rung (s_max - s) with n = ceil(eta^s * (s+1) /
-        // (s_max+1)) configs — the standard Hyperband allocation, modestly
-        // sized for sequential use.
+    /// Shape of the bracket at the current `s`: `(n, rungs, rung_offset)`.
+    /// Bracket `s` starts at rung `s_max - s` with `n = ceil(eta^s * (s+1) /
+    /// (s_max+1))` configs — the standard Hyperband allocation, modestly
+    /// sized for interactive use.
+    fn bracket_shape(&self) -> (usize, Vec<f64>, usize) {
         let ladder = rung_ladder(self.r_min, self.eta);
         let start = self.s_max - self.s;
         let rungs = ladder[start..].to_vec();
         let n = ((self.eta.pow(self.s as u32) as f64) * (self.s as f64 + 1.0)
             / (self.s_max as f64 + 1.0))
             .ceil() as usize;
-        (n.max(1), rungs)
+        (n.max(1), rungs, start)
     }
 
-    fn start_bracket(&mut self) {
-        let (n, rungs) = self.bracket_shape();
+    /// Cycles `s` to the next bracket index (s_max → 0 → s_max …).
+    fn advance_s(&mut self) {
+        self.s = if self.s == 0 { self.s_max } else { self.s - 1 };
+    }
+
+    fn open_bracket(&mut self) {
+        let (n, rungs, offset) = self.bracket_shape();
         let configs: Vec<Configuration> =
             (0..n).map(|_| self.space.sample(&mut self.rng)).collect();
-        self.bracket = Bracket::new(configs, rungs, self.eta);
-    }
-
-    fn advance_bracket(&mut self) {
-        self.s = if self.s == 0 { self.s_max } else { self.s - 1 };
-        self.start_bracket();
+        self.sched.open(configs, rungs, offset, self.eta);
+        self.advance_s();
     }
 }
 
 impl Suggest for Hyperband {
     fn suggest(&mut self) -> (Configuration, f64) {
-        if let Some(next) = self.bracket.next() {
-            return next;
+        self.suggest_batch(1).pop().expect("batch of one")
+    }
+
+    /// Fills all `k` slots from the bracket set, opening the next `s`
+    /// bracket early when the active ones cannot supply more work.
+    fn suggest_batch(&mut self, k: usize) -> Vec<(Configuration, f64)> {
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            match self.sched.next() {
+                Some(pick) => out.push(pick),
+                None => self.open_bracket(),
+            }
         }
-        self.advance_bracket();
-        if let Some(next) = self.bracket.next() {
-            return next;
-        }
-        (self.space.sample(&mut self.rng), 1.0)
+        out
     }
 
     fn observe(&mut self, config: Configuration, fidelity: f64, loss: f64, cost: f64) {
-        self.bracket.record(&config, loss);
+        self.sched.record(&config, fidelity, loss);
         self.history.push(Observation {
             config,
             loss,
             cost,
             fidelity,
         });
+    }
+
+    fn in_flight_meta(&self, config: &Configuration, fidelity: f64) -> Option<(usize, u64)> {
+        self.sched.meta(config, fidelity)
     }
 
     fn history(&self) -> &RunHistory {
@@ -294,6 +452,7 @@ impl MfesHb {
                     .history
                     .at_fidelity(f)
                     .iter()
+                    .filter(|o| o.loss.is_finite())
                     .map(|o| (self.inner.space.encode(&o.config), o.loss))
                     .collect::<Vec<_>>()
             })
@@ -302,11 +461,15 @@ impl MfesHb {
 
         for &f in &ladder {
             let obs = self.inner.history.at_fidelity(f);
-            if obs.len() < 4 {
+            let finite: Vec<_> = obs.iter().filter(|o| o.loss.is_finite()).collect();
+            if finite.len() < 4 {
                 continue;
             }
-            let xs: Vec<Vec<f64>> = obs.iter().map(|o| self.inner.space.encode(&o.config)).collect();
-            let ys: Vec<f64> = obs.iter().map(|o| o.loss).collect();
+            let xs: Vec<Vec<f64>> = finite
+                .iter()
+                .map(|o| self.inner.space.encode(&o.config))
+                .collect();
+            let ys: Vec<f64> = finite.iter().map(|o| o.loss).collect();
             let mut surrogate = RandomForestSurrogate::new();
             surrogate.fit(&xs, &ys, &mut self.inner.rng);
             // Weight: pairwise ranking agreement with the reference set.
@@ -363,35 +526,44 @@ impl MfesHb {
                         (expected_improvement(mean, var, best), cfg)
                     })
                     .collect();
-                scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+                scored.sort_by(|a, b| b.0.total_cmp(&a.0));
                 scored.into_iter().take(n).map(|(_, c)| c).collect()
             }
         }
+    }
+
+    fn open_bracket(&mut self) {
+        let (n, rungs, offset) = self.inner.bracket_shape();
+        let configs = self.propose(n);
+        self.inner.sched.open(configs, rungs, offset, self.inner.eta);
+        self.inner.advance_s();
     }
 }
 
 impl Suggest for MfesHb {
     fn suggest(&mut self) -> (Configuration, f64) {
-        if let Some(next) = self.inner.bracket.next() {
-            return next;
+        self.suggest_batch(1).pop().expect("batch of one")
+    }
+
+    /// Fills all `k` slots from the bracket set; new brackets are seeded by
+    /// surrogate-guided proposals.
+    fn suggest_batch(&mut self, k: usize) -> Vec<(Configuration, f64)> {
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            match self.inner.sched.next() {
+                Some(pick) => out.push(pick),
+                None => self.open_bracket(),
+            }
         }
-        // New bracket: seed with surrogate-guided proposals.
-        self.inner.s = if self.inner.s == 0 {
-            self.inner.s_max
-        } else {
-            self.inner.s - 1
-        };
-        let (n, rungs) = self.inner.bracket_shape();
-        let configs = self.propose(n);
-        self.inner.bracket = Bracket::new(configs, rungs, self.inner.eta);
-        if let Some(next) = self.inner.bracket.next() {
-            return next;
-        }
-        (self.inner.space.sample(&mut self.inner.rng), 1.0)
+        out
     }
 
     fn observe(&mut self, config: Configuration, fidelity: f64, loss: f64, cost: f64) {
         self.inner.observe(config, fidelity, loss, cost);
+    }
+
+    fn in_flight_meta(&self, config: &Configuration, fidelity: f64) -> Option<(usize, u64)> {
+        self.inner.sched.meta(config, fidelity)
     }
 
     fn history(&self) -> &RunHistory {
@@ -428,6 +600,19 @@ mod tests {
             let (cfg, f) = opt.suggest();
             let loss = objective(&cfg, f);
             opt.observe(cfg, f, loss, f);
+        }
+    }
+
+    /// Drives an optimizer through the batch interface: suggest `k` at a
+    /// time, then observe all of them (the pooled execution pattern).
+    fn drive_batched<S: Suggest>(opt: &mut S, rounds: usize, k: usize) {
+        for _ in 0..rounds {
+            let batch = opt.suggest_batch(k);
+            assert_eq!(batch.len(), k, "suggest_batch must fill every slot");
+            for (cfg, f) in batch {
+                let loss = objective(&cfg, f);
+                opt.observe(cfg, f, loss, f);
+            }
         }
     }
 
@@ -501,5 +686,234 @@ mod tests {
             assert!(f > 0.0 && f <= 1.0);
             sh.observe(cfg, f, 0.5, f);
         }
+    }
+
+    /// Regression for the old `Bracket::done()` precedence bug: the
+    /// `finished.len() <= 1` clause was unreachable (`a && b || (a && c)`
+    /// parses as `(a && b) || (a && c)`), so `done()` reduced to "queue and
+    /// in-flight empty at the last rung". The async bracket's predicate is
+    /// "no work left anywhere" — verify it flips exactly when the last
+    /// observation lands and pending promotions keep it false.
+    #[test]
+    fn bracket_done_flips_only_when_all_work_is_observed() {
+        let mut rng = crate::rng::from_seed(7);
+        let space = space_1d();
+        let configs: Vec<Configuration> = (0..4).map(|_| space.sample(&mut rng)).collect();
+        let mut b = Bracket::new(configs, vec![0.5, 1.0], 0, 2, 0);
+        assert!(!b.done());
+        // Hand out and observe all rung-0 work.
+        let mut picks = Vec::new();
+        while let Some(p) = b.next() {
+            picks.push(p);
+        }
+        assert_eq!(picks.len(), 4);
+        assert!(!b.done(), "in-flight work pending");
+        for (i, (cfg, f)) in picks.into_iter().enumerate() {
+            assert!(b.record(&cfg, f, 0.1 * i as f64));
+        }
+        // 4 finite results at eta=2 → quota 2: promotions still pending, so
+        // the bracket must NOT report done (the old bug's failure mode).
+        assert!(!b.done(), "pending promotions must keep the bracket open");
+        let mut promoted = Vec::new();
+        while let Some((cfg, f)) = b.next() {
+            assert_eq!(f, 1.0);
+            promoted.push(cfg);
+        }
+        assert_eq!(promoted.len(), 2, "top 1/eta of 4 configs climb");
+        assert!(!b.done());
+        for cfg in promoted {
+            assert!(b.record(&cfg, 1.0, 0.05));
+        }
+        assert!(b.done(), "all rungs observed, nothing promotable");
+    }
+
+    /// NaN/infinite losses (crashed or timed-out trials) must never climb
+    /// the ladder: promotion quotas count only finite results.
+    #[test]
+    fn non_finite_losses_never_promote() {
+        let mut rng = crate::rng::from_seed(3);
+        let space = space_1d();
+        let configs: Vec<Configuration> = (0..4).map(|_| space.sample(&mut rng)).collect();
+        let mut b = Bracket::new(configs, vec![0.25, 1.0], 0, 2, 0);
+        let mut picks = Vec::new();
+        while let Some(p) = b.next() {
+            picks.push(p);
+        }
+        // Two crashes (NaN, +inf) and one finite survivor; one more finite.
+        let losses = [f64::NAN, f64::INFINITY, 0.3, 0.1];
+        let crashed: Vec<Configuration> = picks[..2].iter().map(|(c, _)| c.clone()).collect();
+        for ((cfg, f), loss) in picks.into_iter().zip(losses) {
+            assert!(b.record(&cfg, f, loss));
+        }
+        // quota = floor(2 finite / 2) = 1: exactly one promotion, and it is
+        // the best finite config — never a crashed one.
+        let (promoted, f) = b.next().expect("one promotion");
+        assert_eq!(f, 1.0);
+        assert!(!crashed.contains(&promoted), "crashed config climbed the ladder");
+        b.record(&promoted, 1.0, 0.05);
+        // The remaining finite config promotes once the rung closes
+        // (closed-rung quota ≥ 1 applies only to never-promoted rungs, so
+        // nothing else climbs here), and the bracket finishes.
+        while let Some((cfg, f)) = b.next() {
+            assert!(!crashed.contains(&cfg));
+            b.record(&cfg, f, 0.2);
+        }
+        assert!(b.done());
+    }
+
+    /// A bracket whose rung-0 results are ALL non-finite must terminate
+    /// without promoting anything to higher fidelity.
+    #[test]
+    fn all_crashed_bracket_terminates_without_promotions() {
+        let mut rng = crate::rng::from_seed(5);
+        let space = space_1d();
+        let configs: Vec<Configuration> = (0..3).map(|_| space.sample(&mut rng)).collect();
+        let mut b = Bracket::new(configs, vec![0.5, 1.0], 0, 2, 0);
+        let mut picks = Vec::new();
+        while let Some(p) = b.next() {
+            picks.push(p);
+        }
+        for (cfg, f) in picks {
+            assert_eq!(f, 0.5);
+            assert!(b.record(&cfg, f, f64::INFINITY));
+        }
+        assert!(b.next().is_none(), "no finite survivor may promote");
+        assert!(b.done());
+    }
+
+    /// Observations for configurations the bracket never issued (warm
+    /// starts, pseudo-observations) must be rejected, not appended to the
+    /// rung results where they would distort promotion quotas.
+    #[test]
+    fn foreign_observations_route_to_history_only() {
+        let mut sh = SuccessiveHalving::new(space_1d(), 4, 0.5, 2, 0);
+        // Warm-start via the trait default: observe a config the bracket
+        // never suggested.
+        let mut rng = crate::rng::from_seed(99);
+        let foreign = sh.space().sample(&mut rng);
+        sh.observe(foreign.clone(), 1.0, 0.01, 1.0);
+        // It lands in history…
+        assert_eq!(sh.history().len(), 1);
+        // …but no bracket claims it, so the schedule is unchanged: the
+        // engine still hands out all n0 rung-0 configs first.
+        let batch = sh.suggest_batch(4);
+        assert!(batch.iter().all(|(_, f)| (*f - 0.5).abs() < 1e-12));
+        assert!(batch.iter().all(|(c, _)| *c != foreign));
+    }
+
+    /// The tentpole property: for every multi-fidelity engine and batch
+    /// size k ∈ {1, 2, 4, 8}, `suggest_batch(k)` fills every slot with a
+    /// fidelity from the η-ladder — the random full-fidelity fallback is
+    /// gone — and sub-1.0 fidelities actually appear.
+    #[test]
+    fn suggest_batch_never_falls_back_to_random_full_fidelity() {
+        let ladder = rung_ladder(1.0 / 9.0, 3);
+        let on_ladder = |f: f64| ladder.iter().any(|&r| (r - f).abs() < 1e-9);
+        for k in [1usize, 2, 4, 8] {
+            let rounds = 48 / k.max(1);
+            let check = |label: &str, fids: Vec<f64>| {
+                assert!(
+                    fids.iter().all(|&f| on_ladder(f)),
+                    "{label} k={k}: off-ladder fidelity in {fids:?}"
+                );
+                assert!(
+                    fids.iter().any(|&f| f < 1.0),
+                    "{label} k={k}: no sub-1.0 fidelity exercised"
+                );
+            };
+            let mut sh = SuccessiveHalving::new(space_1d(), 9, 1.0 / 9.0, 3, 42);
+            drive_batched(&mut sh, rounds, k);
+            check("sh", sh.history().observations().iter().map(|o| o.fidelity).collect());
+            let mut hb = Hyperband::new(space_1d(), 1.0 / 9.0, 3, 42);
+            drive_batched(&mut hb, rounds, k);
+            check("hyperband", hb.history().observations().iter().map(|o| o.fidelity).collect());
+            let mut mfes = MfesHb::new(space_1d(), 1.0 / 9.0, 3, 42);
+            drive_batched(&mut mfes, rounds, k);
+            check("mfes-hb", mfes.history().observations().iter().map(|o| o.fidelity).collect());
+        }
+    }
+
+    /// Batched execution keeps many configurations in flight: one
+    /// `suggest_batch(8)` call on a fresh bracket yields 8 *distinct*
+    /// configurations (the old single-slot bracket could supply only one).
+    #[test]
+    fn batch_slots_hold_distinct_in_flight_configs() {
+        let mut sh = SuccessiveHalving::new(space_1d(), 9, 1.0 / 9.0, 3, 1);
+        let batch = sh.suggest_batch(8);
+        let distinct: std::collections::HashSet<Vec<Option<u64>>> = batch
+            .iter()
+            .map(|(c, _)| c.values.iter().map(|v| v.map(f64::to_bits)).collect())
+            .collect();
+        assert_eq!(distinct.len(), 8, "batch must not repeat configurations");
+        assert!(batch.iter().all(|(_, f)| (*f - 1.0 / 9.0).abs() < 1e-12));
+    }
+
+    /// The bracket schedule is a deterministic function of the seed and the
+    /// observed losses — replaying the same pooled run yields an identical
+    /// (config, fidelity) sequence.
+    #[test]
+    fn pooled_schedule_is_deterministic_across_replays() {
+        let run = || {
+            let mut sh = SuccessiveHalving::new(space_1d(), 6, 0.25, 2, 11);
+            let mut sequence: Vec<(Vec<Option<u64>>, u64)> = Vec::new();
+            for _ in 0..10 {
+                let batch = sh.suggest_batch(4);
+                for (cfg, f) in batch {
+                    sequence.push((
+                        cfg.values.iter().map(|v| v.map(f64::to_bits)).collect(),
+                        f.to_bits(),
+                    ));
+                    let loss = objective(&cfg, f);
+                    sh.observe(cfg, f, loss, f);
+                }
+            }
+            sequence
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// Serial and pooled drives of the same seeded engine agree on the
+    /// result: same best loss within the low-fidelity noise band, and both
+    /// exercise the full rung ladder up to fidelity 1.0.
+    #[test]
+    fn serial_and_pooled_reach_equivalent_best() {
+        for seed in 0..3 {
+            let mut serial = MfesHb::new(space_1d(), 1.0 / 9.0, 3, seed);
+            drive(&mut serial, 48);
+            let mut pooled = MfesHb::new(space_1d(), 1.0 / 9.0, 3, seed);
+            drive_batched(&mut pooled, 12, 4);
+            let s = serial.history().best_loss().unwrap();
+            let p = pooled.history().best_loss().unwrap();
+            assert!((s - p).abs() < 0.1, "seed {seed}: serial {s} vs pooled {p}");
+            assert!(!pooled.history().at_fidelity(1.0).is_empty());
+            assert!(!pooled.history().at_fidelity(1.0 / 9.0).is_empty());
+        }
+    }
+
+    /// `in_flight_meta` reports the rung (global ladder index) and bracket
+    /// id for suggestions awaiting observation, and forgets them once
+    /// observed.
+    #[test]
+    fn in_flight_meta_tracks_rung_and_bracket() {
+        let mut sh = SuccessiveHalving::new(space_1d(), 4, 1.0 / 9.0, 3, 2);
+        let (cfg, f) = sh.suggest();
+        let (rung, bracket) = sh.in_flight_meta(&cfg, f).expect("meta for in-flight");
+        assert_eq!(rung, 0);
+        assert_eq!(bracket, 0);
+        sh.observe(cfg.clone(), f, 0.2, f);
+        assert!(sh.in_flight_meta(&cfg, f).is_none(), "observed → no longer in flight");
+        // Drive until a promotion appears; its rung must be > 0.
+        let mut saw_promotion = false;
+        for _ in 0..20 {
+            let (cfg, f) = sh.suggest();
+            if let Some((rung, _)) = sh.in_flight_meta(&cfg, f) {
+                if rung > 0 {
+                    assert!(f > 1.0 / 9.0);
+                    saw_promotion = true;
+                }
+            }
+            sh.observe(cfg.clone(), f, objective(&cfg, f), f);
+        }
+        assert!(saw_promotion, "no promotion within 20 serial steps");
     }
 }

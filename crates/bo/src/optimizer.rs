@@ -53,9 +53,11 @@ pub trait Suggest {
 
     /// Suggests `k` configurations to evaluate *concurrently* (the batch
     /// path behind `--workers N`). The default simply asks `suggest` `k`
-    /// times, which is correct for schedule-driven engines (random search,
-    /// Successive Halving, Hyperband); model-based engines should override
-    /// it to decorrelate the batch (see [`Smac::suggest_batch`]'s
+    /// times with no intervening `observe` — correct only for stateless
+    /// engines like random search. Engines whose `suggest` depends on
+    /// pending results MUST override it: the multi-fidelity engines fill
+    /// the batch from their asynchronous bracket set, and model-based
+    /// engines decorrelate the batch (see [`Smac::suggest_batch`]'s
     /// constant-liar strategy).
     fn suggest_batch(&mut self, k: usize) -> Vec<(Configuration, f64)> {
         (0..k).map(|_| self.suggest()).collect()
@@ -89,6 +91,16 @@ pub trait Suggest {
     /// Default: ignored (schedule-driven engines have nothing extra to
     /// report); model-based engines override it.
     fn set_observe_hook(&mut self, _hook: ObserveHook) {}
+
+    /// Scheduling metadata `(rung, bracket id)` for a suggestion that is
+    /// awaiting observation. Multi-fidelity engines override this so the
+    /// trial journal and trace can attribute each trial to its rung and
+    /// bracket; engines without a bracket schedule return `None`. Callers
+    /// must query it *before* `observe` (observing clears the in-flight
+    /// entry).
+    fn in_flight_meta(&self, _config: &Configuration, _fidelity: f64) -> Option<(usize, u64)> {
+        None
+    }
 }
 
 /// Uniform random search (always full fidelity).

@@ -247,6 +247,14 @@ fn cmd_fit(args: &[String]) -> Result<(), String> {
         r.fe_cache_misses,
         hit_rate(r.fe_cache_hits, r.fe_cache_misses),
     );
+    if r.fidelity_counts.len() > 1 {
+        let mix: Vec<String> = r
+            .fidelity_counts
+            .iter()
+            .map(|(f, n)| format!("{f:.3}x{n}"))
+            .collect();
+        println!("fidelity mix: {}", mix.join(", "));
+    }
     let metric = Metric::default_for(dataset.task);
     let score = fitted.score(&test, metric).map_err(|e| e.to_string())?;
     println!("\nheld-out {}: {score:.4}", metric.name());

@@ -121,6 +121,10 @@ pub struct AutoMlReport {
     pub fe_cache_hits: u64,
     /// Feature-engineering cache misses.
     pub fe_cache_misses: u64,
+    /// `(fidelity, evaluation_count)` pairs in ascending fidelity order —
+    /// the multi-fidelity mix actually exercised by the run. A single
+    /// `(1.0, n)` entry means the engine never used sub-full fidelities.
+    pub fidelity_counts: Vec<(f64, usize)>,
 }
 
 /// The fitted artifact: single pipeline or ensemble, plus the report.
@@ -294,7 +298,7 @@ impl VolcanoML {
             .iter()
             .filter(|e| e.fidelity >= 1.0 - 1e-9 && e.loss.is_finite())
             .collect();
-        entries.sort_by(|a, b| a.loss.partial_cmp(&b.loss).unwrap_or(std::cmp::Ordering::Equal));
+        entries.sort_by(|a, b| a.loss.total_cmp(&b.loss));
         for e in entries {
             let key: Vec<(String, u64)> = {
                 let mut kv: Vec<(String, u64)> = e
@@ -313,6 +317,18 @@ impl VolcanoML {
             }
         }
 
+        // The fidelity mix exercised by the run (ascending): a multi-fidelity
+        // engine that degraded to full-fidelity-only shows up immediately as
+        // a single (1.0, n) entry here.
+        let mut fid_counts: std::collections::BTreeMap<u64, (f64, usize)> =
+            std::collections::BTreeMap::new();
+        for e in &log {
+            let entry = fid_counts.entry(e.fidelity.to_bits()).or_insert((e.fidelity, 0));
+            entry.1 += 1;
+        }
+        let mut fidelity_counts: Vec<(f64, usize)> = fid_counts.into_values().collect();
+        fidelity_counts.sort_by(|a, b| a.0.total_cmp(&b.0));
+
         let (cache_hits, cache_misses, fe_cache_hits, fe_cache_misses) = evaluator.cache_stats();
         let report = AutoMlReport {
             best_loss,
@@ -327,6 +343,7 @@ impl VolcanoML {
             cache_misses,
             fe_cache_hits,
             fe_cache_misses,
+            fidelity_counts,
         };
 
         // End-of-run observability: sample run-level figures into the

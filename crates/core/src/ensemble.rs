@@ -53,7 +53,9 @@ impl Ensemble {
         }
         // Keep the top `max_members` distinct candidates by loss.
         let mut sorted: Vec<&(Assignment, f64)> = candidates.iter().collect();
-        sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        // total_cmp puts NaN losses last so a poisoned candidate can never
+        // evict a finite one from the member shortlist.
+        sorted.sort_by(|a, b| a.1.total_cmp(&b.1));
         sorted.truncate(max_members.max(1));
 
         // Refit and cache per-candidate validation predictions.
@@ -297,6 +299,36 @@ mod tests {
         // Greedy selection optimizes this very quantity; tiny tolerance for
         // the averaged-probability vs majority-argmax difference.
         assert!(ens_loss <= best_single + 0.05, "{ens_loss} vs {best_single}");
+    }
+
+    /// NaN injection: candidates with NaN validation losses must sort last
+    /// under `total_cmp` and never evict finite candidates from the member
+    /// shortlist (with `partial_cmp(..).unwrap_or(Equal)` a NaN-first input
+    /// order survived the sort untouched).
+    #[test]
+    fn nan_loss_candidates_never_evict_finite_ones() {
+        let (ev, train, valid) = setup();
+        // NaN candidates FIRST so a non-total sort would keep them ahead.
+        let mut cands: Vec<(Assignment, f64)> = (0..2)
+            .map(|i| {
+                let mut a = ev.space().defaults();
+                a.insert("algorithm".to_string(), i as f64);
+                (a, f64::NAN)
+            })
+            .collect();
+        let mut good = ev.space().defaults();
+        good.insert("algorithm".to_string(), 2.0);
+        cands.push((good.clone(), 0.2));
+        let ens =
+            Ensemble::select(&ev, &cands, &train, &valid, Metric::BalancedAccuracy, 1, 4).unwrap();
+        // max_members=1: the shortlist holds exactly the finite-loss
+        // candidate.
+        assert_eq!(ens.members.len(), 1);
+        assert_eq!(
+            ens.members[0].assignment.get("algorithm"),
+            good.get("algorithm"),
+            "NaN candidate evicted the finite one"
+        );
     }
 
     #[test]

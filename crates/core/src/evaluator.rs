@@ -105,6 +105,34 @@ impl EvalOutcome {
     }
 }
 
+/// Multi-fidelity scheduling attribution for a trial: the rung index in the
+/// issuing engine's full η-ladder and the stable id of the bracket that
+/// scheduled it. Journaled and traced verbatim (`rung`/`bracket` fields) so
+/// the report can render rung occupancy; [`TrialTag::NONE`] (`-1`/`-1`)
+/// marks trials outside any bracket schedule (full-fidelity engines, warm
+/// starts, seed evaluations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialTag {
+    /// Rung index in the engine's full ladder, `-1` when not applicable.
+    pub rung: i64,
+    /// Issuing bracket's stable id, `-1` when not applicable.
+    pub bracket: i64,
+}
+
+impl TrialTag {
+    /// "Not bracket-scheduled" sentinel.
+    pub const NONE: TrialTag = TrialTag {
+        rung: -1,
+        bracket: -1,
+    };
+}
+
+impl Default for TrialTag {
+    fn default() -> Self {
+        TrialTag::NONE
+    }
+}
+
 /// A fault injected into an evaluation — used by crash-isolation and
 /// deadline tests to simulate misbehaving training code.
 #[derive(Debug, Clone, Copy)]
@@ -557,6 +585,7 @@ impl Evaluator {
         start_s: f64,
         end_s: f64,
         fidelity: f64,
+        tag: TrialTag,
         outcome: &EvalOutcome,
         queue_wait_s: Option<f64>,
     ) {
@@ -577,6 +606,8 @@ impl Evaluator {
                 start_s,
                 end_s,
                 fidelity,
+                rung: tag.rung,
+                bracket: tag.bracket,
                 loss: outcome.loss,
                 cost,
                 cached: outcome.cached,
@@ -595,6 +626,8 @@ impl Evaluator {
                 start_s,
                 end_s,
                 fidelity,
+                rung: tag.rung,
+                bracket: tag.bracket,
                 loss: outcome.loss,
                 cost,
                 cached: outcome.cached,
@@ -631,7 +664,18 @@ impl Evaluator {
     /// in `(0, 1]`). Results are cached; failures and panics yield
     /// `loss = INFINITY`.
     pub fn evaluate(&self, assignment: &HashMap<String, f64>, fidelity: f64) -> EvalOutcome {
-        self.evaluate_inner(assignment, fidelity, true)
+        self.evaluate_tagged(assignment, fidelity, TrialTag::NONE)
+    }
+
+    /// [`Evaluator::evaluate`] with multi-fidelity scheduling attribution:
+    /// `tag` is journaled/traced as the trial's `rung`/`bracket`.
+    pub fn evaluate_tagged(
+        &self,
+        assignment: &HashMap<String, f64>,
+        fidelity: f64,
+        tag: TrialTag,
+    ) -> EvalOutcome {
+        self.evaluate_inner(assignment, fidelity, true, tag)
     }
 
     /// Evaluates a batch of `(assignment, fidelity)` trials on a worker
@@ -644,20 +688,34 @@ impl Evaluator {
         pool: &ExecPool,
         trials: &[(HashMap<String, f64>, f64)],
     ) -> Vec<EvalOutcome> {
+        let tagged: Vec<_> = trials
+            .iter()
+            .map(|(a, f)| (a.clone(), *f, TrialTag::NONE))
+            .collect();
+        self.evaluate_batch_tagged(pool, &tagged)
+    }
+
+    /// [`Evaluator::evaluate_batch`] with per-trial scheduling attribution
+    /// (`rung`/`bracket` journal and trace fields).
+    pub fn evaluate_batch_tagged(
+        &self,
+        pool: &ExecPool,
+        trials: &[(HashMap<String, f64>, f64, TrialTag)],
+    ) -> Vec<EvalOutcome> {
         let journal = self.journal();
         let batch_epoch = journal.as_ref().map_or(0.0, |j| j.elapsed_s());
         let jobs: Vec<_> = trials
             .iter()
             .cloned()
-            .map(|(assignment, fidelity)| {
+            .map(|(assignment, fidelity, _)| {
                 let ev = self.clone();
-                move || ev.evaluate_inner(&assignment, fidelity, false)
+                move || ev.evaluate_inner(&assignment, fidelity, false, TrialTag::NONE)
             })
             .collect();
         let runs = pool.run_batch(jobs);
         runs.into_iter()
             .zip(trials.iter())
-            .map(|(run, (assignment, fidelity))| {
+            .map(|(run, (assignment, fidelity, tag))| {
                 let outcome = match run.status {
                     TrialStatus::Done(out) => out,
                     TrialStatus::Panicked(_) => EvalOutcome::failed(false, true),
@@ -670,6 +728,7 @@ impl Evaluator {
                     batch_epoch + run.started_s,
                     batch_epoch + run.ended_s,
                     fidelity.clamp(0.01, 1.0),
+                    *tag,
                     &outcome,
                     Some(run.started_s),
                 );
@@ -687,6 +746,7 @@ impl Evaluator {
         assignment: &HashMap<String, f64>,
         fidelity: f64,
         journal_direct: bool,
+        tag: TrialTag,
     ) -> EvalOutcome {
         let fidelity = fidelity.clamp(0.01, 1.0);
         let key = (assignment_key(assignment), fidelity.to_bits());
@@ -710,6 +770,7 @@ impl Evaluator {
                     now,
                     now,
                     fidelity,
+                    tag,
                     &outcome,
                     None,
                 );
@@ -768,6 +829,7 @@ impl Evaluator {
                 start_s,
                 end_s,
                 fidelity,
+                tag,
                 &outcome,
                 None,
             );

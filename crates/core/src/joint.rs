@@ -4,7 +4,7 @@
 
 use crate::block::{Assignment, BestSolution, BuildingBlock, LossInterval};
 use crate::eu::{eu_interval, eui};
-use crate::evaluator::Evaluator;
+use crate::evaluator::{Evaluator, TrialTag};
 use crate::Result;
 use std::sync::Arc;
 use volcanoml_bo::{
@@ -12,6 +12,19 @@ use volcanoml_bo::{
     SuccessiveHalving, Suggest,
 };
 use volcanoml_obs::{span, EventFields, Tracer};
+
+/// Scheduling attribution for a freshly suggested trial: the engine's
+/// in-flight `(rung, bracket)` when it has a bracket schedule, else
+/// [`TrialTag::NONE`]. Must run *before* `observe` (observing clears the
+/// in-flight entry).
+fn trial_tag(engine: &dyn Suggest, config: &Configuration, fidelity: f64) -> TrialTag {
+    engine
+        .in_flight_meta(config, fidelity)
+        .map_or(TrialTag::NONE, |(rung, bracket)| TrialTag {
+            rung: rung as i64,
+            bracket: bracket as i64,
+        })
+}
 
 /// Which engine a joint block runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -187,9 +200,12 @@ impl BuildingBlock for JointBlock {
                 self.engine.suggest()
             }
         };
+        // Scheduling attribution must be read before `observe` clears the
+        // engine's in-flight entry.
+        let tag = trial_tag(self.engine.as_ref(), &config, fidelity);
         let own = self.engine.space().to_map(&config);
         let assignment = self.merged(&own);
-        let outcome = evaluator.evaluate(&assignment, fidelity);
+        let outcome = evaluator.evaluate_tagged(&assignment, fidelity, tag);
         pull.set_fidelity(fidelity);
         pull.set_loss(outcome.loss);
         pull.set_cost(outcome.cost);
@@ -228,17 +244,18 @@ impl BuildingBlock for JointBlock {
             ));
             picks.extend(self.engine.suggest_batch(k - picks.len()));
         }
-        let trials: Vec<(Assignment, f64)> = picks
+        let trials: Vec<(Assignment, f64, TrialTag)> = picks
             .iter()
             .map(|(cfg, fidelity)| {
                 let own = self.engine.space().to_map(cfg);
-                (self.merged(&own), *fidelity)
+                let tag = trial_tag(self.engine.as_ref(), cfg, *fidelity);
+                (self.merged(&own), *fidelity, tag)
             })
             .collect();
-        let outcomes = evaluator.evaluate_batch(pool, &trials);
+        let outcomes = evaluator.evaluate_batch_tagged(pool, &trials);
         let mut batch_cost = 0.0;
         let mut batch_best = f64::INFINITY;
-        for (((config, fidelity), (assignment, _)), outcome) in
+        for (((config, fidelity), (assignment, _, _)), outcome) in
             picks.into_iter().zip(trials).zip(outcomes)
         {
             batch_cost += outcome.cost;

@@ -36,7 +36,7 @@ pub mod spaces;
 
 pub use automl::{AutoMlReport, FittedVolcanoML, VolcanoML, VolcanoMlOptions};
 pub use block::{Assignment, BuildingBlock, LossInterval};
-pub use evaluator::{EvalOutcome, Evaluator, ValidationStrategy};
+pub use evaluator::{EvalOutcome, Evaluator, TrialTag, ValidationStrategy};
 pub use plan::{EngineKind, PlanSpec, VarFilter};
 pub use spaces::{SpaceDef, SpaceTier, VarDef, VarGroup};
 

@@ -5,14 +5,18 @@
 //!
 //! ```json
 //! {"trial":17,"worker":2,"start_s":0.0132,"end_s":0.0518,"fidelity":1.0,
-//!  "loss":0.2184,"cost":0.0386,"cached":false,"fe_cached":true,
-//!  "panicked":false,"timed_out":false,"arm":"algorithm=1",
+//!  "rung":2,"bracket":0,"loss":0.2184,"cost":0.0386,"cached":false,
+//!  "fe_cached":true,"panicked":false,"timed_out":false,"arm":"algorithm=1",
 //!  "digest":"9f3c2a11d04b77e6"}
 //! ```
 //!
 //! `start_s`/`end_s` are seconds since the journal was opened (monotonic
 //! clock), `cost` is the evaluator-measured training wall time, `loss` is
-//! serialized as `"inf"` when infinite so the file stays valid JSON. `arm`
+//! serialized as `"inf"` when infinite so the file stays valid JSON.
+//! `rung`/`bracket` attribute the trial to a multi-fidelity scheduler: the
+//! rung index in the engine's full η-ladder and the issuing bracket's
+//! stable id, both `-1` when the trial was not scheduled by a
+//! multi-fidelity engine (full-fidelity engines, warm starts, seeds). `arm`
 //! is the bandit-arm label of the conditioning pull that issued the trial
 //! (empty when no arm was in scope) and `digest` is the evaluator's stable
 //! assignment hash rendered as 16 hex digits (empty when unknown) — both
@@ -41,6 +45,11 @@ pub struct TrialRecord {
     pub end_s: f64,
     /// Fidelity the trial ran at.
     pub fidelity: f64,
+    /// Rung index in the scheduler's full η-ladder, `-1` when the trial was
+    /// not issued by a multi-fidelity engine.
+    pub rung: i64,
+    /// Stable id of the issuing bracket, `-1` when not bracket-scheduled.
+    pub bracket: i64,
     /// Observed loss (`INFINITY` for failed/panicked/timed-out trials).
     pub loss: f64,
     /// Evaluation cost in seconds (0 for cache hits and timeouts).
@@ -67,7 +76,8 @@ impl TrialRecord {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"trial\":{},\"worker\":{},\"start_s\":{:.6},\"end_s\":{:.6},\
-             \"fidelity\":{},\"loss\":{},\"cost\":{:.6},\"cached\":{},\
+             \"fidelity\":{},\"rung\":{},\"bracket\":{},\"loss\":{},\
+             \"cost\":{:.6},\"cached\":{},\
              \"fe_cached\":{},\"panicked\":{},\"timed_out\":{},\
              \"arm\":\"{}\",\"digest\":\"{}\"}}",
             self.trial_id,
@@ -75,6 +85,8 @@ impl TrialRecord {
             self.start_s,
             self.end_s,
             json_f64(self.fidelity),
+            self.rung,
+            self.bracket,
             json_f64(self.loss),
             self.cost,
             self.cached,
@@ -230,6 +242,8 @@ mod tests {
             start_s: 0.25,
             end_s: 0.5,
             fidelity: 1.0,
+            rung: 2,
+            bracket: 0,
             loss: 0.125,
             cost: 0.25,
             cached: false,
@@ -250,6 +264,8 @@ mod tests {
             "\"start_s\":0.250000",
             "\"end_s\":0.500000",
             "\"fidelity\":1",
+            "\"rung\":2",
+            "\"bracket\":0",
             "\"loss\":0.125",
             "\"cost\":0.250000",
             "\"cached\":false",

@@ -75,9 +75,9 @@ impl KnnBase {
             .map(|i| (i, squared_distance(x.row(i), &scaled)))
             .collect();
         let k = self.k.min(dists.len());
-        dists.select_nth_unstable_by(k - 1, |a, b| {
-            a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        // total_cmp: a NaN distance (NaN feature in the query or training
+        // rows) must sort last, never displacing finite neighbors.
+        dists.select_nth_unstable_by(k - 1, |a, b| a.1.total_cmp(&b.1));
         dists.truncate(k);
         Ok(dists
             .into_iter()
@@ -245,6 +245,37 @@ mod tests {
         m.fit(&x, &y).unwrap();
         let preds = m.predict(&x).unwrap();
         assert_eq!(preds, vec![1.0, 1.0, 1.0]); // majority vote over all 3
+    }
+
+    /// NaN injection: training rows are validated at fit time, but a query
+    /// row with a NaN feature makes *every* neighbor distance NaN at
+    /// predict time. The `total_cmp` selection must stay deterministic and
+    /// panic-free under NaN, and finite query rows in the same batch must
+    /// be completely unaffected. (The old `partial_cmp(..).unwrap_or(
+    /// Equal)` comparator fed `select_nth_unstable_by` an inconsistent
+    /// order whenever NaN appeared.)
+    #[test]
+    fn nan_query_row_is_deterministic_and_isolated() {
+        let d = easy_multiclass();
+        let mut m = KnnClassifier::new(5, KnnWeights::Uniform);
+        m.fit(&d.x, &d.y).unwrap();
+        let clean = m.predict(&d.x).unwrap();
+
+        // Poison the first query row with NaN, keep the rest intact.
+        let w = d.x.cols();
+        let mut data = d.x.data().to_vec();
+        for v in data.iter_mut().take(w) {
+            *v = f64::NAN;
+        }
+        let x_poisoned = Matrix::from_vec(d.x.rows(), w, data).unwrap();
+        let got1 = m.predict(&x_poisoned).unwrap();
+        let got2 = m.predict(&x_poisoned).unwrap();
+        assert_eq!(got1, got2, "NaN query made selection non-deterministic");
+        assert_eq!(
+            got1[1..],
+            clean[1..],
+            "NaN query row leaked into finite rows' predictions"
+        );
     }
 
     #[test]

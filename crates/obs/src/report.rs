@@ -233,6 +233,56 @@ pub fn render_report(
     }
     out.push('\n');
 
+    // ── Rung occupancy (multi-fidelity schedulers) ──────────────────────
+    // Rendered only when at least one trial carries scheduling attribution
+    // (`rung >= 0`): full-fidelity engines leave the section out entirely.
+    let rung_trials: Vec<&&Row> = trials.iter().filter(|t| get_i64(t, "rung") >= 0).collect();
+    if !rung_trials.is_empty() {
+        #[derive(Default)]
+        struct RungStats {
+            fidelity: f64,
+            trials: usize,
+            brackets: std::collections::BTreeSet<i64>,
+            best: f64,
+        }
+        let mut rungs: BTreeMap<i64, RungStats> = BTreeMap::new();
+        for t in &rung_trials {
+            let s = rungs.entry(get_i64(t, "rung")).or_default();
+            s.fidelity = get_f64(t, "fidelity");
+            s.trials += 1;
+            s.brackets.insert(get_i64(t, "bracket"));
+            let loss = get_f64(t, "loss");
+            if loss.is_finite() && (s.trials == 1 || !s.best.is_finite() || loss < s.best) {
+                s.best = loss;
+            } else if s.trials == 1 && !loss.is_finite() {
+                s.best = f64::NAN;
+            }
+        }
+        out.push_str("Rung occupancy (multi-fidelity)\n");
+        out.push_str("-------------------------------\n");
+        out.push_str(&format!(
+            "{:<6} {:>9} {:>7} {:>9} {:>10}\n",
+            "rung", "fidelity", "trials", "brackets", "best"
+        ));
+        for (rung, s) in &rungs {
+            out.push_str(&format!(
+                "{:<6} {:>9.4} {:>7} {:>9} {:>10}\n",
+                rung,
+                s.fidelity,
+                s.trials,
+                s.brackets.len(),
+                fmt_loss(s.best)
+            ));
+        }
+        let untagged = trials.len() - rung_trials.len();
+        if untagged > 0 {
+            out.push_str(&format!(
+                "({untagged} trials outside the bracket schedule: seeds/warm starts)\n"
+            ));
+        }
+        out.push('\n');
+    }
+
     // ── Worker utilization timeline ─────────────────────────────────────
     out.push_str("Worker utilization\n");
     out.push_str("------------------\n");
@@ -334,6 +384,8 @@ mod tests {
             start_s: trial_id as f64 * 0.1,
             end_s: trial_id as f64 * 0.1 + cost,
             fidelity: 1.0,
+            rung: -1,
+            bracket: -1,
             loss,
             cost,
             cached: false,
@@ -383,6 +435,43 @@ mod tests {
         assert!(report.contains("Worker utilization"));
         assert!(report.contains("worker  0"));
         assert!(report.contains("dominated by algorithm=1"));
+    }
+
+    #[test]
+    fn rung_occupancy_renders_only_for_bracket_scheduled_trials() {
+        // No rung-tagged trials → no section.
+        let report = render_report(&sample_trace(), None, None).unwrap();
+        assert!(!report.contains("Rung occupancy"));
+
+        // Mixed run: two rung-0 trials from two brackets, one rung-1
+        // promotion, one untagged seed.
+        let mut lines = Vec::new();
+        for (id, rung, bracket, fid, loss) in [
+            (0i64, 0i64, 0i64, 1.0 / 9.0, 0.5),
+            (1, 0, 1, 1.0 / 9.0, 0.4),
+            (2, 1, 0, 1.0 / 3.0, 0.3),
+            (3, -1, -1, 1.0, 0.25),
+        ] {
+            let mut e = SpanEvent::new("trial", "root");
+            e.span_id = 100 + id as u64;
+            e.trial_id = id;
+            e.fidelity = fid;
+            e.rung = rung;
+            e.bracket = bracket;
+            e.loss = loss;
+            e.cost = 0.1;
+            e.worker = 0;
+            lines.push(e.to_json());
+        }
+        let report = render_report(&lines.join("\n"), None, None).unwrap();
+        assert!(report.contains("Rung occupancy (multi-fidelity)"));
+        // Rung 0 saw 2 trials across 2 brackets; rung 1 saw the promotion.
+        let rung0 = report
+            .lines()
+            .find(|l| l.starts_with("0 "))
+            .expect("rung 0 row");
+        assert!(rung0.contains('2'), "{rung0}");
+        assert!(report.contains("(1 trials outside the bracket schedule"));
     }
 
     #[test]

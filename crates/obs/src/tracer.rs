@@ -6,15 +6,18 @@
 //! ```json
 //! {"span":12,"parent":9,"kind":"trial","path":"root/algorithm=1/right",
 //!  "arm":"algorithm=1","t_s":0.0132,"dur_s":0.0386,"trial":17,
-//!  "digest":"9f3c2a11d04b77e6","fidelity":1,"loss":0.2184,"cost":0.0386,
-//!  "eu_opt":"nan","eu_pess":"nan","worker":2,"detail":"fe_cached"}
+//!  "digest":"9f3c2a11d04b77e6","fidelity":1,"rung":2,"bracket":0,
+//!  "loss":0.2184,"cost":0.0386,"eu_opt":"nan","eu_pess":"nan","worker":2,
+//!  "detail":"fe_cached"}
 //! ```
 //!
 //! Non-finite floats are string-encoded (`"inf"`, `"-inf"`, `"nan"`); `-1`
-//! in `trial`/`worker` means "not applicable"; an empty `digest` means the
-//! event is not a trial. `trial` is the join key into the trial journal:
-//! every journal row's `trial` id appears on exactly one `kind:"trial"`
-//! span.
+//! in `trial`/`worker`/`rung`/`bracket` means "not applicable"; an empty
+//! `digest` means the event is not a trial. `rung`/`bracket` attribute a
+//! trial to its multi-fidelity scheduler slot (rung index in the engine's
+//! full η-ladder, stable bracket id) and mirror the journal's fields of the
+//! same name. `trial` is the join key into the trial journal: every journal
+//! row's `trial` id appears on exactly one `kind:"trial"` span.
 //!
 //! Parent links come from a thread-local span *stack*: opening a
 //! [`SpanGuard`] (via [`span`]) pushes an entry, and any event emitted on
@@ -96,6 +99,10 @@ pub struct SpanEvent {
     pub digest: String,
     /// Fidelity (NaN when not applicable).
     pub fidelity: f64,
+    /// Multi-fidelity rung index; -1 when not bracket-scheduled.
+    pub rung: i64,
+    /// Issuing bracket's stable id; -1 when not bracket-scheduled.
+    pub bracket: i64,
     /// Observed loss (NaN when not applicable).
     pub loss: f64,
     /// Budget spent in seconds (NaN when not applicable).
@@ -124,6 +131,8 @@ impl SpanEvent {
             trial_id: -1,
             digest: String::new(),
             fidelity: f64::NAN,
+            rung: -1,
+            bracket: -1,
             loss: f64::NAN,
             cost: f64::NAN,
             eu_optimistic: f64::NAN,
@@ -138,7 +147,8 @@ impl SpanEvent {
         format!(
             "{{\"span\":{},\"parent\":{},\"kind\":\"{}\",\"path\":\"{}\",\
              \"arm\":\"{}\",\"t_s\":{:.6},\"dur_s\":{:.6},\"trial\":{},\
-             \"digest\":\"{}\",\"fidelity\":{},\"loss\":{},\"cost\":{},\
+             \"digest\":\"{}\",\"fidelity\":{},\"rung\":{},\"bracket\":{},\
+             \"loss\":{},\"cost\":{},\
              \"eu_opt\":{},\"eu_pess\":{},\"worker\":{},\"detail\":\"{}\"}}",
             self.span_id,
             self.parent_id,
@@ -150,6 +160,8 @@ impl SpanEvent {
             self.trial_id,
             escape(&self.digest),
             num(self.fidelity),
+            self.rung,
+            self.bracket,
             num(self.loss),
             num(self.cost),
             num(self.eu_optimistic),
@@ -206,6 +218,10 @@ pub struct TrialInfo {
     pub end_s: f64,
     /// Fidelity the trial ran at.
     pub fidelity: f64,
+    /// Multi-fidelity rung index, -1 when not bracket-scheduled.
+    pub rung: i64,
+    /// Issuing bracket's stable id, -1 when not bracket-scheduled.
+    pub bracket: i64,
     /// Observed loss.
     pub loss: f64,
     /// Evaluation cost in seconds.
@@ -344,6 +360,8 @@ impl Tracer {
         e.trial_id = t.trial_id as i64;
         e.digest = format!("{:016x}", t.digest);
         e.fidelity = t.fidelity;
+        e.rung = t.rung;
+        e.bracket = t.bracket;
         e.loss = t.loss;
         e.cost = t.cost;
         e.worker = t.worker as i64;
@@ -530,6 +548,8 @@ mod tests {
             start_s: 0.5,
             end_s: 0.75,
             fidelity: 1.0,
+            rung: 2,
+            bracket: 0,
             loss: 0.125,
             cost: 0.25,
             cached: false,
@@ -545,6 +565,8 @@ mod tests {
         assert_eq!(t.path, "root/algorithm=2");
         assert_eq!(t.digest, format!("{:016x}", 0xdead_beefu64));
         assert_eq!(t.detail, "fe_cached");
+        assert_eq!(t.rung, 2);
+        assert_eq!(t.bracket, 0);
         assert!(t.parent_id != 0);
     }
 
@@ -565,6 +587,8 @@ mod tests {
             "\"trial\":-1",
             "\"digest\":\"\"",
             "\"fidelity\":\"nan\"",
+            "\"rung\":-1",
+            "\"bracket\":-1",
             "\"loss\":\"nan\"",
             "\"eu_opt\":0.1",
             "\"eu_pess\":0.4",

@@ -36,4 +36,26 @@ VOLCANOML=target/release/volcanoml
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$SMOKE_DIR/metrics.json" \
     || { echo "metrics JSON does not parse"; exit 1; }
 
+echo "== smoke: pooled multi-fidelity fit (mfes-hb, 4 workers) =="
+# Regression gate for the suggest_batch fallback: a pooled MFES-HB run must
+# exercise at least two distinct sub-1.0 fidelities (the broken batch path
+# collapsed every slot after the first to a random full-fidelity draw).
+"$VOLCANOML" fit "$SMOKE_DIR/data.csv" --evals 24 --tier small \
+    --engine mfes-hb --workers 4 --journal "$SMOKE_DIR/mfes.jsonl"
+python3 - "$SMOKE_DIR/mfes.jsonl" <<'EOF'
+import json, sys
+sub_full = set()
+rung_tagged = 0
+for line in open(sys.argv[1]):
+    row = json.loads(line)
+    f = row["fidelity"]
+    if isinstance(f, (int, float)) and f < 1.0 - 1e-9:
+        sub_full.add(round(f, 6))
+    if row.get("rung", -1) >= 0:
+        rung_tagged += 1
+assert len(sub_full) >= 2, f"expected >=2 distinct sub-1.0 fidelities, got {sorted(sub_full)}"
+assert rung_tagged > 0, "no rung/bracket attribution in the journal"
+print(f"mfes-hb smoke ok: sub-1.0 fidelities {sorted(sub_full)}, {rung_tagged} rung-tagged trials")
+EOF
+
 echo "CI checks passed."
