@@ -247,6 +247,11 @@ fn cmd_fit(args: &[String]) -> Result<(), String> {
         r.fe_cache_misses,
         hit_rate(r.fe_cache_hits, r.fe_cache_misses),
     );
+    println!(
+        "zero-copy: {} gathers skipped, {:.2} MiB gathered",
+        r.gathers_skipped,
+        r.bytes_gathered as f64 / (1024.0 * 1024.0),
+    );
     if r.fidelity_counts.len() > 1 {
         let mix: Vec<String> = r
             .fidelity_counts

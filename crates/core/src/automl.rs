@@ -125,6 +125,11 @@ pub struct AutoMlReport {
     /// the multi-fidelity mix actually exercised by the run. A single
     /// `(1.0, n)` entry means the engine never used sub-full fidelities.
     pub fidelity_counts: Vec<(f64, usize)>,
+    /// Feature bytes copied by dataset-view row gathers during the search
+    /// (index views materialized on FE-cache misses).
+    pub bytes_gathered: u64,
+    /// Feature-matrix accesses served zero-copy by a full dataset view.
+    pub gathers_skipped: u64,
 }
 
 /// The fitted artifact: single pipeline or ensemble, plus the report.
@@ -190,9 +195,10 @@ impl VolcanoML {
                 .map_err(|e| CoreError::Invalid(format!("cannot open trace: {e}")))?;
             evaluator.set_tracer(Arc::new(tracer));
         }
-        // Binned-tree counters are process-global; diff against a baseline so
-        // the snapshot reflects only this run.
+        // Binned-tree and dataset-view gather counters are process-global;
+        // diff against a baseline so the snapshot reflects only this run.
         let binned_baseline = volcanoml_models::binned::stats::snapshot();
+        let gather_baseline = volcanoml_data::view::stats::snapshot();
         let metrics = if self.options.metrics_path.is_some() {
             let m = Arc::new(MetricsRegistry::new());
             evaluator.set_metrics(Arc::clone(&m));
@@ -330,6 +336,9 @@ impl VolcanoML {
         fidelity_counts.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         let (cache_hits, cache_misses, fe_cache_hits, fe_cache_misses) = evaluator.cache_stats();
+        let (bytes_now, skips_now) = volcanoml_data::view::stats::snapshot();
+        let bytes_gathered = bytes_now.saturating_sub(gather_baseline.0);
+        let gathers_skipped = skips_now.saturating_sub(gather_baseline.1);
         let report = AutoMlReport {
             best_loss,
             best_assignment: best_assignment.clone(),
@@ -344,6 +353,8 @@ impl VolcanoML {
             fe_cache_hits,
             fe_cache_misses,
             fidelity_counts,
+            bytes_gathered,
+            gathers_skipped,
         };
 
         // End-of-run observability: sample run-level figures into the
@@ -356,6 +367,8 @@ impl VolcanoML {
             m.inc_counter("binned.matrices_built", mb.saturating_sub(binned_baseline.0));
             m.inc_counter("binned.cells_encoded", ce.saturating_sub(binned_baseline.1));
             m.inc_counter("binned.hist_node_scans", hs.saturating_sub(binned_baseline.2));
+            m.inc_counter("data.bytes_gathered", bytes_gathered);
+            m.inc_counter("data.gathers_skipped", gathers_skipped);
             if let Some(path) = &self.options.metrics_path {
                 m.write_to(path)
                     .map_err(|e| CoreError::Invalid(format!("cannot write metrics: {e}")))?;

@@ -1,0 +1,87 @@
+//! Assignment interpretation: hashing, parsing into sub-assignments, and
+//! standalone refitting.
+
+use crate::spaces::SpaceDef;
+use crate::{CoreError, Result};
+use std::collections::HashMap;
+use volcanoml_data::Dataset;
+use volcanoml_fe::FePipeline;
+use volcanoml_models::{AlgorithmKind, Estimator, Model};
+
+/// Stable hash of an assignment (order-insensitive).
+pub(crate) fn assignment_key(map: &HashMap<String, f64>) -> u64 {
+    let mut entries: Vec<(&String, &f64)> = map.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for (k, v) in entries {
+        for byte in k.as_bytes() {
+            h ^= *byte as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= v.to_bits();
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// An assignment split into `(algorithm, model-params, fe-params)`.
+pub type ParsedAssignment = (AlgorithmKind, HashMap<String, f64>, HashMap<String, f64>);
+
+/// Splits an assignment into `(algorithm, model-params, fe-params)` against
+/// a space definition. The single source of truth for assignment
+/// interpretation, shared by [`super::Evaluator::evaluate`] and
+/// [`refit_assignment`].
+pub fn parse_assignment(
+    space: &SpaceDef,
+    assignment: &HashMap<String, f64>,
+) -> Result<ParsedAssignment> {
+    let alg_idx = assignment
+        .get("algorithm")
+        .copied()
+        .unwrap_or(0.0)
+        .round()
+        .max(0.0) as usize;
+    let alg = *space
+        .algorithms
+        .get(alg_idx)
+        .ok_or_else(|| CoreError::Invalid(format!("algorithm index {alg_idx} out of range")))?;
+    let hp_prefix = format!("alg:{}:", alg.name());
+    let mut model_params = HashMap::new();
+    let mut fe_params = HashMap::new();
+    for (k, v) in assignment {
+        if let Some(rest) = k.strip_prefix(&hp_prefix) {
+            model_params.insert(rest.to_string(), *v);
+        } else if let Some(rest) = k.strip_prefix("fe:") {
+            fe_params.insert(rest.to_string(), *v);
+        }
+    }
+    Ok((alg, model_params, fe_params))
+}
+
+/// Trains a pipeline + model from an assignment on a complete dataset —
+/// the standalone variant of [`super::Evaluator::refit`] used by baselines
+/// and benches that do not hold an evaluator.
+pub fn refit_assignment(
+    space: &SpaceDef,
+    assignment: &HashMap<String, f64>,
+    data: &Dataset,
+    seed: u64,
+) -> Result<(FePipeline, Model)> {
+    let (alg, model_params, fe_params) = parse_assignment(space, assignment)?;
+    let mut pipeline = FePipeline::from_values(
+        space.task,
+        &data.feature_types,
+        &fe_params,
+        &space.fe_options,
+        seed,
+    )
+    .map_err(|e| CoreError::Substrate(e.to_string()))?;
+    let (x, y) = pipeline
+        .fit_transform_train(&data.x, &data.y)
+        .map_err(|e| CoreError::Substrate(e.to_string()))?;
+    let mut model = alg.build(&model_params, seed);
+    model
+        .fit(&x, &y)
+        .map_err(|e| CoreError::Substrate(e.to_string()))?;
+    Ok((pipeline, model))
+}

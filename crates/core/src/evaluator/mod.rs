@@ -7,27 +7,43 @@
 //! wall time), and the subsampling fidelity axis used by multi-fidelity
 //! engines and by blocks that probe on data subsets.
 //!
+//! Trial data travels as zero-copy [`DatasetView`]s: the search data lives
+//! behind one shared `Arc<Dataset>`, fidelity subsampling and CV folds are
+//! row-index views over it, and feature rows are materialized (one pooled
+//! gather) only when the FE cache misses — see [`validate`]'s module docs.
+//!
 //! All mutable state (cache, counters, log) lives behind an `Arc` so that
 //! [`Evaluator::clone`] yields a *shared handle*: clones see the same cache
 //! and log, and [`Evaluator::evaluate`] takes `&self`. That is what lets
 //! [`Evaluator::evaluate_batch`] ship trials to an [`ExecPool`] of worker
-//! threads. Every trial additionally runs under `catch_unwind`, so a
+//! threads — which all share the one `Arc<Dataset>` instead of per-handle
+//! copies. Every trial additionally runs under `catch_unwind`, so a
 //! panicking pipeline yields `loss = INFINITY` instead of tearing down the
 //! search — with or without a pool.
 
+mod cache;
+mod fe_cache;
+mod interpret;
+mod validate;
+
+pub use interpret::{parse_assignment, refit_assignment, ParsedAssignment};
+pub use validate::ValidationStrategy;
+
 use crate::spaces::SpaceDef;
 use crate::{CoreError, Result};
-use std::collections::{HashMap, VecDeque};
+use cache::BoundedCache;
+use fe_cache::FeCache;
+use interpret::assignment_key;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use volcanoml_data::split::{subsample, KFold, StratifiedKFold};
-use volcanoml_data::{train_test_split, Dataset, Metric, Task};
+use volcanoml_data::{Dataset, DatasetView, Metric};
 use volcanoml_exec::{current_worker, ExecPool, Journal, TrialRecord, TrialStatus};
 use volcanoml_fe::FePipeline;
+use volcanoml_models::Model;
 use volcanoml_obs::{current_arm, MetricsRegistry, Tracer, TrialInfo};
-use volcanoml_models::{AlgorithmKind, Estimator, Model};
 
 /// Default bound on the evaluator's result cache.
 pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
@@ -36,29 +52,6 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 /// transformed matrices, so the bound is much tighter than the result
 /// cache's.
 pub const DEFAULT_FE_CACHE_CAPACITY: usize = 64;
-
-/// How an assignment's quality is measured during search (§5.1 lets users
-/// pick validation accuracy or cross-validation accuracy).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum ValidationStrategy {
-    /// Single split: `fraction` of the search data held out for scoring.
-    Holdout {
-        /// Validation fraction in (0, 1).
-        fraction: f64,
-    },
-    /// k-fold cross-validation (stratified for classification); the loss is
-    /// the mean across folds. Roughly `k×` the evaluation cost of holdout.
-    CrossValidation {
-        /// Number of folds (≥ 2).
-        folds: usize,
-    },
-}
-
-impl Default for ValidationStrategy {
-    fn default() -> Self {
-        ValidationStrategy::Holdout { fraction: 0.25 }
-    }
-}
 
 /// One entry of the evaluator's chronological log.
 #[derive(Debug, Clone)]
@@ -148,141 +141,19 @@ pub enum Fault {
 /// misbehave. `None` means evaluate normally.
 pub type FaultHook = Arc<dyn Fn(&HashMap<String, f64>, f64) -> Option<Fault> + Send + Sync>;
 
-/// FIFO-bounded evaluation cache with hit/miss accounting.
-struct BoundedCache {
-    map: HashMap<(u64, u64), (f64, f64)>,
-    order: VecDeque<(u64, u64)>,
-    capacity: usize,
-    hits: u64,
-    misses: u64,
-}
-
-impl BoundedCache {
-    fn new(capacity: usize) -> BoundedCache {
-        BoundedCache {
-            map: HashMap::new(),
-            order: VecDeque::new(),
-            capacity: capacity.max(1),
-            hits: 0,
-            misses: 0,
-        }
-    }
-
-    fn get(&mut self, key: &(u64, u64)) -> Option<(f64, f64)> {
-        match self.map.get(key).copied() {
-            Some(v) => {
-                self.hits += 1;
-                Some(v)
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
-        }
-    }
-
-    fn insert(&mut self, key: (u64, u64), value: (f64, f64)) {
-        if self.map.insert(key, value).is_none() {
-            self.order.push_back(key);
-            while self.map.len() > self.capacity {
-                if let Some(old) = self.order.pop_front() {
-                    self.map.remove(&old);
-                } else {
-                    break;
-                }
-            }
-        }
-    }
-
-    fn set_capacity(&mut self, capacity: usize) {
-        self.capacity = capacity.max(1);
-        while self.map.len() > self.capacity {
-            if let Some(old) = self.order.pop_front() {
-                self.map.remove(&old);
-            } else {
-                break;
-            }
-        }
-    }
-}
-
-/// One fitted-FE output shared across trials: transformed training
-/// features, training targets (balancers such as SMOTE resample them, so
-/// they must be cached alongside), and the transformed validation features.
-type FeTransformed = (
-    volcanoml_linalg::Matrix,
-    Vec<f64>,
-    volcanoml_linalg::Matrix,
-);
-
-/// FIFO-bounded cache of fitted-FE outputs keyed on
-/// `(fe-sub-assignment hash, training-data key)`. Trials that share an FE
-/// configuration (the common case when a block sweeps model
-/// hyper-parameters) reuse the transformed `(X, y)` via `Arc` instead of
-/// re-running imputation/encoding/scaling/balancing per trial.
-struct FeCache {
-    map: HashMap<(u64, u64), Arc<FeTransformed>>,
-    order: VecDeque<(u64, u64)>,
-    capacity: usize,
-    hits: u64,
-    misses: u64,
-}
-
-impl FeCache {
-    fn new(capacity: usize) -> FeCache {
-        FeCache {
-            map: HashMap::new(),
-            order: VecDeque::new(),
-            capacity: capacity.max(1),
-            hits: 0,
-            misses: 0,
-        }
-    }
-
-    fn get(&mut self, key: &(u64, u64)) -> Option<Arc<FeTransformed>> {
-        match self.map.get(key) {
-            Some(v) => {
-                self.hits += 1;
-                Some(Arc::clone(v))
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
-        }
-    }
-
-    fn insert(&mut self, key: (u64, u64), value: Arc<FeTransformed>) {
-        if self.map.insert(key, value).is_none() {
-            self.order.push_back(key);
-            while self.map.len() > self.capacity {
-                if let Some(old) = self.order.pop_front() {
-                    self.map.remove(&old);
-                } else {
-                    break;
-                }
-            }
-        }
-    }
-
-    fn set_capacity(&mut self, capacity: usize) {
-        self.capacity = capacity.max(1);
-        while self.map.len() > self.capacity {
-            if let Some(old) = self.order.pop_front() {
-                self.map.remove(&old);
-            } else {
-                break;
-            }
-        }
-    }
-}
-
 /// Mutable evaluator state, shared across handles behind one mutex. The
 /// lock is only held for bookkeeping — never across a pipeline fit — so
 /// worker threads serialize on microseconds, not on training time.
 struct EvalState {
     cache: BoundedCache,
     fe_cache: FeCache,
+    /// Per-fidelity CV fold plans: `fidelity.to_bits()` → the fold's
+    /// `(train, valid)` index views, computed once and reused by every
+    /// trial at that fidelity. Views make this affordable — each plan is
+    /// index arrays only (`k × n_samples` usizes), where caching owned
+    /// fold subsets would pin `k` extra copies of the dataset. Bounded in
+    /// practice by the handful of distinct fidelities a search schedules.
+    fold_plans: HashMap<u64, Arc<Vec<(DatasetView, DatasetView)>>>,
     evaluations: usize,
     total_cost: f64,
     log: Vec<LogEntry>,
@@ -292,8 +163,13 @@ struct EvalShared {
     space: SpaceDef,
     metric: Metric,
     strategy: ValidationStrategy,
-    fit_data: Dataset,
-    valid_data: Dataset,
+    /// Training-side view: holdout wraps its materialized train split as a
+    /// full view; CV is a full view over the whole search data.
+    fit_data: DatasetView,
+    /// Validation-side view: holdout's materialized validation split; under
+    /// CV an *empty* view over the same storage (folds are drawn per
+    /// evaluation).
+    valid_data: DatasetView,
     seed: u64,
     /// Threads handed to models that support intra-fit parallelism (tree
     /// ensembles); injected as an `n_jobs` parameter at build time. Model
@@ -313,84 +189,6 @@ struct EvalShared {
 #[derive(Clone)]
 pub struct Evaluator {
     shared: Arc<EvalShared>,
-}
-
-/// Stable hash of an assignment (order-insensitive).
-fn assignment_key(map: &HashMap<String, f64>) -> u64 {
-    let mut entries: Vec<(&String, &f64)> = map.iter().collect();
-    entries.sort_by(|a, b| a.0.cmp(b.0));
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for (k, v) in entries {
-        for byte in k.as_bytes() {
-            h ^= *byte as u64;
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-        h ^= v.to_bits();
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
-
-/// An assignment split into `(algorithm, model-params, fe-params)`.
-pub type ParsedAssignment = (AlgorithmKind, HashMap<String, f64>, HashMap<String, f64>);
-
-/// Splits an assignment into `(algorithm, model-params, fe-params)` against
-/// a space definition. The single source of truth for assignment
-/// interpretation, shared by [`Evaluator::evaluate`] and
-/// [`refit_assignment`].
-pub fn parse_assignment(
-    space: &SpaceDef,
-    assignment: &HashMap<String, f64>,
-) -> Result<ParsedAssignment> {
-    let alg_idx = assignment
-        .get("algorithm")
-        .copied()
-        .unwrap_or(0.0)
-        .round()
-        .max(0.0) as usize;
-    let alg = *space
-        .algorithms
-        .get(alg_idx)
-        .ok_or_else(|| CoreError::Invalid(format!("algorithm index {alg_idx} out of range")))?;
-    let hp_prefix = format!("alg:{}:", alg.name());
-    let mut model_params = HashMap::new();
-    let mut fe_params = HashMap::new();
-    for (k, v) in assignment {
-        if let Some(rest) = k.strip_prefix(&hp_prefix) {
-            model_params.insert(rest.to_string(), *v);
-        } else if let Some(rest) = k.strip_prefix("fe:") {
-            fe_params.insert(rest.to_string(), *v);
-        }
-    }
-    Ok((alg, model_params, fe_params))
-}
-
-/// Trains a pipeline + model from an assignment on a complete dataset —
-/// the standalone variant of [`Evaluator::refit`] used by baselines and
-/// benches that do not hold an evaluator.
-pub fn refit_assignment(
-    space: &SpaceDef,
-    assignment: &HashMap<String, f64>,
-    data: &Dataset,
-    seed: u64,
-) -> Result<(FePipeline, Model)> {
-    let (alg, model_params, fe_params) = parse_assignment(space, assignment)?;
-    let mut pipeline = FePipeline::from_values(
-        space.task,
-        &data.feature_types,
-        &fe_params,
-        &space.fe_options,
-        seed,
-    )
-    .map_err(|e| CoreError::Substrate(e.to_string()))?;
-    let (x, y) = pipeline
-        .fit_transform_train(&data.x, &data.y)
-        .map_err(|e| CoreError::Substrate(e.to_string()))?;
-    let mut model = alg.build(&model_params, seed);
-    model
-        .fit(&x, &y)
-        .map_err(|e| CoreError::Substrate(e.to_string()))?;
-    Ok((pipeline, model))
 }
 
 impl Evaluator {
@@ -420,26 +218,7 @@ impl Evaluator {
                 "dataset task does not match space task".into(),
             ));
         }
-        let (fit_data, valid_data) = match strategy {
-            ValidationStrategy::Holdout { fraction } => {
-                if !(fraction > 0.0 && fraction < 1.0) {
-                    return Err(CoreError::Invalid(format!(
-                        "holdout fraction {fraction} must be in (0, 1)"
-                    )));
-                }
-                train_test_split(data, fraction, seed)?
-            }
-            ValidationStrategy::CrossValidation { folds } => {
-                if folds < 2 {
-                    return Err(CoreError::Invalid(format!(
-                        "cross-validation needs at least 2 folds, got {folds}"
-                    )));
-                }
-                // CV keeps the full data in `fit_data`; the split is drawn
-                // per evaluation. `valid_data` is an unused placeholder.
-                (data.clone(), data.subset(&[0]))
-            }
-        };
+        let (fit_data, valid_data) = validate::build_validation_views(strategy, data, seed)?;
         Ok(Evaluator {
             shared: Arc::new(EvalShared {
                 space,
@@ -452,6 +231,7 @@ impl Evaluator {
                 state: Mutex::new(EvalState {
                     cache: BoundedCache::new(DEFAULT_CACHE_CAPACITY),
                     fe_cache: FeCache::new(DEFAULT_FE_CACHE_CAPACITY),
+                    fold_plans: HashMap::new(),
                     evaluations: 0,
                     total_cost: 0.0,
                     log: Vec::new(),
@@ -837,116 +617,6 @@ impl Evaluator {
         outcome
     }
 
-    /// Fits one pipeline+model on `(train)` and scores on `valid`,
-    /// returning `(loss, fe_cached)`. `data_key` identifies the exact
-    /// training subset (fidelity and, under CV, the fold) so the FE cache
-    /// never conflates transforms fitted on different rows.
-    fn fit_and_score(
-        &self,
-        alg: AlgorithmKind,
-        model_params: &HashMap<String, f64>,
-        fe_params: &HashMap<String, f64>,
-        train: &Dataset,
-        valid: &Dataset,
-        data_key: u64,
-    ) -> Result<(f64, bool)> {
-        let fe_key = (assignment_key(fe_params), data_key);
-        let cached = self.state().fe_cache.get(&fe_key);
-        let (fe_out, fe_cached) = match cached {
-            Some(arc) => (arc, true),
-            None => {
-                let mut pipeline = FePipeline::from_values(
-                    self.shared.space.task,
-                    &train.feature_types,
-                    fe_params,
-                    &self.shared.space.fe_options,
-                    self.shared.seed,
-                )
-                .map_err(|e| CoreError::Substrate(e.to_string()))?;
-                let (x_train, y_train) = pipeline
-                    .fit_transform_train(&train.x, &train.y)
-                    .map_err(|e| CoreError::Substrate(e.to_string()))?;
-                let x_valid = pipeline
-                    .transform(&valid.x)
-                    .map_err(|e| CoreError::Substrate(e.to_string()))?;
-                let arc = Arc::new((x_train, y_train, x_valid));
-                self.state().fe_cache.insert(fe_key, Arc::clone(&arc));
-                (arc, false)
-            }
-        };
-        let (x_train, y_train, x_valid) = &*fe_out;
-        let n_jobs = self.shared.model_n_jobs.load(Ordering::Relaxed);
-        let mut model = if n_jobs > 1 {
-            let mut with_jobs = model_params.clone();
-            with_jobs.insert("n_jobs".to_string(), n_jobs as f64);
-            alg.build(&with_jobs, self.shared.seed)
-        } else {
-            alg.build(model_params, self.shared.seed)
-        };
-        model
-            .fit(x_train, y_train)
-            .map_err(|e| CoreError::Substrate(e.to_string()))?;
-        let preds = model
-            .predict(x_valid)
-            .map_err(|e| CoreError::Substrate(e.to_string()))?;
-        Ok((self.shared.metric.loss(&valid.y, &preds), fe_cached))
-    }
-
-    fn evaluate_uncached(
-        &self,
-        assignment: &HashMap<String, f64>,
-        fidelity: f64,
-    ) -> Result<(f64, bool)> {
-        let (alg, model_params, fe_params) = self.interpret(assignment)?;
-        let data = if fidelity >= 1.0 - 1e-9 {
-            self.shared.fit_data.clone()
-        } else {
-            subsample(&self.shared.fit_data, fidelity, self.shared.seed ^ 0xf1de)
-        };
-        match self.shared.strategy {
-            ValidationStrategy::Holdout { .. } => self.fit_and_score(
-                alg,
-                &model_params,
-                &fe_params,
-                &data,
-                &self.shared.valid_data,
-                fidelity.to_bits(),
-            ),
-            ValidationStrategy::CrossValidation { folds } => {
-                let splits: Vec<(Vec<usize>, Vec<usize>)> =
-                    if self.shared.space.task == Task::Classification {
-                        StratifiedKFold::new(&data, folds, self.shared.seed)?
-                            .splits()
-                            .collect()
-                    } else {
-                        KFold::new(data.n_samples(), folds, self.shared.seed)?
-                            .splits()
-                            .collect()
-                    };
-                let mut total = 0.0;
-                let mut all_fe_cached = true;
-                for (fold, (train_idx, valid_idx)) in splits.iter().enumerate() {
-                    let train = data.subset(train_idx);
-                    let valid = data.subset(valid_idx);
-                    let data_key = fidelity
-                        .to_bits()
-                        .wrapping_add((fold as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                    let (loss, fe_cached) = self.fit_and_score(
-                        alg,
-                        &model_params,
-                        &fe_params,
-                        &train,
-                        &valid,
-                        data_key,
-                    )?;
-                    total += loss;
-                    all_fe_cached &= fe_cached;
-                }
-                Ok((total / splits.len() as f64, all_fe_cached))
-            }
-        }
-    }
-
     /// Trains the final pipeline+model from an assignment on a complete
     /// dataset (used after search finishes, on the full training split).
     pub fn refit(
@@ -1014,6 +684,7 @@ mod tests {
     use crate::spaces::SpaceTier;
     use volcanoml_data::synthetic::{make_classification, ClassificationSpec};
     use volcanoml_data::Task;
+    use volcanoml_models::Estimator;
 
     fn dataset() -> Dataset {
         make_classification(

@@ -1,0 +1,232 @@
+//! Validation strategies and the view-based trial data path.
+//!
+//! Everything here operates on [`DatasetView`]s: fidelity subsampling and
+//! fold splits are index arithmetic over the evaluator's shared storage, and
+//! feature rows are materialized (one pooled gather) only inside the FE
+//! pipeline, *after* the FE-cache lookup misses. Result-cache and FE-cache
+//! hits therefore copy zero dataset bytes.
+
+use super::fe_cache::FeTransformed;
+use super::{interpret, EvalShared, Evaluator};
+use crate::{CoreError, Result};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use volcanoml_data::split::{subsample_view, KFold, StratifiedKFold};
+use volcanoml_data::{train_test_split, Dataset, DatasetView, Task};
+use volcanoml_fe::FePipeline;
+use volcanoml_models::{AlgorithmKind, Estimator};
+
+/// How an assignment's quality is measured during search (§5.1 lets users
+/// pick validation accuracy or cross-validation accuracy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValidationStrategy {
+    /// Single split: `fraction` of the search data held out for scoring.
+    Holdout {
+        /// Validation fraction in (0, 1).
+        fraction: f64,
+    },
+    /// k-fold cross-validation (stratified for classification); the loss is
+    /// the mean across folds. Roughly `k×` the evaluation cost of holdout.
+    CrossValidation {
+        /// Number of folds (≥ 2).
+        folds: usize,
+    },
+}
+
+impl Default for ValidationStrategy {
+    fn default() -> Self {
+        ValidationStrategy::Holdout { fraction: 0.25 }
+    }
+}
+
+/// Builds the `(fit, valid)` views the evaluator stores.
+///
+/// Holdout materializes the split once at construction and wraps each half
+/// as a full view, so full-fidelity trials borrow rows without copying —
+/// even on an FE-cache miss. CV keeps the whole dataset behind one `Arc`;
+/// folds are drawn per evaluation as index views, and `valid` is an empty
+/// view over the same storage: CV setup performs no row gathers.
+pub(super) fn build_validation_views(
+    strategy: ValidationStrategy,
+    data: &Dataset,
+    seed: u64,
+) -> Result<(DatasetView, DatasetView)> {
+    match strategy {
+        ValidationStrategy::Holdout { fraction } => {
+            if !(fraction > 0.0 && fraction < 1.0) {
+                return Err(CoreError::Invalid(format!(
+                    "holdout fraction {fraction} must be in (0, 1)"
+                )));
+            }
+            let (train, valid) = train_test_split(data, fraction, seed)?;
+            Ok((DatasetView::of(train), DatasetView::of(valid)))
+        }
+        ValidationStrategy::CrossValidation { folds } => {
+            if folds < 2 {
+                return Err(CoreError::Invalid(format!(
+                    "cross-validation needs at least 2 folds, got {folds}"
+                )));
+            }
+            let storage = Arc::new(data.clone());
+            Ok((
+                DatasetView::full(Arc::clone(&storage)),
+                DatasetView::empty(storage),
+            ))
+        }
+    }
+}
+
+impl Evaluator {
+    pub(super) fn evaluate_uncached(
+        &self,
+        assignment: &HashMap<String, f64>,
+        fidelity: f64,
+    ) -> Result<(f64, bool)> {
+        let (alg, model_params, fe_params) = self.interpret(assignment)?;
+        let shared: &EvalShared = &self.shared;
+        match shared.strategy {
+            ValidationStrategy::Holdout { .. } => {
+                let data = if fidelity >= 1.0 - 1e-9 {
+                    // Full fidelity: an Arc bump onto the shared storage, no
+                    // rows touched (the old path deep-copied the set here).
+                    shared.fit_data.clone()
+                } else {
+                    subsample_view(&shared.fit_data, fidelity, shared.seed ^ 0xf1de)
+                };
+                self.fit_and_score(
+                    alg,
+                    &model_params,
+                    &fe_params,
+                    &data,
+                    &shared.valid_data,
+                    fidelity.to_bits(),
+                )
+            }
+            ValidationStrategy::CrossValidation { folds } => {
+                let plan = self.fold_plan(folds, fidelity)?;
+                let mut total = 0.0;
+                let mut all_fe_cached = true;
+                for (fold, (train, valid)) in plan.iter().enumerate() {
+                    let data_key = fidelity
+                        .to_bits()
+                        .wrapping_add((fold as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let (loss, fe_cached) = self.fit_and_score(
+                        alg,
+                        &model_params,
+                        &fe_params,
+                        train,
+                        valid,
+                        data_key,
+                    )?;
+                    total += loss;
+                    all_fe_cached &= fe_cached;
+                }
+                Ok((total / plan.len() as f64, all_fe_cached))
+            }
+        }
+    }
+
+    /// The CV fold plan for one fidelity: subsample (index-only) and split
+    /// once, cache the resulting `(train, valid)` views keyed by
+    /// `fidelity.to_bits()`. Splits are deterministic in `(data, folds,
+    /// seed)`, so recomputing them per trial — as the copy-based path had
+    /// to, since it materialized owned fold subsets anyway — is pure waste.
+    /// Concurrent misses may build the plan twice; both builds are
+    /// identical and the last insert wins.
+    fn fold_plan(
+        &self,
+        folds: usize,
+        fidelity: f64,
+    ) -> Result<Arc<Vec<(DatasetView, DatasetView)>>> {
+        let key = fidelity.to_bits();
+        if let Some(plan) = self.state().fold_plans.get(&key) {
+            return Ok(Arc::clone(plan));
+        }
+        let shared: &EvalShared = &self.shared;
+        let data = if fidelity >= 1.0 - 1e-9 {
+            shared.fit_data.clone()
+        } else {
+            subsample_view(&shared.fit_data, fidelity, shared.seed ^ 0xf1de)
+        };
+        let splits: Vec<(Vec<usize>, Vec<usize>)> = if shared.space.task == Task::Classification {
+            StratifiedKFold::from_view(&data, folds, shared.seed)?
+                .splits()
+                .collect()
+        } else {
+            KFold::new(data.n_samples(), folds, shared.seed)?
+                .splits()
+                .collect()
+        };
+        let plan = Arc::new(
+            splits
+                .iter()
+                .map(|(ti, vi)| (data.select(ti), data.select(vi)))
+                .collect::<Vec<_>>(),
+        );
+        self.state().fold_plans.insert(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Fits one pipeline+model on `train` and scores on `valid`, returning
+    /// `(loss, fe_cached)`. `data_key` identifies the exact training subset
+    /// (fidelity and, under CV, the fold) so the FE cache never conflates
+    /// transforms fitted on different rows. On an FE-cache hit no dataset
+    /// rows are touched at all; on a miss, index views are gathered exactly
+    /// once inside the FE pipeline's view entry points.
+    pub(super) fn fit_and_score(
+        &self,
+        alg: AlgorithmKind,
+        model_params: &HashMap<String, f64>,
+        fe_params: &HashMap<String, f64>,
+        train: &DatasetView,
+        valid: &DatasetView,
+        data_key: u64,
+    ) -> Result<(f64, bool)> {
+        let fe_key = (interpret::assignment_key(fe_params), data_key);
+        let cached = self.state().fe_cache.get(&fe_key);
+        let (fe_out, fe_cached) = match cached {
+            Some(arc) => (arc, true),
+            None => {
+                let mut pipeline = FePipeline::from_values(
+                    self.shared.space.task,
+                    train.feature_types(),
+                    fe_params,
+                    &self.shared.space.fe_options,
+                    self.shared.seed,
+                )
+                .map_err(|e| CoreError::Substrate(e.to_string()))?;
+                let (x_train, y_train) = pipeline
+                    .fit_transform_train_view(train)
+                    .map_err(|e| CoreError::Substrate(e.to_string()))?;
+                let x_valid = pipeline
+                    .transform_view(valid)
+                    .map_err(|e| CoreError::Substrate(e.to_string()))?;
+                let y_valid = valid.targets().into_owned();
+                let arc = Arc::new(FeTransformed {
+                    x_train,
+                    y_train,
+                    x_valid,
+                    y_valid,
+                });
+                self.state().fe_cache.insert(fe_key, Arc::clone(&arc));
+                (arc, false)
+            }
+        };
+        let n_jobs = self.shared.model_n_jobs.load(Ordering::Relaxed);
+        let mut model = if n_jobs > 1 {
+            let mut with_jobs = model_params.clone();
+            with_jobs.insert("n_jobs".to_string(), n_jobs as f64);
+            alg.build(&with_jobs, self.shared.seed)
+        } else {
+            alg.build(model_params, self.shared.seed)
+        };
+        model
+            .fit(&fe_out.x_train, &fe_out.y_train)
+            .map_err(|e| CoreError::Substrate(e.to_string()))?;
+        let preds = model
+            .predict(&fe_out.x_valid)
+            .map_err(|e| CoreError::Substrate(e.to_string()))?;
+        Ok((self.shared.metric.loss(&fe_out.y_valid, &preds), fe_cached))
+    }
+}

@@ -1,6 +1,8 @@
 //! Core dataset types.
 
+use crate::view::DatasetView;
 use crate::{DataError, Result};
+use std::sync::Arc;
 use volcanoml_linalg::Matrix;
 
 /// The learning task a dataset defines.
@@ -117,6 +119,17 @@ impl Dataset {
     #[inline]
     pub fn n_features(&self) -> usize {
         self.x.cols()
+    }
+
+    /// View-returning variant of [`Dataset::subset`]: the rows are selected
+    /// by index over the shared storage, no feature bytes are copied.
+    pub fn subset_view(self: &Arc<Self>, indices: &[usize]) -> DatasetView {
+        DatasetView::full(Arc::clone(self)).select(indices)
+    }
+
+    /// Wraps the dataset into a full zero-copy [`DatasetView`].
+    pub fn into_view(self) -> DatasetView {
+        DatasetView::of(self)
     }
 
     /// Returns the subset of samples at `indices` as a new dataset.

@@ -17,10 +17,14 @@ pub mod rand_util;
 pub mod repository;
 pub mod split;
 pub mod synthetic;
+pub mod view;
 
 pub use dataset::{Dataset, FeatureType, Task};
 pub use metrics::Metric;
-pub use split::{train_test_split, KFold, StratifiedKFold};
+pub use split::{
+    subsample_view, train_test_split, train_test_split_views, KFold, StratifiedKFold,
+};
+pub use view::DatasetView;
 
 /// Errors produced by dataset construction and I/O.
 #[derive(Debug, Clone, PartialEq)]

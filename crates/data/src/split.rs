@@ -1,8 +1,15 @@
 //! Train/test splitting and cross-validation iterators.
+//!
+//! Every split is defined purely by *row indices*, computed from labels and a
+//! seed. The owned-`Dataset` entry points and the zero-copy [`DatasetView`]
+//! entry points share the same index-selection helpers, so a view-based split
+//! picks bitwise-identical rows to the copy-based one at the same seed.
 
 use crate::dataset::{Dataset, Task};
 use crate::rand_util::{permutation, rng_from_seed};
+use crate::view::DatasetView;
 use crate::{DataError, Result};
+use std::sync::Arc;
 
 /// Splits a dataset into train and test parts.
 ///
@@ -11,31 +18,62 @@ use crate::{DataError, Result};
 /// parts; regression datasets are split uniformly at random. Deterministic
 /// given `seed`.
 pub fn train_test_split(d: &Dataset, test_fraction: f64, seed: u64) -> Result<(Dataset, Dataset)> {
+    let (train_idx, test_idx) =
+        split_positions(&d.y, d.n_classes, d.task, test_fraction, seed)?;
+    Ok((d.subset(&train_idx), d.subset(&test_idx)))
+}
+
+/// View-returning variant of [`train_test_split`]: both halves share the
+/// given storage; no rows are copied. Picks the same rows as
+/// [`train_test_split`] at the same seed.
+pub fn train_test_split_views(
+    storage: &Arc<Dataset>,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<(DatasetView, DatasetView)> {
+    let (train_idx, test_idx) =
+        split_positions(&storage.y, storage.n_classes, storage.task, test_fraction, seed)?;
+    let full = DatasetView::full(Arc::clone(storage));
+    Ok((full.select(&train_idx), full.select(&test_idx)))
+}
+
+/// The `(train, test)` row positions both split entry points materialize.
+fn split_positions(
+    labels: &[f64],
+    n_classes: usize,
+    task: Task,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<(Vec<usize>, Vec<usize>)> {
     if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
         return Err(DataError::Inconsistent(format!(
             "test_fraction must be in (0,1), got {test_fraction}"
         )));
     }
-    let n = d.n_samples();
+    let n = labels.len();
     if n < 2 {
         return Err(DataError::TooSmall("need at least 2 samples".into()));
     }
-    let (train_idx, test_idx) = match d.task {
-        Task::Classification => stratified_indices(d, test_fraction, seed),
+    Ok(match task {
+        Task::Classification => stratified_positions(labels, n_classes, test_fraction, seed),
         Task::Regression => {
             let mut rng = rng_from_seed(seed);
             let perm = permutation(&mut rng, n);
             let n_test = ((n as f64 * test_fraction).round() as usize).clamp(1, n - 1);
             (perm[n_test..].to_vec(), perm[..n_test].to_vec())
         }
-    };
-    Ok((d.subset(&train_idx), d.subset(&test_idx)))
+    })
 }
 
-fn stratified_indices(d: &Dataset, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+fn stratified_positions(
+    labels: &[f64],
+    n_classes: usize,
+    test_fraction: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
     let mut rng = rng_from_seed(seed);
-    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); d.n_classes.max(1)];
-    for (i, &label) in d.y.iter().enumerate() {
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes.max(1)];
+    for (i, &label) in labels.iter().enumerate() {
         by_class[label as usize].push(i);
     }
     let mut train = Vec::new();
@@ -123,14 +161,32 @@ impl StratifiedKFold {
                 "StratifiedKFold requires a classification dataset".into(),
             ));
         }
-        let n = d.n_samples();
+        Self::from_labels(&d.y, d.n_classes, k, seed)
+    }
+
+    /// Builds `k` stratified folds over a [`DatasetView`]'s visible labels.
+    /// Fold positions index *into the view*, so `view.select(fold)` yields
+    /// the same rows that [`StratifiedKFold::new`] + `Dataset::subset` would
+    /// produce on the materialized view.
+    pub fn from_view(v: &DatasetView, k: usize, seed: u64) -> Result<Self> {
+        if v.task() != Task::Classification {
+            return Err(DataError::Inconsistent(
+                "StratifiedKFold requires a classification dataset".into(),
+            ));
+        }
+        Self::from_labels(&v.targets(), v.n_classes(), k, seed)
+    }
+
+    /// Builds `k` stratified folds from a raw label slice.
+    pub fn from_labels(labels: &[f64], n_classes: usize, k: usize, seed: u64) -> Result<Self> {
+        let n = labels.len();
         if k < 2 || k > n {
             return Err(DataError::TooSmall(format!("k={k} folds over n={n} samples")));
         }
         let mut rng = rng_from_seed(seed);
         let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
-        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); d.n_classes.max(1)];
-        for (i, &label) in d.y.iter().enumerate() {
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes.max(1)];
+        for (i, &label) in labels.iter().enumerate() {
             by_class[label as usize].push(i);
         }
         let mut next_fold = 0usize;
@@ -169,29 +225,51 @@ impl StratifiedKFold {
 /// classification). This is the *fidelity axis* used by multi-fidelity
 /// optimizers and by the building blocks' subsampled evaluations.
 pub fn subsample(d: &Dataset, fraction: f64, seed: u64) -> Dataset {
+    match subsample_positions(&d.y, d.n_classes, d.task, fraction, seed) {
+        None => d.clone(),
+        Some(idx) => d.subset(&idx),
+    }
+}
+
+/// View-returning variant of [`subsample`]: selects the same rows at the same
+/// seed, but as an index view — no feature bytes are copied.
+pub fn subsample_view(v: &DatasetView, fraction: f64, seed: u64) -> DatasetView {
+    let labels = v.targets();
+    match subsample_positions(&labels, v.n_classes(), v.task(), fraction, seed) {
+        None => v.clone(),
+        Some(idx) => v.select(&idx),
+    }
+}
+
+/// The row positions `subsample` keeps; `None` means "keep everything".
+fn subsample_positions(
+    labels: &[f64],
+    n_classes: usize,
+    task: Task,
+    fraction: f64,
+    seed: u64,
+) -> Option<Vec<usize>> {
     let fraction = fraction.clamp(0.0, 1.0);
-    let n = d.n_samples();
+    let n = labels.len();
     let target = ((n as f64 * fraction).round() as usize).clamp(2.min(n), n);
     if target >= n {
-        return d.clone();
+        return None;
     }
-    match d.task {
+    match task {
         Task::Classification => {
+            // Keep the *train* side of a split whose train fraction equals
+            // the target; fall back to the test side if the train side is
+            // degenerate.
             let keep_fraction = target as f64 / n as f64;
-            let (_, test) = stratified_indices(d, 1.0 - keep_fraction, seed);
-            // `test` is the complement of the held-out part; recompute to keep
-            // naming straight: we keep the *train* side of a split whose train
-            // fraction equals the target.
-            let (train, _) = stratified_indices(d, 1.0 - keep_fraction, seed);
-            let chosen = if train.len() >= 2 { train } else { test };
-            d.subset(&chosen)
+            let (train, test) = stratified_positions(labels, n_classes, 1.0 - keep_fraction, seed);
+            Some(if train.len() >= 2 { train } else { test })
         }
         Task::Regression => {
             let mut rng = rng_from_seed(seed);
             let mut idx = permutation(&mut rng, n);
             idx.truncate(target);
             idx.sort_unstable();
-            d.subset(&idx)
+            Some(idx)
         }
     }
 }
@@ -251,6 +329,19 @@ mod tests {
     }
 
     #[test]
+    fn split_views_match_owned_split() {
+        for (d, frac, seed) in [(dataset(80, 3), 0.25, 9u64), (regression(40), 0.3, 5u64)] {
+            let (train, test) = train_test_split(&d, frac, seed).unwrap();
+            let storage = Arc::new(d);
+            let (tv, sv) = train_test_split_views(&storage, frac, seed).unwrap();
+            assert_eq!(tv.materialize().x.data(), train.x.data());
+            assert_eq!(sv.materialize().x.data(), test.x.data());
+            assert_eq!(tv.targets().as_ref(), train.y.as_slice());
+            assert_eq!(sv.targets().as_ref(), test.y.as_slice());
+        }
+    }
+
+    #[test]
     fn regression_split_works() {
         let d = regression(40);
         let (train, test) = train_test_split(&d, 0.25, 1).unwrap();
@@ -296,6 +387,20 @@ mod tests {
     fn stratified_kfold_rejects_regression() {
         let d = regression(30);
         assert!(StratifiedKFold::new(&d, 3, 0).is_err());
+        let v = DatasetView::of(regression(30));
+        assert!(StratifiedKFold::from_view(&v, 3, 0).is_err());
+    }
+
+    #[test]
+    fn stratified_kfold_from_view_matches_owned() {
+        let d = dataset(60, 3);
+        let owned: Vec<_> = StratifiedKFold::new(&d, 4, 11).unwrap().splits().collect();
+        let v = DatasetView::of(d);
+        let viewed: Vec<_> = StratifiedKFold::from_view(&v, 4, 11)
+            .unwrap()
+            .splits()
+            .collect();
+        assert_eq!(owned, viewed);
     }
 
     #[test]
@@ -312,5 +417,18 @@ mod tests {
         let d = regression(20);
         let s = subsample(&d, 1.0, 0);
         assert_eq!(s.n_samples(), 20);
+    }
+
+    #[test]
+    fn subsample_view_matches_owned_subsample() {
+        for (d, frac) in [(dataset(90, 3), 0.4), (regression(70), 0.25)] {
+            for seed in [0u64, 7, 99] {
+                let owned = subsample(&d, frac, seed);
+                let view = subsample_view(&DatasetView::of(d.clone()), frac, seed);
+                assert_eq!(view.n_samples(), owned.n_samples());
+                assert_eq!(view.materialize().x.data(), owned.x.data());
+                assert_eq!(view.targets().as_ref(), owned.y.as_slice());
+            }
+        }
     }
 }

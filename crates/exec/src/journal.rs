@@ -26,6 +26,11 @@
 //! memory (for tests and report generation) and mirrored to a file when
 //! opened with [`Journal::to_path`]; buffered lines are flushed by
 //! [`Journal::flush`] and automatically on drop.
+//!
+//! The zero-copy dataset-view refactor changed how trial data moves in
+//! memory (workers share one `Arc<Dataset>`; rows are gathered only on
+//! FE-cache misses) but nothing on disk: this schema is byte-identical
+//! before and after, and existing journals remain readable.
 
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};

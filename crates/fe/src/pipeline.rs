@@ -10,7 +10,9 @@ use crate::impute::{ImputeStrategy, Imputer};
 use crate::reduce::{Nystroem, Pca, PolynomialFeatures, ScoreFunc, SelectPercentile, VarianceThreshold};
 use crate::scale::{Rescaler, ScaleKind};
 use crate::{FeError, Resampler, Result, Transformer};
+use std::borrow::Cow;
 use std::collections::HashMap;
+use volcanoml_data::view::{self, DatasetView};
 use volcanoml_data::{FeatureType, Task};
 use volcanoml_linalg::Matrix;
 
@@ -218,6 +220,31 @@ impl FePipeline {
         let x6 = self.transform.transform(&x5)?;
         self.fitted = true;
         Ok((x6, y5))
+    }
+
+    /// Fits all stages through a zero-copy [`DatasetView`]. A full view
+    /// borrows the backing matrix directly; an index view is materialized
+    /// with a single pooled gather — the only feature-row copy on the trial
+    /// path — whose buffer is recycled before returning.
+    pub fn fit_transform_train_view(&mut self, data: &DatasetView) -> Result<(Matrix, Vec<f64>)> {
+        let (x, y) = data.features_targets();
+        let out = self.fit_transform_train(&x, &y);
+        if let Cow::Owned(m) = x {
+            view::recycle(m);
+        }
+        out
+    }
+
+    /// Applies the fitted pipeline through a zero-copy [`DatasetView`], with
+    /// the same borrow/gather semantics as
+    /// [`FePipeline::fit_transform_train_view`].
+    pub fn transform_view(&self, data: &DatasetView) -> Result<Matrix> {
+        let x = data.features();
+        let out = self.transform(&x);
+        if let Cow::Owned(m) = x {
+            view::recycle(m);
+        }
+        out
     }
 
     /// Applies the fitted pipeline to unseen data (no resampling).

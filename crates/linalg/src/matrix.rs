@@ -96,6 +96,13 @@ impl Matrix {
         &self.data
     }
 
+    /// Consumes the matrix, returning its row-major buffer. Lets callers
+    /// recycle the allocation (e.g. the dataset-view gather pool).
+    #[inline]
+    pub fn into_data(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Mutable view of the raw row-major buffer.
     #[inline]
     pub fn data_mut(&mut self) -> &mut [f64] {

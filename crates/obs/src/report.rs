@@ -349,6 +349,24 @@ pub fn render_report(
                     wrote_cache = true;
                 }
             }
+            // Zero-copy dataset views: how much gather traffic the run's
+            // trials avoided (full-view borrows) vs. paid (index-view
+            // materializations on FE-cache misses).
+            let skipped = counters
+                .get("data.gathers_skipped")
+                .and_then(|v| v.as_i64())
+                .unwrap_or(0);
+            let bytes = counters
+                .get("data.bytes_gathered")
+                .and_then(|v| v.as_i64())
+                .unwrap_or(0);
+            if skipped > 0 || bytes > 0 {
+                out.push_str(&format!(
+                    "zero-copy     {skipped:>6} gathers skipped, {:.2} MiB gathered\n",
+                    bytes as f64 / (1024.0 * 1024.0)
+                ));
+                wrote_cache = true;
+            }
         }
     }
     if !wrote_cache {
@@ -490,6 +508,17 @@ mod tests {
         let report = render_report(&sample_trace(), None, Some(metrics)).unwrap();
         assert!(report.contains("result cache"));
         assert!(report.contains("75.0% hit rate"));
+    }
+
+    #[test]
+    fn metrics_section_reports_zero_copy_gathers() {
+        let metrics = "{\"counters\":{\"data.gathers_skipped\":42,\
+                       \"data.bytes_gathered\":1048576},\
+                       \"gauges\":{},\"histograms\":{}}";
+        let report = render_report(&sample_trace(), None, Some(metrics)).unwrap();
+        assert!(report.contains("zero-copy"), "{report}");
+        assert!(report.contains("42 gathers skipped"), "{report}");
+        assert!(report.contains("1.00 MiB gathered"), "{report}");
     }
 
     #[test]

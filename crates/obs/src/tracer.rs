@@ -34,6 +34,11 @@
 //! is nevertheless fully thread-safe — each event is serialized and
 //! appended under one mutex as a single `writeln!`, so concurrent writers
 //! can never tear or interleave lines.
+//!
+//! The zero-copy dataset-view refactor added in-memory gather counters
+//! (`data.bytes_gathered`/`data.gathers_skipped` in the metrics snapshot)
+//! but changed nothing in this span schema: trace files are byte-identical
+//! before and after.
 
 use crate::json::{escape, num};
 use std::cell::RefCell;

@@ -23,18 +23,29 @@ cargo bench --no-run --offline --features volcanoml-bench/criterion-bench
 echo "== smoke: parallel_scaling bench =="
 VOLCANO_QUICK=1 cargo bench --offline --bench parallel_scaling
 
+echo "== smoke: data_views bench (zero-copy vs copy baseline) =="
+VOLCANO_QUICK=1 cargo bench --offline --bench data_views
+
 echo "== smoke: traced fit + report =="
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 VOLCANOML=target/release/volcanoml
 "$VOLCANOML" generate moons "$SMOKE_DIR/data.csv" --seed 7
-"$VOLCANOML" fit "$SMOKE_DIR/data.csv" --evals 10 --tier small --workers 2 \
+"$VOLCANOML" fit "$SMOKE_DIR/data.csv" --evals 10 --tier small --workers 4 \
     --journal "$SMOKE_DIR/trials.jsonl" --trace "$SMOKE_DIR/trace.jsonl" \
     --metrics "$SMOKE_DIR/metrics.json"
 "$VOLCANOML" report "$SMOKE_DIR/trace.jsonl" \
     --journal "$SMOKE_DIR/trials.jsonl" --metrics "$SMOKE_DIR/metrics.json"
-python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$SMOKE_DIR/metrics.json" \
-    || { echo "metrics JSON does not parse"; exit 1; }
+# The zero-copy trial path must actually engage: full-view borrows show up
+# as skipped gathers in the metrics snapshot.
+python3 - "$SMOKE_DIR/metrics.json" <<'EOF'
+import json, sys
+counters = json.load(open(sys.argv[1]))["counters"]
+skipped = counters.get("data.gathers_skipped", 0)
+assert skipped > 0, f"expected data.gathers_skipped > 0, got {skipped}"
+print(f"zero-copy smoke ok: {skipped} gathers skipped, "
+      f"{counters.get('data.bytes_gathered', 0)} bytes gathered")
+EOF
 
 echo "== smoke: pooled multi-fidelity fit (mfes-hb, 4 workers) =="
 # Regression gate for the suggest_batch fallback: a pooled MFES-HB run must

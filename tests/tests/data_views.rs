@@ -1,0 +1,260 @@
+//! Equivalence tests for the zero-copy dataset-view refactor.
+//!
+//! The evaluator now moves trial data as [`DatasetView`]s (shared storage +
+//! row-index views) instead of owned per-trial copies. These tests replicate
+//! the old copy-based evaluation path by hand — owned `train_test_split` /
+//! `subsample` / fold `subset` datasets fed straight into the FE pipeline
+//! and model — and assert the view-based [`Evaluator`] produces bitwise
+//! identical losses across {holdout, CV} × fidelities {0.25, 0.5, 1.0}.
+
+use std::collections::HashMap;
+use volcanoml_core::evaluator::parse_assignment;
+use volcanoml_core::{Evaluator, SpaceDef, SpaceTier, ValidationStrategy};
+use volcanoml_data::split::subsample;
+use volcanoml_data::synthetic::{make_classification, ClassificationSpec};
+use volcanoml_data::{
+    train_test_split, Dataset, DatasetView, KFold, Metric, StratifiedKFold, Task,
+};
+use volcanoml_fe::FePipeline;
+use volcanoml_models::Estimator;
+
+const SEED: u64 = 3;
+const FIDELITIES: [f64; 3] = [0.25, 0.5, 1.0];
+
+fn dataset() -> Dataset {
+    make_classification(
+        &ClassificationSpec {
+            n_samples: 320,
+            n_features: 8,
+            n_informative: 5,
+            n_redundant: 1,
+            n_classes: 3,
+            class_sep: 1.4,
+            flip_y: 0.02,
+            weights: Vec::new(),
+        },
+        29,
+    )
+}
+
+/// A handful of assignments spanning algorithms and an FE variation.
+fn assignments(space: &SpaceDef) -> Vec<HashMap<String, f64>> {
+    let mut out = Vec::new();
+    for alg in 0..space.algorithms.len().min(3) {
+        let mut a = space.defaults();
+        a.insert("algorithm".to_string(), alg as f64);
+        out.push(a);
+    }
+    let mut scaled = space.defaults();
+    if let Some(r) = scaled.get_mut("fe:rescaler") {
+        *r = if *r == 1.0 { 2.0 } else { 1.0 };
+    }
+    out.push(scaled);
+    out
+}
+
+/// The pre-view evaluation path, replicated verbatim with owned datasets:
+/// every split/subsample produces a deep copy, the FE pipeline fits on the
+/// copied matrices. No caches — each call is a cold trial.
+fn copy_path_loss(
+    space: &SpaceDef,
+    metric: Metric,
+    strategy: ValidationStrategy,
+    data: &Dataset,
+    assignment: &HashMap<String, f64>,
+    fidelity: f64,
+    seed: u64,
+) -> f64 {
+    let (alg, model_params, fe_params) = parse_assignment(space, assignment).unwrap();
+    let fit_one = |train: &Dataset, valid: &Dataset| -> f64 {
+        let mut pipeline = FePipeline::from_values(
+            space.task,
+            &train.feature_types,
+            &fe_params,
+            &space.fe_options,
+            seed,
+        )
+        .unwrap();
+        let (x, y) = pipeline.fit_transform_train(&train.x, &train.y).unwrap();
+        let xv = pipeline.transform(&valid.x).unwrap();
+        let mut model = alg.build(&model_params, seed);
+        model.fit(&x, &y).unwrap();
+        let preds = model.predict(&xv).unwrap();
+        metric.loss(&valid.y, &preds)
+    };
+    match strategy {
+        ValidationStrategy::Holdout { fraction } => {
+            let (train_all, valid) = train_test_split(data, fraction, seed).unwrap();
+            let train = if fidelity >= 1.0 - 1e-9 {
+                train_all.clone()
+            } else {
+                subsample(&train_all, fidelity, seed ^ 0xf1de)
+            };
+            fit_one(&train, &valid)
+        }
+        ValidationStrategy::CrossValidation { folds } => {
+            let d = if fidelity >= 1.0 - 1e-9 {
+                data.clone()
+            } else {
+                subsample(data, fidelity, seed ^ 0xf1de)
+            };
+            let splits: Vec<(Vec<usize>, Vec<usize>)> = if space.task == Task::Classification {
+                StratifiedKFold::new(&d, folds, seed).unwrap().splits().collect()
+            } else {
+                KFold::new(d.n_samples(), folds, seed).unwrap().splits().collect()
+            };
+            let total: f64 = splits
+                .iter()
+                .map(|(ti, vi)| fit_one(&d.subset(ti), &d.subset(vi)))
+                .sum();
+            total / splits.len() as f64
+        }
+    }
+}
+
+#[test]
+fn holdout_view_losses_match_copy_path_bitwise() {
+    let space = SpaceDef::tiered(Task::Classification, SpaceTier::Small);
+    let data = dataset();
+    let strategy = ValidationStrategy::Holdout { fraction: 0.25 };
+    let ev = Evaluator::with_strategy(
+        space.clone(),
+        &data,
+        Metric::BalancedAccuracy,
+        strategy,
+        SEED,
+    )
+    .unwrap();
+    for assignment in assignments(&space) {
+        for fidelity in FIDELITIES {
+            let view_loss = ev.evaluate(&assignment, fidelity).loss;
+            let copy_loss = copy_path_loss(
+                &space,
+                Metric::BalancedAccuracy,
+                strategy,
+                &data,
+                &assignment,
+                fidelity,
+                SEED,
+            );
+            assert_eq!(
+                view_loss.to_bits(),
+                copy_loss.to_bits(),
+                "holdout fidelity {fidelity}: view {view_loss} vs copy {copy_loss}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cv_view_losses_match_copy_path_bitwise() {
+    let space = SpaceDef::tiered(Task::Classification, SpaceTier::Small);
+    let data = dataset();
+    let strategy = ValidationStrategy::CrossValidation { folds: 3 };
+    let ev = Evaluator::with_strategy(
+        space.clone(),
+        &data,
+        Metric::BalancedAccuracy,
+        strategy,
+        SEED,
+    )
+    .unwrap();
+    for assignment in assignments(&space) {
+        for fidelity in FIDELITIES {
+            let view_loss = ev.evaluate(&assignment, fidelity).loss;
+            let copy_loss = copy_path_loss(
+                &space,
+                Metric::BalancedAccuracy,
+                strategy,
+                &data,
+                &assignment,
+                fidelity,
+                SEED,
+            );
+            assert_eq!(
+                view_loss.to_bits(),
+                copy_loss.to_bits(),
+                "CV fidelity {fidelity}: view {view_loss} vs copy {copy_loss}"
+            );
+        }
+    }
+}
+
+#[test]
+fn regression_cv_view_losses_match_copy_path_bitwise() {
+    use volcanoml_data::synthetic::{make_regression, RegressionSpec};
+    let space = SpaceDef::tiered(Task::Regression, SpaceTier::Small);
+    let data = make_regression(
+        &RegressionSpec {
+            n_samples: 260,
+            n_features: 6,
+            n_informative: 4,
+            noise: 0.3,
+            ..Default::default()
+        },
+        17,
+    );
+    let strategy = ValidationStrategy::CrossValidation { folds: 3 };
+    let ev = Evaluator::with_strategy(space.clone(), &data, Metric::Mse, strategy, SEED).unwrap();
+    let assignment = space.defaults();
+    for fidelity in FIDELITIES {
+        let view_loss = ev.evaluate(&assignment, fidelity).loss;
+        let copy_loss = copy_path_loss(
+            &space,
+            Metric::Mse,
+            strategy,
+            &data,
+            &assignment,
+            fidelity,
+            SEED,
+        );
+        assert_eq!(
+            view_loss.to_bits(),
+            copy_loss.to_bits(),
+            "regression CV fidelity {fidelity}"
+        );
+    }
+}
+
+/// View-of-view composition flattens to a single index array over the
+/// original storage: selecting through two levels equals one direct subset.
+#[test]
+fn view_of_view_composition_matches_direct_subset() {
+    let data = dataset();
+    let outer_idx: Vec<usize> = (0..data.n_samples()).step_by(2).collect();
+    let inner_idx: Vec<usize> = (0..outer_idx.len()).filter(|i| i % 3 != 0).collect();
+    let direct: Vec<usize> = inner_idx.iter().map(|&i| outer_idx[i]).collect();
+    let expected = data.subset(&direct);
+
+    let view = DatasetView::of(data).select(&outer_idx).select(&inner_idx);
+    assert_eq!(view.row_indices(), Some(direct.as_slice()));
+    let got = view.materialize();
+    assert_eq!(got.x.data(), expected.x.data());
+    assert_eq!(got.y, expected.y);
+}
+
+/// Stratified k-fold over a subsampled *view* is deterministic and matches
+/// folding the materialized subsample: same labels in, same folds out.
+#[test]
+fn stratified_kfold_on_view_is_deterministic() {
+    let data = dataset();
+    let view = volcanoml_data::subsample_view(&DatasetView::of(data.clone()), 0.5, 41);
+    let owned = subsample(&data, 0.5, 41);
+    for seed in [0u64, 13, 99] {
+        let on_view: Vec<_> = StratifiedKFold::from_view(&view, 4, seed)
+            .unwrap()
+            .splits()
+            .collect();
+        let on_owned: Vec<_> = StratifiedKFold::new(&owned, 4, seed)
+            .unwrap()
+            .splits()
+            .collect();
+        assert_eq!(on_view, on_owned, "seed {seed}");
+        // And twice on the same view → identical folds.
+        let again: Vec<_> = StratifiedKFold::from_view(&view, 4, seed)
+            .unwrap()
+            .splits()
+            .collect();
+        assert_eq!(on_view, again, "seed {seed} not deterministic");
+    }
+}
