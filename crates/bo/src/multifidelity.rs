@@ -227,6 +227,82 @@ impl BracketScheduler {
     }
 }
 
+/// Canonical bitwise rendering of a configuration for scheduler-state
+/// snapshots: one 16-hex-digit word per value, `-` for inactive
+/// conditionals.
+fn config_bits(c: &Configuration) -> String {
+    c.values
+        .iter()
+        .map(|v| match v {
+            Some(x) => format!("{:016x}", x.to_bits()),
+            None => "-".to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+impl Bracket {
+    /// Appends canonical lines describing this bracket's full occupancy:
+    /// shape, pending queue, in-flight set, and per-rung results. In-flight
+    /// and result lines are sorted so pooled observation timing can never
+    /// perturb the snapshot.
+    fn capture_state(&self, path: &str, out: &mut Vec<String>) {
+        let rungs = self
+            .rungs
+            .iter()
+            .map(|f| format!("{:016x}", f.to_bits()))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push(format!(
+            "{path} bracket={} offset={} eta={} rungs={rungs} queued={}",
+            self.id,
+            self.rung_offset,
+            self.eta,
+            self.queue.len()
+        ));
+        for c in &self.queue {
+            out.push(format!("{path} bracket={} queue config={}", self.id, config_bits(c)));
+        }
+        let mut in_flight: Vec<String> = self
+            .in_flight
+            .iter()
+            .map(|(c, r)| {
+                format!("{path} bracket={} in_flight rung={r} config={}", self.id, config_bits(c))
+            })
+            .collect();
+        in_flight.sort();
+        out.append(&mut in_flight);
+        for (r, results) in self.results.iter().enumerate() {
+            let mut rows: Vec<String> = results
+                .iter()
+                .map(|res| {
+                    format!(
+                        "{path} bracket={} rung={r} loss={:016x} promoted={} config={}",
+                        self.id,
+                        res.loss.to_bits(),
+                        res.promoted,
+                        config_bits(&res.config)
+                    )
+                })
+                .collect();
+            rows.sort();
+            out.append(&mut rows);
+        }
+    }
+}
+
+impl BracketScheduler {
+    /// Appends every active bracket's state (in opening order) plus the id
+    /// counter, so two schedulers dump identically iff their occupancy is
+    /// identical.
+    fn capture_state(&self, path: &str, out: &mut Vec<String>) {
+        out.push(format!("{path} next_bracket_id={}", self.next_id));
+        for bracket in &self.brackets {
+            bracket.capture_state(path, out);
+        }
+    }
+}
+
 /// Standard Hyperband rung ladder for `eta` and `r_min` (smallest fidelity).
 fn rung_ladder(r_min: f64, eta: usize) -> Vec<f64> {
     let mut rungs = Vec::new();
@@ -307,6 +383,10 @@ impl Suggest for SuccessiveHalving {
 
     fn in_flight_meta(&self, config: &Configuration, fidelity: f64) -> Option<(usize, u64)> {
         self.sched.meta(config, fidelity)
+    }
+
+    fn capture_scheduler_state(&self, path: &str, out: &mut Vec<String>) {
+        self.sched.capture_state(path, out);
     }
 
     fn history(&self) -> &RunHistory {
@@ -408,6 +488,11 @@ impl Suggest for Hyperband {
 
     fn in_flight_meta(&self, config: &Configuration, fidelity: f64) -> Option<(usize, u64)> {
         self.sched.meta(config, fidelity)
+    }
+
+    fn capture_scheduler_state(&self, path: &str, out: &mut Vec<String>) {
+        out.push(format!("{path} hyperband.s={} s_max={}", self.s, self.s_max));
+        self.sched.capture_state(path, out);
     }
 
     fn history(&self) -> &RunHistory {
@@ -564,6 +649,10 @@ impl Suggest for MfesHb {
 
     fn in_flight_meta(&self, config: &Configuration, fidelity: f64) -> Option<(usize, u64)> {
         self.inner.sched.meta(config, fidelity)
+    }
+
+    fn capture_scheduler_state(&self, path: &str, out: &mut Vec<String>) {
+        self.inner.capture_scheduler_state(path, out);
     }
 
     fn history(&self) -> &RunHistory {

@@ -101,6 +101,15 @@ pub trait Suggest {
     fn in_flight_meta(&self, _config: &Configuration, _fidelity: f64) -> Option<(usize, u64)> {
         None
     }
+
+    /// Appends canonical, bitwise-stable lines describing the engine's
+    /// internal scheduler state — bracket occupancy, per-rung results,
+    /// pending queues — to `out`, each prefixed with `path`. Consumed by
+    /// crash-resume verification snapshots (`StudyState` in the core
+    /// crate), which assert that a journal-replayed engine reaches exactly
+    /// the state of the uninterrupted run. Default: nothing — full-fidelity
+    /// engines carry no scheduler state beyond their history.
+    fn capture_scheduler_state(&self, _path: &str, _out: &mut Vec<String>) {}
 }
 
 /// Uniform random search (always full fidelity).

@@ -10,7 +10,8 @@
 //! volcanoml spaces                      # print the tiered search-space sizes
 //! volcanoml plans                       # print the plan catalogue
 //! volcanoml generate <kind> <out.csv>   # emit a synthetic benchmark dataset
-//! volcanoml report <trace.jsonl> [--journal trials.jsonl] [--metrics metrics.json]
+//! volcanoml report <trace.jsonl> [--journal trials.jsonl] [--metrics metrics.json] [--live]
+//! volcanoml serve --dir DIR [--port P] [--workers N] [--resume]
 //! ```
 //!
 //! CSV dialect: first line `#types:` declaration, then a header, then rows;
@@ -32,7 +33,8 @@ fn usage() -> &'static str {
      [--trial-timeout SECS]\n  volcanoml spaces\n  \
      volcanoml plans\n  \
      volcanoml generate <classification|moons|xor|friedman1|imbalanced> <out.csv> [--seed S]\n  \
-     volcanoml report <trace.jsonl> [--journal trials.jsonl] [--metrics metrics.json]"
+     volcanoml report <trace.jsonl> [--journal trials.jsonl] [--metrics metrics.json] [--live]\n  \
+     volcanoml serve --dir DIR [--port P] [--workers N] [--resume]"
 }
 
 /// Minimal flag parser: `--key value` pairs after positional arguments.
@@ -52,7 +54,7 @@ impl Flags {
                 return Err(format!("unexpected argument '{a}'"));
             };
             // Switch-style flags take no value.
-            if key == "smote" {
+            if matches!(key, "smote" | "live" | "resume") {
                 switches.push(key.to_string());
                 i += 1;
                 continue;
@@ -294,13 +296,53 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         }
         None => None,
     };
-    let report = volcanoml_obs::report::render_report(
-        &trace_text,
-        journal_text.as_deref(),
-        metrics_text.as_deref(),
-    )?;
+    // --live tolerates a torn final line in trace/journal (the run may
+    // still be writing them) and marks the report as running/partial.
+    let report = if flags.has("live") {
+        volcanoml_obs::report::render_live_report(
+            &trace_text,
+            journal_text.as_deref(),
+            metrics_text.as_deref(),
+            false,
+        )?
+    } else {
+        volcanoml_obs::report::render_report(
+            &trace_text,
+            journal_text.as_deref(),
+            metrics_text.as_deref(),
+        )?
+    };
     print!("{report}");
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let Some(dir) = flags.get("dir") else {
+        return Err("serve needs --dir DIR for study state".to_string());
+    };
+    let config = volcanoml_serve::ServeConfig {
+        dir: std::path::PathBuf::from(dir),
+        workers: flags.get_parsed("workers", 2usize)?.max(1),
+        port: flags.get_parsed("port", 0u16)?,
+        resume: flags.has("resume"),
+    };
+    let resume = config.resume;
+    let workers = config.workers;
+    let server = volcanoml_serve::Server::start(config)?;
+    println!(
+        "volcanoml-serve listening on http://{} ({} workers{}); study state in {}",
+        server.addr(),
+        workers,
+        if resume { ", resuming" } else { "" },
+        dir
+    );
+    println!("POST /studies to submit; Ctrl-C to stop");
+    // Serve until killed. The address is also in <dir>/serve.addr for
+    // scripted clients using --port 0.
+    loop {
+        std::thread::park();
+    }
 }
 
 fn cmd_spaces() {
@@ -376,6 +418,7 @@ fn main() -> ExitCode {
         }
         Some("generate") => cmd_generate(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => Err(usage().to_string()),
     };
     match result {

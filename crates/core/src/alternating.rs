@@ -257,6 +257,15 @@ impl BuildingBlock for AlternatingBlock {
         self.left.block.describe(indent + 2, out);
         self.right.block.describe(indent + 2, out);
     }
+
+    fn capture_state(&self, path: &str, out: &mut Vec<String>) {
+        out.push(format!(
+            "{path} alternating plays={} evaluations={}",
+            self.plays, self.evaluations
+        ));
+        self.left.block.capture_state(&format!("{path}/left"), out);
+        self.right.block.capture_state(&format!("{path}/right"), out);
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,9 @@ use crate::evaluator::{Evaluator, ValidationStrategy};
 use crate::metalearn::MetaBase;
 use crate::plan::{EngineKind, PlanSpec};
 use crate::spaces::{SpaceDef, SpaceTier};
+use crate::study::StudyState;
 use crate::{CoreError, Result};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use volcanoml_data::{train_test_split, Dataset, Metric, Task};
@@ -60,6 +62,30 @@ pub struct VolcanoMlOptions {
     /// bit-identical across thread counts, so this only affects wall time.
     /// Orthogonal to `n_workers`, which parallelizes across trials.
     pub model_n_jobs: usize,
+    /// Crash-resume: when set (requires `journal_path`), the journal is
+    /// opened with [`Journal::resume_from_path`] and its rows are loaded
+    /// into the evaluator's replay table. The search then re-drives the
+    /// same plan from the same seed; journaled trials are answered bitwise
+    /// from the table (no re-training, no duplicate trial ids) and fresh
+    /// trials continue the interrupted run's id sequence and clock.
+    pub resume: bool,
+    /// Externally owned worker pool. When set, trials run on this pool
+    /// instead of a run-private one — how a multi-tenant server shares one
+    /// pool across concurrent studies. `n_workers` still bounds this run's
+    /// batch size.
+    pub shared_pool: Option<Arc<ExecPool>>,
+    /// Dynamic cap on the per-pull batch size, consulted before every pull.
+    /// A fair-share arbiter returns `workers / active_studies` here so
+    /// concurrent studies split a shared pool without starving each other.
+    pub batch_cap: Option<Arc<dyn Fn() -> usize + Send + Sync>>,
+    /// Cooperative cancellation: checked between pulls alongside the
+    /// budgets. Setting it makes `fit` wind down after the in-flight batch.
+    pub stop_flag: Option<Arc<AtomicBool>>,
+    /// Externally owned metrics registry (e.g. a server streaming progress
+    /// while the run is live). Takes precedence over the run-private
+    /// registry `metrics_path` would create; the end-of-run snapshot is
+    /// still written to `metrics_path` when both are set.
+    pub shared_metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for VolcanoMlOptions {
@@ -79,6 +105,11 @@ impl Default for VolcanoMlOptions {
             trace_path: None,
             metrics_path: None,
             model_n_jobs: 1,
+            resume: false,
+            shared_pool: None,
+            batch_cap: None,
+            stop_flag: None,
+            shared_metrics: None,
         }
     }
 }
@@ -138,6 +169,10 @@ pub struct FittedVolcanoML {
     ensemble: Option<Ensemble>,
     /// Search report.
     pub report: AutoMlReport,
+    /// Bitwise snapshot of the search's final scheduling state (block tree
+    /// and evaluator), captured right after the search loop. Crash-resume
+    /// tests compare this across interrupted/uninterrupted runs.
+    pub study_state: StudyState,
     task: Task,
 }
 
@@ -186,9 +221,20 @@ impl VolcanoML {
             self.options.seed,
         )?;
         if let Some(path) = &self.options.journal_path {
-            let journal = Journal::to_path(path)
-                .map_err(|e| CoreError::Invalid(format!("cannot open journal: {e}")))?;
+            let journal = if self.options.resume {
+                let journal = Journal::resume_from_path(path)
+                    .map_err(|e| CoreError::Invalid(format!("cannot resume journal: {e}")))?;
+                evaluator.attach_replay(&journal.records());
+                journal
+            } else {
+                Journal::to_path(path)
+                    .map_err(|e| CoreError::Invalid(format!("cannot open journal: {e}")))?
+            };
             evaluator.attach_journal(Arc::new(journal));
+        } else if self.options.resume {
+            return Err(CoreError::Invalid(
+                "resume requires a journal_path to replay from".into(),
+            ));
         }
         if let Some(path) = &self.options.trace_path {
             let tracer = Tracer::to_path(path)
@@ -199,7 +245,10 @@ impl VolcanoML {
         // diff against a baseline so the snapshot reflects only this run.
         let binned_baseline = volcanoml_models::binned::stats::snapshot();
         let gather_baseline = volcanoml_data::view::stats::snapshot();
-        let metrics = if self.options.metrics_path.is_some() {
+        let metrics = if let Some(m) = &self.options.shared_metrics {
+            evaluator.set_metrics(Arc::clone(m));
+            Some(Arc::clone(m))
+        } else if self.options.metrics_path.is_some() {
             let m = Arc::new(MetricsRegistry::new());
             evaluator.set_metrics(Arc::clone(&m));
             Some(m)
@@ -207,10 +256,12 @@ impl VolcanoML {
             None
         };
         evaluator.set_model_n_jobs(self.options.model_n_jobs);
-        let pool = if self.options.n_workers > 1 || self.options.trial_deadline.is_some() {
+        let pool: Option<Arc<ExecPool>> = if let Some(pool) = &self.options.shared_pool {
+            Some(Arc::clone(pool))
+        } else if self.options.n_workers > 1 || self.options.trial_deadline.is_some() {
             let mut config = PoolConfig::with_workers(self.options.n_workers.max(1));
             config.trial_deadline = self.options.trial_deadline;
-            Some(ExecPool::new(config))
+            Some(Arc::new(ExecPool::new(config)))
         } else {
             None
         };
@@ -223,6 +274,11 @@ impl VolcanoML {
                     .options
                     .time_budget
                     .is_some_and(|b| start.elapsed() >= b)
+                || self
+                    .options
+                    .stop_flag
+                    .as_ref()
+                    .is_some_and(|f| f.load(Ordering::Relaxed))
         };
 
         // Meta-learning initial design: evaluate warm starts first. They both
@@ -249,7 +305,14 @@ impl VolcanoML {
                         .options
                         .max_evaluations
                         .saturating_sub(evaluator.evaluations());
-                    let k = pool.workers().min(remaining).max(1);
+                    let mut k = pool
+                        .workers()
+                        .min(self.options.n_workers.max(1))
+                        .min(remaining)
+                        .max(1);
+                    if let Some(cap) = &self.options.batch_cap {
+                        k = k.min(cap().max(1));
+                    }
                     root.do_next_batch(&evaluator, pool, k)?;
                 }
                 None => root.do_next(&evaluator)?,
@@ -273,6 +336,11 @@ impl VolcanoML {
                 evaluator.evaluate(&assignment, 1.0);
             }
         }
+
+        // Snapshot the scheduling state before any post-search work
+        // (ensembling, refit) — this is the state a resumed run must
+        // reproduce bitwise.
+        let study_state = StudyState::capture(root.as_ref(), &evaluator);
 
         // Collect the global best and trajectory from the evaluator log
         // (warm starts + all blocks).
@@ -397,6 +465,7 @@ impl VolcanoML {
                 single: None,
                 ensemble: Some(ensemble),
                 report,
+                study_state,
                 task: data.task,
             })
         } else {
@@ -405,6 +474,7 @@ impl VolcanoML {
                 single: Some((pipeline, model)),
                 ensemble: None,
                 report,
+                study_state,
                 task: data.task,
             })
         }

@@ -81,6 +81,18 @@ pub trait BuildingBlock {
 
     /// Human-readable tree rendering for reports (one line per node).
     fn describe(&self, indent: usize, out: &mut String);
+
+    /// Appends canonical, bitwise-stable lines describing this block's
+    /// search state — incumbents, trajectories, bandit occupancy, engine
+    /// scheduler internals — to `out`, each prefixed with `path` (the
+    /// block's position in the plan tree). Two blocks that would schedule
+    /// identical futures must dump identical lines; crash-resume
+    /// verification ([`crate::study::StudyState`]) relies on this to prove
+    /// a journal-replayed tree reached exactly the interrupted run's
+    /// state. The default captures nothing.
+    fn capture_state(&self, path: &str, out: &mut Vec<String>) {
+        let _ = (path, out);
+    }
 }
 
 /// Renders a block tree as a string (the "EXPLAIN" of an execution plan).

@@ -326,6 +326,25 @@ impl BuildingBlock for ConditioningBlock {
             a.block.describe(indent + 4, out);
         }
     }
+
+    fn capture_state(&self, path: &str, out: &mut Vec<String>) {
+        out.push(format!(
+            "{path} conditioning var={} cursor={} evaluations={}",
+            self.var, self.cursor, self.evaluations
+        ));
+        for a in &self.arms {
+            let child = format!("{path}/{}={}", self.var, a.value);
+            let iv = a.block.expected_utility(self.eu_horizon);
+            out.push(format!(
+                "{child} arm active={} plays={} eu=[{:016x},{:016x}]",
+                a.active,
+                a.plays,
+                iv.optimistic.to_bits(),
+                iv.pessimistic.to_bits()
+            ));
+            a.block.capture_state(&child, out);
+        }
+    }
 }
 
 #[cfg(test)]

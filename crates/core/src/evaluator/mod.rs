@@ -29,6 +29,13 @@ mod validate;
 pub use interpret::{parse_assignment, refit_assignment, ParsedAssignment};
 pub use validate::ValidationStrategy;
 
+/// Stable, order-insensitive digest of a full assignment — the value
+/// journaled (as 16 hex digits) and traced with every trial, and the key
+/// the crash-resume replay table matches journal rows back to trials with.
+pub fn assignment_digest(assignment: &std::collections::HashMap<String, f64>) -> u64 {
+    interpret::assignment_key(assignment)
+}
+
 use crate::spaces::SpaceDef;
 use crate::{CoreError, Result};
 use cache::BoundedCache;
@@ -83,6 +90,11 @@ pub struct EvalOutcome {
     pub panicked: bool,
     /// Whether the trial exceeded a pool deadline and was abandoned.
     pub timed_out: bool,
+    /// Whether the result was answered from a crash-resume replay table
+    /// (a journaled outcome from the interrupted run) rather than a fresh
+    /// evaluation or a live cache hit. Replayed trials are never journaled
+    /// again, so resume produces no duplicate trial ids.
+    pub replayed: bool,
 }
 
 impl EvalOutcome {
@@ -94,6 +106,7 @@ impl EvalOutcome {
             fe_cached: false,
             panicked,
             timed_out,
+            replayed: false,
         }
     }
 }
@@ -157,6 +170,22 @@ struct EvalState {
     evaluations: usize,
     total_cost: f64,
     log: Vec<LogEntry>,
+    /// Crash-resume replay table: `(assignment digest, fidelity bits)` →
+    /// the journaled outcomes of the interrupted run, in journal order.
+    /// [`Evaluator::evaluate`] consumes matching rows from here *before*
+    /// touching the cache, so a resumed search re-observes the interrupted
+    /// run's exact losses/costs without re-training or re-journaling.
+    replay: HashMap<(u64, u64), std::collections::VecDeque<ReplayRow>>,
+}
+
+/// One journaled outcome queued for crash-resume replay.
+struct ReplayRow {
+    loss: f64,
+    cost: f64,
+    cached: bool,
+    fe_cached: bool,
+    panicked: bool,
+    timed_out: bool,
 }
 
 struct EvalShared {
@@ -235,6 +264,7 @@ impl Evaluator {
                     evaluations: 0,
                     total_cost: 0.0,
                     log: Vec::new(),
+                    replay: HashMap::new(),
                 }),
                 journal: Mutex::new(None),
                 tracer: Mutex::new(Arc::new(Tracer::disabled())),
@@ -339,6 +369,68 @@ impl Evaluator {
     /// Installs a fault-injection hook (testing/chaos only).
     pub fn set_fault_hook(&self, hook: FaultHook) {
         *self.shared.fault_hook.lock().expect("hook poisoned") = Some(hook);
+    }
+
+    /// Loads journaled trial records from an interrupted run into the
+    /// crash-resume replay table. Because every engine's schedule is a
+    /// deterministic function of its seed and the observed losses, re-driving
+    /// the search re-requests exactly the journaled trials, in order per
+    /// `(assignment, fidelity)` key — each one is answered instantly from
+    /// this table (bitwise-identical loss/cost, no re-training, no
+    /// re-journaling) until the table drains and fresh evaluation resumes.
+    ///
+    /// Rows synthesized for abandoned trials (timeouts, escaped panics)
+    /// replay as failures without counting an evaluation, matching the
+    /// original run's accounting.
+    pub fn attach_replay(&self, records: &[TrialRecord]) {
+        let mut state = self.state();
+        for rec in records {
+            let Ok(digest) = u64::from_str_radix(&rec.digest, 16) else {
+                continue; // unknown digest: cannot be matched to a trial
+            };
+            state
+                .replay
+                .entry((digest, rec.fidelity.to_bits()))
+                .or_default()
+                .push_back(ReplayRow {
+                    loss: rec.loss,
+                    cost: rec.cost,
+                    cached: rec.cached,
+                    fe_cached: rec.fe_cached,
+                    panicked: rec.panicked,
+                    timed_out: rec.timed_out,
+                });
+        }
+    }
+
+    /// Number of journaled outcomes still queued for replay (0 once the
+    /// resumed search has caught up with the interrupted run).
+    pub fn pending_replays(&self) -> usize {
+        self.state().replay.values().map(|q| q.len()).sum()
+    }
+
+    /// Appends canonical, bitwise-stable lines describing the evaluator's
+    /// observed work to `out` — the evaluator's contribution to a
+    /// `StudyState` snapshot. The log multiset is sorted so serial and
+    /// pooled runs of the same schedule dump identically.
+    pub fn capture_state(&self, out: &mut Vec<String>) {
+        let s = self.state();
+        out.push(format!("evaluator.evaluations={}", s.evaluations));
+        let mut rows: Vec<String> = s
+            .log
+            .iter()
+            .map(|e| {
+                format!(
+                    "evaluator.log digest={:016x} fidelity={:016x} loss={:016x} cost={:016x}",
+                    assignment_key(&e.assignment),
+                    e.fidelity.to_bits(),
+                    e.loss.to_bits(),
+                    e.cost.to_bits(),
+                )
+            })
+            .collect();
+        rows.sort();
+        out.append(&mut rows);
     }
 
     fn state(&self) -> std::sync::MutexGuard<'_, EvalState> {
@@ -501,17 +593,21 @@ impl Evaluator {
                     TrialStatus::Panicked(_) => EvalOutcome::failed(false, true),
                     TrialStatus::TimedOut => EvalOutcome::failed(true, false),
                 };
-                self.record_trial(
-                    journal.as_ref(),
-                    assignment_key(assignment),
-                    run.worker,
-                    batch_epoch + run.started_s,
-                    batch_epoch + run.ended_s,
-                    fidelity.clamp(0.01, 1.0),
-                    *tag,
-                    &outcome,
-                    Some(run.started_s),
-                );
+                // Replayed trials were journaled by the interrupted run;
+                // journaling them again would duplicate their trial ids.
+                if !outcome.replayed {
+                    self.record_trial(
+                        journal.as_ref(),
+                        assignment_key(assignment),
+                        run.worker,
+                        batch_epoch + run.started_s,
+                        batch_epoch + run.ended_s,
+                        fidelity.clamp(0.01, 1.0),
+                        *tag,
+                        &outcome,
+                        Some(run.started_s),
+                    );
+                }
                 outcome
             })
             .collect()
@@ -530,6 +626,18 @@ impl Evaluator {
     ) -> EvalOutcome {
         let fidelity = fidelity.clamp(0.01, 1.0);
         let key = (assignment_key(assignment), fidelity.to_bits());
+        // Crash-resume replay comes *before* the cache: the replay queue for
+        // a key holds the interrupted run's outcomes in journal order (first
+        // fresh, later ones cache hits), and a live cache lookup must never
+        // consume — or bypass — a row that belongs to an earlier journaled
+        // trial.
+        let replay = {
+            let mut state = self.state();
+            state.replay.get_mut(&key).and_then(|q| q.pop_front())
+        };
+        if let Some(row) = replay {
+            return self.replay_outcome(assignment, fidelity, key, row);
+        }
         let journal = if journal_direct { self.journal() } else { None };
         let cached = self.state().cache.get(&key);
         if let Some((loss, cost)) = cached {
@@ -540,6 +648,7 @@ impl Evaluator {
                 fe_cached: false,
                 panicked: false,
                 timed_out: false,
+                replayed: false,
             };
             if journal_direct {
                 let now = journal.as_ref().map_or(0.0, |j| j.elapsed_s());
@@ -599,6 +708,7 @@ impl Evaluator {
             fe_cached,
             panicked,
             timed_out: false,
+            replayed: false,
         };
         if journal_direct {
             let end_s = journal.as_ref().map_or(start_s + cost, |j| j.elapsed_s());
@@ -615,6 +725,45 @@ impl Evaluator {
             );
         }
         outcome
+    }
+
+    /// Materializes one replay-table row as this trial's outcome,
+    /// reproducing the interrupted run's accounting: a journaled fresh
+    /// evaluation re-enters the cache/log/counters (even failures — the
+    /// fresh path inserts unconditionally), a journaled cache hit counts
+    /// nothing (the entry is already back in the cache from its fresh row),
+    /// and a journaled abandoned trial (timeout, escaped panic — both
+    /// synthesized outside `evaluate_inner` with zero cost) never reached
+    /// the accounting path at all.
+    fn replay_outcome(
+        &self,
+        assignment: &HashMap<String, f64>,
+        fidelity: f64,
+        key: (u64, u64),
+        row: ReplayRow,
+    ) -> EvalOutcome {
+        let abandoned = row.timed_out || (row.panicked && row.cost == 0.0);
+        if !row.cached && !abandoned {
+            let mut state = self.state();
+            state.cache.insert(key, (row.loss, row.cost));
+            state.evaluations += 1;
+            state.total_cost += row.cost;
+            state.log.push(LogEntry {
+                assignment: assignment.clone(),
+                fidelity,
+                loss: row.loss,
+                cost: row.cost,
+            });
+        }
+        EvalOutcome {
+            loss: row.loss,
+            cost: row.cost,
+            cached: row.cached,
+            fe_cached: row.fe_cached,
+            panicked: row.panicked,
+            timed_out: row.timed_out,
+            replayed: true,
+        }
     }
 
     /// Trains the final pipeline+model from an assignment on a complete

@@ -13,6 +13,19 @@ use volcanoml_bo::{
 };
 use volcanoml_obs::{span, EventFields, Tracer};
 
+/// Canonical bitwise rendering of a configuration for state snapshots: one
+/// 16-hex-digit word per value, `-` for inactive conditionals.
+fn config_bits(c: &Configuration) -> String {
+    c.values
+        .iter()
+        .map(|v| match v {
+            Some(x) => format!("{:016x}", x.to_bits()),
+            None => "-".to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
 /// Scheduling attribution for a freshly suggested trial: the engine's
 /// in-flight `(rung, bracket)` when it has a bracket schedule, else
 /// [`TrialTag::NONE`]. Must run *before* `observe` (observing clears the
@@ -315,6 +328,39 @@ impl BuildingBlock for JointBlock {
             self.engine.space().len(),
             self.evaluations
         ));
+    }
+
+    fn capture_state(&self, path: &str, out: &mut Vec<String>) {
+        out.push(format!(
+            "{path} joint engine={} evaluations={} seeds_pending={}",
+            self.engine_kind.name(),
+            self.evaluations,
+            self.seed_queue.len()
+        ));
+        if let Some(best) = &self.best {
+            out.push(format!("{path} joint best_loss={:016x}", best.loss.to_bits()));
+        }
+        let traj = self
+            .trajectory
+            .iter()
+            .map(|l| format!("{:016x}", l.to_bits()))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push(format!("{path} joint trajectory={traj}"));
+        // History rows drive every future suggestion; cost is deliberately
+        // excluded — a replayed cache hit legitimately carries the journaled
+        // cost 0 instead of the live hit's memoized cost, and cost never
+        // influences scheduling.
+        for (i, obs) in self.engine.history().observations().iter().enumerate() {
+            out.push(format!(
+                "{path} joint history[{i}] fidelity={:016x} loss={:016x} config={}",
+                obs.fidelity.to_bits(),
+                obs.loss.to_bits(),
+                config_bits(&obs.config)
+            ));
+        }
+        self.engine
+            .capture_scheduler_state(&format!("{path} engine"), out);
     }
 }
 

@@ -33,10 +33,12 @@ pub mod metalearn;
 pub mod plan;
 pub mod plans;
 pub mod spaces;
+pub mod study;
 
 pub use automl::{AutoMlReport, FittedVolcanoML, VolcanoML, VolcanoMlOptions};
+pub use study::StudyState;
 pub use block::{Assignment, BuildingBlock, LossInterval};
-pub use evaluator::{EvalOutcome, Evaluator, TrialTag, ValidationStrategy};
+pub use evaluator::{assignment_digest, EvalOutcome, Evaluator, TrialTag, ValidationStrategy};
 pub use plan::{EngineKind, PlanSpec, VarFilter};
 pub use spaces::{SpaceDef, SpaceTier, VarDef, VarGroup};
 

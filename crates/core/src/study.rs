@@ -1,0 +1,83 @@
+//! Bitwise-stable study-state snapshots for crash-resume verification.
+//!
+//! A [`StudyState`] captures everything that determines a search's future
+//! scheduling decisions: the evaluator's observed-work multiset, every
+//! block's incumbent/trajectory/bandit occupancy, and every engine's
+//! scheduler internals (bracket queues, in-flight sets, rung results). All
+//! floats are rendered as `f64::to_bits` hex words, so two snapshots are
+//! equal iff the underlying states are *bitwise* equal.
+//!
+//! The crash-resume contract this verifies: VolcanoML's schedules are
+//! deterministic functions of the seed and the observed losses (wall-clock
+//! cost never feeds back into scheduling), so resuming a run by re-driving
+//! the same plan while answering journaled trials from the replay table
+//! must land the tree in exactly the interrupted run's state. The resume
+//! property tests assert `capture` of a fully-replayed run equals `capture`
+//! of the uninterrupted run, line for line.
+
+use crate::block::BuildingBlock;
+use crate::evaluator::Evaluator;
+
+/// A canonical snapshot of a search's scheduling-relevant state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StudyState {
+    /// Canonical snapshot lines: evaluator lines first, then the block
+    /// tree's lines in a deterministic pre-order walk.
+    pub lines: Vec<String>,
+}
+
+impl StudyState {
+    /// Captures the state of a block tree and its evaluator.
+    pub fn capture(root: &dyn BuildingBlock, evaluator: &Evaluator) -> StudyState {
+        let mut lines = Vec::new();
+        evaluator.capture_state(&mut lines);
+        root.capture_state("plan", &mut lines);
+        StudyState { lines }
+    }
+
+    /// The snapshot as one newline-joined string (for dumps and diffs).
+    pub fn render(&self) -> String {
+        self.lines.join("\n")
+    }
+
+    /// Human-readable first divergence between two snapshots, or `None`
+    /// when they are identical — what a failing resume test prints.
+    pub fn diff(&self, other: &StudyState) -> Option<String> {
+        let n = self.lines.len().max(other.lines.len());
+        for i in 0..n {
+            let a = self.lines.get(i).map(String::as_str);
+            let b = other.lines.get(i).map(String::as_str);
+            if a != b {
+                return Some(format!(
+                    "line {i}:\n  left:  {}\n  right: {}",
+                    a.unwrap_or("<missing>"),
+                    b.unwrap_or("<missing>")
+                ));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_reports_first_divergence() {
+        let a = StudyState {
+            lines: vec!["x=1".into(), "y=2".into()],
+        };
+        let b = StudyState {
+            lines: vec!["x=1".into(), "y=3".into()],
+        };
+        assert!(a.diff(&a).is_none());
+        let d = a.diff(&b).expect("differs");
+        assert!(d.contains("line 1"), "{d}");
+        assert!(d.contains("y=2") && d.contains("y=3"), "{d}");
+        let c = StudyState {
+            lines: vec!["x=1".into()],
+        };
+        assert!(a.diff(&c).expect("differs").contains("<missing>"));
+    }
+}

@@ -1,41 +1,57 @@
 //! The JSONL trial journal.
 //!
 //! One line per trial, machine-readable, append-only. Schema (all keys
-//! always present, stable order):
+//! always present, stable order; `schema` is the row-format version,
+//! currently [`JOURNAL_SCHEMA_VERSION`]):
 //!
 //! ```json
-//! {"trial":17,"worker":2,"start_s":0.0132,"end_s":0.0518,"fidelity":1.0,
-//!  "rung":2,"bracket":0,"loss":0.2184,"cost":0.0386,"cached":false,
-//!  "fe_cached":true,"panicked":false,"timed_out":false,"arm":"algorithm=1",
-//!  "digest":"9f3c2a11d04b77e6"}
+//! {"schema":1,"trial":17,"worker":2,"start_s":0.0132,"end_s":0.0518,
+//!  "fidelity":1.0,"rung":2,"bracket":0,"loss":0.2184,"cost":0.0386,
+//!  "cached":false,"fe_cached":true,"panicked":false,"timed_out":false,
+//!  "arm":"algorithm=1","digest":"9f3c2a11d04b77e6"}
 //! ```
 //!
 //! `start_s`/`end_s` are seconds since the journal was opened (monotonic
 //! clock), `cost` is the evaluator-measured training wall time, `loss` is
-//! serialized as `"inf"` when infinite so the file stays valid JSON.
-//! `rung`/`bracket` attribute the trial to a multi-fidelity scheduler: the
-//! rung index in the engine's full η-ladder and the issuing bracket's
-//! stable id, both `-1` when the trial was not scheduled by a
-//! multi-fidelity engine (full-fidelity engines, warm starts, seeds). `arm`
-//! is the bandit-arm label of the conditioning pull that issued the trial
-//! (empty when no arm was in scope) and `digest` is the evaluator's stable
-//! assignment hash rendered as 16 hex digits (empty when unknown) — both
-//! join journal rows to `volcanoml-obs` trace spans, which carry the same
-//! `trial` id, arm, and digest. The journal is `Sync`: workers append
-//! concurrently through an internal mutex. Records are always kept in
-//! memory (for tests and report generation) and mirrored to a file when
-//! opened with [`Journal::to_path`]; buffered lines are flushed by
-//! [`Journal::flush`] and automatically on drop.
+//! serialized as `"inf"` when infinite so the file stays valid JSON. All
+//! floats use Rust's shortest round-trip `Display`, so a parsed row is
+//! bit-identical to the recorded one — the property the crash-resume
+//! replay path relies on. `rung`/`bracket` attribute the trial to a
+//! multi-fidelity scheduler: the rung index in the engine's full η-ladder
+//! and the issuing bracket's stable id, both `-1` when the trial was not
+//! scheduled by a multi-fidelity engine (full-fidelity engines, warm
+//! starts, seeds). `arm` is the bandit-arm label of the conditioning pull
+//! that issued the trial (empty when no arm was in scope) and `digest` is
+//! the evaluator's stable assignment hash rendered as 16 hex digits (empty
+//! when unknown) — both join journal rows to `volcanoml-obs` trace spans,
+//! which carry the same `trial` id, arm, and digest.
 //!
-//! The zero-copy dataset-view refactor changed how trial data moves in
-//! memory (workers share one `Arc<Dataset>`; rows are gathered only on
-//! FE-cache misses) but nothing on disk: this schema is byte-identical
-//! before and after, and existing journals remain readable.
+//! Durability: the journal is `Sync` (workers append concurrently through
+//! an internal mutex) and the file mirror flushes periodically — every
+//! [`Journal::set_flush_policy`] rows or seconds, plus on [`Journal::flush`]
+//! and on drop — so a `kill -9` loses at most the last flush window, never
+//! the whole buffer. [`Journal::resume_from_path`] reopens an existing
+//! journal after a crash: it replays every complete row, truncates a torn
+//! final line (the hard-kill signature), continues trial ids past the
+//! largest replayed id, and keeps `elapsed_s` monotone across the restart.
+//! Rows with an unknown `schema` version (or none at all) are rejected
+//! with a clear error rather than silently misread.
 
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Version stamped into every journal row's `schema` field. Bump when the
+/// row format changes incompatibly; [`Journal::resume_from_path`] refuses
+/// to replay rows from other versions.
+pub const JOURNAL_SCHEMA_VERSION: u64 = 1;
+
+/// Default flush threshold: rows buffered before an automatic flush.
+const DEFAULT_FLUSH_ROWS: usize = 16;
+
+/// Default flush threshold: time since the last flush.
+const DEFAULT_FLUSH_INTERVAL: Duration = Duration::from_secs(1);
 
 /// One trial's journal entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,20 +96,21 @@ impl TrialRecord {
     /// Renders the record as one JSON line (without trailing newline).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"trial\":{},\"worker\":{},\"start_s\":{:.6},\"end_s\":{:.6},\
+            "{{\"schema\":{},\"trial\":{},\"worker\":{},\"start_s\":{},\"end_s\":{},\
              \"fidelity\":{},\"rung\":{},\"bracket\":{},\"loss\":{},\
-             \"cost\":{:.6},\"cached\":{},\
+             \"cost\":{},\"cached\":{},\
              \"fe_cached\":{},\"panicked\":{},\"timed_out\":{},\
              \"arm\":\"{}\",\"digest\":\"{}\"}}",
+            JOURNAL_SCHEMA_VERSION,
             self.trial_id,
             self.worker,
-            self.start_s,
-            self.end_s,
+            json_f64(self.start_s),
+            json_f64(self.end_s),
             json_f64(self.fidelity),
             self.rung,
             self.bracket,
             json_f64(self.loss),
-            self.cost,
+            json_f64(self.cost),
             self.cached,
             self.fe_cached,
             self.panicked,
@@ -101,6 +118,48 @@ impl TrialRecord {
             json_str(&self.arm),
             json_str(&self.digest)
         )
+    }
+
+    /// Parses one journal line back into a record. Unknown keys are
+    /// ignored (forward compatibility); missing required keys, malformed
+    /// values, and rows whose `schema` version this build cannot read are
+    /// errors.
+    pub fn from_json(line: &str) -> Result<TrialRecord, String> {
+        let fields = parse_flat_object(line)?;
+        let schema = match field(&fields, "schema") {
+            None => {
+                return Err(
+                    "row has no \"schema\" field (journal predates versioned rows)".to_string(),
+                )
+            }
+            Some(v) => as_u64(v, "schema")?,
+        };
+        if schema != JOURNAL_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported journal schema version {schema} \
+                 (this build reads version {JOURNAL_SCHEMA_VERSION})"
+            ));
+        }
+        let req = |key: &str| {
+            field(&fields, key).ok_or_else(|| format!("missing required key \"{key}\""))
+        };
+        Ok(TrialRecord {
+            trial_id: as_u64(req("trial")?, "trial")?,
+            worker: as_u64(req("worker")?, "worker")? as usize,
+            start_s: as_f64(req("start_s")?, "start_s")?,
+            end_s: as_f64(req("end_s")?, "end_s")?,
+            fidelity: as_f64(req("fidelity")?, "fidelity")?,
+            rung: as_i64(req("rung")?, "rung")?,
+            bracket: as_i64(req("bracket")?, "bracket")?,
+            loss: as_f64(req("loss")?, "loss")?,
+            cost: as_f64(req("cost")?, "cost")?,
+            cached: as_bool(req("cached")?, "cached")?,
+            fe_cached: as_bool(req("fe_cached")?, "fe_cached")?,
+            panicked: as_bool(req("panicked")?, "panicked")?,
+            timed_out: as_bool(req("timed_out")?, "timed_out")?,
+            arm: as_string(req("arm")?, "arm")?,
+            digest: as_string(req("digest")?, "digest")?,
+        })
     }
 }
 
@@ -134,16 +193,263 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+/// One scalar value in a journal row.
+enum Val {
+    Num(f64),
+    Bool(bool),
+    Str(String),
+}
+
+/// Looks up a key in the parsed field list.
+fn field<'a>(fields: &'a [(String, Val)], key: &str) -> Option<&'a Val> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_f64(v: &Val, key: &str) -> Result<f64, String> {
+    match v {
+        Val::Num(x) => Ok(*x),
+        Val::Str(s) => match s.as_str() {
+            "inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            "nan" => Ok(f64::NAN),
+            other => Err(format!("key \"{key}\": expected a number, got \"{other}\"")),
+        },
+        Val::Bool(_) => Err(format!("key \"{key}\": expected a number, got a bool")),
+    }
+}
+
+fn as_u64(v: &Val, key: &str) -> Result<u64, String> {
+    match v {
+        Val::Num(x) if x.fract() == 0.0 && *x >= 0.0 => Ok(*x as u64),
+        _ => Err(format!("key \"{key}\": expected a non-negative integer")),
+    }
+}
+
+fn as_i64(v: &Val, key: &str) -> Result<i64, String> {
+    match v {
+        Val::Num(x) if x.fract() == 0.0 => Ok(*x as i64),
+        _ => Err(format!("key \"{key}\": expected an integer")),
+    }
+}
+
+fn as_bool(v: &Val, key: &str) -> Result<bool, String> {
+    match v {
+        Val::Bool(b) => Ok(*b),
+        _ => Err(format!("key \"{key}\": expected true/false")),
+    }
+}
+
+fn as_string(v: &Val, key: &str) -> Result<String, String> {
+    match v {
+        Val::Str(s) => Ok(s.clone()),
+        _ => Err(format!("key \"{key}\": expected a string")),
+    }
+}
+
+/// Minimal scanner for the flat (no nesting) JSON objects journal rows
+/// are. Kept local so this crate stays dependency-free and below
+/// `volcanoml-obs` in the workspace graph.
+struct Scanner<'a> {
+    src: &'a str,
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(src: &'a str) -> Scanner<'a> {
+        Scanner {
+            src,
+            s: src.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.i))
+        }
+    }
+
+    fn expect_lit(&mut self, lit: &str) -> Result<(), String> {
+        if self.s[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected `{lit}` at byte {}", self.i))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err("unterminated string".to_string());
+            };
+            self.i += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(e) = self.peek() else {
+                        return Err("unterminated escape".to_string());
+                    };
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.i + 4 > self.s.len() {
+                                return Err("truncated \\u escape".to_string());
+                            }
+                            let hex = &self.src[self.i..self.i + 4];
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            self.i += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("bad \\u codepoint {code}"))?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: step back and take the whole char.
+                    self.i -= 1;
+                    let c = self.src[self.i..].chars().next().expect("valid utf-8");
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, String> {
+        let start = self.i;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        if self.i == start {
+            return Err(format!("expected a value at byte {start}"));
+        }
+        self.src[start..self.i]
+            .parse::<f64>()
+            .map_err(|e| format!("bad number `{}`: {e}", &self.src[start..self.i]))
+    }
+
+    fn parse_value(&mut self) -> Result<Val, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(Val::Str(self.parse_string()?)),
+            Some(b't') => {
+                self.expect_lit("true")?;
+                Ok(Val::Bool(true))
+            }
+            Some(b'f') => {
+                self.expect_lit("false")?;
+                Ok(Val::Bool(false))
+            }
+            Some(_) => Ok(Val::Num(self.parse_number()?)),
+            None => Err("unexpected end of line".to_string()),
+        }
+    }
+}
+
+/// Parses one flat JSON object (string/number/bool values only) into its
+/// key/value pairs, in document order. Errors on nesting, trailing
+/// garbage, or truncation — the caller decides whether a failure means a
+/// torn tail or real corruption.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, Val)>, String> {
+    let mut sc = Scanner::new(line);
+    sc.expect(b'{')?;
+    let mut fields = Vec::new();
+    sc.skip_ws();
+    if sc.peek() == Some(b'}') {
+        sc.i += 1;
+    } else {
+        loop {
+            sc.skip_ws();
+            let key = sc.parse_string()?;
+            sc.expect(b':')?;
+            let val = sc.parse_value()?;
+            fields.push((key, val));
+            sc.skip_ws();
+            match sc.peek() {
+                Some(b',') => sc.i += 1,
+                Some(b'}') => {
+                    sc.i += 1;
+                    break;
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", sc.i)),
+            }
+        }
+    }
+    sc.skip_ws();
+    if sc.i != sc.s.len() {
+        return Err(format!("trailing garbage at byte {}", sc.i));
+    }
+    Ok(fields)
+}
+
 /// Thread-safe JSONL journal of executed trials.
 pub struct Journal {
     epoch: Instant,
+    /// Seconds already elapsed when the journal was (re)opened — nonzero
+    /// only after [`Journal::resume_from_path`], so `elapsed_s` stays
+    /// monotone across a crash-restart.
+    epoch_offset: f64,
     next_id: AtomicU64,
+    /// Whether resume dropped a torn (incompletely written) final line.
+    torn_tail: bool,
+    /// Number of rows replayed from disk at resume time.
+    resumed: usize,
     state: Mutex<JournalState>,
 }
 
 struct JournalState {
     lines: Vec<TrialRecord>,
     file: Option<std::io::BufWriter<std::fs::File>>,
+    /// Rows written since the last flush.
+    unflushed: usize,
+    last_flush: Instant,
+    flush_rows: usize,
+    flush_interval: Duration,
+}
+
+impl JournalState {
+    fn fresh(file: Option<std::io::BufWriter<std::fs::File>>) -> JournalState {
+        JournalState {
+            lines: Vec::new(),
+            file,
+            unflushed: 0,
+            last_flush: Instant::now(),
+            flush_rows: DEFAULT_FLUSH_ROWS,
+            flush_interval: DEFAULT_FLUSH_INTERVAL,
+        }
+    }
 }
 
 impl Journal {
@@ -151,11 +457,11 @@ impl Journal {
     pub fn in_memory() -> Journal {
         Journal {
             epoch: Instant::now(),
+            epoch_offset: 0.0,
             next_id: AtomicU64::new(0),
-            state: Mutex::new(JournalState {
-                lines: Vec::new(),
-                file: None,
-            }),
+            torn_tail: false,
+            resumed: 0,
+            state: Mutex::new(JournalState::fresh(None)),
         }
     }
 
@@ -164,12 +470,116 @@ impl Journal {
         let file = std::fs::File::create(path)?;
         Ok(Journal {
             epoch: Instant::now(),
+            epoch_offset: 0.0,
             next_id: AtomicU64::new(0),
-            state: Mutex::new(JournalState {
-                lines: Vec::new(),
-                file: Some(std::io::BufWriter::new(file)),
-            }),
+            torn_tail: false,
+            resumed: 0,
+            state: Mutex::new(JournalState::fresh(Some(std::io::BufWriter::new(file)))),
         })
+    }
+
+    /// Reopens an existing journal after a crash and prepares it for
+    /// appending:
+    ///
+    /// - every complete row is replayed into memory ([`Journal::records`]);
+    /// - a torn final line (no trailing newline, unparseable — the
+    ///   `kill -9` signature) is dropped and the file truncated to the
+    ///   valid prefix;
+    /// - a complete final line missing only its newline is kept and
+    ///   rewritten terminated;
+    /// - an unparseable line *inside* the file, or any row with a missing
+    ///   or unsupported `schema` version, is an error — that is corruption
+    ///   or a version mismatch, not a crash artifact;
+    /// - trial ids continue from the largest replayed id + 1 and
+    ///   [`Journal::elapsed_s`] continues from the largest replayed
+    ///   `end_s`, so resumed rows never collide with or time-travel before
+    ///   the originals.
+    pub fn resume_from_path(path: &std::path::Path) -> std::io::Result<Journal> {
+        use std::io::{Error, ErrorKind};
+        let text = std::fs::read_to_string(path)?;
+        let n_bytes = text.len();
+        let mut records: Vec<TrialRecord> = Vec::new();
+        // Byte length of the newline-terminated valid prefix.
+        let mut valid_prefix: usize = 0;
+        // A final line that parsed but lacked its newline (crash landed
+        // exactly after the closing brace): re-append it terminated.
+        let mut reappend: Option<TrialRecord> = None;
+        let mut torn_tail = false;
+        let mut offset = 0usize;
+        let mut line_no = 0usize;
+        while offset < n_bytes {
+            line_no += 1;
+            let rest = &text[offset..];
+            let (line, line_len, terminated) = match rest.find('\n') {
+                Some(p) => (&rest[..p], p + 1, true),
+                None => (rest, rest.len(), false),
+            };
+            let is_last = offset + line_len >= n_bytes;
+            if line.trim().is_empty() {
+                if terminated {
+                    valid_prefix = offset + line_len;
+                }
+                offset += line_len;
+                continue;
+            }
+            match TrialRecord::from_json(line) {
+                Ok(rec) => {
+                    records.push(rec.clone());
+                    if terminated {
+                        valid_prefix = offset + line_len;
+                    } else {
+                        reappend = Some(rec);
+                    }
+                }
+                Err(e) => {
+                    if is_last && !terminated {
+                        // Torn tail from a hard kill: drop it.
+                        torn_tail = true;
+                    } else {
+                        return Err(Error::new(
+                            ErrorKind::InvalidData,
+                            format!("{}:{line_no}: {e}", path.display()),
+                        ));
+                    }
+                }
+            }
+            offset += line_len;
+        }
+        let file = std::fs::OpenOptions::new().append(true).open(path)?;
+        if valid_prefix < n_bytes {
+            // Cut the torn tail (or the unterminated-but-valid line we are
+            // about to rewrite) so appends never extend a partial line.
+            file.set_len(valid_prefix as u64)?;
+        }
+        let mut writer = std::io::BufWriter::new(file);
+        if let Some(rec) = &reappend {
+            writeln!(writer, "{}", rec.to_json())?;
+            writer.flush()?;
+        }
+        let next_id = records.iter().map(|r| r.trial_id + 1).max().unwrap_or(0);
+        let epoch_offset = records.iter().map(|r| r.end_s).fold(0.0, f64::max);
+        let resumed = records.len();
+        let mut state = JournalState::fresh(Some(writer));
+        state.lines = records;
+        Ok(Journal {
+            epoch: Instant::now(),
+            epoch_offset,
+            next_id: AtomicU64::new(next_id),
+            torn_tail,
+            resumed,
+            state: Mutex::new(state),
+        })
+    }
+
+    /// Whether [`Journal::resume_from_path`] dropped a torn final line.
+    pub fn skipped_torn_tail(&self) -> bool {
+        self.torn_tail
+    }
+
+    /// Number of rows replayed from disk when this journal was resumed
+    /// (0 for fresh journals).
+    pub fn resumed_records(&self) -> usize {
+        self.resumed
     }
 
     /// Allocates the next trial id.
@@ -177,18 +587,39 @@ impl Journal {
         self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Seconds elapsed since the journal was opened.
+    /// Seconds elapsed since the journal was first opened (monotone across
+    /// a crash-resume: a resumed journal starts at the last recorded
+    /// `end_s` rather than 0).
     pub fn elapsed_s(&self) -> f64 {
-        self.epoch.elapsed().as_secs_f64()
+        self.epoch_offset + self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Sets the automatic flush policy for the file mirror: flush after
+    /// `rows` buffered rows or `interval` since the last flush, whichever
+    /// comes first. Defaults to 16 rows / 1 s.
+    pub fn set_flush_policy(&self, rows: usize, interval: Duration) {
+        let mut state = self.state.lock().expect("journal poisoned");
+        state.flush_rows = rows.max(1);
+        state.flush_interval = interval;
     }
 
     /// Appends one record (and mirrors it to the file, if any). Lines are
-    /// buffered; call [`Journal::flush`] (or drop the journal) to ensure
-    /// they reach disk.
+    /// buffered but flushed automatically per the flush policy, so a hard
+    /// kill loses at most the last flush window; [`Journal::flush`] (and
+    /// drop) force the remainder out.
     pub fn record(&self, rec: TrialRecord) {
         let mut state = self.state.lock().expect("journal poisoned");
-        if let Some(file) = &mut state.file {
+        let state = &mut *state;
+        if let Some(file) = state.file.as_mut() {
             let _ = writeln!(file, "{}", rec.to_json());
+            state.unflushed += 1;
+            if state.unflushed >= state.flush_rows
+                || state.last_flush.elapsed() >= state.flush_interval
+            {
+                let _ = file.flush();
+                state.unflushed = 0;
+                state.last_flush = Instant::now();
+            }
         }
         state.lines.push(rec);
     }
@@ -196,8 +627,11 @@ impl Journal {
     /// Flushes buffered lines to the backing file, if any.
     pub fn flush(&self) {
         let mut state = self.state.lock().expect("journal poisoned");
-        if let Some(file) = &mut state.file {
+        let state = &mut *state;
+        if let Some(file) = state.file.as_mut() {
             let _ = file.flush();
+            state.unflushed = 0;
+            state.last_flush = Instant::now();
         }
     }
 
@@ -260,19 +694,26 @@ mod tests {
         }
     }
 
+    fn temp_path(stem: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("volcanoml-exec-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{stem}-{}.jsonl", std::process::id()))
+    }
+
     #[test]
     fn json_line_has_stable_schema() {
         let line = record(3).to_json();
         for key in [
+            "\"schema\":1",
             "\"trial\":3",
             "\"worker\":1",
-            "\"start_s\":0.250000",
-            "\"end_s\":0.500000",
+            "\"start_s\":0.25",
+            "\"end_s\":0.5",
             "\"fidelity\":1",
             "\"rung\":2",
             "\"bracket\":0",
             "\"loss\":0.125",
-            "\"cost\":0.250000",
+            "\"cost\":0.25",
             "\"cached\":false",
             "\"fe_cached\":false",
             "\"panicked\":false",
@@ -282,7 +723,8 @@ mod tests {
         ] {
             assert!(line.contains(key), "missing {key} in {line}");
         }
-        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.starts_with("{\"schema\":1,"));
+        assert!(line.ends_with('}'));
     }
 
     #[test]
@@ -292,6 +734,46 @@ mod tests {
         assert!(r.to_json().contains("\"loss\":\"inf\""));
         r.loss = f64::NAN;
         assert!(r.to_json().contains("\"loss\":\"nan\""));
+    }
+
+    /// The crash-resume keystone: parse(render(r)) must be bit-identical,
+    /// including awkward floats, infinities, and escaped strings.
+    #[test]
+    fn record_round_trips_bitwise() {
+        let mut r = record(7);
+        r.start_s = 0.1 + 0.2; // 0.30000000000000004
+        r.end_s = 1.0 / 3.0;
+        r.fidelity = f64::from_bits(0x3FD5_5555_5555_5554); // one ulp below 1/3
+        r.cost = f64::MIN_POSITIVE;
+        r.loss = -0.0;
+        r.arm = "weird \"arm\"\twith\nescapes\\".to_string();
+        let back = TrialRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.start_s.to_bits(), r.start_s.to_bits());
+        assert_eq!(back.loss.to_bits(), r.loss.to_bits());
+        assert_eq!(back.cost.to_bits(), r.cost.to_bits());
+
+        r.loss = f64::INFINITY;
+        let back = TrialRecord::from_json(&r.to_json()).unwrap();
+        assert!(back.loss.is_infinite() && back.loss > 0.0);
+    }
+
+    #[test]
+    fn parser_ignores_unknown_keys_and_rejects_bad_rows() {
+        let mut line = record(0).to_json();
+        line.insert_str(line.len() - 1, ",\"future_key\":\"x\"");
+        assert!(TrialRecord::from_json(&line).is_ok());
+
+        let err = TrialRecord::from_json("{\"trial\":0}").unwrap_err();
+        assert!(err.contains("schema"), "unexpected error: {err}");
+
+        let err = TrialRecord::from_json(
+            &record(0).to_json().replace("\"schema\":1", "\"schema\":99"),
+        )
+        .unwrap_err();
+        assert!(err.contains("99"), "unexpected error: {err}");
+
+        assert!(TrialRecord::from_json("{\"schema\":1,\"trial\":").is_err());
     }
 
     #[test]
@@ -311,9 +793,7 @@ mod tests {
 
     #[test]
     fn file_journal_writes_jsonl() {
-        let dir = std::env::temp_dir().join("volcanoml-exec-journal-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join(format!("journal-{}.jsonl", std::process::id()));
+        let path = temp_path("journal");
         {
             let j = Journal::to_path(&path).unwrap();
             j.record(record(0));
@@ -332,11 +812,11 @@ mod tests {
     /// buffered records.
     #[test]
     fn drop_flushes_trailing_records() {
-        let dir = std::env::temp_dir().join("volcanoml-exec-journal-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join(format!("drop-{}.jsonl", std::process::id()));
+        let path = temp_path("drop");
         {
             let j = Journal::to_path(&path).unwrap();
+            // Disable automatic flushing so drop is what saves the rows.
+            j.set_flush_policy(usize::MAX, Duration::from_secs(3600));
             for i in 0..20 {
                 j.record(record(i));
             }
@@ -353,9 +833,7 @@ mod tests {
     /// readers while the journal is still alive.
     #[test]
     fn explicit_flush_is_readable_while_alive() {
-        let dir = std::env::temp_dir().join("volcanoml-exec-journal-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join(format!("flush-{}.jsonl", std::process::id()));
+        let path = temp_path("flush");
         let j = Journal::to_path(&path).unwrap();
         j.record(record(0));
         j.record(record(1));
@@ -363,6 +841,137 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text.lines().count(), 2);
         drop(j);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Durability against SIGKILL: the row-count flush policy pushes rows
+    /// to the OS without any explicit flush call.
+    #[test]
+    fn periodic_flush_by_row_count() {
+        let path = temp_path("periodic");
+        let j = Journal::to_path(&path).unwrap();
+        j.set_flush_policy(2, Duration::from_secs(3600));
+        j.record(record(0));
+        j.record(record(1));
+        // Two rows hit the threshold: both visible with no flush() call.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        drop(j);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_replays_rows_and_continues_ids_and_clock() {
+        let path = temp_path("resume");
+        {
+            let j = Journal::to_path(&path).unwrap();
+            for _ in 0..3 {
+                let id = j.next_trial_id();
+                let mut r = record(id);
+                r.end_s = 10.0 + id as f64;
+                j.record(r);
+            }
+        }
+        let j = Journal::resume_from_path(&path).unwrap();
+        assert_eq!(j.resumed_records(), 3);
+        assert!(!j.skipped_torn_tail());
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.next_trial_id(), 3, "ids continue past the replayed max");
+        assert!(j.elapsed_s() >= 12.0, "clock continues past max end_s");
+        j.record(record(3));
+        drop(j);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.lines().last().unwrap().contains("\"trial\":3"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Satellite regression: a `kill -9` mid-write leaves a torn final
+    /// line. Resume must drop it, truncate the file, and append cleanly.
+    #[test]
+    fn resume_skips_torn_final_line() {
+        let path = temp_path("torn");
+        {
+            let j = Journal::to_path(&path).unwrap();
+            j.record(record(0));
+            j.record(record(1));
+        }
+        // Simulate the kill: append half a row with no newline.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"schema\":1,\"trial\":2,\"worker\":0,\"sta");
+        std::fs::write(&path, &text).unwrap();
+
+        let j = Journal::resume_from_path(&path).unwrap();
+        assert!(j.skipped_torn_tail());
+        assert_eq!(j.resumed_records(), 2);
+        assert_eq!(j.next_trial_id(), 2);
+        j.record(record(2));
+        drop(j);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "torn tail truncated, new row appended");
+        for (i, line) in lines.iter().enumerate() {
+            let rec = TrialRecord::from_json(line).expect("every surviving line parses");
+            assert_eq!(rec.trial_id, i as u64);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A final line cut exactly after the closing brace (complete row, no
+    /// newline) is kept, not dropped.
+    #[test]
+    fn resume_keeps_complete_unterminated_final_line() {
+        let path = temp_path("unterminated");
+        {
+            let j = Journal::to_path(&path).unwrap();
+            j.record(record(0));
+        }
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str(&record(1).to_json()); // no trailing newline
+        std::fs::write(&path, &text).unwrap();
+
+        let j = Journal::resume_from_path(&path).unwrap();
+        assert_eq!(j.resumed_records(), 2);
+        assert!(!j.skipped_torn_tail());
+        j.record(record(2));
+        drop(j);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        for line in text.lines() {
+            TrialRecord::from_json(line).expect("no concatenated rows");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Corruption *inside* the file is not a crash artifact: hard error.
+    #[test]
+    fn resume_errors_on_midfile_corruption() {
+        let path = temp_path("midfile");
+        let good = record(0).to_json();
+        std::fs::write(&path, format!("{good}\nnot json at all\n{good}\n")).unwrap();
+        let err = Journal::resume_from_path(&path).err().expect("must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains(":2:"), "names the line: {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Satellite regression: rows from an unknown schema version must be
+    /// rejected with a clear error, not misread.
+    #[test]
+    fn resume_rejects_unknown_schema_version() {
+        let path = temp_path("schema");
+        let alien = record(0).to_json().replace("\"schema\":1", "\"schema\":42");
+        std::fs::write(&path, format!("{alien}\n")).unwrap();
+        let err = Journal::resume_from_path(&path).err().expect("must fail");
+        assert!(
+            err.to_string().contains("unsupported journal schema version 42"),
+            "unexpected error: {err}"
+        );
+
+        let legacy = record(0).to_json().replace("\"schema\":1,", "");
+        std::fs::write(&path, format!("{legacy}\n")).unwrap();
+        let err = Journal::resume_from_path(&path).err().expect("must fail");
+        assert!(err.to_string().contains("schema"), "unexpected error: {err}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -28,6 +28,28 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<Row>, String> {
     Ok(rows)
 }
 
+/// Parses a JSONL document from a *live* (possibly still-growing) stream.
+/// An unparseable final line that lacks its trailing newline is a writer
+/// caught mid-append: it is skipped and counted in the returned tally.
+/// Corruption anywhere else is still an error.
+pub fn parse_jsonl_live(text: &str) -> Result<(Vec<Row>, usize), String> {
+    let terminated = text.ends_with('\n');
+    let lines: Vec<&str> = text.lines().collect();
+    let mut rows = Vec::new();
+    let mut skipped = 0usize;
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_object(line) {
+            Some(row) => rows.push(row),
+            None if i + 1 == lines.len() && !terminated => skipped += 1,
+            None => return Err(format!("line {}: unparseable JSON: {line}", i + 1)),
+        }
+    }
+    Ok((rows, skipped))
+}
+
 fn get_str<'a>(row: &'a Row, key: &str) -> &'a str {
     row.get(key).and_then(|v| v.as_str()).unwrap_or("")
 }
@@ -58,13 +80,61 @@ struct ArmStats {
 }
 
 /// Renders the full run report. `trace_text` is required; `journal_text`
-/// and `metrics_text` unlock the join check and cache sections.
+/// and `metrics_text` unlock the join check and cache sections. Parsing is
+/// strict: any torn line is an error (a completed run's files must be
+/// whole). For a run still in progress use [`render_live_report`].
 pub fn render_report(
     trace_text: &str,
     journal_text: Option<&str>,
     metrics_text: Option<&str>,
 ) -> Result<String, String> {
     let events = parse_jsonl(trace_text).map_err(|e| format!("trace: {e}"))?;
+    let journal = journal_text
+        .map(|t| parse_jsonl(t).map_err(|e| format!("journal: {e}")))
+        .transpose()?;
+    render_rows(&events, journal.as_deref(), metrics_text, None)
+}
+
+/// Renders a report over a possibly-live run: torn final lines in the trace
+/// and journal are tolerated (the run's writer may be mid-append), and a
+/// status header marks the run `running` or `complete` — what a service's
+/// progress endpoint serves while a study executes.
+pub fn render_live_report(
+    trace_text: &str,
+    journal_text: Option<&str>,
+    metrics_text: Option<&str>,
+    complete: bool,
+) -> Result<String, String> {
+    let (events, torn_trace) =
+        parse_jsonl_live(trace_text).map_err(|e| format!("trace: {e}"))?;
+    let mut torn = torn_trace;
+    let journal = match journal_text {
+        Some(t) => {
+            let (rows, torn_journal) =
+                parse_jsonl_live(t).map_err(|e| format!("journal: {e}"))?;
+            torn += torn_journal;
+            Some(rows)
+        }
+        None => None,
+    };
+    let mut status = format!(
+        "status: {}",
+        if complete { "complete" } else { "running (partial)" }
+    );
+    if torn > 0 {
+        status.push_str(&format!("  ({torn} in-flight line(s) skipped)"));
+    }
+    render_rows(&events, journal.as_deref(), metrics_text, Some(status))
+}
+
+/// Shared rendering over pre-parsed rows; `status` prepends a run-status
+/// header (live reports only).
+fn render_rows(
+    events: &[Row],
+    journal: Option<&[Row]>,
+    metrics_text: Option<&str>,
+    status: Option<String>,
+) -> Result<String, String> {
     let trials: Vec<&Row> = events
         .iter()
         .filter(|e| get_str(e, "kind") == "trial")
@@ -77,8 +147,12 @@ pub fn render_report(
     let mut out = String::new();
     out.push_str("VolcanoML run report\n");
     out.push_str("====================\n\n");
+    if let Some(status) = &status {
+        out.push_str(status);
+        out.push_str("\n\n");
+    }
     let mut kinds: BTreeMap<&str, usize> = BTreeMap::new();
-    for e in &events {
+    for e in events {
         *kinds.entry(get_str(e, "kind")).or_insert(0) += 1;
     }
     out.push_str(&format!("trace events: {}", events.len()));
@@ -89,8 +163,7 @@ pub fn render_report(
     out.push('\n');
 
     // ── Journal ↔ trace join check ──────────────────────────────────────
-    if let Some(journal_text) = journal_text {
-        let journal = parse_jsonl(journal_text).map_err(|e| format!("journal: {e}"))?;
+    if let Some(journal) = journal {
         let mut span_trials: BTreeMap<i64, usize> = BTreeMap::new();
         for t in &trials {
             *span_trials.entry(get_i64(t, "trial")).or_insert(0) += 1;
@@ -98,7 +171,7 @@ pub fn render_report(
         let mut joined = 0usize;
         let mut orphans = Vec::new();
         let mut dupes = Vec::new();
-        for row in &journal {
+        for row in journal {
             let id = get_i64(row, "trial");
             match span_trials.get(&id) {
                 Some(1) => joined += 1,
@@ -526,5 +599,34 @@ mod tests {
         let text = format!("{}\n{{\"span\":12,\"kin", sample_trace());
         let err = render_report(&text, None, None).unwrap_err();
         assert!(err.contains("unparseable"), "{err}");
+    }
+
+    #[test]
+    fn live_report_tolerates_torn_tail_and_marks_running() {
+        let text = format!("{}\n{{\"span\":12,\"kin", sample_trace());
+        let report = render_live_report(&text, None, None, false).unwrap();
+        assert!(report.contains("status: running (partial)"), "{report}");
+        assert!(report.contains("1 in-flight line(s) skipped"), "{report}");
+        assert!(report.contains("Per-arm convergence"));
+        assert!(report.contains("algorithm=1"));
+
+        let done = render_live_report(&sample_trace(), None, None, true).unwrap();
+        assert!(done.contains("status: complete"), "{done}");
+        assert!(!done.contains("skipped"), "{done}");
+    }
+
+    #[test]
+    fn live_report_still_rejects_midfile_corruption() {
+        let text = format!("{{\"span\":12,\"kin\n{}", sample_trace());
+        let err = render_live_report(&text, None, None, false).err().unwrap();
+        assert!(err.contains("unparseable"), "{err}");
+    }
+
+    #[test]
+    fn live_report_joins_torn_journal() {
+        let journal = "{\"trial\":0,\"loss\":0.5}\n{\"trial\":1,\"lo";
+        let report =
+            render_live_report(&sample_trace(), Some(journal), None, false).unwrap();
+        assert!(report.contains("journal rows: 1  joined to trace: 1"), "{report}");
     }
 }

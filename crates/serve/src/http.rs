@@ -1,0 +1,148 @@
+//! A deliberately tiny HTTP/1.1 layer over `std::net::TcpStream` — just
+//! enough for the service's JSON API (request line + headers + sized body,
+//! one request per connection, `Connection: close`). Keeping it in-tree
+//! keeps the workspace hermetic; the API surface is four methods on five
+//! routes, not a web framework's worth of generality.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest request body the server accepts (study specs are < 1 KiB).
+const MAX_BODY: usize = 1 << 20;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, `DELETE`, ...
+    pub method: String,
+    /// Path component only (no query handling — the API doesn't use one).
+    pub path: String,
+    /// Raw body bytes (UTF-8 JSON for this API).
+    pub body: String,
+}
+
+/// Reads one request from the stream. Returns `Err` on malformed framing;
+/// the caller answers with 400 and closes.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read request line: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_uppercase();
+    let path = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || !path.starts_with('/') {
+        return Err(format!("malformed request line: {line:?}"));
+    }
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| format!("read header: {e}"))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((key, value)) = header.split_once(':') {
+            if key.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad content-length: {value:?}"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(format!("body too large ({content_length} bytes)"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("read body: {e}"))?;
+    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    Ok(Request { method, path, body })
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one response and flushes. `content_type` is `application/json`
+/// for API routes, `text/plain` for rendered reports.
+pub fn write_response(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_text(code),
+        body.len()
+    );
+    // A client that hung up mid-response is its own problem; the server
+    // moves on either way.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// JSON error body shared by every failure path.
+pub fn error_body(message: &str) -> String {
+    format!("{{\"error\":\"{}\"}}", volcanoml_obs::json::escape(message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn parses_request_with_body() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(
+                b"POST /studies HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\n{}",
+            )
+            .unwrap();
+            s.flush().unwrap();
+            // Hold the connection open until the server has parsed it.
+            let mut buf = Vec::new();
+            let _ = s.read_to_end(&mut buf);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let req = read_request(&mut stream).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/studies");
+        assert_eq!(req.body, "{}");
+        write_response(&mut stream, 201, "application/json", "{\"id\":\"s\"}");
+        drop(stream);
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn rejects_malformed_request_line() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"garbage\r\n\r\n").unwrap();
+            s.flush().unwrap();
+            let mut buf = Vec::new();
+            let _ = s.read_to_end(&mut buf);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        assert!(read_request(&mut stream).is_err());
+        drop(stream);
+        client.join().unwrap();
+    }
+}

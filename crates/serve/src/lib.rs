@@ -1,0 +1,38 @@
+//! volcanoml-serve — a persistent, resumable, multi-tenant AutoML service.
+//!
+//! The crate turns the single-shot `VolcanoML::fit` engine into a daemon:
+//! clients `POST` study specifications over a tiny std-only HTTP/JSON API,
+//! the server schedules every study onto ONE shared [`volcanoml_exec::ExecPool`]
+//! under fair-share batch caps (each of the k active studies gets at most
+//! `workers / k` slots per batch), and all trial evidence streams to a
+//! per-study directory: `spec.json`, the crash-safe trial journal,
+//! `trace.jsonl`, `metrics.json`, and a terminal `result.json`.
+//!
+//! The keystone property is **crash-resume**: `kill -9` the server, restart
+//! it with `resume`, and every interrupted study continues where it left
+//! off. This works because engine schedules are deterministic functions of
+//! the seed and the observed losses (replay-by-redrive): the driver rebuilds
+//! the study's block tree from `spec.json`, attaches the journal as a replay
+//! table, and re-drives the fit — journaled trials answer bitwise from the
+//! replay table without re-executing or re-journaling, then fresh trials
+//! continue with ids past the journal's maximum. No duplicate trial ids, and
+//! the final [`volcanoml_core::StudyState`] matches an uninterrupted run.
+//!
+//! ```text
+//! clients ──HTTP──▶ Server (accept loop, routes)
+//!                     │ POST /studies      ──▶ Study dir + driver thread
+//!                     │ GET  /studies/:id  ──▶ status + live journal stats
+//!                     │ GET  .../report    ──▶ render_live_report (mid-run ok)
+//!                     │ DELETE /studies/:id──▶ stop flag → cancelled
+//!                     ▼
+//!               shared ExecPool (fair-share batch caps)
+//! ```
+
+pub mod http;
+pub mod server;
+pub mod spec;
+pub mod study;
+
+pub use server::{ServeConfig, Server};
+pub use spec::{DatasetSpec, StudySpec};
+pub use study::{Study, StudyStatus};

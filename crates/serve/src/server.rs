@@ -1,0 +1,472 @@
+//! The service itself: a `TcpListener` accept loop routing a small JSON API
+//! onto the study registry, one shared [`ExecPool`] across all tenants, and
+//! the startup resume scan that re-drives interrupted studies from their
+//! journals.
+//!
+//! Routes (one request per connection, `Connection: close`):
+//!
+//! | method | path                  | effect                                   |
+//! |--------|-----------------------|------------------------------------------|
+//! | GET    | `/healthz`            | liveness probe                           |
+//! | GET    | `/studies`            | list all studies with status             |
+//! | POST   | `/studies`            | submit a [`StudySpec`], returns its id   |
+//! | GET    | `/studies/:id`        | status + live journal statistics         |
+//! | GET    | `/studies/:id/report` | rendered run report (works mid-run)      |
+//! | DELETE | `/studies/:id`        | request cancellation                     |
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use volcanoml_exec::{ExecPool, TrialRecord};
+use volcanoml_obs::json::{escape, num};
+
+use crate::http::{error_body, read_request, write_response, Request};
+use crate::spec::StudySpec;
+use crate::study::{spawn_driver, Study, StudyStatus};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Root directory for study state (one subdirectory per study).
+    pub dir: PathBuf,
+    /// Shared worker-pool size.
+    pub workers: usize,
+    /// TCP port on 127.0.0.1; `0` binds an ephemeral port (the actual
+    /// address is always written to `<dir>/serve.addr`).
+    pub port: u16,
+    /// Re-drive interrupted studies found in `dir` at startup.
+    pub resume: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            dir: PathBuf::from("volcano-serve"),
+            workers: 2,
+            port: 0,
+            resume: false,
+        }
+    }
+}
+
+struct ServerInner {
+    dir: PathBuf,
+    pool: Arc<ExecPool>,
+    workers: usize,
+    /// Studies whose driver thread is currently running; feeds fair-share.
+    active: Arc<AtomicUsize>,
+    studies: Mutex<BTreeMap<String, Arc<Study>>>,
+    next_id: AtomicU64,
+    stop_accept: AtomicBool,
+}
+
+/// A running service instance. Dropping it does NOT stop the server; call
+/// [`Server::shutdown`] (or let the process exit).
+pub struct Server {
+    inner: Arc<ServerInner>,
+    accept: Option<JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds, performs the resume scan, and starts the accept loop.
+    pub fn start(config: ServeConfig) -> Result<Server, String> {
+        std::fs::create_dir_all(&config.dir)
+            .map_err(|e| format!("cannot create {}: {e}", config.dir.display()))?;
+        let workers = config.workers.max(1);
+        let inner = Arc::new(ServerInner {
+            dir: config.dir.clone(),
+            pool: Arc::new(ExecPool::with_workers(workers)),
+            workers,
+            active: Arc::new(AtomicUsize::new(0)),
+            studies: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+            stop_accept: AtomicBool::new(false),
+        });
+        inner.scan_existing(config.resume)?;
+        let listener = TcpListener::bind(("127.0.0.1", config.port))
+            .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", config.port))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        // Publish the actual address so clients (and the CI smoke test) can
+        // find an ephemeral-port server.
+        std::fs::write(config.dir.join("serve.addr"), format!("{addr}\n"))
+            .map_err(|e| format!("cannot write serve.addr: {e}"))?;
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_inner.stop_accept.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(mut stream) = stream {
+                    let conn_inner = Arc::clone(&accept_inner);
+                    std::thread::spawn(move || conn_inner.handle_connection(&mut stream));
+                }
+            }
+        });
+        Ok(Server {
+            inner,
+            accept: Some(accept),
+            addr,
+        })
+    }
+
+    /// The bound address (useful with `port: 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until every registered study has reached a terminal state.
+    pub fn join_studies(&self) {
+        loop {
+            let studies: Vec<Arc<Study>> = {
+                let map = self.inner.studies.lock().expect("studies lock");
+                map.values().cloned().collect()
+            };
+            for s in &studies {
+                s.join();
+            }
+            // New studies may have been POSTed while joining; go again until
+            // a pass finds nothing running.
+            let all_terminal = {
+                let map = self.inner.studies.lock().expect("studies lock");
+                map.values().all(|s| s.status() != StudyStatus::Running)
+            };
+            if all_terminal {
+                return;
+            }
+        }
+    }
+
+    /// Stops accepting connections, cancels running studies, and joins all
+    /// threads. Already-terminal studies keep their results.
+    pub fn shutdown(mut self) {
+        self.inner.stop_accept.store(true, Ordering::SeqCst);
+        // The accept loop only re-checks the flag on a new connection; poke
+        // it once so it wakes up and exits.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let studies: Vec<Arc<Study>> = {
+            let map = self.inner.studies.lock().expect("studies lock");
+            map.values().cloned().collect()
+        };
+        for s in &studies {
+            s.stop.store(true, Ordering::SeqCst);
+        }
+        for s in &studies {
+            s.join();
+        }
+    }
+}
+
+impl ServerInner {
+    /// Startup scan: every subdirectory with a `spec.json` is a known study.
+    /// Ones without a `result.json` were interrupted; with `resume` they are
+    /// re-driven from their journal, otherwise they are listed as failed.
+    fn scan_existing(self: &Arc<Self>, resume: bool) -> Result<(), String> {
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(_) => return Ok(()),
+        };
+        let mut max_numeric = 0u64;
+        for entry in entries.flatten() {
+            let dir = entry.path();
+            let spec_path = dir.join("spec.json");
+            if !spec_path.is_file() {
+                continue;
+            }
+            let id = entry.file_name().to_string_lossy().to_string();
+            if let Some(n) = id.strip_prefix("study-").and_then(|s| s.parse::<u64>().ok()) {
+                max_numeric = max_numeric.max(n);
+            }
+            let spec_text = std::fs::read_to_string(&spec_path)
+                .map_err(|e| format!("cannot read {}: {e}", spec_path.display()))?;
+            let spec = StudySpec::from_json(&spec_text)
+                .map_err(|e| format!("{}: {e}", spec_path.display()))?;
+            let study = Arc::new(Study::new(id.clone(), spec, dir.clone()));
+            let terminal = std::fs::read_to_string(dir.join("result.json"))
+                .ok()
+                .and_then(|t| StudyStatus::from_json(&t));
+            match terminal {
+                Some(status) => study.set_status(status),
+                None if resume => {
+                    // Interrupted: re-drive. The driver replays the journal
+                    // (if one exists) before running fresh trials.
+                    spawn_driver(
+                        Arc::clone(&study),
+                        Arc::clone(&self.pool),
+                        self.workers,
+                        Arc::clone(&self.active),
+                        true,
+                    );
+                }
+                None => study.set_status(StudyStatus::Failed {
+                    error: "interrupted; restart the server with --resume".to_string(),
+                }),
+            }
+            self.studies
+                .lock()
+                .expect("studies lock")
+                .insert(id, study);
+        }
+        self.next_id.store(max_numeric + 1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn handle_connection(self: &Arc<Self>, stream: &mut TcpStream) {
+        let req = match read_request(stream) {
+            Ok(r) => r,
+            Err(e) => {
+                write_response(stream, 400, "application/json", &error_body(&e));
+                return;
+            }
+        };
+        let (code, content_type, body) = self.route(&req);
+        write_response(stream, code, content_type, &body);
+    }
+
+    fn route(self: &Arc<Self>, req: &Request) -> (u16, &'static str, String) {
+        let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+        match (req.method.as_str(), segments.as_slice()) {
+            ("GET", ["healthz"]) => (
+                200,
+                "application/json",
+                format!(
+                    "{{\"status\":\"ok\",\"workers\":{},\"active_studies\":{}}}",
+                    self.workers,
+                    self.active.load(Ordering::SeqCst)
+                ),
+            ),
+            ("GET", ["studies"]) => (200, "application/json", self.list_studies()),
+            ("POST", ["studies"]) => self.submit_study(&req.body),
+            ("GET", ["studies", id]) => match self.get_study(id) {
+                Some(study) => (200, "application/json", study_json(&study)),
+                None => not_found(id),
+            },
+            ("GET", ["studies", id, "report"]) => match self.get_study(id) {
+                Some(study) => render_study_report(&study),
+                None => not_found(id),
+            },
+            ("DELETE", ["studies", id]) => match self.get_study(id) {
+                Some(study) => {
+                    study.stop.store(true, Ordering::SeqCst);
+                    (
+                        202,
+                        "application/json",
+                        format!("{{\"id\":\"{}\",\"status\":\"cancelling\"}}", escape(id)),
+                    )
+                }
+                None => not_found(id),
+            },
+            (_, ["healthz"]) | (_, ["studies"]) | (_, ["studies", ..]) => (
+                405,
+                "application/json",
+                error_body(&format!("method {} not allowed here", req.method)),
+            ),
+            _ => (
+                404,
+                "application/json",
+                error_body(&format!("no such route {}", req.path)),
+            ),
+        }
+    }
+
+    fn get_study(&self, id: &str) -> Option<Arc<Study>> {
+        self.studies.lock().expect("studies lock").get(id).cloned()
+    }
+
+    fn list_studies(&self) -> String {
+        let map = self.studies.lock().expect("studies lock");
+        let items: Vec<String> = map
+            .values()
+            .map(|s| {
+                format!(
+                    "{{\"id\":\"{}\",\"status\":\"{}\"}}",
+                    escape(&s.id),
+                    s.status().tag()
+                )
+            })
+            .collect();
+        format!("{{\"studies\":[{}]}}", items.join(","))
+    }
+
+    fn submit_study(self: &Arc<Self>, body: &str) -> (u16, &'static str, String) {
+        let spec = match StudySpec::from_json(body) {
+            Ok(s) => s,
+            Err(e) => return (400, "application/json", error_body(&e)),
+        };
+        let id = match &spec.name {
+            Some(name) => {
+                let id = sanitize_id(name);
+                if id.is_empty() {
+                    return (
+                        400,
+                        "application/json",
+                        error_body("name must contain at least one of [a-zA-Z0-9._-]"),
+                    );
+                }
+                id
+            }
+            None => format!("study-{}", self.next_id.fetch_add(1, Ordering::SeqCst)),
+        };
+        let dir = self.dir.join(&id);
+        let study = {
+            let mut map = self.studies.lock().expect("studies lock");
+            if map.contains_key(&id) {
+                return (
+                    409,
+                    "application/json",
+                    error_body(&format!("study '{id}' already exists")),
+                );
+            }
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                return (
+                    500,
+                    "application/json",
+                    error_body(&format!("cannot create {}: {e}", dir.display())),
+                );
+            }
+            if let Err(e) = std::fs::write(dir.join("spec.json"), spec.to_json()) {
+                return (
+                    500,
+                    "application/json",
+                    error_body(&format!("cannot write spec.json: {e}")),
+                );
+            }
+            let study = Arc::new(Study::new(id.clone(), spec, dir));
+            map.insert(id.clone(), Arc::clone(&study));
+            study
+        };
+        spawn_driver(
+            study,
+            Arc::clone(&self.pool),
+            self.workers,
+            Arc::clone(&self.active),
+            false,
+        );
+        (201, "application/json", format!("{{\"id\":\"{}\"}}", escape(&id)))
+    }
+}
+
+fn not_found(id: &str) -> (u16, &'static str, String) {
+    (
+        404,
+        "application/json",
+        error_body(&format!("no such study '{id}'")),
+    )
+}
+
+/// Client-chosen ids become directory names; keep them boring.
+fn sanitize_id(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect::<String>()
+        .trim_matches('-')
+        .to_string()
+}
+
+/// Live journal statistics: total rows, non-cached evaluations, best finite
+/// full-fidelity loss. Tolerates a torn final line (the journal may be
+/// mid-write).
+fn journal_stats(path: &Path) -> (usize, usize, Option<f64>) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => return (0, 0, None),
+    };
+    let mut rows = 0usize;
+    let mut evaluations = 0usize;
+    let mut best: Option<f64> = None;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        // A torn final line (journal mid-write) just fails to parse; skip it.
+        let Ok(rec) = TrialRecord::from_json(line) else {
+            continue;
+        };
+        rows += 1;
+        if !rec.cached {
+            evaluations += 1;
+        }
+        if rec.fidelity >= 1.0 - 1e-9 && rec.loss.is_finite() {
+            best = Some(match best {
+                Some(b) => b.min(rec.loss),
+                None => rec.loss,
+            });
+        }
+    }
+    (rows, evaluations, best)
+}
+
+fn study_json(study: &Study) -> String {
+    let status = study.status();
+    let (rows, evaluations, best) = journal_stats(&study.journal_path());
+    let mut parts = vec![
+        format!("\"id\":\"{}\"", escape(&study.id)),
+        format!("\"status\":\"{}\"", status.tag()),
+        format!("\"engine\":\"{}\"", study.spec.engine.name()),
+        format!("\"max_evaluations\":{}", study.spec.max_evaluations),
+        format!("\"journal_rows\":{rows}"),
+        format!("\"evaluations\":{evaluations}"),
+        // Streamed live from the study's shared MetricsRegistry (unlike the
+        // journal stats, this counts trials not yet flushed to disk).
+        format!("\"trials\":{}", study.metrics.counter("trial.total")),
+    ];
+    if let Some(b) = best {
+        parts.push(format!("\"best_loss\":{}", num(b)));
+    }
+    match &status {
+        StudyStatus::Done {
+            best_loss,
+            n_evaluations,
+        } => {
+            parts.push(format!("\"final_best_loss\":{}", num(*best_loss)));
+            parts.push(format!("\"final_evaluations\":{n_evaluations}"));
+        }
+        StudyStatus::Failed { error } => {
+            parts.push(format!("\"error\":\"{}\"", escape(error)));
+        }
+        _ => {}
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn render_study_report(study: &Study) -> (u16, &'static str, String) {
+    let trace = std::fs::read_to_string(study.dir.join("trace.jsonl")).unwrap_or_default();
+    let journal = std::fs::read_to_string(study.journal_path()).ok();
+    let metrics = std::fs::read_to_string(study.dir.join("metrics.json")).ok();
+    let complete = study.status() != StudyStatus::Running;
+    match volcanoml_obs::report::render_live_report(
+        &trace,
+        journal.as_deref(),
+        metrics.as_deref(),
+        complete,
+    ) {
+        Ok(text) => (200, "text/plain", text),
+        Err(e) => (500, "application/json", error_body(&e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_sanitized_to_directory_safe_names() {
+        assert_eq!(sanitize_id("exp one/2"), "exp-one-2");
+        assert_eq!(sanitize_id("--weird--"), "weird");
+        assert_eq!(sanitize_id("ok_name.v2"), "ok_name.v2");
+        assert_eq!(sanitize_id("///"), "");
+    }
+}

@@ -1,0 +1,268 @@
+//! Study specifications: the flat JSON documents clients `POST /studies`,
+//! persisted verbatim-equivalent as `spec.json` in the study directory so a
+//! restarted server can resume the study from its journal alone.
+
+use volcanoml_core::plans::enumerate_coarse_plans;
+use volcanoml_core::{EngineKind, PlanSpec, SpaceTier};
+use volcanoml_data::Dataset;
+use volcanoml_obs::json::{escape, parse_object, JsonValue};
+
+/// Where a study's data comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetSpec {
+    /// One of the CLI's synthetic generators (`classification`, `moons`,
+    /// `xor`, `friedman1`, `imbalanced`), drawn with `seed`.
+    Synthetic { kind: String, seed: u64 },
+    /// A CSV file on the server's filesystem (the CLI's dialect: `#types:`
+    /// line, header, rows).
+    Csv { path: String },
+}
+
+/// One study: dataset + space tier + plan/engine + budget. All fields have
+/// defaults except the dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudySpec {
+    /// Optional client-chosen study id (sanitized; server generates
+    /// `study-N` otherwise).
+    pub name: Option<String>,
+    /// Data source.
+    pub dataset: DatasetSpec,
+    /// Joint-leaf engine (default `bo`).
+    pub engine: EngineKind,
+    /// Coarse plan name `p1`..`p5`; `None` uses the paper's default plan.
+    pub plan: Option<String>,
+    /// Search-space tier (default `small`).
+    pub tier: SpaceTier,
+    /// Evaluation budget (default 30).
+    pub max_evaluations: usize,
+    /// Master seed (default 0).
+    pub seed: u64,
+}
+
+fn parse_engine(s: &str) -> Result<EngineKind, String> {
+    match s {
+        "bo" => Ok(EngineKind::Bo),
+        "random" => Ok(EngineKind::Random),
+        "sh" => Ok(EngineKind::SuccessiveHalving),
+        "hyperband" => Ok(EngineKind::Hyperband),
+        "mfes-hb" => Ok(EngineKind::MfesHb),
+        other => Err(format!("unknown engine '{other}'")),
+    }
+}
+
+fn tier_name(tier: SpaceTier) -> &'static str {
+    match tier {
+        SpaceTier::Small => "small",
+        SpaceTier::Medium => "medium",
+        SpaceTier::Large => "large",
+    }
+}
+
+fn parse_tier(s: &str) -> Result<SpaceTier, String> {
+    match s {
+        "small" => Ok(SpaceTier::Small),
+        "medium" => Ok(SpaceTier::Medium),
+        "large" => Ok(SpaceTier::Large),
+        other => Err(format!("unknown tier '{other}'")),
+    }
+}
+
+const SYNTHETIC_KINDS: [&str; 5] = ["classification", "moons", "xor", "friedman1", "imbalanced"];
+
+impl StudySpec {
+    /// Parses a spec from the flat JSON a client posts, e.g.
+    /// `{"dataset":"moons","engine":"bo","max_evaluations":20,"seed":3}` or
+    /// `{"csv":"/data/d.csv","tier":"medium"}`.
+    pub fn from_json(text: &str) -> Result<StudySpec, String> {
+        let doc = parse_object(text).ok_or_else(|| "unparseable JSON".to_string())?;
+        let get_str = |key: &str| -> Result<Option<String>, String> {
+            match doc.get(key) {
+                None | Some(JsonValue::Null) => Ok(None),
+                Some(v) => v
+                    .as_str()
+                    .map(|s| Some(s.to_string()))
+                    .ok_or_else(|| format!("field \"{key}\" must be a string")),
+            }
+        };
+        let get_u64 = |key: &str, default: u64| -> Result<u64, String> {
+            match doc.get(key) {
+                None | Some(JsonValue::Null) => Ok(default),
+                Some(v) => v
+                    .as_f64()
+                    .filter(|x| x.is_finite() && *x >= 0.0 && x.fract() == 0.0)
+                    .map(|x| x as u64)
+                    .ok_or_else(|| format!("field \"{key}\" must be a non-negative integer")),
+            }
+        };
+        let dataset = match (get_str("dataset")?, get_str("csv")?) {
+            (Some(_), Some(_)) => {
+                return Err("give either \"dataset\" (synthetic) or \"csv\", not both".into())
+            }
+            (Some(kind), None) => {
+                if !SYNTHETIC_KINDS.contains(&kind.as_str()) {
+                    return Err(format!(
+                        "unknown synthetic dataset '{kind}' (one of {})",
+                        SYNTHETIC_KINDS.join(", ")
+                    ));
+                }
+                DatasetSpec::Synthetic {
+                    kind,
+                    seed: get_u64("data_seed", 0)?,
+                }
+            }
+            (None, Some(path)) => DatasetSpec::Csv { path },
+            (None, None) => return Err("spec needs a \"dataset\" (synthetic kind) or \"csv\" path".into()),
+        };
+        let engine = match get_str("engine")? {
+            Some(s) => parse_engine(&s)?,
+            None => EngineKind::Bo,
+        };
+        let plan = get_str("plan")?;
+        if let Some(p) = &plan {
+            // Validate eagerly so a bad plan 400s at submission, not at fit.
+            resolve_plan(Some(p), engine)?;
+        }
+        let tier = match get_str("tier")? {
+            Some(s) => parse_tier(&s)?,
+            None => SpaceTier::Small,
+        };
+        let max_evaluations = get_u64("max_evaluations", 30)? as usize;
+        if max_evaluations == 0 {
+            return Err("\"max_evaluations\" must be >= 1".into());
+        }
+        Ok(StudySpec {
+            name: get_str("name")?,
+            dataset,
+            engine,
+            plan,
+            tier,
+            max_evaluations,
+            seed: get_u64("seed", 0)?,
+        })
+    }
+
+    /// Serializes the spec back to the same flat JSON shape `from_json`
+    /// reads — what `spec.json` holds for crash-resume.
+    pub fn to_json(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(name) = &self.name {
+            parts.push(format!("\"name\":\"{}\"", escape(name)));
+        }
+        match &self.dataset {
+            DatasetSpec::Synthetic { kind, seed } => {
+                parts.push(format!("\"dataset\":\"{}\"", escape(kind)));
+                parts.push(format!("\"data_seed\":{seed}"));
+            }
+            DatasetSpec::Csv { path } => parts.push(format!("\"csv\":\"{}\"", escape(path))),
+        }
+        parts.push(format!("\"engine\":\"{}\"", self.engine.name()));
+        if let Some(plan) = &self.plan {
+            parts.push(format!("\"plan\":\"{}\"", escape(plan)));
+        }
+        parts.push(format!("\"tier\":\"{}\"", tier_name(self.tier)));
+        parts.push(format!("\"max_evaluations\":{}", self.max_evaluations));
+        parts.push(format!("\"seed\":{}", self.seed));
+        format!("{{{}}}", parts.join(","))
+    }
+
+    /// Materializes the study's dataset.
+    pub fn build_dataset(&self) -> Result<Dataset, String> {
+        match &self.dataset {
+            DatasetSpec::Synthetic { kind, seed } => {
+                use volcanoml_data::synthetic::*;
+                Ok(match kind.as_str() {
+                    "classification" => make_classification(&ClassificationSpec::default(), *seed),
+                    "moons" => make_moons(500, 0.15, 2, *seed),
+                    "xor" => make_xor(500, 2, 8, 0.03, *seed),
+                    "friedman1" => make_friedman1(500, 4, 0.5, *seed),
+                    "imbalanced" => make_classification(
+                        &ClassificationSpec {
+                            weights: vec![0.9, 0.1],
+                            ..ClassificationSpec::default()
+                        },
+                        *seed,
+                    ),
+                    other => return Err(format!("unknown synthetic dataset '{other}'")),
+                })
+            }
+            DatasetSpec::Csv { path } => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                volcanoml_data::csv::from_csv(path, &text).map_err(|e| e.to_string())
+            }
+        }
+    }
+
+    /// Resolves the plan name (or the default plan) for this spec.
+    pub fn resolve_plan(&self) -> Result<PlanSpec, String> {
+        resolve_plan(self.plan.as_deref(), self.engine)
+    }
+}
+
+fn resolve_plan(name: Option<&str>, engine: EngineKind) -> Result<PlanSpec, String> {
+    match name {
+        None => Ok(PlanSpec::volcano_default(engine)),
+        Some(s) => enumerate_coarse_plans(engine)
+            .into_iter()
+            .find(|(name, _)| name.to_lowercase().starts_with(s))
+            .map(|(_, plan)| plan)
+            .ok_or_else(|| format!("unknown plan '{s}' (use p1..p5)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = StudySpec::from_json(
+            r#"{"name":"exp-1","dataset":"moons","data_seed":7,"engine":"hyperband",
+                "plan":"p2","tier":"medium","max_evaluations":44,"seed":9}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.name.as_deref(), Some("exp-1"));
+        assert_eq!(spec.engine, EngineKind::Hyperband);
+        assert_eq!(spec.max_evaluations, 44);
+        let again = StudySpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, again);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let spec = StudySpec::from_json(r#"{"dataset":"classification"}"#).unwrap();
+        assert_eq!(spec.engine, EngineKind::Bo);
+        assert_eq!(spec.tier, SpaceTier::Small);
+        assert_eq!(spec.max_evaluations, 30);
+        assert_eq!(spec.seed, 0);
+        assert!(spec.plan.is_none());
+        spec.resolve_plan().unwrap();
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_reasons() {
+        for (doc, needle) in [
+            ("not json", "unparseable"),
+            ("{}", "needs a"),
+            (r#"{"dataset":"mnist"}"#, "unknown synthetic dataset"),
+            (r#"{"dataset":"moons","csv":"x.csv"}"#, "not both"),
+            (r#"{"dataset":"moons","engine":"sgd"}"#, "unknown engine"),
+            (r#"{"dataset":"moons","tier":"huge"}"#, "unknown tier"),
+            (r#"{"dataset":"moons","plan":"p9"}"#, "unknown plan"),
+            (r#"{"dataset":"moons","max_evaluations":0}"#, ">= 1"),
+            (r#"{"dataset":"moons","seed":-1}"#, "non-negative"),
+        ] {
+            let err = StudySpec::from_json(doc).unwrap_err();
+            assert!(err.contains(needle), "{doc}: {err}");
+        }
+    }
+
+    #[test]
+    fn synthetic_datasets_build() {
+        for kind in SYNTHETIC_KINDS {
+            let spec = StudySpec::from_json(&format!(r#"{{"dataset":"{kind}"}}"#)).unwrap();
+            let d = spec.build_dataset().unwrap();
+            assert!(d.n_samples() > 0);
+        }
+    }
+}

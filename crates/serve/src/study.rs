@@ -1,0 +1,279 @@
+//! One tenant study: its spec, on-disk layout, lifecycle state, and the
+//! driver thread that runs `VolcanoML::fit` against the shared worker pool.
+//!
+//! On-disk layout per study (`<serve dir>/<id>/`):
+//!
+//! - `spec.json`    — the submitted [`StudySpec`], written before the driver
+//!   starts; its presence is what the resume scan keys on.
+//! - `journal.jsonl` — the trial journal (schema-versioned, crash-safe).
+//! - `trace.jsonl` / `metrics.json` — obs artifacts for `volcanoml report`.
+//! - `result.json`  — written ONLY on terminal state (done / failed /
+//!   cancelled). Its absence after a crash marks the study as resumable.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use volcanoml_core::{VolcanoML, VolcanoMlOptions};
+use volcanoml_exec::ExecPool;
+use volcanoml_obs::json::{escape, num, parse_object};
+use volcanoml_obs::metrics::MetricsRegistry;
+
+use crate::spec::StudySpec;
+
+/// Lifecycle of one study. `Running` covers queued-and-executing; the three
+/// terminal states mirror what `result.json` records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StudyStatus {
+    /// Driver thread is alive (or about to start).
+    Running,
+    /// Fit finished; headline numbers from the report.
+    Done {
+        /// Best validation loss found.
+        best_loss: f64,
+        /// Non-cached evaluations spent.
+        n_evaluations: usize,
+    },
+    /// Fit returned an error.
+    Failed {
+        /// The error message.
+        error: String,
+    },
+    /// A `DELETE /studies/:id` stopped the study early.
+    Cancelled,
+}
+
+impl StudyStatus {
+    /// Short machine-readable tag (`running`/`done`/`failed`/`cancelled`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            StudyStatus::Running => "running",
+            StudyStatus::Done { .. } => "done",
+            StudyStatus::Failed { .. } => "failed",
+            StudyStatus::Cancelled => "cancelled",
+        }
+    }
+
+    /// Serializes to the `result.json` document.
+    pub fn to_json(&self) -> String {
+        match self {
+            StudyStatus::Running => "{\"status\":\"running\"}".to_string(),
+            StudyStatus::Done {
+                best_loss,
+                n_evaluations,
+            } => format!(
+                "{{\"status\":\"done\",\"best_loss\":{},\"n_evaluations\":{}}}",
+                num(*best_loss),
+                n_evaluations
+            ),
+            StudyStatus::Failed { error } => {
+                format!("{{\"status\":\"failed\",\"error\":\"{}\"}}", escape(error))
+            }
+            StudyStatus::Cancelled => "{\"status\":\"cancelled\"}".to_string(),
+        }
+    }
+
+    /// Parses a `result.json` document (used by the resume scan to decide
+    /// whether a study already reached a terminal state).
+    pub fn from_json(text: &str) -> Option<StudyStatus> {
+        let doc = parse_object(text)?;
+        match doc.get("status")?.as_str()? {
+            "running" => Some(StudyStatus::Running),
+            "done" => Some(StudyStatus::Done {
+                best_loss: doc.get("best_loss")?.as_f64()?,
+                n_evaluations: doc.get("n_evaluations")?.as_f64()? as usize,
+            }),
+            "failed" => Some(StudyStatus::Failed {
+                error: doc.get("error")?.as_str()?.to_string(),
+            }),
+            "cancelled" => Some(StudyStatus::Cancelled),
+            _ => None,
+        }
+    }
+}
+
+/// One study registered with the server.
+pub struct Study {
+    /// Server-unique id (also the directory name).
+    pub id: String,
+    /// The submitted spec.
+    pub spec: StudySpec,
+    /// `<serve dir>/<id>/`.
+    pub dir: PathBuf,
+    /// Set by `DELETE`; the fit loop observes it between batches.
+    pub stop: Arc<AtomicBool>,
+    /// The study's live metrics registry, shared with the fit so the status
+    /// route streams counters mid-run (a snapshot still lands in
+    /// `metrics.json` at the end).
+    pub metrics: Arc<MetricsRegistry>,
+    state: Mutex<StudyStatus>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Study {
+    /// A freshly registered study in `Running` state.
+    pub fn new(id: String, spec: StudySpec, dir: PathBuf) -> Study {
+        Study {
+            id,
+            spec,
+            dir,
+            stop: Arc::new(AtomicBool::new(false)),
+            metrics: Arc::new(MetricsRegistry::new()),
+            state: Mutex::new(StudyStatus::Running),
+            handle: Mutex::new(None),
+        }
+    }
+
+    /// Current lifecycle state.
+    pub fn status(&self) -> StudyStatus {
+        self.state.lock().expect("study state lock").clone()
+    }
+
+    /// Overrides the lifecycle state (used by the server's resume scan to
+    /// restore terminal states recorded in `result.json`).
+    pub fn set_status(&self, status: StudyStatus) {
+        *self.state.lock().expect("study state lock") = status;
+    }
+
+    /// Path of this study's journal.
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join("journal.jsonl")
+    }
+
+    /// Blocks until the driver thread (if any) has finished.
+    pub fn join(&self) {
+        let handle = self.handle.lock().expect("study handle lock").take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Spawns the driver thread for `study`. `resume` asks the driver to replay
+/// an existing journal instead of starting fresh; `workers` is the shared
+/// pool's size (it must also be passed as `n_workers`, which bounds this
+/// run's batch size); `active` counts concurrently running studies and feeds
+/// the fair-share batch cap.
+pub fn spawn_driver(
+    study: Arc<Study>,
+    pool: Arc<ExecPool>,
+    workers: usize,
+    active: Arc<AtomicUsize>,
+    resume: bool,
+) {
+    let runner = Arc::clone(&study);
+    let handle = std::thread::spawn(move || {
+        active.fetch_add(1, Ordering::SeqCst);
+        let outcome = fit_study(&runner, pool, workers, Arc::clone(&active), resume);
+        active.fetch_sub(1, Ordering::SeqCst);
+        // Cancellation wins over whatever the interrupted fit returned: a
+        // stopped run's partial Ok (or its "no evaluations" Err) is not a
+        // meaningful terminal result.
+        let status = if runner.stop.load(Ordering::SeqCst) {
+            StudyStatus::Cancelled
+        } else {
+            match outcome {
+                Ok((best_loss, n_evaluations)) => StudyStatus::Done {
+                    best_loss,
+                    n_evaluations,
+                },
+                Err(error) => StudyStatus::Failed { error },
+            }
+        };
+        // result.json is the durable terminal marker; write it before
+        // flipping the in-memory state so a crash between the two still
+        // leaves the study resumable (it would just re-run the tail).
+        let _ = std::fs::write(runner.dir.join("result.json"), status.to_json());
+        *runner.state.lock().expect("study state lock") = status;
+    });
+    *study.handle.lock().expect("study handle lock") = Some(handle);
+}
+
+/// Builds the dataset, wires the study into the shared pool with fair-share
+/// batching, and runs the fit. Returns `(best_loss, n_evaluations)`.
+fn fit_study(
+    study: &Study,
+    pool: Arc<ExecPool>,
+    workers: usize,
+    active: Arc<AtomicUsize>,
+    resume: bool,
+) -> Result<(f64, usize), String> {
+    let data = study.spec.build_dataset()?;
+    let plan = study.spec.resolve_plan()?;
+    let journal_path = study.journal_path();
+    let options = VolcanoMlOptions {
+        plan,
+        max_evaluations: study.spec.max_evaluations,
+        seed: study.spec.seed,
+        // Without this the per-run batch size caps at
+        // min(pool.workers(), n_workers) = 1 and the pool sits idle.
+        n_workers: workers,
+        journal_path: Some(journal_path.clone()),
+        trace_path: Some(study.dir.join("trace.jsonl")),
+        metrics_path: Some(study.dir.join("metrics.json")),
+        resume: resume && journal_path.exists(),
+        shared_pool: Some(pool),
+        // Fair share: each of the k active studies may occupy at most
+        // workers/k slots per batch, re-read every batch so capacity
+        // rebalances as studies come and go.
+        batch_cap: Some(Arc::new(move || {
+            (workers / active.load(Ordering::SeqCst).max(1)).max(1)
+        })),
+        stop_flag: Some(Arc::clone(&study.stop)),
+        shared_metrics: Some(Arc::clone(&study.metrics)),
+        ..VolcanoMlOptions::default()
+    };
+    let engine = VolcanoML::with_tier(data.task, study.spec.tier, options);
+    let fitted = engine.fit(&data).map_err(|e| e.to_string())?;
+    Ok((fitted.report.best_loss, fitted.report.n_evaluations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_round_trips_through_result_json() {
+        for status in [
+            StudyStatus::Running,
+            StudyStatus::Done {
+                best_loss: 0.125,
+                n_evaluations: 17,
+            },
+            StudyStatus::Failed {
+                error: "boom \"quoted\"".to_string(),
+            },
+            StudyStatus::Cancelled,
+        ] {
+            let again = StudyStatus::from_json(&status.to_json()).expect("parse back");
+            assert_eq!(status, again);
+        }
+    }
+
+    #[test]
+    fn driver_runs_a_tiny_study_to_done() {
+        let dir = std::env::temp_dir().join(format!(
+            "volcanoml-serve-study-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = StudySpec::from_json(
+            r#"{"dataset":"moons","engine":"random","max_evaluations":4,"seed":1}"#,
+        )
+        .unwrap();
+        let study = Arc::new(Study::new("t0".to_string(), spec, dir.clone()));
+        let pool = Arc::new(ExecPool::with_workers(2));
+        let active = Arc::new(AtomicUsize::new(0));
+        spawn_driver(Arc::clone(&study), pool, 2, active, false);
+        study.join();
+        match study.status() {
+            StudyStatus::Done { n_evaluations, .. } => assert!(n_evaluations >= 1),
+            other => panic!("expected Done, got {other:?}"),
+        }
+        assert!(dir.join("result.json").exists());
+        assert!(dir.join("journal.jsonl").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

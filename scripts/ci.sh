@@ -69,4 +69,62 @@ assert rung_tagged > 0, "no rung/bracket attribution in the journal"
 print(f"mfes-hb smoke ok: sub-1.0 fidelities {sorted(sub_full)}, {rung_tagged} rung-tagged trials")
 EOF
 
+echo "== smoke: serve crash-resume (kill -9, restart --resume) =="
+SERVE_DIR="$SMOKE_DIR/serve"
+"$VOLCANOML" serve --dir "$SERVE_DIR" --port 0 --workers 2 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SERVE_DIR/serve.addr" ] && break
+    sleep 0.1
+done
+ADDR="$(cat "$SERVE_DIR/serve.addr")"
+# Submit a study and wait until its journal holds a few rows, then kill -9
+# mid-run: the restarted server must resume it from the journal alone.
+python3 - "$ADDR" <<'EOF'
+import http.client, json, sys
+c = http.client.HTTPConnection(sys.argv[1], timeout=10)
+c.request("POST", "/studies", json.dumps({
+    "name": "smoke", "dataset": "moons", "engine": "mfes-hb",
+    "max_evaluations": 80, "seed": 11}))
+r = c.getresponse()
+assert r.status == 201, (r.status, r.read())
+EOF
+JOURNAL="$SERVE_DIR/smoke/journal.jsonl"
+for _ in $(seq 1 300); do
+    ROWS=$(grep -c '"schema"' "$JOURNAL" 2>/dev/null || true)
+    [ "${ROWS:-0}" -ge 3 ] && break
+    sleep 0.1
+done
+[ "${ROWS:-0}" -ge 3 ] || { echo "study never journaled rows"; exit 1; }
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+[ ! -f "$SERVE_DIR/smoke/result.json" ] || { echo "kill -9 arrived too late (study already finished); tune the smoke"; exit 1; }
+"$VOLCANOML" serve --dir "$SERVE_DIR" --port 0 --workers 2 --resume &
+SERVE_PID=$!
+for _ in $(seq 1 600); do
+    [ -f "$SERVE_DIR/smoke/result.json" ] && break
+    sleep 0.1
+done
+kill -9 "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+# The resumed study must complete with unique trial ids and a best loss
+# that only ever improves along the journal.
+python3 - "$SERVE_DIR/smoke" <<'EOF'
+import json, sys
+d = sys.argv[1]
+result = json.load(open(f"{d}/result.json"))
+assert result["status"] == "done", result
+ids, best, best_seen = [], float("inf"), []
+for line in open(f"{d}/journal.jsonl"):
+    row = json.loads(line)
+    ids.append(row["trial"])
+    loss = row["loss"]
+    if isinstance(loss, (int, float)) and row["fidelity"] >= 1.0 - 1e-9:
+        best = min(best, loss)
+        best_seen.append(best)
+assert len(ids) == len(set(ids)), "duplicate trial ids after crash-resume"
+assert all(a >= b for a, b in zip(best_seen, best_seen[1:])), "best loss regressed"
+print(f"crash-resume smoke ok: {len(ids)} trials, unique ids, best loss {best:.4f}")
+EOF
+
 echo "CI checks passed."

@@ -1,0 +1,208 @@
+//! Crash-resume property tests: replay-by-redrive must reproduce the
+//! uninterrupted run's scheduling state bitwise.
+//!
+//! Engine schedules are deterministic functions of the seed and the observed
+//! losses (wall-clock cost never steers scheduling), so a resumed fit that
+//! replays a journal re-derives the same block tree, bracket occupancy, EU
+//! intervals, and incumbent — which `StudyState` captures as canonical
+//! bitwise lines.
+
+use std::path::{Path, PathBuf};
+
+use volcanoml_core::{
+    EngineKind, PlanSpec, SpaceTier, StudyState, VolcanoML, VolcanoMlOptions,
+};
+use volcanoml_data::synthetic::make_moons;
+use volcanoml_data::Task;
+use volcanoml_exec::TrialRecord;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "volcanoml-resume-{}-{}",
+        name,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn options(
+    engine: EngineKind,
+    evals: usize,
+    workers: usize,
+    journal: &Path,
+    resume: bool,
+) -> VolcanoMlOptions {
+    VolcanoMlOptions {
+        plan: PlanSpec::volcano_default(engine),
+        max_evaluations: evals,
+        seed: 7,
+        n_workers: workers,
+        journal_path: Some(journal.to_path_buf()),
+        resume,
+        ..Default::default()
+    }
+}
+
+fn journal_records(path: &Path) -> Vec<TrialRecord> {
+    std::fs::read_to_string(path)
+        .unwrap()
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| TrialRecord::from_json(l).expect("journal row parses"))
+        .collect()
+}
+
+fn assert_unique_trial_ids(records: &[TrialRecord]) {
+    let mut ids: Vec<u64> = records.iter().map(|r| r.trial_id).collect();
+    let n = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "duplicate trial ids in journal");
+}
+
+/// Evaluator log lines carry wall-clock cost bits; fresh trials in a resumed
+/// run legitimately measure different costs than the original run, so the
+/// partial-journal comparison drops that one field. Everything else must
+/// match bitwise.
+fn strip_costs(state: &StudyState) -> Vec<String> {
+    state
+        .lines
+        .iter()
+        .map(|l| {
+            if l.starts_with("evaluator.log ") {
+                match l.find(" cost=") {
+                    Some(i) => l[..i].to_string(),
+                    None => l.clone(),
+                }
+            } else {
+                l.clone()
+            }
+        })
+        .collect()
+}
+
+/// Replaying a COMPLETE journal must be a bitwise no-op: identical
+/// `StudyState` (costs included — they come back out of the journal),
+/// identical best loss, and not a single row re-journaled. Exercised across
+/// the BO, Hyperband, and MFES-HB engines, serial and with 4 workers.
+#[test]
+fn full_replay_reproduces_study_state_bitwise() {
+    let data = make_moons(160, 0.2, 1, 5);
+    for engine in [EngineKind::Bo, EngineKind::Hyperband, EngineKind::MfesHb] {
+        for workers in [1usize, 4] {
+            let dir = tmp_dir(&format!("full-{}-{workers}", engine.name()));
+            let journal = dir.join("journal.jsonl");
+
+            let first = VolcanoML::with_tier(
+                Task::Classification,
+                SpaceTier::Small,
+                options(engine, 10, workers, &journal, false),
+            )
+            .fit(&data)
+            .unwrap();
+            let rows_before = journal_records(&journal);
+            assert_unique_trial_ids(&rows_before);
+
+            let replayed = VolcanoML::with_tier(
+                Task::Classification,
+                SpaceTier::Small,
+                options(engine, 10, workers, &journal, true),
+            )
+            .fit(&data)
+            .unwrap();
+            let rows_after = journal_records(&journal);
+
+            assert_eq!(
+                rows_before.len(),
+                rows_after.len(),
+                "{} x{workers}: full replay must not re-journal trials",
+                engine.name()
+            );
+            if let Some(diff) = first.study_state.diff(&replayed.study_state) {
+                panic!("{} x{workers}: study state diverged:\n{diff}", engine.name());
+            }
+            assert_eq!(
+                first.report.best_loss.to_bits(),
+                replayed.report.best_loss.to_bits(),
+                "{} x{workers}: best loss must match bitwise",
+                engine.name()
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// Kill-mid-run simulation: truncate the journal to a prefix (plus a torn
+/// half-written line), resume, and require the resumed run to converge to
+/// the uninterrupted run's exact state — same trial count, no duplicate
+/// ids, same best loss bits, same scheduling state (modulo wall-clock cost
+/// on the freshly executed tail).
+#[test]
+fn truncated_journal_resume_matches_uninterrupted_run() {
+    let data = make_moons(160, 0.2, 1, 5);
+    for (engine, workers) in [(EngineKind::Bo, 1usize), (EngineKind::MfesHb, 4)] {
+        let dir = tmp_dir(&format!("crash-{}-{workers}", engine.name()));
+        let journal = dir.join("journal.jsonl");
+
+        let uninterrupted = VolcanoML::with_tier(
+            Task::Classification,
+            SpaceTier::Small,
+            options(engine, 10, workers, &journal, false),
+        )
+        .fit(&data)
+        .unwrap();
+        let full_rows = journal_records(&journal);
+        assert!(full_rows.len() >= 4, "need enough rows to truncate");
+
+        // Simulate the crash: keep the first half of the journal and a torn
+        // final line, as a kill -9 mid-write would leave behind.
+        let text = std::fs::read_to_string(&journal).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let keep = lines.len() / 2;
+        let crashed = dir.join("crashed.jsonl");
+        let mut torn = lines[..keep].join("\n");
+        torn.push_str("\n{\"schema\":1,\"trial\":9999,\"worker\":0,\"sta");
+        std::fs::write(&crashed, torn).unwrap();
+
+        let resumed = VolcanoML::with_tier(
+            Task::Classification,
+            SpaceTier::Small,
+            options(engine, 10, workers, &crashed, true),
+        )
+        .fit(&data)
+        .unwrap();
+        let resumed_rows = journal_records(&crashed);
+
+        assert_unique_trial_ids(&resumed_rows);
+        assert_eq!(
+            resumed_rows.len(),
+            full_rows.len(),
+            "{} x{workers}: resumed schedule must re-derive the same trials",
+            engine.name()
+        );
+        assert_eq!(
+            uninterrupted.report.best_loss.to_bits(),
+            resumed.report.best_loss.to_bits(),
+            "{} x{workers}: best loss must match bitwise after resume",
+            engine.name()
+        );
+        assert_eq!(
+            uninterrupted.report.n_evaluations, resumed.report.n_evaluations,
+            "{} x{workers}: evaluation counts must match",
+            engine.name()
+        );
+        let a = strip_costs(&uninterrupted.study_state);
+        let b = strip_costs(&resumed.study_state);
+        if let Some(i) = (0..a.len().max(b.len())).find(|&i| a.get(i) != b.get(i)) {
+            panic!(
+                "{} x{workers}: resumed study state diverged at line {i}:\n  left:  {}\n  right: {}",
+                engine.name(),
+                a.get(i).map(String::as_str).unwrap_or("<missing>"),
+                b.get(i).map(String::as_str).unwrap_or("<missing>"),
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
