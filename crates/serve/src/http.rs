@@ -6,9 +6,15 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 /// Largest request body the server accepts (study specs are < 1 KiB).
 const MAX_BODY: usize = 1 << 20;
+
+/// How long a client gets to deliver a complete request. The server spawns
+/// one thread per connection, so without this a client that connects and
+/// stalls (or under-delivers its Content-Length) would pin a thread forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// One parsed request.
 #[derive(Debug)]
@@ -21,26 +27,72 @@ pub struct Request {
     pub body: String,
 }
 
-/// Reads one request from the stream. Returns `Err` on malformed framing;
-/// the caller answers with 400 and closes.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
-    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+/// Why a request could not be read: the status code to answer with (400 for
+/// malformed framing, 408 for a client that stalled past [`READ_TIMEOUT`])
+/// and the message for the JSON error body.
+#[derive(Debug)]
+pub struct RequestError {
+    /// HTTP status to answer with.
+    pub code: u16,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl RequestError {
+    fn bad(message: String) -> RequestError {
+        RequestError { code: 400, message }
+    }
+
+    fn io(context: &str, e: &std::io::Error) -> RequestError {
+        let code = match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => 408,
+            _ => 400,
+        };
+        RequestError {
+            code,
+            message: format!("{context}: {e}"),
+        }
+    }
+}
+
+/// Reads one request from the stream, answering `Err` on malformed framing
+/// (400) or a read that exceeds [`READ_TIMEOUT`] (408); the caller writes
+/// the error response and closes.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
+    read_request_with_timeout(stream, READ_TIMEOUT)
+}
+
+/// [`read_request`] with an explicit timeout (separated out for tests).
+fn read_request_with_timeout(
+    stream: &mut TcpStream,
+    timeout: Duration,
+) -> Result<Request, RequestError> {
+    // SO_RCVTIMEO lives on the socket, so setting it here also covers the
+    // clone the BufReader wraps.
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| RequestError::io("set read timeout", &e))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| RequestError::io("clone stream", &e))?,
+    );
     let mut line = String::new();
     reader
         .read_line(&mut line)
-        .map_err(|e| format!("read request line: {e}"))?;
+        .map_err(|e| RequestError::io("read request line", &e))?;
     let mut parts = line.split_whitespace();
     let method = parts.next().unwrap_or("").to_uppercase();
     let path = parts.next().unwrap_or("").to_string();
     if method.is_empty() || !path.starts_with('/') {
-        return Err(format!("malformed request line: {line:?}"));
+        return Err(RequestError::bad(format!("malformed request line: {line:?}")));
     }
     let mut content_length = 0usize;
     loop {
         let mut header = String::new();
         reader
             .read_line(&mut header)
-            .map_err(|e| format!("read header: {e}"))?;
+            .map_err(|e| RequestError::io("read header", &e))?;
         let header = header.trim_end();
         if header.is_empty() {
             break;
@@ -50,18 +102,21 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
                 content_length = value
                     .trim()
                     .parse()
-                    .map_err(|_| format!("bad content-length: {value:?}"))?;
+                    .map_err(|_| RequestError::bad(format!("bad content-length: {value:?}")))?;
             }
         }
     }
     if content_length > MAX_BODY {
-        return Err(format!("body too large ({content_length} bytes)"));
+        return Err(RequestError::bad(format!(
+            "body too large ({content_length} bytes)"
+        )));
     }
     let mut body = vec![0u8; content_length];
     reader
         .read_exact(&mut body)
-        .map_err(|e| format!("read body: {e}"))?;
-    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+        .map_err(|e| RequestError::io("read body", &e))?;
+    let body =
+        String::from_utf8(body).map_err(|_| RequestError::bad("body is not UTF-8".to_string()))?;
     Ok(Request { method, path, body })
 }
 
@@ -71,6 +126,7 @@ fn status_text(code: u16) -> &'static str {
         201 => "Created",
         202 => "Accepted",
         400 => "Bad Request",
+        408 => "Request Timeout",
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
@@ -142,6 +198,29 @@ mod tests {
         });
         let (mut stream, _) = listener.accept().unwrap();
         assert!(read_request(&mut stream).is_err());
+        drop(stream);
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn stalled_client_times_out_with_408() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // Promise 100 body bytes, deliver none: without a read timeout
+            // the server-side read_exact would block forever.
+            s.write_all(b"POST /studies HTTP/1.1\r\nContent-Length: 100\r\n\r\n")
+                .unwrap();
+            s.flush().unwrap();
+            let mut buf = Vec::new();
+            let _ = s.read_to_end(&mut buf);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let err = read_request_with_timeout(&mut stream, Duration::from_millis(100))
+            .expect_err("stalled body must not parse");
+        assert_eq!(err.code, 408);
+        write_response(&mut stream, err.code, "application/json", &error_body(&err.message));
         drop(stream);
         client.join().unwrap();
     }

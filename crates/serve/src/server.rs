@@ -138,6 +138,10 @@ impl Server {
             if all_terminal {
                 return;
             }
+            // A study can be Running with its join handle not yet stored
+            // (the window inside spawn_driver), making the joins above
+            // no-ops; sleep instead of spinning hot until it appears.
+            std::thread::sleep(std::time::Duration::from_millis(10));
         }
     }
 
@@ -222,7 +226,7 @@ impl ServerInner {
         let req = match read_request(stream) {
             Ok(r) => r,
             Err(e) => {
-                write_response(stream, 400, "application/json", &error_body(&e));
+                write_response(stream, e.code, "application/json", &error_body(&e.message));
                 return;
             }
         };
@@ -307,7 +311,7 @@ impl ServerInner {
                     return (
                         400,
                         "application/json",
-                        error_body("name must contain at least one of [a-zA-Z0-9._-]"),
+                        error_body("name must contain at least one alphanumeric character"),
                     );
                 }
                 id
@@ -315,7 +319,12 @@ impl ServerInner {
             None => format!("study-{}", self.next_id.fetch_add(1, Ordering::SeqCst)),
         };
         let dir = self.dir.join(&id);
-        let study = {
+        let spec_json = spec.to_json();
+        let study = Arc::new(Study::new(id.clone(), spec, dir.clone()));
+        // Reserve the id under the lock, but do the filesystem work outside
+        // it — otherwise every other request (health checks included) stalls
+        // on this submit's disk latency.
+        {
             let mut map = self.studies.lock().expect("studies lock");
             if map.contains_key(&id) {
                 return (
@@ -324,24 +333,19 @@ impl ServerInner {
                     error_body(&format!("study '{id}' already exists")),
                 );
             }
-            if let Err(e) = std::fs::create_dir_all(&dir) {
-                return (
-                    500,
-                    "application/json",
-                    error_body(&format!("cannot create {}: {e}", dir.display())),
-                );
-            }
-            if let Err(e) = std::fs::write(dir.join("spec.json"), spec.to_json()) {
-                return (
-                    500,
-                    "application/json",
-                    error_body(&format!("cannot write spec.json: {e}")),
-                );
-            }
-            let study = Arc::new(Study::new(id.clone(), spec, dir));
             map.insert(id.clone(), Arc::clone(&study));
-            study
-        };
+        }
+        let io = std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))
+            .and_then(|()| {
+                std::fs::write(dir.join("spec.json"), spec_json)
+                    .map_err(|e| format!("cannot write spec.json: {e}"))
+            });
+        if let Err(e) = io {
+            // Release the reservation so a retry isn't answered with 409.
+            self.studies.lock().expect("studies lock").remove(&id);
+            return (500, "application/json", error_body(&e));
+        }
         spawn_driver(
             study,
             Arc::clone(&self.pool),
@@ -361,9 +365,13 @@ fn not_found(id: &str) -> (u16, &'static str, String) {
     )
 }
 
-/// Client-chosen ids become directory names; keep them boring.
+/// Client-chosen ids become directory names; keep them boring. Returns the
+/// empty string (submit answers 400) when the name has no alphanumeric
+/// character at all — that rejects `"."` and `".."`, which would otherwise
+/// survive sanitization intact and let `dir.join(id)` escape the serve root.
 fn sanitize_id(name: &str) -> String {
-    name.chars()
+    let id = name
+        .chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
                 c
@@ -373,7 +381,12 @@ fn sanitize_id(name: &str) -> String {
         })
         .collect::<String>()
         .trim_matches('-')
-        .to_string()
+        .to_string();
+    if id.chars().any(|c| c.is_ascii_alphanumeric()) {
+        id
+    } else {
+        String::new()
+    }
 }
 
 /// Live journal statistics: total rows, non-cached evaluations, best finite
@@ -468,5 +481,18 @@ mod tests {
         assert_eq!(sanitize_id("--weird--"), "weird");
         assert_eq!(sanitize_id("ok_name.v2"), "ok_name.v2");
         assert_eq!(sanitize_id("///"), "");
+    }
+
+    #[test]
+    fn path_escape_names_are_rejected() {
+        // "." and ".." must never become directory names: `dir.join("..")`
+        // would write study state outside the serve root.
+        assert_eq!(sanitize_id("."), "");
+        assert_eq!(sanitize_id(".."), "");
+        // Separators collapse to '-', so the remaining dots are inert: the
+        // id stays a single path component under the serve root.
+        assert_eq!(sanitize_id("../../etc"), "..-..-etc");
+        assert_eq!(sanitize_id("._."), "");
+        assert_eq!(sanitize_id("..keep2"), "..keep2");
     }
 }

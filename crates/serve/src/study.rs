@@ -167,19 +167,27 @@ pub fn spawn_driver(
         active.fetch_add(1, Ordering::SeqCst);
         let outcome = fit_study(&runner, pool, workers, Arc::clone(&active), resume);
         active.fetch_sub(1, Ordering::SeqCst);
-        // Cancellation wins over whatever the interrupted fit returned: a
-        // stopped run's partial Ok (or its "no evaluations" Err) is not a
-        // meaningful terminal result.
-        let status = if runner.stop.load(Ordering::SeqCst) {
-            StudyStatus::Cancelled
-        } else {
-            match outcome {
-                Ok((best_loss, n_evaluations)) => StudyStatus::Done {
-                    best_loss,
-                    n_evaluations,
-                },
-                Err(error) => StudyStatus::Failed { error },
-            }
+        // Cancelled-vs-done is decided by whether the fit itself stopped
+        // early (captured inside fit_study, right as the fit returns) — not
+        // by re-reading the stop flag here, where a DELETE landing after a
+        // complete fit would discard its real result as "cancelled". An Err
+        // with the flag set is still Cancelled: an interrupted run's "no
+        // evaluations" error is not a meaningful failure.
+        let status = match outcome {
+            Ok(FitOutcome {
+                best_loss,
+                n_evaluations,
+                stopped_early: false,
+            }) => StudyStatus::Done {
+                best_loss,
+                n_evaluations,
+            },
+            Ok(FitOutcome {
+                stopped_early: true,
+                ..
+            }) => StudyStatus::Cancelled,
+            Err(_) if runner.stop.load(Ordering::SeqCst) => StudyStatus::Cancelled,
+            Err(error) => StudyStatus::Failed { error },
         };
         // result.json is the durable terminal marker; write it before
         // flipping the in-memory state so a crash between the two still
@@ -190,15 +198,24 @@ pub fn spawn_driver(
     *study.handle.lock().expect("study handle lock") = Some(handle);
 }
 
+/// What a successful fit produced, plus whether it was cut short.
+struct FitOutcome {
+    best_loss: f64,
+    n_evaluations: usize,
+    /// True when the stop flag interrupted the fit before it spent its
+    /// budget; distinguishes a cancelled partial result from a real Done.
+    stopped_early: bool,
+}
+
 /// Builds the dataset, wires the study into the shared pool with fair-share
-/// batching, and runs the fit. Returns `(best_loss, n_evaluations)`.
+/// batching, and runs the fit.
 fn fit_study(
     study: &Study,
     pool: Arc<ExecPool>,
     workers: usize,
     active: Arc<AtomicUsize>,
     resume: bool,
-) -> Result<(f64, usize), String> {
+) -> Result<FitOutcome, String> {
     let data = study.spec.build_dataset()?;
     let plan = study.spec.resolve_plan()?;
     let journal_path = study.journal_path();
@@ -226,7 +243,17 @@ fn fit_study(
     };
     let engine = VolcanoML::with_tier(data.task, study.spec.tier, options);
     let fitted = engine.fit(&data).map_err(|e| e.to_string())?;
-    Ok((fitted.report.best_loss, fitted.report.n_evaluations))
+    // Capture the stop flag NOW, while still inside the fit path: a fit that
+    // spent its full budget is Done even if a DELETE raced in afterwards,
+    // and a fit the flag interrupted is Cancelled even though it returned Ok
+    // with partial results.
+    let stopped_early = study.stop.load(Ordering::SeqCst)
+        && fitted.report.n_evaluations < study.spec.max_evaluations;
+    Ok(FitOutcome {
+        best_loss: fitted.report.best_loss,
+        n_evaluations: fitted.report.n_evaluations,
+        stopped_early,
+    })
 }
 
 #[cfg(test)]
