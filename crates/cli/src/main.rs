@@ -4,9 +4,9 @@
 //! volcanoml fit data.csv [--evals N] [--tier small|medium|large]
 //!                        [--plan p1|p2|p3|p4|p5] [--engine bo|random|sh|hyperband|mfes-hb]
 //!                        [--seed S] [--cv K] [--ensemble N] [--smote]
-//!                        [--workers N] [--n-jobs N] [--journal trials.jsonl]
-//!                        [--trace trace.jsonl] [--metrics metrics.json]
-//!                        [--trial-timeout SECS]
+//!                        [--workers N] [--n-jobs N] [--f32-bins]
+//!                        [--journal trials.jsonl] [--trace trace.jsonl]
+//!                        [--metrics metrics.json] [--trial-timeout SECS]
 //! volcanoml spaces                      # print the tiered search-space sizes
 //! volcanoml plans                       # print the plan catalogue
 //! volcanoml generate <kind> <out.csv>   # emit a synthetic benchmark dataset
@@ -28,7 +28,7 @@ use volcanoml_fe::pipeline::FeSpaceOptions;
 fn usage() -> &'static str {
     "usage:\n  volcanoml fit <data.csv> [--evals N] [--tier small|medium|large] \
      [--plan p1|p2|p3|p4|p5] [--engine bo|random|sh|hyperband|mfes-hb] [--seed S] \
-     [--cv K] [--ensemble N] [--smote] [--workers N] [--n-jobs N] \
+     [--cv K] [--ensemble N] [--smote] [--workers N] [--n-jobs N] [--f32-bins] \
      [--journal trials.jsonl] [--trace trace.jsonl] [--metrics metrics.json] \
      [--trial-timeout SECS]\n  volcanoml spaces\n  \
      volcanoml plans\n  \
@@ -54,7 +54,7 @@ impl Flags {
                 return Err(format!("unexpected argument '{a}'"));
             };
             // Switch-style flags take no value.
-            if matches!(key, "smote" | "live" | "resume") {
+            if matches!(key, "smote" | "live" | "resume" | "f32-bins") {
                 switches.push(key.to_string());
                 i += 1;
                 continue;
@@ -145,6 +145,8 @@ fn cmd_fit(args: &[String]) -> Result<(), String> {
     if n_jobs == 0 {
         return Err("--n-jobs must be >= 1".to_string());
     }
+    // f32 feature storage for histogram binning in tree forests.
+    let f32_bins = flags.has("f32-bins");
     let journal_path = flags.get("journal").map(std::path::PathBuf::from);
     let trace_path = flags.get("trace").map(std::path::PathBuf::from);
     let metrics_path = flags.get("metrics").map(std::path::PathBuf::from);
@@ -210,6 +212,7 @@ fn cmd_fit(args: &[String]) -> Result<(), String> {
             trace_path: trace_path.clone(),
             metrics_path: metrics_path.clone(),
             model_n_jobs: n_jobs,
+            model_f32: f32_bins,
             ..Default::default()
         },
     );
@@ -218,6 +221,9 @@ fn cmd_fit(args: &[String]) -> Result<(), String> {
     }
     if n_jobs > 1 {
         println!("fitting tree ensembles with {n_jobs} threads per trial");
+    }
+    if f32_bins {
+        println!("binning tree-forest features from f32 storage");
     }
     let fitted = engine.fit(&train).map_err(|e| e.to_string())?;
     println!("\nexecution plan after the run:\n{}", fitted.report.plan_explain);
@@ -436,7 +442,7 @@ mod tests {
 
     #[test]
     fn flag_parser_pairs_and_switches() {
-        let args: Vec<String> = ["--evals", "40", "--smote", "--seed", "7"]
+        let args: Vec<String> = ["--evals", "40", "--smote", "--f32-bins", "--seed", "7"]
             .iter()
             .map(|s| s.to_string())
             .collect();
@@ -444,6 +450,7 @@ mod tests {
         assert_eq!(f.get("evals"), Some("40"));
         assert_eq!(f.get_parsed("seed", 0u64).unwrap(), 7);
         assert!(f.has("smote"));
+        assert!(f.has("f32-bins"));
         assert_eq!(f.get_parsed("missing", 3usize).unwrap(), 3);
     }
 

@@ -43,7 +43,7 @@ use fe_cache::FeCache;
 use interpret::assignment_key;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use volcanoml_data::{Dataset, DatasetView, Metric};
@@ -204,6 +204,11 @@ struct EvalShared {
     /// ensembles); injected as an `n_jobs` parameter at build time. Model
     /// fits are thread-count independent, so this never affects losses.
     model_n_jobs: AtomicUsize,
+    /// When set, models that support single-precision feature storage
+    /// (histogram forests) narrow to `f32` before binning; injected as an
+    /// `f32_binning` parameter at build time. Losses may shift within f32
+    /// rounding of the bin cut points.
+    model_f32: AtomicBool,
     state: Mutex<EvalState>,
     journal: Mutex<Option<Arc<Journal>>>,
     /// Always present (disabled by default) so blocks can open spans
@@ -257,6 +262,7 @@ impl Evaluator {
                 valid_data,
                 seed,
                 model_n_jobs: AtomicUsize::new(1),
+                model_f32: AtomicBool::new(false),
                 state: Mutex::new(EvalState {
                     cache: BoundedCache::new(DEFAULT_CACHE_CAPACITY),
                     fe_cache: FeCache::new(DEFAULT_FE_CACHE_CAPACITY),
@@ -824,6 +830,14 @@ impl Evaluator {
         self.shared
             .model_n_jobs
             .store(n_jobs.max(1), Ordering::Relaxed);
+    }
+
+    /// Opts models that support it into `f32` feature storage for
+    /// histogram binning (injected as `f32_binning` at build time). Halves
+    /// raw-matrix read traffic; losses may move within f32 rounding of the
+    /// bin cut points, which is inside every paper-rig tolerance.
+    pub fn set_model_f32(&self, enabled: bool) {
+        self.shared.model_f32.store(enabled, Ordering::Relaxed);
     }
 }
 

@@ -1,0 +1,104 @@
+//! Single-precision dense matrix storage.
+//!
+//! [`MatrixF32`] is a bandwidth-lean sibling of [`Matrix`](crate::Matrix):
+//! same row-major layout, half the bytes per cell. It is *storage*, not a
+//! compute substrate — the numeric stack stays `f64`; `MatrixF32` exists for
+//! memory-bound paths (histogram binning, tree prediction, out-of-core
+//! staging) where halving raw-matrix traffic matters more than the last
+//! ~7 decimal digits. Values are widened to `f64` on read.
+
+use crate::Matrix;
+
+/// Row-major `f32` matrix. See the module docs for when to use it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixF32 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl MatrixF32 {
+    /// Builds from a raw row-major buffer; `data.len()` must equal
+    /// `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Option<MatrixF32> {
+        (data.len() == rows * cols).then_some(MatrixF32 { rows, cols, data })
+    }
+
+    /// Narrows an `f64` matrix to `f32` storage (one pass, values rounded to
+    /// nearest representable `f32`).
+    pub fn from_matrix(m: &Matrix) -> MatrixF32 {
+        MatrixF32 {
+            rows: m.rows(),
+            cols: m.cols(),
+            data: m.data().iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    /// Widens back to an `f64` matrix.
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&v| v as f64).collect(),
+        )
+        .expect("shape preserved")
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Cell `(r, c)` widened to `f64`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c] as f64
+    }
+
+    /// Row `r` as a contiguous `f32` slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The raw row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_f32() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.5, -3.0, 0.125, 7.0, -0.5]).unwrap();
+        let f = MatrixF32::from_matrix(&m);
+        assert_eq!(f.rows(), 2);
+        assert_eq!(f.cols(), 3);
+        // Dyadic values survive the narrowing exactly.
+        assert_eq!(f.to_matrix().data(), m.data());
+        assert_eq!(f.get(1, 0), 0.125);
+        assert_eq!(f.row(0), &[1.0f32, 2.5, -3.0]);
+    }
+
+    #[test]
+    fn narrowing_loses_at_most_f32_precision() {
+        let v = 0.1f64 + 1e-12;
+        let m = Matrix::from_vec(1, 1, vec![v]).unwrap();
+        let f = MatrixF32::from_matrix(&m);
+        assert!((f.get(0, 0) - v).abs() < 1e-7);
+    }
+
+    #[test]
+    fn from_vec_checks_shape() {
+        assert!(MatrixF32::from_vec(2, 2, vec![0.0; 3]).is_none());
+        assert!(MatrixF32::from_vec(2, 2, vec![0.0; 4]).is_some());
+    }
+}

@@ -1,12 +1,29 @@
 //! Binned (histogram) dataset layout for fast tree training.
 //!
 //! [`BinnedMatrix`] quantizes every feature column once into at most
-//! `max_bins` ordered bins (LightGBM-style), storing column-major `u16` bin
-//! codes plus the raw-value cut points between adjacent bins. Tree builders
-//! then scan per-node *bin histograms* instead of re-sorting rows at every
-//! node, and an ensemble can share one binned layout across all of its
-//! trees. Chosen thresholds are mapped back to raw feature space, so a tree
-//! fitted on a `BinnedMatrix` predicts directly on raw [`Matrix`] rows.
+//! `max_bins` ordered bins (LightGBM-style), storing column-major bin codes
+//! plus the raw-value cut points between adjacent bins. Tree builders then
+//! scan per-node *bin histograms* instead of re-sorting rows at every node,
+//! and an ensemble can share one binned layout across all of its trees.
+//! Chosen thresholds are mapped back to raw feature space, so a tree fitted
+//! on a `BinnedMatrix` predicts directly on raw [`Matrix`] rows.
+//!
+//! Memory layout (bandwidth-lean, PR 7):
+//! - Bin codes are `u8` whenever `max_bins <= 256` (the default 255 fits),
+//!   halving code-array traffic on every per-node histogram fill; the `u16`
+//!   path remains for callers that raise `max_bins`.
+//! - Cut points live in one flat `Vec<f64>` with per-feature offsets
+//!   instead of a ragged `Vec<Vec<f64>>`, and the per-feature *bin offsets*
+//!   ([`BinnedMatrix::bin_offset`]) double as the layout of the flat
+//!   node-major histogram arenas the tree builder fills.
+//! - Binning itself parallelizes across features ([`from_matrix_jobs`];
+//!   each feature's cuts and codes are independent, and columns are
+//!   reassembled in feature order, so any job count is bit-identical).
+//! - An `f32` source ([`from_matrix_f32`]) bins single-precision storage
+//!   directly, halving raw-matrix read traffic; cuts stay `f64`.
+//!
+//! [`from_matrix_jobs`]: BinnedMatrix::from_matrix_jobs
+//! [`from_matrix_f32`]: BinnedMatrix::from_matrix_f32
 //!
 //! Binning rules:
 //! - When a feature has at most `max_bins` distinct values, each distinct
@@ -19,7 +36,8 @@
 //! - Values closer than `1e-12` are treated as identical (the exact
 //!   splitter's guard), so no cut can fall inside a tie group.
 
-use volcanoml_linalg::Matrix;
+use crate::parallel::parallel_map;
+use volcanoml_linalg::{Matrix, MatrixF32};
 
 /// Process-global counters over the binned-tree training path, sampled into
 /// the metrics registry at end of run. Relaxed atomics: the counts are
@@ -33,89 +51,247 @@ pub mod stats {
     pub static CELLS_ENCODED: AtomicU64 = AtomicU64::new(0);
     /// Number of per-node histogram fill passes during tree training.
     pub static HIST_NODE_SCANS: AtomicU64 = AtomicU64::new(0);
+    /// Bin-code bytes read by histogram fill passes (`rows × candidate
+    /// features × code width` per pass) — the bandwidth the u8 layout halves.
+    pub static HIST_BYTES_SCANNED: AtomicU64 = AtomicU64::new(0);
+    /// Histogram arena slabs served from the thread-local pool instead of a
+    /// fresh allocation.
+    pub static ARENA_REUSES: AtomicU64 = AtomicU64::new(0);
+    /// Per-node histogram fills that split features across workers and
+    /// merged the partial arenas deterministically.
+    pub static FEATURE_PARALLEL_MERGES: AtomicU64 = AtomicU64::new(0);
 
-    /// `(matrices_built, cells_encoded, hist_node_scans)` at this instant.
-    pub fn snapshot() -> (u64, u64, u64) {
-        (
-            MATRICES_BUILT.load(Ordering::Relaxed),
-            CELLS_ENCODED.load(Ordering::Relaxed),
-            HIST_NODE_SCANS.load(Ordering::Relaxed),
-        )
+    /// Point-in-time values of every binned-path counter.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Snapshot {
+        /// [`MATRICES_BUILT`] at this instant.
+        pub matrices_built: u64,
+        /// [`CELLS_ENCODED`] at this instant.
+        pub cells_encoded: u64,
+        /// [`HIST_NODE_SCANS`] at this instant.
+        pub hist_node_scans: u64,
+        /// [`HIST_BYTES_SCANNED`] at this instant.
+        pub hist_bytes_scanned: u64,
+        /// [`ARENA_REUSES`] at this instant.
+        pub arena_reuses: u64,
+        /// [`FEATURE_PARALLEL_MERGES`] at this instant.
+        pub feature_parallel_merges: u64,
+    }
+
+    /// All binned-path counters at this instant.
+    pub fn snapshot() -> Snapshot {
+        Snapshot {
+            matrices_built: MATRICES_BUILT.load(Ordering::Relaxed),
+            cells_encoded: CELLS_ENCODED.load(Ordering::Relaxed),
+            hist_node_scans: HIST_NODE_SCANS.load(Ordering::Relaxed),
+            hist_bytes_scanned: HIST_BYTES_SCANNED.load(Ordering::Relaxed),
+            arena_reuses: ARENA_REUSES.load(Ordering::Relaxed),
+            feature_parallel_merges: FEATURE_PARALLEL_MERGES.load(Ordering::Relaxed),
+        }
     }
 }
 
-/// Default number of bins per feature (fits u8-sized histograms; stored as
-/// u16 codes so callers may raise it).
+/// Default number of bins per feature. 255 keeps codes in `u8` storage
+/// (≤ 256 bins) for half the code-array bandwidth of the `u16` fallback.
 pub const DEFAULT_MAX_BINS: usize = 255;
+
+/// A bin-code element: `u8` for up to 256 bins, `u16` beyond. The trait is
+/// what lets the tree builder's hot loops monomorphize per width instead of
+/// branching per access.
+pub trait BinCode: Copy + Send + Sync + 'static {
+    /// Storage width in bytes (bandwidth accounting).
+    const BYTES: usize;
+    /// Encodes a bin index (caller guarantees it fits).
+    fn from_bin(bin: usize) -> Self;
+    /// The bin index this code denotes.
+    fn bin(self) -> usize;
+}
+
+impl BinCode for u8 {
+    const BYTES: usize = 1;
+    #[inline]
+    fn from_bin(bin: usize) -> Self {
+        bin as u8
+    }
+    #[inline]
+    fn bin(self) -> usize {
+        self as usize
+    }
+}
+
+impl BinCode for u16 {
+    const BYTES: usize = 2;
+    #[inline]
+    fn from_bin(bin: usize) -> Self {
+        bin as u16
+    }
+    #[inline]
+    fn bin(self) -> usize {
+        self as usize
+    }
+}
+
+/// Column-major code storage at the width chosen from `max_bins`.
+#[derive(Debug, Clone)]
+enum Codes {
+    U8(Vec<u8>),
+    U16(Vec<u16>),
+}
+
+/// Borrowed view of the full code array; `codes[f * n_rows + i]` is row
+/// `i`'s bin for feature `f` at either width.
+#[derive(Debug, Clone, Copy)]
+pub enum CodesRef<'a> {
+    /// `u8` codes (`max_bins <= 256`).
+    U8(&'a [u8]),
+    /// `u16` codes.
+    U16(&'a [u16]),
+}
 
 /// A column-major quantized view of a feature matrix.
 #[derive(Debug, Clone)]
 pub struct BinnedMatrix {
     n_rows: usize,
     n_features: usize,
-    /// `codes[f * n_rows + i]` is row `i`'s bin for feature `f`.
-    codes: Vec<u16>,
-    /// `cuts[f][b]` is the raw-space threshold between bins `b` and `b + 1`;
-    /// `cuts[f].len() + 1` is the bin count of feature `f`.
-    cuts: Vec<Vec<f64>>,
+    codes: Codes,
+    /// Flat cut storage: feature `f`'s cuts are
+    /// `cut_values[cut_offsets[f]..cut_offsets[f + 1]]`.
+    cut_values: Vec<f64>,
+    /// `n_features + 1` entries.
+    cut_offsets: Vec<usize>,
+    /// `bin_offsets[f]` = total bins of features `< f`; `n_features + 1`
+    /// entries. This is the node-major arena layout: feature `f`'s bins of a
+    /// node's flat histogram start at `bin_offsets[f] * channels`.
+    bin_offsets: Vec<usize>,
+}
+
+/// One feature's quantization: cut points plus this column's codes.
+fn bin_feature<C: BinCode>(
+    n: usize,
+    max_bins: usize,
+    raw: impl Fn(usize) -> f64,
+) -> (Vec<f64>, Vec<C>) {
+    let mut sorted: Vec<f64> = (0..n).map(&raw).collect();
+    sorted.sort_by(f64::total_cmp);
+    // Distinct values with multiplicities, merging ties (< 1e-12).
+    let mut distinct: Vec<(f64, usize)> = Vec::new();
+    for &v in sorted.iter() {
+        match distinct.last_mut() {
+            Some((last, count)) if v - *last < 1e-12 => *count += 1,
+            _ => distinct.push((v, 1)),
+        }
+    }
+    let cuts = if distinct.len() <= max_bins {
+        // One bin per distinct value; cuts at midpoints.
+        distinct
+            .windows(2)
+            .map(|w| (w[0].0 + w[1].0) / 2.0)
+            .collect::<Vec<f64>>()
+    } else {
+        // Equal-frequency grouping of distinct values.
+        let target = n.div_ceil(max_bins);
+        let mut c = Vec::with_capacity(max_bins - 1);
+        let mut in_bin = 0usize;
+        for (j, &(v, count)) in distinct.iter().enumerate() {
+            in_bin += count;
+            if in_bin >= target && j + 1 < distinct.len() && c.len() + 2 <= max_bins {
+                c.push((v + distinct[j + 1].0) / 2.0);
+                in_bin = 0;
+            }
+        }
+        c
+    };
+    let codes = (0..n)
+        .map(|i| C::from_bin(cuts.partition_point(|&c| raw(i) > c)))
+        .collect();
+    (cuts, codes)
+}
+
+/// Quantizes all `d` features at width `C`, `n_jobs`-parallel across
+/// features. Columns are reassembled in feature order, so the result is
+/// bit-identical for any job count.
+fn bin_all<C: BinCode>(
+    n: usize,
+    d: usize,
+    max_bins: usize,
+    n_jobs: usize,
+    get: impl Fn(usize, usize) -> f64 + Sync,
+) -> (Vec<C>, Vec<f64>, Vec<usize>, Vec<usize>) {
+    let per_feature: Vec<(Vec<f64>, Vec<C>)> =
+        parallel_map(n_jobs, d, |f| bin_feature(n, max_bins, |i| get(i, f)));
+    let mut codes: Vec<C> = Vec::with_capacity(n * d);
+    let mut cut_values = Vec::new();
+    let mut cut_offsets = Vec::with_capacity(d + 1);
+    let mut bin_offsets = Vec::with_capacity(d + 1);
+    cut_offsets.push(0);
+    bin_offsets.push(0);
+    for (cuts, col) in per_feature {
+        codes.extend_from_slice(&col);
+        bin_offsets.push(bin_offsets.last().unwrap() + cuts.len() + 1);
+        cut_values.extend_from_slice(&cuts);
+        cut_offsets.push(cut_values.len());
+    }
+    (codes, cut_values, cut_offsets, bin_offsets)
 }
 
 impl BinnedMatrix {
-    /// Quantizes `x` with at most `max_bins` bins per feature.
-    pub fn from_matrix(x: &Matrix, max_bins: usize) -> BinnedMatrix {
-        let n = x.rows();
-        let d = x.cols();
+    fn build(
+        n: usize,
+        d: usize,
+        max_bins: usize,
+        n_jobs: usize,
+        force_u16: bool,
+        get: impl Fn(usize, usize) -> f64 + Sync,
+    ) -> BinnedMatrix {
         stats::MATRICES_BUILT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         stats::CELLS_ENCODED.fetch_add((n * d) as u64, std::sync::atomic::Ordering::Relaxed);
         let max_bins = max_bins.clamp(2, u16::MAX as usize + 1);
-        let mut codes = vec![0u16; n * d];
-        let mut cuts = Vec::with_capacity(d);
-        let mut sorted: Vec<f64> = Vec::with_capacity(n);
-        for f in 0..d {
-            sorted.clear();
-            sorted.extend((0..n).map(|i| x.get(i, f)));
-            sorted.sort_by(f64::total_cmp);
-            // Distinct values with multiplicities, merging ties (< 1e-12).
-            let mut distinct: Vec<(f64, usize)> = Vec::new();
-            for &v in sorted.iter() {
-                match distinct.last_mut() {
-                    Some((last, count)) if v - *last < 1e-12 => *count += 1,
-                    _ => distinct.push((v, 1)),
-                }
-            }
-            let feature_cuts = if distinct.len() <= max_bins {
-                // One bin per distinct value; cuts at midpoints.
-                distinct
-                    .windows(2)
-                    .map(|w| (w[0].0 + w[1].0) / 2.0)
-                    .collect::<Vec<f64>>()
+        let (codes, cut_values, cut_offsets, bin_offsets) =
+            if max_bins <= u8::MAX as usize + 1 && !force_u16 {
+                let (c, cv, co, bo) = bin_all::<u8>(n, d, max_bins, n_jobs, get);
+                (Codes::U8(c), cv, co, bo)
             } else {
-                // Equal-frequency grouping of distinct values.
-                let target = n.div_ceil(max_bins);
-                let mut c = Vec::with_capacity(max_bins - 1);
-                let mut in_bin = 0usize;
-                for (j, &(v, count)) in distinct.iter().enumerate() {
-                    in_bin += count;
-                    if in_bin >= target && j + 1 < distinct.len() && c.len() + 2 <= max_bins {
-                        c.push((v + distinct[j + 1].0) / 2.0);
-                        in_bin = 0;
-                    }
-                }
-                c
+                let (c, cv, co, bo) = bin_all::<u16>(n, d, max_bins, n_jobs, get);
+                (Codes::U16(c), cv, co, bo)
             };
-            let col = &mut codes[f * n..(f + 1) * n];
-            for (i, code) in col.iter_mut().enumerate() {
-                let v = x.get(i, f);
-                *code = feature_cuts.partition_point(|&c| v > c) as u16;
-            }
-            cuts.push(feature_cuts);
-        }
         BinnedMatrix {
             n_rows: n,
             n_features: d,
             codes,
-            cuts,
+            cut_values,
+            cut_offsets,
+            bin_offsets,
         }
+    }
+
+    /// Quantizes `x` with at most `max_bins` bins per feature (serial).
+    pub fn from_matrix(x: &Matrix, max_bins: usize) -> BinnedMatrix {
+        BinnedMatrix::from_matrix_jobs(x, max_bins, 1)
+    }
+
+    /// Quantizes `x` with up to `n_jobs` workers splitting the features.
+    pub fn from_matrix_jobs(x: &Matrix, max_bins: usize, n_jobs: usize) -> BinnedMatrix {
+        BinnedMatrix::build(x.rows(), x.cols(), max_bins, n_jobs, false, |i, f| {
+            x.get(i, f)
+        })
+    }
+
+    /// Quantizes single-precision storage — half the raw-matrix read traffic
+    /// of the `f64` path. Cut points are computed in `f64` over the widened
+    /// values, so trees fitted on the result still predict on `f64` rows.
+    pub fn from_matrix_f32(x: &MatrixF32, max_bins: usize, n_jobs: usize) -> BinnedMatrix {
+        BinnedMatrix::build(x.rows(), x.cols(), max_bins, n_jobs, false, |i, f| {
+            x.get(i, f)
+        })
+    }
+
+    /// Forces `u16` code storage regardless of `max_bins`. Cut points are
+    /// identical to [`BinnedMatrix::from_matrix`]'s, which makes this the
+    /// equivalence oracle for u8-vs-u16 kernel tests and the PR 2 baseline
+    /// for the bench rig.
+    #[doc(hidden)]
+    pub fn from_matrix_u16(x: &Matrix, max_bins: usize) -> BinnedMatrix {
+        BinnedMatrix::build(x.rows(), x.cols(), max_bins, 1, true, |i, f| x.get(i, f))
     }
 
     /// Number of rows.
@@ -130,18 +306,46 @@ impl BinnedMatrix {
 
     /// Bin count of feature `f` (≥ 1; constant features have one bin).
     pub fn n_bins(&self, f: usize) -> usize {
-        self.cuts[f].len() + 1
+        self.cut_offsets[f + 1] - self.cut_offsets[f] + 1
     }
 
-    /// Column-major code slice for feature `f` (one code per row).
-    pub fn column(&self, f: usize) -> &[u16] {
-        &self.codes[f * self.n_rows..(f + 1) * self.n_rows]
+    /// Total bins of features `< f` — the flat-arena bin offset of feature
+    /// `f`. `bin_offset(n_features)` is the total bin count of the layout.
+    pub fn bin_offset(&self, f: usize) -> usize {
+        self.bin_offsets[f]
+    }
+
+    /// Total bins across all features (the flat-arena row length in bins).
+    pub fn total_bins(&self) -> usize {
+        self.bin_offsets[self.n_features]
+    }
+
+    /// True when codes are stored as `u8` (`max_bins <= 256`).
+    pub fn is_u8(&self) -> bool {
+        matches!(self.codes, Codes::U8(_))
+    }
+
+    /// The full column-major code array at its storage width.
+    pub fn codes(&self) -> CodesRef<'_> {
+        match &self.codes {
+            Codes::U8(c) => CodesRef::U8(c),
+            Codes::U16(c) => CodesRef::U16(c),
+        }
+    }
+
+    /// Row `i`'s bin for feature `f` (width-agnostic; convenience for tests
+    /// and diagnostics — hot loops use [`BinnedMatrix::codes`]).
+    pub fn code(&self, i: usize, f: usize) -> usize {
+        match &self.codes {
+            Codes::U8(c) => c[f * self.n_rows + i] as usize,
+            Codes::U16(c) => c[f * self.n_rows + i] as usize,
+        }
     }
 
     /// Raw-space threshold between bins `b` and `b + 1` of feature `f`:
     /// rows with `code <= b` satisfy `value <= cut(f, b)`.
     pub fn cut(&self, f: usize, b: usize) -> f64 {
-        self.cuts[f][b]
+        self.cut_values[self.cut_offsets[f] + b]
     }
 }
 
@@ -161,12 +365,17 @@ mod tests {
         m
     }
 
+    fn column(b: &BinnedMatrix, f: usize) -> Vec<usize> {
+        (0..b.n_rows()).map(|i| b.code(i, f)).collect()
+    }
+
     #[test]
     fn distinct_values_get_own_bins() {
         let x = matrix_from_cols(&[vec![3.0, 1.0, 2.0, 1.0, 3.0]]);
         let b = BinnedMatrix::from_matrix(&x, 255);
+        assert!(b.is_u8(), "default max_bins must choose u8 codes");
         assert_eq!(b.n_bins(0), 3);
-        assert_eq!(b.column(0), &[2, 0, 1, 0, 2]);
+        assert_eq!(column(&b, 0), &[2, 0, 1, 0, 2]);
         assert!((b.cut(0, 0) - 1.5).abs() < 1e-12);
         assert!((b.cut(0, 1) - 2.5).abs() < 1e-12);
     }
@@ -176,7 +385,7 @@ mod tests {
         let x = matrix_from_cols(&[vec![7.0; 6]]);
         let b = BinnedMatrix::from_matrix(&x, 255);
         assert_eq!(b.n_bins(0), 1);
-        assert!(b.column(0).iter().all(|&c| c == 0));
+        assert!(column(&b, 0).iter().all(|&c| c == 0));
     }
 
     #[test]
@@ -187,7 +396,7 @@ mod tests {
         assert!(b.n_bins(0) <= 8, "{} bins", b.n_bins(0));
         assert!(b.n_bins(0) >= 4);
         // Codes must be monotone in the raw values.
-        let codes = b.column(0);
+        let codes = column(&b, 0);
         assert!(codes.windows(2).all(|w| w[0] <= w[1]));
     }
 
@@ -197,7 +406,7 @@ mod tests {
         let x = matrix_from_cols(std::slice::from_ref(&col));
         let b = BinnedMatrix::from_matrix(&x, 8);
         for (i, &v) in col.iter().enumerate() {
-            let code = b.column(0)[i] as usize;
+            let code = b.code(i, 0);
             if code > 0 {
                 assert!(v > b.cut(0, code - 1));
             }
@@ -212,6 +421,96 @@ mod tests {
         let x = matrix_from_cols(&[vec![1.0, 1.0 + 1e-14, 2.0]]);
         let b = BinnedMatrix::from_matrix(&x, 255);
         assert_eq!(b.n_bins(0), 2);
-        assert_eq!(b.column(0), &[0, 0, 1]);
+        assert_eq!(column(&b, 0), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn wide_max_bins_selects_u16() {
+        let col: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let x = matrix_from_cols(&[col]);
+        let b = BinnedMatrix::from_matrix(&x, 512);
+        assert!(!b.is_u8());
+        assert_eq!(b.n_bins(0), 300);
+        assert_eq!(b.code(299, 0), 299);
+    }
+
+    #[test]
+    fn u16_oracle_matches_u8_layout_exactly() {
+        let cols: Vec<Vec<f64>> = (0..4)
+            .map(|f| (0..60).map(|i| ((i * (f + 3)) as f64 * 0.37).sin()).collect())
+            .collect();
+        let x = matrix_from_cols(&cols);
+        let a = BinnedMatrix::from_matrix(&x, 255);
+        let b = BinnedMatrix::from_matrix_u16(&x, 255);
+        assert!(a.is_u8() && !b.is_u8());
+        for f in 0..x.cols() {
+            assert_eq!(a.n_bins(f), b.n_bins(f), "feature {f} bin counts");
+            for c in 0..a.n_bins(f) - 1 {
+                assert_eq!(a.cut(f, c), b.cut(f, c), "feature {f} cut {c}");
+            }
+            assert_eq!(column(&a, f), column(&b, f), "feature {f} codes");
+        }
+    }
+
+    #[test]
+    fn parallel_binning_is_bit_identical() {
+        let cols: Vec<Vec<f64>> = (0..7)
+            .map(|f| (0..80).map(|i| ((i + f * 13) as f64 * 0.29).cos()).collect())
+            .collect();
+        let x = matrix_from_cols(&cols);
+        let serial = BinnedMatrix::from_matrix_jobs(&x, 16, 1);
+        for jobs in [2, 4, 8] {
+            let par = BinnedMatrix::from_matrix_jobs(&x, 16, jobs);
+            for f in 0..x.cols() {
+                assert_eq!(serial.n_bins(f), par.n_bins(f), "jobs={jobs} feature {f}");
+                assert_eq!(column(&serial, f), column(&par, f), "jobs={jobs} feature {f}");
+                for c in 0..serial.n_bins(f) - 1 {
+                    assert_eq!(serial.cut(f, c), par.cut(f, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_binning_keeps_cells_encoded_exact() {
+        let x = matrix_from_cols(&[(0..50).map(|i| i as f64).collect(), vec![1.0; 50]]);
+        let before = stats::snapshot();
+        let _ = BinnedMatrix::from_matrix_jobs(&x, 8, 4);
+        let after = stats::snapshot();
+        assert_eq!(after.cells_encoded - before.cells_encoded, 100);
+        assert_eq!(after.matrices_built - before.matrices_built, 1);
+    }
+
+    #[test]
+    fn f32_source_bins_like_f64_on_representable_values() {
+        // Values exactly representable in f32 must produce identical cuts.
+        let cols: Vec<Vec<f64>> = (0..3)
+            .map(|f| (0..40).map(|i| (i * (f + 1)) as f64 * 0.5).collect())
+            .collect();
+        let x = matrix_from_cols(&cols);
+        let xf = MatrixF32::from_matrix(&x);
+        let a = BinnedMatrix::from_matrix(&x, 255);
+        let b = BinnedMatrix::from_matrix_f32(&xf, 255, 1);
+        for f in 0..x.cols() {
+            assert_eq!(a.n_bins(f), b.n_bins(f));
+            assert_eq!(column(&a, f), column(&b, f));
+        }
+    }
+
+    #[test]
+    fn bin_offsets_partition_the_arena() {
+        let x = matrix_from_cols(&[
+            (0..30).map(|i| i as f64).collect(),
+            vec![2.0; 30],
+            (0..30).map(|i| (i % 5) as f64).collect(),
+        ]);
+        let b = BinnedMatrix::from_matrix(&x, 8);
+        assert_eq!(b.bin_offset(0), 0);
+        let mut total = 0;
+        for f in 0..3 {
+            assert_eq!(b.bin_offset(f), total);
+            total += b.n_bins(f);
+        }
+        assert_eq!(b.total_bins(), total);
     }
 }

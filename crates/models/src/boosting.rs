@@ -10,7 +10,7 @@
 
 use crate::binned::BinnedMatrix;
 use crate::parallel::parallel_map;
-use crate::tree::{Criterion, MaxFeatures, SplitStrategy, Tree, TreeConfig};
+use crate::tree::{Criterion, HistKernel, MaxFeatures, SplitStrategy, Tree, TreeConfig};
 use crate::{check_fit_inputs, infer_n_classes, Estimator, ModelError, Result};
 use volcanoml_data::rand_util::derive_seed;
 use volcanoml_linalg::Matrix;
@@ -91,6 +91,11 @@ impl GradientBoostingRegressor {
             max_features: MaxFeatures::All,
             split_strategy: self.split_strategy,
             max_bins: self.max_bins,
+            // Boosting rounds are inherently serial and fit one tree each,
+            // so the configured job budget goes to feature-parallel
+            // histogram fills inside that tree.
+            hist_n_jobs: self.n_jobs,
+            hist_kernel: HistKernel::Flat,
             seed: derive_seed(self.seed, round as u64),
         }
     }
@@ -280,6 +285,10 @@ impl Estimator for GradientBoostingClassifier {
             max_features: MaxFeatures::All,
             split_strategy: self.split_strategy,
             max_bins: self.max_bins,
+            // Jobs left over after class-parallelism go to feature-parallel
+            // histogram fills within each class's tree.
+            hist_n_jobs: (self.n_jobs / k.max(1)).max(1),
+            hist_kernel: HistKernel::Flat,
             seed,
         };
         let binned = (self.split_strategy == SplitStrategy::Histogram)
@@ -416,6 +425,9 @@ impl Estimator for AdaBoostClassifier {
                 max_features: MaxFeatures::All,
                 split_strategy: self.split_strategy,
                 max_bins: self.max_bins,
+                // Rounds are serial; spend the job budget inside the tree.
+                hist_n_jobs: self.n_jobs,
+                hist_kernel: HistKernel::Flat,
                 seed: derive_seed(self.seed, round as u64),
             };
             let tree = fit_base_tree(x, binned.as_ref(), y, Some(&w), k, &cfg)?;

@@ -1,14 +1,64 @@
 //! Deterministic data parallelism over scoped threads (std-only).
 //!
 //! Ensemble fitting parallelizes over *independent, individually seeded*
-//! work items (trees, per-class boosting stages, prediction row ranges).
-//! Because every item derives its randomness from its own index — never
-//! from a shared RNG stream — and results are reassembled in submission
-//! order, the output is bit-identical for any `n_jobs`, including 1.
+//! work items (trees, per-class boosting stages, prediction row ranges,
+//! per-node feature chunks). Because every item derives its randomness from
+//! its own index — never from a shared RNG stream — and results are
+//! reassembled in submission order, the output is bit-identical for any
+//! `n_jobs`, including 1.
+//!
+//! The requested job count is a *ceiling*, not a promise: it is clamped to
+//! the machine's available hardware parallelism (overridable through the
+//! `VOLCANOML_CPUS` env var) before any thread is spawned. On a 1-CPU box a
+//! `n_jobs = 4` forest therefore takes the plain serial path — scoped-thread
+//! spawns cost real time and buy nothing without cores to run on (this was
+//! the `parallel_speedup: 0.97` regression in BENCH_models.json).
 
-/// Maps `f` over `0..n`, splitting the range into at most `n_jobs`
-/// contiguous chunks executed on scoped threads. Results come back in index
-/// order; with `n_jobs <= 1` (or `n <= 1`) this is a plain serial map.
+use std::sync::OnceLock;
+
+/// Process-global counters over the parallel execution path. Relaxed
+/// atomics: best-effort telemetry, also used by tests to assert that the
+/// serial fast path really spawns nothing.
+pub mod stats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Scoped worker threads spawned by [`super::parallel_map`] so far.
+    pub static THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+    /// Threads spawned since process start.
+    pub fn threads_spawned() -> u64 {
+        THREADS_SPAWNED.load(Ordering::Relaxed)
+    }
+}
+
+/// Hardware parallelism cap: `VOLCANOML_CPUS` if set (useful for benches and
+/// tests), otherwise [`std::thread::available_parallelism`]. Cached after the
+/// first call.
+pub fn hardware_parallelism() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        if let Ok(v) = std::env::var("VOLCANOML_CPUS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// Effective worker count for `n` items under `n_jobs` requested and `hw`
+/// available cores: never more jobs than items or cores, never less than 1.
+fn cap_jobs(n_jobs: usize, n: usize, hw: usize) -> usize {
+    n_jobs.max(1).min(n.max(1)).min(hw.max(1))
+}
+
+/// Maps `f` over `0..n`, splitting the range into contiguous chunks executed
+/// on scoped threads. Results come back in index order; with an effective
+/// job count of 1 this is a plain serial map with zero thread spawns.
+///
+/// The effective job count is `min(n_jobs, n, hardware_parallelism())`, so
+/// callers can pass their configured `n_jobs` unconditionally — tiny inputs
+/// and single-core machines take the serial fast path automatically.
 ///
 /// `f` must be pure with respect to the item index (no shared mutable
 /// state), which is what guarantees thread-count-independent results.
@@ -17,7 +67,16 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let jobs = n_jobs.max(1).min(n);
+    parallel_map_capped(n_jobs, n, hardware_parallelism(), f)
+}
+
+/// [`parallel_map`] with an explicit hardware cap (testable core).
+fn parallel_map_capped<T, F>(n_jobs: usize, n: usize, hw: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = cap_jobs(n_jobs, n, hw);
     if jobs <= 1 {
         return (0..n).map(f).collect();
     }
@@ -27,6 +86,7 @@ where
     std::thread::scope(|scope| {
         for (ci, slots) in out.chunks_mut(chunk).enumerate() {
             let f = &f;
+            stats::THREADS_SPAWNED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             scope.spawn(move || {
                 for (j, slot) in slots.iter_mut().enumerate() {
                     *slot = Some(f(ci * chunk + j));
@@ -60,5 +120,49 @@ mod tests {
     #[test]
     fn jobs_larger_than_items_is_fine() {
         assert_eq!(parallel_map(16, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn job_cap_respects_items_cores_and_floor() {
+        assert_eq!(cap_jobs(4, 40, 1), 1, "1-CPU box must stay serial");
+        assert_eq!(cap_jobs(4, 40, 2), 2);
+        assert_eq!(cap_jobs(4, 2, 8), 2, "never more jobs than items");
+        assert_eq!(cap_jobs(0, 10, 8), 1);
+        assert_eq!(cap_jobs(3, 0, 8), 1);
+    }
+
+    #[test]
+    fn serial_path_spawns_zero_threads() {
+        // n_jobs = 1: serial regardless of the machine.
+        let before = stats::threads_spawned();
+        let out = parallel_map(1, 100, |i| i + 1);
+        assert_eq!(out.len(), 100);
+        assert_eq!(
+            stats::threads_spawned(),
+            before,
+            "n_jobs=1 must not spawn threads"
+        );
+    }
+
+    #[test]
+    fn single_core_cap_spawns_zero_threads() {
+        // The BENCH_models.json regression: 40 trees, n_jobs=4, 1 CPU. The
+        // hardware clamp must take the serial path without a single spawn.
+        let before = stats::threads_spawned();
+        let expect: Vec<usize> = (0..40).map(|i| i * 3).collect();
+        assert_eq!(parallel_map_capped(4, 40, 1, |i| i * 3), expect);
+        assert_eq!(
+            stats::threads_spawned(),
+            before,
+            "hw=1 must not spawn threads"
+        );
+    }
+
+    #[test]
+    fn parallel_path_counts_spawns() {
+        let before = stats::threads_spawned();
+        let expect: Vec<usize> = (0..8).collect();
+        assert_eq!(parallel_map_capped(2, 8, 4, |i| i), expect);
+        assert_eq!(stats::threads_spawned(), before + 2);
     }
 }

@@ -10,10 +10,12 @@
 //! parent-minus-sibling histogram subtraction and index-range node
 //! partitioning. Ensembles bin once and call [`Tree::fit_binned`] per tree.
 
-use crate::binned::BinnedMatrix;
+use crate::binned::{BinCode, BinnedMatrix, CodesRef};
+use crate::parallel::parallel_map;
 use crate::{check_fit_inputs, infer_n_classes, Estimator, ModelError, Result};
 use rand::rngs::StdRng;
 use rand::RngExt;
+use std::cell::RefCell;
 use volcanoml_data::rand_util::{rng_from_seed, sample_without_replacement};
 use volcanoml_linalg::Matrix;
 
@@ -66,6 +68,19 @@ pub enum SplitStrategy {
     Histogram,
 }
 
+/// Histogram-kernel variant. [`HistKernel::Flat`] is the fast default:
+/// node-major contiguous arenas, fused per-row statistics, pooled slabs.
+/// [`HistKernel::PerNode`] keeps the PR 2 per-feature-vector kernel as a
+/// bitwise-equivalence oracle for tests and as the bench baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HistKernel {
+    /// Flat node-major arena, fused accumulation (default).
+    #[default]
+    Flat,
+    /// Legacy per-node `Vec<Vec<f64>>` histograms (test/bench oracle).
+    PerNode,
+}
+
 /// Tree hyper-parameters.
 #[derive(Debug, Clone)]
 pub struct TreeConfig {
@@ -83,6 +98,14 @@ pub struct TreeConfig {
     pub split_strategy: SplitStrategy,
     /// Bins per feature for [`SplitStrategy::Histogram`] (ignored otherwise).
     pub max_bins: usize,
+    /// Worker threads for feature-parallel histogram accumulation inside a
+    /// single tree (ignored outside histogram mode). Features are split
+    /// into contiguous chunks and the partial arenas merged in feature
+    /// order, so fits are bit-identical for any value. Ensembles that
+    /// already parallelize across trees should leave this at 1.
+    pub hist_n_jobs: usize,
+    /// Histogram-kernel variant (leave at the default outside benches).
+    pub hist_kernel: HistKernel,
     /// RNG seed (feature subsets / random thresholds).
     pub seed: u64,
 }
@@ -98,6 +121,8 @@ impl TreeConfig {
             max_features: MaxFeatures::All,
             split_strategy: SplitStrategy::Best,
             max_bins: crate::binned::DEFAULT_MAX_BINS,
+            hist_n_jobs: 1,
+            hist_kernel: HistKernel::Flat,
             seed: 0,
         }
     }
@@ -227,31 +252,11 @@ impl Tree {
         if idx.is_empty() {
             return Err(ModelError::Invalid("all sample weights are zero".into()));
         }
-        let n_idx = idx.len();
-        let channels = if config.criterion == Criterion::Mse {
-            REG_CHANNELS
-        } else {
-            n_outputs + 1
-        };
-        let mut builder = HistBuilder {
-            bm,
-            y,
-            weights,
-            n_outputs,
-            config,
-            nodes: Vec::new(),
-            rng: rng_from_seed(config.seed),
-            idx,
-            scratch: Vec::with_capacity(n_idx),
-            channels,
-            pool: Vec::new(),
-        };
-        builder.build(0, n_idx, 0, None);
-        Ok(Tree {
-            nodes: builder.nodes,
-            n_outputs,
-            n_features: bm.n_features(),
-        })
+        // Monomorphize the hot kernels on the stored code width.
+        match bm.codes() {
+            CodesRef::U8(codes) => fit_binned_codes(bm, codes, idx, y, weights, n_outputs, config),
+            CodesRef::U16(codes) => fit_binned_codes(bm, codes, idx, y, weights, n_outputs, config),
+        }
     }
 
     /// Returns the leaf value vector for one sample.
@@ -263,6 +268,24 @@ impl Tree {
                 return &n.value;
             }
             node = if row[n.feature] <= n.threshold {
+                n.left
+            } else {
+                n.right
+            };
+        }
+    }
+
+    /// Returns the leaf value vector for one `f32`-storage sample. Split
+    /// thresholds are `f64`; the comparison widens each visited feature, so
+    /// only the raw-matrix read traffic is halved, not the decision logic.
+    pub fn predict_row_f32(&self, row: &[f32]) -> &[f64] {
+        let mut node = 0usize;
+        loop {
+            let n = &self.nodes[node];
+            if n.feature == usize::MAX {
+                return &n.value;
+            }
+            node = if (row[n.feature] as f64) <= n.threshold {
                 n.left
             } else {
                 n.right
@@ -619,23 +642,416 @@ impl Builder<'_> {
 /// Channel count of regression histograms: `[wsum, w·y, w·y², count]`.
 const REG_CHANNELS: usize = 4;
 
-/// Per-feature bin histograms for one node, parallel to its candidate
-/// feature list; entry `fi` has `n_bins(features[fi]) * channels` floats.
-type NodeHists = Vec<Vec<f64>>;
+/// Minimum `node rows × candidate features` before a feature-parallel
+/// histogram fill can pay for its scoped-thread spawns; smaller nodes stay
+/// on the serial fill even when `hist_n_jobs > 1`.
+const FEATURE_PARALLEL_MIN_CELLS: usize = 8192;
 
-/// Histogram-mode tree builder.
+/// Cap on retired slabs kept per thread. Slabs are `total candidate bins ×
+/// channels` floats, so a handful per worker covers the deepest recursion
+/// without pinning unbounded memory after a wide ensemble fit.
+const SLAB_POOL_CAP: usize = 64;
+
+/// Largest node (rows) whose flat-kernel fill tracks touched bins. A node
+/// this small populates at most `rows` of a feature's ≤ 255 bins, so split
+/// search and slab retirement walk the short touched list instead of every
+/// bin — the dominant per-node cost for the thousands of small nodes a
+/// deep tree visits. Larger nodes touch most bins anyway and skip the
+/// tracking branch.
+const TRACKED_MAX_ROWS: usize = 256;
+
+/// Bins per feature region in the flat u8 kernel's padded slab layout.
+/// Every feature gets a fixed `PAD_BINS × channels` region regardless of
+/// its real bin count, so the fill loops can view a region as a
+/// `[[f64; CH]; PAD_BINS]` array: a u8 bin code masked to `PAD_BINS - 1`
+/// provably fits, and the bounds checks (and per-access slice arithmetic)
+/// disappear. Pad cells are never written (u8 codes bin below `PAD_BINS`)
+/// and never read (scans walk a feature's real bins only), so they stay
+/// zero and the padding is bitwise neutral.
+const PAD_BINS: usize = 256;
+
+/// Views a padded feature region as a fixed-size array of bin cells — the
+/// shape that lets the fill loop's indexing compile without bounds checks.
+fn fixed_region<const CH: usize>(region: &mut [f64]) -> &mut [[f64; CH]; PAD_BINS] {
+    let (cells, rest) = region.as_chunks_mut::<CH>();
+    debug_assert!(rest.is_empty());
+    cells.try_into().expect("padded region is PAD_BINS cells")
+}
+
+/// One padded feature region's touched-bin set as a bitmap — cheaper to
+/// maintain than a sorted list (an idempotent OR per row, no 0 → 1 test,
+/// no sort) and iterated in the same ascending bin order.
+type TouchedBits = [u64; PAD_BINS / 64];
+
+/// Calls `f` for each set bit, in ascending order.
+fn for_each_bit(bits: &TouchedBits, mut f: impl FnMut(usize)) {
+    for (wi, &word) in bits.iter().enumerate() {
+        let mut w = word;
+        while w != 0 {
+            f(wi * 64 + w.trailing_zeros() as usize);
+            w &= w - 1;
+        }
+    }
+}
+
+/// Which touched-bin representation the current node's tracked fill
+/// produced (consumed by `scan_split` and `retire_slab`, invalidated when
+/// slabs are donated through the subtraction trick).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Tracked {
+    /// Untracked fill (large node, feature-parallel, or PerNode).
+    None,
+    /// Sorted `Vec<u32>` lists (generic layouts).
+    Lists,
+    /// [`TouchedBits`] bitmaps (padded u8 layout, fixed channel count).
+    Bits,
+}
+
+thread_local! {
+    /// Retired flat histogram slabs, reused across nodes and across every
+    /// tree an ensemble fits on this worker thread. The tree visits
+    /// thousands of small nodes; without pooling, per-node arena
+    /// allocation dominates deep-tree fit time.
+    static SLAB_POOL: RefCell<Vec<Vec<f64>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A zeroed histogram slab of `len` floats, from the pool when possible.
+fn take_slab(len: usize) -> Vec<f64> {
+    let pooled = SLAB_POOL.with(|p| p.borrow_mut().pop());
+    match pooled {
+        Some(mut slab) => {
+            crate::binned::stats::ARENA_REUSES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            // Pooled slabs are all-zero (the `put_slab` invariant), so no
+            // clearing pass: shrinking truncates a zeroed prefix, growing
+            // appends zeros. This is where deep trees win — a full memset
+            // of a ~255-bin slab dwarfs the fill cost of a small node.
+            slab.resize(len, 0.0);
+            slab
+        }
+        None => vec![0.0; len],
+    }
+}
+
+/// Retires a slab into the thread-local pool.
+///
+/// Invariant: `slab` must be all-zero — `take_slab` skips the clearing
+/// memset and hands pooled slabs straight to the fill loop. Retiring nodes
+/// restore the invariant by zeroing exactly the cells they touched
+/// ([`HistBuilder::retire_slab`]), which for a small node is far cheaper
+/// than clearing the whole arena.
+fn put_slab(slab: Vec<f64>) {
+    if slab.capacity() == 0 {
+        return;
+    }
+    debug_assert!(slab.iter().all(|&v| v == 0.0), "pooled slab not zeroed");
+    SLAB_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < SLAB_POOL_CAP {
+            pool.push(slab);
+        }
+    });
+}
+
+/// Everything one flat histogram fill pass reads, bundled so the
+/// feature-parallel workers can share it without borrowing the builder
+/// (whose RNG and node vector must stay on the fitting thread).
+///
+/// The fused per-row statistics are the bandwidth trick: weights and the
+/// `w·y` / `w·y²` products are computed once per tree instead of once per
+/// `(row, feature)` pair per node, so the fill loop is pure reads + adds.
+struct FillCtx<'a, C: BinCode> {
+    bm: &'a BinnedMatrix,
+    codes: &'a [C],
+    /// The node's rows (`idx[start..end]` of the builder).
+    rows: &'a [u32],
+    channels: usize,
+    is_mse: bool,
+    /// Per-row weight (`1.0` when unweighted).
+    row_w: &'a [f64],
+    /// Per-row `w·y` (regression only).
+    row_wy: &'a [f64],
+    /// Per-row `(w·y)·y` — left-associated to match the unfused kernel's
+    /// `w * y[i] * y[i]` bit for bit (regression only).
+    row_wyy: &'a [f64],
+    /// Per-row class index (classification only).
+    row_cls: &'a [u32],
+    /// Padded slab layout (`PAD_BINS` bins per feature region) — set for
+    /// the flat kernel over u8 codes, where it enables the fixed-array
+    /// fill paths.
+    pad: bool,
+}
+
+impl<C: BinCode> FillCtx<'_, C> {
+    /// Region width (floats) of feature `f` under the active layout.
+    fn width(&self, f: usize) -> usize {
+        if self.pad {
+            PAD_BINS * self.channels
+        } else {
+            self.bm.n_bins(f) * self.channels
+        }
+    }
+
+    /// Slab length (floats) for a candidate feature list.
+    fn slab_len(&self, features: &[usize]) -> usize {
+        features.iter().map(|&f| self.width(f)).sum()
+    }
+
+    /// Fills `slab` — features laid out in order, `n_bins(f) × channels`
+    /// apiece — from the node's rows. Accumulation per feature touches only
+    /// that feature's bins, which is what makes the feature-parallel path
+    /// bitwise identical to this serial walk.
+    ///
+    /// Features are processed in pairs sharing one pass over the rows: the
+    /// row index and its fused statistics are loaded once and feed two
+    /// independent histogram regions, halving the sequential-read traffic
+    /// and giving the FPU two dependency chains. Per-feature accumulation
+    /// order is still row order, so the slab is bitwise identical to a
+    /// feature-at-a-time walk.
+    fn fill(&self, features: &[usize], slab: &mut [f64]) {
+        if self.pad {
+            match self.channels {
+                3 => return self.fill_fixed::<3>(features, slab),
+                4 => return self.fill_fixed::<4>(features, slab),
+                _ => {}
+            }
+        }
+        let ch = self.channels;
+        let n = self.bm.n_rows();
+        let mut off = 0usize;
+        let mut pairs = features.chunks_exact(2);
+        for pair in pairs.by_ref() {
+            let col0 = &self.codes[pair[0] * n..(pair[0] + 1) * n];
+            let col1 = &self.codes[pair[1] * n..(pair[1] + 1) * n];
+            let w0 = self.width(pair[0]);
+            let w1 = self.width(pair[1]);
+            let (h0, rest) = slab[off..].split_at_mut(w0);
+            let h1 = &mut rest[..w1];
+            if self.is_mse {
+                for &i in self.rows {
+                    let i = i as usize;
+                    let b0 = col0[i].bin() * ch;
+                    let b1 = col1[i].bin() * ch;
+                    let (w, wy, wyy) = (self.row_w[i], self.row_wy[i], self.row_wyy[i]);
+                    h0[b0] += w;
+                    h0[b0 + 1] += wy;
+                    h0[b0 + 2] += wyy;
+                    h0[b0 + 3] += 1.0;
+                    h1[b1] += w;
+                    h1[b1 + 1] += wy;
+                    h1[b1 + 2] += wyy;
+                    h1[b1 + 3] += 1.0;
+                }
+            } else {
+                for &i in self.rows {
+                    let i = i as usize;
+                    let b0 = col0[i].bin() * ch;
+                    let b1 = col1[i].bin() * ch;
+                    let (w, c) = (self.row_w[i], self.row_cls[i] as usize);
+                    h0[b0 + c] += w;
+                    h0[b0 + ch - 1] += 1.0;
+                    h1[b1 + c] += w;
+                    h1[b1 + ch - 1] += 1.0;
+                }
+            }
+            off += w0 + w1;
+        }
+        for &f in pairs.remainder() {
+            let col = &self.codes[f * n..(f + 1) * n];
+            let width = self.width(f);
+            let h = &mut slab[off..off + width];
+            if self.is_mse {
+                for &i in self.rows {
+                    let i = i as usize;
+                    let base = col[i].bin() * ch;
+                    h[base] += self.row_w[i];
+                    h[base + 1] += self.row_wy[i];
+                    h[base + 2] += self.row_wyy[i];
+                    h[base + 3] += 1.0;
+                }
+            } else {
+                for &i in self.rows {
+                    let i = i as usize;
+                    let base = col[i].bin() * ch;
+                    h[base + self.row_cls[i] as usize] += self.row_w[i];
+                    h[base + ch - 1] += 1.0;
+                }
+            }
+            off += width;
+        }
+    }
+
+    /// [`FillCtx::fill`] for the padded u8 layout with a compile-time
+    /// channel count: every region is a `[[f64; CH]; PAD_BINS]` array and
+    /// every index is provably in range (bins masked to `PAD_BINS - 1` —
+    /// a no-op for u8 codes — and the class channel clamped to its
+    /// `CH - 2` maximum), so the accumulation loop is pure loads and adds.
+    /// Same adds in the same order as the generic walk, bitwise identical.
+    fn fill_fixed<const CH: usize>(&self, features: &[usize], slab: &mut [f64]) {
+        debug_assert_eq!(self.channels, CH);
+        let n = self.bm.n_rows();
+        let mut off = 0usize;
+        let mut pairs = features.chunks_exact(2);
+        for pair in pairs.by_ref() {
+            let col0 = &self.codes[pair[0] * n..(pair[0] + 1) * n];
+            let col1 = &self.codes[pair[1] * n..(pair[1] + 1) * n];
+            let (r0, rest) = slab[off..].split_at_mut(PAD_BINS * CH);
+            let h0 = fixed_region::<CH>(r0);
+            let h1 = fixed_region::<CH>(&mut rest[..PAD_BINS * CH]);
+            if self.is_mse {
+                for &i in self.rows {
+                    let i = i as usize;
+                    let b0 = col0[i].bin() & (PAD_BINS - 1);
+                    let b1 = col1[i].bin() & (PAD_BINS - 1);
+                    let (w, wy, wyy) = (self.row_w[i], self.row_wy[i], self.row_wyy[i]);
+                    let c0 = &mut h0[b0];
+                    c0[0] += w;
+                    c0[1] += wy;
+                    c0[2] += wyy;
+                    c0[CH - 1] += 1.0;
+                    let c1 = &mut h1[b1];
+                    c1[0] += w;
+                    c1[1] += wy;
+                    c1[2] += wyy;
+                    c1[CH - 1] += 1.0;
+                }
+            } else {
+                for &i in self.rows {
+                    let i = i as usize;
+                    let b0 = col0[i].bin() & (PAD_BINS - 1);
+                    let b1 = col1[i].bin() & (PAD_BINS - 1);
+                    let (w, c) = (self.row_w[i], (self.row_cls[i] as usize).min(CH - 2));
+                    let c0 = &mut h0[b0];
+                    c0[c] += w;
+                    c0[CH - 1] += 1.0;
+                    let c1 = &mut h1[b1];
+                    c1[c] += w;
+                    c1[CH - 1] += 1.0;
+                }
+            }
+            off += 2 * PAD_BINS * CH;
+        }
+        for &f in pairs.remainder() {
+            let col = &self.codes[f * n..(f + 1) * n];
+            let h = fixed_region::<CH>(&mut slab[off..off + PAD_BINS * CH]);
+            if self.is_mse {
+                for &i in self.rows {
+                    let i = i as usize;
+                    let cell = &mut h[col[i].bin() & (PAD_BINS - 1)];
+                    cell[0] += self.row_w[i];
+                    cell[1] += self.row_wy[i];
+                    cell[2] += self.row_wyy[i];
+                    cell[CH - 1] += 1.0;
+                }
+            } else {
+                for &i in self.rows {
+                    let i = i as usize;
+                    let cell = &mut h[col[i].bin() & (PAD_BINS - 1)];
+                    cell[(self.row_cls[i] as usize).min(CH - 2)] += self.row_w[i];
+                    cell[CH - 1] += 1.0;
+                }
+            }
+            off += PAD_BINS * CH;
+        }
+    }
+
+    /// [`FillCtx::fill`] plus touched-bin tracking: each feature's list in
+    /// `touched` receives the bins this node actually populated (pushed on
+    /// the count channel's 0 → 1 transition, then sorted ascending). Small
+    /// nodes touch a handful of a feature's ≤ 255 bins, and the lists let
+    /// split search and slab retirement walk only those cells instead of
+    /// the whole arena. Accumulation arithmetic is untouched, so the slab
+    /// is bitwise identical to the untracked fill's.
+    fn fill_tracked(&self, features: &[usize], slab: &mut [f64], touched: &mut [Vec<u32>]) {
+        let ch = self.channels;
+        let n = self.bm.n_rows();
+        let mut off = 0usize;
+        for (fi, &f) in features.iter().enumerate() {
+            let col = &self.codes[f * n..(f + 1) * n];
+            let width = self.width(f);
+            let h = &mut slab[off..off + width];
+            let list = &mut touched[fi];
+            list.clear();
+            for &i in self.rows {
+                let i = i as usize;
+                let bin = col[i].bin();
+                let base = bin * ch;
+                if h[base + ch - 1] == 0.0 {
+                    list.push(bin as u32);
+                }
+                if self.is_mse {
+                    h[base] += self.row_w[i];
+                    h[base + 1] += self.row_wy[i];
+                    h[base + 2] += self.row_wyy[i];
+                    h[base + 3] += 1.0;
+                } else {
+                    h[base + self.row_cls[i] as usize] += self.row_w[i];
+                    h[base + ch - 1] += 1.0;
+                }
+            }
+            list.sort_unstable();
+            off += width;
+        }
+    }
+
+    /// [`FillCtx::fill_tracked`] on the padded fixed-array layout — the
+    /// same bounds-check-free accumulation as [`FillCtx::fill_fixed`],
+    /// with each touched bin recorded by an idempotent OR into a
+    /// [`TouchedBits`] bitmap (no per-row 0 → 1 test, no sort; iteration
+    /// is ascending either way).
+    fn fill_tracked_fixed<const CH: usize>(
+        &self,
+        features: &[usize],
+        slab: &mut [f64],
+        touched: &mut [TouchedBits],
+    ) {
+        debug_assert_eq!(self.channels, CH);
+        let n = self.bm.n_rows();
+        let mut off = 0usize;
+        for (fi, &f) in features.iter().enumerate() {
+            let col = &self.codes[f * n..(f + 1) * n];
+            let h = fixed_region::<CH>(&mut slab[off..off + PAD_BINS * CH]);
+            let bits = &mut touched[fi];
+            *bits = [0; PAD_BINS / 64];
+            for &i in self.rows {
+                let i = i as usize;
+                let bin = col[i].bin() & (PAD_BINS - 1);
+                bits[bin >> 6] |= 1u64 << (bin & 63);
+                let cell = &mut h[bin];
+                if self.is_mse {
+                    cell[0] += self.row_w[i];
+                    cell[1] += self.row_wy[i];
+                    cell[2] += self.row_wyy[i];
+                    cell[CH - 1] += 1.0;
+                } else {
+                    cell[(self.row_cls[i] as usize).min(CH - 2)] += self.row_w[i];
+                    cell[CH - 1] += 1.0;
+                }
+            }
+            off += PAD_BINS * CH;
+        }
+    }
+}
+
+/// Histogram-mode tree builder, monomorphized on the bin-code width `C`
+/// (`u8` for ≤ 256 bins, `u16` beyond) so the hot loops never branch on
+/// storage width.
 ///
 /// Rows live in a single shared index buffer (`idx`); each node owns the
 /// contiguous range `idx[start..end]` and splitting stably partitions that
 /// range in place (via `scratch`), so no per-node index vectors are
-/// allocated. Split search scans per-bin statistics: classification bins
+/// allocated. A node's histograms are one flat node-major slab — candidate
+/// features in order, `n_bins(f) × channels` floats apiece — taken from a
+/// thread-local pool and walked with running offsets. Classification bins
 /// carry per-class weight sums plus a row count, regression bins carry
-/// `[wsum, w·y, w·y², count]`. When both children can still split and the
-/// candidate set is all features, only the smaller child's histograms are
-/// built from data — the larger child's are the parent's minus the
-/// smaller's (LightGBM's subtraction trick).
-struct HistBuilder<'a> {
+/// `[wsum, w·y, w·y², count]`, with the per-row products fused into arrays
+/// computed once per tree. When both children can still split and the
+/// candidate set is all features, only the smaller child's slab is built
+/// from data — the larger child's is the parent's minus the smaller's
+/// (LightGBM's subtraction trick), a single vectorizable pass on flat
+/// storage.
+struct HistBuilder<'a, C: BinCode> {
     bm: &'a BinnedMatrix,
+    codes: &'a [C],
     y: &'a [f64],
     weights: Option<&'a [f64]>,
     n_outputs: usize,
@@ -645,15 +1061,41 @@ struct HistBuilder<'a> {
     idx: Vec<u32>,
     scratch: Vec<u32>,
     channels: usize,
-    /// Retired histogram buffers, reused by later nodes. The tree visits
-    /// thousands of small nodes; without pooling, per-node allocation of
-    /// `n_candidates` bin vectors dominates deep-tree fit time.
-    pool: Vec<Vec<f64>>,
+    /// Fused per-row statistics (empty under [`HistKernel::PerNode`], which
+    /// recomputes them per access exactly as the PR 2 kernel did).
+    row_w: Vec<f64>,
+    row_wy: Vec<f64>,
+    row_wyy: Vec<f64>,
+    row_cls: Vec<u32>,
+    /// [`HistKernel::PerNode`]'s builder-local slab pool, mirroring the
+    /// PR 2 kernel's recycling so the bench baseline keeps its real costs.
+    local_pool: Vec<Vec<f64>>,
+    /// Per-candidate-feature touched-bin sets for the current node (flat
+    /// kernel, nodes of ≤ [`TRACKED_MAX_ROWS`] rows) — bitmaps on the
+    /// padded u8 layout, sorted lists otherwise. Valid only between a
+    /// tracked `build_hists` and the node's `scan_split`/`retire_slab`;
+    /// donated (subtraction-trick) slabs never consult them.
+    touched: Vec<Vec<u32>>,
+    touched_bits: Vec<TouchedBits>,
+    tracked: Tracked,
+    /// Padded slab layout — flat kernel over u8 codes (see [`PAD_BINS`]).
+    pad: bool,
 }
 
-impl HistBuilder<'_> {
+impl<C: BinCode> HistBuilder<'_, C> {
     fn weight(&self, i: usize) -> f64 {
         self.weights.map_or(1.0, |w| w[i])
+    }
+
+    /// Slab region width (floats) of feature `f` under the active
+    /// kernel's layout — `PAD_BINS` bins for the padded flat u8 layout,
+    /// the feature's real bin count otherwise (PerNode, u16 codes).
+    fn width(&self, f: usize) -> usize {
+        if self.pad {
+            PAD_BINS * self.channels
+        } else {
+            self.bm.n_bins(f) * self.channels
+        }
     }
 
     fn is_mse(&self) -> bool {
@@ -661,22 +1103,42 @@ impl HistBuilder<'_> {
     }
 
     fn leaf_value(&self, start: usize, end: usize) -> Vec<f64> {
+        // The flat kernel's fused per-row arrays serve here too: `row_wy`
+        // holds exactly the `w * y` product and `row_cls` the class cast,
+        // so node values come out bitwise identical to the per-access
+        // walk the PerNode oracle keeps.
+        let fused = !self.row_w.is_empty();
         if self.is_mse() {
             let mut sum = 0.0;
             let mut wsum = 0.0;
-            for &i in &self.idx[start..end] {
-                let w = self.weight(i as usize);
-                sum += w * self.y[i as usize];
-                wsum += w;
+            if fused {
+                for &i in &self.idx[start..end] {
+                    sum += self.row_wy[i as usize];
+                    wsum += self.row_w[i as usize];
+                }
+            } else {
+                for &i in &self.idx[start..end] {
+                    let w = self.weight(i as usize);
+                    sum += w * self.y[i as usize];
+                    wsum += w;
+                }
             }
             vec![if wsum > 0.0 { sum / wsum } else { 0.0 }]
         } else {
             let mut hist = vec![0.0; self.n_outputs];
             let mut wsum = 0.0;
-            for &i in &self.idx[start..end] {
-                let w = self.weight(i as usize);
-                hist[self.y[i as usize] as usize] += w;
-                wsum += w;
+            if fused {
+                for &i in &self.idx[start..end] {
+                    let w = self.row_w[i as usize];
+                    hist[self.row_cls[i as usize] as usize] += w;
+                    wsum += w;
+                }
+            } else {
+                for &i in &self.idx[start..end] {
+                    let w = self.weight(i as usize);
+                    hist[self.y[i as usize] as usize] += w;
+                    wsum += w;
+                }
             }
             if wsum > 0.0 {
                 for h in &mut hist {
@@ -742,23 +1204,82 @@ impl HistBuilder<'_> {
         self.nodes.len() - 1
     }
 
-    /// One pass over the node's rows fills every candidate feature's bins.
-    fn build_hists(&mut self, start: usize, end: usize, features: &[usize]) -> NodeHists {
-        crate::binned::stats::HIST_NODE_SCANS
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    /// One pass over the node's rows fills every candidate feature's bins
+    /// into a single flat slab (features in candidate order, running
+    /// offsets). Also charges the bandwidth counters: each fill reads
+    /// `rows × features × C::BYTES` of bin codes.
+    fn build_hists(&mut self, start: usize, end: usize, features: &[usize]) -> Vec<f64> {
+        use std::sync::atomic::Ordering::Relaxed;
+        crate::binned::stats::HIST_NODE_SCANS.fetch_add(1, Relaxed);
+        crate::binned::stats::HIST_BYTES_SCANNED
+            .fetch_add(((end - start) * features.len() * C::BYTES) as u64, Relaxed);
+        self.tracked = Tracked::None;
+        if self.config.hist_kernel == HistKernel::PerNode {
+            return self.build_hists_per_node(start, end, features);
+        }
+        let ctx = FillCtx {
+            bm: self.bm,
+            codes: self.codes,
+            rows: &self.idx[start..end],
+            channels: self.channels,
+            is_mse: self.is_mse(),
+            row_w: &self.row_w,
+            row_wy: &self.row_wy,
+            row_wyy: &self.row_wyy,
+            row_cls: &self.row_cls,
+            pad: self.pad,
+        };
+        let mut slab = take_slab(ctx.slab_len(features));
+        let jobs = self.config.hist_n_jobs;
+        let cells = (end - start) * features.len();
+        if jobs > 1 && features.len() > 1 && cells >= FEATURE_PARALLEL_MIN_CELLS {
+            fill_parallel(&ctx, features, &mut slab, jobs);
+        } else if end - start <= TRACKED_MAX_ROWS {
+            match self.channels {
+                3 if self.pad => {
+                    self.touched_bits.resize(features.len(), [0; PAD_BINS / 64]);
+                    ctx.fill_tracked_fixed::<3>(features, &mut slab, &mut self.touched_bits);
+                    self.tracked = Tracked::Bits;
+                }
+                4 if self.pad => {
+                    self.touched_bits.resize(features.len(), [0; PAD_BINS / 64]);
+                    ctx.fill_tracked_fixed::<4>(features, &mut slab, &mut self.touched_bits);
+                    self.tracked = Tracked::Bits;
+                }
+                _ => {
+                    self.touched.resize(features.len(), Vec::new());
+                    ctx.fill_tracked(features, &mut slab, &mut self.touched);
+                    self.tracked = Tracked::Lists;
+                }
+            }
+        } else {
+            ctx.fill(features, &mut slab);
+        }
+        slab
+    }
+
+    /// The PR 2 kernel, kept verbatim in spirit: per-access weight lookup
+    /// and `w·y` / `w·y²` products, builder-local buffer recycling, always
+    /// serial. Produces the same slab layout (and, channel by channel, the
+    /// same sums in the same order) as the flat kernel — the bitwise
+    /// equivalence the property tests pin down.
+    fn build_hists_per_node(&mut self, start: usize, end: usize, features: &[usize]) -> Vec<f64> {
         let is_mse = self.is_mse();
         let ch = self.channels;
-        let bm = self.bm;
-        let mut out = Vec::with_capacity(features.len());
+        let n = self.bm.n_rows();
+        let len: usize = features.iter().map(|&f| self.bm.n_bins(f) * ch).sum();
+        let mut slab = self.local_pool.pop().unwrap_or_default();
+        slab.clear();
+        slab.resize(len, 0.0);
+        let mut off = 0usize;
         for &f in features {
-            let col = bm.column(f);
-            let mut h = self.pool.pop().unwrap_or_default();
-            h.clear();
-            h.resize(bm.n_bins(f) * ch, 0.0);
+            let col = &self.codes[f * n..(f + 1) * n];
+            let width = self.bm.n_bins(f) * ch;
+            let h = &mut slab[off..off + width];
             for &i in &self.idx[start..end] {
                 let i = i as usize;
-                let w = self.weight(i);
-                let base = col[i] as usize * ch;
+                let w = self.weights.map_or(1.0, |w| w[i]);
+                let base = col[i].bin() * ch;
                 if is_mse {
                     h[base] += w;
                     h[base + 1] += w * self.y[i];
@@ -769,19 +1290,93 @@ impl HistBuilder<'_> {
                     h[base + ch - 1] += 1.0;
                 }
             }
-            out.push(h);
+            off += width;
         }
-        out
+        slab
     }
 
-    /// Returns a node's histogram buffers to the pool.
-    fn recycle(&mut self, hists: NodeHists) {
-        self.pool.extend(hists);
+    /// Returns a node's histogram slab to the matching pool.
+    ///
+    /// The flat pool's invariant is that parked slabs are all-zero, so the
+    /// retiring node pays the clearing cost — and it knows exactly which
+    /// cells its fill touched: `rows = Some((start, end))` when the slab
+    /// was built from `idx[start..end]` (partition may have reordered the
+    /// range, but zeroing only needs the row *set*). Small nodes then zero
+    /// `rows × features` cells instead of the whole ~`bins × features`
+    /// arena; inherited (subtraction-trick) slabs and large nodes fall
+    /// back to one sequential clear.
+    fn retire_slab(&mut self, mut slab: Vec<f64>, rows: Option<(usize, usize)>, features: &[usize]) {
+        match self.config.hist_kernel {
+            HistKernel::PerNode => self.local_pool.push(slab),
+            HistKernel::Flat => {
+                if self.tracked != Tracked::None && rows.is_some() {
+                    // Tracked fill: zero exactly the populated cells.
+                    let ch = self.channels;
+                    let mut off = 0usize;
+                    for (fi, &f) in features.iter().enumerate() {
+                        let width = self.width(f);
+                        let h = &mut slab[off..off + width];
+                        match self.tracked {
+                            Tracked::Bits => {
+                                for_each_bit(&self.touched_bits[fi], |b| {
+                                    h[b * ch..b * ch + ch].fill(0.0);
+                                });
+                            }
+                            _ => {
+                                for &b in &self.touched[fi] {
+                                    let base = b as usize * ch;
+                                    h[base..base + ch].fill(0.0);
+                                }
+                            }
+                        }
+                        off += width;
+                    }
+                    self.tracked = Tracked::None;
+                } else {
+                    match rows {
+                        Some((start, end))
+                            if (end - start) * features.len() * self.channels * 2
+                                <= slab.len() =>
+                        {
+                            self.zero_touched(&mut slab, start, end, features);
+                        }
+                        _ => slab.fill(0.0),
+                    }
+                }
+                put_slab(slab);
+            }
+        }
+    }
+
+    /// Zeroes exactly the cells a fill over `idx[start..end] × features`
+    /// touched, restoring the all-zero pool invariant without a full-slab
+    /// memset.
+    fn zero_touched(&self, slab: &mut [f64], start: usize, end: usize, features: &[usize]) {
+        let ch = self.channels;
+        let n = self.bm.n_rows();
+        let mut off = 0usize;
+        for &f in features {
+            let col = &self.codes[f * n..(f + 1) * n];
+            let width = self.width(f);
+            let h = &mut slab[off..off + width];
+            for &i in &self.idx[start..end] {
+                let base = col[i as usize].bin() * ch;
+                h[base..base + ch].fill(0.0);
+            }
+            off += width;
+        }
     }
 
     /// Scans bin boundaries for the best split; returns the winning
     /// candidate's position in `features` and the boundary bin.
-    fn scan_split(&self, hists: &NodeHists, n_node: usize) -> Option<(usize, usize)> {
+    ///
+    /// When the node's fill tracked its touched bins, only those bins are
+    /// visited (in ascending order, exactly the non-empty bins the full
+    /// walk would not have skipped — and empty bins contribute exact `0.0`
+    /// terms to the parent sums, so skipping them is bitwise neutral).
+    /// Untracked nodes — large ones, and the PerNode oracle — walk every
+    /// bin with the empty-skip, as the PR 2 kernel did.
+    fn scan_split(&self, slab: &[f64], features: &[usize], n_node: usize) -> Option<(usize, usize)> {
         let is_mse = self.is_mse();
         let ch = self.channels;
         let k = if is_mse { 0 } else { self.n_outputs };
@@ -790,14 +1385,36 @@ impl HistBuilder<'_> {
         // Parent statistics = any feature's histogram summed over bins.
         let mut total_hist = vec![0.0; k];
         let (mut total_w, mut total_sum, mut total_sq) = (0.0, 0.0, 0.0);
-        for bin in hists[0].chunks_exact(ch) {
-            if is_mse {
-                total_w += bin[0];
-                total_sum += bin[1];
-                total_sq += bin[2];
-            } else {
-                for (t, b) in total_hist.iter_mut().zip(bin[..k].iter()) {
-                    *t += b;
+        {
+            let h0 = &slab[..self.bm.n_bins(features[0]) * ch];
+            let mut add_parent = |bin: &[f64]| {
+                if is_mse {
+                    total_w += bin[0];
+                    total_sum += bin[1];
+                    total_sq += bin[2];
+                } else {
+                    for (t, b) in total_hist.iter_mut().zip(bin[..k].iter()) {
+                        *t += b;
+                    }
+                }
+            };
+            match self.tracked {
+                Tracked::Bits => {
+                    for_each_bit(&self.touched_bits[0], |b| {
+                        let base = b * ch;
+                        add_parent(&h0[base..base + ch]);
+                    });
+                }
+                Tracked::Lists => {
+                    for &b in &self.touched[0] {
+                        let base = b as usize * ch;
+                        add_parent(&h0[base..base + ch]);
+                    }
+                }
+                Tracked::None => {
+                    for bin in h0.chunks_exact(ch) {
+                        add_parent(bin);
+                    }
                 }
             }
         }
@@ -812,23 +1429,28 @@ impl HistBuilder<'_> {
         let mut best: Option<(usize, usize, f64)> = None; // (feature pos, bin, gain)
         let mut left_hist = vec![0.0; k];
         let mut right_hist = vec![0.0; k];
-        for (fi, h) in hists.iter().enumerate() {
-            let nb = h.len() / ch;
+        let mut off = 0usize;
+        for (fi, &f) in features.iter().enumerate() {
+            let nb = self.bm.n_bins(f);
+            // Scan only the feature's real bins; padding (if any) sits
+            // between `nb * ch` and the region width and is never read.
+            let h = &slab[off..off + nb * ch];
+            off += self.width(f);
             if nb < 2 {
                 continue;
             }
             left_hist.iter_mut().for_each(|v| *v = 0.0);
             let (mut lw, mut lsum, mut lsq) = (0.0, 0.0, 0.0);
             let mut n_left = 0usize;
-            for b in 0..nb - 1 {
+            // An empty bin leaves the partition unchanged, so boundary `b`
+            // duplicates boundary `b - 1`; only the first boundary of each
+            // run (where the added bin is non-empty) can win under the
+            // strictly-greater gain rule. The untracked walk skips them by
+            // testing the count channel; tracked nodes never visit them.
+            let mut visit = |b: usize| {
                 let bin = &h[b * ch..(b + 1) * ch];
-                // An empty bin leaves the partition unchanged, so boundary
-                // `b` duplicates boundary `b - 1`; only the first boundary
-                // of each run (where the added bin is non-empty) can win
-                // under the strictly-greater gain rule. Skipping the rest
-                // is what makes tiny deep nodes cheap despite 255 bins.
                 if bin[ch - 1] == 0.0 {
-                    continue;
+                    return;
                 }
                 if is_mse {
                     lw += bin[0];
@@ -843,7 +1465,7 @@ impl HistBuilder<'_> {
                 n_left += bin[ch - 1] as usize;
                 let n_right = n_node - n_left;
                 if n_left < min_leaf || n_right < min_leaf {
-                    continue;
+                    return;
                 }
                 let rw = total_w - lw;
                 let (left_imp, right_imp) = if is_mse {
@@ -869,6 +1491,33 @@ impl HistBuilder<'_> {
                 if gain > 1e-12 && best.is_none_or(|(_, _, bg)| gain > bg) {
                     best = Some((fi, b, gain));
                 }
+            };
+            match self.tracked {
+                Tracked::Bits => {
+                    // Ascending bit order matches the sorted-list walk;
+                    // the last real bin is never a boundary.
+                    for_each_bit(&self.touched_bits[fi], |b| {
+                        if b + 1 < nb {
+                            visit(b);
+                        }
+                    });
+                }
+                Tracked::Lists => {
+                    for &b in &self.touched[fi] {
+                        let b = b as usize;
+                        // Lists are sorted; the last bin is never a
+                        // boundary (the full walk stops at `nb - 1`).
+                        if b >= nb - 1 {
+                            break;
+                        }
+                        visit(b);
+                    }
+                }
+                Tracked::None => {
+                    for b in 0..nb - 1 {
+                        visit(b);
+                    }
+                }
             }
         }
         best.map(|(fi, b, _)| (fi, b))
@@ -877,12 +1526,13 @@ impl HistBuilder<'_> {
     /// Stably partitions `idx[start..end]` on `code <= bin`; returns the
     /// boundary position (start of the right child's range).
     fn partition(&mut self, start: usize, end: usize, feature: usize, bin: usize) -> usize {
-        let col = self.bm.column(feature);
+        let n = self.bm.n_rows();
+        let col = &self.codes[feature * n..(feature + 1) * n];
         self.scratch.clear();
         let mut write = start;
         for r in start..end {
             let i = self.idx[r];
-            if (col[i as usize] as usize) <= bin {
+            if col[i as usize].bin() <= bin {
                 self.idx[write] = i;
                 write += 1;
             } else {
@@ -901,12 +1551,24 @@ impl HistBuilder<'_> {
     }
 
     /// Builds the subtree for `idx[start..end]`, returning the node id.
-    /// `inherited` carries histograms precomputed by the parent (the
+    /// `inherited` carries the slab precomputed by the parent (the
     /// subtraction trick); it is only ever `Some` in all-features mode,
-    /// where parent and child candidate sets coincide.
-    fn build(&mut self, start: usize, end: usize, depth: usize, inherited: Option<NodeHists>) -> usize {
+    /// where parent and child candidate sets (and thus slab layouts)
+    /// coincide.
+    fn build(
+        &mut self,
+        start: usize,
+        end: usize,
+        depth: usize,
+        inherited: Option<Vec<f64>>,
+    ) -> usize {
         let n_node = end - start;
         if !self.may_split(n_node, depth) || self.is_pure(start, end) {
+            if let Some(h) = inherited {
+                // Inherited slabs hold parent-minus-sibling values whose
+                // nonzero set we don't track; full clear on retirement.
+                self.retire_slab(h, None, &[]);
+            }
             return self.make_leaf(start, end);
         }
 
@@ -919,13 +1581,21 @@ impl HistBuilder<'_> {
             sample_without_replacement(&mut self.rng, d, n_candidates)
         };
 
+        // Fresh slabs were filled from exactly `idx[start..end]`, so their
+        // touched cells are recomputable for targeted zeroing; inherited
+        // ones are not.
+        let fresh_rows = if inherited.is_none() {
+            Some((start, end))
+        } else {
+            None
+        };
         let hists = match inherited {
             Some(h) => h,
             None => self.build_hists(start, end, &features),
         };
 
-        let Some((fpos, bin)) = self.scan_split(&hists, n_node) else {
-            self.recycle(hists);
+        let Some((fpos, bin)) = self.scan_split(&hists, &features, n_node) else {
+            self.retire_slab(hists, fresh_rows, &features);
             return self.make_leaf(start, end);
         };
         let feature = features[fpos];
@@ -933,7 +1603,7 @@ impl HistBuilder<'_> {
         let mid = self.partition(start, end, feature, bin);
         let (ln, rn) = (mid - start, end - mid);
         if ln < self.config.min_samples_leaf || rn < self.config.min_samples_leaf {
-            self.recycle(hists);
+            self.retire_slab(hists, fresh_rows, &features);
             return self.make_leaf(start, end);
         }
 
@@ -957,19 +1627,20 @@ impl HistBuilder<'_> {
                 (mid, end, false)
             };
             let small = self.build_hists(s_start, s_end, &features);
-            let mut large = hists; // reuse the parent's allocation
-            for (lh, sh) in large.iter_mut().zip(small.iter()) {
-                for (a, b) in lh.iter_mut().zip(sh.iter()) {
-                    *a -= b;
-                }
+            let mut large = hists; // reuse the parent's slab
+            for (a, b) in large.iter_mut().zip(small.iter()) {
+                *a -= b;
             }
+            // Both slabs are donated to the children, whose scans and
+            // retirements must not consult this node's touched sets.
+            self.tracked = Tracked::None;
             if small_is_left {
                 (Some(small), Some(large))
             } else {
                 (Some(large), Some(small))
             }
         } else {
-            self.recycle(hists);
+            self.retire_slab(hists, fresh_rows, &features);
             (None, None)
         };
 
@@ -979,6 +1650,99 @@ impl HistBuilder<'_> {
         self.nodes[me].right = right;
         me
     }
+}
+
+/// Feature-parallel flat fill: contiguous feature chunks are filled into
+/// private sub-slabs on worker threads, then copied back in feature order.
+/// Per-feature accumulation is independent (each feature owns its bins) and
+/// the merge is a positional copy, so the result is bitwise identical to
+/// [`FillCtx::fill`] for any job count.
+fn fill_parallel<C: BinCode>(ctx: &FillCtx<'_, C>, features: &[usize], slab: &mut [f64], jobs: usize) {
+    crate::binned::stats::FEATURE_PARALLEL_MERGES
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let jobs = jobs.min(features.len());
+    let chunk = features.len().div_ceil(jobs);
+    let n_chunks = features.len().div_ceil(chunk);
+    let parts: Vec<Vec<f64>> = parallel_map(jobs, n_chunks, |ci| {
+        let fs = &features[ci * chunk..((ci + 1) * chunk).min(features.len())];
+        let mut sub = vec![0.0; ctx.slab_len(fs)];
+        ctx.fill(fs, &mut sub);
+        sub
+    });
+    let mut off = 0usize;
+    for mut part in parts {
+        slab[off..off + part.len()].copy_from_slice(&part);
+        off += part.len();
+        part.fill(0.0);
+        put_slab(part);
+    }
+}
+
+/// Entry point below [`Tree::fit_binned`], monomorphized on the code width.
+/// Builds the fused per-row statistic arrays (flat kernel only — the
+/// PerNode oracle recomputes per access, as PR 2 did), then grows the tree.
+fn fit_binned_codes<C: BinCode>(
+    bm: &BinnedMatrix,
+    codes: &[C],
+    idx: Vec<u32>,
+    y: &[f64],
+    weights: Option<&[f64]>,
+    n_outputs: usize,
+    config: &TreeConfig,
+) -> Result<Tree> {
+    let n = bm.n_rows();
+    let is_mse = config.criterion == Criterion::Mse;
+    let channels = if is_mse { REG_CHANNELS } else { n_outputs + 1 };
+    let (mut row_w, mut row_wy, mut row_wyy, mut row_cls) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    if config.hist_kernel == HistKernel::Flat {
+        row_w = match weights {
+            Some(w) => w.to_vec(),
+            None => vec![1.0; n],
+        };
+        if is_mse {
+            row_wy = Vec::with_capacity(n);
+            row_wyy = Vec::with_capacity(n);
+            for i in 0..n {
+                // Left-associated products so bins match the PerNode
+                // kernel's `w * y * y` bit for bit.
+                let wy = row_w[i] * y[i];
+                row_wy.push(wy);
+                row_wyy.push(wy * y[i]);
+            }
+        } else {
+            row_cls = y.iter().map(|&v| v as u32).collect();
+        }
+    }
+    let n_rows_fit = idx.len();
+    let mut builder = HistBuilder {
+        bm,
+        codes,
+        y,
+        weights,
+        n_outputs,
+        config,
+        nodes: Vec::new(),
+        rng: rng_from_seed(config.seed),
+        idx,
+        scratch: Vec::with_capacity(n_rows_fit),
+        channels,
+        row_w,
+        row_wy,
+        row_wyy,
+        row_cls,
+        local_pool: Vec::new(),
+        touched: Vec::new(),
+        touched_bits: Vec::new(),
+        tracked: Tracked::None,
+        pad: config.hist_kernel == HistKernel::Flat && C::BYTES == 1,
+    };
+    builder.build(0, n_rows_fit, 0, None);
+    Ok(Tree {
+        nodes: builder.nodes,
+        n_outputs,
+        n_features: bm.n_features(),
+    })
 }
 
 /// Single-tree classifier.
@@ -1303,5 +2067,130 @@ mod tests {
         }
         let all_zero = Tree::fit(&x, &y, Some(&[0.0; 8]), 2, &TreeConfig::classification());
         assert!(all_zero.is_err());
+    }
+
+    /// Exact (bitwise) equality of two fitted trees: same shape, and every
+    /// training row lands in a leaf with identical value bits.
+    fn assert_trees_identical(a: &Tree, b: &Tree, x: &Matrix, label: &str) {
+        assert_eq!(a.n_nodes(), b.n_nodes(), "{label}: node counts");
+        assert_eq!(a.depth(), b.depth(), "{label}: depths");
+        for i in 0..x.rows() {
+            assert_eq!(
+                a.predict_row(x.row(i)),
+                b.predict_row(x.row(i)),
+                "{label}: row {i} leaf values"
+            );
+        }
+    }
+
+    /// Deterministic per-row weights exercising the weighted kernels.
+    fn varied_weights(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 1.0 + (i % 5) as f64 * 0.5).collect()
+    }
+
+    /// An `(x, y, weights, n_outputs)` fit instance for kernel-parity tests.
+    type FitCase<'a> = (&'a Matrix, &'a [f64], Option<&'a [f64]>, usize);
+
+    #[test]
+    fn u8_and_u16_codes_grow_identical_trees() {
+        let d = easy_multiclass();
+        let r = make_piecewise(250, 4, 3, 0.05, 11);
+        let w = varied_weights(d.x.rows());
+        let wr = varied_weights(r.x.rows());
+        let cases: [(FitCase, TreeConfig); 3] = [
+            ((&d.x, &d.y, None, 3), TreeConfig::classification()),
+            ((&d.x, &d.y, Some(&w), 3), TreeConfig::classification()),
+            ((&r.x, &r.y, Some(&wr), 1), TreeConfig::regression()),
+        ];
+        for ((x, y, weights, n_outputs), cfg) in cases {
+            let narrow = BinnedMatrix::from_matrix(x, cfg.max_bins);
+            let wide = BinnedMatrix::from_matrix_u16(x, cfg.max_bins);
+            assert!(narrow.is_u8() && !wide.is_u8());
+            let a = Tree::fit_binned(&narrow, y, weights, n_outputs, &cfg).unwrap();
+            let b = Tree::fit_binned(&wide, y, weights, n_outputs, &cfg).unwrap();
+            assert_trees_identical(&a, &b, x, "u8 vs u16");
+        }
+    }
+
+    #[test]
+    fn flat_and_per_node_kernels_are_bitwise_identical() {
+        let d = easy_multiclass();
+        let r = make_piecewise(250, 4, 3, 0.05, 13);
+        let w = varied_weights(d.x.rows());
+        let wr = varied_weights(r.x.rows());
+        for max_features in [MaxFeatures::All, MaxFeatures::Sqrt] {
+            let mut cls = TreeConfig::classification();
+            cls.max_features = max_features;
+            let mut reg = TreeConfig::regression();
+            reg.max_features = max_features;
+            reg.seed = 42;
+            let cases: [(FitCase, &TreeConfig); 3] = [
+                ((&d.x, &d.y, Some(&w), 3), &cls),
+                ((&d.x, &d.y, None, 3), &cls),
+                ((&r.x, &r.y, Some(&wr), 1), &reg),
+            ];
+            for ((x, y, weights, n_outputs), cfg) in cases {
+                let bm = BinnedMatrix::from_matrix(x, cfg.max_bins);
+                let flat = Tree::fit_binned(&bm, y, weights, n_outputs, cfg).unwrap();
+                let mut legacy_cfg = cfg.clone();
+                legacy_cfg.hist_kernel = HistKernel::PerNode;
+                let legacy = Tree::fit_binned(&bm, y, weights, n_outputs, &legacy_cfg).unwrap();
+                assert_trees_identical(&flat, &legacy, x, "flat vs per-node");
+            }
+        }
+    }
+
+    #[test]
+    fn feature_parallel_fill_is_bitwise_identical() {
+        // Large enough that the root (and several descendants) clear
+        // FEATURE_PARALLEL_MIN_CELLS, so the chunked fill + merge really
+        // runs instead of falling back to the serial path.
+        let d = make_xor(1400, 8, 4, 0.05, 21);
+        let cfg = TreeConfig::classification();
+        let bm = BinnedMatrix::from_matrix(&d.x, cfg.max_bins);
+        let serial = Tree::fit_binned(&bm, &d.y, None, 2, &cfg).unwrap();
+        for jobs in [2, 3, 8] {
+            let before = crate::binned::stats::snapshot().feature_parallel_merges;
+            let mut par_cfg = cfg.clone();
+            par_cfg.hist_n_jobs = jobs;
+            let par = Tree::fit_binned(&bm, &d.y, None, 2, &par_cfg).unwrap();
+            assert_trees_identical(&par, &serial, &d.x, "feature-parallel vs serial");
+            let after = crate::binned::stats::snapshot().feature_parallel_merges;
+            assert!(after > before, "jobs={jobs}: parallel fill never ran");
+        }
+    }
+
+    #[test]
+    fn arena_pool_is_reused_within_a_tree() {
+        let d = make_xor(600, 4, 4, 0.05, 3);
+        let bm = BinnedMatrix::from_matrix(&d.x, 255);
+        let before = crate::binned::stats::snapshot().arena_reuses;
+        let _ = Tree::fit_binned(&bm, &d.y, None, 2, &TreeConfig::classification()).unwrap();
+        let after = crate::binned::stats::snapshot().arena_reuses;
+        assert!(after > before, "deep fit must recycle slabs");
+    }
+
+    #[test]
+    fn predict_row_f32_matches_f64_on_representable_rows() {
+        let d = easy_binary();
+        let mut m = DecisionTreeClassifier::new(TreeConfig::classification());
+        m.fit(&d.x, &d.y).unwrap();
+        let tree = m.tree().unwrap();
+        // Rows narrowed then compared: thresholds are midpoints of data
+        // values, so a narrow-then-widen round trip can flip rows that sit
+        // within f32 rounding of a threshold; count, don't forbid.
+        let mut flips = 0usize;
+        for i in 0..d.x.rows() {
+            let row64 = d.x.row(i);
+            let row32: Vec<f32> = row64.iter().map(|&v| v as f32).collect();
+            if tree.predict_row(row64) != tree.predict_row_f32(&row32) {
+                flips += 1;
+            }
+        }
+        assert!(
+            flips * 100 <= d.x.rows(),
+            "{flips} of {} rows flipped leaves under f32 narrowing",
+            d.x.rows()
+        );
     }
 }

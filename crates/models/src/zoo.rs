@@ -17,8 +17,8 @@ use crate::neighbors::{KnnClassifier, KnnRegressor, KnnWeights};
 use crate::svm::{Kernel, SvmClassifier};
 use crate::svr::{HuberRegressor, SvmRegressor};
 use crate::tree::{
-    Criterion, DecisionTreeClassifier, DecisionTreeRegressor, MaxFeatures, SplitStrategy,
-    TreeConfig,
+    Criterion, DecisionTreeClassifier, DecisionTreeRegressor, HistKernel, MaxFeatures,
+    SplitStrategy, TreeConfig,
 };
 use crate::{Estimator, ModelError, Result};
 use std::collections::HashMap;
@@ -366,12 +366,14 @@ impl AlgorithmKind {
     pub fn build(&self, values: &HashMap<String, f64>, seed: u64) -> Model {
         use AlgorithmKind::*;
         let p = Params::new(values, self.param_defs());
-        // "n_jobs" is execution plumbing injected by the evaluator, not a
-        // searchable hyper-parameter, so it is read straight off the map.
+        // "n_jobs" and "f32_binning" are execution plumbing injected by the
+        // evaluator, not searchable hyper-parameters, so they are read
+        // straight off the map.
         let n_jobs = values
             .get("n_jobs")
             .map(|v| (*v as usize).max(1))
             .unwrap_or(1);
+        let f32_binning = values.get("f32_binning").is_some_and(|v| *v != 0.0);
         match self {
             Logistic => Model::Logistic(LogisticRegression::new(
                 p.f("alpha"),
@@ -407,6 +409,8 @@ impl AlgorithmKind {
                     max_features: MaxFeatures::All,
                     split_strategy: SplitStrategy::Best,
                     max_bins: crate::binned::DEFAULT_MAX_BINS,
+                    hist_n_jobs: n_jobs,
+                    hist_kernel: HistKernel::Flat,
                     seed,
                 };
                 Model::DecisionTree(DecisionTreeClassifier::new(cfg))
@@ -420,6 +424,8 @@ impl AlgorithmKind {
                     max_features: MaxFeatures::All,
                     split_strategy: SplitStrategy::Best,
                     max_bins: crate::binned::DEFAULT_MAX_BINS,
+                    hist_n_jobs: n_jobs,
+                    hist_kernel: HistKernel::Flat,
                     seed,
                 };
                 Model::DecisionTreeReg(DecisionTreeRegressor::new(cfg))
@@ -454,6 +460,7 @@ impl AlgorithmKind {
                     },
                     max_bins: crate::binned::DEFAULT_MAX_BINS,
                     n_jobs,
+                    f32_binning,
                     seed,
                 };
                 if self.task() == Task::Classification {

@@ -440,6 +440,29 @@ fn render_rows(
                 ));
                 wrote_cache = true;
             }
+            // Histogram-kernel bandwidth: bin-code bytes the per-node fills
+            // actually read, and how often the flat arenas / feature-
+            // parallel merge paths were exercised.
+            let hist_bytes = counters
+                .get("binned.hist_bytes_scanned")
+                .and_then(|v| v.as_i64())
+                .unwrap_or(0);
+            let reuses = counters
+                .get("binned.arena_reuses")
+                .and_then(|v| v.as_i64())
+                .unwrap_or(0);
+            let merges = counters
+                .get("binned.feature_parallel_merges")
+                .and_then(|v| v.as_i64())
+                .unwrap_or(0);
+            if hist_bytes > 0 || reuses > 0 {
+                out.push_str(&format!(
+                    "hist kernel   {:.2} MiB codes scanned, {reuses} arena reuses, \
+                     {merges} feature-parallel merges\n",
+                    hist_bytes as f64 / (1024.0 * 1024.0)
+                ));
+                wrote_cache = true;
+            }
         }
     }
     if !wrote_cache {
