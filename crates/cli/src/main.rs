@@ -11,7 +11,7 @@
 //! volcanoml plans                       # print the plan catalogue
 //! volcanoml generate <kind> <out.csv>   # emit a synthetic benchmark dataset
 //! volcanoml report <trace.jsonl> [--journal trials.jsonl] [--metrics metrics.json] [--live]
-//! volcanoml serve --dir DIR [--port P] [--workers N] [--resume]
+//! volcanoml serve --dir DIR [--port P] [--workers N] [--resume] [--log-requests]
 //! ```
 //!
 //! CSV dialect: first line `#types:` declaration, then a header, then rows;
@@ -34,7 +34,7 @@ fn usage() -> &'static str {
      volcanoml plans\n  \
      volcanoml generate <classification|moons|xor|friedman1|imbalanced> <out.csv> [--seed S]\n  \
      volcanoml report <trace.jsonl> [--journal trials.jsonl] [--metrics metrics.json] [--live]\n  \
-     volcanoml serve --dir DIR [--port P] [--workers N] [--resume]"
+     volcanoml serve --dir DIR [--port P] [--workers N] [--resume] [--log-requests]"
 }
 
 /// Minimal flag parser: `--key value` pairs after positional arguments.
@@ -54,7 +54,7 @@ impl Flags {
                 return Err(format!("unexpected argument '{a}'"));
             };
             // Switch-style flags take no value.
-            if matches!(key, "smote" | "live" | "resume" | "f32-bins") {
+            if matches!(key, "smote" | "live" | "resume" | "f32-bins" | "log-requests") {
                 switches.push(key.to_string());
                 i += 1;
                 continue;
@@ -332,6 +332,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         workers: flags.get_parsed("workers", 2usize)?.max(1),
         port: flags.get_parsed("port", 0u16)?,
         resume: flags.has("resume"),
+        log_requests: flags.has("log-requests"),
     };
     let resume = config.resume;
     let workers = config.workers;

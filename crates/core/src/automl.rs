@@ -90,6 +90,11 @@ pub struct VolcanoMlOptions {
     /// registry `metrics_path` would create; the end-of-run snapshot is
     /// still written to `metrics_path` when both are set.
     pub shared_metrics: Option<Arc<MetricsRegistry>>,
+    /// Externally owned live event bus. Trial completions, arm
+    /// eliminations, rung promotions, and worker stalls are published as
+    /// typed events (via the tracer hooks) for subscribers to stream —
+    /// independent of whether archival tracing (`trace_path`) is on.
+    pub event_bus: Option<Arc<volcanoml_obs::EventBus>>,
 }
 
 impl Default for VolcanoMlOptions {
@@ -115,6 +120,7 @@ impl Default for VolcanoMlOptions {
             batch_cap: None,
             stop_flag: None,
             shared_metrics: None,
+            event_bus: None,
         }
     }
 }
@@ -242,8 +248,17 @@ impl VolcanoML {
             ));
         }
         if let Some(path) = &self.options.trace_path {
-            let tracer = Tracer::to_path(path)
+            let mut tracer = Tracer::to_path(path)
                 .map_err(|e| CoreError::Invalid(format!("cannot open trace: {e}")))?;
+            if let Some(bus) = &self.options.event_bus {
+                tracer.set_bus(Arc::clone(bus));
+            }
+            evaluator.set_tracer(Arc::new(tracer));
+        } else if let Some(bus) = &self.options.event_bus {
+            // No archival trace requested: a disabled tracer still carries
+            // the bus, so live subscribers see events without trace I/O.
+            let mut tracer = Tracer::disabled();
+            tracer.set_bus(Arc::clone(bus));
             evaluator.set_tracer(Arc::new(tracer));
         }
         // Binned-tree and dataset-view gather counters are process-global;

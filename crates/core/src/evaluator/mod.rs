@@ -469,9 +469,14 @@ impl Evaluator {
     ) {
         let tracer = self.tracer();
         let metrics = self.metrics();
-        if journal.is_none() && !tracer.enabled() && metrics.is_none() {
+        if journal.is_none() && !tracer.enabled() && !tracer.has_bus() && metrics.is_none() {
             return;
         }
+        // Self-overhead accounting: everything below (journal append,
+        // trace emit, bus publish, metric updates) is observability work,
+        // timed into its own histogram so the layer can prove it stays
+        // well under 1% of trial wall time.
+        let obs_start = std::time::Instant::now();
         let trial_id = match journal {
             Some(j) => j.next_trial_id(),
             None => tracer.next_trial_id(),
@@ -535,6 +540,18 @@ impl Evaluator {
             if let Some(wait) = queue_wait_s {
                 m.observe("exec.queue_wait_s", wait.max(0.0));
             }
+            // Journal flush latency, drained from the journal's bounded
+            // buffer (the journal itself stays metrics-agnostic).
+            if let Some(j) = journal {
+                for flush_s in j.take_flush_observations() {
+                    m.observe_with("journal.flush_s", flush_s, &volcanoml_obs::metrics::FINE_BUCKETS);
+                }
+            }
+            m.observe_with(
+                "obs.self_overhead_s",
+                obs_start.elapsed().as_secs_f64(),
+                &volcanoml_obs::metrics::FINE_BUCKETS,
+            );
         }
     }
 

@@ -437,7 +437,14 @@ struct JournalState {
     last_flush: Instant,
     flush_rows: usize,
     flush_interval: Duration,
+    /// Flush durations (seconds) not yet drained by
+    /// [`Journal::take_flush_observations`]. Bounded so a run with no
+    /// observability layer attached never grows it past a page.
+    flush_obs: Vec<f64>,
 }
+
+/// Cap on pending flush-latency observations (see `JournalState::flush_obs`).
+const MAX_PENDING_FLUSH_OBS: usize = 1024;
 
 impl JournalState {
     fn fresh(file: Option<std::io::BufWriter<std::fs::File>>) -> JournalState {
@@ -448,6 +455,13 @@ impl JournalState {
             last_flush: Instant::now(),
             flush_rows: DEFAULT_FLUSH_ROWS,
             flush_interval: DEFAULT_FLUSH_INTERVAL,
+            flush_obs: Vec::new(),
+        }
+    }
+
+    fn note_flush(&mut self, seconds: f64) {
+        if self.flush_obs.len() < MAX_PENDING_FLUSH_OBS {
+            self.flush_obs.push(seconds);
         }
     }
 }
@@ -616,9 +630,12 @@ impl Journal {
             if state.unflushed >= state.flush_rows
                 || state.last_flush.elapsed() >= state.flush_interval
             {
+                let flush_start = Instant::now();
                 let _ = file.flush();
                 state.unflushed = 0;
                 state.last_flush = Instant::now();
+                let elapsed = flush_start.elapsed().as_secs_f64();
+                state.note_flush(elapsed);
             }
         }
         state.lines.push(rec);
@@ -629,10 +646,22 @@ impl Journal {
         let mut state = self.state.lock().expect("journal poisoned");
         let state = &mut *state;
         if let Some(file) = state.file.as_mut() {
+            let flush_start = Instant::now();
             let _ = file.flush();
             state.unflushed = 0;
             state.last_flush = Instant::now();
+            let elapsed = flush_start.elapsed().as_secs_f64();
+            state.note_flush(elapsed);
         }
+    }
+
+    /// Drains the flush-latency observations (seconds per flush) recorded
+    /// since the last call. The evaluator feeds these into the
+    /// `journal.flush_s` histogram so scrapes can watch journal I/O tail
+    /// latency without the journal knowing about metrics.
+    pub fn take_flush_observations(&self) -> Vec<f64> {
+        let mut state = self.state.lock().expect("journal poisoned");
+        std::mem::take(&mut state.flush_obs)
     }
 
     /// Number of journaled trials.

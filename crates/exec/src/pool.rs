@@ -19,6 +19,7 @@
 //! production requirements.
 
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -106,6 +107,11 @@ pub struct ExecPool {
     config: PoolConfig,
     sender: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    /// Workers currently inside a trial (occupancy gauge for /healthz
+    /// and /metrics; incremented around `execute_one`).
+    busy: Arc<AtomicUsize>,
+    /// Jobs submitted but not yet picked up by a worker (queue depth).
+    queued: Arc<AtomicUsize>,
 }
 
 impl ExecPool {
@@ -142,6 +148,8 @@ impl ExecPool {
             },
             sender: Some(tx),
             workers,
+            busy: Arc::new(AtomicUsize::new(0)),
+            queued: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -158,6 +166,16 @@ impl ExecPool {
     /// The configured per-trial deadline.
     pub fn trial_deadline(&self) -> Option<Duration> {
         self.config.trial_deadline
+    }
+
+    /// Number of workers currently executing a trial.
+    pub fn busy_workers(&self) -> usize {
+        self.busy.load(Ordering::Relaxed)
+    }
+
+    /// Number of submitted jobs not yet picked up by a worker.
+    pub fn queued_jobs(&self) -> usize {
+        self.queued.load(Ordering::Relaxed)
     }
 
     /// Runs a batch of trials to completion and returns one [`TrialRun`]
@@ -181,12 +199,18 @@ impl ExecPool {
             .expect("pool sender alive while pool exists");
         for (index, job) in jobs.into_iter().enumerate() {
             let done = done_tx.clone();
+            let busy = Arc::clone(&self.busy);
+            let queued = Arc::clone(&self.queued);
             let wrapped: Job = Box::new(move |worker| {
+                queued.fetch_sub(1, Ordering::Relaxed);
+                busy.fetch_add(1, Ordering::Relaxed);
                 let run = execute_one(index, worker, job, deadline, epoch);
+                busy.fetch_sub(1, Ordering::Relaxed);
                 // The batch may have stopped listening only if run_batch
                 // itself panicked; ignore send failures.
                 let _ = done.send(run);
             });
+            self.queued.fetch_add(1, Ordering::Relaxed);
             sender.send(wrapped).expect("pool workers alive");
         }
         drop(done_tx);
@@ -412,6 +436,36 @@ mod tests {
         let pool = ExecPool::with_workers(2);
         let runs = pool.run_batch(Vec::<fn() -> ()>::new());
         assert!(runs.is_empty());
+    }
+
+    #[test]
+    fn busy_and_queued_gauges_track_occupancy() {
+        let pool = Arc::new(ExecPool::with_workers(2));
+        assert_eq!(pool.busy_workers(), 0);
+        assert_eq!(pool.queued_jobs(), 0);
+        let observer = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                // Sample while the batch below holds both workers busy.
+                let mut max_busy = 0;
+                for _ in 0..200 {
+                    max_busy = max_busy.max(pool.busy_workers());
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                max_busy
+            })
+        };
+        pool.run_batch(
+            (0..6)
+                .map(|_| || std::thread::sleep(Duration::from_millis(20)))
+                .collect::<Vec<_>>(),
+        );
+        let max_busy = observer.join().unwrap();
+        assert!(max_busy >= 1, "observer never saw a busy worker");
+        assert!(max_busy <= 2, "busy gauge exceeded the worker count");
+        // Everything drained: both gauges return to zero.
+        assert_eq!(pool.busy_workers(), 0);
+        assert_eq!(pool.queued_jobs(), 0);
     }
 
     #[test]

@@ -1,0 +1,547 @@
+//! The live event bus: a bounded, lock-cheap ring of typed, timestamped
+//! observability events with cursor-based (resumable) subscription.
+//!
+//! Where the [`crate::tracer`] stream is an *archival* record (append-only
+//! JSONL, replayed post-hoc by `volcanoml report`), the bus is the *live*
+//! plane: the serve layer streams it to dashboards over
+//! `GET /studies/:id/events`, and a subscriber that disconnects resumes
+//! duplicate-free by passing back the last event id it saw
+//! (`Last-Event-ID` in SSE terms).
+//!
+//! Design constraints, in order:
+//!
+//! - **Bounded.** The ring holds at most `capacity` events; publishing past
+//!   that drops the oldest (counted in [`EventBus::dropped`]). A stalled
+//!   subscriber can therefore never make the search engine allocate.
+//! - **Cheap to publish.** One mutex lock, one `VecDeque` push, one condvar
+//!   notify. No serialization happens at publish time — events are plain
+//!   structs; JSON is rendered per-subscriber at read time.
+//! - **Cursor, not queue, per subscriber.** Subscribers hold nothing but
+//!   the last id they consumed. [`EventBus::read_after`] returns every
+//!   retained event with a larger id, so any number of subscribers (or a
+//!   reconnecting one) share the same ring without registration.
+//!
+//! Event ids are assigned at publish time, start at 1, and are strictly
+//! increasing — a subscriber that sees a gap after resuming knows exactly
+//! how many events the ring dropped while it was away.
+
+use crate::json::{escape, num, parse_object};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Default ring capacity: enough for every event of a multi-hundred-trial
+/// study while bounding a stalled subscriber's cost to ~100 KiB.
+pub const DEFAULT_BUS_CAPACITY: usize = 4096;
+
+/// One typed observability event. Variants mirror the decision points the
+/// tracer already records, plus the serve layer's study lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsEvent {
+    /// A trial completed (successfully or not) and was recorded.
+    TrialFinished {
+        /// Journal trial id.
+        trial: u64,
+        /// Hex assignment digest (journal join key).
+        digest: String,
+        /// Fidelity the trial ran at.
+        fidelity: f64,
+        /// Multi-fidelity rung (-1 = not bracket-scheduled).
+        rung: i64,
+        /// Issuing bracket id (-1 = not bracket-scheduled).
+        bracket: i64,
+        /// Observed loss.
+        loss: f64,
+        /// Evaluation cost in seconds (0 for cache hits).
+        cost: f64,
+        /// Worker that ran the trial (-1 = serial path).
+        worker: i64,
+        /// Result-cache hit.
+        cached: bool,
+    },
+    /// The rising-bandit rule eliminated an arm.
+    ArmEliminated {
+        /// Block-tree path of the deciding conditioning block.
+        path: String,
+        /// The eliminated arm's label (`algorithm=3`).
+        arm: String,
+        /// Optimistic EU bound at the decision.
+        eu_opt: f64,
+        /// Pessimistic EU bound at the decision.
+        eu_pess: f64,
+        /// Free-form detail (`dominated by ... after N plays`).
+        detail: String,
+    },
+    /// A configuration's promotion to a higher rung materialized (it ran at
+    /// `rung >= 1` — every config above rung 0 got there by promotion).
+    RungPromoted {
+        /// The promoting bracket's stable id.
+        bracket: i64,
+        /// The rung the configuration ran at.
+        rung: i64,
+        /// Hex assignment digest of the promoted configuration.
+        digest: String,
+    },
+    /// A study was accepted by the serve layer.
+    StudySubmitted {
+        /// Study id.
+        study: String,
+    },
+    /// A study was re-driven from its journal after a restart.
+    StudyResumed {
+        /// Study id.
+        study: String,
+    },
+    /// A study ran to completion.
+    StudyDone {
+        /// Study id.
+        study: String,
+        /// Best validation loss found.
+        best_loss: f64,
+        /// Non-cached evaluations spent.
+        n_evaluations: u64,
+    },
+    /// A study was cancelled before spending its budget.
+    StudyCancelled {
+        /// Study id.
+        study: String,
+    },
+    /// A study's fit returned an error.
+    StudyFailed {
+        /// Study id.
+        study: String,
+        /// The error message.
+        error: String,
+    },
+    /// A worker blew through its per-trial deadline and was abandoned.
+    WorkerStalled {
+        /// The stalled worker's id.
+        worker: i64,
+        /// How long the trial ran before abandonment, seconds.
+        stalled_s: f64,
+    },
+}
+
+impl ObsEvent {
+    /// Machine-readable event type tag (the SSE `event:` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::TrialFinished { .. } => "TrialFinished",
+            ObsEvent::ArmEliminated { .. } => "ArmEliminated",
+            ObsEvent::RungPromoted { .. } => "RungPromoted",
+            ObsEvent::StudySubmitted { .. } => "StudySubmitted",
+            ObsEvent::StudyResumed { .. } => "StudyResumed",
+            ObsEvent::StudyDone { .. } => "StudyDone",
+            ObsEvent::StudyCancelled { .. } => "StudyCancelled",
+            ObsEvent::StudyFailed { .. } => "StudyFailed",
+            ObsEvent::WorkerStalled { .. } => "WorkerStalled",
+        }
+    }
+
+    fn payload_json(&self) -> String {
+        match self {
+            ObsEvent::TrialFinished {
+                trial,
+                digest,
+                fidelity,
+                rung,
+                bracket,
+                loss,
+                cost,
+                worker,
+                cached,
+            } => format!(
+                "\"trial\":{trial},\"digest\":\"{}\",\"fidelity\":{},\"rung\":{rung},\
+                 \"bracket\":{bracket},\"loss\":{},\"cost\":{},\"worker\":{worker},\"cached\":{cached}",
+                escape(digest),
+                num(*fidelity),
+                num(*loss),
+                num(*cost),
+            ),
+            ObsEvent::ArmEliminated {
+                path,
+                arm,
+                eu_opt,
+                eu_pess,
+                detail,
+            } => format!(
+                "\"path\":\"{}\",\"arm\":\"{}\",\"eu_opt\":{},\"eu_pess\":{},\"detail\":\"{}\"",
+                escape(path),
+                escape(arm),
+                num(*eu_opt),
+                num(*eu_pess),
+                escape(detail),
+            ),
+            ObsEvent::RungPromoted {
+                bracket,
+                rung,
+                digest,
+            } => format!(
+                "\"bracket\":{bracket},\"rung\":{rung},\"digest\":\"{}\"",
+                escape(digest)
+            ),
+            ObsEvent::StudySubmitted { study } | ObsEvent::StudyResumed { study } | ObsEvent::StudyCancelled { study } => {
+                format!("\"study\":\"{}\"", escape(study))
+            }
+            ObsEvent::StudyDone {
+                study,
+                best_loss,
+                n_evaluations,
+            } => format!(
+                "\"study\":\"{}\",\"best_loss\":{},\"n_evaluations\":{n_evaluations}",
+                escape(study),
+                num(*best_loss),
+            ),
+            ObsEvent::StudyFailed { study, error } => format!(
+                "\"study\":\"{}\",\"error\":\"{}\"",
+                escape(study),
+                escape(error)
+            ),
+            ObsEvent::WorkerStalled { worker, stalled_s } => {
+                format!("\"worker\":{worker},\"stalled_s\":{}", num(*stalled_s))
+            }
+        }
+    }
+}
+
+/// One published event: its ring id, publish time, and typed payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusEvent {
+    /// Strictly increasing id (1-based); the subscriber's resume cursor.
+    pub id: u64,
+    /// Publish time, seconds since the bus was created.
+    pub t_s: f64,
+    /// The typed payload.
+    pub event: ObsEvent,
+}
+
+impl BusEvent {
+    /// Renders one flat JSON object (`id`, `t_s`, `type`, payload fields).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":{},\"t_s\":{:.6},\"type\":\"{}\",{}}}",
+            self.id,
+            self.t_s,
+            self.event.kind(),
+            self.event.payload_json()
+        )
+    }
+
+    /// Parses a [`BusEvent::to_json`] line back (clients, tests).
+    pub fn from_json(text: &str) -> Option<BusEvent> {
+        let doc = parse_object(text)?;
+        let id = doc.get("id")?.as_f64()? as u64;
+        let t_s = doc.get("t_s")?.as_f64()?;
+        let f = |k: &str| doc.get(k).and_then(|v| v.as_f64());
+        let i = |k: &str| doc.get(k).and_then(|v| v.as_i64());
+        let s = |k: &str| doc.get(k).and_then(|v| v.as_str()).map(str::to_string);
+        let event = match doc.get("type")?.as_str()? {
+            "TrialFinished" => ObsEvent::TrialFinished {
+                trial: i("trial")? as u64,
+                digest: s("digest")?,
+                fidelity: f("fidelity")?,
+                rung: i("rung")?,
+                bracket: i("bracket")?,
+                loss: f("loss")?,
+                cost: f("cost")?,
+                worker: i("worker")?,
+                cached: doc.get("cached")?.as_bool()?,
+            },
+            "ArmEliminated" => ObsEvent::ArmEliminated {
+                path: s("path")?,
+                arm: s("arm")?,
+                eu_opt: f("eu_opt")?,
+                eu_pess: f("eu_pess")?,
+                detail: s("detail")?,
+            },
+            "RungPromoted" => ObsEvent::RungPromoted {
+                bracket: i("bracket")?,
+                rung: i("rung")?,
+                digest: s("digest")?,
+            },
+            "StudySubmitted" => ObsEvent::StudySubmitted { study: s("study")? },
+            "StudyResumed" => ObsEvent::StudyResumed { study: s("study")? },
+            "StudyDone" => ObsEvent::StudyDone {
+                study: s("study")?,
+                best_loss: f("best_loss")?,
+                n_evaluations: i("n_evaluations")? as u64,
+            },
+            "StudyCancelled" => ObsEvent::StudyCancelled { study: s("study")? },
+            "StudyFailed" => ObsEvent::StudyFailed {
+                study: s("study")?,
+                error: s("error")?,
+            },
+            "WorkerStalled" => ObsEvent::WorkerStalled {
+                worker: i("worker")?,
+                stalled_s: f("stalled_s")?,
+            },
+            _ => return None,
+        };
+        Some(BusEvent { id, t_s, event })
+    }
+}
+
+struct BusState {
+    ring: VecDeque<BusEvent>,
+    next_id: u64,
+    dropped: u64,
+}
+
+/// Bounded multi-subscriber event ring. See the module docs.
+pub struct EventBus {
+    capacity: usize,
+    epoch: Instant,
+    state: Mutex<BusState>,
+    cond: Condvar,
+}
+
+impl Default for EventBus {
+    fn default() -> Self {
+        EventBus::new()
+    }
+}
+
+impl EventBus {
+    /// A bus with [`DEFAULT_BUS_CAPACITY`].
+    pub fn new() -> EventBus {
+        EventBus::with_capacity(DEFAULT_BUS_CAPACITY)
+    }
+
+    /// A bus retaining at most `capacity` events (clamped to >= 1).
+    pub fn with_capacity(capacity: usize) -> EventBus {
+        EventBus {
+            capacity: capacity.max(1),
+            epoch: Instant::now(),
+            state: Mutex::new(BusState {
+                ring: VecDeque::new(),
+                next_id: 1,
+                dropped: 0,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Publishes one event, returning its assigned id. Drops the oldest
+    /// retained event when the ring is full.
+    pub fn publish(&self, event: ObsEvent) -> u64 {
+        let t_s = self.epoch.elapsed().as_secs_f64();
+        let mut state = self.state.lock().expect("event bus poisoned");
+        let id = state.next_id;
+        state.next_id += 1;
+        state.ring.push_back(BusEvent { id, t_s, event });
+        if state.ring.len() > self.capacity {
+            state.ring.pop_front();
+            state.dropped += 1;
+        }
+        self.cond.notify_all();
+        id
+    }
+
+    /// Every retained event with id greater than `after` (all retained
+    /// events when `after` is `None`), oldest first. Non-blocking.
+    pub fn read_after(&self, after: Option<u64>) -> Vec<BusEvent> {
+        let state = self.state.lock().expect("event bus poisoned");
+        Self::collect(&state, after)
+    }
+
+    /// Like [`EventBus::read_after`], but blocks (up to `timeout`) until at
+    /// least one matching event exists. Returns the empty vec on timeout.
+    pub fn wait_after(&self, after: Option<u64>, timeout: Duration) -> Vec<BusEvent> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().expect("event bus poisoned");
+        loop {
+            let out = Self::collect(&state, after);
+            if !out.is_empty() {
+                return out;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Vec::new();
+            }
+            let (next, wait) = self
+                .cond
+                .wait_timeout(state, deadline - now)
+                .expect("event bus poisoned");
+            state = next;
+            if wait.timed_out() {
+                return Self::collect(&state, after);
+            }
+        }
+    }
+
+    fn collect(state: &BusState, after: Option<u64>) -> Vec<BusEvent> {
+        let floor = after.unwrap_or(0);
+        state
+            .ring
+            .iter()
+            .filter(|e| e.id > floor)
+            .cloned()
+            .collect()
+    }
+
+    /// Id of the most recently published event (0 before any publish).
+    pub fn last_id(&self) -> u64 {
+        self.state.lock().expect("event bus poisoned").next_id - 1
+    }
+
+    /// Number of events evicted by the capacity bound so far.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().expect("event bus poisoned").dropped
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("event bus poisoned").ring.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn trial(n: u64) -> ObsEvent {
+        ObsEvent::TrialFinished {
+            trial: n,
+            digest: format!("{n:016x}"),
+            fidelity: 1.0,
+            rung: -1,
+            bracket: -1,
+            loss: 0.5,
+            cost: 0.01,
+            worker: 0,
+            cached: false,
+        }
+    }
+
+    #[test]
+    fn ids_are_strictly_increasing_and_cursor_resume_is_duplicate_free() {
+        let bus = EventBus::new();
+        for n in 0..10 {
+            bus.publish(trial(n));
+        }
+        let first = bus.read_after(None);
+        assert_eq!(first.len(), 10);
+        assert!(first.windows(2).all(|w| w[1].id == w[0].id + 1));
+        let cursor = first[4].id;
+        let resumed = bus.read_after(Some(cursor));
+        assert_eq!(resumed.len(), 5);
+        assert_eq!(resumed[0].id, cursor + 1);
+        // No overlap between what was consumed and what resume returns.
+        assert!(resumed.iter().all(|e| e.id > cursor));
+        assert!(bus.read_after(Some(bus.last_id())).is_empty());
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let bus = EventBus::with_capacity(4);
+        for n in 0..10 {
+            bus.publish(trial(n));
+        }
+        assert_eq!(bus.len(), 4);
+        assert_eq!(bus.dropped(), 6);
+        let retained = bus.read_after(None);
+        assert_eq!(retained.first().unwrap().id, 7, "oldest retained id");
+        assert_eq!(retained.last().unwrap().id, 10);
+        // A subscriber whose cursor fell off the ring sees the gap via ids.
+        let resumed = bus.read_after(Some(2));
+        assert_eq!(resumed.first().unwrap().id, 7);
+    }
+
+    #[test]
+    fn wait_after_blocks_until_publish() {
+        let bus = Arc::new(EventBus::new());
+        let publisher = Arc::clone(&bus);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            publisher.publish(ObsEvent::StudyDone {
+                study: "s".into(),
+                best_loss: 0.1,
+                n_evaluations: 3,
+            });
+        });
+        let got = bus.wait_after(None, Duration::from_secs(5));
+        handle.join().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].event.kind(), "StudyDone");
+        // Timeout path: nothing new after the cursor.
+        let none = bus.wait_after(Some(bus.last_id()), Duration::from_millis(10));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn every_event_kind_round_trips_through_json() {
+        let events = vec![
+            trial(7),
+            ObsEvent::ArmEliminated {
+                path: "root".into(),
+                arm: "algorithm=3".into(),
+                eu_opt: 0.1,
+                eu_pess: 0.4,
+                detail: "dominated by algorithm=1 after 5 plays".into(),
+            },
+            ObsEvent::RungPromoted {
+                bracket: 0,
+                rung: 2,
+                digest: "00000000deadbeef".into(),
+            },
+            ObsEvent::StudySubmitted { study: "a".into() },
+            ObsEvent::StudyResumed { study: "a".into() },
+            ObsEvent::StudyDone {
+                study: "a \"q\"".into(),
+                best_loss: f64::INFINITY,
+                n_evaluations: 12,
+            },
+            ObsEvent::StudyCancelled { study: "a".into() },
+            ObsEvent::StudyFailed {
+                study: "a".into(),
+                error: "boom\nline2".into(),
+            },
+            ObsEvent::WorkerStalled {
+                worker: 3,
+                stalled_s: 2.5,
+            },
+        ];
+        let bus = EventBus::new();
+        for e in &events {
+            bus.publish(e.clone());
+        }
+        for (published, original) in bus.read_after(None).iter().zip(&events) {
+            let line = published.to_json();
+            let parsed = BusEvent::from_json(&line)
+                .unwrap_or_else(|| panic!("unparseable: {line}"));
+            assert_eq!(&parsed.event, original, "{line}");
+            assert_eq!(parsed.id, published.id);
+        }
+    }
+
+    #[test]
+    fn concurrent_publishers_never_lose_or_duplicate_ids() {
+        let bus = Arc::new(EventBus::with_capacity(10_000));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let bus = Arc::clone(&bus);
+                std::thread::spawn(move || {
+                    for n in 0..200 {
+                        bus.publish(trial(t * 1000 + n));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let all = bus.read_after(None);
+        assert_eq!(all.len(), 1600);
+        let mut ids: Vec<u64> = all.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 1600);
+        assert_eq!(*ids.last().unwrap(), 1600);
+    }
+}

@@ -20,15 +20,25 @@
 //! - [`report`]: joins the trial journal and the trace stream into a
 //!   human-readable run report — per-arm convergence, budget allocation by
 //!   block-tree path, worker-utilization timeline, cache efficiency.
+//! - [`EventBus`]: the *live* plane — a bounded ring of typed events
+//!   (trials, eliminations, promotions, study lifecycle) fed by the same
+//!   tracer hooks and streamed by `volcanoml-serve` with cursor resume.
+//! - [`prometheus`]: text-exposition rendering of metrics snapshots for
+//!   `GET /metrics` scrapes (namespaced families, `study` labels,
+//!   cumulative `le` buckets).
 //!
 //! The crate is std-only and sits *below* `volcanoml-core` in the workspace
 //! graph, next to `volcanoml-exec`: the evaluator and blocks emit, this
 //! crate records and renders.
 
+pub mod events;
 pub mod json;
 pub mod metrics;
+pub mod prometheus;
 pub mod report;
 pub mod tracer;
 
-pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use events::{BusEvent, EventBus, ObsEvent};
+pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use prometheus::PrometheusText;
 pub use tracer::{current_arm, current_path, span, EventFields, SpanEvent, SpanGuard, Tracer, TrialInfo};

@@ -29,6 +29,13 @@ use std::sync::Mutex;
 /// Default latency buckets (seconds) for [`MetricsRegistry::observe`].
 pub const DEFAULT_BUCKETS: [f64; 10] = [0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0];
 
+/// Microsecond-scale buckets (seconds) for self-overhead accounting and
+/// other sub-millisecond latencies ([`DEFAULT_BUCKETS`] starts at 1 ms,
+/// which would collapse them all into the first bucket).
+pub const FINE_BUCKETS: [f64; 10] = [
+    1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 0.1,
+];
+
 #[derive(Debug, Clone)]
 struct Histogram {
     bounds: Vec<f64>,
@@ -60,6 +67,38 @@ impl Histogram {
     }
 }
 
+/// A point-in-time copy of one histogram: per-bucket counts plus the
+/// total count and sum that Prometheus `_count`/`_sum` series need.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bucket bounds (exclusive of the implicit `+Inf` overflow).
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; `counts.len() == bounds.len() + 1`
+    /// with the final element counting overflow observations.
+    pub counts: Vec<u64>,
+    /// Total number of observations (equals `counts.iter().sum()`).
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Cumulative bucket counts in Prometheus `le` convention: element `i`
+    /// counts observations `<= bounds[i]`, and the final element (the
+    /// `+Inf` bucket) equals [`HistogramSnapshot::count`]. The returned
+    /// sequence is monotonically non-decreasing by construction.
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut running = 0u64;
+        self.counts
+            .iter()
+            .map(|c| {
+                running += c;
+                running
+            })
+            .collect()
+    }
+}
+
 /// A point-in-time copy of every metric, decoupled from the live registry.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSnapshot {
@@ -67,9 +106,8 @@ pub struct MetricsSnapshot {
     pub counters: BTreeMap<String, u64>,
     /// Last-write-wins instantaneous values.
     pub gauges: BTreeMap<String, f64>,
-    /// Cumulative bucket counts per histogram: `(bounds, counts, count, sum)`
-    /// where `counts.len() == bounds.len() + 1` (final bucket is overflow).
-    pub histograms: BTreeMap<String, (Vec<f64>, Vec<u64>, u64, f64)>,
+    /// Per-histogram bucket snapshots keyed by metric name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -97,21 +135,22 @@ impl MetricsSnapshot {
             out.push_str("\n  ");
         }
         out.push_str("},\n  \"histograms\": {");
-        for (i, (k, (bounds, counts, count, sum))) in self.histograms.iter().enumerate() {
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str(&format!("\n    \"{}\": {{\"buckets\": [", escape(k)));
-            for (j, c) in counts.iter().enumerate() {
+            for (j, c) in h.counts.iter().enumerate() {
                 if j > 0 {
                     out.push_str(", ");
                 }
-                let le = bounds
+                let le = h
+                    .bounds
                     .get(j)
                     .map_or("\"inf\"".to_string(), |b| format!("{b}"));
                 out.push_str(&format!("{{\"le\": {le}, \"count\": {c}}}"));
             }
-            out.push_str(&format!("], \"count\": {}, \"sum\": {}}}", count, num(*sum)));
+            out.push_str(&format!("], \"count\": {}, \"sum\": {}}}", h.count, num(h.sum)));
         }
         if !self.histograms.is_empty() {
             out.push_str("\n  ");
@@ -198,7 +237,12 @@ impl MetricsRegistry {
                 .map(|(k, h)| {
                     (
                         k.clone(),
-                        (h.bounds.clone(), h.counts.clone(), h.count, h.sum),
+                        HistogramSnapshot {
+                            bounds: h.bounds.clone(),
+                            counts: h.counts.clone(),
+                            count: h.count,
+                            sum: h.sum,
+                        },
                     )
                 })
                 .collect(),
@@ -236,12 +280,18 @@ mod tests {
         assert_eq!(m.gauge("run.best_loss"), Some(0.25));
         assert_eq!(m.gauge("worker.0.busy_s"), Some(2.0));
         let snap = m.snapshot();
-        let (bounds, counts, count, sum) = &snap.histograms["trial.cost_s"];
-        assert_eq!(bounds.len() + 1, counts.len());
-        assert_eq!(*count, 2);
-        assert!((sum - 120.003).abs() < 1e-9);
-        assert_eq!(counts[1], 1, "0.003 lands in the le=0.005 bucket");
-        assert_eq!(*counts.last().unwrap(), 1, "120 lands in the overflow bucket");
+        let h = &snap.histograms["trial.cost_s"];
+        assert_eq!(h.bounds.len() + 1, h.counts.len());
+        assert_eq!(h.count, 2);
+        assert!((h.sum - 120.003).abs() < 1e-9);
+        assert_eq!(h.counts[1], 1, "0.003 lands in the le=0.005 bucket");
+        assert_eq!(*h.counts.last().unwrap(), 1, "120 lands in the overflow bucket");
+        // Count/sum stay consistent with the buckets, and the Prometheus
+        // cumulative view is monotone and ends at the total count.
+        assert_eq!(h.counts.iter().sum::<u64>(), h.count);
+        let cumulative = h.cumulative();
+        assert!(cumulative.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*cumulative.last().unwrap(), h.count);
     }
 
     /// Pins the metrics JSON schema: top-level keys, bucket shape, and the
@@ -269,6 +319,7 @@ mod tests {
             .as_obj()
             .unwrap();
         assert_eq!(hist["count"].as_i64(), Some(2));
+        assert_eq!(hist["sum"].as_f64(), Some(5.02));
         let buckets = match &hist["buckets"] {
             JsonValue::Arr(items) => items,
             _ => panic!("buckets must be an array"),

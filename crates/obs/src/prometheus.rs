@@ -1,0 +1,393 @@
+//! Prometheus text-exposition (format 0.0.4) rendering for
+//! [`MetricsSnapshot`]s.
+//!
+//! The registry's internal names are dotted (`trial.cost_s`,
+//! `worker.0.busy_s`) and may carry an embedded label block appended with
+//! [`labeled`] (`http.requests{route="/studies",status="200"}`). The
+//! renderer:
+//!
+//! - sanitizes metric names to the Prometheus charset `[a-zA-Z0-9_:]`
+//!   (dots become underscores; an illegal leading char gets a `_` prefix)
+//!   and prepends a namespace (`volcanoml_`);
+//! - merges embedded labels with per-snapshot section labels (the serve
+//!   layer adds `study="<id>"` to every per-study series) and escapes
+//!   label values (`\\`, `\"`, newline);
+//! - suffixes counters with `_total`, renders histograms as cumulative
+//!   `_bucket{le="..."}` series closed by `le="+Inf"` plus `_sum`/`_count`,
+//!   and emits one `# TYPE` line per family;
+//! - orders families and series deterministically (BTreeMap + insertion
+//!   order within a family) so scrapes diff cleanly.
+//!
+//! Families are collected across [`PrometheusText::add_snapshot`] calls, so
+//! the same metric from N study registries becomes one family with N
+//! labeled series — exactly what a scraper expects.
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use std::collections::BTreeMap;
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Sanitizes a metric (or namespace) name to `[a-zA-Z0-9_:]`, mapping `.`
+/// and every other illegal char to `_` and prefixing `_` when the first
+/// char would be a digit.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let legal = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if legal { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Sanitizes a label name to `[a-zA-Z0-9_]` (no colons in label names).
+pub fn sanitize_label_name(name: &str) -> String {
+    sanitize_metric_name(name).replace(':', "_")
+}
+
+/// Builds a registry key with an embedded label block:
+/// `labeled("http.requests", &[("route", "/studies")])` →
+/// `http.requests{route="/studies"}`. The label names are sanitized and
+/// the values escaped here, at write time, so the renderer can merge label
+/// blocks by plain string concatenation.
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let rendered: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_label_name(k), escape_label_value(v)))
+        .collect();
+    format!("{}{{{}}}", name, rendered.join(","))
+}
+
+/// Splits a registry key into `(base_name, embedded_label_block)` where the
+/// block is the text between the braces (empty when absent).
+fn split_key(key: &str) -> (&str, &str) {
+    match key.find('{') {
+        Some(pos) => {
+            let rest = &key[pos + 1..];
+            (&key[..pos], rest.strip_suffix('}').unwrap_or(rest))
+        }
+        None => (key, ""),
+    }
+}
+
+/// Joins two pre-rendered label blocks (either may be empty).
+fn merge_labels(embedded: &str, section: &str) -> String {
+    match (embedded.is_empty(), section.is_empty()) {
+        (true, true) => String::new(),
+        (true, false) => section.to_string(),
+        (false, true) => embedded.to_string(),
+        (false, false) => format!("{embedded},{section}"),
+    }
+}
+
+/// Formats a sample value: integers stay integral, non-finite values use
+/// the exposition spellings `+Inf` / `-Inf` / `NaN`.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        (if v > 0.0 { "+Inf" } else { "-Inf" }).to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Sample {
+    Counter { labels: String, value: u64 },
+    Gauge { labels: String, value: f64 },
+    Histogram { labels: String, hist: HistogramSnapshot },
+}
+
+struct Family {
+    kind: Kind,
+    samples: Vec<Sample>,
+}
+
+/// Accumulates snapshots into labeled families and renders the exposition
+/// text. See the module docs for the full mapping.
+pub struct PrometheusText {
+    namespace: String,
+    families: BTreeMap<String, Family>,
+}
+
+impl PrometheusText {
+    /// A renderer prefixing every family with `namespace_` (pass `""` for
+    /// no prefix).
+    pub fn new(namespace: &str) -> PrometheusText {
+        let namespace = if namespace.is_empty() {
+            String::new()
+        } else {
+            format!("{}_", sanitize_metric_name(namespace))
+        };
+        PrometheusText {
+            namespace,
+            families: BTreeMap::new(),
+        }
+    }
+
+    fn family_name(&self, base: &str, kind: Kind) -> String {
+        let mut name = format!("{}{}", self.namespace, sanitize_metric_name(base));
+        if kind == Kind::Counter && !name.ends_with("_total") {
+            name.push_str("_total");
+        }
+        name
+    }
+
+    fn push(&mut self, base: &str, kind: Kind, sample: Sample) {
+        let name = self.family_name(base, kind);
+        let family = self
+            .families
+            .entry(name)
+            .or_insert_with(|| Family {
+                kind,
+                samples: Vec::new(),
+            });
+        // A name colliding across kinds after sanitization would corrupt
+        // the family; keep the first kind and drop the stray sample.
+        if family.kind == kind {
+            family.samples.push(sample);
+        }
+    }
+
+    /// Adds every series in `snapshot`, attaching `section_labels` (e.g.
+    /// `[("study", "my-study")]`) to each in addition to any labels
+    /// embedded in the metric key via [`labeled`].
+    pub fn add_snapshot(&mut self, snapshot: &MetricsSnapshot, section_labels: &[(&str, &str)]) {
+        let section = labeled("", section_labels);
+        let section = section.trim_start_matches('{').trim_end_matches('}');
+        for (key, value) in &snapshot.counters {
+            let (base, embedded) = split_key(key);
+            self.push(
+                base,
+                Kind::Counter,
+                Sample::Counter {
+                    labels: merge_labels(embedded, section),
+                    value: *value,
+                },
+            );
+        }
+        for (key, value) in &snapshot.gauges {
+            let (base, embedded) = split_key(key);
+            self.push(
+                base,
+                Kind::Gauge,
+                Sample::Gauge {
+                    labels: merge_labels(embedded, section),
+                    value: *value,
+                },
+            );
+        }
+        for (key, hist) in &snapshot.histograms {
+            let (base, embedded) = split_key(key);
+            self.push(
+                base,
+                Kind::Histogram,
+                Sample::Histogram {
+                    labels: merge_labels(embedded, section),
+                    hist: hist.clone(),
+                },
+            );
+        }
+    }
+
+    /// Renders the accumulated families as exposition text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, family) in &self.families {
+            out.push_str(&format!("# TYPE {} {}\n", name, family.kind.as_str()));
+            for sample in &family.samples {
+                match sample {
+                    Sample::Counter { labels, value } => {
+                        out.push_str(&format!("{}{} {}\n", name, braced(labels), value));
+                    }
+                    Sample::Gauge { labels, value } => {
+                        out.push_str(&format!("{}{} {}\n", name, braced(labels), fmt_value(*value)));
+                    }
+                    Sample::Histogram { labels, hist } => {
+                        let cumulative = hist.cumulative();
+                        for (bound, count) in hist.bounds.iter().zip(&cumulative) {
+                            let le = format!("le=\"{}\"", fmt_value(*bound));
+                            out.push_str(&format!(
+                                "{}_bucket{} {}\n",
+                                name,
+                                braced(&merge_labels(labels, &le)),
+                                count
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            name,
+                            braced(&merge_labels(labels, "le=\"+Inf\"")),
+                            hist.count
+                        ));
+                        out.push_str(&format!(
+                            "{}_sum{} {}\n",
+                            name,
+                            braced(labels),
+                            fmt_value(hist.sum)
+                        ));
+                        out.push_str(&format!("{}_count{} {}\n", name, braced(labels), hist.count));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn braced(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    /// Golden-file test: the full exposition output for a registry
+    /// exercising name sanitizing, label escaping, embedded + section
+    /// label merging, and cumulative histogram buckets. Any renderer
+    /// change must update this string deliberately.
+    #[test]
+    fn renders_the_expected_exposition_text() {
+        let m = MetricsRegistry::new();
+        m.inc_counter("trial.total", 7);
+        m.inc_counter(&labeled("http.requests", &[("route", "/studies"), ("status", "200")]), 3);
+        m.set_gauge("run.best_loss", 0.25);
+        m.set_gauge("9leading.digit", 1.0);
+        // Exactly-representable binary fractions so the golden sum below is
+        // stable under shortest-round-trip float formatting.
+        m.observe_with("exec.queue_wait_s", 0.0078125, &[0.01, 0.1]);
+        m.observe_with("exec.queue_wait_s", 4.0, &[0.01, 0.1]);
+        m.observe_with("exec.queue_wait_s", 0.0625, &[0.01, 0.1]);
+
+        let mut prom = PrometheusText::new("volcanoml");
+        prom.add_snapshot(&m.snapshot(), &[("study", "a\"b\\c")]);
+        let expected = "\
+# TYPE volcanoml__9leading_digit gauge
+volcanoml__9leading_digit{study=\"a\\\"b\\\\c\"} 1
+# TYPE volcanoml_exec_queue_wait_s histogram
+volcanoml_exec_queue_wait_s_bucket{study=\"a\\\"b\\\\c\",le=\"0.01\"} 1
+volcanoml_exec_queue_wait_s_bucket{study=\"a\\\"b\\\\c\",le=\"0.1\"} 2
+volcanoml_exec_queue_wait_s_bucket{study=\"a\\\"b\\\\c\",le=\"+Inf\"} 3
+volcanoml_exec_queue_wait_s_sum{study=\"a\\\"b\\\\c\"} 4.0703125
+volcanoml_exec_queue_wait_s_count{study=\"a\\\"b\\\\c\"} 3
+# TYPE volcanoml_http_requests_total counter
+volcanoml_http_requests_total{route=\"/studies\",status=\"200\",study=\"a\\\"b\\\\c\"} 3
+# TYPE volcanoml_run_best_loss gauge
+volcanoml_run_best_loss{study=\"a\\\"b\\\\c\"} 0.25
+# TYPE volcanoml_trial_total counter
+volcanoml_trial_total{study=\"a\\\"b\\\\c\"} 7
+";
+        assert_eq!(prom.render(), expected);
+    }
+
+    #[test]
+    fn merges_the_same_metric_across_snapshots_into_one_family() {
+        let a = MetricsRegistry::new();
+        a.inc_counter("trial.total", 2);
+        let b = MetricsRegistry::new();
+        b.inc_counter("trial.total", 5);
+        let mut prom = PrometheusText::new("volcanoml");
+        prom.add_snapshot(&a.snapshot(), &[("study", "a")]);
+        prom.add_snapshot(&b.snapshot(), &[("study", "b")]);
+        let text = prom.render();
+        assert_eq!(
+            text.matches("# TYPE volcanoml_trial_total counter").count(),
+            1,
+            "one TYPE line per family:\n{text}"
+        );
+        assert!(text.contains("volcanoml_trial_total{study=\"a\"} 2"));
+        assert!(text.contains("volcanoml_trial_total{study=\"b\"} 5"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_monotone_and_closed_by_inf() {
+        let m = MetricsRegistry::new();
+        for v in [0.0005, 0.002, 0.002, 0.03, 9.0] {
+            m.observe("trial.cost_s", v);
+        }
+        let mut prom = PrometheusText::new("");
+        prom.add_snapshot(&m.snapshot(), &[]);
+        let text = prom.render();
+        let mut last = 0u64;
+        let mut bucket_lines = 0;
+        for line in text.lines().filter(|l| l.starts_with("trial_cost_s_bucket")) {
+            let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(count >= last, "buckets must be cumulative: {text}");
+            last = count;
+            bucket_lines += 1;
+        }
+        assert_eq!(bucket_lines, 11, "10 bounds + the +Inf closer");
+        assert!(text.contains("le=\"+Inf\"} 5"));
+        assert!(text.contains("trial_cost_s_count 5"));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn counters_already_ending_in_total_are_not_double_suffixed() {
+        let m = MetricsRegistry::new();
+        m.inc_counter("trial.total", 1);
+        let mut prom = PrometheusText::new("ns");
+        prom.add_snapshot(&m.snapshot(), &[]);
+        let text = prom.render();
+        assert!(text.contains("ns_trial_total 1"));
+        assert!(!text.contains("total_total"));
+    }
+
+    #[test]
+    fn non_finite_gauges_use_exposition_spellings() {
+        let m = MetricsRegistry::new();
+        m.set_gauge("a", f64::INFINITY);
+        m.set_gauge("b", f64::NEG_INFINITY);
+        m.set_gauge("c", f64::NAN);
+        let mut prom = PrometheusText::new("");
+        prom.add_snapshot(&m.snapshot(), &[]);
+        let text = prom.render();
+        assert!(text.contains("a +Inf\n"));
+        assert!(text.contains("b -Inf\n"));
+        assert!(text.contains("c NaN\n"));
+    }
+}

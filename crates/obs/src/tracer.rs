@@ -253,6 +253,10 @@ pub struct Tracer {
     next_id: AtomicU64,
     next_trial: AtomicU64,
     state: Mutex<TracerState>,
+    /// Optional live event bus. Fed from the same hooks that produce span
+    /// events, but independent of `enabled`: a serve-managed study streams
+    /// live events even when archival tracing is off.
+    bus: Option<Arc<crate::events::EventBus>>,
 }
 
 impl Tracer {
@@ -266,6 +270,7 @@ impl Tracer {
                 events: Vec::new(),
                 file,
             }),
+            bus: None,
         }
     }
 
@@ -289,6 +294,23 @@ impl Tracer {
     /// Whether events are being recorded.
     pub fn enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Attaches a live event bus. Must be called before the tracer is
+    /// shared (takes `&mut self`); trial and elimination hooks then publish
+    /// typed [`crate::events::ObsEvent`]s regardless of `enabled`.
+    pub fn set_bus(&mut self, bus: Arc<crate::events::EventBus>) {
+        self.bus = Some(bus);
+    }
+
+    /// Whether a live event bus is attached.
+    pub fn has_bus(&self) -> bool {
+        self.bus.is_some()
+    }
+
+    /// The attached live event bus, if any.
+    pub fn bus(&self) -> Option<&Arc<crate::events::EventBus>> {
+        self.bus.as_ref()
     }
 
     /// Seconds elapsed since the tracer was created.
@@ -321,7 +343,7 @@ impl Tracer {
 
     /// Emits an instantaneous event parented to the current span.
     pub fn event(&self, kind: &str, fields: EventFields) {
-        if !self.enabled {
+        if !self.enabled && self.bus.is_none() {
             return;
         }
         let path = if fields.path.is_empty() {
@@ -329,6 +351,25 @@ impl Tracer {
         } else {
             fields.path
         };
+        if kind == "eliminate" {
+            if let Some(bus) = &self.bus {
+                let (eu_opt, eu_pess) = fields.eu.unwrap_or((f64::NAN, f64::NAN));
+                bus.publish(crate::events::ObsEvent::ArmEliminated {
+                    path: path.clone(),
+                    arm: if fields.arm.is_empty() {
+                        current_arm()
+                    } else {
+                        fields.arm.clone()
+                    },
+                    eu_opt,
+                    eu_pess,
+                    detail: fields.detail.clone(),
+                });
+            }
+        }
+        if !self.enabled {
+            return;
+        }
         let mut e = SpanEvent::new(kind, &path);
         e.span_id = self.next_span_id();
         e.parent_id = current_span();
@@ -353,6 +394,37 @@ impl Tracer {
     /// event's `t_s` uses the tracer epoch for ordering consistency, while
     /// `dur_s` preserves the journal-measured wall window.
     pub fn trial(&self, t: &TrialInfo) {
+        if let Some(bus) = &self.bus {
+            let digest = format!("{:016x}", t.digest);
+            // A config running at rung >= 1 got there by surviving the
+            // rung below — the promotion decision itself happens inside
+            // the bracket (no tracer in scope), so it is materialized
+            // here, at the promoted run.
+            if t.rung >= 1 {
+                bus.publish(crate::events::ObsEvent::RungPromoted {
+                    bracket: t.bracket,
+                    rung: t.rung,
+                    digest: digest.clone(),
+                });
+            }
+            if t.timed_out {
+                bus.publish(crate::events::ObsEvent::WorkerStalled {
+                    worker: t.worker as i64,
+                    stalled_s: (t.end_s - t.start_s).max(0.0),
+                });
+            }
+            bus.publish(crate::events::ObsEvent::TrialFinished {
+                trial: t.trial_id,
+                digest,
+                fidelity: t.fidelity,
+                rung: t.rung,
+                bracket: t.bracket,
+                loss: t.loss,
+                cost: t.cost,
+                worker: t.worker as i64,
+                cached: t.cached,
+            });
+        }
         if !self.enabled {
             return;
         }
@@ -658,6 +730,60 @@ mod tests {
             assert!(seen.insert(obj["span"].as_i64().unwrap()), "duplicate span id");
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disabled_tracer_with_bus_still_publishes_typed_events() {
+        use crate::events::{EventBus, ObsEvent};
+        let mut tracer = Tracer::disabled();
+        let bus = Arc::new(EventBus::new());
+        tracer.set_bus(Arc::clone(&bus));
+        assert!(tracer.has_bus());
+        let tracer = Arc::new(tracer);
+        tracer.trial(&TrialInfo {
+            trial_id: 3,
+            digest: 0xfeed,
+            worker: 2,
+            start_s: 0.0,
+            end_s: 0.5,
+            fidelity: 0.25,
+            rung: 1,
+            bracket: 0,
+            loss: 0.3,
+            cost: 0.5,
+            cached: false,
+            fe_cached: false,
+            panicked: false,
+            timed_out: true,
+        });
+        tracer.event(
+            "eliminate",
+            EventFields {
+                path: "root".into(),
+                arm: "algorithm=2".into(),
+                eu: Some((0.1, 0.4)),
+                detail: "dominated".into(),
+                ..EventFields::default()
+            },
+        );
+        // Archival stream stays empty; the bus carries the typed events.
+        assert!(tracer.is_empty());
+        let kinds: Vec<&str> = bus
+            .read_after(None)
+            .iter()
+            .map(|e| e.event.kind())
+            .collect::<Vec<_>>();
+        assert_eq!(
+            kinds,
+            vec!["RungPromoted", "WorkerStalled", "TrialFinished", "ArmEliminated"]
+        );
+        match &bus.read_after(None)[2].event {
+            ObsEvent::TrialFinished { trial, loss, .. } => {
+                assert_eq!(*trial, 3);
+                assert!((loss - 0.3).abs() < 1e-12);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub struct Request {
     pub path: String,
     /// Raw body bytes (UTF-8 JSON for this API).
     pub body: String,
+    /// Parsed `Last-Event-ID` header: the event-stream resume cursor a
+    /// reconnecting SSE client sends (unparseable values read as absent).
+    pub last_event_id: Option<u64>,
 }
 
 /// Why a request could not be read: the status code to answer with (400 for
@@ -88,6 +91,7 @@ fn read_request_with_timeout(
         return Err(RequestError::bad(format!("malformed request line: {line:?}")));
     }
     let mut content_length = 0usize;
+    let mut last_event_id = None;
     loop {
         let mut header = String::new();
         reader
@@ -98,11 +102,14 @@ fn read_request_with_timeout(
             break;
         }
         if let Some((key, value)) = header.split_once(':') {
-            if key.trim().eq_ignore_ascii_case("content-length") {
+            let key = key.trim();
+            if key.eq_ignore_ascii_case("content-length") {
                 content_length = value
                     .trim()
                     .parse()
                     .map_err(|_| RequestError::bad(format!("bad content-length: {value:?}")))?;
+            } else if key.eq_ignore_ascii_case("last-event-id") {
+                last_event_id = value.trim().parse().ok();
             }
         }
     }
@@ -117,7 +124,12 @@ fn read_request_with_timeout(
         .map_err(|e| RequestError::io("read body", &e))?;
     let body =
         String::from_utf8(body).map_err(|_| RequestError::bad("body is not UTF-8".to_string()))?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        body,
+        last_event_id,
+    })
 }
 
 fn status_text(code: u16) -> &'static str {
@@ -148,6 +160,17 @@ pub fn write_response(stream: &mut TcpStream, code: u16, content_type: &str, bod
     let _ = stream.write_all(head.as_bytes());
     let _ = stream.write_all(body.as_bytes());
     let _ = stream.flush();
+}
+
+/// Writes the head of a close-delimited streaming response (no
+/// Content-Length; the body ends when the server closes the connection,
+/// which is how this `Connection: close` server frames SSE). Returns
+/// whether the head reached the client.
+pub fn write_stream_head(stream: &mut TcpStream, content_type: &str) -> bool {
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n"
+    );
+    stream.write_all(head.as_bytes()).is_ok() && stream.flush().is_ok()
 }
 
 /// JSON error body shared by every failure path.
@@ -181,6 +204,26 @@ mod tests {
         assert_eq!(req.path, "/studies");
         assert_eq!(req.body, "{}");
         write_response(&mut stream, 201, "application/json", "{\"id\":\"s\"}");
+        drop(stream);
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn parses_last_event_id_header() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"GET /studies/a/events HTTP/1.1\r\nLast-Event-ID: 42\r\n\r\n")
+                .unwrap();
+            s.flush().unwrap();
+            let mut buf = Vec::new();
+            let _ = s.read_to_end(&mut buf);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let req = read_request(&mut stream).unwrap();
+        assert_eq!(req.last_event_id, Some(42));
+        write_response(&mut stream, 200, "application/json", "{}");
         drop(stream);
         client.join().unwrap();
     }

@@ -23,10 +23,23 @@
 //!                     │ POST /studies      ──▶ Study dir + driver thread
 //!                     │ GET  /studies/:id  ──▶ status + live journal stats
 //!                     │ GET  .../report    ──▶ render_live_report (mid-run ok)
+//!                     │ GET  .../events    ──▶ SSE stream of the study's EventBus
+//!                     │ GET  /metrics      ──▶ Prometheus scrape (all tenants)
 //!                     │ DELETE /studies/:id──▶ stop flag → cancelled
 //!                     ▼
 //!               shared ExecPool (fair-share batch caps)
 //! ```
+//!
+//! The **live observability plane** (PR 8) rides on the same registry and
+//! tracer hooks the archival artifacts use: each study owns a bounded
+//! [`volcanoml_obs::EventBus`] fed from the evaluator's trial hook (no new
+//! engine plumbing), `GET /studies/:id/events` streams it as SSE with
+//! `Last-Event-ID` resume, and `GET /metrics` merges the server-level
+//! registry (HTTP traffic, pool occupancy, fair-share decisions) with every
+//! study's registry into one Prometheus text exposition, one `study` label
+//! per tenant. The evaluator times its own recording work into an
+//! `obs.self_overhead_s` histogram, so a scrape can prove the whole plane
+//! costs well under 1% of trial wall time.
 
 pub mod http;
 pub mod server;

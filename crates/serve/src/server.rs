@@ -7,26 +7,48 @@
 //!
 //! | method | path                  | effect                                   |
 //! |--------|-----------------------|------------------------------------------|
-//! | GET    | `/healthz`            | liveness probe                           |
+//! | GET    | `/healthz`            | liveness + occupancy probe               |
+//! | GET    | `/metrics`            | Prometheus text exposition (all tenants) |
 //! | GET    | `/studies`            | list all studies with status             |
 //! | POST   | `/studies`            | submit a [`StudySpec`], returns its id   |
 //! | GET    | `/studies/:id`        | status + live journal statistics         |
 //! | GET    | `/studies/:id/report` | rendered run report (works mid-run)      |
+//! | GET    | `/studies/:id/events` | SSE event stream (`Last-Event-ID` resume)|
 //! | DELETE | `/studies/:id`        | request cancellation                     |
+//!
+//! The observability plane: every request lands in the server-level
+//! [`MetricsRegistry`] (per-route/status counters, per-route latency
+//! histograms), `GET /metrics` merges that registry with every study's
+//! registry (labeled `study="<id>"`) into one Prometheus scrape, and
+//! `GET /studies/:id/events` long-polls the study's [`EventBus`] as a
+//! close-delimited SSE stream — a subscriber that reconnects with
+//! `Last-Event-ID` replays nothing twice.
 
 use std::collections::BTreeMap;
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use volcanoml_exec::{ExecPool, TrialRecord};
 use volcanoml_obs::json::{escape, num};
+use volcanoml_obs::metrics::MetricsRegistry;
+use volcanoml_obs::prometheus::{labeled, PrometheusText};
 
-use crate::http::{error_body, read_request, write_response, Request};
+use crate::http::{error_body, read_request, write_response, write_stream_head, Request};
 use crate::spec::StudySpec;
 use crate::study::{spawn_driver, Study, StudyStatus};
+
+/// Buckets for HTTP request latency: most routes answer in microseconds,
+/// report rendering and SSE streams run much longer.
+const HTTP_LATENCY_BUCKETS: [f64; 8] = [1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 0.1, 1.0, 10.0];
+
+/// How long one SSE long-poll waits on the bus before re-checking the
+/// study's lifecycle state and the client's liveness.
+const EVENT_POLL: Duration = Duration::from_millis(200);
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -40,6 +62,9 @@ pub struct ServeConfig {
     pub port: u16,
     /// Re-drive interrupted studies found in `dir` at startup.
     pub resume: bool,
+    /// Print one structured JSON line per request to stdout (method, path,
+    /// status, bytes, microseconds).
+    pub log_requests: bool,
 }
 
 impl Default for ServeConfig {
@@ -49,6 +74,7 @@ impl Default for ServeConfig {
             workers: 2,
             port: 0,
             resume: false,
+            log_requests: false,
         }
     }
 }
@@ -62,6 +88,11 @@ struct ServerInner {
     studies: Mutex<BTreeMap<String, Arc<Study>>>,
     next_id: AtomicU64,
     stop_accept: AtomicBool,
+    /// Server-level metrics (HTTP traffic, pool occupancy, study counts);
+    /// merged with per-study registries by `GET /metrics`.
+    metrics: Arc<MetricsRegistry>,
+    started: Instant,
+    log_requests: bool,
 }
 
 /// A running service instance. Dropping it does NOT stop the server; call
@@ -86,6 +117,9 @@ impl Server {
             studies: Mutex::new(BTreeMap::new()),
             next_id: AtomicU64::new(1),
             stop_accept: AtomicBool::new(false),
+            metrics: Arc::new(MetricsRegistry::new()),
+            started: Instant::now(),
+            log_requests: config.log_requests,
         });
         inner.scan_existing(config.resume)?;
         let listener = TcpListener::bind(("127.0.0.1", config.port))
@@ -223,28 +257,202 @@ impl ServerInner {
     }
 
     fn handle_connection(self: &Arc<Self>, stream: &mut TcpStream) {
+        let t0 = Instant::now();
         let req = match read_request(stream) {
             Ok(r) => r,
             Err(e) => {
-                write_response(stream, e.code, "application/json", &error_body(&e.message));
+                let body = error_body(&e.message);
+                write_response(stream, e.code, "application/json", &body);
+                self.observe_request("-", "-", e.code, body.len(), t0.elapsed());
                 return;
             }
         };
-        let (code, content_type, body) = self.route(&req);
-        write_response(stream, code, content_type, &body);
+        let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+        // The event stream cannot go through route() — it writes the body
+        // incrementally on the raw stream instead of returning it sized.
+        let (code, bytes) = if req.method == "GET"
+            && matches!(segments.as_slice(), ["studies", _, "events"])
+        {
+            match self.get_study(segments[1]) {
+                Some(study) => self.stream_events(stream, &study, req.last_event_id),
+                None => {
+                    let (code, content_type, body) = not_found(segments[1]);
+                    write_response(stream, code, content_type, &body);
+                    (code, body.len())
+                }
+            }
+        } else {
+            let (code, content_type, body) = self.route(&req);
+            write_response(stream, code, content_type, &body);
+            (code, body.len())
+        };
+        self.observe_request(&req.method, &req.path, code, bytes, t0.elapsed());
+    }
+
+    /// Records one finished request into the server metrics and, with
+    /// `--log-requests`, prints the structured request log line.
+    fn observe_request(
+        &self,
+        method: &str,
+        path: &str,
+        status: u16,
+        bytes: usize,
+        elapsed: Duration,
+    ) {
+        let route = route_template(path);
+        let status_str = status.to_string();
+        self.metrics.inc_counter(
+            &labeled(
+                "http.requests",
+                &[("method", method), ("route", route), ("status", &status_str)],
+            ),
+            1,
+        );
+        self.metrics.observe_with(
+            &labeled("http.request_seconds", &[("route", route)]),
+            elapsed.as_secs_f64(),
+            &HTTP_LATENCY_BUCKETS,
+        );
+        if self.log_requests {
+            let t_unix = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(0.0);
+            println!(
+                "{{\"t_unix\":{t_unix:.3},\"method\":\"{}\",\"path\":\"{}\",\"status\":{status},\"bytes\":{bytes},\"us\":{}}}",
+                escape(method),
+                escape(path),
+                elapsed.as_micros()
+            );
+        }
+    }
+
+    /// Streams `study`'s event bus as SSE until the study is terminal and
+    /// the subscriber has caught up (or the client goes away / the server
+    /// shuts down). Returns (status, body bytes written) for the request
+    /// log. `cursor` is the client's `Last-Event-ID`, so a reconnect
+    /// resumes exactly after the last event it saw.
+    fn stream_events(
+        &self,
+        stream: &mut TcpStream,
+        study: &Arc<Study>,
+        cursor: Option<u64>,
+    ) -> (u16, usize) {
+        // A subscriber that stops reading must not pin this thread once the
+        // kernel buffer fills; a stalled write aborts the stream.
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+        if !write_stream_head(stream, "text/event-stream") {
+            return (200, 0);
+        }
+        let mut cursor = cursor;
+        let mut sent = 0usize;
+        loop {
+            let events = study.bus.wait_after(cursor, EVENT_POLL);
+            for event in &events {
+                let frame = format!(
+                    "id: {}\nevent: {}\ndata: {}\n\n",
+                    event.id,
+                    event.event.kind(),
+                    event.to_json()
+                );
+                if stream.write_all(frame.as_bytes()).is_err() {
+                    return (200, sent);
+                }
+                sent += frame.len();
+                cursor = Some(event.id);
+            }
+            if stream.flush().is_err() {
+                return (200, sent);
+            }
+            // Close once the study is terminal and everything published so
+            // far has been delivered (the driver publishes the terminal
+            // event before flipping the state, so it is never skipped).
+            if study.status() != StudyStatus::Running
+                && study.bus.last_id() <= cursor.unwrap_or(0)
+            {
+                let bye = "event: end\ndata: {}\n\n";
+                if stream.write_all(bye.as_bytes()).is_ok() {
+                    sent += bye.len();
+                }
+                let _ = stream.flush();
+                return (200, sent);
+            }
+            if self.stop_accept.load(Ordering::SeqCst) {
+                return (200, sent);
+            }
+            if events.is_empty() {
+                // Idle heartbeat: an SSE comment keeps intermediaries from
+                // timing the stream out and detects a vanished client.
+                if stream.write_all(b": keep-alive\n\n").is_err()
+                    || stream.flush().is_err()
+                {
+                    return (200, sent);
+                }
+            }
+        }
+    }
+
+    /// Renders the merged Prometheus scrape: server-level series (refreshed
+    /// at scrape time) plus every study's registry labeled `study="<id>"`.
+    fn render_metrics(&self) -> String {
+        let studies: Vec<(String, Arc<Study>)> = {
+            let map = self.studies.lock().expect("studies lock");
+            map.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect()
+        };
+        let m = &self.metrics;
+        m.set_gauge("serve.uptime_seconds", self.started.elapsed().as_secs_f64());
+        m.set_gauge("serve.pool_workers", self.workers as f64);
+        m.set_gauge("serve.pool_busy_workers", self.pool.busy_workers() as f64);
+        m.set_gauge("serve.pool_queue_depth", self.pool.queued_jobs() as f64);
+        m.set_gauge(
+            "serve.active_studies",
+            self.active.load(Ordering::SeqCst) as f64,
+        );
+        let mut by_status: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for tag in ["running", "done", "failed", "cancelled"] {
+            by_status.insert(tag, 0);
+        }
+        for (_, study) in &studies {
+            *by_status.entry(study.status().tag()).or_insert(0) += 1;
+        }
+        for (tag, count) in &by_status {
+            m.set_gauge(&labeled("serve.studies", &[("status", tag)]), *count as f64);
+        }
+        // Per-tenant worker-seconds: the sum of the study's per-worker
+        // busy-time gauges — how much pool time each tenant has consumed.
+        let snapshots: Vec<(String, volcanoml_obs::MetricsSnapshot)> = studies
+            .iter()
+            .map(|(id, study)| (id.clone(), study.metrics.snapshot()))
+            .collect();
+        for (id, snap) in &snapshots {
+            let worker_seconds: f64 = snap
+                .gauges
+                .iter()
+                .filter(|(k, _)| k.starts_with("worker.") && k.ends_with(".busy_s"))
+                .map(|(_, v)| *v)
+                .sum();
+            m.set_gauge(
+                &labeled("serve.tenant_worker_seconds", &[("study", id)]),
+                worker_seconds,
+            );
+        }
+        let mut prom = PrometheusText::new("volcanoml");
+        prom.add_snapshot(&m.snapshot(), &[]);
+        for (id, snap) in &snapshots {
+            prom.add_snapshot(snap, &[("study", id)]);
+        }
+        prom.render()
     }
 
     fn route(self: &Arc<Self>, req: &Request) -> (u16, &'static str, String) {
         let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
         match (req.method.as_str(), segments.as_slice()) {
-            ("GET", ["healthz"]) => (
+            ("GET", ["healthz"]) => (200, "application/json", self.healthz()),
+            ("GET", ["metrics"]) => (
                 200,
-                "application/json",
-                format!(
-                    "{{\"status\":\"ok\",\"workers\":{},\"active_studies\":{}}}",
-                    self.workers,
-                    self.active.load(Ordering::SeqCst)
-                ),
+                // The exposition content type; version pins the text format.
+                "text/plain; version=0.0.4",
+                self.render_metrics(),
             ),
             ("GET", ["studies"]) => (200, "application/json", self.list_studies()),
             ("POST", ["studies"]) => self.submit_study(&req.body),
@@ -267,7 +475,7 @@ impl ServerInner {
                 }
                 None => not_found(id),
             },
-            (_, ["healthz"]) | (_, ["studies"]) | (_, ["studies", ..]) => (
+            (_, ["healthz"]) | (_, ["metrics"]) | (_, ["studies"]) | (_, ["studies", ..]) => (
                 405,
                 "application/json",
                 error_body(&format!("method {} not allowed here", req.method)),
@@ -278,6 +486,34 @@ impl ServerInner {
                 error_body(&format!("no such route {}", req.path)),
             ),
         }
+    }
+
+    /// The liveness probe, grown into an occupancy report: uptime, pool
+    /// occupancy/queue depth, and study counts by lifecycle state.
+    fn healthz(&self) -> String {
+        let (running, done, failed, cancelled) = {
+            let map = self.studies.lock().expect("studies lock");
+            let mut counts = (0usize, 0usize, 0usize, 0usize);
+            for study in map.values() {
+                match study.status() {
+                    StudyStatus::Running => counts.0 += 1,
+                    StudyStatus::Done { .. } => counts.1 += 1,
+                    StudyStatus::Failed { .. } => counts.2 += 1,
+                    StudyStatus::Cancelled => counts.3 += 1,
+                }
+            }
+            counts
+        };
+        format!(
+            "{{\"status\":\"ok\",\"uptime_s\":{},\"workers\":{},\"busy_workers\":{},\
+             \"queue_depth\":{},\"active_studies\":{},\"studies\":{{\"running\":{running},\
+             \"done\":{done},\"failed\":{failed},\"cancelled\":{cancelled}}}}}",
+            num(self.started.elapsed().as_secs_f64()),
+            self.workers,
+            self.pool.busy_workers(),
+            self.pool.queued_jobs(),
+            self.active.load(Ordering::SeqCst),
+        )
     }
 
     fn get_study(&self, id: &str) -> Option<Arc<Study>> {
@@ -354,6 +590,21 @@ impl ServerInner {
             false,
         );
         (201, "application/json", format!("{{\"id\":\"{}\"}}", escape(&id)))
+    }
+}
+
+/// Collapses a concrete request path onto its route template so HTTP
+/// metrics stay bounded-cardinality (study ids never become label values).
+fn route_template(path: &str) -> &'static str {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["healthz"] => "/healthz",
+        ["metrics"] => "/metrics",
+        ["studies"] => "/studies",
+        ["studies", _] => "/studies/:id",
+        ["studies", _, "report"] => "/studies/:id/report",
+        ["studies", _, "events"] => "/studies/:id/events",
+        _ => "other",
     }
 }
 
@@ -481,6 +732,17 @@ mod tests {
         assert_eq!(sanitize_id("--weird--"), "weird");
         assert_eq!(sanitize_id("ok_name.v2"), "ok_name.v2");
         assert_eq!(sanitize_id("///"), "");
+    }
+
+    #[test]
+    fn route_templates_bound_metric_cardinality() {
+        assert_eq!(route_template("/healthz"), "/healthz");
+        assert_eq!(route_template("/metrics"), "/metrics");
+        assert_eq!(route_template("/studies"), "/studies");
+        assert_eq!(route_template("/studies/exp-42"), "/studies/:id");
+        assert_eq!(route_template("/studies/exp-42/report"), "/studies/:id/report");
+        assert_eq!(route_template("/studies/exp-42/events"), "/studies/:id/events");
+        assert_eq!(route_template("/nope/deeper/still"), "other");
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::thread::JoinHandle;
 
 use volcanoml_core::{VolcanoML, VolcanoMlOptions};
 use volcanoml_exec::ExecPool;
+use volcanoml_obs::events::{EventBus, ObsEvent};
 use volcanoml_obs::json::{escape, num, parse_object};
 use volcanoml_obs::metrics::MetricsRegistry;
 
@@ -107,6 +108,9 @@ pub struct Study {
     /// route streams counters mid-run (a snapshot still lands in
     /// `metrics.json` at the end).
     pub metrics: Arc<MetricsRegistry>,
+    /// The study's live event bus: typed trial/elimination/lifecycle
+    /// events, streamed by `GET /studies/:id/events` with cursor resume.
+    pub bus: Arc<EventBus>,
     state: Mutex<StudyStatus>,
     handle: Mutex<Option<JoinHandle<()>>>,
 }
@@ -120,6 +124,7 @@ impl Study {
             dir,
             stop: Arc::new(AtomicBool::new(false)),
             metrics: Arc::new(MetricsRegistry::new()),
+            bus: Arc::new(EventBus::new()),
             state: Mutex::new(StudyStatus::Running),
             handle: Mutex::new(None),
         }
@@ -164,6 +169,15 @@ pub fn spawn_driver(
 ) {
     let runner = Arc::clone(&study);
     let handle = std::thread::spawn(move || {
+        runner.bus.publish(if resume {
+            ObsEvent::StudyResumed {
+                study: runner.id.clone(),
+            }
+        } else {
+            ObsEvent::StudySubmitted {
+                study: runner.id.clone(),
+            }
+        });
         active.fetch_add(1, Ordering::SeqCst);
         let outcome = fit_study(&runner, pool, workers, Arc::clone(&active), resume);
         active.fetch_sub(1, Ordering::SeqCst);
@@ -193,6 +207,28 @@ pub fn spawn_driver(
         // flipping the in-memory state so a crash between the two still
         // leaves the study resumable (it would just re-run the tail).
         let _ = std::fs::write(runner.dir.join("result.json"), status.to_json());
+        // Publish the terminal event before flipping the in-memory state:
+        // the event stream closes only once the study is terminal AND the
+        // subscriber's cursor caught up, so this order guarantees the
+        // terminal event is still in flight when the stream checks.
+        runner.bus.publish(match &status {
+            StudyStatus::Done {
+                best_loss,
+                n_evaluations,
+            } => ObsEvent::StudyDone {
+                study: runner.id.clone(),
+                best_loss: *best_loss,
+                n_evaluations: *n_evaluations as u64,
+            },
+            StudyStatus::Cancelled => ObsEvent::StudyCancelled {
+                study: runner.id.clone(),
+            },
+            StudyStatus::Failed { error } => ObsEvent::StudyFailed {
+                study: runner.id.clone(),
+                error: error.clone(),
+            },
+            StudyStatus::Running => unreachable!("driver always ends terminal"),
+        });
         *runner.state.lock().expect("study state lock") = status;
     });
     *study.handle.lock().expect("study handle lock") = Some(handle);
@@ -233,12 +269,22 @@ fn fit_study(
         shared_pool: Some(pool),
         // Fair share: each of the k active studies may occupy at most
         // workers/k slots per batch, re-read every batch so capacity
-        // rebalances as studies come and go.
-        batch_cap: Some(Arc::new(move || {
-            (workers / active.load(Ordering::SeqCst).max(1)).max(1)
+        // rebalances as studies come and go. Each decision is also
+        // recorded (granted vs. requested share, decision count) so a
+        // scrape can see how contention squeezed this tenant.
+        batch_cap: Some(Arc::new({
+            let sched_metrics = Arc::clone(&study.metrics);
+            move || {
+                let share = (workers / active.load(Ordering::SeqCst).max(1)).max(1);
+                sched_metrics.inc_counter("sched.batch_cap_decisions", 1);
+                sched_metrics.set_gauge("sched.share_granted", share as f64);
+                sched_metrics.set_gauge("sched.share_requested", workers as f64);
+                share
+            }
         })),
         stop_flag: Some(Arc::clone(&study.stop)),
         shared_metrics: Some(Arc::clone(&study.metrics)),
+        event_bus: Some(Arc::clone(&study.bus)),
         ..VolcanoMlOptions::default()
     };
     let engine = VolcanoML::with_tier(data.task, study.spec.tier, options);
@@ -301,6 +347,18 @@ mod tests {
         }
         assert!(dir.join("result.json").exists());
         assert!(dir.join("journal.jsonl").exists());
+        // The live bus saw the full lifecycle: submit first, terminal last,
+        // with the trials in between.
+        let events = study.bus.read_after(None);
+        assert_eq!(events.first().unwrap().event.kind(), "StudySubmitted");
+        assert_eq!(events.last().unwrap().event.kind(), "StudyDone");
+        assert!(
+            events.iter().any(|e| e.event.kind() == "TrialFinished"),
+            "no TrialFinished events on the bus"
+        );
+        // Fair-share instrumentation fired at least once per batch.
+        assert!(study.metrics.counter("sched.batch_cap_decisions") >= 1);
+        assert_eq!(study.metrics.gauge("sched.share_requested"), Some(2.0));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

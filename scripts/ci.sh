@@ -50,7 +50,9 @@ EOF
 
 echo "== smoke: traced fit + report =="
 SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR"' EXIT
+# Kill any background servers/streams on the way out so a failed assertion
+# can't leave a daemon spinning (or holding CI's stdout pipe open).
+trap 'kill -9 $(jobs -p) 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
 VOLCANOML=target/release/volcanoml
 "$VOLCANOML" generate moons "$SMOKE_DIR/data.csv" --seed 7
 "$VOLCANOML" fit "$SMOKE_DIR/data.csv" --evals 10 --tier small --workers 4 \
@@ -147,6 +149,97 @@ for line in open(f"{d}/journal.jsonl"):
 assert len(ids) == len(set(ids)), "duplicate trial ids after crash-resume"
 assert all(a >= b for a, b in zip(best_seen, best_seen[1:])), "best loss regressed"
 print(f"crash-resume smoke ok: {len(ids)} trials, unique ids, best loss {best:.4f}")
+EOF
+
+echo "== smoke: live observability (/metrics scrape + SSE stream mid-run) =="
+OBS_DIR="$SMOKE_DIR/obsserve"
+"$VOLCANOML" serve --dir "$OBS_DIR" --port 0 --workers 2 --log-requests &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$OBS_DIR/serve.addr" ] && break
+    sleep 0.1
+done
+ADDR="$(cat "$OBS_DIR/serve.addr")"
+# mfes-hb like the crash-resume smoke: long enough for a mid-run window,
+# and (unlike random with a large budget) guaranteed to terminate even if
+# the tier's distinct-config space is smaller than the budget. An 8000-row
+# dataset (vs the 500-row synthetic toys) keeps per-trial cost well above
+# the fixed per-trial recording cost, so the 1% overhead gate below
+# measures a real ratio instead of noise around sub-millisecond trials.
+python3 - "$SMOKE_DIR/obs_data.csv" <<'EOF'
+import random, sys
+rng = random.Random(13)
+with open(sys.argv[1], "w") as f:
+    cols = [f"f{i}" for i in range(12)]
+    f.write("#types:" + ",".join(["n"] * 12) + ",label\n")
+    f.write(",".join(cols) + ",target\n")
+    for _ in range(8000):
+        y = rng.randint(0, 1)
+        row = [rng.gauss(0.9 if (y and i < 6) else 0.0, 1.0) for i in range(12)]
+        f.write(",".join(f"{v:.6f}" for v in row) + f",{y}\n")
+EOF
+curl -fsS -X POST "http://$ADDR/studies" -d \
+    "{\"name\":\"obs\",\"csv\":\"$SMOKE_DIR/obs_data.csv\",\"engine\":\"mfes-hb\",\"max_evaluations\":60,\"seed\":13}" \
+    >/dev/null
+# Stream the study's event feed in the background while it runs.
+STREAM="$SMOKE_DIR/obs_events.txt"
+curl -sN --max-time 120 "http://$ADDR/studies/obs/events" > "$STREAM" &
+CURL_PID=$!
+# Mid-run: the stream must yield at least one TrialFinished BEFORE the study
+# writes its terminal result.json.
+TRIAL_SEEN=0
+for _ in $(seq 1 600); do
+    if grep -q "event: TrialFinished" "$STREAM" 2>/dev/null; then
+        [ ! -f "$OBS_DIR/obs/result.json" ] && TRIAL_SEEN=1
+        break
+    fi
+    sleep 0.05
+done
+[ "$TRIAL_SEEN" -eq 1 ] || { echo "stream yielded no TrialFinished before completion"; exit 1; }
+# Mid-run scrape: must be valid Prometheus exposition with live trial counters.
+curl -fsS "http://$ADDR/metrics" > "$SMOKE_DIR/obs_scrape.txt"
+python3 - "$SMOKE_DIR/obs_scrape.txt" <<'EOF'
+import re, sys
+line_re = re.compile(r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? (-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN)$')
+trials = 0.0
+names = set()
+for line in open(sys.argv[1]):
+    line = line.rstrip("\n")
+    if not line or line.startswith("#"):
+        continue
+    assert line_re.match(line), f"invalid exposition line: {line!r}"
+    name = line.split("{")[0].split(" ")[0]
+    names.add(name)
+    if line.startswith('volcanoml_trial_total{study="obs"}'):
+        trials = float(line.rsplit(" ", 1)[1])
+assert trials > 0, "mid-run scrape shows no finished trials for study obs"
+for want in ("volcanoml_serve_pool_workers", "volcanoml_serve_uptime_seconds",
+             "volcanoml_http_requests_total"):
+    assert want in names, f"scrape missing {want}"
+print(f"observability scrape ok: {trials:.0f} trials mid-run, {len(names)} series families")
+EOF
+for _ in $(seq 1 1200); do
+    [ -f "$OBS_DIR/obs/result.json" ] && break
+    sleep 0.1
+done
+[ -f "$OBS_DIR/obs/result.json" ] || { echo "observability study did not finish"; exit 1; }
+wait "$CURL_PID" 2>/dev/null || true
+grep -q "event: StudyDone" "$STREAM" || { echo "stream missed terminal StudyDone"; exit 1; }
+kill -9 "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+# The observability plane must prove its own cost: time spent recording
+# metrics/traces/events stays within ~1% of total trial wall time.
+python3 - "$OBS_DIR/obs/metrics.json" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+overhead = m["histograms"]["obs.self_overhead_s"]["sum"]
+total = m["gauges"]["run.total_cost_s"]
+assert total > 0, f"no trial time recorded: {total}"
+budget = max(0.01 * total, 0.002)  # 1%, with a tiny floor for sub-second runs
+assert overhead <= budget, \
+    f"observability overhead {overhead * 1e3:.3f}ms exceeds budget {budget * 1e3:.3f}ms ({total:.3f}s of trials)"
+print(f"overhead smoke ok: {overhead * 1e3:.3f}ms of accounting over {total:.3f}s of trials "
+      f"({100 * overhead / total:.3f}%)")
 EOF
 
 echo "CI checks passed."

@@ -77,6 +77,7 @@ fn two_tenants_share_the_pool_and_both_finish() {
         workers: 2,
         port: 0,
         resume: false,
+        ..ServeConfig::default()
     })
     .unwrap();
     let addr = server.addr();
@@ -161,6 +162,7 @@ fn truncated_journal_study_resumes_to_the_same_answer() {
         workers: 2,
         port: 0,
         resume: false,
+        ..ServeConfig::default()
     })
     .unwrap();
     let (code, body) = request(server.addr(), "POST", "/studies", spec);
@@ -194,6 +196,7 @@ fn truncated_journal_study_resumes_to_the_same_answer() {
         workers: 2,
         port: 0,
         resume: false,
+        ..ServeConfig::default()
     })
     .unwrap();
     let (code, body) = request(server.addr(), "GET", "/studies/resume-me", "");
@@ -208,6 +211,7 @@ fn truncated_journal_study_resumes_to_the_same_answer() {
         workers: 2,
         port: 0,
         resume: true,
+        ..ServeConfig::default()
     })
     .unwrap();
     let body = wait_for_status(server.addr(), "resume-me", "done", Duration::from_secs(60));
@@ -239,6 +243,7 @@ fn cancellation_and_error_routes_behave() {
         workers: 1,
         port: 0,
         resume: false,
+        ..ServeConfig::default()
     })
     .unwrap();
     let addr = server.addr();
