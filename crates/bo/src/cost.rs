@@ -1,0 +1,155 @@
+//! Cost surrogate for cost-aware acquisition (FLAML-style EI-per-second).
+//!
+//! A second [`RandomForestSurrogate`] fit on `log(cost)` of the same
+//! observations the loss surrogate sees. Costs span orders of magnitude
+//! (a decision stump at fidelity 0.1 vs. a deep forest at full fidelity),
+//! so the log transform keeps the forest's MSE splits from being dominated
+//! by the expensive tail. Predictions are exponentiated back and floored
+//! at a small positive epsilon so EI-per-cost ratios stay finite.
+//!
+//! The model deliberately refuses to predict until it has seen
+//! [`CostModel::WARMUP`] real cost observations — early in a run the cost
+//! signal is one or two points, and dividing EI by a surrogate
+//! extrapolated from those would distort the search far more than staying
+//! cost-blind for a few more trials.
+
+use crate::surrogate::RandomForestSurrogate;
+use rand::rngs::StdRng;
+
+/// Floor applied to predicted costs: keeps EI/cost finite even when the
+/// forest extrapolates to (numerically) free configurations.
+const MIN_PREDICTED_COST: f64 = 1e-9;
+
+/// Random-forest model of `log(trial cost)` over encoded configurations.
+#[derive(Debug)]
+pub struct CostModel {
+    surrogate: RandomForestSurrogate,
+    /// Real (finite, positive-cost) observations seen at last refit.
+    n_obs: usize,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::new()
+    }
+}
+
+impl CostModel {
+    /// Real cost observations required before predictions are trusted.
+    pub const WARMUP: usize = 8;
+
+    /// An unfitted cost model.
+    pub fn new() -> Self {
+        CostModel {
+            surrogate: RandomForestSurrogate::new(),
+            n_obs: 0,
+        }
+    }
+
+    /// Refits on aligned `(encoding, cost)` pairs. Rows with non-finite or
+    /// non-positive cost are dropped — cached replays journal cost 0 and
+    /// constant-liar pseudo-observations lie at cost 0; neither is a real
+    /// measurement of anything.
+    pub fn refit(&mut self, xs: &[Vec<f64>], costs: &[f64], rng: &mut StdRng) {
+        let mut fx: Vec<Vec<f64>> = Vec::new();
+        let mut fy: Vec<f64> = Vec::new();
+        for (x, &c) in xs.iter().zip(costs) {
+            if c.is_finite() && c > 0.0 {
+                fx.push(x.clone());
+                fy.push(c.ln());
+            }
+        }
+        self.n_obs = fx.len();
+        self.surrogate.fit(&fx, &fy, rng);
+    }
+
+    /// Whether enough real cost data has been seen to trust predictions.
+    pub fn ready(&self) -> bool {
+        self.n_obs >= Self::WARMUP && self.surrogate.is_fitted()
+    }
+
+    /// Number of real cost observations behind the current fit.
+    pub fn observations(&self) -> usize {
+        self.n_obs
+    }
+
+    /// Predicted cost (seconds) for an encoded configuration, floored to a
+    /// small positive value. Meaningful only when [`CostModel::ready`].
+    pub fn predict_cost(&self, x: &[f64]) -> f64 {
+        let (log_mean, _) = self.surrogate.predict(x);
+        log_mean.exp().max(MIN_PREDICTED_COST)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::from_seed;
+
+    fn grid(costs: impl Fn(f64) -> f64, n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| costs(x[0])).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn warmup_gate_holds_until_enough_real_observations() {
+        let mut cm = CostModel::new();
+        assert!(!cm.ready());
+        let mut rng = from_seed(0);
+        let (xs, ys) = grid(|x| 1.0 + x, CostModel::WARMUP - 1);
+        cm.refit(&xs, &ys, &mut rng);
+        assert!(!cm.ready(), "below warm-up threshold must stay not-ready");
+        let (xs, ys) = grid(|x| 1.0 + x, CostModel::WARMUP);
+        cm.refit(&xs, &ys, &mut rng);
+        assert!(cm.ready());
+    }
+
+    #[test]
+    fn zero_and_infinite_costs_are_excluded_from_the_fit() {
+        let mut cm = CostModel::new();
+        let mut rng = from_seed(1);
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0]).collect();
+        // Half the rows are cache-replay zeros / timed-out infs.
+        let ys: Vec<f64> = (0..20)
+            .map(|i| match i % 4 {
+                0 => 0.0,
+                1 => f64::INFINITY,
+                _ => 2.0,
+            })
+            .collect();
+        cm.refit(&xs, &ys, &mut rng);
+        assert_eq!(cm.observations(), 10);
+        assert!(cm.ready());
+        // All real costs are 2.0; the prediction must reflect that, not be
+        // dragged toward 0 by the excluded rows.
+        let p = cm.predict_cost(&[0.5]);
+        assert!((p - 2.0).abs() < 0.5, "predicted {p}, want ≈ 2.0");
+    }
+
+    #[test]
+    fn predicts_orders_of_magnitude_separation() {
+        let mut cm = CostModel::new();
+        let mut rng = from_seed(2);
+        // Cheap region (x < 0.5): cost ~0.01; expensive region: cost ~10.
+        let (xs, ys) = grid(|x| if x < 0.5 { 0.01 } else { 10.0 }, 40);
+        cm.refit(&xs, &ys, &mut rng);
+        assert!(cm.ready());
+        let cheap = cm.predict_cost(&[0.1]);
+        let dear = cm.predict_cost(&[0.9]);
+        assert!(
+            dear > cheap * 10.0,
+            "cost model must separate regimes: cheap={cheap} dear={dear}"
+        );
+    }
+
+    #[test]
+    fn predictions_are_floored_positive() {
+        let mut cm = CostModel::new();
+        let mut rng = from_seed(3);
+        let (xs, ys) = grid(|_| 1e-300_f64.max(f64::MIN_POSITIVE), 12);
+        cm.refit(&xs, &ys, &mut rng);
+        let p = cm.predict_cost(&[0.5]);
+        assert!(p > 0.0 && p.is_finite());
+    }
+}

@@ -9,12 +9,14 @@
 //! standard SMAC practice — rather than a reuse of the model zoo's forest.
 
 pub mod acquisition;
+pub mod cost;
 pub mod history;
 pub mod multifidelity;
 pub mod optimizer;
 pub mod space;
 pub mod surrogate;
 
+pub use cost::CostModel;
 pub use history::{Observation, RunHistory};
 pub use multifidelity::{Hyperband, MfesHb, SuccessiveHalving};
 pub use optimizer::{ObserveEvent, ObserveHook, RandomSearch, Smac, Suggest};

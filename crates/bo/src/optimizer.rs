@@ -1,7 +1,8 @@
 //! Sequential optimizers with an ask/tell interface: random search and a
 //! SMAC-style BO loop (RF surrogate + EI).
 
-use crate::acquisition::maximize_ei;
+use crate::acquisition::{maximize_acquisition, AcquisitionScore};
+use crate::cost::CostModel;
 use crate::history::{Observation, RunHistory};
 use crate::space::{ConfigSpace, Configuration};
 use crate::surrogate::RandomForestSurrogate;
@@ -110,6 +111,15 @@ pub trait Suggest {
     /// the state of the uninterrupted run. Default: nothing — full-fidelity
     /// engines carry no scheduler state beyond their history.
     fn capture_scheduler_state(&self, _path: &str, _out: &mut Vec<String>) {}
+
+    /// Turns cost-aware scheduling on or off. Cost-aware engines score
+    /// acquisitions by EI per predicted second and promote by
+    /// loss-improvement per second; cost-blind engines (and the default)
+    /// ignore the call entirely, so enabling it on e.g. random search is a
+    /// harmless no-op. Must be called before the first `suggest` — engines
+    /// do not support switching modes mid-run (the surrogate rng stream
+    /// would diverge from a resume replay).
+    fn set_cost_aware(&mut self, _enabled: bool) {}
 }
 
 /// Uniform random search (always full fidelity).
@@ -176,6 +186,12 @@ pub struct Smac {
     suggestions: usize,
     stale: bool,
     hook: HookSlot,
+    /// When set, acquisition is EI per predicted second (see
+    /// [`crate::cost::CostModel`]). Off by default; toggling draws extra
+    /// rng for the cost-model fit, so it must be set before the run starts
+    /// and match on resume.
+    cost_aware: bool,
+    cost_model: CostModel,
 }
 
 impl Smac {
@@ -191,7 +207,14 @@ impl Smac {
             suggestions: 0,
             stale: true,
             hook: HookSlot::default(),
+            cost_aware: false,
+            cost_model: CostModel::new(),
         }
+    }
+
+    /// The cost model (for tests and state capture).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
     }
 
     fn refit(&mut self) {
@@ -207,6 +230,17 @@ impl Smac {
         let xs: Vec<Vec<f64>> = full.iter().map(|o| self.space.encode(&o.config)).collect();
         let ys: Vec<f64> = full.iter().map(|o| o.loss).collect();
         self.surrogate.fit(&xs, &ys, &mut self.rng);
+        // The cost model trains on *every* observation with a real cost —
+        // a trial that failed still spent real seconds. Fit strictly after
+        // the loss surrogate and only in cost-aware mode so the cost-blind
+        // rng stream (and hence resumes of cost-blind studies) is
+        // byte-identical to before this feature existed.
+        if self.cost_aware {
+            let all = self.history.observations();
+            let cxs: Vec<Vec<f64>> = all.iter().map(|o| self.space.encode(&o.config)).collect();
+            let costs: Vec<f64> = all.iter().map(|o| o.cost).collect();
+            self.cost_model.refit(&cxs, &costs, &mut self.rng);
+        }
         self.stale = false;
     }
 }
@@ -227,13 +261,19 @@ impl Suggest for Smac {
         }
         let best_loss = self.history.best_loss().unwrap_or(1.0);
         let incumbent = self.history.best().map(|o| o.config.clone());
-        let cfg = maximize_ei(
+        let score = if self.cost_aware {
+            AcquisitionScore::EiPerCost(&self.cost_model)
+        } else {
+            AcquisitionScore::Ei
+        };
+        let cfg = maximize_acquisition(
             &self.space,
             &self.surrogate,
             incumbent.as_ref(),
             best_loss,
             300,
             20,
+            score,
             &mut self.rng,
         );
         (cfg, 1.0)
@@ -295,6 +335,23 @@ impl Suggest for Smac {
 
     fn set_observe_hook(&mut self, hook: ObserveHook) {
         self.hook.0 = Some(hook);
+    }
+
+    fn set_cost_aware(&mut self, enabled: bool) {
+        self.cost_aware = enabled;
+    }
+
+    /// Cost-aware runs add the cost model's fit summary to the snapshot so
+    /// crash-resume verification proves the replayed cost model saw the
+    /// same data. Cost-blind captures are unchanged (no extra lines).
+    fn capture_scheduler_state(&self, path: &str, out: &mut Vec<String>) {
+        if self.cost_aware {
+            out.push(format!(
+                "{path} smac cost_model obs={} ready={}",
+                self.cost_model.observations(),
+                self.cost_model.ready()
+            ));
+        }
     }
 }
 
@@ -477,6 +534,85 @@ mod tests {
         let last = events.last().unwrap();
         assert_eq!(last.n_observations, 12);
         assert!(last.incumbent_loss <= last.loss);
+    }
+
+    /// Two branches with *equal* best loss (0.1) but a 10x cost gap:
+    /// branch 0 is cheap-good, branch 1 expensive-equal.
+    fn symmetric_objective(space: &ConfigSpace, c: &Configuration) -> (f64, f64) {
+        let m = space.to_map(c);
+        let branch = *m.get("branch").unwrap_or(&0.0) as usize;
+        match branch {
+            0 => {
+                let x = *m.get("x0").unwrap_or(&0.5);
+                (0.1 + (x - 0.2).powi(2), 1.0)
+            }
+            _ => {
+                let x = *m.get("x1").unwrap_or(&0.5);
+                (0.1 + (x - 0.8).powi(2), 10.0)
+            }
+        }
+    }
+
+    /// Drives `opt` until the incumbent reaches `target` (or `max_n`
+    /// trials), returning total evaluation cost spent.
+    fn cost_to_target(opt: &mut Smac, target: f64, max_n: usize) -> f64 {
+        let mut total = 0.0;
+        for _ in 0..max_n {
+            let (cfg, fidelity) = opt.suggest();
+            let (loss, cost) = symmetric_objective(opt.space(), &cfg);
+            total += cost;
+            opt.observe(cfg, fidelity, loss, cost);
+            if opt.history().best_loss().is_some_and(|b| b <= target) {
+                break;
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn cost_aware_reaches_target_cheaper_on_cheap_good_vs_expensive_equal() {
+        // Aggregated across seeds, EI-per-second must reach the target at
+        // strictly less total cost than cost-blind EI — the two branches
+        // offer the same loss, so steering by cost is pure win.
+        // Tight enough that runs outlast the cost model's warm-up — an easy
+        // target is hit during the random initial design where cost-aware
+        // and cost-blind coincide by construction.
+        let target = 0.1005;
+        let mut blind_total = 0.0;
+        let mut aware_total = 0.0;
+        for seed in 0..10 {
+            let mut blind = Smac::new(branch_space(), seed);
+            blind_total += cost_to_target(&mut blind, target, 250);
+            let mut aware = Smac::new(branch_space(), seed);
+            aware.set_cost_aware(true);
+            aware_total += cost_to_target(&mut aware, target, 250);
+        }
+        assert!(
+            aware_total < blind_total,
+            "cost-aware spent {aware_total:.1}, cost-blind {blind_total:.1}"
+        );
+    }
+
+    #[test]
+    fn cost_aware_matches_cost_blind_during_initial_design() {
+        // Before the surrogate activates (history < n_init), no refit runs,
+        // so cost-aware and cost-blind draw from identical rng streams and
+        // must produce identical suggestions. (Past that point the extra
+        // cost-model fit advances the rng, so only distributional — not
+        // bitwise — equivalence holds until the warm-up threshold.)
+        let mut blind = Smac::new(branch_space(), 3);
+        let mut aware = Smac::new(branch_space(), 3);
+        aware.set_cost_aware(true);
+        let n = blind.n_init;
+        for _ in 0..n {
+            let (cb, fb) = blind.suggest();
+            let (ca, fa) = aware.suggest();
+            assert_eq!(cb.values, ca.values);
+            assert_eq!(fb, fa);
+            let (loss, cost) = symmetric_objective(blind.space(), &cb);
+            blind.observe(cb, fb, loss, cost);
+            aware.observe(ca, fa, loss, cost);
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //!                        [--plan p1|p2|p3|p4|p5] [--engine bo|random|sh|hyperband|mfes-hb]
 //!                        [--seed S] [--cv K] [--ensemble N] [--smote]
 //!                        [--workers N] [--n-jobs N] [--f32-bins]
+//!                        [--cost-aware] [--objective loss|loss_and_cost[:WEIGHT]]
 //!                        [--journal trials.jsonl] [--trace trace.jsonl]
 //!                        [--metrics metrics.json] [--trial-timeout SECS]
 //! volcanoml spaces                      # print the tiered search-space sizes
@@ -20,7 +21,8 @@
 use std::process::ExitCode;
 use volcanoml_core::plans::enumerate_coarse_plans;
 use volcanoml_core::{
-    EngineKind, PlanSpec, SpaceDef, SpaceTier, ValidationStrategy, VolcanoML, VolcanoMlOptions,
+    EngineKind, Objective, PlanSpec, SpaceDef, SpaceTier, ValidationStrategy, VolcanoML,
+    VolcanoMlOptions,
 };
 use volcanoml_data::{train_test_split, Metric, Task};
 use volcanoml_fe::pipeline::FeSpaceOptions;
@@ -29,6 +31,7 @@ fn usage() -> &'static str {
     "usage:\n  volcanoml fit <data.csv> [--evals N] [--tier small|medium|large] \
      [--plan p1|p2|p3|p4|p5] [--engine bo|random|sh|hyperband|mfes-hb] [--seed S] \
      [--cv K] [--ensemble N] [--smote] [--workers N] [--n-jobs N] [--f32-bins] \
+     [--cost-aware] [--objective loss|loss_and_cost[:WEIGHT]] \
      [--journal trials.jsonl] [--trace trace.jsonl] [--metrics metrics.json] \
      [--trial-timeout SECS]\n  volcanoml spaces\n  \
      volcanoml plans\n  \
@@ -54,7 +57,10 @@ impl Flags {
                 return Err(format!("unexpected argument '{a}'"));
             };
             // Switch-style flags take no value.
-            if matches!(key, "smote" | "live" | "resume" | "f32-bins" | "log-requests") {
+            if matches!(
+                key,
+                "smote" | "live" | "resume" | "f32-bins" | "log-requests" | "cost-aware"
+            ) {
                 switches.push(key.to_string());
                 i += 1;
                 continue;
@@ -109,6 +115,31 @@ fn parse_engine(s: &str) -> Result<EngineKind, String> {
     }
 }
 
+/// `loss` or `loss_and_cost[:WEIGHT]` (WEIGHT defaults to 100 loss units
+/// per second of per-row inference latency).
+fn parse_objective(s: &str) -> Result<Objective, String> {
+    if s == "loss" {
+        return Ok(Objective::Loss);
+    }
+    let Some(rest) = s.strip_prefix("loss_and_cost") else {
+        return Err(format!("unknown objective '{s}' (use loss|loss_and_cost[:WEIGHT])"));
+    };
+    let latency_weight = match rest.strip_prefix(':') {
+        None if rest.is_empty() => 100.0,
+        Some(w) => {
+            let w: f64 = w
+                .parse()
+                .map_err(|_| format!("invalid objective weight '{w}'"))?;
+            if !w.is_finite() || w < 0.0 {
+                return Err(format!("objective weight {w} must be finite and >= 0"));
+            }
+            w
+        }
+        None => return Err(format!("unknown objective '{s}'")),
+    };
+    Ok(Objective::LossAndCost { latency_weight })
+}
+
 fn parse_plan(s: &str, engine: EngineKind) -> Result<PlanSpec, String> {
     enumerate_coarse_plans(engine)
         .into_iter()
@@ -147,6 +178,8 @@ fn cmd_fit(args: &[String]) -> Result<(), String> {
     }
     // f32 feature storage for histogram binning in tree forests.
     let f32_bins = flags.has("f32-bins");
+    let cost_aware = flags.has("cost-aware");
+    let objective = parse_objective(flags.get("objective").unwrap_or("loss"))?;
     let journal_path = flags.get("journal").map(std::path::PathBuf::from);
     let trace_path = flags.get("trace").map(std::path::PathBuf::from);
     let metrics_path = flags.get("metrics").map(std::path::PathBuf::from);
@@ -213,6 +246,8 @@ fn cmd_fit(args: &[String]) -> Result<(), String> {
             metrics_path: metrics_path.clone(),
             model_n_jobs: n_jobs,
             model_f32: f32_bins,
+            cost_aware,
+            objective,
             ..Default::default()
         },
     );
@@ -224,6 +259,12 @@ fn cmd_fit(args: &[String]) -> Result<(), String> {
     }
     if f32_bins {
         println!("binning tree-forest features from f32 storage");
+    }
+    if cost_aware {
+        println!("cost-aware scheduling: EI-per-second acquisition, loss-per-second promotion");
+    }
+    if let Objective::LossAndCost { latency_weight } = objective {
+        println!("objective: loss + {latency_weight} x per-row inference seconds");
     }
     let fitted = engine.fit(&train).map_err(|e| e.to_string())?;
     println!("\nexecution plan after the run:\n{}", fitted.report.plan_explain);
@@ -267,6 +308,13 @@ fn cmd_fit(args: &[String]) -> Result<(), String> {
             .map(|(f, n)| format!("{f:.3}x{n}"))
             .collect();
         println!("fidelity mix: {}", mix.join(", "));
+    }
+    if !r.pareto_front.is_empty() && objective.is_cost_sensitive() {
+        println!("\nloss / inference-latency Pareto front:");
+        for (assignment, loss, infer) in &r.pareto_front {
+            let alg = assignment.get("algorithm").copied().unwrap_or(-1.0);
+            println!("  loss {loss:.4}  infer {:.2}us/row  algorithm {alg:.0}", infer * 1e6);
+        }
     }
     let metric = Metric::default_for(dataset.task);
     let score = fitted.score(&test, metric).map_err(|e| e.to_string())?;
@@ -477,6 +525,33 @@ mod tests {
             parse_plan(p, EngineKind::Bo).unwrap();
         }
         assert!(parse_plan("p9", EngineKind::Bo).is_err());
+    }
+
+    #[test]
+    fn objective_flag_parses_and_rejects() {
+        assert_eq!(parse_objective("loss").unwrap(), Objective::Loss);
+        assert_eq!(
+            parse_objective("loss_and_cost").unwrap(),
+            Objective::LossAndCost { latency_weight: 100.0 }
+        );
+        assert_eq!(
+            parse_objective("loss_and_cost:2.5").unwrap(),
+            Objective::LossAndCost { latency_weight: 2.5 }
+        );
+        assert!(parse_objective("latency").is_err());
+        assert!(parse_objective("loss_and_cost:-1").is_err());
+        assert!(parse_objective("loss_and_cost:nope").is_err());
+    }
+
+    #[test]
+    fn cost_aware_switch_parses() {
+        let args: Vec<String> = ["--cost-aware", "--objective", "loss_and_cost:10"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = Flags::parse(&args).unwrap();
+        assert!(f.has("cost-aware"));
+        assert_eq!(f.get("objective"), Some("loss_and_cost:10"));
     }
 
     #[test]

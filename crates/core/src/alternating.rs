@@ -221,6 +221,11 @@ impl BuildingBlock for AlternatingBlock {
         self.right.block.set_fixed(fixed);
     }
 
+    fn set_cost_aware(&mut self, enabled: bool) {
+        self.left.block.set_cost_aware(enabled);
+        self.right.block.set_cost_aware(enabled);
+    }
+
     fn trajectory(&self) -> Vec<f64> {
         let lt = self.left.block.trajectory();
         let rt = self.right.block.trajectory();

@@ -5,6 +5,7 @@ use crate::block::Assignment;
 use crate::ensemble::Ensemble;
 use crate::evaluator::{Evaluator, ValidationStrategy};
 use crate::metalearn::MetaBase;
+use crate::objective::Objective;
 use crate::plan::{EngineKind, PlanSpec};
 use crate::spaces::{SpaceDef, SpaceTier};
 use crate::study::StudyState;
@@ -41,6 +42,20 @@ pub struct VolcanoMlOptions {
     pub ensemble_size: usize,
     /// How pipeline quality is measured during search.
     pub validation: ValidationStrategy,
+    /// Feed measured trial cost back into the engines: BO leaves switch to
+    /// EI-per-second acquisition (backed by a cost surrogate over observed
+    /// wall times), and multi-fidelity leaves promote by loss-improvement
+    /// per second and calibrate bracket floors from measured per-fidelity
+    /// costs. Search *results* stay loss-optimal; cost only reorders which
+    /// candidates get evaluated first.
+    pub cost_aware: bool,
+    /// What the search minimizes: plain validation loss, or a scalarized
+    /// loss + weighted inference-latency trade-off
+    /// ([`Objective::LossAndCost`]). The scalarized value is what engines
+    /// observe and journals record, so resume replay stays bitwise; the
+    /// report additionally extracts the `(loss, inference_cost)` Pareto
+    /// front.
+    pub objective: Objective,
     /// Worker threads for trial execution. With `n_workers > 1` the engine
     /// pulls *batches* of trials from the plan (`do_next_batch`) and runs
     /// them concurrently on an [`ExecPool`].
@@ -108,6 +123,8 @@ impl Default for VolcanoMlOptions {
             warm_start: Vec::new(),
             ensemble_size: 1,
             validation: ValidationStrategy::default(),
+            cost_aware: false,
+            objective: Objective::Loss,
             n_workers: 1,
             trial_deadline: None,
             journal_path: None,
@@ -172,6 +189,15 @@ pub struct AutoMlReport {
     pub bytes_gathered: u64,
     /// Feature-matrix accesses served zero-copy by a full dataset view.
     pub gathers_skipped: u64,
+    /// Non-dominated `(assignment, loss, inference_seconds)` points over
+    /// the distinct full-fidelity pipelines the search evaluated — the
+    /// loss-vs-serving-latency trade-offs none of which is strictly better
+    /// than another. Under [`Objective::LossAndCost`] the loss coordinate
+    /// is the scalarized value the search minimized. Journal-replayed
+    /// trials carry inference cost 0 (the decomposition is not journaled),
+    /// so resumed studies under-report the latency coordinate for
+    /// pre-crash trials.
+    pub pareto_front: Vec<(Assignment, f64, f64)>,
 }
 
 /// The fitted artifact: single pipeline or ensemble, plus the report.
@@ -277,6 +303,7 @@ impl VolcanoML {
         };
         evaluator.set_model_n_jobs(self.options.model_n_jobs);
         evaluator.set_model_f32(self.options.model_f32);
+        evaluator.set_objective(self.options.objective);
         let pool: Option<Arc<ExecPool>> = if let Some(pool) = &self.options.shared_pool {
             Some(Arc::clone(pool))
         } else if self.options.n_workers > 1 || self.options.trial_deadline.is_some() {
@@ -287,10 +314,22 @@ impl VolcanoML {
             None
         };
         let mut root = self.options.plan.compile(&self.space, self.options.seed)?;
+        if self.options.cost_aware {
+            root.set_cost_aware(true);
+        }
 
         let start = Instant::now();
+        // Saturation guard: `evaluations()` counts only non-cached trials,
+        // so on a space whose distinct configs run out before the budget
+        // does, an engine would draw cached duplicates forever without
+        // ever advancing the counter. A long unbroken run of cache hits
+        // (comfortably above any engine's legitimate duplicate rate, and
+        // scaled with batch width so one pooled pull can't trip it) means
+        // there is nothing fresh left to draw — treat it as out of budget.
+        let saturation_limit = 16usize.max(2 * self.options.n_workers.max(1));
         let out_of_budget = |evaluator: &Evaluator| {
             evaluator.evaluations() >= self.options.max_evaluations
+                || evaluator.consecutive_cached() >= saturation_limit
                 || self
                     .options
                     .time_budget
@@ -412,6 +451,35 @@ impl VolcanoML {
             }
         }
 
+        // Pareto front over the same distinct full-fidelity pipelines:
+        // scalarization drives the search to one number, the front recovers
+        // the (loss, inference latency) trade-offs it collapsed.
+        let pareto_front: Vec<(Assignment, f64, f64)> = {
+            let mut seen = std::collections::HashSet::new();
+            let mut entries: Vec<_> = log
+                .iter()
+                .filter(|e| e.fidelity >= 1.0 - 1e-9 && e.loss.is_finite())
+                .collect();
+            entries.sort_by(|a, b| a.loss.total_cmp(&b.loss));
+            let mut candidates: Vec<(Assignment, f64, f64)> = Vec::new();
+            for e in entries {
+                let mut kv: Vec<(String, u64)> = e
+                    .assignment
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_bits()))
+                    .collect();
+                kv.sort();
+                if seen.insert(kv) {
+                    candidates.push((e.assignment.clone(), e.loss, e.infer_cost));
+                }
+            }
+            let points: Vec<(f64, f64)> = candidates.iter().map(|c| (c.1, c.2)).collect();
+            crate::objective::pareto_front(&points)
+                .into_iter()
+                .map(|i| candidates[i].clone())
+                .collect()
+        };
+
         // The fidelity mix exercised by the run (ascending): a multi-fidelity
         // engine that degraded to full-fidelity-only shows up immediately as
         // a single (1.0, n) entry here.
@@ -444,6 +512,7 @@ impl VolcanoML {
             fidelity_counts,
             bytes_gathered,
             gathers_skipped,
+            pareto_front,
         };
 
         // End-of-run observability: sample run-level figures into the
@@ -694,6 +763,86 @@ mod tests {
             engine.fit(&d).unwrap().report.best_loss
         };
         assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn cost_aware_search_is_deterministic_and_finds_a_model() {
+        let d = cls_data(12);
+        let run = || {
+            let mut options = quick_options(15);
+            options.cost_aware = true;
+            let engine = VolcanoML::with_tier(Task::Classification, SpaceTier::Small, options);
+            engine.fit(&d).unwrap().report.best_loss
+        };
+        let loss = run();
+        assert!(loss.is_finite() && loss < 0.5, "cost-aware best loss {loss}");
+        assert_eq!(loss, run());
+    }
+
+    #[test]
+    fn loss_and_cost_objective_yields_pareto_front() {
+        let d = cls_data(13);
+        let mut options = quick_options(15);
+        options.objective = Objective::LossAndCost { latency_weight: 10.0 };
+        let engine = VolcanoML::with_tier(Task::Classification, SpaceTier::Small, options);
+        let fitted = engine.fit(&d).unwrap();
+        let front = &fitted.report.pareto_front;
+        assert!(!front.is_empty());
+        for (_, loss, infer) in front {
+            assert!(loss.is_finite() && infer.is_finite() && *infer >= 0.0);
+        }
+        // No front member dominates another.
+        for (i, a) in front.iter().enumerate() {
+            for (j, b) in front.iter().enumerate() {
+                if i != j {
+                    let dom = a.1 <= b.1 && a.2 <= b.2 && (a.1 < b.1 || a.2 < b.2);
+                    assert!(!dom, "front member {i} dominates {j}");
+                }
+            }
+        }
+        // The incumbent's (scalarized) loss appears on the front: nothing
+        // can strictly beat the minimum of the loss coordinate.
+        assert!(front.iter().any(|(_, l, _)| *l == fitted.report.best_loss));
+    }
+
+    #[test]
+    fn exhausted_tiny_space_terminates_instead_of_spinning() {
+        // A space with exactly two distinct configs (the algorithm choice is
+        // the only variable) against a budget of 50: `evaluations()` only
+        // counts non-cached trials, so without the consecutive-cache
+        // saturation guard the random engine spins forever re-drawing the
+        // two cached configs. Run in a thread so a regression fails the
+        // test instead of hanging CI.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let space = SpaceDef {
+                task: Task::Classification,
+                algorithms: vec![
+                    volcanoml_models::AlgorithmKind::Logistic,
+                    volcanoml_models::AlgorithmKind::Knn,
+                ],
+                vars: vec![crate::spaces::VarDef {
+                    name: "algorithm".to_string(),
+                    domain: volcanoml_bo::Domain::Cat { n: 2 },
+                    default: 0.0,
+                    condition: None,
+                    group: crate::spaces::VarGroup::Algorithm,
+                }],
+                fe_options: volcanoml_fe::pipeline::FeSpaceOptions::default(),
+            };
+            let options = VolcanoMlOptions {
+                plan: PlanSpec::single_joint(EngineKind::Random),
+                max_evaluations: 50,
+                ..Default::default()
+            };
+            let engine = VolcanoML::new(space, options);
+            let fitted = engine.fit(&cls_data(14)).unwrap();
+            tx.send(fitted.report.n_evaluations).unwrap();
+        });
+        let n = rx
+            .recv_timeout(std::time::Duration::from_secs(120))
+            .expect("saturated search did not terminate");
+        assert!(n <= 3, "expected ~2 distinct evaluations, got {n}");
     }
 
     #[test]

@@ -72,6 +72,16 @@ pub trait BuildingBlock {
     /// these values for variables outside its own subspace from now on.
     fn set_fixed(&mut self, fixed: &Assignment);
 
+    /// Enables cost-aware scheduling in this block's subtree: joint leaves
+    /// forward to their engine (EI-per-second acquisition, loss-per-second
+    /// rung promotion), interior blocks forward to every child. Must be
+    /// called before the first `do_next` — engines do not support switching
+    /// modes mid-run. The default ignores the call (leaf engines without a
+    /// cost model are legitimately cost-blind).
+    fn set_cost_aware(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
     /// Best-so-far loss trajectory (one entry per full-fidelity evaluation
     /// this block performed) — the raw signal behind EU/EUI.
     fn trajectory(&self) -> Vec<f64>;

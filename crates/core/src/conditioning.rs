@@ -276,6 +276,12 @@ impl BuildingBlock for ConditioningBlock {
         }
     }
 
+    fn set_cost_aware(&mut self, enabled: bool) {
+        for arm in &mut self.arms {
+            arm.block.set_cost_aware(enabled);
+        }
+    }
+
     fn trajectory(&self) -> Vec<f64> {
         // Interleave child trajectories in global evaluation order is not
         // recoverable; use the merged best-so-far over per-arm trajectories

@@ -67,10 +67,17 @@ pub struct LogEntry {
     pub assignment: HashMap<String, f64>,
     /// Fidelity the evaluation ran at.
     pub fidelity: f64,
-    /// Observed loss.
+    /// Observed loss. Under a cost-sensitive [`Objective`] this is the
+    /// *scalarized* value (validation loss + weighted inference latency) —
+    /// the number every engine, journal row, and resume replay sees.
     pub loss: f64,
     /// Wall-clock cost in seconds.
     pub cost: f64,
+    /// Measured per-row inference seconds on the validation split (0.0 for
+    /// failed trials and journal-replayed rows, where the decomposition is
+    /// not recoverable). Lets reports extract a `(loss, inference_cost)`
+    /// Pareto front without unscalarizing.
+    pub infer_cost: f64,
 }
 
 /// Result of one pipeline evaluation.
@@ -169,6 +176,12 @@ struct EvalState {
     fold_plans: HashMap<u64, Arc<Vec<(DatasetView, DatasetView)>>>,
     evaluations: usize,
     total_cost: f64,
+    /// Cache hits since the last non-cached evaluation (replayed rows
+    /// mirror their original kind). Small spaces saturate: once every
+    /// distinct config is cached, an engine drawing against a
+    /// `max_evaluations` budget that only counts fresh trials would spin
+    /// forever — the budget check reads this to detect saturation.
+    consecutive_cached: usize,
     log: Vec<LogEntry>,
     /// Crash-resume replay table: `(assignment digest, fidelity bits)` →
     /// the journaled outcomes of the interrupted run, in journal order.
@@ -209,6 +222,11 @@ struct EvalShared {
     /// `f32_binning` parameter at build time. Losses may shift within f32
     /// rounding of the bin cut points.
     model_f32: AtomicBool,
+    /// What trials minimize: plain validation loss, or a scalarized loss +
+    /// inference-latency trade-off. Must be set before the first
+    /// evaluation — the scalarized value is what gets cached, journaled,
+    /// and observed, so switching mid-run would mix incomparable scales.
+    objective: Mutex<crate::objective::Objective>,
     state: Mutex<EvalState>,
     journal: Mutex<Option<Arc<Journal>>>,
     /// Always present (disabled by default) so blocks can open spans
@@ -263,12 +281,14 @@ impl Evaluator {
                 seed,
                 model_n_jobs: AtomicUsize::new(1),
                 model_f32: AtomicBool::new(false),
+                objective: Mutex::new(crate::objective::Objective::Loss),
                 state: Mutex::new(EvalState {
                     cache: BoundedCache::new(DEFAULT_CACHE_CAPACITY),
                     fe_cache: FeCache::new(DEFAULT_FE_CACHE_CAPACITY),
                     fold_plans: HashMap::new(),
                     evaluations: 0,
                     total_cost: 0.0,
+                    consecutive_cached: 0,
                     log: Vec::new(),
                     replay: HashMap::new(),
                 }),
@@ -293,6 +313,27 @@ impl Evaluator {
     /// Total number of (non-cached) evaluations performed.
     pub fn evaluations(&self) -> usize {
         self.state().evaluations
+    }
+
+    /// Cache hits since the last non-cached evaluation. A persistently
+    /// large value means the search keeps re-drawing already-evaluated
+    /// configs — on small spaces this signals budget saturation (there is
+    /// nothing fresh left to draw), which [`crate::automl`] treats as
+    /// out-of-budget instead of spinning forever.
+    pub fn consecutive_cached(&self) -> usize {
+        self.state().consecutive_cached
+    }
+
+    /// Sets the search objective. Must be called before the first
+    /// evaluation: the scalarized value is what gets cached, journaled,
+    /// and fed to the engines.
+    pub fn set_objective(&self, objective: crate::objective::Objective) {
+        *self.shared.objective.lock().expect("objective poisoned") = objective;
+    }
+
+    /// The active search objective.
+    pub fn objective(&self) -> crate::objective::Objective {
+        *self.shared.objective.lock().expect("objective poisoned")
     }
 
     /// Total wall-clock seconds spent in non-cached evaluations.
@@ -662,7 +703,14 @@ impl Evaluator {
             return self.replay_outcome(assignment, fidelity, key, row);
         }
         let journal = if journal_direct { self.journal() } else { None };
-        let cached = self.state().cache.get(&key);
+        let cached = {
+            let mut state = self.state();
+            let hit = state.cache.get(&key);
+            if hit.is_some() {
+                state.consecutive_cached += 1;
+            }
+            hit
+        };
         if let Some((loss, cost)) = cached {
             let outcome = EvalOutcome {
                 loss,
@@ -706,22 +754,28 @@ impl Evaluator {
             }
             self.evaluate_uncached(assignment, fidelity)
         }));
-        let (loss, fe_cached, panicked) = match caught {
-            Ok(Ok((loss, fe_cached))) => (loss, fe_cached, false),
-            Ok(Err(_)) => (f64::INFINITY, false, false),
-            Err(_) => (f64::INFINITY, false, true),
+        let (raw_loss, fe_cached, infer_cost, panicked) = match caught {
+            Ok(Ok((loss, fe_cached, infer_s))) => (loss, fe_cached, infer_s, false),
+            Ok(Err(_)) => (f64::INFINITY, false, 0.0, false),
+            Err(_) => (f64::INFINITY, false, 0.0, true),
         };
+        // Scalarize before anything downstream sees the number: the cache,
+        // the journal, and the engines all observe the same scalar, which
+        // is what keeps cost-sensitive resume replay bitwise.
+        let loss = self.objective().scalarize(raw_loss, infer_cost);
         let cost = start.elapsed().as_secs_f64();
         {
             let mut state = self.state();
             state.cache.insert(key, (loss, cost));
             state.evaluations += 1;
             state.total_cost += cost;
+            state.consecutive_cached = 0;
             state.log.push(LogEntry {
                 assignment: assignment.clone(),
                 fidelity,
                 loss,
                 cost,
+                infer_cost,
             });
         }
         let outcome = EvalOutcome {
@@ -758,6 +812,13 @@ impl Evaluator {
     /// and a journaled abandoned trial (timeout, escaped panic — both
     /// synthesized outside `evaluate_inner` with zero cost) never reached
     /// the accounting path at all.
+    ///
+    /// Cached rows journal cost 0 (accounting convention: a hit spends no
+    /// wall time), but the *live* run handed the engine the memoized true
+    /// cost — so the replayed outcome recovers it from the cache entry the
+    /// earlier fresh row re-inserted. Without this, every replayed hit
+    /// would poison the cost surrogate with zero-cost observations and
+    /// break the bitwise-resume guarantee for cost-aware studies.
     fn replay_outcome(
         &self,
         assignment: &HashMap<String, f64>,
@@ -766,21 +827,33 @@ impl Evaluator {
         row: ReplayRow,
     ) -> EvalOutcome {
         let abandoned = row.timed_out || (row.panicked && row.cost == 0.0);
-        if !row.cached && !abandoned {
+        let mut cost = row.cost;
+        if row.cached {
+            let mut state = self.state();
+            state.consecutive_cached += 1;
+            // Direct map access: recovering the memoized cost is not a
+            // lookup the live run performed twice, so hit/miss counters
+            // stay untouched.
+            if let Some(&(_, memoized)) = state.cache.map.get(&key) {
+                cost = memoized;
+            }
+        } else if !abandoned {
             let mut state = self.state();
             state.cache.insert(key, (row.loss, row.cost));
             state.evaluations += 1;
             state.total_cost += row.cost;
+            state.consecutive_cached = 0;
             state.log.push(LogEntry {
                 assignment: assignment.clone(),
                 fidelity,
                 loss: row.loss,
                 cost: row.cost,
+                infer_cost: 0.0,
             });
         }
         EvalOutcome {
             loss: row.loss,
-            cost: row.cost,
+            cost,
             cached: row.cached,
             fe_cached: row.fe_cached,
             panicked: row.panicked,

@@ -78,11 +78,14 @@ pub(super) fn build_validation_views(
 }
 
 impl Evaluator {
+    /// Returns `(loss, fe_cached, per-row inference seconds)` — the last
+    /// measured over the validation-side `predict` so cost-sensitive
+    /// objectives can penalize slow-at-serving pipelines.
     pub(super) fn evaluate_uncached(
         &self,
         assignment: &HashMap<String, f64>,
         fidelity: f64,
-    ) -> Result<(f64, bool)> {
+    ) -> Result<(f64, bool, f64)> {
         let (alg, model_params, fe_params) = self.interpret(assignment)?;
         let shared: &EvalShared = &self.shared;
         match shared.strategy {
@@ -106,12 +109,13 @@ impl Evaluator {
             ValidationStrategy::CrossValidation { folds } => {
                 let plan = self.fold_plan(folds, fidelity)?;
                 let mut total = 0.0;
+                let mut total_infer = 0.0;
                 let mut all_fe_cached = true;
                 for (fold, (train, valid)) in plan.iter().enumerate() {
                     let data_key = fidelity
                         .to_bits()
                         .wrapping_add((fold as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                    let (loss, fe_cached) = self.fit_and_score(
+                    let (loss, fe_cached, infer_s) = self.fit_and_score(
                         alg,
                         &model_params,
                         &fe_params,
@@ -120,9 +124,11 @@ impl Evaluator {
                         data_key,
                     )?;
                     total += loss;
+                    total_infer += infer_s;
                     all_fe_cached &= fe_cached;
                 }
-                Ok((total / plan.len() as f64, all_fe_cached))
+                let k = plan.len() as f64;
+                Ok((total / k, all_fe_cached, total_infer / k))
             }
         }
     }
@@ -169,7 +175,10 @@ impl Evaluator {
     }
 
     /// Fits one pipeline+model on `train` and scores on `valid`, returning
-    /// `(loss, fe_cached)`. `data_key` identifies the exact training subset
+    /// `(loss, fe_cached, per-row inference seconds)` — the inference time
+    /// is the validation `predict` wall time divided by the number of rows
+    /// scored, so it is comparable across fidelities and validation
+    /// strategies. `data_key` identifies the exact training subset
     /// (fidelity and, under CV, the fold) so the FE cache never conflates
     /// transforms fitted on different rows. On an FE-cache hit no dataset
     /// rows are touched at all; on a miss, index views are gathered exactly
@@ -182,7 +191,7 @@ impl Evaluator {
         train: &DatasetView,
         valid: &DatasetView,
         data_key: u64,
-    ) -> Result<(f64, bool)> {
+    ) -> Result<(f64, bool, f64)> {
         let fe_key = (interpret::assignment_key(fe_params), data_key);
         let cached = self.state().fe_cache.get(&fe_key);
         let (fe_out, fe_cached) = match cached {
@@ -230,9 +239,16 @@ impl Evaluator {
         model
             .fit(&fe_out.x_train, &fe_out.y_train)
             .map_err(|e| CoreError::Substrate(e.to_string()))?;
+        let infer_start = std::time::Instant::now();
         let preds = model
             .predict(&fe_out.x_valid)
             .map_err(|e| CoreError::Substrate(e.to_string()))?;
-        Ok((self.shared.metric.loss(&fe_out.y_valid, &preds), fe_cached))
+        let n_scored = fe_out.y_valid.len().max(1) as f64;
+        let infer_s = infer_start.elapsed().as_secs_f64() / n_scored;
+        Ok((
+            self.shared.metric.loss(&fe_out.y_valid, &preds),
+            fe_cached,
+            infer_s,
+        ))
     }
 }

@@ -297,6 +297,10 @@ impl BuildingBlock for JointBlock {
         eui(&self.trajectory, 4)
     }
 
+    fn set_cost_aware(&mut self, enabled: bool) {
+        self.engine.set_cost_aware(enabled);
+    }
+
     fn set_fixed(&mut self, fixed: &Assignment) {
         for (k, v) in fixed {
             self.fixed.insert(k.clone(), *v);
@@ -347,15 +351,18 @@ impl BuildingBlock for JointBlock {
             .collect::<Vec<_>>()
             .join(",");
         out.push(format!("{path} joint trajectory={traj}"));
-        // History rows drive every future suggestion; cost is deliberately
-        // excluded — a replayed cache hit legitimately carries the journaled
-        // cost 0 instead of the live hit's memoized cost, and cost never
-        // influences scheduling.
+        // History rows drive every future suggestion — including, in
+        // cost-aware mode, the cost surrogate and promotion ranking — so
+        // cost is pinned bitwise alongside loss. This is safe for replay:
+        // cached trials now resolve to their memoized true cost on both the
+        // live and the replayed path (the journal row's cost-0 accounting
+        // is an accounting convention, not what the optimizer observes).
         for (i, obs) in self.engine.history().observations().iter().enumerate() {
             out.push(format!(
-                "{path} joint history[{i}] fidelity={:016x} loss={:016x} config={}",
+                "{path} joint history[{i}] fidelity={:016x} loss={:016x} cost={:016x} config={}",
                 obs.fidelity.to_bits(),
                 obs.loss.to_bits(),
+                obs.cost.to_bits(),
                 config_bits(&obs.config)
             ));
         }

@@ -30,6 +30,7 @@ pub mod eu;
 pub mod evaluator;
 pub mod joint;
 pub mod metalearn;
+pub mod objective;
 pub mod plan;
 pub mod plans;
 pub mod spaces;
@@ -39,6 +40,7 @@ pub use automl::{AutoMlReport, FittedVolcanoML, VolcanoML, VolcanoMlOptions};
 pub use study::StudyState;
 pub use block::{Assignment, BuildingBlock, LossInterval};
 pub use evaluator::{assignment_digest, EvalOutcome, Evaluator, TrialTag, ValidationStrategy};
+pub use objective::{pareto_front, Objective};
 pub use plan::{EngineKind, PlanSpec, VarFilter};
 pub use spaces::{SpaceDef, SpaceTier, VarDef, VarGroup};
 

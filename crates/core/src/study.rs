@@ -8,10 +8,14 @@
 //! equal iff the underlying states are *bitwise* equal.
 //!
 //! The crash-resume contract this verifies: VolcanoML's schedules are
-//! deterministic functions of the seed and the observed losses (wall-clock
-//! cost never feeds back into scheduling), so resuming a run by re-driving
-//! the same plan while answering journaled trials from the replay table
-//! must land the tree in exactly the interrupted run's state. The resume
+//! deterministic functions of the seed and the *observed trial outcomes* —
+//! losses always, and in cost-aware mode the journaled wall-clock costs
+//! too (EI-per-second acquisition, loss-per-second promotion). Resuming a
+//! run by re-driving the same plan while answering journaled trials from
+//! the replay table must land the tree in exactly the interrupted run's
+//! state; replay answers both coordinates bitwise (cached trials resolve
+//! to their memoized true cost, not the journal's cost-0 accounting row),
+//! so the contract holds for cost-aware studies as well. The resume
 //! property tests assert `capture` of a fully-replayed run equals `capture`
 //! of the uninterrupted run, line for line.
 

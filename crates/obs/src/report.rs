@@ -287,6 +287,146 @@ fn render_rows(
     }
     out.push('\n');
 
+    // ── Cost efficiency ─────────────────────────────────────────────────
+    // How much of the run's trial compute actually bought improvement: an
+    // incumbent walk in span-start order tells us when the final best loss
+    // was reached and how much cost was sunk after it (exploration tail),
+    // plus how much went to failed (non-finite-loss) trials.
+    out.push_str("Cost efficiency\n");
+    out.push_str("---------------\n");
+    if trials.is_empty() {
+        out.push_str("(no trial spans)\n");
+    } else {
+        let mut ordered: Vec<&&Row> = trials.iter().collect();
+        ordered.sort_by(|a, b| {
+            let (ta, tb) = (get_f64(a, "t_s"), get_f64(b, "t_s"));
+            ta.partial_cmp(&tb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(get_i64(a, "trial").cmp(&get_i64(b, "trial")))
+        });
+        let mut cum = 0.0f64;
+        let mut best = f64::INFINITY;
+        let mut cost_to_best = 0.0f64;
+        let mut failed = 0usize;
+        let mut failed_cost = 0.0f64;
+        for t in &ordered {
+            let loss = get_f64(t, "loss");
+            let cost = get_f64(t, "cost");
+            if cost.is_finite() && cost > 0.0 {
+                cum += cost;
+            }
+            if loss.is_finite() {
+                if loss < best {
+                    best = loss;
+                    cost_to_best = cum;
+                }
+            } else {
+                failed += 1;
+                if cost.is_finite() && cost > 0.0 {
+                    failed_cost += cost;
+                }
+            }
+        }
+        if best.is_finite() && cum > 0.0 {
+            out.push_str(&format!(
+                "best loss {} reached after {:.3}s of trial compute ({:.1}% of {:.3}s total)\n",
+                fmt_loss(best),
+                cost_to_best,
+                100.0 * cost_to_best / cum,
+                cum
+            ));
+            out.push_str(&format!(
+                "cost after last improvement: {:.3}s ({:.1}%)\n",
+                cum - cost_to_best,
+                100.0 * (cum - cost_to_best) / cum
+            ));
+            out.push_str(&format!(
+                "mean trial cost: {:.3}s over {} trials\n",
+                cum / ordered.len() as f64,
+                ordered.len()
+            ));
+        } else {
+            out.push_str("(no finite-loss trials with positive cost)\n");
+        }
+        if failed > 0 {
+            out.push_str(&format!(
+                "failed trials: {failed} costing {failed_cost:.3}s\n"
+            ));
+        }
+    }
+    out.push('\n');
+
+    // ── Pareto front: loss vs. training cost ────────────────────────────
+    // The non-dominated configurations over (loss, per-trial training
+    // cost): the trade-off curve a cost-sensitive deployment picks from.
+    // Distinct configurations are keyed by assignment digest (min loss,
+    // then min cost, wins per digest); non-finite points are excluded.
+    {
+        let mut by_digest: BTreeMap<String, (f64, f64, String)> = BTreeMap::new();
+        for t in &trials {
+            let loss = get_f64(t, "loss");
+            let cost = get_f64(t, "cost");
+            if !loss.is_finite() || !cost.is_finite() || cost < 0.0 {
+                continue;
+            }
+            let digest = get_str(t, "digest");
+            if digest.is_empty() {
+                continue;
+            }
+            let arm = get_str(t, "arm").to_string();
+            by_digest
+                .entry(digest.to_string())
+                .and_modify(|e| {
+                    if loss < e.0 || (loss == e.0 && cost < e.1) {
+                        *e = (loss, cost, arm.clone());
+                    }
+                })
+                .or_insert((loss, cost, arm));
+        }
+        let mut points: Vec<(&String, &(f64, f64, String))> = by_digest.iter().collect();
+        points.sort_by(|a, b| {
+            a.1 .0
+                .partial_cmp(&b.1 .0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1 .1.partial_cmp(&b.1 .1).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let front: Vec<&(&String, &(f64, f64, String))> = points
+            .iter()
+            .filter(|(_, a)| {
+                !points.iter().any(|(_, b)| {
+                    b.0 <= a.0 && b.1 <= a.1 && (b.0 < a.0 || b.1 < a.1)
+                })
+            })
+            .collect();
+        if !front.is_empty() {
+            out.push_str("Pareto front (loss vs training cost)\n");
+            out.push_str("------------------------------------\n");
+            out.push_str(&format!(
+                "{:<18} {:>10} {:>10}  arm\n",
+                "digest", "loss", "cost_s"
+            ));
+            const MAX_ROWS: usize = 12;
+            for (digest, (loss, cost, arm)) in front.iter().take(MAX_ROWS) {
+                out.push_str(&format!(
+                    "{:<18} {:>10} {:>10.3}  {}\n",
+                    digest,
+                    fmt_loss(*loss),
+                    cost,
+                    if arm.is_empty() { "(root)" } else { arm.as_str() }
+                ));
+            }
+            if front.len() > MAX_ROWS {
+                out.push_str(&format!("({} more not shown)\n", front.len() - MAX_ROWS));
+            }
+            out.push_str(&format!(
+                "{} of {} distinct configurations are non-dominated\n",
+                front.len(),
+                points.len()
+            ));
+            out.push('\n');
+        }
+    }
+
     // ── Elimination decisions ───────────────────────────────────────────
     out.push_str("Arm eliminations (EU interval dominance)\n");
     out.push_str("----------------------------------------\n");
@@ -586,6 +726,88 @@ mod tests {
             .expect("rung 0 row");
         assert!(rung0.contains('2'), "{rung0}");
         assert!(report.contains("(1 trials outside the bracket schedule"));
+    }
+
+    #[test]
+    fn cost_efficiency_section_tracks_incumbent_walk() {
+        // Spans start at t_s = 0.0, 0.1, 0.2 → incumbent walk visits them
+        // in id order. Best loss 0.3 lands on trial 1, so the cost sunk
+        // after the last improvement is trial 2's 0.2s.
+        let report = render_report(&sample_trace(), None, None).unwrap();
+        assert!(report.contains("Cost efficiency"), "{report}");
+        assert!(
+            report.contains("best loss 0.3000 reached after 0.600s"),
+            "{report}"
+        );
+        assert!(
+            report.contains("cost after last improvement: 0.200s"),
+            "{report}"
+        );
+        assert!(report.contains("mean trial cost"), "{report}");
+        assert!(!report.contains("failed trials:"), "{report}");
+
+        // A NaN-loss trial is counted (with its cost) as failed.
+        let text = format!(
+            "{}\n{}",
+            sample_trace(),
+            trial_line(7, "algorithm=0", "root/algorithm=0", 0, f64::NAN, 0.5)
+        );
+        let report = render_report(&text, None, None).unwrap();
+        assert!(report.contains("failed trials: 1 costing 0.500s"), "{report}");
+    }
+
+    #[test]
+    fn pareto_front_keeps_only_non_dominated_configs() {
+        // trial 0: loss 0.5 cost 0.2 — dominated by trial 2 (0.45 @ 0.2).
+        // trial 1: loss 0.3 cost 0.4 — on the front (best loss).
+        // trial 2: loss 0.45 cost 0.2 — on the front (cheapest).
+        let report = render_report(&sample_trace(), None, None).unwrap();
+        assert!(report.contains("Pareto front (loss vs training cost)"), "{report}");
+        assert!(
+            report.contains("2 of 3 distinct configurations are non-dominated"),
+            "{report}"
+        );
+        let front_block = report
+            .split("Pareto front")
+            .nth(1)
+            .unwrap()
+            .split("\n\n")
+            .next()
+            .unwrap();
+        assert!(front_block.contains("0.3000"), "{front_block}");
+        assert!(front_block.contains("0.4500"), "{front_block}");
+        assert!(!front_block.contains("0.5000"), "{front_block}");
+    }
+
+    #[test]
+    fn pareto_front_dedups_repeat_digests_and_skips_nonfinite() {
+        // Two spans share a digest (a cache-hit re-evaluation): only the
+        // best (loss, cost) per digest enters the front computation. A
+        // NaN-loss span never does.
+        let mk = |id: u64, digest: u64, loss: f64, cost: f64| {
+            let mut e = SpanEvent::new("trial", "root");
+            e.span_id = 100 + id;
+            e.trial_id = id as i64;
+            e.digest = format!("{digest:016x}");
+            e.loss = loss;
+            e.cost = cost;
+            e.worker = 0;
+            e.to_json()
+        };
+        let text = [
+            mk(0, 0xaaaa, 0.4, 0.3),
+            mk(1, 0xaaaa, 0.4, 0.1), // same config, cheaper rerun wins
+            mk(2, 0xbbbb, f64::NAN, 0.2),
+            mk(3, 0xcccc, 0.2, 0.5),
+        ]
+        .join("\n");
+        let report = render_report(&text, None, None).unwrap();
+        assert!(
+            report.contains("2 of 2 distinct configurations are non-dominated"),
+            "{report}"
+        );
+        assert!(report.contains("0.100"), "{report}");
+        assert!(!report.contains("0.300  "), "{report}");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! restarted server can resume the study from its journal alone.
 
 use volcanoml_core::plans::enumerate_coarse_plans;
-use volcanoml_core::{EngineKind, PlanSpec, SpaceTier};
+use volcanoml_core::{EngineKind, Objective, PlanSpec, SpaceTier};
 use volcanoml_data::Dataset;
 use volcanoml_obs::json::{escape, parse_object, JsonValue};
 
@@ -37,6 +37,12 @@ pub struct StudySpec {
     pub max_evaluations: usize,
     /// Master seed (default 0).
     pub seed: u64,
+    /// Feed measured trial cost back into the engines (EI-per-second
+    /// acquisition, loss-per-second promotion). Default off.
+    pub cost_aware: bool,
+    /// Search objective: `"loss"` (default) or `"loss_and_cost"`, the
+    /// latter scalarizing in `latency_weight` × per-row inference seconds.
+    pub objective: Objective,
 }
 
 fn parse_engine(s: &str) -> Result<EngineKind, String> {
@@ -130,6 +136,31 @@ impl StudySpec {
         if max_evaluations == 0 {
             return Err("\"max_evaluations\" must be >= 1".into());
         }
+        let cost_aware = match doc.get("cost_aware") {
+            None | Some(JsonValue::Null) => false,
+            Some(JsonValue::Bool(b)) => *b,
+            Some(_) => return Err("field \"cost_aware\" must be a boolean".into()),
+        };
+        let objective = match get_str("objective")?.as_deref() {
+            None | Some("loss") => Objective::Loss,
+            Some("loss_and_cost") => {
+                let latency_weight = match doc.get("latency_weight") {
+                    None | Some(JsonValue::Null) => 100.0,
+                    Some(v) => v
+                        .as_f64()
+                        .filter(|w| w.is_finite() && *w >= 0.0)
+                        .ok_or_else(|| {
+                            "field \"latency_weight\" must be a finite number >= 0".to_string()
+                        })?,
+                };
+                Objective::LossAndCost { latency_weight }
+            }
+            Some(other) => {
+                return Err(format!(
+                    "unknown objective '{other}' (use loss|loss_and_cost)"
+                ))
+            }
+        };
         Ok(StudySpec {
             name: get_str("name")?,
             dataset,
@@ -138,6 +169,8 @@ impl StudySpec {
             tier,
             max_evaluations,
             seed: get_u64("seed", 0)?,
+            cost_aware,
+            objective,
         })
     }
 
@@ -162,6 +195,13 @@ impl StudySpec {
         parts.push(format!("\"tier\":\"{}\"", tier_name(self.tier)));
         parts.push(format!("\"max_evaluations\":{}", self.max_evaluations));
         parts.push(format!("\"seed\":{}", self.seed));
+        if self.cost_aware {
+            parts.push("\"cost_aware\":true".to_string());
+        }
+        if let Objective::LossAndCost { latency_weight } = self.objective {
+            parts.push("\"objective\":\"loss_and_cost\"".to_string());
+            parts.push(format!("\"latency_weight\":{latency_weight}"));
+        }
         format!("{{{}}}", parts.join(","))
     }
 
@@ -251,10 +291,36 @@ mod tests {
             (r#"{"dataset":"moons","plan":"p9"}"#, "unknown plan"),
             (r#"{"dataset":"moons","max_evaluations":0}"#, ">= 1"),
             (r#"{"dataset":"moons","seed":-1}"#, "non-negative"),
+            (r#"{"dataset":"moons","cost_aware":"yes"}"#, "must be a boolean"),
+            (r#"{"dataset":"moons","objective":"latency"}"#, "unknown objective"),
+            (
+                r#"{"dataset":"moons","objective":"loss_and_cost","latency_weight":-2}"#,
+                "latency_weight",
+            ),
         ] {
             let err = StudySpec::from_json(doc).unwrap_err();
             assert!(err.contains(needle), "{doc}: {err}");
         }
+    }
+
+    #[test]
+    fn cost_fields_round_trip_and_default_off() {
+        let spec = StudySpec::from_json(
+            r#"{"dataset":"moons","cost_aware":true,
+                "objective":"loss_and_cost","latency_weight":12.5}"#,
+        )
+        .unwrap();
+        assert!(spec.cost_aware);
+        assert_eq!(spec.objective, Objective::LossAndCost { latency_weight: 12.5 });
+        let again = StudySpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, again);
+
+        let plain = StudySpec::from_json(r#"{"dataset":"moons"}"#).unwrap();
+        assert!(!plain.cost_aware);
+        assert_eq!(plain.objective, Objective::Loss);
+        // Default objective stays out of the serialized form so pre-existing
+        // spec.json files and their re-serializations stay byte-compatible.
+        assert!(!plain.to_json().contains("objective"));
     }
 
     #[test]

@@ -259,6 +259,8 @@ fn fit_study(
         plan,
         max_evaluations: study.spec.max_evaluations,
         seed: study.spec.seed,
+        cost_aware: study.spec.cost_aware,
+        objective: study.spec.objective,
         // Without this the per-run batch size caps at
         // min(pool.workers(), n_workers) = 1 and the pool sits idle.
         n_workers: workers,

@@ -26,6 +26,19 @@ VOLCANO_QUICK=1 cargo bench --offline --bench parallel_scaling
 echo "== smoke: data_views bench (zero-copy vs copy baseline) =="
 VOLCANO_QUICK=1 cargo bench --offline --bench data_views
 
+echo "== smoke: cost_aware bench (EI-per-second time-to-target gate) =="
+# Deterministic synthetic costs, so the ratio is exact: cost-aware search
+# must reach the target loss at no more total cost than cost-blind.
+VOLCANO_QUICK=1 cargo bench --offline --bench cost_aware
+python3 - results/BENCH_cost.json <<'EOF'
+import json, sys
+b = json.load(open(sys.argv[1]))
+r = b["cost_ratio"]
+assert r <= 1.0, f"cost-aware time-to-target is {r:.2f}x cost-blind (> 1.0x)"
+print(f"cost_aware smoke ok: {r:.2f}x cost-blind over {b['n_seeds']} seeds "
+      f"(aware {b['cost_aware_total']:.0f}s vs blind {b['cost_blind_total']:.0f}s)")
+EOF
+
 echo "== smoke: micro_models histogram-kernel report =="
 # Quick mode skips the Criterion loops but still runs the timed report that
 # re-emits results/BENCH_models.json (per-n_jobs rows, kernel comparison).
@@ -151,6 +164,42 @@ assert all(a >= b for a, b in zip(best_seen, best_seen[1:])), "best loss regress
 print(f"crash-resume smoke ok: {len(ids)} trials, unique ids, best loss {best:.4f}")
 EOF
 
+echo "== smoke: cost-aware study via serve (objective loss_and_cost) =="
+COST_DIR="$SMOKE_DIR/costserve"
+"$VOLCANOML" serve --dir "$COST_DIR" --port 0 --workers 2 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$COST_DIR/serve.addr" ] && break
+    sleep 0.1
+done
+ADDR="$(cat "$COST_DIR/serve.addr")"
+curl -fsS -X POST "http://$ADDR/studies" -d \
+    '{"name":"costaware","dataset":"moons","engine":"bo","max_evaluations":12,"seed":5,"cost_aware":true,"objective":"loss_and_cost","latency_weight":50.0}' \
+    >/dev/null
+for _ in $(seq 1 600); do
+    [ -f "$COST_DIR/costaware/result.json" ] && break
+    sleep 0.1
+done
+[ -f "$COST_DIR/costaware/result.json" ] || { echo "cost-aware study did not finish"; exit 1; }
+kill -9 "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+# The spec must round-trip the cost fields (they drive resume), the study
+# must complete, and every fresh journal row must carry a real cost the
+# cost model can learn from.
+python3 - "$COST_DIR/costaware" <<'EOF'
+import json, sys
+d = sys.argv[1]
+spec = json.load(open(f"{d}/spec.json"))
+assert spec.get("cost_aware") is True, spec
+assert spec.get("objective") == "loss_and_cost", spec
+assert spec.get("latency_weight") == 50.0, spec
+result = json.load(open(f"{d}/result.json"))
+assert result["status"] == "done", result
+costs = [row["cost"] for row in map(json.loads, open(f"{d}/journal.jsonl"))]
+assert any(c > 0 for c in costs), "no journal row recorded a positive trial cost"
+print(f"cost-aware serve smoke ok: {len(costs)} trials, best loss {result['best_loss']:.4f}")
+EOF
+
 echo "== smoke: live observability (/metrics scrape + SSE stream mid-run) =="
 OBS_DIR="$SMOKE_DIR/obsserve"
 "$VOLCANOML" serve --dir "$OBS_DIR" --port 0 --workers 2 --log-requests &
@@ -160,12 +209,13 @@ for _ in $(seq 1 100); do
     sleep 0.1
 done
 ADDR="$(cat "$OBS_DIR/serve.addr")"
-# mfes-hb like the crash-resume smoke: long enough for a mid-run window,
-# and (unlike random with a large budget) guaranteed to terminate even if
-# the tier's distinct-config space is smaller than the budget. An 8000-row
-# dataset (vs the 500-row synthetic toys) keeps per-trial cost well above
-# the fixed per-trial recording cost, so the 1% overhead gate below
-# measures a real ratio instead of noise around sub-millisecond trials.
+# mfes-hb like the crash-resume smoke: long enough for a mid-run window.
+# (Any engine terminates now even when the tier's distinct-config space is
+# smaller than the budget — the evaluator's cached-saturation guard ends
+# exhausted searches; see exhausted_tiny_space_terminates_instead_of_spinning.)
+# An 8000-row dataset (vs the 500-row synthetic toys) keeps per-trial cost
+# well above the fixed per-trial recording cost, so the 1% overhead gate
+# below measures a real ratio instead of noise around sub-millisecond trials.
 python3 - "$SMOKE_DIR/obs_data.csv" <<'EOF'
 import random, sys
 rng = random.Random(13)

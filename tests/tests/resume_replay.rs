@@ -2,10 +2,10 @@
 //! uninterrupted run's scheduling state bitwise.
 //!
 //! Engine schedules are deterministic functions of the seed and the observed
-//! losses (wall-clock cost never steers scheduling), so a resumed fit that
-//! replays a journal re-derives the same block tree, bracket occupancy, EU
-//! intervals, and incumbent — which `StudyState` captures as canonical
-//! bitwise lines.
+//! trial outcomes — losses always, and in cost-aware mode the journaled
+//! wall-clock costs too — so a resumed fit that replays a journal
+//! re-derives the same block tree, bracket occupancy, EU intervals, and
+//! incumbent — which `StudyState` captures as canonical bitwise lines.
 
 use std::path::{Path, PathBuf};
 
@@ -45,6 +45,20 @@ fn options(
     }
 }
 
+fn cost_aware_options(
+    engine: EngineKind,
+    evals: usize,
+    workers: usize,
+    journal: &Path,
+    resume: bool,
+) -> VolcanoMlOptions {
+    VolcanoMlOptions {
+        cost_aware: true,
+        objective: volcanoml_core::Objective::LossAndCost { latency_weight: 5.0 },
+        ..options(engine, evals, workers, journal, resume)
+    }
+}
+
 fn journal_records(path: &Path) -> Vec<TrialRecord> {
     std::fs::read_to_string(path)
         .unwrap()
@@ -62,18 +76,30 @@ fn assert_unique_trial_ids(records: &[TrialRecord]) {
     assert_eq!(ids.len(), n, "duplicate trial ids in journal");
 }
 
-/// Evaluator log lines carry wall-clock cost bits; fresh trials in a resumed
-/// run legitimately measure different costs than the original run, so the
-/// partial-journal comparison drops that one field. Everything else must
-/// match bitwise.
+/// Evaluator log lines and joint history lines carry wall-clock cost bits;
+/// fresh trials in a resumed run legitimately measure different costs than
+/// the original run, so the partial-journal comparison drops that one field
+/// from both line kinds. Everything else must match bitwise. (The
+/// *full*-replay tests compare unstripped — a complete journal hands every
+/// cost back bitwise.)
 fn strip_costs(state: &StudyState) -> Vec<String> {
     state
         .lines
         .iter()
         .map(|l| {
             if l.starts_with("evaluator.log ") {
+                // cost= is the final field: drop the tail.
                 match l.find(" cost=") {
                     Some(i) => l[..i].to_string(),
+                    None => l.clone(),
+                }
+            } else if l.contains(" joint history[") {
+                // cost=<16 hex digits> sits mid-line before config=.
+                match l.find(" cost=") {
+                    Some(i) => {
+                        let rest = &l[i + " cost=".len() + 16..];
+                        format!("{}{rest}", &l[..i])
+                    }
                     None => l.clone(),
                 }
             } else {
@@ -127,6 +153,64 @@ fn full_replay_reproduces_study_state_bitwise() {
                 first.report.best_loss.to_bits(),
                 replayed.report.best_loss.to_bits(),
                 "{} x{workers}: best loss must match bitwise",
+                engine.name()
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// The same full-replay bitwise property must hold when cost *steers* the
+/// schedule: with `cost_aware` on (EI-per-second, loss-per-second
+/// promotion) and a scalarized loss+latency objective, the replay table
+/// answers both the loss and the cost coordinate bitwise — including
+/// cached trials, which resolve to their memoized true cost rather than
+/// the journal's cost-0 accounting row — so the resumed tree, cost-model
+/// observation counts, and bracket cost tables land exactly where the
+/// interrupted run left them.
+#[test]
+fn cost_aware_full_replay_reproduces_study_state_bitwise() {
+    let data = make_moons(160, 0.2, 1, 5);
+    for engine in [EngineKind::Bo, EngineKind::MfesHb] {
+        for workers in [1usize, 4] {
+            let dir = tmp_dir(&format!("cost-full-{}-{workers}", engine.name()));
+            let journal = dir.join("journal.jsonl");
+
+            let first = VolcanoML::with_tier(
+                Task::Classification,
+                SpaceTier::Small,
+                cost_aware_options(engine, 10, workers, &journal, false),
+            )
+            .fit(&data)
+            .unwrap();
+            let rows_before = journal_records(&journal);
+            assert_unique_trial_ids(&rows_before);
+
+            let replayed = VolcanoML::with_tier(
+                Task::Classification,
+                SpaceTier::Small,
+                cost_aware_options(engine, 10, workers, &journal, true),
+            )
+            .fit(&data)
+            .unwrap();
+            let rows_after = journal_records(&journal);
+
+            assert_eq!(
+                rows_before.len(),
+                rows_after.len(),
+                "{} x{workers}: cost-aware full replay must not re-journal trials",
+                engine.name()
+            );
+            if let Some(diff) = first.study_state.diff(&replayed.study_state) {
+                panic!(
+                    "{} x{workers}: cost-aware study state diverged:\n{diff}",
+                    engine.name()
+                );
+            }
+            assert_eq!(
+                first.report.best_loss.to_bits(),
+                replayed.report.best_loss.to_bits(),
+                "{} x{workers}: cost-aware best loss must match bitwise",
                 engine.name()
             );
             let _ = std::fs::remove_dir_all(&dir);
