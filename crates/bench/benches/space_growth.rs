@@ -1,0 +1,167 @@
+//! Incremental space-construction study (`results/BENCH_space.json`).
+//!
+//! Measures the tentpole claim of staged space growth: on a
+//! heavy-categorical dataset, starting the search from the minimal
+//! pipeline space and expanding on plateau evidence must reach the
+//! fixed-space run's quality at no more than 1.05x the trial budget —
+//! the stage-0 space is strictly smaller (fewer FE variables to model),
+//! so early trials are spent on the choices that matter first.
+//!
+//! Per seed, both modes get the same evaluation budget; `trials_to`
+//! counts evaluations until each run's incumbent reaches the worse of
+//! the two final bests (a target both provably hit). Aggregated over
+//! fixed seeds the gate is `incremental_ratio <= 1.05`, plus a smoke
+//! check that at least one expansion actually fired and was journaled.
+//!
+//! Run: `cargo bench --bench space_growth` (`VOLCANO_QUICK=1` trims seeds).
+
+use volcanoml_bench::{print_table, quick, scaled, write_csv};
+use volcanoml_core::growth::incremental_seed;
+use volcanoml_core::{SpaceDef, SpaceGrowth, SpaceTier, VolcanoML, VolcanoMlOptions};
+use volcanoml_data::synthetic::make_categorical;
+use volcanoml_data::Task;
+
+/// Evaluations until the trajectory's incumbent reaches `target`.
+fn trials_to(trajectory: &[(usize, f64, f64)], target: f64) -> usize {
+    trajectory
+        .iter()
+        .find(|(_, _, best)| *best <= target + 1e-12)
+        .map(|(i, _, _)| *i)
+        .unwrap_or(usize::MAX)
+}
+
+fn run(
+    data: &volcanoml_data::Dataset,
+    seed: u64,
+    evals: usize,
+    growth: SpaceGrowth,
+    journal: Option<std::path::PathBuf>,
+) -> (f64, Vec<(usize, f64, f64)>, usize) {
+    let options = VolcanoMlOptions {
+        max_evaluations: evals,
+        seed,
+        space_growth: growth,
+        journal_path: journal.clone(),
+        ..Default::default()
+    };
+    let engine = VolcanoML::with_tier(Task::Classification, SpaceTier::Medium, options);
+    let fitted = engine.fit(data).expect("bench fit succeeds");
+    let expansions = journal
+        .map(|p| {
+            let text = std::fs::read_to_string(&p).unwrap_or_default();
+            let _ = std::fs::remove_file(&p);
+            text.lines()
+                .filter(|l| l.contains("\"event\":\"expansion\""))
+                .count()
+        })
+        .unwrap_or(0);
+    (fitted.report.best_loss, fitted.report.trajectory, expansions)
+}
+
+fn main() {
+    let evals = 40;
+    let n_seeds = scaled(8, 4) as u64;
+    // Permissive enough that the plateau window fires inside the budget on
+    // a Medium-tier space, tight enough that a still-improving stage keeps
+    // its trials.
+    let growth = SpaceGrowth::Incremental { eui_threshold: 0.05 };
+    eprintln!("space_growth: {evals} evals, {n_seeds} seeds, threshold 0.05");
+
+    let full = SpaceDef::tiered(Task::Classification, SpaceTier::Medium);
+    let stage0 = incremental_seed(&full).expect("minimal seed builds");
+    assert!(
+        stage0.len() < full.len(),
+        "stage-0 must expose strictly fewer variables ({} vs {})",
+        stage0.len(),
+        full.len()
+    );
+
+    let mut fixed_total = 0usize;
+    let mut incremental_total = 0usize;
+    let mut expansions_total = 0usize;
+    let mut rows = Vec::new();
+    for seed in 0..n_seeds {
+        // Label = hash-parity of hidden categorical columns: exactly the
+        // regime where encoder/transform choices move the loss.
+        let data = make_categorical(400, 6, 8, 2, 0.05, seed);
+        let journal = std::env::temp_dir().join(format!(
+            "volcanoml-bench-space-{}-{seed}.jsonl",
+            std::process::id()
+        ));
+        let (fixed_best, fixed_traj, _) = run(&data, seed, evals, SpaceGrowth::Fixed, None);
+        let (inc_best, inc_traj, expansions) =
+            run(&data, seed, evals, growth, Some(journal));
+        // The worse of the two final bests: a quality level both runs
+        // demonstrably reached within the budget.
+        let target = fixed_best.max(inc_best);
+        let ft = trials_to(&fixed_traj, target);
+        let it = trials_to(&inc_traj, target);
+        assert!(
+            ft != usize::MAX && it != usize::MAX,
+            "seed {seed}: both runs must reach the common target"
+        );
+        fixed_total += ft;
+        incremental_total += it;
+        expansions_total += expansions;
+        rows.push(vec![
+            seed.to_string(),
+            format!("{fixed_best:.4}"),
+            format!("{inc_best:.4}"),
+            ft.to_string(),
+            it.to_string(),
+            expansions.to_string(),
+        ]);
+    }
+    let ratio = incremental_total as f64 / fixed_total as f64;
+    let headers: Vec<String> = [
+        "seed",
+        "fixed_best",
+        "incremental_best",
+        "fixed_trials_to_target",
+        "incremental_trials_to_target",
+        "expansions",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    print_table("trials to reach the common target loss", &headers, &rows);
+    write_csv("BENCH_space.csv", &headers, &rows);
+    println!(
+        "aggregate: incremental {incremental_total} trials vs fixed {fixed_total} \
+         ({ratio:.2}x) over {n_seeds} seeds, {expansions_total} journaled expansions"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"space_growth_trials_to_target\",\n  \
+         \"evals\": {evals},\n  \"n_seeds\": {n_seeds},\n  \
+         \"stage0_vars\": {},\n  \"full_vars\": {},\n  \
+         \"fixed_trials_total\": {fixed_total},\n  \
+         \"incremental_trials_total\": {incremental_total},\n  \
+         \"expansions_total\": {expansions_total},\n  \
+         \"incremental_ratio\": {ratio:.4}\n}}\n",
+        stage0.len(),
+        full.len()
+    );
+    let dir = volcanoml_bench::results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_space.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    // Acceptance gates: incremental reaches fixed-space quality within
+    // 1.05x the trials, and the growth machinery actually engaged (at
+    // least one expansion journaled across the seeds).
+    assert!(
+        ratio <= 1.05,
+        "acceptance: incremental must reach the target within 1.05x the \
+         fixed-space trials (got {ratio:.2}x: {incremental_total} vs {fixed_total})"
+    );
+    assert!(
+        expansions_total >= 1,
+        "acceptance: expected at least one journaled expansion across {n_seeds} seeds"
+    );
+    if quick() {
+        println!("quick mode: gates checked on {n_seeds} seeds");
+    }
+}

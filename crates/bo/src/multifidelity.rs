@@ -210,6 +210,23 @@ impl Bracket {
             .find(|(c, r)| c == config && (self.rungs[*r] - fidelity).abs() < 1e-9)
             .map(|(_, r)| self.rung_offset + r)
     }
+
+    /// Remaps every stored configuration (queue, in-flight, rung results)
+    /// from `old` into `new` — the bracket-side half of [`Suggest::grow_space`].
+    fn remap_space(&mut self, old: &ConfigSpace, new: &ConfigSpace) {
+        let remap = |c: &Configuration| new.from_map(&old.to_map(c));
+        for c in &mut self.queue {
+            *c = remap(c);
+        }
+        for (c, _) in &mut self.in_flight {
+            *c = remap(c);
+        }
+        for rung in &mut self.results {
+            for res in rung {
+                res.config = remap(&res.config);
+            }
+        }
+    }
 }
 
 /// The set of concurrently active brackets behind a multi-fidelity engine.
@@ -270,6 +287,13 @@ impl BracketScheduler {
         self.brackets
             .iter()
             .find_map(|b| b.in_flight_rung(config, fidelity).map(|r| (r, b.id)))
+    }
+
+    /// Remaps every active bracket's configurations into the grown space.
+    fn remap_space(&mut self, old: &ConfigSpace, new: &ConfigSpace) {
+        for bracket in &mut self.brackets {
+            bracket.remap_space(old, new);
+        }
     }
 }
 
@@ -530,6 +554,16 @@ impl Suggest for SuccessiveHalving {
     fn space(&self) -> &ConfigSpace {
         &self.space
     }
+
+    /// Grows the space: history *and* bracket occupancy (queues, in-flight
+    /// entries, rung results) remap into the new space so promotion
+    /// bookkeeping — which matches configurations by equality — survives
+    /// the expansion. Fresh brackets sample from the grown space.
+    fn grow_space(&mut self, new_space: ConfigSpace) {
+        self.history = crate::optimizer::remap_history(&self.space, &new_space, &self.history);
+        self.sched.remap_space(&self.space, &new_space);
+        self.space = new_space;
+    }
 }
 
 /// Hyperband: cycles through brackets with different exploration/
@@ -652,6 +686,13 @@ impl Suggest for Hyperband {
 
     fn space(&self) -> &ConfigSpace {
         &self.space
+    }
+
+    /// Same contract as [`SuccessiveHalving::grow_space`].
+    fn grow_space(&mut self, new_space: ConfigSpace) {
+        self.history = crate::optimizer::remap_history(&self.space, &new_space, &self.history);
+        self.sched.remap_space(&self.space, &new_space);
+        self.space = new_space;
     }
 }
 
@@ -818,6 +859,13 @@ impl Suggest for MfesHb {
 
     fn space(&self) -> &ConfigSpace {
         &self.inner.space
+    }
+
+    /// The per-fidelity surrogate ensemble re-encodes the (remapped)
+    /// history on every fit, so delegating the remap to the inner
+    /// Hyperband is sufficient.
+    fn grow_space(&mut self, new_space: ConfigSpace) {
+        self.inner.grow_space(new_space);
     }
 }
 
@@ -1161,6 +1209,56 @@ mod tests {
             sh.observe(cfg.clone(), f, objective(&cfg, f), f);
         }
         assert!(saw_promotion, "no promotion within 20 serial steps");
+    }
+
+    /// Growing the space mid-bracket must keep the promotion bookkeeping
+    /// intact: queued, in-flight, and observed configurations remap into
+    /// the wider space so observations filed after the grow still match
+    /// their in-flight entries and the ladder completes.
+    #[test]
+    fn grow_space_mid_bracket_keeps_promotions_matching() {
+        let grown = || {
+            let mut s = ConfigSpace::new();
+            s.add("x", Domain::Float { lo: 0.0, hi: 1.0, log: false }, 0.5)
+                .unwrap();
+            s.add("extra", Domain::Cat { n: 3 }, 0.0).unwrap();
+            s
+        };
+        for engine in 0..3usize {
+            let mut opt: Box<dyn Suggest> = match engine {
+                0 => Box::new(SuccessiveHalving::new(space_1d(), 6, 1.0 / 9.0, 3, 8)),
+                1 => Box::new(Hyperband::new(space_1d(), 1.0 / 9.0, 3, 8)),
+                _ => Box::new(MfesHb::new(space_1d(), 1.0 / 9.0, 3, 8)),
+            };
+            // Observe a few trials so the grow lands with rung results and
+            // pending promotions live inside the bracket.
+            for _ in 0..5 {
+                let (cfg, f) = opt.suggest();
+                let loss = objective(&cfg, f);
+                opt.observe(cfg, f, loss, f);
+            }
+            let n_before = opt.history().len();
+            opt.grow_space(grown());
+            assert_eq!(opt.space().len(), 2, "engine {engine}");
+            assert_eq!(opt.history().len(), n_before);
+            for obs in opt.history().observations() {
+                opt.space().validate(&obs.config).unwrap_or_else(|e| {
+                    panic!("engine {engine}: remapped history invalid: {e:?}")
+                });
+            }
+            // The ladder still promotes to full fidelity after the grow.
+            for _ in 0..60 {
+                let (cfg, f) = opt.suggest();
+                opt.space().validate(&cfg).unwrap();
+                let loss = objective(&cfg, f);
+                opt.observe(cfg, f, loss, f);
+            }
+            assert!(
+                !opt.history().at_fidelity(1.0).is_empty(),
+                "engine {engine}: no full-fidelity trial after grow"
+            );
+            assert!(opt.history().best_loss().is_some());
+        }
     }
 
     /// Cost-aware promotion ranks by loss-improvement per second: a config

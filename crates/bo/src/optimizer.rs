@@ -120,6 +120,41 @@ pub trait Suggest {
     /// do not support switching modes mid-run (the surrogate rng stream
     /// would diverge from a resume replay).
     fn set_cost_aware(&mut self, _enabled: bool) {}
+
+    /// Replaces the engine's configuration space with a grown version — an
+    /// incremental-space expansion landing mid-run. `new_space` must be a
+    /// superset of the current space: every existing variable keeps its
+    /// name and domain (categoricals may gain trailing choices) and new
+    /// variables carry defaults. Engines remap every stored configuration
+    /// through the name→value map, so old observations remain valid (new
+    /// variables backfill their defaults — the same discipline as
+    /// constant-liar retraction) and model-based engines refit lazily
+    /// against the new encoding. Must be called only between a fully
+    /// observed batch and the next `suggest`. Default: ignored, for
+    /// engines that carry no space of their own.
+    fn grow_space(&mut self, _new_space: ConfigSpace) {}
+}
+
+/// Remaps every observation of `history` from `old` into `new` by
+/// round-tripping through the name→value map: values of shared variables
+/// are preserved bitwise (domains are unchanged, so the clamp is the
+/// identity), new variables backfill their defaults, and conditional
+/// activity is recomputed under the new space.
+pub(crate) fn remap_history(
+    old: &ConfigSpace,
+    new: &ConfigSpace,
+    history: &RunHistory,
+) -> RunHistory {
+    let mut out = RunHistory::new();
+    for obs in history.observations() {
+        out.push(Observation {
+            config: new.from_map(&old.to_map(&obs.config)),
+            loss: obs.loss,
+            cost: obs.cost,
+            fidelity: obs.fidelity,
+        });
+    }
+    out
 }
 
 /// Uniform random search (always full fidelity).
@@ -167,6 +202,11 @@ impl Suggest for RandomSearch {
 
     fn space(&self) -> &ConfigSpace {
         &self.space
+    }
+
+    fn grow_space(&mut self, new_space: ConfigSpace) {
+        self.history = remap_history(&self.space, &new_space, &self.history);
+        self.space = new_space;
     }
 }
 
@@ -339,6 +379,15 @@ impl Suggest for Smac {
 
     fn set_cost_aware(&mut self, enabled: bool) {
         self.cost_aware = enabled;
+    }
+
+    /// Growing marks the surrogate stale: the next model-based suggestion
+    /// refits by re-encoding the (remapped) history in the new space, so no
+    /// surrogate migration is needed.
+    fn grow_space(&mut self, new_space: ConfigSpace) {
+        self.history = remap_history(&self.space, &new_space, &self.history);
+        self.space = new_space;
+        self.stale = true;
     }
 
     /// Cost-aware runs add the cost model's fit summary to the snapshot so
@@ -612,6 +661,83 @@ mod tests {
             let (loss, cost) = symmetric_objective(blind.space(), &cb);
             blind.observe(cb, fb, loss, cost);
             aware.observe(ca, fa, loss, cost);
+        }
+    }
+
+    /// `branch_space` grown by one trailing branch choice, one conditional
+    /// child for it, and one new unconditional variable with a default.
+    fn grown_branch_space() -> ConfigSpace {
+        let mut s = ConfigSpace::new();
+        let b = s.add("branch", Domain::Cat { n: 3 }, 0.0).unwrap();
+        s.add_conditional(
+            "x0",
+            Domain::Float { lo: 0.0, hi: 1.0, log: false },
+            0.5,
+            Some(crate::space::Condition { parent: b, values: vec![0] }),
+        )
+        .unwrap();
+        s.add_conditional(
+            "x1",
+            Domain::Float { lo: 0.0, hi: 1.0, log: false },
+            0.5,
+            Some(crate::space::Condition { parent: b, values: vec![1] }),
+        )
+        .unwrap();
+        s.add_conditional(
+            "x2",
+            Domain::Float { lo: 0.0, hi: 1.0, log: false },
+            0.5,
+            Some(crate::space::Condition { parent: b, values: vec![2] }),
+        )
+        .unwrap();
+        s.add("extra", Domain::Cat { n: 2 }, 0.0).unwrap();
+        s
+    }
+
+    #[test]
+    fn grow_space_preserves_history_bitwise_and_keeps_optimizing() {
+        for grow_smac in [false, true] {
+            let mut opt: Box<dyn Suggest> = if grow_smac {
+                Box::new(Smac::new(branch_space(), 4))
+            } else {
+                Box::new(RandomSearch::new(branch_space(), 4))
+            };
+            for _ in 0..12 {
+                let (cfg, f) = opt.suggest();
+                let loss = objective(opt.space(), &cfg);
+                opt.observe(cfg, f, loss, 1.0);
+            }
+            let old_space = opt.space().clone();
+            let old: Vec<(std::collections::HashMap<String, f64>, u64)> = opt
+                .history()
+                .observations()
+                .iter()
+                .map(|o| (old_space.to_map(&o.config), o.loss.to_bits()))
+                .collect();
+            let best_before = opt.history().best_loss().unwrap();
+            opt.grow_space(grown_branch_space());
+            assert_eq!(opt.space().len(), 5);
+            assert_eq!(opt.history().len(), old.len());
+            for (obs, (map, loss_bits)) in opt.history().observations().iter().zip(&old) {
+                assert_eq!(obs.loss.to_bits(), *loss_bits);
+                opt.space().validate(&obs.config).unwrap();
+                let new_map = opt.space().to_map(&obs.config);
+                // Shared variables keep their values bitwise…
+                for (k, v) in map {
+                    assert_eq!(new_map.get(k).map(|x| x.to_bits()), Some(v.to_bits()), "{k}");
+                }
+                // …and the new unconditional variable backfills its default.
+                assert_eq!(new_map.get("extra"), Some(&0.0));
+            }
+            assert_eq!(opt.history().best_loss(), Some(best_before));
+            // The grown engine keeps suggesting valid configurations and
+            // can reach the new branch.
+            for _ in 0..30 {
+                let (cfg, f) = opt.suggest();
+                opt.space().validate(&cfg).unwrap();
+                let loss = objective(opt.space(), &cfg);
+                opt.observe(cfg, f, loss, 1.0);
+            }
         }
     }
 

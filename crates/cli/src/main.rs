@@ -6,6 +6,7 @@
 //!                        [--seed S] [--cv K] [--ensemble N] [--smote]
 //!                        [--workers N] [--n-jobs N] [--f32-bins]
 //!                        [--cost-aware] [--objective loss|loss_and_cost[:WEIGHT]]
+//!                        [--space fixed|incremental[:EUI_THRESHOLD]]
 //!                        [--journal trials.jsonl] [--trace trace.jsonl]
 //!                        [--metrics metrics.json] [--trial-timeout SECS]
 //! volcanoml spaces                      # print the tiered search-space sizes
@@ -21,8 +22,8 @@
 use std::process::ExitCode;
 use volcanoml_core::plans::enumerate_coarse_plans;
 use volcanoml_core::{
-    EngineKind, Objective, PlanSpec, SpaceDef, SpaceTier, ValidationStrategy, VolcanoML,
-    VolcanoMlOptions,
+    EngineKind, Objective, PlanSpec, SpaceDef, SpaceGrowth, SpaceTier, ValidationStrategy,
+    VolcanoML, VolcanoMlOptions,
 };
 use volcanoml_data::{train_test_split, Metric, Task};
 use volcanoml_fe::pipeline::FeSpaceOptions;
@@ -32,6 +33,7 @@ fn usage() -> &'static str {
      [--plan p1|p2|p3|p4|p5] [--engine bo|random|sh|hyperband|mfes-hb] [--seed S] \
      [--cv K] [--ensemble N] [--smote] [--workers N] [--n-jobs N] [--f32-bins] \
      [--cost-aware] [--objective loss|loss_and_cost[:WEIGHT]] \
+     [--space fixed|incremental[:EUI_THRESHOLD]] \
      [--journal trials.jsonl] [--trace trace.jsonl] [--metrics metrics.json] \
      [--trial-timeout SECS]\n  volcanoml spaces\n  \
      volcanoml plans\n  \
@@ -180,6 +182,8 @@ fn cmd_fit(args: &[String]) -> Result<(), String> {
     let f32_bins = flags.has("f32-bins");
     let cost_aware = flags.has("cost-aware");
     let objective = parse_objective(flags.get("objective").unwrap_or("loss"))?;
+    let space_growth =
+        SpaceGrowth::parse(flags.get("space").unwrap_or("fixed")).map_err(|e| e.to_string())?;
     let journal_path = flags.get("journal").map(std::path::PathBuf::from);
     let trace_path = flags.get("trace").map(std::path::PathBuf::from);
     let metrics_path = flags.get("metrics").map(std::path::PathBuf::from);
@@ -248,6 +252,7 @@ fn cmd_fit(args: &[String]) -> Result<(), String> {
             model_f32: f32_bins,
             cost_aware,
             objective,
+            space_growth,
             ..Default::default()
         },
     );
@@ -265,6 +270,11 @@ fn cmd_fit(args: &[String]) -> Result<(), String> {
     }
     if let Objective::LossAndCost { latency_weight } = objective {
         println!("objective: loss + {latency_weight} x per-row inference seconds");
+    }
+    if let SpaceGrowth::Incremental { eui_threshold } = space_growth {
+        println!(
+            "incremental space construction: start minimal, expand when plateau EUI < {eui_threshold}"
+        );
     }
     let fitted = engine.fit(&train).map_err(|e| e.to_string())?;
     println!("\nexecution plan after the run:\n{}", fitted.report.plan_explain);
@@ -541,6 +551,22 @@ mod tests {
         assert!(parse_objective("latency").is_err());
         assert!(parse_objective("loss_and_cost:-1").is_err());
         assert!(parse_objective("loss_and_cost:nope").is_err());
+    }
+
+    #[test]
+    fn space_flag_parses_and_rejects() {
+        let args: Vec<String> = ["--space", "incremental:0.05"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = Flags::parse(&args).unwrap();
+        assert_eq!(
+            SpaceGrowth::parse(f.get("space").unwrap()).unwrap(),
+            SpaceGrowth::Incremental { eui_threshold: 0.05 }
+        );
+        assert_eq!(SpaceGrowth::parse("fixed").unwrap(), SpaceGrowth::Fixed);
+        assert!(SpaceGrowth::parse("huge").is_err());
+        assert!(SpaceGrowth::parse("incremental:-3").is_err());
     }
 
     #[test]

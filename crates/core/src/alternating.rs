@@ -8,6 +8,7 @@
 use crate::block::{Assignment, BestSolution, BuildingBlock, LossInterval};
 use crate::eu::{eu_interval, eui};
 use crate::evaluator::Evaluator;
+use crate::spaces::SpaceDef;
 use crate::Result;
 use volcanoml_obs::span;
 
@@ -224,6 +225,52 @@ impl BuildingBlock for AlternatingBlock {
     fn set_cost_aware(&mut self, enabled: bool) {
         self.left.block.set_cost_aware(enabled);
         self.right.block.set_cost_aware(enabled);
+    }
+
+    /// Partitions the new variables between the two sides and extends each
+    /// side's ownership, the pin-defaults map, and the children. A new
+    /// variable joins the side that owns its condition parent; parentless
+    /// variables are classified by the `fe:` name prefix, matching the
+    /// plan's Fe/NonFe split. Both children are regrown even when they gain
+    /// no variables, so widened choice lists reach the owning side.
+    fn grow(&mut self, space: &SpaceDef, new_vars: &[String]) -> Result<()> {
+        let mut left_new: Vec<String> = Vec::new();
+        let mut right_new: Vec<String> = Vec::new();
+        let left_is_fe = self.left.vars.iter().any(|v| v.starts_with("fe:"));
+        for name in new_vars {
+            let parent = space
+                .var(name)
+                .and_then(|v| v.condition.as_ref())
+                .map(|(p, _)| p.clone());
+            let goes_left = match &parent {
+                Some(p) if self.left.vars.contains(p) || left_new.contains(p) => true,
+                Some(p) if self.right.vars.contains(p) || right_new.contains(p) => false,
+                _ => name.starts_with("fe:") == left_is_fe,
+            };
+            if goes_left {
+                left_new.push(name.clone());
+            } else {
+                right_new.push(name.clone());
+            }
+        }
+        for n in new_vars {
+            if let Some(v) = space.var(n) {
+                self.defaults.insert(n.clone(), v.default);
+            }
+        }
+        self.left.vars.extend(left_new.iter().cloned());
+        self.right.vars.extend(right_new.iter().cloned());
+        self.left.block.grow(space, &left_new)?;
+        self.right.block.grow(space, &right_new)?;
+        Ok(())
+    }
+
+    /// Both sides must plateau before the space grows.
+    fn plateau_eui(&self) -> f64 {
+        self.left
+            .block
+            .plateau_eui()
+            .max(self.right.block.plateau_eui())
     }
 
     fn trajectory(&self) -> Vec<f64> {

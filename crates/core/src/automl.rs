@@ -4,6 +4,7 @@
 use crate::block::Assignment;
 use crate::ensemble::Ensemble;
 use crate::evaluator::{Evaluator, ValidationStrategy};
+use crate::growth::{incremental_seed, GrowthController, SpaceGrowth, DEFAULT_PLATEAU_WINDOW};
 use crate::metalearn::MetaBase;
 use crate::objective::Objective;
 use crate::plan::{EngineKind, PlanSpec};
@@ -110,6 +111,16 @@ pub struct VolcanoMlOptions {
     /// typed events (via the tracer hooks) for subscribers to stream —
     /// independent of whether archival tracing (`trace_path`) is on.
     pub event_bus: Option<Arc<volcanoml_obs::EventBus>>,
+    /// How the search space is constructed. [`SpaceGrowth::Fixed`] (the
+    /// default) searches the full space from trial one — byte-identical to
+    /// the engine before incremental construction existed.
+    /// [`SpaceGrowth::Incremental`] starts from the minimal pipeline and
+    /// applies the FE expansion ladder whenever the block tree's plateau
+    /// EUI stays below the threshold for
+    /// [`DEFAULT_PLATEAU_WINDOW`] consecutive pulls; every applied
+    /// expansion is journaled and published as
+    /// [`volcanoml_obs::ObsEvent::SpaceExpanded`].
+    pub space_growth: SpaceGrowth,
 }
 
 impl Default for VolcanoMlOptions {
@@ -138,6 +149,7 @@ impl Default for VolcanoMlOptions {
             stop_flag: None,
             shared_metrics: None,
             event_bus: None,
+            space_growth: SpaceGrowth::Fixed,
         }
     }
 }
@@ -313,7 +325,30 @@ impl VolcanoML {
         } else {
             None
         };
-        let mut root = self.options.plan.compile(&self.space, self.options.seed)?;
+        // Incremental mode compiles the plan against the minimal stage-0
+        // space and grows it on plateau evidence. The evaluator keeps the
+        // full space either way: assignments are interpreted by prefix and
+        // digested as maps, so stage-0 configs hash and evaluate identically
+        // under both modes (and stay cache-valid across expansions).
+        let mut growth: Option<GrowthController> = match self.options.space_growth {
+            SpaceGrowth::Fixed => None,
+            SpaceGrowth::Incremental { eui_threshold } => Some(GrowthController::new(
+                incremental_seed(&self.space)?,
+                eui_threshold,
+                DEFAULT_PLATEAU_WINDOW,
+            )),
+        };
+        // Expansions already journaled by an interrupted run: the replay
+        // re-derives the same triggers from the same losses, so these fire
+        // again during re-drive and must not be re-journaled.
+        let replayed_expansions = evaluator
+            .journal()
+            .map(|j| j.expansions().len())
+            .unwrap_or(0);
+        let mut root = match &growth {
+            Some(g) => self.options.plan.compile(g.space(), self.options.seed)?,
+            None => self.options.plan.compile(&self.space, self.options.seed)?,
+        };
         if self.options.cost_aware {
             root.set_cost_aware(true);
         }
@@ -377,6 +412,46 @@ impl VolcanoML {
                 }
                 None => root.do_next(&evaluator)?,
             }
+            // Plateau check between pulls: the batch just pulled is fully
+            // observed, which is the only point where engine histories may
+            // be remapped into a grown space.
+            if let Some(g) = &mut growth {
+                if let Some(ev) = g.check(root.plateau_eui())? {
+                    root.grow(g.space(), &ev.new_vars)?;
+                    let journaled_trials = if let Some(journal) = evaluator.journal() {
+                        if ev.stage > replayed_expansions {
+                            journal.record_expansion(volcanoml_exec::ExpansionRecord {
+                                stage: ev.stage as u64,
+                                name: ev.name.clone(),
+                                trigger_eui: ev.trigger_eui,
+                                trial: journal.len() as u64,
+                            });
+                        }
+                        journal.len() as u64
+                    } else {
+                        evaluator.evaluations() as u64
+                    };
+                    let tracer = evaluator.tracer();
+                    if let Some(bus) = tracer.bus() {
+                        bus.publish(volcanoml_obs::ObsEvent::SpaceExpanded {
+                            stage: ev.stage as u64,
+                            name: ev.name.clone(),
+                            trigger_eui: ev.trigger_eui,
+                            trial: journaled_trials,
+                        });
+                    }
+                    tracer.event(
+                        "expansion",
+                        volcanoml_obs::EventFields {
+                            detail: format!(
+                                "stage {} {} trigger_eui={}",
+                                ev.stage, ev.name, ev.trigger_eui
+                            ),
+                            ..Default::default()
+                        },
+                    );
+                }
+            }
         }
 
         // Multi-fidelity engines may exhaust a small budget before promoting
@@ -399,8 +474,13 @@ impl VolcanoML {
 
         // Snapshot the scheduling state before any post-search work
         // (ensembling, refit) — this is the state a resumed run must
-        // reproduce bitwise.
-        let study_state = StudyState::capture(root.as_ref(), &evaluator);
+        // reproduce bitwise. In incremental mode the growth controller's
+        // ladder position joins the snapshot: two runs that will expand
+        // differently in the future must not compare equal.
+        let mut study_state = StudyState::capture(root.as_ref(), &evaluator);
+        if let Some(g) = &growth {
+            g.capture_state(&mut study_state.lines);
+        }
 
         // Collect the global best and trajectory from the evaluator log
         // (warm starts + all blocks).
@@ -777,6 +857,66 @@ mod tests {
         let loss = run();
         assert!(loss.is_finite() && loss < 0.5, "cost-aware best loss {loss}");
         assert_eq!(loss, run());
+    }
+
+    #[test]
+    fn incremental_space_expands_and_is_deterministic() {
+        let d = cls_data(15);
+        let run = || {
+            let bus = Arc::new(volcanoml_obs::EventBus::new());
+            let mut options = quick_options(40);
+            // A permissive threshold so the plateau window fires as soon as
+            // every arm has a finite EUI — the test exercises the growth
+            // path, not the plateau heuristic.
+            options.space_growth = SpaceGrowth::Incremental { eui_threshold: 10.0 };
+            options.event_bus = Some(Arc::clone(&bus));
+            let engine = VolcanoML::with_tier(Task::Classification, SpaceTier::Small, options);
+            let fitted = engine.fit(&d).unwrap();
+            let expansions: Vec<(u64, String)> = bus
+                .read_after(None)
+                .into_iter()
+                .filter_map(|e| match e.event {
+                    volcanoml_obs::ObsEvent::SpaceExpanded { stage, name, .. } => {
+                        Some((stage, name))
+                    }
+                    _ => None,
+                })
+                .collect();
+            (
+                fitted.report.best_loss,
+                expansions,
+                fitted.study_state.render(),
+            )
+        };
+        let (loss, expansions, state) = run();
+        assert!(loss.is_finite() && loss < 0.5, "incremental best loss {loss}");
+        assert!(!expansions.is_empty(), "no expansion fired within budget");
+        assert_eq!(expansions[0], (1, "transform_stage".to_string()));
+        assert!(state.contains("growth stage="), "snapshot lacks growth line");
+        let (loss2, expansions2, state2) = run();
+        assert_eq!(loss, loss2);
+        assert_eq!(expansions, expansions2);
+        // Full snapshots embed measured wall-clock costs, so two live runs
+        // never compare bitwise (only replayed runs do — covered by the
+        // resume tests). The growth line, however, is cost-free.
+        let growth_line = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("growth "))
+                .map(str::to_string)
+        };
+        assert_eq!(growth_line(&state), growth_line(&state2));
+    }
+
+    #[test]
+    fn fixed_mode_snapshot_has_no_growth_line() {
+        let d = cls_data(16);
+        let engine =
+            VolcanoML::with_tier(Task::Classification, SpaceTier::Small, quick_options(10));
+        let fitted = engine.fit(&d).unwrap();
+        assert!(
+            !fitted.study_state.render().contains("growth "),
+            "fixed mode must not add growth lines to the snapshot"
+        );
     }
 
     #[test]

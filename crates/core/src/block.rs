@@ -13,6 +13,7 @@
 //! | `set_var(B, x̄, c̄)` | [`BuildingBlock::set_fixed`] |
 
 use crate::evaluator::Evaluator;
+use crate::spaces::SpaceDef;
 use crate::Result;
 use std::collections::HashMap;
 use volcanoml_exec::ExecPool;
@@ -80,6 +81,29 @@ pub trait BuildingBlock {
     /// cost model are legitimately cost-blind).
     fn set_cost_aware(&mut self, enabled: bool) {
         let _ = enabled;
+    }
+
+    /// Grows this block's subtree to cover an expanded search space:
+    /// interior blocks forward to every child (extending their variable
+    /// partitions with the new variables), joint leaves re-derive their
+    /// per-block `ConfigSpace` against `space` and extend the live engine
+    /// in place, so existing observations stay valid and new variables
+    /// backfill defaults. `new_vars` lists the variable names the
+    /// expansion appended (widened choice lists need no mention — the
+    /// recompiled domains pick them up). Must be called only between a
+    /// fully observed batch and the next suggestion. The default ignores
+    /// the call (blocks that hold no space of their own).
+    fn grow(&mut self, space: &SpaceDef, new_vars: &[String]) -> Result<()> {
+        let _ = (space, new_vars);
+        Ok(())
+    }
+
+    /// The EUI signal used as plateau evidence for incremental space
+    /// construction. Interior bandit blocks report the *maximum* EUI over
+    /// surviving children — the space has plateaued only once every
+    /// surviving arm has. The default is the block's own EUI.
+    fn plateau_eui(&self) -> f64 {
+        self.expected_utility_improvement()
     }
 
     /// Best-so-far loss trajectory (one entry per full-fidelity evaluation

@@ -12,6 +12,7 @@
 use crate::block::{Assignment, BestSolution, BuildingBlock, LossInterval};
 use crate::eu::{eu_interval, eui};
 use crate::evaluator::Evaluator;
+use crate::spaces::SpaceDef;
 use crate::Result;
 use volcanoml_obs::{span, EventFields, Tracer};
 
@@ -280,6 +281,26 @@ impl BuildingBlock for ConditioningBlock {
         for arm in &mut self.arms {
             arm.block.set_cost_aware(enabled);
         }
+    }
+
+    /// Every arm's subtree grows — including eliminated arms, so that their
+    /// captured state stays consistent with the live space.
+    fn grow(&mut self, space: &SpaceDef, new_vars: &[String]) -> Result<()> {
+        for arm in &mut self.arms {
+            arm.block.grow(space, new_vars)?;
+        }
+        Ok(())
+    }
+
+    /// Space growth must wait for *every* surviving arm to plateau: a single
+    /// still-improving (or not-yet-warmed-up, EUI = ∞) arm keeps the space
+    /// fixed, so the maximum over active arms is the plateau signal.
+    fn plateau_eui(&self) -> f64 {
+        self.arms
+            .iter()
+            .filter(|a| a.active)
+            .map(|a| a.block.plateau_eui())
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     fn trajectory(&self) -> Vec<f64> {

@@ -5,6 +5,7 @@
 use crate::block::{Assignment, BestSolution, BuildingBlock, LossInterval};
 use crate::eu::{eu_interval, eui};
 use crate::evaluator::{Evaluator, TrialTag};
+use crate::spaces::SpaceDef;
 use crate::Result;
 use std::sync::Arc;
 use volcanoml_bo::{
@@ -299,6 +300,28 @@ impl BuildingBlock for JointBlock {
 
     fn set_cost_aware(&mut self, enabled: bool) {
         self.engine.set_cost_aware(enabled);
+    }
+
+    /// Re-derives this leaf's `ConfigSpace` from the grown `space` — its
+    /// current parameter set plus whichever `new_vars` are not pinned in the
+    /// context — and extends the live engine in place. Widened choice lists
+    /// need no mention in `new_vars`: the recompiled domains pick them up.
+    fn grow(&mut self, space: &SpaceDef, new_vars: &[String]) -> Result<()> {
+        let mut include: Vec<String> = self
+            .engine
+            .space()
+            .params()
+            .iter()
+            .map(|p| p.name.clone())
+            .collect();
+        for name in new_vars {
+            if !include.contains(name) && !self.context.contains_key(name) {
+                include.push(name.clone());
+            }
+        }
+        let cs = space.compile_subspace(&include, &self.context)?;
+        self.engine.grow_space(cs);
+        Ok(())
     }
 
     fn set_fixed(&mut self, fixed: &Assignment) {

@@ -28,6 +28,7 @@ pub mod conditioning;
 pub mod ensemble;
 pub mod eu;
 pub mod evaluator;
+pub mod growth;
 pub mod joint;
 pub mod metalearn;
 pub mod objective;
@@ -40,6 +41,7 @@ pub use automl::{AutoMlReport, FittedVolcanoML, VolcanoML, VolcanoMlOptions};
 pub use study::StudyState;
 pub use block::{Assignment, BuildingBlock, LossInterval};
 pub use evaluator::{assignment_digest, EvalOutcome, Evaluator, TrialTag, ValidationStrategy};
+pub use growth::{ExpansionEvent, GrowthController, SpaceGrowth};
 pub use objective::{pareto_front, Objective};
 pub use plan::{EngineKind, PlanSpec, VarFilter};
 pub use spaces::{SpaceDef, SpaceTier, VarDef, VarGroup};

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use volcanoml_bo::{Condition, ConfigSpace, Domain};
 use volcanoml_data::Task;
 use volcanoml_fe::pipeline::FeSpaceOptions;
-use volcanoml_fe::space::{fe_param_defs, fe_param_defs_minimal, FeParam};
+use volcanoml_fe::space::{fe_param_defs, fe_param_defs_minimal, FeExpansion, FeParam};
 use volcanoml_models::{AlgorithmKind, ParamKind};
 
 /// Which logical part of the space a variable belongs to.
@@ -265,6 +265,85 @@ impl SpaceDef {
         Ok(space)
     }
 
+    /// Applies one FE expansion in place: first widens existing categorical
+    /// FE variables with extra trailing choices (existing choice indices are
+    /// untouched, so observed values stay valid), then appends the
+    /// expansion's new variables at the end of `vars` (preserving the
+    /// parents-before-children invariant — earlier variables never move).
+    /// Returns the names of the appended variables.
+    pub fn apply_fe_expansion(&mut self, exp: &FeExpansion) -> Result<Vec<String>> {
+        for (name, extra) in &exp.widen {
+            let full = format!("fe:{name}");
+            let var = self
+                .vars
+                .iter_mut()
+                .find(|v| v.name == full)
+                .ok_or_else(|| {
+                    CoreError::Invalid(format!(
+                        "expansion {} widens unknown variable {full}",
+                        exp.name
+                    ))
+                })?;
+            match &mut var.domain {
+                Domain::Cat { n } => *n += extra.len(),
+                _ => {
+                    return Err(CoreError::Invalid(format!(
+                        "expansion {} widens non-categorical {full}",
+                        exp.name
+                    )))
+                }
+            }
+        }
+        let mut added = Vec::new();
+        for fe in &exp.params {
+            let (domain, default) = param_kind_to_domain(&fe.def.kind);
+            let name = format!("fe:{}", fe.def.name);
+            if self.var(&name).is_some() {
+                return Err(CoreError::Invalid(format!(
+                    "expansion {} re-adds variable {name}",
+                    exp.name
+                )));
+            }
+            let condition = fe
+                .condition
+                .clone()
+                .map(|(parent, values)| (format!("fe:{parent}"), values));
+            if let Some((parent, values)) = &condition {
+                match self.var(parent).map(|p| &p.domain) {
+                    Some(Domain::Cat { n }) => {
+                        if values.iter().any(|v| v >= n) {
+                            return Err(CoreError::Invalid(format!(
+                                "expansion {}: {name} condition value out of range for {parent}",
+                                exp.name
+                            )));
+                        }
+                    }
+                    Some(_) => {
+                        return Err(CoreError::Invalid(format!(
+                            "expansion {}: {name} parent {parent} is not categorical",
+                            exp.name
+                        )))
+                    }
+                    None => {
+                        return Err(CoreError::Invalid(format!(
+                            "expansion {}: {name} parent {parent} does not exist",
+                            exp.name
+                        )))
+                    }
+                }
+            }
+            self.vars.push(VarDef {
+                name: name.clone(),
+                domain,
+                default,
+                condition,
+                group: VarGroup::Fe,
+            });
+            added.push(name);
+        }
+        Ok(added)
+    }
+
     /// Names of all variables, in order.
     pub fn var_names(&self) -> Vec<String> {
         self.vars.iter().map(|v| v.name.clone()).collect()
@@ -379,6 +458,82 @@ mod tests {
         assert!(def.var("fe:smote_k").is_some());
         let base = SpaceDef::auto_sklearn_equivalent(Task::Classification);
         assert_eq!(def.len(), base.len() + 1);
+    }
+
+    #[test]
+    fn fe_expansion_appends_vars_and_widens_in_place() {
+        use volcanoml_fe::space::fe_expansions;
+        let mut def = SpaceDef::tiered(Task::Classification, SpaceTier::Small);
+        let before_names = def.var_names();
+        let expansions = fe_expansions(Task::Classification, &def.fe_options);
+        // Stage 1: the dormant transform stage appears, everything existing
+        // keeps its position.
+        let added = def.apply_fe_expansion(&expansions[0]).unwrap();
+        assert!(added.contains(&"fe:transform".to_string()));
+        assert_eq!(&def.var_names()[..before_names.len()], &before_names[..]);
+        let transform = def.var("fe:transform").unwrap();
+        assert_eq!(transform.domain, Domain::Cat { n: 7 });
+        // Stage 2: operator families widen `fe:transform` to 8 choices and
+        // append the encoder family.
+        let added2 = def.apply_fe_expansion(&expansions[1]).unwrap();
+        assert!(added2.contains(&"fe:cat_encoder".to_string()));
+        assert!(added2.contains(&"fe:binning_bins".to_string()));
+        assert_eq!(def.var("fe:transform").unwrap().domain, Domain::Cat { n: 8 });
+        // The grown space still compiles with valid conditions, and the new
+        // children condition on their new parents.
+        let space = def.compile_subspace(&def.var_names(), &HashMap::new()).unwrap();
+        assert_eq!(space.len(), def.len());
+        let bins = space.index_of("fe:binning_bins").unwrap();
+        let cond = space.params()[bins].condition.as_ref().unwrap();
+        assert_eq!(space.params()[cond.parent].name, "fe:transform");
+        assert_eq!(cond.values, vec![7]);
+        let mut rng = volcanoml_data::rand_util::rng_from_seed(1);
+        for _ in 0..50 {
+            let c = space.sample(&mut rng);
+            space.validate(&c).unwrap();
+        }
+    }
+
+    #[test]
+    fn fully_grown_space_is_superset_of_fixed_space() {
+        use volcanoml_fe::space::fe_expansions;
+        let fixed = SpaceDef::tiered(Task::Classification, SpaceTier::Medium);
+        let mut grown = SpaceDef::build(
+            fixed.task,
+            fixed.algorithms.clone(),
+            volcanoml_fe::space::fe_param_defs_minimal(fixed.task),
+            fixed.fe_options.clone(),
+        )
+        .unwrap();
+        assert!(grown.len() < fixed.len(), "stage 0 must run fewer variables");
+        for exp in fe_expansions(fixed.task, &fixed.fe_options) {
+            grown.apply_fe_expansion(&exp).unwrap();
+        }
+        // Every fixed-space variable exists in the grown space with the same
+        // default and condition; Cat domains may only be wider.
+        for v in &fixed.vars {
+            let g = grown.var(&v.name).unwrap_or_else(|| panic!("{} missing", v.name));
+            assert_eq!(g.default.to_bits(), v.default.to_bits(), "{}", v.name);
+            assert_eq!(g.condition, v.condition, "{}", v.name);
+            match (&g.domain, &v.domain) {
+                (Domain::Cat { n: gn }, Domain::Cat { n: fnn }) => assert!(gn >= fnn, "{}", v.name),
+                (gd, fd) => assert_eq!(gd, fd, "{}", v.name),
+            }
+        }
+        assert!(grown.len() > fixed.len(), "operator families extend the template");
+    }
+
+    #[test]
+    fn fe_expansion_rejects_bad_shapes() {
+        use volcanoml_fe::space::fe_expansions;
+        let mut def = SpaceDef::tiered(Task::Classification, SpaceTier::Small);
+        let expansions = fe_expansions(Task::Classification, &def.fe_options);
+        // Applying the second expansion without the first fails: `transform`
+        // (the widening target and `binning_bins` parent) does not exist yet.
+        assert!(def.apply_fe_expansion(&expansions[1]).is_err());
+        // Applying the same expansion twice fails on the duplicate name.
+        def.apply_fe_expansion(&expansions[0]).unwrap();
+        assert!(def.apply_fe_expansion(&expansions[0]).is_err());
     }
 
     #[test]

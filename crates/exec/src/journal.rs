@@ -26,6 +26,21 @@
 //! when unknown) — both join journal rows to `volcanoml-obs` trace spans,
 //! which carry the same `trial` id, arm, and digest.
 //!
+//! Schema version 2 adds a second row kind, the *space expansion* row,
+//! discriminated by an `"event"` key (trial rows carry no `event` key):
+//!
+//! ```json
+//! {"schema":2,"event":"expansion","stage":1,"name":"transform_stage",
+//!  "trigger_eui":0.00042,"trial":23}
+//! ```
+//!
+//! `stage` is the space's stage number after applying the expansion (stage 0
+//! is the seed space), `name` the expansion's ladder name, `trigger_eui` the
+//! plateau EUI reading that fired it, and `trial` the number of trials
+//! journaled before the expansion landed — which orders expansions relative
+//! to trial rows for reporting. Trial rows are unchanged from version 1, so
+//! version-1 trial rows remain readable.
+//!
 //! Durability: the journal is `Sync` (workers append concurrently through
 //! an internal mutex) and the file mirror flushes periodically — every
 //! [`Journal::set_flush_policy`] rows or seconds, plus on [`Journal::flush`]
@@ -45,7 +60,11 @@ use std::time::{Duration, Instant};
 /// Version stamped into every journal row's `schema` field. Bump when the
 /// row format changes incompatibly; [`Journal::resume_from_path`] refuses
 /// to replay rows from other versions.
-pub const JOURNAL_SCHEMA_VERSION: u64 = 1;
+pub const JOURNAL_SCHEMA_VERSION: u64 = 2;
+
+/// Schema versions whose trial rows this build can read. Version 2 only
+/// *added* the expansion row kind; trial rows are identical across both.
+const READABLE_SCHEMA_VERSIONS: [u64; 2] = [1, 2];
 
 /// Default flush threshold: rows buffered before an automatic flush.
 const DEFAULT_FLUSH_ROWS: usize = 16;
@@ -126,19 +145,9 @@ impl TrialRecord {
     /// errors.
     pub fn from_json(line: &str) -> Result<TrialRecord, String> {
         let fields = parse_flat_object(line)?;
-        let schema = match field(&fields, "schema") {
-            None => {
-                return Err(
-                    "row has no \"schema\" field (journal predates versioned rows)".to_string(),
-                )
-            }
-            Some(v) => as_u64(v, "schema")?,
-        };
-        if schema != JOURNAL_SCHEMA_VERSION {
-            return Err(format!(
-                "unsupported journal schema version {schema} \
-                 (this build reads version {JOURNAL_SCHEMA_VERSION})"
-            ));
+        check_schema(&fields)?;
+        if field(&fields, "event").is_some() {
+            return Err("row is an event row, not a trial row".to_string());
         }
         let req = |key: &str| {
             field(&fields, key).ok_or_else(|| format!("missing required key \"{key}\""))
@@ -161,6 +170,108 @@ impl TrialRecord {
             digest: as_string(req("digest")?, "digest")?,
         })
     }
+}
+
+/// One space-expansion journal entry (schema version 2; see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpansionRecord {
+    /// Stage number after applying the expansion (stage 0 = seed space).
+    pub stage: u64,
+    /// The expansion's name in the growth ladder.
+    pub name: String,
+    /// Plateau EUI reading that triggered the expansion.
+    pub trigger_eui: f64,
+    /// Number of trials journaled before the expansion landed — orders
+    /// expansion rows relative to trial rows.
+    pub trial: u64,
+}
+
+impl ExpansionRecord {
+    /// Renders the record as one JSON line (without trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"schema\":{},\"event\":\"expansion\",\"stage\":{},\"name\":\"{}\",\
+             \"trigger_eui\":{},\"trial\":{}}}",
+            JOURNAL_SCHEMA_VERSION,
+            self.stage,
+            json_str(&self.name),
+            json_f64(self.trigger_eui),
+            self.trial
+        )
+    }
+
+    /// Parses one expansion row back, bit-exactly (same float round-trip
+    /// guarantee as trial rows).
+    pub fn from_json(line: &str) -> Result<ExpansionRecord, String> {
+        let fields = parse_flat_object(line)?;
+        check_schema(&fields)?;
+        match field(&fields, "event") {
+            Some(Val::Str(e)) if e == "expansion" => {}
+            Some(_) => return Err("unknown event kind in journal row".to_string()),
+            None => return Err("row is a trial row, not an event row".to_string()),
+        }
+        let req = |key: &str| {
+            field(&fields, key).ok_or_else(|| format!("missing required key \"{key}\""))
+        };
+        Ok(ExpansionRecord {
+            stage: as_u64(req("stage")?, "stage")?,
+            name: as_string(req("name")?, "name")?,
+            trigger_eui: as_f64(req("trigger_eui")?, "trigger_eui")?,
+            trial: as_u64(req("trial")?, "trial")?,
+        })
+    }
+}
+
+/// Any journal row, dispatched on the `event` discriminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRow {
+    /// A trial row (no `event` key).
+    Trial(TrialRecord),
+    /// A space-expansion row (`"event":"expansion"`).
+    Expansion(ExpansionRecord),
+}
+
+impl JournalRow {
+    /// Parses one journal line into the right row kind.
+    pub fn from_json(line: &str) -> Result<JournalRow, String> {
+        let fields = parse_flat_object(line)?;
+        check_schema(&fields)?;
+        match field(&fields, "event") {
+            None => TrialRecord::from_json(line).map(JournalRow::Trial),
+            Some(Val::Str(e)) if e == "expansion" => {
+                ExpansionRecord::from_json(line).map(JournalRow::Expansion)
+            }
+            Some(Val::Str(e)) => Err(format!("unknown journal event kind \"{e}\"")),
+            Some(_) => Err("key \"event\": expected a string".to_string()),
+        }
+    }
+
+    /// Renders the row as one JSON line.
+    pub fn to_json(&self) -> String {
+        match self {
+            JournalRow::Trial(r) => r.to_json(),
+            JournalRow::Expansion(r) => r.to_json(),
+        }
+    }
+}
+
+/// Validates a row's `schema` field against the versions this build reads.
+fn check_schema(fields: &[(String, Val)]) -> Result<(), String> {
+    let schema = match field(fields, "schema") {
+        None => {
+            return Err(
+                "row has no \"schema\" field (journal predates versioned rows)".to_string(),
+            )
+        }
+        Some(v) => as_u64(v, "schema")?,
+    };
+    if !READABLE_SCHEMA_VERSIONS.contains(&schema) {
+        return Err(format!(
+            "unsupported journal schema version {schema} \
+             (this build reads versions {READABLE_SCHEMA_VERSIONS:?})"
+        ));
+    }
+    Ok(())
 }
 
 /// Escapes a string for embedding in a JSON document.
@@ -431,6 +542,9 @@ pub struct Journal {
 
 struct JournalState {
     lines: Vec<TrialRecord>,
+    /// Space-expansion rows, in append order; each row's `trial` field
+    /// orders it relative to `lines`.
+    expansions: Vec<ExpansionRecord>,
     file: Option<std::io::BufWriter<std::fs::File>>,
     /// Rows written since the last flush.
     unflushed: usize,
@@ -450,6 +564,7 @@ impl JournalState {
     fn fresh(file: Option<std::io::BufWriter<std::fs::File>>) -> JournalState {
         JournalState {
             lines: Vec::new(),
+            expansions: Vec::new(),
             file,
             unflushed: 0,
             last_flush: Instant::now(),
@@ -513,11 +628,12 @@ impl Journal {
         let text = std::fs::read_to_string(path)?;
         let n_bytes = text.len();
         let mut records: Vec<TrialRecord> = Vec::new();
+        let mut expansions: Vec<ExpansionRecord> = Vec::new();
         // Byte length of the newline-terminated valid prefix.
         let mut valid_prefix: usize = 0;
         // A final line that parsed but lacked its newline (crash landed
         // exactly after the closing brace): re-append it terminated.
-        let mut reappend: Option<TrialRecord> = None;
+        let mut reappend: Option<JournalRow> = None;
         let mut torn_tail = false;
         let mut offset = 0usize;
         let mut line_no = 0usize;
@@ -536,13 +652,16 @@ impl Journal {
                 offset += line_len;
                 continue;
             }
-            match TrialRecord::from_json(line) {
-                Ok(rec) => {
-                    records.push(rec.clone());
+            match JournalRow::from_json(line) {
+                Ok(row) => {
+                    match &row {
+                        JournalRow::Trial(rec) => records.push(rec.clone()),
+                        JournalRow::Expansion(rec) => expansions.push(rec.clone()),
+                    }
                     if terminated {
                         valid_prefix = offset + line_len;
                     } else {
-                        reappend = Some(rec);
+                        reappend = Some(row);
                     }
                 }
                 Err(e) => {
@@ -566,8 +685,8 @@ impl Journal {
             file.set_len(valid_prefix as u64)?;
         }
         let mut writer = std::io::BufWriter::new(file);
-        if let Some(rec) = &reappend {
-            writeln!(writer, "{}", rec.to_json())?;
+        if let Some(row) = &reappend {
+            writeln!(writer, "{}", row.to_json())?;
             writer.flush()?;
         }
         let next_id = records.iter().map(|r| r.trial_id + 1).max().unwrap_or(0);
@@ -575,6 +694,7 @@ impl Journal {
         let resumed = records.len();
         let mut state = JournalState::fresh(Some(writer));
         state.lines = records;
+        state.expansions = expansions;
         Ok(Journal {
             epoch: Instant::now(),
             epoch_offset,
@@ -639,6 +759,33 @@ impl Journal {
             }
         }
         state.lines.push(rec);
+    }
+
+    /// Appends one space-expansion row (and mirrors it to the file), then
+    /// flushes immediately: expansions are rare, and losing one to a crash
+    /// would desynchronize the audit trail from the trials that follow it.
+    pub fn record_expansion(&self, rec: ExpansionRecord) {
+        let mut state = self.state.lock().expect("journal poisoned");
+        let state = &mut *state;
+        if let Some(file) = state.file.as_mut() {
+            let _ = writeln!(file, "{}", rec.to_json());
+            let flush_start = Instant::now();
+            let _ = file.flush();
+            state.unflushed = 0;
+            state.last_flush = Instant::now();
+            let elapsed = flush_start.elapsed().as_secs_f64();
+            state.note_flush(elapsed);
+        }
+        state.expansions.push(rec);
+    }
+
+    /// Snapshot of all space-expansion rows, in append order.
+    pub fn expansions(&self) -> Vec<ExpansionRecord> {
+        self.state
+            .lock()
+            .expect("journal poisoned")
+            .expansions
+            .clone()
     }
 
     /// Flushes buffered lines to the backing file, if any.
@@ -729,11 +876,20 @@ mod tests {
         dir.join(format!("{stem}-{}.jsonl", std::process::id()))
     }
 
+    fn expansion(stage: u64, trial: u64) -> ExpansionRecord {
+        ExpansionRecord {
+            stage,
+            name: "transform_stage".to_string(),
+            trigger_eui: 0.000425,
+            trial,
+        }
+    }
+
     #[test]
     fn json_line_has_stable_schema() {
         let line = record(3).to_json();
         for key in [
-            "\"schema\":1",
+            "\"schema\":2",
             "\"trial\":3",
             "\"worker\":1",
             "\"start_s\":0.25",
@@ -752,8 +908,56 @@ mod tests {
         ] {
             assert!(line.contains(key), "missing {key} in {line}");
         }
-        assert!(line.starts_with("{\"schema\":1,"));
+        assert!(line.starts_with("{\"schema\":2,"));
         assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn expansion_row_has_stable_schema_and_round_trips() {
+        let r = expansion(1, 23);
+        let line = r.to_json();
+        assert_eq!(
+            line,
+            "{\"schema\":2,\"event\":\"expansion\",\"stage\":1,\
+             \"name\":\"transform_stage\",\"trigger_eui\":0.000425,\"trial\":23}"
+        );
+        let back = ExpansionRecord::from_json(&line).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.trigger_eui.to_bits(), r.trigger_eui.to_bits());
+        // Bit-exactness for awkward floats, same as trial rows.
+        let mut odd = r.clone();
+        odd.trigger_eui = 0.1 + 0.2;
+        let back = ExpansionRecord::from_json(&odd.to_json()).unwrap();
+        assert_eq!(back.trigger_eui.to_bits(), odd.trigger_eui.to_bits());
+    }
+
+    #[test]
+    fn journal_row_dispatches_on_event_kind() {
+        match JournalRow::from_json(&record(5).to_json()).unwrap() {
+            JournalRow::Trial(r) => assert_eq!(r.trial_id, 5),
+            other => panic!("expected trial row, got {other:?}"),
+        }
+        match JournalRow::from_json(&expansion(2, 40).to_json()).unwrap() {
+            JournalRow::Expansion(r) => assert_eq!(r.stage, 2),
+            other => panic!("expected expansion row, got {other:?}"),
+        }
+        // Cross-kind parses fail loudly rather than misread.
+        assert!(TrialRecord::from_json(&expansion(1, 0).to_json()).is_err());
+        assert!(ExpansionRecord::from_json(&record(0).to_json()).is_err());
+        let alien = expansion(1, 0)
+            .to_json()
+            .replace("\"expansion\"", "\"teleport\"");
+        assert!(JournalRow::from_json(&alien)
+            .unwrap_err()
+            .contains("teleport"));
+    }
+
+    /// Version-1 trial rows (pre-expansion journals) must stay readable.
+    #[test]
+    fn v1_trial_rows_still_parse() {
+        let v1 = record(9).to_json().replace("\"schema\":2", "\"schema\":1");
+        let back = TrialRecord::from_json(&v1).unwrap();
+        assert_eq!(back, record(9));
     }
 
     #[test]
@@ -797,12 +1001,12 @@ mod tests {
         assert!(err.contains("schema"), "unexpected error: {err}");
 
         let err = TrialRecord::from_json(
-            &record(0).to_json().replace("\"schema\":1", "\"schema\":99"),
+            &record(0).to_json().replace("\"schema\":2", "\"schema\":99"),
         )
         .unwrap_err();
         assert!(err.contains("99"), "unexpected error: {err}");
 
-        assert!(TrialRecord::from_json("{\"schema\":1,\"trial\":").is_err());
+        assert!(TrialRecord::from_json("{\"schema\":2,\"trial\":").is_err());
     }
 
     #[test]
@@ -972,6 +1176,60 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
+    /// Expansion rows interleaved with trial rows survive a resume: trials
+    /// replay into `records()`, expansions into `expansions()`, and the
+    /// `trial` field keeps their relative order recoverable.
+    #[test]
+    fn resume_replays_interleaved_expansion_rows() {
+        let path = temp_path("expansion-resume");
+        {
+            let j = Journal::to_path(&path).unwrap();
+            j.record(record(0));
+            j.record(record(1));
+            j.record_expansion(expansion(1, 2));
+            j.record(record(2));
+            j.record_expansion(expansion(2, 3));
+        }
+        let j = Journal::resume_from_path(&path).unwrap();
+        assert_eq!(j.resumed_records(), 3);
+        assert_eq!(j.next_trial_id(), 3);
+        let exps = j.expansions();
+        assert_eq!(exps.len(), 2);
+        assert_eq!(exps[0], expansion(1, 2));
+        assert_eq!(exps[1], expansion(2, 3));
+        drop(j);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A crash mid-expansion-write tears the expansion row: resume drops
+    /// the torn tail and the journal reports one fewer expansion — the
+    /// study-level replay then re-derives and re-journals it.
+    #[test]
+    fn resume_truncates_torn_expansion_row() {
+        let path = temp_path("expansion-torn");
+        {
+            let j = Journal::to_path(&path).unwrap();
+            j.record(record(0));
+            j.record_expansion(expansion(1, 1));
+        }
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"schema\":2,\"event\":\"expansion\",\"sta");
+        std::fs::write(&path, &text).unwrap();
+
+        let j = Journal::resume_from_path(&path).unwrap();
+        assert!(j.skipped_torn_tail());
+        assert_eq!(j.expansions().len(), 1);
+        j.record_expansion(expansion(2, 1));
+        drop(j);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in lines {
+            JournalRow::from_json(line).expect("every surviving line parses");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
     /// Corruption *inside* the file is not a crash artifact: hard error.
     #[test]
     fn resume_errors_on_midfile_corruption() {
@@ -989,7 +1247,7 @@ mod tests {
     #[test]
     fn resume_rejects_unknown_schema_version() {
         let path = temp_path("schema");
-        let alien = record(0).to_json().replace("\"schema\":1", "\"schema\":42");
+        let alien = record(0).to_json().replace("\"schema\":2", "\"schema\":42");
         std::fs::write(&path, format!("{alien}\n")).unwrap();
         let err = Journal::resume_from_path(&path).err().expect("must fail");
         assert!(
@@ -997,7 +1255,7 @@ mod tests {
             "unexpected error: {err}"
         );
 
-        let legacy = record(0).to_json().replace("\"schema\":1,", "");
+        let legacy = record(0).to_json().replace("\"schema\":2,", "");
         std::fs::write(&path, format!("{legacy}\n")).unwrap();
         let err = Journal::resume_from_path(&path).err().expect("must fail");
         assert!(err.to_string().contains("schema"), "unexpected error: {err}");

@@ -24,5 +24,5 @@
 mod journal;
 mod pool;
 
-pub use journal::{Journal, TrialRecord, JOURNAL_SCHEMA_VERSION};
+pub use journal::{ExpansionRecord, Journal, JournalRow, TrialRecord, JOURNAL_SCHEMA_VERSION};
 pub use pool::{current_worker, ExecPool, PoolConfig, TrialRun, TrialStatus};

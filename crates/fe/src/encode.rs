@@ -1,4 +1,7 @@
-//! One-hot encoding of categorical columns.
+//! Categorical-column encoders: one-hot (the baseline), smoothed target
+//! encoding, and feature hashing — plus the quantile binner used as a
+//! transform-stage operator. The latter three enter the search space only
+//! through incremental expansion (see `space::fe_expansions`).
 
 use crate::{FeError, Result};
 use volcanoml_data::FeatureType;
@@ -83,6 +86,278 @@ impl OneHotEncoder {
     }
 }
 
+/// Splits declared feature types into numerical and categorical column
+/// lists (the shared preamble of every categorical encoder).
+fn split_types(types: &[FeatureType]) -> (Vec<usize>, Vec<(usize, usize)>) {
+    let mut numerical = Vec::new();
+    let mut categorical = Vec::new();
+    for (i, t) in types.iter().enumerate() {
+        match t {
+            FeatureType::Numerical => numerical.push(i),
+            FeatureType::Categorical(card) => categorical.push((i, (*card).max(1))),
+        }
+    }
+    (numerical, categorical)
+}
+
+/// Smoothed target encoder: each categorical column collapses to a single
+/// column holding the shrunk per-category mean target,
+/// `(n·mean + s·global) / (n + s)` — unseen or out-of-range codes fall back
+/// to the global mean. Numerical columns pass through first, matching the
+/// one-hot column order convention.
+#[derive(Debug, Clone)]
+pub struct TargetEncoder {
+    numerical: Vec<usize>,
+    categorical: Vec<(usize, usize)>,
+    smoothing: f64,
+    global_mean: f64,
+    /// Per categorical column: code → encoded value.
+    tables: Vec<Vec<f64>>,
+    fitted: bool,
+}
+
+impl TargetEncoder {
+    /// Builds an (unfitted) encoder from declared feature types.
+    pub fn from_feature_types(types: &[FeatureType], smoothing: f64) -> Self {
+        let (numerical, categorical) = split_types(types);
+        TargetEncoder {
+            numerical,
+            categorical,
+            smoothing: smoothing.max(0.0),
+            global_mean: 0.0,
+            tables: Vec::new(),
+            fitted: false,
+        }
+    }
+
+    /// Output width: numerical passthrough + one column per categorical.
+    pub fn output_width(&self) -> usize {
+        self.numerical.len() + self.categorical.len()
+    }
+
+    /// Fits per-category smoothed target means.
+    pub fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        if x.rows() != y.len() {
+            return Err(FeError::Invalid(format!(
+                "{} rows but {} targets",
+                x.rows(),
+                y.len()
+            )));
+        }
+        self.global_mean = if y.is_empty() {
+            0.0
+        } else {
+            y.iter().sum::<f64>() / y.len() as f64
+        };
+        self.tables.clear();
+        for &(c, card) in &self.categorical {
+            let mut sums = vec![0.0f64; card];
+            let mut counts = vec![0usize; card];
+            for (r, &target) in y.iter().enumerate() {
+                let v = x.row(r)[c];
+                if v.is_finite() && v >= 0.0 {
+                    let code = v.round() as usize;
+                    if code < card {
+                        sums[code] += target;
+                        counts[code] += 1;
+                    }
+                }
+            }
+            let table: Vec<f64> = (0..card)
+                .map(|k| {
+                    let n = counts[k] as f64;
+                    (sums[k] + self.smoothing * self.global_mean) / (n + self.smoothing).max(1e-12)
+                })
+                .collect();
+            self.tables.push(table);
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    /// Applies the fitted encoding.
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        if !self.fitted {
+            return Err(FeError::NotFitted);
+        }
+        let expected = self.numerical.len() + self.categorical.len();
+        if x.cols() != expected {
+            return Err(FeError::Invalid(format!(
+                "target encoder expects {expected} columns, got {}",
+                x.cols()
+            )));
+        }
+        let mut out = Matrix::zeros(x.rows(), self.output_width());
+        for r in 0..x.rows() {
+            let src = x.row(r);
+            let dst = out.row_mut(r);
+            for (j, &c) in self.numerical.iter().enumerate() {
+                dst[j] = src[c];
+            }
+            for (j, (&(c, card), table)) in
+                self.categorical.iter().zip(self.tables.iter()).enumerate()
+            {
+                let v = src[c];
+                let code = if v.is_finite() && v >= 0.0 { v.round() as usize } else { card };
+                dst[self.numerical.len() + j] =
+                    table.get(code).copied().unwrap_or(self.global_mean);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Signed feature hashing of categorical columns: each `(column, code)`
+/// pair hashes to one of `buckets` output columns with a ±1 sign, so
+/// arbitrary cardinality collapses to a fixed width without a fit pass.
+/// Numerical columns pass through first.
+#[derive(Debug, Clone)]
+pub struct FeatureHasher {
+    numerical: Vec<usize>,
+    categorical: Vec<(usize, usize)>,
+    buckets: usize,
+}
+
+impl FeatureHasher {
+    /// Builds a hasher with the given bucket count (min 2).
+    pub fn from_feature_types(types: &[FeatureType], buckets: usize) -> Self {
+        let (numerical, categorical) = split_types(types);
+        FeatureHasher {
+            numerical,
+            categorical,
+            buckets: buckets.max(2),
+        }
+    }
+
+    /// Output width: numerical passthrough + the hash buckets.
+    pub fn output_width(&self) -> usize {
+        self.numerical.len() + if self.categorical.is_empty() { 0 } else { self.buckets }
+    }
+
+    /// FNV-1a over the `(column, code)` pair — deterministic across runs.
+    fn hash(col: usize, code: usize) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in (col as u64)
+            .to_le_bytes()
+            .iter()
+            .chain((code as u64).to_le_bytes().iter())
+        {
+            h ^= *byte as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Applies the hashing (stateless — no fit required).
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        let expected = self.numerical.len() + self.categorical.len();
+        if x.cols() != expected {
+            return Err(FeError::Invalid(format!(
+                "feature hasher expects {expected} columns, got {}",
+                x.cols()
+            )));
+        }
+        let mut out = Matrix::zeros(x.rows(), self.output_width());
+        for r in 0..x.rows() {
+            let src = x.row(r);
+            let dst = out.row_mut(r);
+            for (j, &c) in self.numerical.iter().enumerate() {
+                dst[j] = src[c];
+            }
+            let base = self.numerical.len();
+            for &(c, _) in &self.categorical {
+                let v = src[c];
+                if v.is_finite() && v >= 0.0 {
+                    let h = Self::hash(c, v.round() as usize);
+                    let bucket = (h % self.buckets as u64) as usize;
+                    let sign = if (h >> 63) & 1 == 1 { -1.0 } else { 1.0 };
+                    dst[base + bucket] += sign;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Quantile binning as a transform-stage operator: every column is mapped
+/// to its bin index (scaled into `[0, 1]`) against per-column quantile
+/// edges estimated on the training set. Robust to outliers and gives tree
+/// and linear models a shared monotone discretization.
+#[derive(Debug, Clone)]
+pub struct QuantileBinner {
+    bins: usize,
+    /// Per column: ascending interior edges (`bins - 1` of them).
+    edges: Vec<Vec<f64>>,
+    fitted: bool,
+}
+
+impl QuantileBinner {
+    /// Builds an (unfitted) binner with `bins` bins per column (min 2).
+    pub fn new(bins: usize) -> Self {
+        QuantileBinner {
+            bins: bins.max(2),
+            edges: Vec::new(),
+            fitted: false,
+        }
+    }
+
+    /// Estimates per-column quantile edges.
+    pub fn fit(&mut self, x: &Matrix, _y: &[f64]) -> Result<()> {
+        self.edges.clear();
+        for c in 0..x.cols() {
+            let mut col: Vec<f64> = (0..x.rows())
+                .map(|r| x.row(r)[c])
+                .filter(|v| v.is_finite())
+                .collect();
+            col.sort_by(f64::total_cmp);
+            let edges: Vec<f64> = if col.is_empty() {
+                Vec::new()
+            } else {
+                (1..self.bins)
+                    .map(|k| {
+                        let q = k as f64 / self.bins as f64;
+                        let idx = ((col.len() - 1) as f64 * q).round() as usize;
+                        col[idx]
+                    })
+                    .collect()
+            };
+            self.edges.push(edges);
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    /// Maps each value to its scaled bin index.
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        if !self.fitted {
+            return Err(FeError::NotFitted);
+        }
+        if x.cols() != self.edges.len() {
+            return Err(FeError::Invalid(format!(
+                "binner fitted on {} columns, got {}",
+                self.edges.len(),
+                x.cols()
+            )));
+        }
+        let scale = 1.0 / (self.bins - 1).max(1) as f64;
+        let mut out = Matrix::zeros(x.rows(), x.cols());
+        for r in 0..x.rows() {
+            let src = x.row(r);
+            let dst = out.row_mut(r);
+            for (c, edges) in self.edges.iter().enumerate() {
+                let v = src[c];
+                let bin = if v.is_finite() {
+                    edges.iter().filter(|&&e| v > e).count()
+                } else {
+                    0
+                };
+                dst[c] = bin as f64 * scale;
+            }
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +400,75 @@ mod tests {
         let types = vec![FeatureType::Numerical];
         let enc = OneHotEncoder::from_feature_types(&types);
         assert!(enc.transform(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn target_encoder_shrinks_toward_global_mean() {
+        let types = vec![FeatureType::Categorical(2), FeatureType::Numerical];
+        // Category 0 → y=1, category 1 → y=0; global mean 0.5.
+        let x = Matrix::from_vec(4, 2, vec![0.0, 9.0, 0.0, 8.0, 1.0, 7.0, 1.0, 6.0]).unwrap();
+        let y = vec![1.0, 1.0, 0.0, 0.0];
+        let mut enc = TargetEncoder::from_feature_types(&types, 2.0);
+        enc.fit(&x, &y).unwrap();
+        let out = enc.transform(&x).unwrap();
+        assert_eq!(out.cols(), 2);
+        // Numerical passthrough first.
+        assert_eq!(out.row(0)[0], 9.0);
+        // (2·1 + 2·0.5) / (2 + 2) = 0.75 for category 0.
+        assert!((out.row(0)[1] - 0.75).abs() < 1e-12);
+        assert!((out.row(2)[1] - 0.25).abs() < 1e-12);
+        // Unseen code falls back to the global mean.
+        let unseen = Matrix::from_vec(1, 2, vec![5.0, 1.0]).unwrap();
+        assert!((enc.transform(&unseen).unwrap().row(0)[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn target_encoder_requires_fit() {
+        let types = vec![FeatureType::Categorical(2)];
+        let enc = TargetEncoder::from_feature_types(&types, 1.0);
+        assert!(enc.transform(&Matrix::zeros(1, 1)).is_err());
+    }
+
+    #[test]
+    fn feature_hasher_collapses_cardinality_deterministically() {
+        let types = vec![FeatureType::Categorical(100), FeatureType::Numerical];
+        let hasher = FeatureHasher::from_feature_types(&types, 8);
+        assert_eq!(hasher.output_width(), 1 + 8);
+        let x = Matrix::from_vec(2, 2, vec![42.0, 1.5, 42.0, 2.5]).unwrap();
+        let a = hasher.transform(&x).unwrap();
+        let b = hasher.transform(&x).unwrap();
+        assert_eq!(a.data(), b.data());
+        assert_eq!(a.row(0)[0], 1.5);
+        // Exactly one bucket carries the ±1 indicator.
+        let nonzero: Vec<f64> = a.row(0)[1..].iter().copied().filter(|v| *v != 0.0).collect();
+        assert_eq!(nonzero.len(), 1);
+        assert!(nonzero[0].abs() == 1.0);
+        // Same code on both rows lands in the same bucket.
+        assert_eq!(&a.row(0)[1..], &a.row(1)[1..]);
+    }
+
+    #[test]
+    fn feature_hasher_all_numerical_is_passthrough_width() {
+        let types = vec![FeatureType::Numerical; 3];
+        let hasher = FeatureHasher::from_feature_types(&types, 16);
+        assert_eq!(hasher.output_width(), 3);
+        let x = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(hasher.transform(&x).unwrap().data(), x.data());
+    }
+
+    #[test]
+    fn quantile_binner_discretizes_monotonically() {
+        let x = Matrix::from_vec(5, 1, vec![0.0, 1.0, 2.0, 3.0, 100.0]).unwrap();
+        let mut b = QuantileBinner::new(4);
+        b.fit(&x, &[]).unwrap();
+        let out = b.transform(&x).unwrap();
+        let col: Vec<f64> = (0..5).map(|r| out.row(r)[0]).collect();
+        // Monotone in the input and scaled into [0, 1].
+        assert!(col.windows(2).all(|w| w[0] <= w[1]), "{col:?}");
+        assert!(col.iter().all(|v| (0.0..=1.0).contains(v)));
+        assert_eq!(col[4], 1.0, "outlier lands in the top bin");
+        // Width mismatch errors; unfitted errors.
+        assert!(b.transform(&Matrix::zeros(1, 2)).is_err());
+        assert!(QuantileBinner::new(4).transform(&x).is_err());
     }
 }

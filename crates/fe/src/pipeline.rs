@@ -5,7 +5,7 @@
 use crate::agglomerate::FeatureAgglomeration;
 use crate::balance::Balancer;
 use crate::embedding::PretrainedEmbedding;
-use crate::encode::OneHotEncoder;
+use crate::encode::{FeatureHasher, OneHotEncoder, QuantileBinner, TargetEncoder};
 use crate::impute::{ImputeStrategy, Imputer};
 use crate::reduce::{Nystroem, Pca, PolynomialFeatures, ScoreFunc, SelectPercentile, VarianceThreshold};
 use crate::scale::{Rescaler, ScaleKind};
@@ -42,13 +42,42 @@ pub struct FeSpaceOptions {
 pub struct FePipeline {
     task: Task,
     imputer: Imputer,
-    encoder: OneHotEncoder,
+    encoder: CatEncoder,
     embedding: Option<PretrainedEmbedding>,
     rescaler: Rescaler,
     balancer: Balancer,
     transform: TransformChoice,
     seed: u64,
     fitted: bool,
+}
+
+/// The categorical-encoding stage. One-hot is the fixed-space default;
+/// target encoding and feature hashing enter only through incremental
+/// space expansion (`cat_encoder` key absent ⇒ one-hot, so pre-expansion
+/// configurations behave byte-identically).
+#[derive(Debug, Clone)]
+enum CatEncoder {
+    OneHot(OneHotEncoder),
+    Target(TargetEncoder),
+    Hash(FeatureHasher),
+}
+
+impl CatEncoder {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        match self {
+            CatEncoder::Target(t) => t.fit(x, y),
+            // One-hot and hashing are determined by declared types alone.
+            CatEncoder::OneHot(_) | CatEncoder::Hash(_) => Ok(()),
+        }
+    }
+
+    fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        match self {
+            CatEncoder::OneHot(t) => t.transform(x),
+            CatEncoder::Target(t) => t.transform(x),
+            CatEncoder::Hash(t) => t.transform(x),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -60,6 +89,7 @@ enum TransformChoice {
     Select(SelectPercentile),
     Variance(VarianceThreshold),
     Agglomerate(FeatureAgglomeration),
+    Binning(QuantileBinner),
 }
 
 impl TransformChoice {
@@ -72,6 +102,7 @@ impl TransformChoice {
             TransformChoice::Select(t) => t.fit(x, y),
             TransformChoice::Variance(t) => t.fit(x, y),
             TransformChoice::Agglomerate(t) => t.fit(x, y),
+            TransformChoice::Binning(t) => t.fit(x, y),
         }
     }
 
@@ -84,6 +115,7 @@ impl TransformChoice {
             TransformChoice::Select(t) => t.transform(x),
             TransformChoice::Variance(t) => t.transform(x),
             TransformChoice::Agglomerate(t) => t.transform(x),
+            TransformChoice::Binning(t) => t.transform(x),
         }
     }
 }
@@ -107,7 +139,17 @@ impl FePipeline {
             2 => Imputer::new(ImputeStrategy::MostFrequent),
             _ => Imputer::new(ImputeStrategy::Mean),
         };
-        let encoder = OneHotEncoder::from_feature_types(feature_types);
+        let encoder = match get(values, "cat_encoder", 0.0).round() as usize {
+            1 => CatEncoder::Target(TargetEncoder::from_feature_types(
+                feature_types,
+                get(values, "target_smoothing", 10.0).max(0.0),
+            )),
+            2 => CatEncoder::Hash(FeatureHasher::from_feature_types(
+                feature_types,
+                get(values, "hash_buckets", 64.0).round().max(2.0) as usize,
+            )),
+            _ => CatEncoder::OneHot(OneHotEncoder::from_feature_types(feature_types)),
+        };
         let embedding = match &options.embedding {
             Some(cfg) => match get(values, "embedding", 0.0).round() as usize {
                 1 => Some(PretrainedEmbedding::matched(cfg.dataset_seed, cfg.n_latent)),
@@ -168,6 +210,9 @@ impl FePipeline {
             6 => TransformChoice::Agglomerate(FeatureAgglomeration::new(
                 get(values, "agglo_clusters", 8.0).round().max(1.0) as usize,
             )),
+            7 => TransformChoice::Binning(QuantileBinner::new(
+                get(values, "binning_bins", 8.0).round().max(2.0) as usize,
+            )),
             _ => TransformChoice::None,
         };
         Ok(FePipeline {
@@ -208,6 +253,7 @@ impl FePipeline {
         }
         self.imputer.fit(x, y)?;
         let x1 = self.imputer.transform(x)?;
+        self.encoder.fit(&x1, y)?;
         let x2 = self.encoder.transform(&x1)?;
         let x3 = match &mut self.embedding {
             Some(e) => e.fit_transform(&x2, y)?,
@@ -428,9 +474,59 @@ mod tests {
     }
 
     #[test]
+    fn every_cat_encoder_choice_runs() {
+        let d = make_categorical(150, 3, 4, 2, 0.05, 7);
+        let mut widths = Vec::new();
+        for e in 0..3 {
+            let mut values = HashMap::new();
+            values.insert("cat_encoder".into(), e as f64);
+            values.insert("hash_buckets".into(), 8.0);
+            let mut p = FePipeline::from_values(
+                d.task,
+                &d.feature_types,
+                &values,
+                &FeSpaceOptions::default(),
+                0,
+            )
+            .unwrap();
+            let (xt, _) = p.fit_transform_train(&d.x, &d.y).unwrap();
+            assert!(xt.data().iter().all(|v| v.is_finite()), "cat_encoder {e}");
+            let held = p.transform(&d.x).unwrap();
+            assert_eq!(held.cols(), xt.cols(), "cat_encoder {e} width mismatch");
+            widths.push(xt.cols());
+        }
+        // one-hot: 2 + 3·4 = 14; target: 2 + 3 = 5; hashing: 2 + 8 = 10.
+        assert_eq!(widths, vec![14, 5, 10]);
+    }
+
+    #[test]
+    fn absent_cat_encoder_key_is_one_hot() {
+        // Pre-expansion value maps (no `cat_encoder` key) must produce the
+        // same output as the explicit one-hot choice — the digest-stability
+        // contract for unexpanded configurations.
+        let d = make_categorical(100, 2, 3, 2, 0.05, 9);
+        let run = |values: &HashMap<String, f64>| {
+            let mut p = FePipeline::from_values(
+                d.task,
+                &d.feature_types,
+                values,
+                &FeSpaceOptions::default(),
+                0,
+            )
+            .unwrap();
+            p.fit_transform_train(&d.x, &d.y).unwrap().0
+        };
+        let implicit = run(&HashMap::new());
+        let mut explicit_values = HashMap::new();
+        explicit_values.insert("cat_encoder".into(), 0.0);
+        let explicit = run(&explicit_values);
+        assert_eq!(implicit.data(), explicit.data());
+    }
+
+    #[test]
     fn every_transform_choice_runs() {
         let d = base_dataset();
-        for t in 0..7 {
+        for t in 0..8 {
             let mut values = HashMap::new();
             values.insert("transform".into(), t as f64);
             let mut p = FePipeline::from_values(

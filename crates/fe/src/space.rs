@@ -139,13 +139,83 @@ pub fn fe_param_defs(task: Task, options: &FeSpaceOptions) -> Vec<FeParam> {
     out
 }
 
-/// A reduced FE space (used by the paper's *small* search-space tier): just
-/// imputation and rescaling choices, no transform stage.
+/// A reduced FE space (used by the paper's *small* search-space tier and as
+/// stage 0 of incremental space construction): just imputation, rescaling,
+/// and balancing choices — no transform stage, no conditional children.
 pub fn fe_param_defs_minimal(task: Task) -> Vec<FeParam> {
     fe_param_defs(task, &FeSpaceOptions::default())
         .into_iter()
         .filter(|p| matches!(p.def.name, "imputer" | "rescaler" | "balancer"))
         .collect()
+}
+
+/// One discrete expansion of the FE space: categorical parameters to widen
+/// with extra choices, plus new parameters to append. Widenings are applied
+/// *before* the new parameters so a new child may condition on a
+/// just-appended choice index of an existing parent.
+#[derive(Debug, Clone)]
+pub struct FeExpansion {
+    /// Stable expansion name — journaled, traced, and shown in reports.
+    pub name: &'static str,
+    /// `(existing categorical param, extra choices appended)`.
+    pub widen: Vec<(&'static str, Vec<&'static str>)>,
+    /// Parameters this expansion appends (parents precede children).
+    pub params: Vec<FeParam>,
+}
+
+/// The ordered expansion ladder for incremental space construction.
+///
+/// Stage 0 is [`fe_param_defs_minimal`]; applying expansion `i` requires
+/// every expansion `< i` to have been applied first (later conditions
+/// reference earlier parents):
+///
+/// 1. `transform_stage` — enables the dormant transform stage plus every
+///    conditional child of the full template, making the variable *set*
+///    equal to [`fe_param_defs`].
+/// 2. `operator_families` — inserts the categorical-encoder family
+///    (`cat_encoder` ∈ {onehot, target, hashing} with their children) and
+///    widens `transform` with the `quantile_binning` choice (index 7) and
+///    its `binning_bins` child.
+pub fn fe_expansions(task: Task, options: &FeSpaceOptions) -> Vec<FeExpansion> {
+    let minimal: Vec<&str> = fe_param_defs_minimal(task)
+        .iter()
+        .map(|p| p.def.name)
+        .collect();
+    let transform_stage: Vec<FeParam> = fe_param_defs(task, options)
+        .into_iter()
+        .filter(|p| !minimal.contains(&p.def.name))
+        .collect();
+    let mut families = vec![
+        FeParam {
+            def: cat("cat_encoder", vec!["onehot", "target", "hashing"], 0),
+            condition: None,
+        },
+        FeParam {
+            def: float("target_smoothing", 1.0, 100.0, 10.0, true),
+            condition: Some(("cat_encoder", vec![1])),
+        },
+        FeParam {
+            def: int("hash_buckets", 8, 256, 64, true),
+            condition: Some(("cat_encoder", vec![2])),
+        },
+    ];
+    families.push(FeParam {
+        // `transform` choice 7 is the `quantile_binning` widening below.
+        def: int("binning_bins", 2, 32, 8, true),
+        condition: Some(("transform", vec![7])),
+    });
+    vec![
+        FeExpansion {
+            name: "transform_stage",
+            widen: Vec::new(),
+            params: transform_stage,
+        },
+        FeExpansion {
+            name: "operator_families",
+            widen: vec![("transform", vec!["quantile_binning"])],
+            params: families,
+        },
+    ]
 }
 
 #[cfg(test)]
@@ -219,5 +289,69 @@ mod tests {
         let min = fe_param_defs_minimal(Task::Classification);
         assert!(min.len() < full.len());
         assert!(min.iter().all(|p| p.condition.is_none()));
+    }
+
+    #[test]
+    fn minimal_plus_transform_stage_equals_full_template() {
+        for task in [Task::Classification, Task::Regression] {
+            let options = FeSpaceOptions::default();
+            let mut grown = fe_param_defs_minimal(task);
+            let expansions = fe_expansions(task, &options);
+            assert_eq!(expansions[0].name, "transform_stage");
+            grown.extend(expansions[0].params.clone());
+            let full = fe_param_defs(task, &options);
+            // Same parameter *set* (order differs: stage vars append).
+            let mut grown_names: Vec<&str> = grown.iter().map(|p| p.def.name).collect();
+            let mut full_names: Vec<&str> = full.iter().map(|p| p.def.name).collect();
+            grown_names.sort_unstable();
+            full_names.sort_unstable();
+            assert_eq!(grown_names, full_names);
+            // And identical defs for every shared name.
+            for p in &full {
+                let g = grown.iter().find(|q| q.def.name == p.def.name).unwrap();
+                assert_eq!(g, p, "{} diverged", p.def.name);
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_conditions_reference_prior_parents() {
+        // Every condition in expansion i must name a parent from stage 0 or
+        // an earlier (or same, earlier-listed) expansion.
+        let options = FeSpaceOptions {
+            include_smote: true,
+            embedding: None,
+        };
+        let mut known: Vec<&str> = fe_param_defs_minimal(Task::Classification)
+            .iter()
+            .map(|p| p.def.name)
+            .collect();
+        for exp in fe_expansions(Task::Classification, &options) {
+            for (widened, _) in &exp.widen {
+                assert!(known.contains(widened), "{} widens unknown {widened}", exp.name);
+            }
+            for p in &exp.params {
+                if let Some((parent, _)) = &p.condition {
+                    assert!(
+                        known.contains(parent) || exp.params.iter().any(|q| q.def.name == *parent),
+                        "{}: {} has unknown parent {parent}",
+                        exp.name,
+                        p.def.name
+                    );
+                }
+                known.push(p.def.name);
+            }
+        }
+    }
+
+    #[test]
+    fn operator_families_widen_transform_to_binning() {
+        let exps = fe_expansions(Task::Classification, &FeSpaceOptions::default());
+        let fam = exps.iter().find(|e| e.name == "operator_families").unwrap();
+        assert_eq!(fam.widen, vec![("transform", vec!["quantile_binning"])]);
+        let bins = fam.params.iter().find(|p| p.def.name == "binning_bins").unwrap();
+        // Index 7 = the 7 base transform choices, then the widened one.
+        assert_eq!(bins.condition, Some(("transform", vec![7])));
+        assert!(fam.params.iter().any(|p| p.def.name == "cat_encoder"));
     }
 }

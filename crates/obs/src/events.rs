@@ -113,6 +113,18 @@ pub enum ObsEvent {
         /// The error message.
         error: String,
     },
+    /// Incremental space construction applied an expansion: the search
+    /// space grew because plateau evidence accumulated.
+    SpaceExpanded {
+        /// Stage number after applying (stage 0 is the seed space).
+        stage: u64,
+        /// The expansion's ladder name (`transform_stage`, ...).
+        name: String,
+        /// Plateau EUI reading that triggered the expansion.
+        trigger_eui: f64,
+        /// Number of trials completed when the expansion landed.
+        trial: u64,
+    },
     /// A worker blew through its per-trial deadline and was abandoned.
     WorkerStalled {
         /// The stalled worker's id.
@@ -134,6 +146,7 @@ impl ObsEvent {
             ObsEvent::StudyDone { .. } => "StudyDone",
             ObsEvent::StudyCancelled { .. } => "StudyCancelled",
             ObsEvent::StudyFailed { .. } => "StudyFailed",
+            ObsEvent::SpaceExpanded { .. } => "SpaceExpanded",
             ObsEvent::WorkerStalled { .. } => "WorkerStalled",
         }
     }
@@ -196,6 +209,16 @@ impl ObsEvent {
                 "\"study\":\"{}\",\"error\":\"{}\"",
                 escape(study),
                 escape(error)
+            ),
+            ObsEvent::SpaceExpanded {
+                stage,
+                name,
+                trigger_eui,
+                trial,
+            } => format!(
+                "\"stage\":{stage},\"name\":\"{}\",\"trigger_eui\":{},\"trial\":{trial}",
+                escape(name),
+                num(*trigger_eui),
             ),
             ObsEvent::WorkerStalled { worker, stalled_s } => {
                 format!("\"worker\":{worker},\"stalled_s\":{}", num(*stalled_s))
@@ -270,6 +293,12 @@ impl BusEvent {
             "StudyFailed" => ObsEvent::StudyFailed {
                 study: s("study")?,
                 error: s("error")?,
+            },
+            "SpaceExpanded" => ObsEvent::SpaceExpanded {
+                stage: i("stage")? as u64,
+                name: s("name")?,
+                trigger_eui: f("trigger_eui")?,
+                trial: i("trial")? as u64,
             },
             "WorkerStalled" => ObsEvent::WorkerStalled {
                 worker: i("worker")?,
@@ -501,6 +530,12 @@ mod tests {
             ObsEvent::StudyFailed {
                 study: "a".into(),
                 error: "boom\nline2".into(),
+            },
+            ObsEvent::SpaceExpanded {
+                stage: 1,
+                name: "transform_stage".into(),
+                trigger_eui: 0.000425,
+                trial: 23,
             },
             ObsEvent::WorkerStalled {
                 worker: 3,

@@ -163,7 +163,13 @@ fn render_rows(
     out.push('\n');
 
     // ── Journal ↔ trace join check ──────────────────────────────────────
+    // Schema-v2 journals interleave event rows (space expansions) with
+    // trial rows; only trial rows (no "event" key) participate in the join.
     if let Some(journal) = journal {
+        let trial_rows: Vec<&Row> = journal
+            .iter()
+            .filter(|r| !r.contains_key("event"))
+            .collect();
         let mut span_trials: BTreeMap<i64, usize> = BTreeMap::new();
         for t in &trials {
             *span_trials.entry(get_i64(t, "trial")).or_insert(0) += 1;
@@ -171,7 +177,7 @@ fn render_rows(
         let mut joined = 0usize;
         let mut orphans = Vec::new();
         let mut dupes = Vec::new();
-        for row in journal {
+        for row in &trial_rows {
             let id = get_i64(row, "trial");
             match span_trials.get(&id) {
                 Some(1) => joined += 1,
@@ -181,7 +187,7 @@ fn render_rows(
         }
         out.push_str(&format!(
             "journal rows: {}  joined to trace: {}",
-            journal.len(),
+            trial_rows.len(),
             joined
         ));
         if !orphans.is_empty() {
@@ -193,6 +199,52 @@ fn render_rows(
         out.push('\n');
     }
     out.push('\n');
+
+    // ── Space growth ────────────────────────────────────────────────────
+    // Expansion timeline plus trials-per-stage, from the journal's
+    // "event":"expansion" rows (incremental space construction only).
+    if let Some(journal) = journal {
+        let expansions: Vec<&Row> = journal
+            .iter()
+            .filter(|r| get_str(r, "event") == "expansion")
+            .collect();
+        if !expansions.is_empty() {
+            let trial_ids: Vec<i64> = journal
+                .iter()
+                .filter(|r| !r.contains_key("event"))
+                .map(|r| get_i64(r, "trial"))
+                .collect();
+            out.push_str("Space growth\n");
+            out.push_str("------------\n");
+            let mut prev_boundary: i64 = 0;
+            for e in &expansions {
+                let boundary = get_i64(e, "trial");
+                let stage_trials = trial_ids
+                    .iter()
+                    .filter(|&&id| id >= prev_boundary && id < boundary)
+                    .count();
+                out.push_str(&format!(
+                    "stage {} <- {:<20} at trial {:>4}  trigger_eui={:.6}  ({} trials in stage {})\n",
+                    get_i64(e, "stage"),
+                    get_str(e, "name"),
+                    boundary,
+                    get_f64(e, "trigger_eui"),
+                    stage_trials,
+                    get_i64(e, "stage") - 1,
+                ));
+                prev_boundary = boundary;
+            }
+            let final_stage = expansions
+                .last()
+                .map(|e| get_i64(e, "stage"))
+                .unwrap_or(0);
+            let tail = trial_ids.iter().filter(|&&id| id >= prev_boundary).count();
+            out.push_str(&format!(
+                "final stage {final_stage}: {tail} trials\n"
+            ));
+            out.push('\n');
+        }
+    }
 
     // ── Per-arm convergence ─────────────────────────────────────────────
     let mut arms: BTreeMap<String, ArmStats> = BTreeMap::new();
@@ -817,6 +869,32 @@ mod tests {
         let report = render_report(&sample_trace(), Some(journal), None).unwrap();
         assert!(report.contains("journal rows: 3  joined to trace: 2"));
         assert!(report.contains("UNMATCHED: [9]"));
+    }
+
+    #[test]
+    fn space_growth_section_renders_timeline_and_stage_counts() {
+        // Two trial rows in stage 0, then an expansion, then one more trial.
+        // Expansion rows must be excluded from the join check and rendered
+        // in their own section with trials-per-stage tallies.
+        let journal = "\
+{\"trial\":0,\"loss\":0.5}\n\
+{\"trial\":1,\"loss\":0.3}\n\
+{\"schema\":2,\"event\":\"expansion\",\"stage\":1,\"name\":\"transform_stage\",\
+\"trigger_eui\":0.0004,\"trial\":2}\n\
+{\"trial\":9,\"loss\":0.1}";
+        let report = render_report(&sample_trace(), Some(journal), None).unwrap();
+        assert!(report.contains("journal rows: 3  joined to trace: 2"), "{report}");
+        assert!(report.contains("Space growth"), "{report}");
+        assert!(report.contains("transform_stage"), "{report}");
+        assert!(report.contains("(2 trials in stage 0)"), "{report}");
+        assert!(report.contains("final stage 1: 1 trials"), "{report}");
+    }
+
+    #[test]
+    fn fixed_space_report_has_no_growth_section() {
+        let journal = "{\"trial\":0,\"loss\":0.5}";
+        let report = render_report(&sample_trace(), Some(journal), None).unwrap();
+        assert!(!report.contains("Space growth"), "{report}");
     }
 
     #[test]

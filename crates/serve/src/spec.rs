@@ -3,7 +3,7 @@
 //! restarted server can resume the study from its journal alone.
 
 use volcanoml_core::plans::enumerate_coarse_plans;
-use volcanoml_core::{EngineKind, Objective, PlanSpec, SpaceTier};
+use volcanoml_core::{EngineKind, Objective, PlanSpec, SpaceGrowth, SpaceTier};
 use volcanoml_data::Dataset;
 use volcanoml_obs::json::{escape, parse_object, JsonValue};
 
@@ -43,6 +43,10 @@ pub struct StudySpec {
     /// Search objective: `"loss"` (default) or `"loss_and_cost"`, the
     /// latter scalarizing in `latency_weight` × per-row inference seconds.
     pub objective: Objective,
+    /// Search-space construction: `"fixed"` (default) or
+    /// `"incremental[:EUI_THRESHOLD]"` — start from the minimal pipeline
+    /// and expand on plateau evidence.
+    pub space: SpaceGrowth,
 }
 
 fn parse_engine(s: &str) -> Result<EngineKind, String> {
@@ -161,6 +165,10 @@ impl StudySpec {
                 ))
             }
         };
+        let space = match get_str("space")? {
+            Some(s) => SpaceGrowth::parse(&s).map_err(|e| e.to_string())?,
+            None => SpaceGrowth::Fixed,
+        };
         Ok(StudySpec {
             name: get_str("name")?,
             dataset,
@@ -171,6 +179,7 @@ impl StudySpec {
             seed: get_u64("seed", 0)?,
             cost_aware,
             objective,
+            space,
         })
     }
 
@@ -201,6 +210,9 @@ impl StudySpec {
         if let Objective::LossAndCost { latency_weight } = self.objective {
             parts.push("\"objective\":\"loss_and_cost\"".to_string());
             parts.push(format!("\"latency_weight\":{latency_weight}"));
+        }
+        if !self.space.is_fixed() {
+            parts.push(format!("\"space\":\"{}\"", self.space.render()));
         }
         format!("{{{}}}", parts.join(","))
     }
@@ -321,6 +333,29 @@ mod tests {
         // Default objective stays out of the serialized form so pre-existing
         // spec.json files and their re-serializations stay byte-compatible.
         assert!(!plain.to_json().contains("objective"));
+    }
+
+    #[test]
+    fn space_field_round_trips_and_default_stays_out() {
+        let spec = StudySpec::from_json(r#"{"dataset":"moons","space":"incremental:0.05"}"#)
+            .unwrap();
+        assert_eq!(spec.space, SpaceGrowth::Incremental { eui_threshold: 0.05 });
+        let again = StudySpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, again);
+        // Default-threshold incremental renders in the short form, and the
+        // round-trip through spec.json is byte-identical.
+        let short = StudySpec::from_json(r#"{"dataset":"moons","space":"incremental"}"#).unwrap();
+        assert!(short.to_json().contains("\"space\":\"incremental\""));
+        assert_eq!(short.to_json(), StudySpec::from_json(&short.to_json()).unwrap().to_json());
+
+        // Fixed (the default) stays out of the serialized form so
+        // pre-existing spec.json files re-serialize byte-compatibly.
+        let plain = StudySpec::from_json(r#"{"dataset":"moons"}"#).unwrap();
+        assert!(plain.space.is_fixed());
+        assert!(!plain.to_json().contains("space"));
+
+        let err = StudySpec::from_json(r#"{"dataset":"moons","space":"huge"}"#).unwrap_err();
+        assert!(err.contains("space mode"), "{err}");
     }
 
     #[test]

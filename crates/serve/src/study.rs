@@ -261,6 +261,7 @@ fn fit_study(
         seed: study.spec.seed,
         cost_aware: study.spec.cost_aware,
         objective: study.spec.objective,
+        space_growth: study.spec.space,
         // Without this the per-run batch size caps at
         // min(pool.workers(), n_workers) = 1 and the pool sits idle.
         n_workers: workers,

@@ -39,6 +39,24 @@ print(f"cost_aware smoke ok: {r:.2f}x cost-blind over {b['n_seeds']} seeds "
       f"(aware {b['cost_aware_total']:.0f}s vs blind {b['cost_blind_total']:.0f}s)")
 EOF
 
+echo "== smoke: space_growth bench (incremental space construction gate) =="
+# Deterministic seeds: incremental construction must reach fixed-space
+# quality within 1.05x the trials, and at least one expansion must have
+# been journaled (the growth machinery actually engaged).
+VOLCANO_QUICK=1 cargo bench --offline --bench space_growth
+python3 - results/BENCH_space.json <<'EOF'
+import json, sys
+b = json.load(open(sys.argv[1]))
+r = b["incremental_ratio"]
+assert r <= 1.05, f"incremental trials-to-target is {r:.2f}x fixed (> 1.05x)"
+assert b["expansions_total"] >= 1, "no journaled expansion across the bench seeds"
+assert b["stage0_vars"] < b["full_vars"], \
+    f"stage-0 must be smaller: {b['stage0_vars']} vs {b['full_vars']}"
+print(f"space_growth smoke ok: {r:.2f}x fixed over {b['n_seeds']} seeds, "
+      f"{b['expansions_total']} expansions, "
+      f"stage0 {b['stage0_vars']} vars vs full {b['full_vars']}")
+EOF
+
 echo "== smoke: micro_models histogram-kernel report =="
 # Quick mode skips the Criterion loops but still runs the timed report that
 # re-emits results/BENCH_models.json (per-n_jobs rows, kernel comparison).
@@ -83,6 +101,19 @@ assert skipped > 0, f"expected data.gathers_skipped > 0, got {skipped}"
 print(f"zero-copy smoke ok: {skipped} gathers skipped, "
       f"{counters.get('data.bytes_gathered', 0)} bytes gathered")
 EOF
+
+echo "== smoke: incremental space construction (--space incremental) =="
+# A permissive threshold so the plateau fires within the tiny budget; the
+# journal must hold at least one expansion row and the report must render
+# the growth timeline.
+"$VOLCANOML" fit "$SMOKE_DIR/data.csv" --evals 24 --tier small --space incremental:10 \
+    --journal "$SMOKE_DIR/grow.jsonl" --trace "$SMOKE_DIR/grow_trace.jsonl"
+grep -q '"event":"expansion"' "$SMOKE_DIR/grow.jsonl" \
+    || { echo "no journaled expansion in incremental fit"; exit 1; }
+"$VOLCANOML" report "$SMOKE_DIR/grow_trace.jsonl" --journal "$SMOKE_DIR/grow.jsonl" \
+    | grep -q "Space growth" \
+    || { echo "report missing the space-growth section"; exit 1; }
+echo "incremental smoke ok: journaled expansion present, report renders growth timeline"
 
 echo "== smoke: pooled multi-fidelity fit (mfes-hb, 4 workers) =="
 # Regression gate for the suggest_batch fallback: a pooled MFES-HB run must

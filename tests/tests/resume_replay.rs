@@ -10,11 +10,11 @@
 use std::path::{Path, PathBuf};
 
 use volcanoml_core::{
-    EngineKind, PlanSpec, SpaceTier, StudyState, VolcanoML, VolcanoMlOptions,
+    EngineKind, PlanSpec, SpaceGrowth, SpaceTier, StudyState, VolcanoML, VolcanoMlOptions,
 };
 use volcanoml_data::synthetic::make_moons;
 use volcanoml_data::Task;
-use volcanoml_exec::TrialRecord;
+use volcanoml_exec::{ExpansionRecord, JournalRow, TrialRecord};
 
 fn tmp_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -59,12 +59,32 @@ fn cost_aware_options(
     }
 }
 
-fn journal_records(path: &Path) -> Vec<TrialRecord> {
+fn journal_rows(path: &Path) -> Vec<JournalRow> {
     std::fs::read_to_string(path)
         .unwrap()
         .lines()
         .filter(|l| !l.trim().is_empty())
-        .map(|l| TrialRecord::from_json(l).expect("journal row parses"))
+        .map(|l| JournalRow::from_json(l).expect("journal row parses"))
+        .collect()
+}
+
+fn journal_records(path: &Path) -> Vec<TrialRecord> {
+    journal_rows(path)
+        .into_iter()
+        .filter_map(|r| match r {
+            JournalRow::Trial(t) => Some(t),
+            JournalRow::Expansion(_) => None,
+        })
+        .collect()
+}
+
+fn expansion_records(path: &Path) -> Vec<ExpansionRecord> {
+    journal_rows(path)
+        .into_iter()
+        .filter_map(|r| match r {
+            JournalRow::Trial(_) => None,
+            JournalRow::Expansion(e) => Some(e),
+        })
         .collect()
 }
 
@@ -215,6 +235,175 @@ fn cost_aware_full_replay_reproduces_study_state_bitwise() {
             );
             let _ = std::fs::remove_dir_all(&dir);
         }
+    }
+}
+
+fn incremental_options(
+    engine: EngineKind,
+    evals: usize,
+    workers: usize,
+    journal: &Path,
+    resume: bool,
+) -> VolcanoMlOptions {
+    let mut o = VolcanoMlOptions {
+        // Permissive threshold: any finite plateau EUI fires the ladder, so
+        // both expansions land well inside the budget and the test stresses
+        // the expansion replay machinery rather than the plateau heuristic.
+        space_growth: SpaceGrowth::Incremental { eui_threshold: 10.0 },
+        ..options(engine, evals, workers, journal, resume)
+    };
+    // Multi-fidelity leaves only feed the plateau trajectory on
+    // full-fidelity results, which the deep default plan reaches too
+    // slowly for a test-sized budget; a single joint leaf keeps the
+    // plateau signal fast while still exercising bracket remapping on
+    // grow.
+    if engine == EngineKind::MfesHb {
+        o.plan = PlanSpec::single_joint(engine);
+    }
+    o
+}
+
+/// Replaying the COMPLETE journal of an expanded study must re-derive the
+/// identical growth trajectory from the replayed losses alone — same
+/// expansion rows (not re-journaled), bitwise-identical `StudyState`
+/// including the growth-controller line.
+#[test]
+fn incremental_full_replay_reproduces_expansions_bitwise() {
+    let data = make_moons(160, 0.2, 1, 5);
+    for (engine, workers, evals) in [(EngineKind::Bo, 1usize, 24), (EngineKind::MfesHb, 4, 60)] {
+        let dir = tmp_dir(&format!("grow-full-{}-{workers}", engine.name()));
+        let journal = dir.join("journal.jsonl");
+
+        let first = VolcanoML::with_tier(
+            Task::Classification,
+            SpaceTier::Small,
+            incremental_options(engine, evals, workers, &journal, false),
+        )
+        .fit(&data)
+        .unwrap();
+        let rows_before = journal_records(&journal);
+        let expansions_before = expansion_records(&journal);
+        assert!(
+            !expansions_before.is_empty(),
+            "{} x{workers}: expected at least one journaled expansion",
+            engine.name()
+        );
+        assert!(
+            first.study_state.render().contains("growth stage="),
+            "growth line missing from snapshot"
+        );
+
+        let replayed = VolcanoML::with_tier(
+            Task::Classification,
+            SpaceTier::Small,
+            incremental_options(engine, evals, workers, &journal, true),
+        )
+        .fit(&data)
+        .unwrap();
+
+        assert_eq!(
+            journal_records(&journal).len(),
+            rows_before.len(),
+            "{} x{workers}: full replay must not re-journal trials",
+            engine.name()
+        );
+        assert_eq!(
+            expansion_records(&journal),
+            expansions_before,
+            "{} x{workers}: full replay must not re-journal expansions",
+            engine.name()
+        );
+        if let Some(diff) = first.study_state.diff(&replayed.study_state) {
+            panic!(
+                "{} x{workers}: expanded study state diverged:\n{diff}",
+                engine.name()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Kill-mid-expansion simulation: truncate the journal right after the
+/// first expansion row (plus a torn trial line), resume, and require the
+/// resumed run to re-derive the identical expansion sequence — the already
+/// journaled stage is not duplicated, later stages are re-triggered and
+/// journaled at the same trial boundaries — and to converge to the
+/// uninterrupted run's scheduling state (modulo wall-clock cost on the
+/// freshly executed tail).
+#[test]
+fn incremental_truncated_resume_replays_expansion_sequence() {
+    let data = make_moons(160, 0.2, 1, 5);
+    for (engine, workers, evals) in [(EngineKind::Bo, 1usize, 24), (EngineKind::MfesHb, 4, 60)] {
+        let dir = tmp_dir(&format!("grow-crash-{}-{workers}", engine.name()));
+        let journal = dir.join("journal.jsonl");
+
+        let uninterrupted = VolcanoML::with_tier(
+            Task::Classification,
+            SpaceTier::Small,
+            incremental_options(engine, evals, workers, &journal, false),
+        )
+        .fit(&data)
+        .unwrap();
+        let full_rows = journal_records(&journal);
+        let full_expansions = expansion_records(&journal);
+        assert!(
+            !full_expansions.is_empty(),
+            "{} x{workers}: expected at least one journaled expansion",
+            engine.name()
+        );
+
+        // Crash right after the first expansion row hit the disk: keep
+        // everything through that row, then a torn half-written trial.
+        let text = std::fs::read_to_string(&journal).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let cut = lines
+            .iter()
+            .position(|l| l.contains("\"event\":\"expansion\""))
+            .expect("journal has an expansion line");
+        let crashed = dir.join("crashed.jsonl");
+        let mut torn = lines[..=cut].join("\n");
+        torn.push_str("\n{\"schema\":2,\"trial\":9999,\"worker\":0,\"sta");
+        std::fs::write(&crashed, torn).unwrap();
+
+        let resumed = VolcanoML::with_tier(
+            Task::Classification,
+            SpaceTier::Small,
+            incremental_options(engine, evals, workers, &crashed, true),
+        )
+        .fit(&data)
+        .unwrap();
+        let resumed_rows = journal_records(&crashed);
+
+        assert_unique_trial_ids(&resumed_rows);
+        assert_eq!(
+            resumed_rows.len(),
+            full_rows.len(),
+            "{} x{workers}: resumed schedule must re-derive the same trials",
+            engine.name()
+        );
+        assert_eq!(
+            expansion_records(&crashed),
+            full_expansions,
+            "{} x{workers}: resumed run must replay the same expansion sequence",
+            engine.name()
+        );
+        assert_eq!(
+            uninterrupted.report.best_loss.to_bits(),
+            resumed.report.best_loss.to_bits(),
+            "{} x{workers}: best loss must match bitwise after expanded resume",
+            engine.name()
+        );
+        let a = strip_costs(&uninterrupted.study_state);
+        let b = strip_costs(&resumed.study_state);
+        if let Some(i) = (0..a.len().max(b.len())).find(|&i| a.get(i) != b.get(i)) {
+            panic!(
+                "{} x{workers}: expanded resume state diverged at line {i}:\n  left:  {}\n  right: {}",
+                engine.name(),
+                a.get(i).map(String::as_str).unwrap_or("<missing>"),
+                b.get(i).map(String::as_str).unwrap_or("<missing>"),
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 
